@@ -1,0 +1,65 @@
+// Ablation: correlation removal (paper sections 2.2-2.3). Measures the
+// section-1.1 query as the outer cardinality grows, comparing
+//   * decorrelated set-oriented execution (normalization on),
+//   * correlated execution with index support,
+//   * correlated execution without indexes (the naive strategy whose cost
+//     grows with |outer| x |inner|).
+// The decorrelated plan's flat profile vs the correlated plans' growth is
+// the "query flattening" payoff; the indexed correlated plan's win at very
+// small outers is why re-introduction stays in the rule set.
+//
+// Benchmark arguments: {milli-scale-factor, outer_limit (0 = all)}.
+#include "bench/bench_util.h"
+
+namespace orq {
+namespace bench {
+namespace {
+
+std::string Query(int64_t outer_limit) {
+  std::string where_outer =
+      outer_limit > 0
+          ? "c_custkey <= " + std::to_string(outer_limit) + " and "
+          : "";
+  return "select c_custkey from customer where " + where_outer +
+         "10000 < (select sum(o_totalprice) from orders "
+         "where o_custkey = c_custkey)";
+}
+
+void BM_Decorrelated(benchmark::State& state) {
+  Catalog* catalog = TpchAt(MilliSf(state.range(0)));
+  EngineOptions options = EngineOptions::Full();
+  options.optimizer.correlated_reintroduction = false;  // stay set-oriented
+  RunQueryBenchmark(state, catalog, options, Query(state.range(1)));
+}
+
+void BM_CorrelatedWithIndex(benchmark::State& state) {
+  Catalog* catalog = TpchAt(MilliSf(state.range(0)));
+  RunQueryBenchmark(state, catalog, EngineOptions::CorrelatedOnly(),
+                    Query(state.range(1)));
+}
+
+void BM_CorrelatedNoIndex(benchmark::State& state) {
+  Catalog* catalog = TpchAt(MilliSf(state.range(0)));
+  EngineOptions options = EngineOptions::CorrelatedOnly();
+  options.physical.use_index_seek = false;
+  RunQueryBenchmark(state, catalog, options, Query(state.range(1)));
+}
+
+void SweepArgs(benchmark::internal::Benchmark* b) {
+  for (int64_t outer : {10, 50, 250, 1000, 0}) b->Args({10, outer});
+  b->Unit(benchmark::kMillisecond);
+}
+
+BENCHMARK(BM_Decorrelated)->Apply(SweepArgs);
+BENCHMARK(BM_CorrelatedWithIndex)->Apply(SweepArgs);
+BENCHMARK(BM_CorrelatedNoIndex)
+    ->Args({10, 10})
+    ->Args({10, 50})
+    ->Args({10, 250})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace orq
+
+BENCHMARK_MAIN();

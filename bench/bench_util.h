@@ -1,0 +1,89 @@
+#ifndef ORQ_BENCH_BENCH_UTIL_H_
+#define ORQ_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "engine/engine.h"
+#include "tpch/tpch_gen.h"
+
+namespace orq {
+namespace bench {
+
+/// Scale factors are passed through google-benchmark's integer Args as
+/// "milli scale factor": 5 -> SF 0.005.
+inline double MilliSf(int64_t arg) { return arg / 1000.0; }
+
+/// Shared TPC-H catalogs, generated once per scale factor.
+inline Catalog* TpchAt(double scale_factor) {
+  static auto* catalogs = new std::map<double, std::unique_ptr<Catalog>>();
+  auto it = catalogs->find(scale_factor);
+  if (it == catalogs->end()) {
+    auto catalog = std::make_unique<Catalog>();
+    TpchGenOptions options;
+    options.scale_factor = scale_factor;
+    Status status = GenerateTpch(catalog.get(), options);
+    if (!status.ok()) {
+      std::fprintf(stderr, "TPC-H generation failed: %s\n",
+                   status.ToString().c_str());
+      std::abort();
+    }
+    // Warm the statistics cache so the first timed iteration does not pay
+    // the one-time stats computation.
+    for (const std::string& name : catalog->TableNames()) {
+      catalog->GetStats(*catalog->FindTable(name));
+    }
+    it = catalogs->emplace(scale_factor, std::move(catalog)).first;
+  }
+  return it->second.get();
+}
+
+/// Runs one query per benchmark iteration; reports result rows and the
+/// engine's rows_produced work metric as counters.
+inline void RunQueryBenchmark(benchmark::State& state, Catalog* catalog,
+                              const EngineOptions& options,
+                              const std::string& sql) {
+  QueryEngine engine(catalog, options);
+  // Compile once outside the timing loop? No — the paper measures elapsed
+  // query time, which includes optimization; ours is dominated by
+  // execution anyway.
+  int64_t result_rows = 0;
+  int64_t produced = 0;
+  for (auto _ : state) {
+    Result<QueryResult> result = engine.Execute(sql);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    result_rows = static_cast<int64_t>(result->rows.size());
+    produced = result->rows_produced;
+    benchmark::DoNotOptimize(result->rows.data());
+  }
+  state.counters["result_rows"] = static_cast<double>(result_rows);
+  state.counters["rows_produced"] = static_cast<double>(produced);
+}
+
+/// The named engine configurations compared across the evaluation —
+/// the "systems" of our Figure 8/9 reproduction.
+struct NamedConfig {
+  const char* name;
+  EngineOptions options;
+};
+
+inline const std::vector<NamedConfig>& Configurations() {
+  static const auto* configs = new std::vector<NamedConfig>{
+      {"full", EngineOptions::Full()},
+      {"no_groupby_opts", EngineOptions::NoGroupByOptimizations()},
+      {"no_segment_apply", EngineOptions::NoSegmentApply()},
+      {"correlated_only", EngineOptions::CorrelatedOnly()},
+  };
+  return *configs;
+}
+
+}  // namespace bench
+}  // namespace orq
+
+#endif  // ORQ_BENCH_BENCH_UTIL_H_

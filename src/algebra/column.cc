@@ -1,0 +1,81 @@
+#include "algebra/column.h"
+
+#include <algorithm>
+
+namespace orq {
+
+void ColumnSet::Normalize() {
+  std::sort(ids_.begin(), ids_.end());
+  ids_.erase(std::unique(ids_.begin(), ids_.end()), ids_.end());
+}
+
+bool ColumnSet::Contains(ColumnId id) const {
+  return std::binary_search(ids_.begin(), ids_.end(), id);
+}
+
+bool ColumnSet::ContainsAll(const ColumnSet& other) const {
+  return std::includes(ids_.begin(), ids_.end(), other.ids_.begin(),
+                       other.ids_.end());
+}
+
+bool ColumnSet::Intersects(const ColumnSet& other) const {
+  auto a = ids_.begin();
+  auto b = other.ids_.begin();
+  while (a != ids_.end() && b != other.ids_.end()) {
+    if (*a == *b) return true;
+    if (*a < *b) {
+      ++a;
+    } else {
+      ++b;
+    }
+  }
+  return false;
+}
+
+void ColumnSet::Add(ColumnId id) {
+  auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+  if (it == ids_.end() || *it != id) ids_.insert(it, id);
+}
+
+void ColumnSet::AddAll(const ColumnSet& other) {
+  for (ColumnId id : other.ids_) Add(id);
+}
+
+void ColumnSet::Remove(ColumnId id) {
+  auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+  if (it != ids_.end() && *it == id) ids_.erase(it);
+}
+
+ColumnSet ColumnSet::Union(const ColumnSet& other) const {
+  ColumnSet out = *this;
+  out.AddAll(other);
+  return out;
+}
+
+ColumnSet ColumnSet::Intersect(const ColumnSet& other) const {
+  ColumnSet out;
+  for (ColumnId id : ids_) {
+    if (other.Contains(id)) out.ids_.push_back(id);
+  }
+  return out;
+}
+
+ColumnSet ColumnSet::Minus(const ColumnSet& other) const {
+  ColumnSet out;
+  for (ColumnId id : ids_) {
+    if (!other.Contains(id)) out.ids_.push_back(id);
+  }
+  return out;
+}
+
+std::string ColumnSet::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < ids_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(ids_[i]);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace orq

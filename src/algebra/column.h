@@ -1,0 +1,89 @@
+#ifndef ORQ_ALGEBRA_COLUMN_H_
+#define ORQ_ALGEBRA_COLUMN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace orq {
+
+/// Globally unique identifier of a column instance. Every reference to a
+/// base table gets fresh ids for its columns, so two instances of the same
+/// table (e.g. the two lineitem instances of TPC-H Q17) never collide, and
+/// correlation is simply a reference to a column id produced elsewhere.
+using ColumnId = int32_t;
+
+/// Metadata for one column instance.
+struct ColumnDef {
+  ColumnId id = -1;
+  std::string name;
+  DataType type = DataType::kInt64;
+  bool nullable = true;
+};
+
+/// Allocates column ids and records their definitions for one compilation.
+/// Shared (via shared_ptr) by binder, normalizer, optimizer, and executor.
+class ColumnManager {
+ public:
+  ColumnId NewColumn(std::string name, DataType type, bool nullable) {
+    ColumnId id = static_cast<ColumnId>(defs_.size());
+    defs_.push_back(ColumnDef{id, std::move(name), type, nullable});
+    return id;
+  }
+  const ColumnDef& def(ColumnId id) const { return defs_[id]; }
+  DataType type(ColumnId id) const { return defs_[id].type; }
+  const std::string& name(ColumnId id) const { return defs_[id].name; }
+  size_t size() const { return defs_.size(); }
+
+ private:
+  std::vector<ColumnDef> defs_;
+};
+
+using ColumnManagerPtr = std::shared_ptr<ColumnManager>;
+
+/// An ordered set of column ids (kept sorted, deduplicated). Provides the
+/// set algebra the rewrite rules are stated in.
+class ColumnSet {
+ public:
+  ColumnSet() = default;
+  ColumnSet(std::initializer_list<ColumnId> ids) : ids_(ids) { Normalize(); }
+  explicit ColumnSet(std::vector<ColumnId> ids) : ids_(std::move(ids)) {
+    Normalize();
+  }
+
+  bool empty() const { return ids_.empty(); }
+  size_t size() const { return ids_.size(); }
+  bool Contains(ColumnId id) const;
+  bool ContainsAll(const ColumnSet& other) const;
+  bool Intersects(const ColumnSet& other) const;
+  bool IsSubsetOf(const ColumnSet& other) const {
+    return other.ContainsAll(*this);
+  }
+
+  void Add(ColumnId id);
+  void AddAll(const ColumnSet& other);
+  void Remove(ColumnId id);
+
+  ColumnSet Union(const ColumnSet& other) const;
+  ColumnSet Intersect(const ColumnSet& other) const;
+  ColumnSet Minus(const ColumnSet& other) const;
+
+  const std::vector<ColumnId>& ids() const { return ids_; }
+  auto begin() const { return ids_.begin(); }
+  auto end() const { return ids_.end(); }
+
+  bool operator==(const ColumnSet& other) const { return ids_ == other.ids_; }
+
+  std::string ToString() const;
+
+ private:
+  void Normalize();
+  std::vector<ColumnId> ids_;
+};
+
+}  // namespace orq
+
+#endif  // ORQ_ALGEBRA_COLUMN_H_

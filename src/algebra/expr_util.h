@@ -1,0 +1,66 @@
+#ifndef ORQ_ALGEBRA_EXPR_UTIL_H_
+#define ORQ_ALGEBRA_EXPR_UTIL_H_
+
+#include <map>
+#include <vector>
+
+#include "algebra/rel_expr.h"
+#include "algebra/scalar_expr.h"
+
+namespace orq {
+
+/// Adds all column ids referenced by `expr` to `out`. Does not descend into
+/// subquery relational trees (use CollectColumnRefsDeep for that).
+void CollectColumnRefs(const ScalarExprPtr& expr, ColumnSet* out);
+
+/// Like CollectColumnRefs but also collects the *free* variables of any
+/// embedded subquery relational trees.
+void CollectColumnRefsDeep(const ScalarExprPtr& expr, ColumnSet* out);
+
+/// Column ids referenced directly by the payload of one relational node
+/// (its predicate / project items / aggregate args / sort keys), not
+/// descending into relational children but descending into subquery rels'
+/// free variables.
+ColumnSet NodeScalarRefs(const RelExpr& node);
+
+/// Rewrites column references per `mapping` (ids absent from the map are
+/// kept). Returns a new tree; shares untouched subtrees.
+ScalarExprPtr RemapColumns(const ScalarExprPtr& expr,
+                           const std::map<ColumnId, ColumnId>& mapping);
+
+/// Replaces column references by arbitrary scalar expressions.
+ScalarExprPtr SubstituteColumns(
+    const ScalarExprPtr& expr,
+    const std::map<ColumnId, ScalarExprPtr>& mapping);
+
+/// Splits a predicate into its top-level conjuncts (flattening nested ANDs).
+std::vector<ScalarExprPtr> SplitConjuncts(const ScalarExprPtr& expr);
+
+bool IsTrueLiteral(const ScalarExprPtr& expr);
+bool IsFalseOrNullLiteral(const ScalarExprPtr& expr);
+
+/// Structural equality / hashing of scalar expressions (subquery rels are
+/// compared by pointer identity; normalized trees contain none).
+bool ScalarEquals(const ScalarExprPtr& a, const ScalarExprPtr& b);
+size_t ScalarHash(const ScalarExprPtr& expr);
+
+/// Deep-clones a relational tree, allocating fresh column ids for every
+/// column the tree *defines* and rewriting internal references accordingly.
+/// Free variables (outer references) are left untouched. `mapping`
+/// accumulates old-id -> new-id for the tree's defined columns; callers use
+/// it to translate predicates that referred to the original instance.
+RelExprPtr CloneRelTree(const RelExprPtr& expr, ColumnManager* mgr,
+                        std::map<ColumnId, ColumnId>* mapping);
+
+/// Rewrites all column ids in a relational tree per `mapping` — both defined
+/// columns and references. Used by SegmentApply construction.
+RelExprPtr RemapRelTree(const RelExprPtr& expr,
+                        const std::map<ColumnId, ColumnId>& mapping);
+
+/// Pretty-printing for debugging (full form in printer.h).
+std::string ScalarToString(const ScalarExprPtr& expr,
+                           const ColumnManager* mgr = nullptr);
+
+}  // namespace orq
+
+#endif  // ORQ_ALGEBRA_EXPR_UTIL_H_

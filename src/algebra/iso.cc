@@ -1,0 +1,148 @@
+#include "algebra/iso.h"
+
+#include "algebra/expr_util.h"
+#include "catalog/table.h"
+
+namespace orq {
+
+namespace {
+
+bool ScalarEqualUnderMap(const ScalarExprPtr& a, const ScalarExprPtr& b,
+                         const std::map<ColumnId, ColumnId>& mapping) {
+  if (a == nullptr || b == nullptr) return a == b;
+  return ScalarEquals(RemapColumns(a, mapping), b);
+}
+
+bool SetEqualUnderMap(const ColumnSet& a, const ColumnSet& b,
+                      const std::map<ColumnId, ColumnId>& mapping) {
+  if (a.size() != b.size()) return false;
+  ColumnSet mapped;
+  for (ColumnId id : a) {
+    auto it = mapping.find(id);
+    mapped.Add(it == mapping.end() ? id : it->second);
+  }
+  return mapped == b;
+}
+
+bool Iso(const RelExprPtr& a, const RelExprPtr& b,
+         std::map<ColumnId, ColumnId>* mapping) {
+  if (a->kind != b->kind) return false;
+  if (a->children.size() != b->children.size()) return false;
+  for (size_t i = 0; i < a->children.size(); ++i) {
+    if (!Iso(a->children[i], b->children[i], mapping)) return false;
+  }
+  switch (a->kind) {
+    case RelKind::kGet: {
+      if (a->table != b->table) return false;
+      // `b` may carry extra columns (column pruning narrows the two
+      // instances differently); every column of `a` must be present.
+      for (size_t i = 0; i < a->get_ordinals.size(); ++i) {
+        bool found = false;
+        for (size_t k = 0; k < b->get_ordinals.size(); ++k) {
+          if (b->get_ordinals[k] == a->get_ordinals[i]) {
+            (*mapping)[a->get_cols[i]] = b->get_cols[k];
+            found = true;
+            break;
+          }
+        }
+        if (!found) return false;
+      }
+      return true;
+    }
+    case RelKind::kSelect:
+      return ScalarEqualUnderMap(a->predicate, b->predicate, *mapping);
+    case RelKind::kJoin:
+      return a->join_kind == b->join_kind &&
+             ScalarEqualUnderMap(a->predicate, b->predicate, *mapping);
+    case RelKind::kApply:
+      return a->apply_kind == b->apply_kind;
+    case RelKind::kProject: {
+      if (a->proj_items.size() != b->proj_items.size()) return false;
+      if (!SetEqualUnderMap(a->passthrough, b->passthrough, *mapping)) {
+        return false;
+      }
+      for (size_t i = 0; i < a->proj_items.size(); ++i) {
+        if (!ScalarEqualUnderMap(a->proj_items[i].expr,
+                                 b->proj_items[i].expr, *mapping)) {
+          return false;
+        }
+        (*mapping)[a->proj_items[i].output] = b->proj_items[i].output;
+      }
+      return true;
+    }
+    case RelKind::kGroupBy:
+    case RelKind::kLocalGroupBy: {
+      if (a->scalar_agg != b->scalar_agg) return false;
+      if (a->aggs.size() != b->aggs.size()) return false;
+      if (!SetEqualUnderMap(a->group_cols, b->group_cols, *mapping)) {
+        return false;
+      }
+      for (size_t i = 0; i < a->aggs.size(); ++i) {
+        const AggItem& x = a->aggs[i];
+        const AggItem& y = b->aggs[i];
+        if (x.func != y.func || x.distinct != y.distinct) return false;
+        if (!ScalarEqualUnderMap(x.arg, y.arg, *mapping)) return false;
+        (*mapping)[x.output] = y.output;
+      }
+      return true;
+    }
+    case RelKind::kSort: {
+      if (a->limit != b->limit) return false;
+      if (a->sort_keys.size() != b->sort_keys.size()) return false;
+      for (size_t i = 0; i < a->sort_keys.size(); ++i) {
+        if (a->sort_keys[i].ascending != b->sort_keys[i].ascending) {
+          return false;
+        }
+        if (!ScalarEqualUnderMap(a->sort_keys[i].expr, b->sort_keys[i].expr,
+                                 *mapping)) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case RelKind::kMax1row:
+    case RelKind::kSingleRow:
+      return true;
+    case RelKind::kUnionAll:
+    case RelKind::kExceptAll: {
+      if (a->out_cols.size() != b->out_cols.size()) return false;
+      // Input maps must correspond child-by-child under the mapping.
+      for (size_t c = 0; c < a->input_maps.size(); ++c) {
+        for (size_t i = 0; i < a->input_maps[c].size(); ++i) {
+          ColumnId ai = a->input_maps[c][i];
+          auto it = mapping->find(ai);
+          ColumnId mapped = it == mapping->end() ? ai : it->second;
+          if (mapped != b->input_maps[c][i]) return false;
+        }
+      }
+      for (size_t i = 0; i < a->out_cols.size(); ++i) {
+        (*mapping)[a->out_cols[i]] = b->out_cols[i];
+      }
+      return true;
+    }
+    case RelKind::kSegmentApply:
+      return SetEqualUnderMap(a->segment_cols, b->segment_cols, *mapping);
+    case RelKind::kSegmentRef: {
+      if (a->segment_out_cols.size() != b->segment_out_cols.size()) {
+        return false;
+      }
+      for (size_t i = 0; i < a->segment_out_cols.size(); ++i) {
+        (*mapping)[a->segment_out_cols[i]] = b->segment_out_cols[i];
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool RelTreesIsomorphic(const RelExprPtr& a, const RelExprPtr& b,
+                        std::map<ColumnId, ColumnId>* mapping) {
+  std::map<ColumnId, ColumnId> local;
+  if (!Iso(a, b, &local)) return false;
+  mapping->insert(local.begin(), local.end());
+  return true;
+}
+
+}  // namespace orq

@@ -1,0 +1,24 @@
+#ifndef ORQ_ALGEBRA_ISO_H_
+#define ORQ_ALGEBRA_ISO_H_
+
+#include <map>
+
+#include "algebra/rel_expr.h"
+
+namespace orq {
+
+/// Structural isomorphism of two relational trees modulo column identity:
+/// returns true when `a` and `b` are the same operator tree over the same
+/// base tables with matching payloads once `a`'s defined columns are renamed
+/// to `b`'s. On success `mapping` holds that renaming (a-id -> b-id).
+///
+/// This is the detector behind SegmentApply introduction (paper section
+/// 3.4.1): "two instances of an expression connected by a join". Children
+/// are compared positionally; commutative variants are expected to be
+/// matched through the optimizer's exploration, not here.
+bool RelTreesIsomorphic(const RelExprPtr& a, const RelExprPtr& b,
+                        std::map<ColumnId, ColumnId>* mapping);
+
+}  // namespace orq
+
+#endif  // ORQ_ALGEBRA_ISO_H_

@@ -1,0 +1,138 @@
+#include "algebra/printer.h"
+
+#include "algebra/expr_util.h"
+#include "catalog/table.h"
+
+namespace orq {
+
+namespace {
+
+std::string ColName(ColumnId id, const ColumnManager* mgr) {
+  if (mgr != nullptr) return mgr->name(id) + "#" + std::to_string(id);
+  return "#" + std::to_string(id);
+}
+
+std::string ColList(const std::vector<ColumnId>& ids,
+                    const ColumnManager* mgr) {
+  std::string out = "[";
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += ColName(ids[i], mgr);
+  }
+  return out + "]";
+}
+
+std::string ColSet(const ColumnSet& set, const ColumnManager* mgr) {
+  return ColList(set.ids(), mgr);
+}
+
+std::string AggList(const std::vector<AggItem>& aggs,
+                    const ColumnManager* mgr) {
+  std::string out = "[";
+  for (size_t i = 0; i < aggs.size(); ++i) {
+    const AggItem& a = aggs[i];
+    if (i > 0) out += ", ";
+    out += ColName(a.output, mgr) + "=" + AggFuncName(a.func);
+    if (a.func != AggFunc::kCountStar) {
+      out += "(";
+      if (a.distinct) out += "distinct ";
+      out += ScalarToString(a.arg, mgr) + ")";
+    }
+  }
+  return out + "]";
+}
+
+void PrintRec(const RelExpr& expr, const ColumnManager* mgr, int indent,
+              std::string* out) {
+  out->append(indent * 2, ' ');
+  out->append(PrintRelNode(expr, mgr));
+  out->push_back('\n');
+  for (const auto& child : expr.children) {
+    PrintRec(*child, mgr, indent + 1, out);
+  }
+  // Subquery rels embedded in scalar payloads (pre-Apply form).
+  auto print_subqueries = [&](const ScalarExprPtr& e, auto&& self) -> void {
+    if (e == nullptr) return;
+    if (e->rel != nullptr) {
+      out->append((indent + 1) * 2, ' ');
+      out->append("(subquery)\n");
+      PrintRec(*e->rel, mgr, indent + 2, out);
+    }
+    for (const auto& child : e->children) self(child, self);
+  };
+  print_subqueries(expr.predicate, print_subqueries);
+  for (const ProjectItem& item : expr.proj_items) {
+    print_subqueries(item.expr, print_subqueries);
+  }
+}
+
+}  // namespace
+
+std::string PrintRelNode(const RelExpr& expr, const ColumnManager* mgr) {
+  switch (expr.kind) {
+    case RelKind::kGet:
+      return "Get " + expr.table->name() + " " +
+             ColList(expr.get_cols, mgr);
+    case RelKind::kSelect:
+      return "Select " + ScalarToString(expr.predicate, mgr);
+    case RelKind::kProject: {
+      std::string out = "Project pass=" + ColSet(expr.passthrough, mgr);
+      if (!expr.proj_items.empty()) {
+        out += " compute=[";
+        for (size_t i = 0; i < expr.proj_items.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += ColName(expr.proj_items[i].output, mgr) + "=" +
+                 ScalarToString(expr.proj_items[i].expr, mgr);
+        }
+        out += "]";
+      }
+      return out;
+    }
+    case RelKind::kJoin:
+      return JoinKindName(expr.join_kind) + " " +
+             ScalarToString(expr.predicate, mgr);
+    case RelKind::kApply:
+      return ApplyKindName(expr.apply_kind);
+    case RelKind::kGroupBy:
+      if (expr.scalar_agg) {
+        return "ScalarGroupBy " + AggList(expr.aggs, mgr);
+      }
+      return "GroupBy " + ColSet(expr.group_cols, mgr) + " " +
+             AggList(expr.aggs, mgr);
+    case RelKind::kLocalGroupBy:
+      return "LocalGroupBy " + ColSet(expr.group_cols, mgr) + " " +
+             AggList(expr.aggs, mgr);
+    case RelKind::kSegmentApply:
+      return "SegmentApply " + ColSet(expr.segment_cols, mgr);
+    case RelKind::kSegmentRef:
+      return "SegmentRef " + ColList(expr.segment_out_cols, mgr);
+    case RelKind::kMax1row:
+      return "Max1row";
+    case RelKind::kUnionAll:
+      return "UnionAll " + ColList(expr.out_cols, mgr);
+    case RelKind::kExceptAll:
+      return "ExceptAll " + ColList(expr.out_cols, mgr);
+    case RelKind::kSort: {
+      std::string out = "Sort [";
+      for (size_t i = 0; i < expr.sort_keys.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += ScalarToString(expr.sort_keys[i].expr, mgr);
+        out += expr.sort_keys[i].ascending ? " asc" : " desc";
+      }
+      out += "]";
+      if (expr.limit >= 0) out += " limit=" + std::to_string(expr.limit);
+      return out;
+    }
+    case RelKind::kSingleRow:
+      return "SingleRow";
+  }
+  return "?";
+}
+
+std::string PrintRelTree(const RelExpr& expr, const ColumnManager* mgr) {
+  std::string out;
+  PrintRec(expr, mgr, 0, &out);
+  return out;
+}
+
+}  // namespace orq

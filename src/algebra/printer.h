@@ -1,0 +1,24 @@
+#ifndef ORQ_ALGEBRA_PRINTER_H_
+#define ORQ_ALGEBRA_PRINTER_H_
+
+#include <string>
+
+#include "algebra/rel_expr.h"
+
+namespace orq {
+
+/// Renders a logical operator tree as an indented multi-line string, e.g.
+///   Select ((1000000 < X#12))
+///     Apply(cross)
+///       Get customer [...]
+///       ScalarGroupBy [X#12=sum(o_totalprice#7)]
+///         Select ((o_custkey#5 = c_custkey#0))
+///           Get orders [...]
+std::string PrintRelTree(const RelExpr& expr, const ColumnManager* mgr);
+
+/// One-line summary of a node (no children).
+std::string PrintRelNode(const RelExpr& expr, const ColumnManager* mgr);
+
+}  // namespace orq
+
+#endif  // ORQ_ALGEBRA_PRINTER_H_

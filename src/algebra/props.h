@@ -1,0 +1,47 @@
+#ifndef ORQ_ALGEBRA_PROPS_H_
+#define ORQ_ALGEBRA_PROPS_H_
+
+#include <vector>
+
+#include "algebra/rel_expr.h"
+
+namespace orq {
+
+/// Free variables (outer references / parameters) of a relational tree:
+/// columns referenced by scalar payloads that are not produced by any child.
+/// An expression is "correlated" exactly when this set is non-empty
+/// relative to its context (paper section 1.3).
+ColumnSet FreeVariables(const RelExpr& expr);
+
+/// Candidate keys derivable for the operator's output. Possibly empty; each
+/// entry is a column set whose values are unique in the output bag.
+std::vector<ColumnSet> DeriveKeys(const RelExpr& expr);
+
+/// True when some derived key is a subset of `cols`.
+bool HasKeyWithin(const RelExpr& expr, const ColumnSet& cols);
+
+/// Output columns guaranteed non-NULL.
+ColumnSet NotNullColumns(const RelExpr& expr);
+
+/// True when the expression is statically known to produce at most one row
+/// per invocation (scalar GroupBy, Max1row, key-covering selections...).
+/// Used for Max1row elimination (paper section 2.4).
+bool MaxOneRow(const RelExpr& expr);
+
+/// True when `pred` cannot evaluate to TRUE on a tuple whose columns in
+/// `null_cols` are all NULL (i.e. the predicate is null-rejecting on that
+/// set). Drives outerjoin simplification [7].
+bool PredicateNotTrueOnNull(const ScalarExprPtr& pred,
+                            const ColumnSet& null_cols);
+
+/// True when `expr`'s value is guaranteed NULL whenever all columns of
+/// `null_cols` it references are NULL (strictness).
+bool ExprNullOnNull(const ScalarExprPtr& expr, const ColumnSet& null_cols);
+
+/// Columns c of `pred`'s references such that `pred` being TRUE implies c is
+/// not NULL (per-column strictness). Feeds NotNullColumns through Select.
+ColumnSet NullRejectedColumns(const ScalarExprPtr& pred);
+
+}  // namespace orq
+
+#endif  // ORQ_ALGEBRA_PROPS_H_

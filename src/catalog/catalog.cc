@@ -1,0 +1,41 @@
+#include "catalog/catalog.h"
+
+#include "common/str_util.h"
+
+namespace orq {
+
+Result<Table*> Catalog::CreateTable(const std::string& name,
+                                    std::vector<ColumnSpec> columns) {
+  std::string key = ToLower(name);
+  if (tables_.count(key) > 0) {
+    return Status::InvalidArgument("table already exists: " + name);
+  }
+  auto table = std::make_unique<Table>(name, std::move(columns));
+  Table* ptr = table.get();
+  tables_[key] = std::move(table);
+  return ptr;
+}
+
+Table* Catalog::FindTable(const std::string& name) const {
+  auto it = tables_.find(ToLower(name));
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const TableStats& Catalog::GetStats(const Table& table) {
+  auto it = stats_.find(&table);
+  if (it == stats_.end()) {
+    it = stats_.emplace(&table, ComputeStats(table)).first;
+  }
+  return it->second;
+}
+
+void Catalog::InvalidateStats() { stats_.clear(); }
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [key, table] : tables_) names.push_back(table->name());
+  return names;
+}
+
+}  // namespace orq

@@ -1,0 +1,43 @@
+#ifndef ORQ_CATALOG_CATALOG_H_
+#define ORQ_CATALOG_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/stats.h"
+#include "catalog/table.h"
+#include "common/result.h"
+
+namespace orq {
+
+/// The database catalog: named tables plus cached statistics.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Creates an empty table; fails if the name exists.
+  Result<Table*> CreateTable(const std::string& name,
+                             std::vector<ColumnSpec> columns);
+
+  /// Case-insensitive lookup; nullptr when absent.
+  Table* FindTable(const std::string& name) const;
+
+  /// Statistics for a table, computed lazily and cached. Call
+  /// InvalidateStats after bulk loads.
+  const TableStats& GetStats(const Table& table);
+  void InvalidateStats();
+
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Table>> tables_;  // lower-case keys
+  std::map<const Table*, TableStats> stats_;
+};
+
+}  // namespace orq
+
+#endif  // ORQ_CATALOG_CATALOG_H_

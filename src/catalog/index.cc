@@ -1,0 +1,26 @@
+#include "catalog/index.h"
+
+#include "catalog/table.h"
+
+namespace orq {
+
+TableIndex::TableIndex(const Table& table, std::vector<int> ordinals)
+    : ordinals_(std::move(ordinals)) {
+  const std::vector<Row>& rows = table.rows();
+  map_.reserve(rows.size());
+  Row key(ordinals_.size());
+  for (size_t pos = 0; pos < rows.size(); ++pos) {
+    for (size_t i = 0; i < ordinals_.size(); ++i) {
+      key[i] = rows[pos][ordinals_[i]];
+    }
+    map_[key].push_back(pos);
+  }
+}
+
+const std::vector<size_t>* TableIndex::Lookup(const Row& key) const {
+  auto it = map_.find(key);
+  if (it == map_.end()) return nullptr;
+  return &it->second;
+}
+
+}  // namespace orq

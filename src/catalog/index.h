@@ -1,0 +1,36 @@
+#ifndef ORQ_CATALOG_INDEX_H_
+#define ORQ_CATALOG_INDEX_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/value.h"
+
+namespace orq {
+
+class Table;
+
+/// An equality hash index over one or more columns of a base table. Maps a
+/// key tuple to the list of matching row positions. NULL keys are indexed
+/// but equality probes with NULL never match (SQL semantics), which probe
+/// callers enforce by checking for NULLs before probing.
+class TableIndex {
+ public:
+  TableIndex(const Table& table, std::vector<int> ordinals);
+
+  const std::vector<int>& ordinals() const { return ordinals_; }
+
+  /// Row positions whose key equals `key` (positional, same order as
+  /// ordinals()).
+  const std::vector<size_t>* Lookup(const Row& key) const;
+
+  size_t num_entries() const { return map_.size(); }
+
+ private:
+  std::vector<int> ordinals_;
+  std::unordered_map<Row, std::vector<size_t>, RowHash, RowGroupEq> map_;
+};
+
+}  // namespace orq
+
+#endif  // ORQ_CATALOG_INDEX_H_

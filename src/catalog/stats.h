@@ -1,0 +1,32 @@
+#ifndef ORQ_CATALOG_STATS_H_
+#define ORQ_CATALOG_STATS_H_
+
+#include <vector>
+
+#include "common/value.h"
+
+namespace orq {
+
+class Table;
+
+/// Per-column statistics used by the cost model's cardinality estimation.
+struct ColumnStats {
+  double distinct_count = 1.0;
+  double null_fraction = 0.0;
+  Value min_value;  // NULL when the column is empty/all-NULL
+  Value max_value;
+};
+
+/// Table-level statistics: row count plus per-column stats.
+struct TableStats {
+  double row_count = 0.0;
+  std::vector<ColumnStats> columns;
+};
+
+/// Computes exact statistics by scanning the table (our tables are small;
+/// a production system would sample or maintain histograms).
+TableStats ComputeStats(const Table& table);
+
+}  // namespace orq
+
+#endif  // ORQ_CATALOG_STATS_H_

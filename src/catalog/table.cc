@@ -1,0 +1,41 @@
+#include "catalog/table.h"
+
+#include <algorithm>
+
+#include "catalog/index.h"
+#include "common/str_util.h"
+
+namespace orq {
+
+int Table::ColumnOrdinal(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (EqualsIgnoreCase(columns_[i].name, name)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status Table::Append(Row row) {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument("row arity " + std::to_string(row.size()) +
+                                   " does not match table " + name_);
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+void Table::BuildIndex(std::vector<int> ordinals) {
+  indexes_.push_back(std::make_unique<TableIndex>(*this, std::move(ordinals)));
+}
+
+const TableIndex* Table::FindIndex(const std::vector<int>& ordinals) const {
+  std::vector<int> want = ordinals;
+  std::sort(want.begin(), want.end());
+  for (const auto& idx : indexes_) {
+    std::vector<int> have = idx->ordinals();
+    std::sort(have.begin(), have.end());
+    if (have == want) return idx.get();
+  }
+  return nullptr;
+}
+
+}  // namespace orq

@@ -1,0 +1,55 @@
+#ifndef ORQ_COMMON_RESULT_H_
+#define ORQ_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace orq {
+
+/// A value-or-error type: either holds a T or a non-OK Status.
+/// Mirrors absl::StatusOr / arrow::Result in spirit.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the common success path).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error Status.
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & { return *value_; }
+  const T& value() const& { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  T& operator*() & { return *value_; }
+  const T& operator*() const& { return *value_; }
+  T* operator->() { return &*value_; }
+  const T* operator->() const { return &*value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace orq
+
+/// Evaluates `rexpr` (a Result<T>), propagating errors; on success binds the
+/// value to `lhs`. `lhs` may include a declaration, e.g.
+///   ORQ_ASSIGN_OR_RETURN(auto plan, Optimize(tree));
+#define ORQ_ASSIGN_OR_RETURN(lhs, rexpr)                       \
+  ORQ_ASSIGN_OR_RETURN_IMPL_(                                  \
+      ORQ_CONCAT_(_orq_result, __LINE__), lhs, rexpr)
+
+#define ORQ_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#define ORQ_CONCAT_(a, b) ORQ_CONCAT_IMPL_(a, b)
+#define ORQ_CONCAT_IMPL_(a, b) a##b
+
+#endif  // ORQ_COMMON_RESULT_H_

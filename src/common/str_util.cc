@@ -1,0 +1,64 @@
+#include "common/str_util.h"
+
+#include <cctype>
+
+namespace orq {
+
+bool EqualsIgnoreCase(const std::string& a, const std::string& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string ToLower(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) c = std::tolower(static_cast<unsigned char>(c));
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+namespace {
+
+// Recursive matcher; pattern wildcards: '%' any run, '_' single char.
+bool LikeMatchAt(const std::string& text, size_t ti,
+                 const std::string& pattern, size_t pi) {
+  while (pi < pattern.size()) {
+    char pc = pattern[pi];
+    if (pc == '%') {
+      // Collapse consecutive '%'.
+      while (pi < pattern.size() && pattern[pi] == '%') ++pi;
+      if (pi == pattern.size()) return true;
+      for (size_t k = ti; k <= text.size(); ++k) {
+        if (LikeMatchAt(text, k, pattern, pi)) return true;
+      }
+      return false;
+    }
+    if (ti >= text.size()) return false;
+    if (pc != '_' && pc != text[ti]) return false;
+    ++ti;
+    ++pi;
+  }
+  return ti == text.size();
+}
+
+}  // namespace
+
+bool LikeMatch(const std::string& text, const std::string& pattern) {
+  return LikeMatchAt(text, 0, pattern, 0);
+}
+
+}  // namespace orq

@@ -1,0 +1,24 @@
+#ifndef ORQ_COMMON_STR_UTIL_H_
+#define ORQ_COMMON_STR_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace orq {
+
+/// Case-insensitive ASCII string equality (SQL keywords, identifiers).
+bool EqualsIgnoreCase(const std::string& a, const std::string& b);
+
+/// Lower-cases ASCII characters.
+std::string ToLower(const std::string& s);
+
+/// Joins strings with a separator.
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// SQL LIKE matching with '%' and '_' wildcards (case-sensitive, as SQL).
+bool LikeMatch(const std::string& text, const std::string& pattern);
+
+}  // namespace orq
+
+#endif  // ORQ_COMMON_STR_UTIL_H_

@@ -1,0 +1,153 @@
+#ifndef ORQ_COMMON_VALUE_H_
+#define ORQ_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace orq {
+
+/// Scalar column types supported by the engine. Dates are stored as days
+/// since 1970-01-01 (int32) — sufficient for TPC-H date arithmetic.
+enum class DataType : uint8_t {
+  kBool,
+  kInt64,
+  kDouble,
+  kString,
+  kDate,
+};
+
+std::string DataTypeName(DataType type);
+
+/// Returns true if the type participates in numeric arithmetic/promotion.
+inline bool IsNumeric(DataType type) {
+  return type == DataType::kInt64 || type == DataType::kDouble;
+}
+
+/// A nullable SQL scalar value: a type tag, a null flag, and storage.
+///
+/// Comparison helpers come in two flavors:
+///   * SqlCompare — SQL semantics: NULL compared to anything is "unknown"
+///     (represented as std::nullopt).
+///   * TotalCompare — a total order used for sorting and grouping, where
+///     NULL sorts first and two NULLs are equal (GROUP BY / DISTINCT
+///     semantics).
+class Value {
+ public:
+  /// A NULL of the given type.
+  static Value Null(DataType type = DataType::kInt64) {
+    Value v;
+    v.type_ = type;
+    v.null_ = true;
+    return v;
+  }
+  static Value Bool(bool b) {
+    Value v;
+    v.type_ = DataType::kBool;
+    v.null_ = false;
+    v.int_ = b ? 1 : 0;
+    return v;
+  }
+  static Value Int64(int64_t i) {
+    Value v;
+    v.type_ = DataType::kInt64;
+    v.null_ = false;
+    v.int_ = i;
+    return v;
+  }
+  static Value Double(double d) {
+    Value v;
+    v.type_ = DataType::kDouble;
+    v.null_ = false;
+    v.double_ = d;
+    return v;
+  }
+  static Value String(std::string s) {
+    Value v;
+    v.type_ = DataType::kString;
+    v.null_ = false;
+    v.string_ = std::move(s);
+    return v;
+  }
+  /// A date from days since the 1970-01-01 epoch.
+  static Value Date(int32_t days) {
+    Value v;
+    v.type_ = DataType::kDate;
+    v.null_ = false;
+    v.int_ = days;
+    return v;
+  }
+
+  Value() : type_(DataType::kInt64), null_(true) {}
+
+  DataType type() const { return type_; }
+  bool is_null() const { return null_; }
+
+  bool bool_value() const { return int_ != 0; }
+  int64_t int64_value() const { return int_; }
+  double double_value() const { return double_; }
+  const std::string& string_value() const { return string_; }
+  int32_t date_value() const { return static_cast<int32_t>(int_); }
+
+  /// Numeric value as double (int64 promoted); callers must check type.
+  double AsDouble() const {
+    return type_ == DataType::kDouble ? double_ : static_cast<double>(int_);
+  }
+
+  /// SQL comparison: nullopt when either side is NULL, otherwise <0/0/>0.
+  /// Numeric types compare after promotion; other types must match.
+  std::optional<int> SqlCompare(const Value& other) const;
+
+  /// Total order for sort/group: NULL < everything, NULL == NULL.
+  int TotalCompare(const Value& other) const;
+
+  /// Equality under grouping semantics (NULLs equal). Used by hash tables.
+  bool GroupEquals(const Value& other) const {
+    return TotalCompare(other) == 0;
+  }
+
+  /// Hash consistent with GroupEquals.
+  size_t Hash() const;
+
+  std::string ToString() const;
+
+ private:
+  DataType type_;
+  bool null_;
+  int64_t int_ = 0;       // kBool/kInt64/kDate payload
+  double double_ = 0.0;   // kDouble payload
+  std::string string_;    // kString payload
+};
+
+/// Rows are flat vectors of values; operators address them positionally.
+using Row = std::vector<Value>;
+
+/// Hash/equality functors for Row keys under grouping semantics.
+struct RowHash {
+  size_t operator()(const Row& row) const {
+    size_t h = 0x9e3779b97f4a7c15ull;
+    for (const Value& v : row) h = h * 1099511628211ull + v.Hash();
+    return h;
+  }
+};
+struct RowGroupEq {
+  bool operator()(const Row& a, const Row& b) const {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (!a[i].GroupEquals(b[i])) return false;
+    }
+    return true;
+  }
+};
+
+/// Parses "YYYY-MM-DD" into days since epoch; nullopt on malformed input.
+std::optional<int32_t> ParseDate(const std::string& text);
+/// Formats days since epoch as "YYYY-MM-DD".
+std::string FormatDate(int32_t days);
+
+std::string RowToString(const Row& row);
+
+}  // namespace orq
+
+#endif  // ORQ_COMMON_VALUE_H_

@@ -1,0 +1,135 @@
+#include "engine/engine.h"
+
+#include "algebra/printer.h"
+#include "exec/exec.h"
+#include "normalize/subquery_class.h"
+#include "sql/apply_intro.h"
+#include "sql/binder.h"
+#include "sql/parser.h"
+
+namespace orq {
+
+EngineOptions EngineOptions::Full() { return EngineOptions(); }
+
+EngineOptions EngineOptions::CorrelatedOnly() {
+  EngineOptions options;
+  options.normalizer.remove_correlations = false;
+  options.normalizer.simplify_outerjoins = false;
+  options.optimizer.enable = false;
+  return options;
+}
+
+EngineOptions EngineOptions::NoGroupByOptimizations() {
+  EngineOptions options;
+  options.optimizer.reorder_groupby = false;
+  options.optimizer.reorder_groupby_outerjoin = false;
+  options.optimizer.local_aggregates = false;
+  options.optimizer.segment_apply = false;
+  return options;
+}
+
+EngineOptions EngineOptions::NoSegmentApply() {
+  EngineOptions options;
+  options.optimizer.segment_apply = false;
+  return options;
+}
+
+Result<QueryEngine::Compiled> QueryEngine::Compile(const std::string& sql) {
+  Compiled compiled;
+  compiled.columns = std::make_shared<ColumnManager>();
+
+  ORQ_ASSIGN_OR_RETURN(SelectStmtPtr ast, ParseSql(sql));
+  Binder binder(catalog_, compiled.columns);
+  ORQ_ASSIGN_OR_RETURN(BoundQuery bound, binder.Bind(*ast));
+  compiled.bound = bound.root;
+  compiled.output_cols = bound.output_cols;
+  compiled.output_names = bound.output_names;
+
+  ORQ_ASSIGN_OR_RETURN(
+      compiled.applied,
+      IntroduceApplies(compiled.bound, compiled.columns.get()));
+  ORQ_ASSIGN_OR_RETURN(
+      compiled.normalized,
+      Normalize(compiled.applied, compiled.columns.get(),
+                options_.normalizer));
+  ORQ_ASSIGN_OR_RETURN(
+      compiled.optimized,
+      OptimizeTree(compiled.normalized, catalog_, compiled.columns.get(),
+                   options_.optimizer));
+  return compiled;
+}
+
+Result<QueryResult> QueryEngine::ExecuteCompiled(const Compiled& compiled) {
+  ORQ_ASSIGN_OR_RETURN(
+      PhysicalOpPtr plan,
+      BuildPhysicalPlan(compiled.optimized, *compiled.columns,
+                        options_.physical));
+  ExecContext ctx;
+  ORQ_ASSIGN_OR_RETURN(std::vector<Row> raw, ExecuteToVector(plan.get(), &ctx));
+  // Select the query's output columns (plans may carry extra columns).
+  const std::vector<ColumnId>& layout = plan->layout();
+  std::vector<int> slots;
+  for (ColumnId id : compiled.output_cols) {
+    int slot = -1;
+    for (size_t i = 0; i < layout.size(); ++i) {
+      if (layout[i] == id) {
+        slot = static_cast<int>(i);
+        break;
+      }
+    }
+    if (slot < 0) {
+      return Status::Internal("output column lost during optimization: #" +
+                              std::to_string(id));
+    }
+    slots.push_back(slot);
+  }
+  QueryResult result;
+  result.column_names = compiled.output_names;
+  result.rows_produced = ctx.rows_produced;
+  result.rows.reserve(raw.size());
+  for (Row& row : raw) {
+    Row out;
+    out.reserve(slots.size());
+    for (int slot : slots) out.push_back(std::move(row[slot]));
+    result.rows.push_back(std::move(out));
+  }
+  return result;
+}
+
+Result<QueryResult> QueryEngine::Execute(const std::string& sql) {
+  ORQ_ASSIGN_OR_RETURN(Compiled compiled, Compile(sql));
+  return ExecuteCompiled(compiled);
+}
+
+Result<std::string> QueryEngine::Explain(const std::string& sql) {
+  ORQ_ASSIGN_OR_RETURN(Compiled compiled, Compile(sql));
+  std::string out;
+  const ColumnManager* columns = compiled.columns.get();
+  out += "== Bound (mutual recursion, section 2.1) ==\n";
+  out += PrintRelTree(*compiled.bound, columns);
+  out += "\n== After Apply introduction (section 2.2) ==\n";
+  out += PrintRelTree(*compiled.applied, columns);
+  // Subquery classification (section 2.5) on the Apply form.
+  std::vector<ClassifiedApply> classes =
+      ClassifySubqueries(compiled.applied);
+  if (!classes.empty()) {
+    out += "\n== Subquery classes (section 2.5) ==\n";
+    for (const ClassifiedApply& entry : classes) {
+      out += "  " + ApplyKindName(entry.apply->apply_kind) + ": " +
+             SubqueryClassName(entry.cls) + "\n";
+    }
+  }
+  out += "\n== Normalized (correlations removed, section 2.3) ==\n";
+  out += PrintRelTree(*compiled.normalized, columns);
+  out += "\n== Optimized (cost-based, section 3) ==\n";
+  out += PrintRelTree(*compiled.optimized, columns);
+  ORQ_ASSIGN_OR_RETURN(
+      PhysicalOpPtr plan,
+      BuildPhysicalPlan(compiled.optimized, *compiled.columns,
+                        options_.physical));
+  out += "\n== Physical plan ==\n";
+  out += PrintPhysicalPlan(*plan, columns);
+  return out;
+}
+
+}  // namespace orq

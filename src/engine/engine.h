@@ -1,0 +1,81 @@
+#ifndef ORQ_ENGINE_ENGINE_H_
+#define ORQ_ENGINE_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "normalize/normalizer.h"
+#include "opt/optimizer.h"
+#include "opt/physical.h"
+
+namespace orq {
+
+/// A complete query result: column names plus rows.
+struct QueryResult {
+  std::vector<std::string> column_names;
+  std::vector<Row> rows;
+  /// Total rows produced by all operators while executing (a deterministic
+  /// work measure used to compare strategies).
+  int64_t rows_produced = 0;
+};
+
+/// End-to-end engine configuration. Defaults enable the paper's full
+/// technique set; benchmarks flip individual switches for ablation.
+struct EngineOptions {
+  NormalizerOptions normalizer;
+  OptimizerOptions optimizer;
+  PhysicalBuildOptions physical;
+
+  /// Named configurations used across benchmarks/EXPERIMENTS.md.
+  static EngineOptions Full();
+  /// No decorrelation, no cost-based optimization: the "correlated
+  /// execution" strategy of section 1.1 (still uses indexes).
+  static EngineOptions CorrelatedOnly();
+  /// Decorrelation but none of the section-3 GroupBy techniques.
+  static EngineOptions NoGroupByOptimizations();
+  /// Everything except SegmentApply.
+  static EngineOptions NoSegmentApply();
+};
+
+/// The public entry point: parse -> bind -> Apply introduction ->
+/// normalization -> cost-based optimization -> execution (paper section 4).
+class QueryEngine {
+ public:
+  explicit QueryEngine(Catalog* catalog,
+                       EngineOptions options = EngineOptions::Full())
+      : catalog_(catalog), options_(std::move(options)) {}
+
+  const EngineOptions& options() const { return options_; }
+  void set_options(EngineOptions options) { options_ = std::move(options); }
+
+  /// Parses, optimizes and runs `sql`.
+  Result<QueryResult> Execute(const std::string& sql);
+
+  /// Compilation artifacts for inspection (examples, tests, EXPLAIN).
+  struct Compiled {
+    ColumnManagerPtr columns;
+    RelExprPtr bound;        // after binding (subqueries still embedded)
+    RelExprPtr applied;      // after Apply introduction
+    RelExprPtr normalized;   // after correlation removal etc.
+    RelExprPtr optimized;    // after cost-based optimization
+    std::vector<ColumnId> output_cols;
+    std::vector<std::string> output_names;
+  };
+  Result<Compiled> Compile(const std::string& sql);
+
+  /// Multi-phase EXPLAIN text (logical trees per phase + physical plan).
+  Result<std::string> Explain(const std::string& sql);
+
+  /// Runs an already compiled query.
+  Result<QueryResult> ExecuteCompiled(const Compiled& compiled);
+
+ private:
+  Catalog* catalog_;
+  EngineOptions options_;
+};
+
+}  // namespace orq
+
+#endif  // ORQ_ENGINE_ENGINE_H_

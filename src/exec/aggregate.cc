@@ -1,0 +1,199 @@
+#include <unordered_map>
+#include <unordered_set>
+
+#include "exec/evaluator.h"
+#include "exec/ops.h"
+
+namespace orq {
+
+namespace {
+
+/// One accumulator per (group, aggregate).
+struct Accumulator {
+  int64_t count = 0;          // rows seen (count(*), Max1Row guard)
+  int64_t non_null = 0;       // non-NULL inputs (count(x))
+  double sum_double = 0.0;
+  int64_t sum_int = 0;
+  bool sum_is_double = false;
+  Value extreme;              // min/max/Max1Row value
+  bool has_value = false;
+  std::unordered_set<Row, RowHash, RowGroupEq> distinct;  // distinct inputs
+};
+
+class HashAggregateOp : public PhysicalOp {
+ public:
+  HashAggregateOp(PhysicalOpPtr child, std::vector<ColumnId> group_cols,
+                  std::vector<AggItem> aggs, bool scalar)
+      : aggs_(std::move(aggs)), scalar_(scalar) {
+    const std::vector<ColumnId>& in = child->layout();
+    for (ColumnId g : group_cols) {
+      for (size_t i = 0; i < in.size(); ++i) {
+        if (in[i] == g) {
+          group_slots_.push_back(static_cast<int>(i));
+          break;
+        }
+      }
+      layout_.push_back(g);
+    }
+    for (const AggItem& agg : aggs_) {
+      layout_.push_back(agg.output);
+      arg_evals_.emplace_back(
+          agg.arg != nullptr ? Evaluator(agg.arg, in) : Evaluator());
+    }
+    children_.push_back(std::move(child));
+  }
+
+  Status Open(ExecContext* ctx) override {
+    groups_.clear();
+    order_.clear();
+    ORQ_RETURN_IF_ERROR(children_[0]->Open(ctx));
+    Row row;
+    while (true) {
+      Result<bool> more = children_[0]->Next(ctx, &row);
+      if (!more.ok()) return more.status();
+      if (!*more) break;
+      Row key(group_slots_.size());
+      for (size_t i = 0; i < group_slots_.size(); ++i) {
+        key[i] = row[group_slots_[i]];
+      }
+      auto it = groups_.find(key);
+      if (it == groups_.end()) {
+        it = groups_.emplace(key, std::vector<Accumulator>(aggs_.size()))
+                 .first;
+        order_.push_back(&*it);
+      }
+      ORQ_RETURN_IF_ERROR(Accumulate(&it->second, row, ctx));
+    }
+    children_[0]->Close();
+    emit_pos_ = 0;
+    return Status::OK();
+  }
+
+  Result<bool> Next(ExecContext* ctx, Row* row) override {
+    if (scalar_ && groups_.empty()) {
+      if (emit_pos_ > 0) return false;
+      ++emit_pos_;
+      // Aggregates over the empty input (section 1.1): count = 0, the rest
+      // NULL.
+      row->clear();
+      for (const AggItem& agg : aggs_) {
+        row->push_back(AggNullOnEmpty(agg.func) ? Value::Null()
+                                                : Value::Int64(0));
+      }
+      ++ctx->rows_produced;
+      return true;
+    }
+    if (emit_pos_ >= order_.size()) return false;
+    const auto& [key, accs] = *order_[emit_pos_++];
+    *row = key;
+    for (size_t i = 0; i < aggs_.size(); ++i) {
+      row->push_back(Finalize(aggs_[i], accs[i]));
+    }
+    ++ctx->rows_produced;
+    return true;
+  }
+
+  void Close() override {
+    groups_.clear();
+    order_.clear();
+  }
+
+  std::string name() const override {
+    if (scalar_) return "ScalarAggregate";
+    return "HashAggregate";
+  }
+
+ private:
+  Status Accumulate(std::vector<Accumulator>* accs, const Row& row,
+                    ExecContext* ctx) {
+    for (size_t i = 0; i < aggs_.size(); ++i) {
+      const AggItem& agg = aggs_[i];
+      Accumulator& acc = (*accs)[i];
+      ++acc.count;
+      if (agg.func == AggFunc::kMax1Row && acc.count > 1) {
+        return Status::CardinalityViolation(
+            "scalar subquery returned more than one row");
+      }
+      if (agg.func == AggFunc::kCountStar) continue;
+      ORQ_ASSIGN_OR_RETURN(Value v, arg_evals_[i].Eval(row, ctx));
+      if (agg.func == AggFunc::kMax1Row) {
+        acc.extreme = std::move(v);
+        acc.has_value = true;
+        continue;
+      }
+      if (v.is_null()) continue;
+      if (agg.distinct && !acc.distinct.insert(Row{v}).second) continue;
+      ++acc.non_null;
+      switch (agg.func) {
+        case AggFunc::kCount:
+          break;
+        case AggFunc::kSum:
+          if (v.type() == DataType::kDouble) {
+            acc.sum_is_double = true;
+            acc.sum_double += v.double_value();
+          } else {
+            acc.sum_int += v.int64_value();
+          }
+          break;
+        case AggFunc::kMin:
+          if (!acc.has_value || v.TotalCompare(acc.extreme) < 0) {
+            acc.extreme = std::move(v);
+            acc.has_value = true;
+          }
+          break;
+        case AggFunc::kMax:
+          if (!acc.has_value || v.TotalCompare(acc.extreme) > 0) {
+            acc.extreme = std::move(v);
+            acc.has_value = true;
+          }
+          break;
+        default:
+          break;
+      }
+    }
+    return Status::OK();
+  }
+
+  static Value Finalize(const AggItem& agg, const Accumulator& acc) {
+    switch (agg.func) {
+      case AggFunc::kCountStar:
+        return Value::Int64(acc.count);
+      case AggFunc::kCount:
+        return Value::Int64(acc.non_null);
+      case AggFunc::kSum:
+        if (acc.non_null == 0) return Value::Null();
+        if (acc.sum_is_double) {
+          return Value::Double(acc.sum_double +
+                               static_cast<double>(acc.sum_int));
+        }
+        return Value::Int64(acc.sum_int);
+      case AggFunc::kMin:
+      case AggFunc::kMax:
+      case AggFunc::kMax1Row:
+        return acc.has_value ? acc.extreme : Value::Null();
+    }
+    return Value::Null();
+  }
+
+  std::vector<AggItem> aggs_;
+  bool scalar_;
+  std::vector<int> group_slots_;
+  std::vector<Evaluator> arg_evals_;
+  using GroupMap =
+      std::unordered_map<Row, std::vector<Accumulator>, RowHash, RowGroupEq>;
+  GroupMap groups_;
+  std::vector<GroupMap::value_type*> order_;  // deterministic emit order
+  size_t emit_pos_ = 0;
+};
+
+}  // namespace
+
+PhysicalOpPtr MakeHashAggregateOp(PhysicalOpPtr child,
+                                  std::vector<ColumnId> group_cols,
+                                  std::vector<AggItem> aggs, bool scalar) {
+  return std::make_unique<HashAggregateOp>(std::move(child),
+                                           std::move(group_cols),
+                                           std::move(aggs), scalar);
+}
+
+}  // namespace orq

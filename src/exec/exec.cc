@@ -1,0 +1,53 @@
+#include "exec/exec.h"
+
+namespace orq {
+
+Result<std::vector<Row>> ExecuteToVector(PhysicalOp* plan, ExecContext* ctx) {
+  std::vector<Row> rows;
+  ORQ_RETURN_IF_ERROR(plan->Open(ctx));
+  Row row;
+  while (true) {
+    Result<bool> more = plan->Next(ctx, &row);
+    if (!more.ok()) {
+      plan->Close();
+      return more.status();
+    }
+    if (!*more) break;
+    rows.push_back(row);
+  }
+  plan->Close();
+  return rows;
+}
+
+namespace {
+
+void PrintRec(const PhysicalOp& op, const ColumnManager* columns, int indent,
+              std::string* out) {
+  out->append(indent * 2, ' ');
+  out->append(op.name());
+  out->append(" [");
+  const std::vector<ColumnId>& layout = op.layout();
+  for (size_t i = 0; i < layout.size(); ++i) {
+    if (i > 0) out->append(", ");
+    if (columns != nullptr) {
+      out->append(columns->name(layout[i]));
+      out->push_back('#');
+    }
+    out->append(std::to_string(layout[i]));
+  }
+  out->append("]\n");
+  for (const PhysicalOp* child : op.children()) {
+    PrintRec(*child, columns, indent + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string PrintPhysicalPlan(const PhysicalOp& plan,
+                              const ColumnManager* columns) {
+  std::string out;
+  PrintRec(plan, columns, 0, &out);
+  return out;
+}
+
+}  // namespace orq

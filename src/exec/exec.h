@@ -1,0 +1,69 @@
+#ifndef ORQ_EXEC_EXEC_H_
+#define ORQ_EXEC_EXEC_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "algebra/column.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace orq {
+
+/// Run-time context shared by an operator tree. Correlated execution (Apply,
+/// index lookup) communicates outer-row values through `params`; segmented
+/// execution (SegmentApply) communicates the current segment through
+/// `segment_stack`.
+struct ExecContext {
+  /// Current values of correlated parameters, keyed by column id.
+  std::unordered_map<ColumnId, Value> params;
+  /// Innermost current segment for SegmentScan leaves (rows share the
+  /// segmenting operator's input layout).
+  std::vector<const std::vector<Row>*> segment_stack;
+  /// Number of rows produced by all operators (a cheap work metric used by
+  /// tests and benchmarks to compare strategies).
+  int64_t rows_produced = 0;
+};
+
+/// Volcano-style iterator. Operators are single-use: Open, drain via Next,
+/// Close. Re-Open after Close restarts the operator (correlated inners are
+/// re-opened per outer row with fresh parameter values).
+class PhysicalOp {
+ public:
+  virtual ~PhysicalOp() = default;
+
+  /// Output layout: row slot i holds the value of column layout()[i].
+  const std::vector<ColumnId>& layout() const { return layout_; }
+
+  virtual Status Open(ExecContext* ctx) = 0;
+  /// Fills `row` and returns true, or returns false at end of stream.
+  virtual Result<bool> Next(ExecContext* ctx, Row* row) = 0;
+  virtual void Close() = 0;
+
+  virtual std::string name() const = 0;
+  const std::vector<PhysicalOp*> children() const {
+    std::vector<PhysicalOp*> out;
+    for (const auto& child : children_) out.push_back(child.get());
+    return out;
+  }
+
+ protected:
+  std::vector<ColumnId> layout_;
+  std::vector<std::unique_ptr<PhysicalOp>> children_;
+};
+
+using PhysicalOpPtr = std::unique_ptr<PhysicalOp>;
+
+/// Runs a plan to completion, collecting all rows.
+Result<std::vector<Row>> ExecuteToVector(PhysicalOp* plan, ExecContext* ctx);
+
+/// Indented physical-plan rendering for EXPLAIN.
+std::string PrintPhysicalPlan(const PhysicalOp& plan,
+                              const ColumnManager* columns);
+
+}  // namespace orq
+
+#endif  // ORQ_EXEC_EXEC_H_

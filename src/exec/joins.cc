@@ -1,0 +1,324 @@
+#include <unordered_map>
+
+#include "exec/evaluator.h"
+#include "exec/ops.h"
+
+namespace orq {
+
+namespace {
+
+std::vector<ColumnId> CombinedLayout(const PhysicalOp& left,
+                                     const PhysicalOp& right,
+                                     PhysJoinKind kind) {
+  std::vector<ColumnId> layout = left.layout();
+  if (kind == PhysJoinKind::kInner || kind == PhysJoinKind::kLeftOuter) {
+    layout.insert(layout.end(), right.layout().begin(),
+                  right.layout().end());
+  }
+  return layout;
+}
+
+/// Nested-loops join; doubles as the Apply operator when `rebind_inner` is
+/// set (per-outer-row parameter binding + inner re-open).
+class NLJoinOp : public PhysicalOp {
+ public:
+  NLJoinOp(PhysJoinKind kind, PhysicalOpPtr left, PhysicalOpPtr right,
+           ScalarExprPtr predicate, bool rebind_inner)
+      : kind_(kind), rebind_inner_(rebind_inner) {
+    layout_ = CombinedLayout(*left, *right, kind);
+    std::vector<ColumnId> pred_layout = left->layout();
+    pred_layout.insert(pred_layout.end(), right->layout().begin(),
+                       right->layout().end());
+    predicate_ = Evaluator(std::move(predicate), pred_layout);
+    children_.push_back(std::move(left));
+    children_.push_back(std::move(right));
+  }
+
+  Status Open(ExecContext* ctx) override {
+    ORQ_RETURN_IF_ERROR(children_[0]->Open(ctx));
+    have_left_ = false;
+    inner_open_ = false;
+    if (!rebind_inner_) {
+      // Uncorrelated: materialize the inner once.
+      ORQ_RETURN_IF_ERROR(children_[1]->Open(ctx));
+      inner_rows_.clear();
+      Row row;
+      while (true) {
+        Result<bool> more = children_[1]->Next(ctx, &row);
+        if (!more.ok()) return more.status();
+        if (!*more) break;
+        inner_rows_.push_back(row);
+      }
+      children_[1]->Close();
+    }
+    return Status::OK();
+  }
+
+  Result<bool> Next(ExecContext* ctx, Row* row) override {
+    const size_t left_width = children_[0]->layout().size();
+    const size_t right_width = children_[1]->layout().size();
+    while (true) {
+      if (!have_left_) {
+        ORQ_ASSIGN_OR_RETURN(bool more, children_[0]->Next(ctx, &left_row_));
+        if (!more) return false;
+        have_left_ = true;
+        matched_ = false;
+        inner_pos_ = 0;
+        if (rebind_inner_) {
+          const std::vector<ColumnId>& lcols = children_[0]->layout();
+          for (size_t i = 0; i < lcols.size(); ++i) {
+            ctx->params[lcols[i]] = left_row_[i];
+          }
+          if (inner_open_) children_[1]->Close();
+          ORQ_RETURN_IF_ERROR(children_[1]->Open(ctx));
+          inner_open_ = true;
+        }
+      }
+      // Fetch next inner row.
+      Row inner;
+      bool inner_more = false;
+      if (rebind_inner_) {
+        ORQ_ASSIGN_OR_RETURN(inner_more, children_[1]->Next(ctx, &inner));
+      } else if (inner_pos_ < inner_rows_.size()) {
+        inner = inner_rows_[inner_pos_++];
+        inner_more = true;
+      }
+      if (!inner_more) {
+        bool emit_unmatched = !matched_ && (kind_ == PhysJoinKind::kLeftOuter ||
+                                            kind_ == PhysJoinKind::kLeftAnti);
+        have_left_ = false;
+        if (emit_unmatched) {
+          *row = left_row_;
+          if (kind_ == PhysJoinKind::kLeftOuter) {
+            for (size_t i = 0; i < right_width; ++i) {
+              row->push_back(Value::Null(
+                  i < right_width ? DataType::kInt64 : DataType::kInt64));
+            }
+          }
+          ++ctx->rows_produced;
+          return true;
+        }
+        continue;
+      }
+      // Evaluate the predicate on the combined row.
+      Row combined = left_row_;
+      combined.insert(combined.end(), inner.begin(), inner.end());
+      ORQ_ASSIGN_OR_RETURN(bool keep, predicate_.EvalPredicate(combined, ctx));
+      if (!keep) continue;
+      matched_ = true;
+      switch (kind_) {
+        case PhysJoinKind::kInner:
+        case PhysJoinKind::kLeftOuter:
+          *row = std::move(combined);
+          ++ctx->rows_produced;
+          return true;
+        case PhysJoinKind::kLeftSemi:
+          *row = left_row_;
+          have_left_ = false;  // one match suffices
+          ++ctx->rows_produced;
+          return true;
+        case PhysJoinKind::kLeftAnti:
+          have_left_ = false;  // disqualified
+          continue;
+      }
+    }
+    (void)left_width;
+  }
+
+  void Close() override {
+    children_[0]->Close();
+    if (inner_open_) {
+      children_[1]->Close();
+      inner_open_ = false;
+    }
+    inner_rows_.clear();
+  }
+
+  std::string name() const override {
+    std::string kind;
+    switch (kind_) {
+      case PhysJoinKind::kInner: kind = "inner"; break;
+      case PhysJoinKind::kLeftOuter: kind = "leftouter"; break;
+      case PhysJoinKind::kLeftSemi: kind = "semi"; break;
+      case PhysJoinKind::kLeftAnti: kind = "anti"; break;
+    }
+    return (rebind_inner_ ? "Apply(" : "NestedLoopsJoin(") + kind + ")";
+  }
+
+ private:
+  PhysJoinKind kind_;
+  bool rebind_inner_;
+  Evaluator predicate_;
+  Row left_row_;
+  bool have_left_ = false;
+  bool matched_ = false;
+  bool inner_open_ = false;
+  std::vector<Row> inner_rows_;  // uncorrelated inner materialization
+  size_t inner_pos_ = 0;
+};
+
+class HashJoinOp : public PhysicalOp {
+ public:
+  HashJoinOp(PhysJoinKind kind, PhysicalOpPtr left, PhysicalOpPtr right,
+             std::vector<std::pair<ScalarExprPtr, ScalarExprPtr>> keys,
+             ScalarExprPtr residual)
+      : kind_(kind) {
+    layout_ = CombinedLayout(*left, *right, kind);
+    for (auto& [l, r] : keys) {
+      left_keys_.emplace_back(std::move(l), left->layout());
+      right_keys_.emplace_back(std::move(r), right->layout());
+    }
+    if (residual != nullptr) {
+      std::vector<ColumnId> combined = left->layout();
+      combined.insert(combined.end(), right->layout().begin(),
+                      right->layout().end());
+      residual_ = Evaluator(std::move(residual), combined);
+      has_residual_ = true;
+    }
+    children_.push_back(std::move(left));
+    children_.push_back(std::move(right));
+  }
+
+  Status Open(ExecContext* ctx) override {
+    table_.clear();
+    ORQ_RETURN_IF_ERROR(children_[1]->Open(ctx));
+    Row row;
+    while (true) {
+      Result<bool> more = children_[1]->Next(ctx, &row);
+      if (!more.ok()) return more.status();
+      if (!*more) break;
+      Row key(right_keys_.size());
+      bool null_key = false;
+      for (size_t i = 0; i < right_keys_.size(); ++i) {
+        Result<Value> v = right_keys_[i].Eval(row, ctx);
+        if (!v.ok()) return v.status();
+        if (v->is_null()) {
+          null_key = true;
+          break;
+        }
+        key[i] = std::move(*v);
+      }
+      if (null_key) continue;  // NULL keys never join
+      table_[key].push_back(row);
+    }
+    children_[1]->Close();
+    ORQ_RETURN_IF_ERROR(children_[0]->Open(ctx));
+    have_left_ = false;
+    return Status::OK();
+  }
+
+  Result<bool> Next(ExecContext* ctx, Row* row) override {
+    const size_t right_width = children_[1]->layout().size();
+    while (true) {
+      if (!have_left_) {
+        ORQ_ASSIGN_OR_RETURN(bool more, children_[0]->Next(ctx, &left_row_));
+        if (!more) return false;
+        have_left_ = true;
+        matched_ = false;
+        bucket_ = nullptr;
+        bucket_pos_ = 0;
+        Row key(left_keys_.size());
+        bool null_key = false;
+        for (size_t i = 0; i < left_keys_.size(); ++i) {
+          ORQ_ASSIGN_OR_RETURN(Value v, left_keys_[i].Eval(left_row_, ctx));
+          if (v.is_null()) {
+            null_key = true;
+            break;
+          }
+          key[i] = std::move(v);
+        }
+        if (!null_key) {
+          auto it = table_.find(key);
+          if (it != table_.end()) bucket_ = &it->second;
+        }
+      }
+      if (bucket_ != nullptr && bucket_pos_ < bucket_->size()) {
+        const Row& inner = (*bucket_)[bucket_pos_++];
+        Row combined = left_row_;
+        combined.insert(combined.end(), inner.begin(), inner.end());
+        if (has_residual_) {
+          ORQ_ASSIGN_OR_RETURN(bool keep,
+                               residual_.EvalPredicate(combined, ctx));
+          if (!keep) continue;
+        }
+        matched_ = true;
+        switch (kind_) {
+          case PhysJoinKind::kInner:
+          case PhysJoinKind::kLeftOuter:
+            *row = std::move(combined);
+            ++ctx->rows_produced;
+            return true;
+          case PhysJoinKind::kLeftSemi:
+            *row = left_row_;
+            have_left_ = false;
+            ++ctx->rows_produced;
+            return true;
+          case PhysJoinKind::kLeftAnti:
+            have_left_ = false;
+            continue;
+        }
+      }
+      // Bucket exhausted.
+      bool emit_unmatched = !matched_ && (kind_ == PhysJoinKind::kLeftOuter ||
+                                          kind_ == PhysJoinKind::kLeftAnti);
+      have_left_ = false;
+      if (emit_unmatched) {
+        *row = left_row_;
+        if (kind_ == PhysJoinKind::kLeftOuter) {
+          for (size_t i = 0; i < right_width; ++i) {
+            row->push_back(Value::Null());
+          }
+        }
+        ++ctx->rows_produced;
+        return true;
+      }
+    }
+  }
+
+  void Close() override {
+    children_[0]->Close();
+    table_.clear();
+  }
+
+  std::string name() const override {
+    std::string kind;
+    switch (kind_) {
+      case PhysJoinKind::kInner: kind = "inner"; break;
+      case PhysJoinKind::kLeftOuter: kind = "leftouter"; break;
+      case PhysJoinKind::kLeftSemi: kind = "semi"; break;
+      case PhysJoinKind::kLeftAnti: kind = "anti"; break;
+    }
+    return "HashJoin(" + kind + ")";
+  }
+
+ private:
+  PhysJoinKind kind_;
+  std::vector<Evaluator> left_keys_, right_keys_;
+  Evaluator residual_;
+  bool has_residual_ = false;
+  std::unordered_map<Row, std::vector<Row>, RowHash, RowGroupEq> table_;
+  Row left_row_;
+  bool have_left_ = false;
+  bool matched_ = false;
+  const std::vector<Row>* bucket_ = nullptr;
+  size_t bucket_pos_ = 0;
+};
+
+}  // namespace
+
+PhysicalOpPtr MakeNLJoinOp(PhysJoinKind kind, PhysicalOpPtr left,
+                           PhysicalOpPtr right, ScalarExprPtr predicate,
+                           bool rebind_inner) {
+  return std::make_unique<NLJoinOp>(kind, std::move(left), std::move(right),
+                                    std::move(predicate), rebind_inner);
+}
+
+PhysicalOpPtr MakeHashJoinOp(
+    PhysJoinKind kind, PhysicalOpPtr left, PhysicalOpPtr right,
+    std::vector<std::pair<ScalarExprPtr, ScalarExprPtr>> keys,
+    ScalarExprPtr residual) {
+  return std::make_unique<HashJoinOp>(kind, std::move(left), std::move(right),
+                                      std::move(keys), std::move(residual));
+}
+
+}  // namespace orq

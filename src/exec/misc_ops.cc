@@ -1,0 +1,310 @@
+#include <algorithm>
+#include <unordered_map>
+
+#include "exec/evaluator.h"
+#include "exec/ops.h"
+
+namespace orq {
+
+namespace {
+
+class FilterOp : public PhysicalOp {
+ public:
+  FilterOp(PhysicalOpPtr child, ScalarExprPtr predicate) {
+    layout_ = child->layout();
+    predicate_ = Evaluator(std::move(predicate), layout_);
+    children_.push_back(std::move(child));
+  }
+
+  Status Open(ExecContext* ctx) override { return children_[0]->Open(ctx); }
+
+  Result<bool> Next(ExecContext* ctx, Row* row) override {
+    while (true) {
+      ORQ_ASSIGN_OR_RETURN(bool more, children_[0]->Next(ctx, row));
+      if (!more) return false;
+      ORQ_ASSIGN_OR_RETURN(bool keep, predicate_.EvalPredicate(*row, ctx));
+      if (keep) {
+        ++ctx->rows_produced;
+        return true;
+      }
+    }
+  }
+
+  void Close() override { children_[0]->Close(); }
+  std::string name() const override { return "Filter"; }
+
+ private:
+  Evaluator predicate_;
+};
+
+class ComputeOp : public PhysicalOp {
+ public:
+  ComputeOp(PhysicalOpPtr child, std::vector<ProjectItem> items,
+            std::vector<ColumnId> passthrough) {
+    const std::vector<ColumnId>& in = child->layout();
+    for (ColumnId id : passthrough) {
+      for (size_t i = 0; i < in.size(); ++i) {
+        if (in[i] == id) {
+          pass_slots_.push_back(static_cast<int>(i));
+          layout_.push_back(id);
+          break;
+        }
+      }
+    }
+    for (ProjectItem& item : items) {
+      layout_.push_back(item.output);
+      evals_.emplace_back(item.expr, in);
+    }
+    children_.push_back(std::move(child));
+  }
+
+  Status Open(ExecContext* ctx) override { return children_[0]->Open(ctx); }
+
+  Result<bool> Next(ExecContext* ctx, Row* row) override {
+    Row input;
+    ORQ_ASSIGN_OR_RETURN(bool more, children_[0]->Next(ctx, &input));
+    if (!more) return false;
+    row->clear();
+    row->reserve(layout_.size());
+    for (int slot : pass_slots_) row->push_back(input[slot]);
+    for (const Evaluator& eval : evals_) {
+      ORQ_ASSIGN_OR_RETURN(Value v, eval.Eval(input, ctx));
+      row->push_back(std::move(v));
+    }
+    ++ctx->rows_produced;
+    return true;
+  }
+
+  void Close() override { children_[0]->Close(); }
+  std::string name() const override { return "Compute"; }
+
+ private:
+  std::vector<int> pass_slots_;
+  std::vector<Evaluator> evals_;
+};
+
+class SortOp : public PhysicalOp {
+ public:
+  SortOp(PhysicalOpPtr child, std::vector<SortKey> keys, int64_t limit)
+      : keys_(std::move(keys)), limit_(limit) {
+    layout_ = child->layout();
+    for (const SortKey& key : keys_) {
+      evals_.emplace_back(key.expr, layout_);
+    }
+    children_.push_back(std::move(child));
+  }
+
+  Status Open(ExecContext* ctx) override {
+    rows_.clear();
+    ORQ_RETURN_IF_ERROR(children_[0]->Open(ctx));
+    Row row;
+    while (true) {
+      Result<bool> more = children_[0]->Next(ctx, &row);
+      if (!more.ok()) return more.status();
+      if (!*more) break;
+      rows_.push_back(row);
+    }
+    children_[0]->Close();
+    if (!keys_.empty()) {
+      // Precompute sort keys per row.
+      std::vector<std::pair<Row, size_t>> keyed(rows_.size());
+      for (size_t i = 0; i < rows_.size(); ++i) {
+        Row key(keys_.size());
+        for (size_t k = 0; k < keys_.size(); ++k) {
+          Result<Value> v = evals_[k].Eval(rows_[i], ctx);
+          if (!v.ok()) return v.status();
+          key[k] = std::move(*v);
+        }
+        keyed[i] = {std::move(key), i};
+      }
+      std::stable_sort(keyed.begin(), keyed.end(),
+                       [this](const auto& a, const auto& b) {
+                         for (size_t k = 0; k < keys_.size(); ++k) {
+                           int c = a.first[k].TotalCompare(b.first[k]);
+                           if (c != 0) {
+                             return keys_[k].ascending ? c < 0 : c > 0;
+                           }
+                         }
+                         return false;
+                       });
+      std::vector<Row> sorted(rows_.size());
+      for (size_t i = 0; i < keyed.size(); ++i) {
+        sorted[i] = std::move(rows_[keyed[i].second]);
+      }
+      rows_ = std::move(sorted);
+    }
+    if (limit_ >= 0 && rows_.size() > static_cast<size_t>(limit_)) {
+      rows_.resize(limit_);
+    }
+    pos_ = 0;
+    return Status::OK();
+  }
+
+  Result<bool> Next(ExecContext* ctx, Row* row) override {
+    if (pos_ >= rows_.size()) return false;
+    *row = rows_[pos_++];
+    ++ctx->rows_produced;
+    return true;
+  }
+
+  void Close() override { rows_.clear(); }
+  std::string name() const override {
+    return limit_ >= 0 ? "TopSort(" + std::to_string(limit_) + ")" : "Sort";
+  }
+
+ private:
+  std::vector<SortKey> keys_;
+  int64_t limit_;
+  std::vector<Evaluator> evals_;
+  std::vector<Row> rows_;
+  size_t pos_ = 0;
+};
+
+class Max1rowOp : public PhysicalOp {
+ public:
+  explicit Max1rowOp(PhysicalOpPtr child) {
+    layout_ = child->layout();
+    children_.push_back(std::move(child));
+  }
+
+  Status Open(ExecContext* ctx) override {
+    seen_ = 0;
+    return children_[0]->Open(ctx);
+  }
+
+  Result<bool> Next(ExecContext* ctx, Row* row) override {
+    ORQ_ASSIGN_OR_RETURN(bool more, children_[0]->Next(ctx, row));
+    if (!more) return false;
+    if (++seen_ > 1) {
+      return Status::CardinalityViolation(
+          "scalar subquery returned more than one row");
+    }
+    ++ctx->rows_produced;
+    return true;
+  }
+
+  void Close() override { children_[0]->Close(); }
+  std::string name() const override { return "Max1row"; }
+
+ private:
+  int seen_ = 0;
+};
+
+class UnionAllOp : public PhysicalOp {
+ public:
+  UnionAllOp(std::vector<PhysicalOpPtr> children,
+             std::vector<ColumnId> layout) {
+    layout_ = std::move(layout);
+    children_ = std::move(children);
+  }
+
+  Status Open(ExecContext* ctx) override {
+    current_ = 0;
+    if (children_.empty()) return Status::OK();
+    return children_[0]->Open(ctx);
+  }
+
+  Result<bool> Next(ExecContext* ctx, Row* row) override {
+    while (current_ < children_.size()) {
+      ORQ_ASSIGN_OR_RETURN(bool more, children_[current_]->Next(ctx, row));
+      if (more) {
+        ++ctx->rows_produced;
+        return true;
+      }
+      children_[current_]->Close();
+      ++current_;
+      if (current_ < children_.size()) {
+        ORQ_RETURN_IF_ERROR(children_[current_]->Open(ctx));
+      }
+    }
+    return false;
+  }
+
+  void Close() override {}
+  std::string name() const override { return "UnionAll"; }
+
+ private:
+  size_t current_ = 0;
+};
+
+class ExceptAllOp : public PhysicalOp {
+ public:
+  ExceptAllOp(PhysicalOpPtr left, PhysicalOpPtr right,
+              std::vector<ColumnId> layout) {
+    layout_ = std::move(layout);
+    children_.push_back(std::move(left));
+    children_.push_back(std::move(right));
+  }
+
+  Status Open(ExecContext* ctx) override {
+    counts_.clear();
+    ORQ_RETURN_IF_ERROR(children_[1]->Open(ctx));
+    Row row;
+    while (true) {
+      Result<bool> more = children_[1]->Next(ctx, &row);
+      if (!more.ok()) return more.status();
+      if (!*more) break;
+      ++counts_[row];
+    }
+    children_[1]->Close();
+    return children_[0]->Open(ctx);
+  }
+
+  Result<bool> Next(ExecContext* ctx, Row* row) override {
+    while (true) {
+      ORQ_ASSIGN_OR_RETURN(bool more, children_[0]->Next(ctx, row));
+      if (!more) return false;
+      auto it = counts_.find(*row);
+      if (it != counts_.end() && it->second > 0) {
+        --it->second;
+        continue;  // cancelled by a right-side occurrence
+      }
+      ++ctx->rows_produced;
+      return true;
+    }
+  }
+
+  void Close() override {
+    children_[0]->Close();
+    counts_.clear();
+  }
+  std::string name() const override { return "ExceptAll"; }
+
+ private:
+  std::unordered_map<Row, int64_t, RowHash, RowGroupEq> counts_;
+};
+
+}  // namespace
+
+PhysicalOpPtr MakeFilterOp(PhysicalOpPtr child, ScalarExprPtr predicate) {
+  return std::make_unique<FilterOp>(std::move(child), std::move(predicate));
+}
+
+PhysicalOpPtr MakeComputeOp(PhysicalOpPtr child,
+                            std::vector<ProjectItem> items,
+                            std::vector<ColumnId> passthrough) {
+  return std::make_unique<ComputeOp>(std::move(child), std::move(items),
+                                     std::move(passthrough));
+}
+
+PhysicalOpPtr MakeSortOp(PhysicalOpPtr child, std::vector<SortKey> keys,
+                         int64_t limit) {
+  return std::make_unique<SortOp>(std::move(child), std::move(keys), limit);
+}
+
+PhysicalOpPtr MakeMax1rowOp(PhysicalOpPtr child) {
+  return std::make_unique<Max1rowOp>(std::move(child));
+}
+
+PhysicalOpPtr MakeUnionAllOp(std::vector<PhysicalOpPtr> children,
+                             std::vector<ColumnId> layout) {
+  return std::make_unique<UnionAllOp>(std::move(children), std::move(layout));
+}
+
+PhysicalOpPtr MakeExceptAllOp(PhysicalOpPtr left, PhysicalOpPtr right,
+                              std::vector<ColumnId> layout) {
+  return std::make_unique<ExceptAllOp>(std::move(left), std::move(right),
+                                       std::move(layout));
+}
+
+}  // namespace orq

@@ -1,0 +1,92 @@
+#ifndef ORQ_EXEC_OPS_H_
+#define ORQ_EXEC_OPS_H_
+
+#include <utility>
+#include <vector>
+
+#include "algebra/rel_expr.h"
+#include "catalog/table.h"
+#include "exec/exec.h"
+
+namespace orq {
+
+/// Physical join variants (cross joins are inner joins with TRUE).
+enum class PhysJoinKind { kInner, kLeftOuter, kLeftSemi, kLeftAnti };
+
+/// Full scan emitting `ordinals` of each row as columns `layout`.
+PhysicalOpPtr MakeTableScan(const Table* table, std::vector<int> ordinals,
+                            std::vector<ColumnId> layout);
+
+/// Equality index lookup. Key expressions are evaluated against correlated
+/// parameters (ExecContext::params) at Open time — this is the physical
+/// shape of "correlated execution with index lookup" (paper section 4).
+/// Rows matching the key have `ordinals` projected to `layout`; `residual`
+/// (optional) filters them.
+PhysicalOpPtr MakeIndexSeek(const Table* table, const TableIndex* index,
+                            std::vector<ScalarExprPtr> key_exprs,
+                            std::vector<int> ordinals,
+                            std::vector<ColumnId> layout,
+                            ScalarExprPtr residual);
+
+PhysicalOpPtr MakeFilterOp(PhysicalOpPtr child, ScalarExprPtr predicate);
+
+/// Projection: forwards `passthrough` columns (by id) and computes items.
+PhysicalOpPtr MakeComputeOp(PhysicalOpPtr child,
+                            std::vector<ProjectItem> items,
+                            std::vector<ColumnId> passthrough);
+
+/// Nested-loops join / Apply. When `rebind_inner` is set, the operator
+/// publishes each outer row's columns as parameters and re-opens the inner
+/// child per outer row (correlated execution). kLeftOuter pads with NULLs.
+PhysicalOpPtr MakeNLJoinOp(PhysJoinKind kind, PhysicalOpPtr left,
+                           PhysicalOpPtr right, ScalarExprPtr predicate,
+                           bool rebind_inner);
+
+/// Hash join on equi-key pairs (left expr, right expr) with an optional
+/// residual predicate over the combined row. Builds on the right input.
+PhysicalOpPtr MakeHashJoinOp(
+    PhysJoinKind kind, PhysicalOpPtr left, PhysicalOpPtr right,
+    std::vector<std::pair<ScalarExprPtr, ScalarExprPtr>> keys,
+    ScalarExprPtr residual);
+
+/// Hash aggregation; with `scalar` set, emits exactly one row (agg over the
+/// empty input yields count=0 / others NULL, per section 1.1). Implements
+/// the Max1Row aggregate's run-time error. LocalGroupBy reuses this
+/// operator (section 3.3: the implementation need not differ).
+PhysicalOpPtr MakeHashAggregateOp(PhysicalOpPtr child,
+                                  std::vector<ColumnId> group_cols,
+                                  std::vector<AggItem> aggs, bool scalar);
+
+PhysicalOpPtr MakeSortOp(PhysicalOpPtr child, std::vector<SortKey> keys,
+                         int64_t limit);
+
+/// Passes rows through; errors with kCardinalityViolation on a second row.
+PhysicalOpPtr MakeMax1rowOp(PhysicalOpPtr child);
+
+/// Children must already produce positionally aligned layouts.
+PhysicalOpPtr MakeUnionAllOp(std::vector<PhysicalOpPtr> children,
+                             std::vector<ColumnId> layout);
+PhysicalOpPtr MakeExceptAllOp(PhysicalOpPtr left, PhysicalOpPtr right,
+                              std::vector<ColumnId> layout);
+
+/// One row, zero columns.
+PhysicalOpPtr MakeSingleRowOp();
+
+/// Zero rows with the given layout — the compiled form of a provably empty
+/// subexpression (paper section 4's "detecting empty subexpressions"); the
+/// pruned subtree is never even opened.
+PhysicalOpPtr MakeEmptyOp(std::vector<ColumnId> layout);
+
+/// Reads the current segment (ExecContext::segment_stack) positionally.
+PhysicalOpPtr MakeSegmentScanOp(std::vector<ColumnId> layout);
+
+/// Segmented execution (paper section 3.4): partitions the input by the
+/// given key slots, then runs `inner` once per segment with the segment
+/// exposed to SegmentScan leaves; emits segment-key ++ inner-row.
+PhysicalOpPtr MakeSegmentApplyOp(PhysicalOpPtr input, PhysicalOpPtr inner,
+                                 std::vector<int> key_slots,
+                                 std::vector<ColumnId> layout);
+
+}  // namespace orq
+
+#endif  // ORQ_EXEC_OPS_H_

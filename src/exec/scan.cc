@@ -1,0 +1,191 @@
+#include "exec/evaluator.h"
+#include "exec/ops.h"
+
+namespace orq {
+
+namespace {
+
+class TableScanOp : public PhysicalOp {
+ public:
+  TableScanOp(const Table* table, std::vector<int> ordinals,
+              std::vector<ColumnId> layout)
+      : table_(table), ordinals_(std::move(ordinals)) {
+    layout_ = std::move(layout);
+  }
+
+  Status Open(ExecContext*) override {
+    pos_ = 0;
+    return Status::OK();
+  }
+
+  Result<bool> Next(ExecContext* ctx, Row* row) override {
+    if (pos_ >= table_->num_rows()) return false;
+    const Row& src = table_->rows()[pos_++];
+    row->resize(ordinals_.size());
+    for (size_t i = 0; i < ordinals_.size(); ++i) {
+      (*row)[i] = src[ordinals_[i]];
+    }
+    ++ctx->rows_produced;
+    return true;
+  }
+
+  void Close() override {}
+  std::string name() const override { return "TableScan(" + table_->name() + ")"; }
+
+ private:
+  const Table* table_;
+  std::vector<int> ordinals_;
+  size_t pos_ = 0;
+};
+
+class IndexSeekOp : public PhysicalOp {
+ public:
+  IndexSeekOp(const Table* table, const TableIndex* index,
+              std::vector<ScalarExprPtr> key_exprs, std::vector<int> ordinals,
+              std::vector<ColumnId> layout, ScalarExprPtr residual)
+      : table_(table), index_(index), ordinals_(std::move(ordinals)) {
+    layout_ = std::move(layout);
+    for (ScalarExprPtr& e : key_exprs) {
+      key_evals_.emplace_back(std::move(e), std::vector<ColumnId>{});
+    }
+    if (residual != nullptr) {
+      residual_ = Evaluator(std::move(residual), layout_);
+      has_residual_ = true;
+    }
+  }
+
+  Status Open(ExecContext* ctx) override {
+    matches_ = nullptr;
+    pos_ = 0;
+    Row key(key_evals_.size());
+    for (size_t i = 0; i < key_evals_.size(); ++i) {
+      Result<Value> v = key_evals_[i].Eval({}, ctx);
+      if (!v.ok()) return v.status();
+      if (v->is_null()) return Status::OK();  // NULL never matches
+      key[i] = std::move(*v);
+    }
+    matches_ = index_->Lookup(key);
+    return Status::OK();
+  }
+
+  Result<bool> Next(ExecContext* ctx, Row* row) override {
+    while (matches_ != nullptr && pos_ < matches_->size()) {
+      const Row& src = table_->rows()[(*matches_)[pos_++]];
+      row->resize(ordinals_.size());
+      for (size_t i = 0; i < ordinals_.size(); ++i) {
+        (*row)[i] = src[ordinals_[i]];
+      }
+      if (has_residual_) {
+        ORQ_ASSIGN_OR_RETURN(bool keep, residual_.EvalPredicate(*row, ctx));
+        if (!keep) continue;
+      }
+      ++ctx->rows_produced;
+      return true;
+    }
+    return false;
+  }
+
+  void Close() override {}
+  std::string name() const override {
+    return "IndexSeek(" + table_->name() + ")";
+  }
+
+ private:
+  const Table* table_;
+  const TableIndex* index_;
+  std::vector<int> ordinals_;
+  std::vector<Evaluator> key_evals_;
+  Evaluator residual_;
+  bool has_residual_ = false;
+  const std::vector<size_t>* matches_ = nullptr;
+  size_t pos_ = 0;
+};
+
+class SingleRowOp : public PhysicalOp {
+ public:
+  SingleRowOp() = default;
+  Status Open(ExecContext*) override {
+    done_ = false;
+    return Status::OK();
+  }
+  Result<bool> Next(ExecContext* ctx, Row* row) override {
+    if (done_) return false;
+    done_ = true;
+    row->clear();
+    ++ctx->rows_produced;
+    return true;
+  }
+  void Close() override {}
+  std::string name() const override { return "SingleRow"; }
+
+ private:
+  bool done_ = false;
+};
+
+class EmptyOp : public PhysicalOp {
+ public:
+  explicit EmptyOp(std::vector<ColumnId> layout) {
+    layout_ = std::move(layout);
+  }
+  Status Open(ExecContext*) override { return Status::OK(); }
+  Result<bool> Next(ExecContext*, Row*) override { return false; }
+  void Close() override {}
+  std::string name() const override { return "Empty"; }
+};
+
+class SegmentScanOp : public PhysicalOp {
+ public:
+  explicit SegmentScanOp(std::vector<ColumnId> layout) {
+    layout_ = std::move(layout);
+  }
+  Status Open(ExecContext* ctx) override {
+    if (ctx->segment_stack.empty()) {
+      return Status::Internal("SegmentScan outside SegmentApply");
+    }
+    segment_ = ctx->segment_stack.back();
+    pos_ = 0;
+    return Status::OK();
+  }
+  Result<bool> Next(ExecContext* ctx, Row* row) override {
+    if (pos_ >= segment_->size()) return false;
+    *row = (*segment_)[pos_++];
+    ++ctx->rows_produced;
+    return true;
+  }
+  void Close() override {}
+  std::string name() const override { return "SegmentScan"; }
+
+ private:
+  const std::vector<Row>* segment_ = nullptr;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+PhysicalOpPtr MakeTableScan(const Table* table, std::vector<int> ordinals,
+                            std::vector<ColumnId> layout) {
+  return std::make_unique<TableScanOp>(table, std::move(ordinals),
+                                       std::move(layout));
+}
+
+PhysicalOpPtr MakeIndexSeek(const Table* table, const TableIndex* index,
+                            std::vector<ScalarExprPtr> key_exprs,
+                            std::vector<int> ordinals,
+                            std::vector<ColumnId> layout,
+                            ScalarExprPtr residual) {
+  return std::make_unique<IndexSeekOp>(table, index, std::move(key_exprs),
+                                       std::move(ordinals), std::move(layout),
+                                       std::move(residual));
+}
+
+PhysicalOpPtr MakeSingleRowOp() { return std::make_unique<SingleRowOp>(); }
+
+PhysicalOpPtr MakeEmptyOp(std::vector<ColumnId> layout) {
+  return std::make_unique<EmptyOp>(std::move(layout));
+}
+
+PhysicalOpPtr MakeSegmentScanOp(std::vector<ColumnId> layout) {
+  return std::make_unique<SegmentScanOp>(std::move(layout));
+}
+
+}  // namespace orq

@@ -1,0 +1,110 @@
+#include <unordered_map>
+
+#include "exec/ops.h"
+
+namespace orq {
+
+namespace {
+
+/// Segmented execution (paper section 3.4): partition the input on the key
+/// slots, run the inner plan once per segment with the segment's rows
+/// published on the context's segment stack, and emit the segment key
+/// prepended to each inner row.
+class SegmentApplyOp : public PhysicalOp {
+ public:
+  SegmentApplyOp(PhysicalOpPtr input, PhysicalOpPtr inner,
+                 std::vector<int> key_slots, std::vector<ColumnId> layout)
+      : key_slots_(std::move(key_slots)) {
+    layout_ = std::move(layout);
+    children_.push_back(std::move(input));
+    children_.push_back(std::move(inner));
+  }
+
+  Status Open(ExecContext* ctx) override {
+    segments_.clear();
+    order_.clear();
+    ORQ_RETURN_IF_ERROR(children_[0]->Open(ctx));
+    Row row;
+    while (true) {
+      Result<bool> more = children_[0]->Next(ctx, &row);
+      if (!more.ok()) return more.status();
+      if (!*more) break;
+      Row key(key_slots_.size());
+      for (size_t i = 0; i < key_slots_.size(); ++i) {
+        key[i] = row[key_slots_[i]];
+      }
+      auto it = segments_.find(key);
+      if (it == segments_.end()) {
+        it = segments_.emplace(key, std::vector<Row>()).first;
+        order_.push_back(&*it);
+      }
+      it->second.push_back(std::move(row));
+    }
+    children_[0]->Close();
+    segment_pos_ = 0;
+    inner_open_ = false;
+    return Status::OK();
+  }
+
+  Result<bool> Next(ExecContext* ctx, Row* row) override {
+    while (true) {
+      if (!inner_open_) {
+        if (segment_pos_ >= order_.size()) return false;
+        ctx->segment_stack.push_back(&order_[segment_pos_]->second);
+        ORQ_RETURN_IF_ERROR(children_[1]->Open(ctx));
+        inner_open_ = true;
+      }
+      Row inner;
+      Result<bool> more = children_[1]->Next(ctx, &inner);
+      if (!more.ok()) {
+        CloseInner(ctx);
+        return more.status();
+      }
+      if (!*more) {
+        CloseInner(ctx);
+        ++segment_pos_;
+        continue;
+      }
+      *row = order_[segment_pos_]->first;  // the segment key {a}
+      row->insert(row->end(), inner.begin(), inner.end());
+      ++ctx->rows_produced;
+      return true;
+    }
+  }
+
+  void Close() override {
+    segments_.clear();
+    order_.clear();
+  }
+
+  std::string name() const override { return "SegmentApply"; }
+
+ private:
+  void CloseInner(ExecContext* ctx) {
+    if (inner_open_) {
+      children_[1]->Close();
+      ctx->segment_stack.pop_back();
+      inner_open_ = false;
+    }
+  }
+
+  std::vector<int> key_slots_;
+  using SegmentMap =
+      std::unordered_map<Row, std::vector<Row>, RowHash, RowGroupEq>;
+  SegmentMap segments_;
+  std::vector<SegmentMap::value_type*> order_;
+  size_t segment_pos_ = 0;
+  bool inner_open_ = false;
+};
+
+}  // namespace
+
+PhysicalOpPtr MakeSegmentApplyOp(PhysicalOpPtr input, PhysicalOpPtr inner,
+                                 std::vector<int> key_slots,
+                                 std::vector<ColumnId> layout) {
+  return std::make_unique<SegmentApplyOp>(std::move(input), std::move(inner),
+                                          std::move(key_slots),
+                                          std::move(layout));
+}
+
+}  // namespace orq

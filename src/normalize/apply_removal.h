@@ -1,0 +1,35 @@
+#ifndef ORQ_NORMALIZE_APPLY_REMOVAL_H_
+#define ORQ_NORMALIZE_APPLY_REMOVAL_H_
+
+#include "algebra/rel_expr.h"
+#include "common/result.h"
+#include "normalize/normalizer.h"
+
+namespace orq {
+
+/// Removes Apply operators by pushing them toward the leaves until the
+/// right child is no longer parameterized on the left (paper section 2.3,
+/// the identities of Fig. 4):
+///
+///   (1) R A⊗ E            = R ⊗true E            E unparameterized
+///   (2) R A⊗ (σp E)       = R ⊗p E               E unparameterized
+///   (3) R A× (σp E)       = σp (R A× E)
+///   (4) R A× (πv E)       = π{v ∪ cols(R)} (R A× E)
+///   (5) R A× (E1 ∪ E2)    = (R A× E1) ∪ (R A× E2)
+///   (6) R A× (E1 − E2)    = (R A× E1) − (R A× E2)
+///   (7) R A× (E1 × E2)    = (R A× E1) ⋈R.key (R A× E2)
+///   (8) R A× (G{A,F} E)   = G{A ∪ cols(R), F} (R A× E)
+///   (9) R A× (G{F1} E)    = G{cols(R), F'} (R A^LOJ E)
+///
+/// plus the Max1row handling of section 2.4 (elimination when key
+/// information proves at most one row, absorption into a Max1Row aggregate
+/// otherwise) and the existential conversions of section 2.4.
+///
+/// Applies whose inner cannot be normalized (e.g. correlated TOP) are left
+/// in place; execution supports them directly.
+Result<RelExprPtr> RemoveApplies(RelExprPtr root, ColumnManager* columns,
+                                 const NormalizerOptions& options);
+
+}  // namespace orq
+
+#endif  // ORQ_NORMALIZE_APPLY_REMOVAL_H_

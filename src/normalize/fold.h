@@ -1,0 +1,30 @@
+#ifndef ORQ_NORMALIZE_FOLD_H_
+#define ORQ_NORMALIZE_FOLD_H_
+
+#include "algebra/rel_expr.h"
+
+namespace orq {
+
+/// Constant-folds a scalar expression: literal-only subtrees are evaluated
+/// (run-time errors such as division by zero are left in place to fire at
+/// execution), AND/OR collapse around TRUE/FALSE, double negation drops.
+ScalarExprPtr FoldScalar(const ScalarExprPtr& expr);
+
+/// True when the subtree provably produces no rows (its canonical form is
+/// a Select with a constant FALSE/NULL predicate).
+bool IsProvablyEmpty(const RelExprPtr& node);
+
+/// Query-normalization simplifications of paper section 4: folds constants
+/// in every predicate/projection, and detects + propagates empty
+/// subexpressions (an inner join with an empty input is empty, empty
+/// UNION ALL branches are dropped, an outer join with an empty inner side
+/// degenerates to NULL-padding, an antijoin with an empty right side is
+/// its left input, ...). Empty subtrees are canonicalized to
+/// Select(FALSE)(child); the physical builder compiles that shape to a
+/// zero-row operator without even opening the child.
+RelExprPtr FoldAndDetectEmpty(const RelExprPtr& root,
+                              ColumnManager* columns);
+
+}  // namespace orq
+
+#endif  // ORQ_NORMALIZE_FOLD_H_

@@ -1,0 +1,41 @@
+#include "normalize/normalizer.h"
+
+#include "normalize/apply_removal.h"
+#include "normalize/fold.h"
+#include "normalize/oj_simplify.h"
+#include "normalize/pushdown.h"
+
+namespace orq {
+
+Result<RelExprPtr> Normalize(RelExprPtr root, ColumnManager* columns,
+                             const NormalizerOptions& options) {
+  // The phases interact: pushdown exposes identity-(2) shapes to Apply
+  // removal; Apply removal produces outerjoins for simplification, which in
+  // turn unlocks further pushdown. Three rounds reach fixpoint on all the
+  // plan shapes this library generates.
+  RelExprPtr current = std::move(root);
+  for (int round = 0; round < 3; ++round) {
+    if (options.pushdown_predicates) {
+      current = PushdownPredicates(current, columns);
+    }
+    if (options.remove_correlations) {
+      ORQ_ASSIGN_OR_RETURN(current,
+                           RemoveApplies(current, columns, options));
+    }
+    if (options.simplify_outerjoins) {
+      current = SimplifyOuterJoins(current);
+    }
+  }
+  if (options.pushdown_predicates) {
+    current = PushdownPredicates(current, columns);
+    // Constant folding + empty-subexpression detection (section 4), then
+    // one more pushdown round to let the simplified tree settle.
+    current = FoldAndDetectEmpty(current, columns);
+    current = PushdownPredicates(current, columns);
+    current = FoldAndDetectEmpty(current, columns);
+    current = PruneColumns(current, columns);
+  }
+  return current;
+}
+
+}  // namespace orq

@@ -1,0 +1,126 @@
+#include "normalize/oj_simplify.h"
+
+#include "algebra/expr_util.h"
+#include "algebra/props.h"
+
+namespace orq {
+
+namespace {
+
+/// `rejected` carries columns on which some ancestor filter rejects NULLs.
+RelExprPtr Simplify(const RelExprPtr& node, ColumnSet rejected) {
+  switch (node->kind) {
+    case RelKind::kSelect: {
+      ColumnSet down = rejected.Union(NullRejectedColumns(node->predicate));
+      return CloneWithChildren(*node, {Simplify(node->children[0], down)});
+    }
+    case RelKind::kProject: {
+      // Translate rejection on computed outputs to their strict inputs.
+      ColumnSet child_cols = node->children[0]->OutputSet();
+      ColumnSet down = rejected.Intersect(node->passthrough);
+      for (const ProjectItem& item : node->proj_items) {
+        if (!rejected.Contains(item.output)) continue;
+        // If the expression is NULL whenever column c is NULL, rejecting
+        // NULL on the output rejects NULL on c.
+        ColumnSet refs;
+        CollectColumnRefs(item.expr, &refs);
+        for (ColumnId c : refs) {
+          if (child_cols.Contains(c) &&
+              ExprNullOnNull(item.expr, ColumnSet{c})) {
+            down.Add(c);
+          }
+        }
+      }
+      return CloneWithChildren(*node, {Simplify(node->children[0], down)});
+    }
+    case RelKind::kGroupBy:
+    case RelKind::kLocalGroupBy: {
+      // The paper's extension: rejection on an aggregate output transfers
+      // to the aggregate's input columns for NULL-on-all-NULL aggregates
+      // (sum/min/max/max1row — not count, whose result is never NULL).
+      ColumnSet down = rejected.Intersect(node->group_cols);
+      for (const AggItem& agg : node->aggs) {
+        if (!rejected.Contains(agg.output)) continue;
+        if (agg.func == AggFunc::kCount || agg.func == AggFunc::kCountStar) {
+          continue;
+        }
+        ColumnSet refs;
+        CollectColumnRefs(agg.arg, &refs);
+        for (ColumnId c : refs) {
+          if (ExprNullOnNull(agg.arg, ColumnSet{c})) down.Add(c);
+        }
+      }
+      return CloneWithChildren(*node, {Simplify(node->children[0], down)});
+    }
+    case RelKind::kJoin: {
+      ColumnSet left_cols = node->children[0]->OutputSet();
+      JoinKind kind = node->join_kind;
+      if (kind == JoinKind::kLeftOuter) {
+        ColumnSet right_cols = node->children[1]->OutputSet();
+        if (rejected.Intersects(right_cols)) {
+          kind = JoinKind::kInner;  // the simplification
+        }
+      }
+      ColumnSet pred_rejects = NullRejectedColumns(node->predicate);
+      ColumnSet left_down = rejected.Intersect(left_cols);
+      ColumnSet right_down;
+      if (kind == JoinKind::kInner || kind == JoinKind::kCross) {
+        left_down.AddAll(pred_rejects.Intersect(left_cols));
+        right_down = rejected.Union(pred_rejects)
+                         .Intersect(node->children[1]->OutputSet());
+      } else if (kind == JoinKind::kLeftSemi || kind == JoinKind::kLeftAnti) {
+        right_down = ColumnSet();  // right side not produced
+      }
+      RelExprPtr out = CloneWithChildren(
+          *node, {Simplify(node->children[0], left_down),
+                  Simplify(node->children[1], right_down)});
+      out->join_kind = kind;
+      return out;
+    }
+    case RelKind::kApply: {
+      ColumnSet left_cols = node->children[0]->OutputSet();
+      ApplyKind kind = node->apply_kind;
+      if (kind == ApplyKind::kOuter) {
+        ColumnSet right_cols = node->children[1]->OutputSet();
+        if (rejected.Intersects(right_cols)) kind = ApplyKind::kCross;
+      }
+      RelExprPtr out = CloneWithChildren(
+          *node, {Simplify(node->children[0], rejected.Intersect(left_cols)),
+                  Simplify(node->children[1], ColumnSet())});
+      out->apply_kind = kind;
+      return out;
+    }
+    case RelKind::kSort:
+    case RelKind::kMax1row:
+      return CloneWithChildren(*node,
+                               {Simplify(node->children[0], rejected)});
+    case RelKind::kUnionAll: {
+      std::vector<RelExprPtr> children;
+      for (size_t i = 0; i < node->children.size(); ++i) {
+        ColumnSet down;
+        for (size_t k = 0; k < node->out_cols.size(); ++k) {
+          if (rejected.Contains(node->out_cols[k])) {
+            down.Add(node->input_maps[i][k]);
+          }
+        }
+        children.push_back(Simplify(node->children[i], down));
+      }
+      return CloneWithChildren(*node, std::move(children));
+    }
+    default: {
+      std::vector<RelExprPtr> children;
+      for (const RelExprPtr& child : node->children) {
+        children.push_back(Simplify(child, ColumnSet()));
+      }
+      return CloneWithChildren(*node, std::move(children));
+    }
+  }
+}
+
+}  // namespace
+
+RelExprPtr SimplifyOuterJoins(const RelExprPtr& root) {
+  return Simplify(root, ColumnSet());
+}
+
+}  // namespace orq

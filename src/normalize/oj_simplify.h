@@ -1,0 +1,18 @@
+#ifndef ORQ_NORMALIZE_OJ_SIMPLIFY_H_
+#define ORQ_NORMALIZE_OJ_SIMPLIFY_H_
+
+#include "algebra/rel_expr.h"
+
+namespace orq {
+
+/// Simplifies left outer joins to inner joins when an ancestor predicate
+/// rejects NULLs on columns of the join's inner (right) side, following
+/// Galindo-Legaria & Rosenthal [7], extended — as the paper describes in
+/// section 1.2 — with derivation of null-rejection *through GroupBy*: a
+/// filter rejecting NULL on sum(x) rejects NULL on x below the aggregate,
+/// because sum yields NULL exactly when the group saw only NULLs.
+RelExprPtr SimplifyOuterJoins(const RelExprPtr& root);
+
+}  // namespace orq
+
+#endif  // ORQ_NORMALIZE_OJ_SIMPLIFY_H_

@@ -1,0 +1,84 @@
+#include "normalize/subquery_class.h"
+
+#include "algebra/props.h"
+
+namespace orq {
+
+std::string SubqueryClassName(SubqueryClass c) {
+  switch (c) {
+    case SubqueryClass::kClass1: return "Class1";
+    case SubqueryClass::kClass2: return "Class2";
+    case SubqueryClass::kClass3: return "Class3";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Does removing this apply need common-subexpression duplication?
+/// True when a set operation, or an inner join parameterized on both
+/// sides, sits on the parameterized path.
+bool NeedsDuplication(const RelExpr& node, const ColumnSet& outer_cols) {
+  bool param_here = FreeVariables(node).Intersects(outer_cols);
+  if (!param_here) return false;
+  switch (node.kind) {
+    case RelKind::kUnionAll:
+    case RelKind::kExceptAll:
+      return true;
+    case RelKind::kJoin: {
+      bool left = FreeVariables(*node.children[0]).Intersects(outer_cols);
+      bool right = FreeVariables(*node.children[1]).Intersects(outer_cols);
+      if (left && right) return true;
+      break;
+    }
+    default:
+      break;
+  }
+  for (const auto& child : node.children) {
+    if (NeedsDuplication(*child, outer_cols)) return true;
+  }
+  return false;
+}
+
+/// Does the parameterized path contain a Max1row guard that key analysis
+/// cannot remove (exception subquery)?
+bool HasIrreducibleMax1row(const RelExpr& node, const ColumnSet& outer_cols) {
+  if (node.kind == RelKind::kMax1row &&
+      FreeVariables(node).Intersects(outer_cols) &&
+      !MaxOneRow(*node.children[0])) {
+    return true;
+  }
+  for (const auto& child : node.children) {
+    if (HasIrreducibleMax1row(*child, outer_cols)) return true;
+  }
+  return false;
+}
+
+void Walk(const RelExprPtr& node, std::vector<ClassifiedApply>* out) {
+  for (const RelExprPtr& child : node->children) Walk(child, out);
+  if (node->kind != RelKind::kApply) return;
+  const RelExprPtr& outer = node->children[0];
+  const RelExprPtr& inner = node->children[1];
+  ColumnSet outer_cols = outer->OutputSet();
+  if (!FreeVariables(*inner).Intersects(outer_cols)) return;  // uncorrelated
+  ClassifiedApply entry;
+  entry.apply = node.get();
+  if (HasIrreducibleMax1row(*inner, outer_cols)) {
+    entry.cls = SubqueryClass::kClass3;
+  } else if (NeedsDuplication(*inner, outer_cols)) {
+    entry.cls = SubqueryClass::kClass2;
+  } else {
+    entry.cls = SubqueryClass::kClass1;
+  }
+  out->push_back(entry);
+}
+
+}  // namespace
+
+std::vector<ClassifiedApply> ClassifySubqueries(const RelExprPtr& root) {
+  std::vector<ClassifiedApply> out;
+  Walk(root, &out);
+  return out;
+}
+
+}  // namespace orq

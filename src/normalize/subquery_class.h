@@ -1,0 +1,37 @@
+#ifndef ORQ_NORMALIZE_SUBQUERY_CLASS_H_
+#define ORQ_NORMALIZE_SUBQUERY_CLASS_H_
+
+#include <string>
+#include <vector>
+
+#include "algebra/rel_expr.h"
+
+namespace orq {
+
+/// The paper's three broad subquery classes (section 2.5).
+enum class SubqueryClass {
+  /// Removable without introducing common subexpressions (simple
+  /// select/project/join/aggregate blocks).
+  kClass1,
+  /// Removable only by duplicating common subexpressions (identities
+  /// (5)-(7): set operations or joins parameterized on both sides).
+  kClass2,
+  /// Exception subqueries: need scalar-specific run-time behaviour
+  /// (Max1row that key analysis cannot eliminate).
+  kClass3,
+};
+
+std::string SubqueryClassName(SubqueryClass c);
+
+struct ClassifiedApply {
+  const RelExpr* apply = nullptr;
+  SubqueryClass cls = SubqueryClass::kClass1;
+};
+
+/// Classifies every *correlated* Apply in a post-Apply-introduction tree.
+/// Uncorrelated applies are trivial joins and are not reported.
+std::vector<ClassifiedApply> ClassifySubqueries(const RelExprPtr& root);
+
+}  // namespace orq
+
+#endif  // ORQ_NORMALIZE_SUBQUERY_CLASS_H_

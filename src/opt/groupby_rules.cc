@@ -1,0 +1,332 @@
+#include "opt/rules.h"
+
+#include "algebra/expr_util.h"
+#include "algebra/props.h"
+
+namespace orq {
+
+namespace {
+
+/// Shared condition checks for moving a GroupBy through a join whose
+/// preserved side is S and aggregated side is R (paper section 3.1):
+///   (1) join-predicate columns from R end up in the pushed grouping,
+///   (2) a key of S is part of the grouping columns,
+///   (3) aggregate arguments only use columns of R.
+struct PushAnalysis {
+  bool ok = false;
+  ColumnSet pushed_grouping;  // grouping for the pushed-down GroupBy
+};
+
+PushAnalysis AnalyzePush(const RelExprPtr& group, const RelExprPtr& join,
+                         const RelExprPtr& s_side, const RelExprPtr& r_side) {
+  PushAnalysis out;
+  ColumnSet s_cols = s_side->OutputSet();
+  ColumnSet r_cols = r_side->OutputSet();
+  if (!HasKeyWithin(*s_side, group->group_cols.Intersect(s_cols))) {
+    return out;  // condition (2)
+  }
+  for (const AggItem& agg : group->aggs) {
+    ColumnSet refs;
+    CollectColumnRefsDeep(agg.arg, &refs);
+    if (!refs.IsSubsetOf(r_cols)) return out;  // condition (3)
+  }
+  ColumnSet pred_refs;
+  CollectColumnRefsDeep(join->predicate, &pred_refs);
+  out.pushed_grouping = group->group_cols.Union(pred_refs).Intersect(r_cols);
+  out.ok = true;  // condition (1) satisfied by extending the grouping
+  return out;
+}
+
+/// G_{A,F}(S ⋈p R)  ->  π_{A∪F}(S ⋈p G_{A',F}(R))   (eager aggregation)
+class GroupByPushBelowJoinRule : public Rule {
+ public:
+  const char* name() const override { return "GroupByPushBelowJoin"; }
+
+  std::vector<RelExprPtr> Apply(const RelExprPtr& node, ColumnManager*,
+                                CostModel*) const override {
+    if (node->kind != RelKind::kGroupBy || node->scalar_agg) return {};
+    const RelExprPtr& join = node->children[0];
+    if (join->kind != RelKind::kJoin ||
+        join->join_kind != JoinKind::kInner) {
+      return {};
+    }
+    std::vector<RelExprPtr> out;
+    for (int r_is_right = 0; r_is_right < 2; ++r_is_right) {
+      const RelExprPtr& s_side = join->children[r_is_right ? 0 : 1];
+      const RelExprPtr& r_side = join->children[r_is_right ? 1 : 0];
+      PushAnalysis a = AnalyzePush(node, join, s_side, r_side);
+      if (!a.ok) continue;
+      RelExprPtr pushed =
+          MakeGroupBy(r_side, a.pushed_grouping, node->aggs);
+      RelExprPtr joined =
+          r_is_right ? MakeJoin(JoinKind::kInner, s_side, pushed,
+                                join->predicate)
+                     : MakeJoin(JoinKind::kInner, pushed, s_side,
+                                join->predicate);
+      // Trim to the original GroupBy's output set.
+      ColumnSet keep = node->group_cols;
+      for (const AggItem& agg : node->aggs) keep.Add(agg.output);
+      out.push_back(MakeProject(std::move(joined), {}, keep));
+    }
+    return out;
+  }
+};
+
+/// S ⋈p (G_{A,F} R)  ->  σ_{p_agg}(G_{A∪cols(S),F}(S ⋈_{p_plain} R))
+/// (lazy aggregation; conjuncts using aggregate results become a filter).
+class GroupByPullAboveJoinRule : public Rule {
+ public:
+  const char* name() const override { return "GroupByPullAboveJoin"; }
+
+  std::vector<RelExprPtr> Apply(const RelExprPtr& node, ColumnManager*,
+                                CostModel*) const override {
+    if (node->kind != RelKind::kJoin || node->join_kind != JoinKind::kInner) {
+      return {};
+    }
+    const RelExprPtr& s_side = node->children[0];
+    const RelExprPtr& group = node->children[1];
+    if (group->kind != RelKind::kGroupBy || group->scalar_agg) return {};
+    if (!HasKeyWithin(*s_side, s_side->OutputSet())) return {};
+    ColumnSet agg_outs;
+    for (const AggItem& agg : group->aggs) agg_outs.Add(agg.output);
+    std::vector<ScalarExprPtr> plain, on_aggs;
+    for (const ScalarExprPtr& c : SplitConjuncts(node->predicate)) {
+      ColumnSet refs;
+      CollectColumnRefsDeep(c, &refs);
+      (refs.Intersects(agg_outs) ? on_aggs : plain).push_back(c);
+    }
+    RelExprPtr joined = MakeJoin(JoinKind::kInner, s_side,
+                                 group->children[0], MakeAnd(plain));
+    RelExprPtr pulled = MakeGroupBy(
+        std::move(joined), group->group_cols.Union(s_side->OutputSet()),
+        group->aggs);
+    if (on_aggs.empty()) return {pulled};
+    return {MakeSelect(std::move(pulled), MakeAnd(on_aggs))};
+  }
+};
+
+/// G_{A,F}(S LOJ_p R) -> π_c(S LOJ_p (G_{A',F} R))  (paper section 3.2).
+/// The computing project replaces count results on unmatched rows by the
+/// aggregate's value on a single all-NULL row (count(*) -> 1, count(x) ->
+/// 0); NULL-on-NULL aggregates need no repair.
+class GroupByPushBelowOuterJoinRule : public Rule {
+ public:
+  const char* name() const override { return "GroupByPushBelowOuterJoin"; }
+
+  std::vector<RelExprPtr> Apply(const RelExprPtr& node,
+                                ColumnManager* columns,
+                                CostModel*) const override {
+    if (node->kind != RelKind::kGroupBy || node->scalar_agg) return {};
+    const RelExprPtr& join = node->children[0];
+    if (join->kind != RelKind::kJoin ||
+        join->join_kind != JoinKind::kLeftOuter) {
+      return {};
+    }
+    const RelExprPtr& s_side = join->children[0];
+    const RelExprPtr& r_side = join->children[1];
+    PushAnalysis a = AnalyzePush(node, join, s_side, r_side);
+    if (!a.ok) return {};
+
+    std::vector<AggItem> aggs = node->aggs;
+    bool needs_project = false;
+    for (const AggItem& agg : aggs) {
+      needs_project |= !AggNullOnEmpty(agg.func);
+    }
+    RelExprPtr pushed = MakeGroupBy(r_side, a.pushed_grouping, aggs);
+    // Detector for unmatched rows: any non-NULL output of the pushed
+    // GroupBy (count outputs are never NULL for real groups; fall back to
+    // an extra count(*)).
+    ColumnId detector = -1;
+    if (needs_project) {
+      for (const AggItem& agg : aggs) {
+        if (!AggNullOnEmpty(agg.func)) {
+          detector = agg.output;
+          break;
+        }
+      }
+    }
+    RelExprPtr joined =
+        MakeJoin(JoinKind::kLeftOuter, s_side, pushed, join->predicate);
+    ColumnSet keep = node->group_cols;
+    for (const AggItem& agg : node->aggs) keep.Add(agg.output);
+    if (!needs_project) {
+      return {MakeProject(std::move(joined), {}, keep)};
+    }
+    // Computing project: repair count outputs on NULL-padded rows.
+    std::vector<ProjectItem> items;
+    ColumnSet pass = keep;
+    for (const AggItem& agg : node->aggs) {
+      if (AggNullOnEmpty(agg.func)) continue;
+      // The original group of an unmatched S row is the single padded row:
+      // count(*) = 1, count(x over R) = 0.
+      int64_t constant = agg.func == AggFunc::kCountStar ? 1 : 0;
+      ScalarExprPtr repaired = MakeCase(
+          {MakeIsNull(CRef(*columns, detector)), LitInt(constant),
+           CRef(*columns, agg.output)},
+          DataType::kInt64);
+      items.push_back(ProjectItem{agg.output, std::move(repaired)});
+      pass.Remove(agg.output);
+    }
+    return {MakeProject(std::move(joined), std::move(items), pass)};
+  }
+};
+
+/// G_{A,F}(S ⋈p R) -> G_{A,Fg}(S ⋈p LG_{A',Fl}(R))  (paper section 3.3):
+/// split aggregates into local/global parts and aggregate R early. Unlike
+/// the full pushdown this needs no key on S — LocalGroupBy's grouping can
+/// be extended freely.
+class LocalAggregateSplitRule : public Rule {
+ public:
+  const char* name() const override { return "LocalAggregateSplit"; }
+
+  std::vector<RelExprPtr> Apply(const RelExprPtr& node,
+                                ColumnManager* columns,
+                                CostModel*) const override {
+    if (node->kind != RelKind::kGroupBy) return {};
+    const RelExprPtr& join = node->children[0];
+    if (join->kind != RelKind::kJoin ||
+        join->join_kind != JoinKind::kInner) {
+      return {};
+    }
+    std::vector<RelExprPtr> out;
+    for (int r_is_right = 0; r_is_right < 2; ++r_is_right) {
+      const RelExprPtr& s_side = join->children[r_is_right ? 0 : 1];
+      const RelExprPtr& r_side = join->children[r_is_right ? 1 : 0];
+      ColumnSet r_cols = r_side->OutputSet();
+      // All aggregate args must be computable on R; every aggregate must
+      // be splittable (Max1Row and DISTINCT are not).
+      bool applicable = !node->aggs.empty();
+      for (const AggItem& agg : node->aggs) {
+        if (agg.func == AggFunc::kMax1Row || agg.distinct) {
+          applicable = false;
+          break;
+        }
+        ColumnSet refs;
+        CollectColumnRefsDeep(agg.arg, &refs);
+        if (!refs.IsSubsetOf(r_cols)) {
+          applicable = false;
+          break;
+        }
+      }
+      if (!applicable) continue;
+      ColumnSet pred_refs;
+      CollectColumnRefsDeep(join->predicate, &pred_refs);
+      ColumnSet local_grouping =
+          node->group_cols.Union(pred_refs).Intersect(r_cols);
+      std::vector<AggItem> local, global;
+      for (const AggItem& agg : node->aggs) {
+        AggFunc local_func = agg.func;
+        AggFunc global_func;
+        switch (agg.func) {
+          case AggFunc::kSum: global_func = AggFunc::kSum; break;
+          case AggFunc::kMin: global_func = AggFunc::kMin; break;
+          case AggFunc::kMax: global_func = AggFunc::kMax; break;
+          case AggFunc::kCount:
+          case AggFunc::kCountStar:
+            global_func = AggFunc::kSum;
+            break;
+          default:
+            continue;
+        }
+        DataType local_type =
+            agg.func == AggFunc::kCount || agg.func == AggFunc::kCountStar
+                ? DataType::kInt64
+                : (agg.arg != nullptr ? agg.arg->type : DataType::kInt64);
+        ColumnId partial = columns->NewColumn("partial", local_type, true);
+        local.push_back(AggItem{local_func, agg.arg, partial, false});
+        global.push_back(AggItem{global_func, CRef(partial, local_type),
+                                 agg.output, false});
+      }
+      RelExprPtr lg = MakeLocalGroupBy(r_side, local_grouping,
+                                       std::move(local));
+      RelExprPtr joined =
+          r_is_right
+              ? MakeJoin(JoinKind::kInner, s_side, lg, join->predicate)
+              : MakeJoin(JoinKind::kInner, lg, s_side, join->predicate);
+      RelExprPtr top =
+          node->scalar_agg
+              ? MakeScalarGroupBy(std::move(joined), std::move(global))
+              : MakeGroupBy(std::move(joined), node->group_cols,
+                            std::move(global));
+      out.push_back(std::move(top));
+    }
+    return out;
+  }
+};
+
+/// R ⋉p S  ->  π_{cols(R)}(G_{cols(R)}(R ⋈p S))   (paper section 2.4:
+/// "for the resulting semijoin, we consider execution as join followed by
+/// GroupBy (distincting)"). Requires a key on R so that grouping by R's
+/// columns restores R's multiplicities; the introduced GroupBy is itself
+/// subject to the reordering rules, covering [14]'s semijoin strategies.
+class SemiJoinToJoinDistinctRule : public Rule {
+ public:
+  const char* name() const override { return "SemiJoinToJoinDistinct"; }
+
+  std::vector<RelExprPtr> Apply(const RelExprPtr& node, ColumnManager*,
+                                CostModel*) const override {
+    if (node->kind != RelKind::kJoin ||
+        node->join_kind != JoinKind::kLeftSemi) {
+      return {};
+    }
+    const RelExprPtr& left = node->children[0];
+    ColumnSet left_cols = left->OutputSet();
+    if (!HasKeyWithin(*left, left_cols)) return {};
+    RelExprPtr joined = MakeJoin(JoinKind::kInner, left, node->children[1],
+                                 node->predicate);
+    RelExprPtr grouped = MakeGroupBy(std::move(joined), left_cols, {});
+    return {MakeProject(std::move(grouped), {}, left_cols)};
+  }
+};
+
+/// (G_{A,F} R) ⋉p S  ->  G_{A,F}(R ⋉p S)  — and the same for antijoin —
+/// iff p does not use aggregate results and every non-S column of p is a
+/// grouping column (paper section 3.1, last paragraph: semijoins act as
+/// filters, so the filter/GroupBy reorder condition applies).
+class SemiJoinPushBelowGroupByRule : public Rule {
+ public:
+  const char* name() const override { return "SemiJoinPushBelowGroupBy"; }
+
+  std::vector<RelExprPtr> Apply(const RelExprPtr& node, ColumnManager*,
+                                CostModel*) const override {
+    if (node->kind != RelKind::kJoin ||
+        (node->join_kind != JoinKind::kLeftSemi &&
+         node->join_kind != JoinKind::kLeftAnti)) {
+      return {};
+    }
+    const RelExprPtr& group = node->children[0];
+    if (group->kind != RelKind::kGroupBy || group->scalar_agg) return {};
+    const RelExprPtr& s_side = node->children[1];
+    ColumnSet s_cols = s_side->OutputSet();
+    ColumnSet pred_refs;
+    CollectColumnRefsDeep(node->predicate, &pred_refs);
+    if (!pred_refs.Minus(s_cols).IsSubsetOf(group->group_cols)) return {};
+    RelExprPtr pushed = MakeJoin(node->join_kind, group->children[0],
+                                 s_side, node->predicate);
+    return {MakeGroupBy(std::move(pushed), group->group_cols, group->aggs)};
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> MakeSemiJoinToJoinDistinctRule() {
+  return std::make_unique<SemiJoinToJoinDistinctRule>();
+}
+std::unique_ptr<Rule> MakeSemiJoinPushBelowGroupByRule() {
+  return std::make_unique<SemiJoinPushBelowGroupByRule>();
+}
+
+std::unique_ptr<Rule> MakeGroupByPushBelowJoinRule() {
+  return std::make_unique<GroupByPushBelowJoinRule>();
+}
+std::unique_ptr<Rule> MakeGroupByPullAboveJoinRule() {
+  return std::make_unique<GroupByPullAboveJoinRule>();
+}
+std::unique_ptr<Rule> MakeGroupByPushBelowOuterJoinRule() {
+  return std::make_unique<GroupByPushBelowOuterJoinRule>();
+}
+std::unique_ptr<Rule> MakeLocalAggregateSplitRule() {
+  return std::make_unique<LocalAggregateSplitRule>();
+}
+
+}  // namespace orq

@@ -1,0 +1,107 @@
+#include "opt/optimizer.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "algebra/expr_util.h"
+#include "opt/cost.h"
+#include "opt/rules.h"
+
+namespace orq {
+
+namespace {
+
+class GreedyOptimizer {
+ public:
+  GreedyOptimizer(Catalog* catalog, ColumnManager* columns,
+                  const OptimizerOptions& options)
+      : columns_(columns),
+        options_(options),
+        cost_(catalog),
+        rules_(BuildRuleSet(options)) {}
+
+  RelExprPtr Optimize(const RelExprPtr& node, int depth) {
+    auto memo = memo_.find(node);
+    if (memo != memo_.end()) return memo->second;
+
+    // Children first.
+    std::vector<RelExprPtr> children;
+    bool changed = false;
+    for (const RelExprPtr& child : node->children) {
+      RelExprPtr optimized = Optimize(child, depth);
+      changed |= optimized != child;
+      children.push_back(std::move(optimized));
+    }
+    RelExprPtr current =
+        changed ? CloneWithChildren(*node, std::move(children)) : node;
+
+    if (depth < options_.max_depth) {
+      for (int round = 0; round < 4; ++round) {
+        double current_cost = cost_.Estimate(current).cost;
+        RelExprPtr best = current;
+        double best_cost = current_cost;
+        const char* best_rule = nullptr;
+        for (const auto& rule : rules_) {
+          for (RelExprPtr& alt : rule->Apply(current, columns_, &cost_)) {
+            // Give the alternative's subtrees their own shot (e.g. a
+            // pushed-down GroupBy may enable a further local split).
+            RelExprPtr refined = OptimizeChildren(alt, depth + 1);
+            double c = cost_.Estimate(refined).cost;
+            const char* dbg = std::getenv("ORQ_OPT_DEBUG");
+            if (dbg != nullptr && dbg[0] == '2') {
+              std::fprintf(stderr, "[opt] candidate %s: %.0f (current %.0f)\n",
+                           rule->name(), c, current_cost);
+            }
+            if (c < best_cost * 0.9999) {  // strict improvement only
+              best = refined;
+              best_cost = c;
+              best_rule = rule->name();
+            }
+          }
+        }
+        if (best == current) break;
+        if (std::getenv("ORQ_OPT_DEBUG") != nullptr) {
+          std::fprintf(stderr, "[opt] %s: %.0f -> %.0f\n", best_rule,
+                       current_cost, best_cost);
+        }
+        current = best;
+      }
+    }
+    memo_[node] = current;
+    return current;
+  }
+
+ private:
+  RelExprPtr OptimizeChildren(const RelExprPtr& node, int depth) {
+    if (depth >= options_.max_depth) return node;
+    std::vector<RelExprPtr> children;
+    bool changed = false;
+    for (const RelExprPtr& child : node->children) {
+      RelExprPtr optimized = Optimize(child, depth);
+      changed |= optimized != child;
+      children.push_back(std::move(optimized));
+    }
+    return changed ? CloneWithChildren(*node, std::move(children)) : node;
+  }
+
+  ColumnManager* columns_;
+  const OptimizerOptions& options_;
+  CostModel cost_;
+  std::vector<std::unique_ptr<Rule>> rules_;
+  // Keyed by shared_ptr: keeps source nodes alive so recycled addresses
+  // cannot alias memo entries.
+  std::map<RelExprPtr, RelExprPtr> memo_;
+};
+
+}  // namespace
+
+Result<RelExprPtr> OptimizeTree(RelExprPtr root, Catalog* catalog,
+                                ColumnManager* columns,
+                                const OptimizerOptions& options) {
+  if (!options.enable) return root;
+  GreedyOptimizer optimizer(catalog, columns, options);
+  return optimizer.Optimize(root, 0);
+}
+
+}  // namespace orq

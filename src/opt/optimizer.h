@@ -1,0 +1,43 @@
+#ifndef ORQ_OPT_OPTIMIZER_H_
+#define ORQ_OPT_OPTIMIZER_H_
+
+#include "algebra/rel_expr.h"
+#include "catalog/catalog.h"
+#include "common/result.h"
+
+namespace orq {
+
+/// Cost-based optimization switches, one per orthogonal technique of the
+/// paper's section 3 plus general exploration.
+struct OptimizerOptions {
+  /// Master switch; off leaves the normalized tree untouched.
+  bool enable = true;
+  /// GroupBy reordering around joins and filters (section 3.1).
+  bool reorder_groupby = true;
+  /// GroupBy pushdown below outer joins with computing project (3.2).
+  bool reorder_groupby_outerjoin = true;
+  /// Local/global aggregate split and LocalGroupBy pushdown (3.3).
+  bool local_aggregates = true;
+  /// SegmentApply introduction and join pushdown (3.4).
+  bool segment_apply = true;
+  /// Re-introduction of correlated execution (index-lookup-join, section 4).
+  bool correlated_reintroduction = true;
+  /// Inner-join commutativity (hash build-side choice).
+  bool join_commute = true;
+  /// Cap on greedy improvement recursion.
+  int max_depth = 8;
+};
+
+/// Cost-guided transformation search: bottom-up greedy application of the
+/// paper's rules, keeping an alternative only when the cost model ranks it
+/// strictly cheaper. (A full Volcano/Cascades memo would explore the same
+/// rule set exhaustively; the greedy search finds the paper's plans on all
+/// evaluated queries at a fraction of the implementation and search cost —
+/// see DESIGN.md.)
+Result<RelExprPtr> OptimizeTree(RelExprPtr root, Catalog* catalog,
+                                ColumnManager* columns,
+                                const OptimizerOptions& options);
+
+}  // namespace orq
+
+#endif  // ORQ_OPT_OPTIMIZER_H_

@@ -1,0 +1,270 @@
+#include "opt/physical.h"
+
+#include "algebra/expr_util.h"
+#include "algebra/props.h"
+#include "catalog/table.h"
+
+namespace orq {
+
+namespace {
+
+class PlanBuilder {
+ public:
+  PlanBuilder(const ColumnManager& columns,
+              const PhysicalBuildOptions& options)
+      : columns_(columns), options_(options) {}
+
+  Result<PhysicalOpPtr> Build(const RelExprPtr& node) {
+    switch (node->kind) {
+      case RelKind::kGet:
+        return MakeTableScan(node->table, node->get_ordinals,
+                             node->get_cols);
+      case RelKind::kSelect:
+        return BuildSelect(node);
+      case RelKind::kProject: {
+        ORQ_ASSIGN_OR_RETURN(PhysicalOpPtr child, Build(node->children[0]));
+        std::vector<ColumnId> pass;
+        for (ColumnId id : node->children[0]->OutputColumns()) {
+          if (node->passthrough.Contains(id)) pass.push_back(id);
+        }
+        return MakeComputeOp(std::move(child), node->proj_items,
+                             std::move(pass));
+      }
+      case RelKind::kJoin:
+        return BuildJoin(node);
+      case RelKind::kApply:
+        return BuildApply(node);
+      case RelKind::kGroupBy:
+      case RelKind::kLocalGroupBy: {
+        ORQ_ASSIGN_OR_RETURN(PhysicalOpPtr child, Build(node->children[0]));
+        std::vector<ColumnId> group_cols;
+        for (ColumnId id : node->children[0]->OutputColumns()) {
+          if (node->group_cols.Contains(id)) group_cols.push_back(id);
+        }
+        return MakeHashAggregateOp(std::move(child), std::move(group_cols),
+                                   node->aggs, node->scalar_agg);
+      }
+      case RelKind::kSegmentApply: {
+        ORQ_ASSIGN_OR_RETURN(PhysicalOpPtr input, Build(node->children[0]));
+        ORQ_ASSIGN_OR_RETURN(PhysicalOpPtr inner, Build(node->children[1]));
+        std::vector<int> key_slots;
+        const std::vector<ColumnId>& in_layout = input->layout();
+        std::vector<ColumnId> layout;
+        for (size_t i = 0; i < in_layout.size(); ++i) {
+          if (node->segment_cols.Contains(in_layout[i])) {
+            key_slots.push_back(static_cast<int>(i));
+            layout.push_back(in_layout[i]);
+          }
+        }
+        layout.insert(layout.end(), inner->layout().begin(),
+                      inner->layout().end());
+        return MakeSegmentApplyOp(std::move(input), std::move(inner),
+                                  std::move(key_slots), std::move(layout));
+      }
+      case RelKind::kSegmentRef:
+        return MakeSegmentScanOp(node->segment_out_cols);
+      case RelKind::kMax1row: {
+        ORQ_ASSIGN_OR_RETURN(PhysicalOpPtr child, Build(node->children[0]));
+        return MakeMax1rowOp(std::move(child));
+      }
+      case RelKind::kUnionAll: {
+        std::vector<PhysicalOpPtr> children;
+        for (size_t i = 0; i < node->children.size(); ++i) {
+          ORQ_ASSIGN_OR_RETURN(PhysicalOpPtr child,
+                               BuildAligned(node->children[i],
+                                            node->input_maps[i],
+                                            node->out_cols));
+          children.push_back(std::move(child));
+        }
+        return MakeUnionAllOp(std::move(children), node->out_cols);
+      }
+      case RelKind::kExceptAll: {
+        ORQ_ASSIGN_OR_RETURN(
+            PhysicalOpPtr left,
+            BuildAligned(node->children[0], node->input_maps[0],
+                         node->out_cols));
+        ORQ_ASSIGN_OR_RETURN(
+            PhysicalOpPtr right,
+            BuildAligned(node->children[1], node->input_maps[1],
+                         node->out_cols));
+        return MakeExceptAllOp(std::move(left), std::move(right),
+                               node->out_cols);
+      }
+      case RelKind::kSort: {
+        ORQ_ASSIGN_OR_RETURN(PhysicalOpPtr child, Build(node->children[0]));
+        return MakeSortOp(std::move(child), node->sort_keys, node->limit);
+      }
+      case RelKind::kSingleRow:
+        return MakeSingleRowOp();
+    }
+    return Status::Internal("unhandled logical operator");
+  }
+
+ private:
+  /// Wraps a set-operation branch so its layout positionally matches the
+  /// parent's output columns.
+  Result<PhysicalOpPtr> BuildAligned(const RelExprPtr& child,
+                                     const std::vector<ColumnId>& input_map,
+                                     const std::vector<ColumnId>& out_cols) {
+    ORQ_ASSIGN_OR_RETURN(PhysicalOpPtr built, Build(child));
+    std::vector<ProjectItem> items;
+    for (size_t i = 0; i < out_cols.size(); ++i) {
+      items.push_back(
+          ProjectItem{out_cols[i], CRef(columns_, input_map[i])});
+    }
+    return MakeComputeOp(std::move(built), std::move(items), {});
+  }
+
+  Result<PhysicalOpPtr> BuildSelect(const RelExprPtr& node) {
+    const RelExprPtr& child = node->children[0];
+    // A constant FALSE/NULL predicate is the canonical empty relation
+    // (normalize/fold.h): compile it to a zero-row operator without
+    // building the pruned subtree at all.
+    if (node->predicate->kind == ScalarKind::kLiteral &&
+        IsFalseOrNullLiteral(node->predicate)) {
+      return MakeEmptyOp(child->OutputColumns());
+    }
+    // Select-over-Get with a key-covering equality -> index seek. The
+    // equality's other side may be a literal or a correlated parameter;
+    // under a rebinding Apply this becomes index-lookup-join.
+    if (options_.use_index_seek && child->kind == RelKind::kGet) {
+      ColumnSet child_cols = child->OutputSet();
+      std::vector<ScalarExprPtr> residual;
+      std::vector<int> key_ordinals;
+      std::vector<ScalarExprPtr> key_exprs;
+      for (const ScalarExprPtr& c : SplitConjuncts(node->predicate)) {
+        bool used = false;
+        if (c->kind == ScalarKind::kCompare && c->cmp == CompareOp::kEq) {
+          for (int side = 0; side < 2 && !used; ++side) {
+            const ScalarExprPtr& l = c->children[side];
+            const ScalarExprPtr& r = c->children[1 - side];
+            if (l->kind != ScalarKind::kColumnRef) continue;
+            if (!child_cols.Contains(l->column)) continue;
+            ColumnSet rrefs;
+            CollectColumnRefs(r, &rrefs);
+            if (rrefs.Intersects(child_cols)) continue;
+            // Map the column id back to its table ordinal.
+            for (size_t i = 0; i < child->get_cols.size(); ++i) {
+              if (child->get_cols[i] == l->column) {
+                key_ordinals.push_back(child->get_ordinals[i]);
+                key_exprs.push_back(r);
+                used = true;
+                break;
+              }
+            }
+          }
+        }
+        if (!used) residual.push_back(c);
+      }
+      if (!key_ordinals.empty()) {
+        const TableIndex* index = child->table->FindIndex(key_ordinals);
+        if (index != nullptr) {
+          // Key expressions must line up with the index's ordinal order.
+          std::vector<ScalarExprPtr> ordered(key_ordinals.size());
+          for (size_t i = 0; i < index->ordinals().size(); ++i) {
+            for (size_t k = 0; k < key_ordinals.size(); ++k) {
+              if (key_ordinals[k] == index->ordinals()[i]) {
+                ordered[i] = key_exprs[k];
+              }
+            }
+          }
+          ScalarExprPtr res =
+              residual.empty() ? nullptr : MakeAnd(std::move(residual));
+          return MakeIndexSeek(child->table, index, std::move(ordered),
+                               child->get_ordinals, child->get_cols,
+                               std::move(res));
+        }
+      }
+    }
+    ORQ_ASSIGN_OR_RETURN(PhysicalOpPtr built, Build(child));
+    return MakeFilterOp(std::move(built), node->predicate);
+  }
+
+  static PhysJoinKind ToPhysJoinKind(JoinKind kind) {
+    switch (kind) {
+      case JoinKind::kInner:
+      case JoinKind::kCross:
+        return PhysJoinKind::kInner;
+      case JoinKind::kLeftOuter:
+        return PhysJoinKind::kLeftOuter;
+      case JoinKind::kLeftSemi:
+        return PhysJoinKind::kLeftSemi;
+      case JoinKind::kLeftAnti:
+        return PhysJoinKind::kLeftAnti;
+    }
+    return PhysJoinKind::kInner;
+  }
+
+  Result<PhysicalOpPtr> BuildJoin(const RelExprPtr& node) {
+    ORQ_ASSIGN_OR_RETURN(PhysicalOpPtr left, Build(node->children[0]));
+    ORQ_ASSIGN_OR_RETURN(PhysicalOpPtr right, Build(node->children[1]));
+    PhysJoinKind kind = ToPhysJoinKind(node->join_kind);
+    if (options_.use_hash_join) {
+      ColumnSet left_cols = node->children[0]->OutputSet();
+      ColumnSet right_cols = node->children[1]->OutputSet();
+      std::vector<std::pair<ScalarExprPtr, ScalarExprPtr>> keys;
+      std::vector<ScalarExprPtr> residual;
+      for (const ScalarExprPtr& c : SplitConjuncts(node->predicate)) {
+        bool is_key = false;
+        if (c->kind == ScalarKind::kCompare && c->cmp == CompareOp::kEq) {
+          ColumnSet lrefs, rrefs;
+          CollectColumnRefs(c->children[0], &lrefs);
+          CollectColumnRefs(c->children[1], &rrefs);
+          if (lrefs.IsSubsetOf(left_cols) && rrefs.IsSubsetOf(right_cols)) {
+            keys.emplace_back(c->children[0], c->children[1]);
+            is_key = true;
+          } else if (lrefs.IsSubsetOf(right_cols) &&
+                     rrefs.IsSubsetOf(left_cols)) {
+            keys.emplace_back(c->children[1], c->children[0]);
+            is_key = true;
+          }
+        }
+        if (!is_key) residual.push_back(c);
+      }
+      if (!keys.empty()) {
+        // Residuals on anti joins are only correct when they reject the
+        // row strictly; nested loops keeps full generality there.
+        bool anti_with_residual =
+            kind == PhysJoinKind::kLeftAnti && !residual.empty();
+        if (!anti_with_residual) {
+          ScalarExprPtr res =
+              residual.empty() ? nullptr : MakeAnd(std::move(residual));
+          return MakeHashJoinOp(kind, std::move(left), std::move(right),
+                                std::move(keys), std::move(res));
+        }
+      }
+    }
+    return MakeNLJoinOp(kind, std::move(left), std::move(right),
+                        node->predicate, /*rebind_inner=*/false);
+  }
+
+  Result<PhysicalOpPtr> BuildApply(const RelExprPtr& node) {
+    ORQ_ASSIGN_OR_RETURN(PhysicalOpPtr left, Build(node->children[0]));
+    ORQ_ASSIGN_OR_RETURN(PhysicalOpPtr right, Build(node->children[1]));
+    bool correlated = FreeVariables(*node->children[1])
+                          .Intersects(node->children[0]->OutputSet());
+    PhysJoinKind kind;
+    switch (node->apply_kind) {
+      case ApplyKind::kCross: kind = PhysJoinKind::kInner; break;
+      case ApplyKind::kOuter: kind = PhysJoinKind::kLeftOuter; break;
+      case ApplyKind::kSemi: kind = PhysJoinKind::kLeftSemi; break;
+      case ApplyKind::kAnti: kind = PhysJoinKind::kLeftAnti; break;
+    }
+    return MakeNLJoinOp(kind, std::move(left), std::move(right),
+                        TrueLiteral(), correlated);
+  }
+
+  const ColumnManager& columns_;
+  const PhysicalBuildOptions& options_;
+};
+
+}  // namespace
+
+Result<PhysicalOpPtr> BuildPhysicalPlan(const RelExprPtr& logical,
+                                        const ColumnManager& columns,
+                                        const PhysicalBuildOptions& options) {
+  PlanBuilder builder(columns, options);
+  return builder.Build(logical);
+}
+
+}  // namespace orq

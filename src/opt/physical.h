@@ -1,0 +1,29 @@
+#ifndef ORQ_OPT_PHYSICAL_H_
+#define ORQ_OPT_PHYSICAL_H_
+
+#include "algebra/rel_expr.h"
+#include "common/result.h"
+#include "exec/ops.h"
+
+namespace orq {
+
+/// Implementation choices for the logical -> physical translation.
+struct PhysicalBuildOptions {
+  /// Use hash joins for equi-joins (otherwise nested loops).
+  bool use_hash_join = true;
+  /// Turn Select-over-Get with key-equality into index seeks when a
+  /// matching index exists — under a correlated Apply this is the
+  /// index-lookup-join of paper section 4.
+  bool use_index_seek = true;
+};
+
+/// Translates a logical tree into an executable plan. Joins pick hash vs
+/// nested-loops locally; Apply executes as rebinding nested loops.
+/// (The cost-based optimizer produces the logical tree; see optimizer.h.)
+Result<PhysicalOpPtr> BuildPhysicalPlan(const RelExprPtr& logical,
+                                        const ColumnManager& columns,
+                                        const PhysicalBuildOptions& options);
+
+}  // namespace orq
+
+#endif  // ORQ_OPT_PHYSICAL_H_

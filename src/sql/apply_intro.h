@@ -1,0 +1,26 @@
+#ifndef ORQ_SQL_APPLY_INTRO_H_
+#define ORQ_SQL_APPLY_INTRO_H_
+
+#include "algebra/rel_expr.h"
+#include "common/result.h"
+
+namespace orq {
+
+/// Removes the mutual recursion between scalar and relational operators
+/// (paper section 2.2): every subquery embedded in a scalar expression is
+/// made explicit as an Apply operator below the consuming relational node,
+/// and the scalar expression then refers to the Apply-produced column.
+///
+/// * EXISTS / IN / quantified comparisons that appear as top-level WHERE
+///   conjuncts become Apply-semijoin / Apply-antijoin (section 2.4).
+/// * Scalar subqueries become Apply-cross when the inner produces exactly
+///   one row (scalar aggregate), otherwise OuterApply over Max1row.
+/// * Boolean subqueries in other positions are rewritten through scalar
+///   count aggregates with full three-valued-logic fidelity.
+///
+/// The result contains no ScalarKind::k*Subquery nodes.
+Result<RelExprPtr> IntroduceApplies(RelExprPtr root, ColumnManager* columns);
+
+}  // namespace orq
+
+#endif  // ORQ_SQL_APPLY_INTRO_H_

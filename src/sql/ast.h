@@ -1,0 +1,99 @@
+#ifndef ORQ_SQL_AST_H_
+#define ORQ_SQL_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algebra/rel_expr.h"
+#include "algebra/scalar_expr.h"
+#include "common/value.h"
+
+namespace orq {
+
+struct AstExpr;
+struct SelectStmt;
+using AstExprPtr = std::unique_ptr<AstExpr>;
+using SelectStmtPtr = std::unique_ptr<SelectStmt>;
+
+enum class AstExprKind {
+  kColumn,        // [qualifier.]name
+  kLiteral,
+  kStar,          // count(*) argument marker
+  kBinary,        // op in {AND OR = <> < <= > >= + - * / LIKE}
+  kUnary,         // op in {NOT, -}
+  kIsNull,        // child0; payload negated for IS NOT NULL
+  kFuncCall,      // name + args (+ distinct flag for aggregates)
+  kCase,          // children: when,then,... [,else]
+  kInList,        // child0 = probe; rest = list; negated for NOT IN
+  kBetween,       // children: value, lo, hi; negated for NOT BETWEEN
+  kScalarSubquery,
+  kExists,        // negated for NOT EXISTS
+  kInSubquery,    // child0 = probe; negated for NOT IN
+  kQuantified,    // child0 = left; cmp + quantifier
+};
+
+/// Parsed (unbound) scalar expression.
+struct AstExpr {
+  AstExprKind kind;
+  std::vector<AstExprPtr> children;
+
+  std::string qualifier;  // kColumn: optional table alias
+  std::string name;       // kColumn / kFuncCall
+  Value literal;          // kLiteral
+  std::string op;         // kBinary / kUnary, token text ("=", "AND", ...)
+  bool negated = false;
+  bool distinct = false;  // kFuncCall: count(distinct x)
+  CompareOp cmp = CompareOp::kEq;        // kQuantified
+  Quantifier quantifier = Quantifier::kAny;
+  SelectStmtPtr subquery;  // subquery kinds
+  size_t position = 0;     // source offset for error messages
+};
+
+enum class TableRefKind { kBaseTable, kDerivedTable, kJoin };
+
+/// Parsed FROM-clause item.
+struct TableRef {
+  TableRefKind kind = TableRefKind::kBaseTable;
+  // kBaseTable
+  std::string table_name;
+  std::string alias;  // also names kDerivedTable
+  // kDerivedTable
+  SelectStmtPtr derived;
+  // kJoin
+  std::unique_ptr<TableRef> left;
+  std::unique_ptr<TableRef> right;
+  JoinKind join_kind = JoinKind::kInner;
+  AstExprPtr on_condition;  // nullptr for CROSS JOIN
+};
+
+struct SelectItem {
+  AstExprPtr expr;     // nullptr means bare '*'
+  std::string alias;
+};
+
+struct OrderItem {
+  AstExprPtr expr;
+  bool ascending = true;
+};
+
+/// Parsed SELECT statement.
+struct SelectStmt {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::vector<std::unique_ptr<TableRef>> from;  // comma-separated refs
+  AstExprPtr where;
+  std::vector<AstExprPtr> group_by;
+  AstExprPtr having;
+  std::vector<OrderItem> order_by;
+  int64_t limit = -1;
+  // UNION ALL / EXCEPT ALL chain: when set, this stmt is `this_op` applied
+  // to the current block and `set_rhs`.
+  enum class SetOp { kNone, kUnionAll, kExceptAll };
+  SetOp set_op = SetOp::kNone;
+  SelectStmtPtr set_rhs;
+};
+
+}  // namespace orq
+
+#endif  // ORQ_SQL_AST_H_

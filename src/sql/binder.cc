@@ -1,0 +1,670 @@
+#include "sql/binder.h"
+
+#include <functional>
+#include <map>
+
+#include "algebra/expr_util.h"
+#include "common/str_util.h"
+
+namespace orq {
+
+namespace {
+
+bool IsAggregateName(const std::string& name) {
+  return EqualsIgnoreCase(name, "count") || EqualsIgnoreCase(name, "sum") ||
+         EqualsIgnoreCase(name, "min") || EqualsIgnoreCase(name, "max") ||
+         EqualsIgnoreCase(name, "avg");
+}
+
+}  // namespace
+
+/// Name-resolution scope: the columns visible at one query level, chained to
+/// the enclosing level (resolution through `parent` is what correlation is).
+struct Binder::Scope {
+  struct Entry {
+    std::string alias;   // table alias (lower-case)
+    std::string name;    // column name (lower-case)
+    ColumnId id;
+  };
+  std::vector<Entry> entries;
+  Scope* parent = nullptr;
+
+  void Add(const std::string& alias, const std::string& name, ColumnId id) {
+    entries.push_back(Entry{ToLower(alias), ToLower(name), id});
+  }
+
+  Result<ColumnId> Resolve(const std::string& qualifier,
+                           const std::string& name) const {
+    std::string q = ToLower(qualifier);
+    std::string n = ToLower(name);
+    ColumnId found = -1;
+    int hits = 0;
+    for (const Entry& e : entries) {
+      if (e.name != n) continue;
+      if (!q.empty() && e.alias != q) continue;
+      found = e.id;
+      ++hits;
+    }
+    if (hits == 1) return found;
+    if (hits > 1) {
+      return Status::InvalidArgument("ambiguous column: " + name);
+    }
+    if (parent != nullptr) return parent->Resolve(qualifier, name);
+    return Status::NotFound("unknown column: " +
+                            (qualifier.empty() ? name : qualifier + "." + name));
+  }
+};
+
+namespace {
+
+/// Collects aggregate calls while binding expressions of an aggregate query.
+struct AggCollector {
+  std::vector<AggItem> items;
+  ColumnManager* columns = nullptr;
+
+  /// Registers an aggregate; reuses an existing identical item.
+  ColumnId Register(AggFunc func, ScalarExprPtr arg, bool distinct,
+                    DataType out_type, const std::string& name) {
+    for (const AggItem& item : items) {
+      if (item.func == func && item.distinct == distinct &&
+          ScalarEquals(item.arg, arg)) {
+        return item.output;
+      }
+    }
+    ColumnId id = columns->NewColumn(name, out_type, true);
+    items.push_back(AggItem{func, std::move(arg), id, distinct});
+    return id;
+  }
+};
+
+}  // namespace
+
+/// Expression binder for one query block.
+class ExprBinder {
+ public:
+  ExprBinder(Binder* binder, Catalog* catalog, ColumnManager* columns,
+             Binder::Scope* scope, AggCollector* aggs,
+             std::function<Result<BoundQuery>(const SelectStmt&,
+                                              Binder::Scope*)>
+                 bind_subquery)
+      : binder_(binder),
+        catalog_(catalog),
+        columns_(columns),
+        scope_(scope),
+        aggs_(aggs),
+        bind_subquery_(std::move(bind_subquery)) {}
+
+  Result<ScalarExprPtr> Bind(const AstExpr& ast) {
+    switch (ast.kind) {
+      case AstExprKind::kColumn: {
+        ORQ_ASSIGN_OR_RETURN(ColumnId id,
+                             scope_->Resolve(ast.qualifier, ast.name));
+        return CRef(*columns_, id);
+      }
+      case AstExprKind::kLiteral:
+        return Lit(ast.literal);
+      case AstExprKind::kStar:
+        return Status::InvalidArgument("'*' is only valid in count(*)");
+      case AstExprKind::kBinary:
+        return BindBinary(ast);
+      case AstExprKind::kUnary: {
+        ORQ_ASSIGN_OR_RETURN(ScalarExprPtr child, Bind(*ast.children[0]));
+        if (ast.op == "NOT") return MakeNot(std::move(child));
+        return MakeNegate(std::move(child));
+      }
+      case AstExprKind::kIsNull: {
+        ORQ_ASSIGN_OR_RETURN(ScalarExprPtr child, Bind(*ast.children[0]));
+        return ast.negated ? MakeIsNotNull(std::move(child))
+                           : MakeIsNull(std::move(child));
+      }
+      case AstExprKind::kFuncCall:
+        return BindFunc(ast);
+      case AstExprKind::kCase: {
+        std::vector<ScalarExprPtr> children;
+        for (const AstExprPtr& child : ast.children) {
+          ORQ_ASSIGN_OR_RETURN(ScalarExprPtr bound, Bind(*child));
+          children.push_back(std::move(bound));
+        }
+        // Result type: type of the first THEN branch.
+        DataType type =
+            children.size() >= 2 ? children[1]->type : DataType::kInt64;
+        return MakeCase(std::move(children), type);
+      }
+      case AstExprKind::kInList: {
+        std::vector<ScalarExprPtr> list;
+        ORQ_ASSIGN_OR_RETURN(ScalarExprPtr probe, Bind(*ast.children[0]));
+        for (size_t i = 1; i < ast.children.size(); ++i) {
+          ORQ_ASSIGN_OR_RETURN(ScalarExprPtr item, Bind(*ast.children[i]));
+          list.push_back(std::move(item));
+        }
+        ScalarExprPtr in = MakeInList(std::move(probe), std::move(list));
+        return ast.negated ? MakeNot(std::move(in)) : in;
+      }
+      case AstExprKind::kBetween: {
+        ORQ_ASSIGN_OR_RETURN(ScalarExprPtr value, Bind(*ast.children[0]));
+        ORQ_ASSIGN_OR_RETURN(ScalarExprPtr lo, Bind(*ast.children[1]));
+        ORQ_ASSIGN_OR_RETURN(ScalarExprPtr hi, Bind(*ast.children[2]));
+        ScalarExprPtr range =
+            MakeAnd2(MakeCompare(CompareOp::kGe, value, std::move(lo)),
+                     MakeCompare(CompareOp::kLe, value, std::move(hi)));
+        return ast.negated ? MakeNot(std::move(range)) : range;
+      }
+      case AstExprKind::kScalarSubquery: {
+        ORQ_ASSIGN_OR_RETURN(BoundQuery sub, BindSub(*ast.subquery));
+        if (sub.output_cols.size() != 1) {
+          return Status::InvalidArgument(
+              "scalar subquery must return one column");
+        }
+        return MakeScalarSubquery(sub.root,
+                                  columns_->type(sub.output_cols[0]));
+      }
+      case AstExprKind::kExists: {
+        ORQ_ASSIGN_OR_RETURN(BoundQuery sub, BindSub(*ast.subquery));
+        return MakeExists(sub.root, ast.negated);
+      }
+      case AstExprKind::kInSubquery: {
+        ORQ_ASSIGN_OR_RETURN(ScalarExprPtr probe, Bind(*ast.children[0]));
+        ORQ_ASSIGN_OR_RETURN(BoundQuery sub, BindSub(*ast.subquery));
+        if (sub.output_cols.size() != 1) {
+          return Status::InvalidArgument(
+              "IN subquery must return one column");
+        }
+        return MakeInSubquery(std::move(probe), sub.root, ast.negated);
+      }
+      case AstExprKind::kQuantified: {
+        ORQ_ASSIGN_OR_RETURN(ScalarExprPtr left, Bind(*ast.children[0]));
+        ORQ_ASSIGN_OR_RETURN(BoundQuery sub, BindSub(*ast.subquery));
+        if (sub.output_cols.size() != 1) {
+          return Status::InvalidArgument(
+              "quantified subquery must return one column");
+        }
+        return MakeQuantified(ast.cmp, ast.quantifier, std::move(left),
+                              sub.root);
+      }
+    }
+    return Status::Internal("unhandled AST node");
+  }
+
+ private:
+  Result<BoundQuery> BindSub(const SelectStmt& stmt) {
+    return bind_subquery_(stmt, scope_);
+  }
+
+  Result<ScalarExprPtr> BindBinary(const AstExpr& ast) {
+    ORQ_ASSIGN_OR_RETURN(ScalarExprPtr l, Bind(*ast.children[0]));
+    ORQ_ASSIGN_OR_RETURN(ScalarExprPtr r, Bind(*ast.children[1]));
+    const std::string& op = ast.op;
+    if (op == "AND") return MakeAnd2(std::move(l), std::move(r));
+    if (op == "OR") return MakeOr({std::move(l), std::move(r)});
+    if (op == "LIKE") return MakeLike(std::move(l), std::move(r));
+    if (op == "+") return MakeArith(ArithOp::kAdd, std::move(l), std::move(r));
+    if (op == "-") return MakeArith(ArithOp::kSub, std::move(l), std::move(r));
+    if (op == "*") return MakeArith(ArithOp::kMul, std::move(l), std::move(r));
+    if (op == "/") return MakeArith(ArithOp::kDiv, std::move(l), std::move(r));
+    CompareOp cmp;
+    if (op == "=") cmp = CompareOp::kEq;
+    else if (op == "<>") cmp = CompareOp::kNe;
+    else if (op == "<") cmp = CompareOp::kLt;
+    else if (op == "<=") cmp = CompareOp::kLe;
+    else if (op == ">") cmp = CompareOp::kGt;
+    else if (op == ">=") cmp = CompareOp::kGe;
+    else return Status::Unsupported("operator " + op);
+    return MakeCompare(cmp, std::move(l), std::move(r));
+  }
+
+  Result<ScalarExprPtr> BindFunc(const AstExpr& ast) {
+    if (!IsAggregateName(ast.name)) {
+      return Status::Unsupported("function " + ast.name);
+    }
+    if (aggs_ == nullptr) {
+      return Status::InvalidArgument(
+          "aggregate " + ast.name + " not allowed in this context");
+    }
+    bool is_count_star =
+        !ast.children.empty() && ast.children[0]->kind == AstExprKind::kStar;
+    ScalarExprPtr arg;
+    if (!is_count_star) {
+      if (ast.children.size() != 1) {
+        return Status::InvalidArgument(ast.name + " takes one argument");
+      }
+      // Aggregate arguments bind against the pre-aggregation scope; nested
+      // aggregates are rejected.
+      AggCollector* saved = aggs_;
+      aggs_ = nullptr;
+      Result<ScalarExprPtr> bound = Bind(*ast.children[0]);
+      aggs_ = saved;
+      if (!bound.ok()) return bound.status();
+      arg = *bound;
+    }
+    if (EqualsIgnoreCase(ast.name, "count")) {
+      if (is_count_star) {
+        ColumnId id = aggs_->Register(AggFunc::kCountStar, nullptr, false,
+                                      DataType::kInt64, "count");
+        return CRef(id, DataType::kInt64);
+      }
+      ColumnId id = aggs_->Register(AggFunc::kCount, arg, ast.distinct,
+                                    DataType::kInt64, "count");
+      return CRef(id, DataType::kInt64);
+    }
+    if (EqualsIgnoreCase(ast.name, "sum")) {
+      ColumnId id =
+          aggs_->Register(AggFunc::kSum, arg, ast.distinct, arg->type, "sum");
+      return CRef(id, arg->type);
+    }
+    if (EqualsIgnoreCase(ast.name, "min")) {
+      ColumnId id =
+          aggs_->Register(AggFunc::kMin, arg, false, arg->type, "min");
+      return CRef(id, arg->type);
+    }
+    if (EqualsIgnoreCase(ast.name, "max")) {
+      ColumnId id =
+          aggs_->Register(AggFunc::kMax, arg, false, arg->type, "max");
+      return CRef(id, arg->type);
+    }
+    // avg(e) decomposes into sum(e)/count(e), guarded against empty/all-NULL
+    // groups (paper section 3.3: every aggregate gets local/global parts).
+    DataType sum_type = arg->type;
+    ColumnId sum_id =
+        aggs_->Register(AggFunc::kSum, arg, ast.distinct, sum_type, "sum");
+    ColumnId cnt_id = aggs_->Register(AggFunc::kCount, arg, ast.distinct,
+                                      DataType::kInt64, "count");
+    ScalarExprPtr cnt = CRef(cnt_id, DataType::kInt64);
+    ScalarExprPtr division = MakeArith(
+        ArithOp::kDiv,
+        MakeArith(ArithOp::kMul, CRef(sum_id, sum_type), LitDouble(1.0)),
+        cnt);
+    return MakeCase({MakeCompare(CompareOp::kEq, cnt, LitInt(0)),
+                     LitNull(DataType::kDouble), division},
+                    DataType::kDouble);
+  }
+
+  Binder* binder_;
+  Catalog* catalog_;
+  ColumnManager* columns_;
+  Binder::Scope* scope_;
+  AggCollector* aggs_;
+  std::function<Result<BoundQuery>(const SelectStmt&, Binder::Scope*)>
+      bind_subquery_;
+};
+
+namespace {
+
+bool AstHasAggregate(const AstExpr* ast) {
+  if (ast == nullptr) return false;
+  if (ast->kind == AstExprKind::kFuncCall && IsAggregateName(ast->name)) {
+    return true;
+  }
+  // Do not descend into subqueries: their aggregates are theirs.
+  for (const AstExprPtr& child : ast->children) {
+    if (AstHasAggregate(child.get())) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<BoundQuery> Binder::Bind(const SelectStmt& stmt) {
+  return BindSelect(stmt, nullptr);
+}
+
+Result<BoundQuery> Binder::BindSelect(const SelectStmt& stmt, Scope* outer) {
+  ORQ_ASSIGN_OR_RETURN(BoundQuery left, BindBlock(stmt, outer));
+  if (stmt.set_op == SelectStmt::SetOp::kNone) return left;
+  ORQ_ASSIGN_OR_RETURN(BoundQuery right, BindSelect(*stmt.set_rhs, outer));
+  if (left.output_cols.size() != right.output_cols.size()) {
+    return Status::InvalidArgument("set operands have different arity");
+  }
+  std::vector<ColumnId> out_cols;
+  for (size_t i = 0; i < left.output_cols.size(); ++i) {
+    out_cols.push_back(columns_->NewColumn(
+        left.output_names[i], columns_->type(left.output_cols[i]), true));
+  }
+  std::vector<std::vector<ColumnId>> maps = {left.output_cols,
+                                             right.output_cols};
+  BoundQuery result;
+  result.output_cols = out_cols;
+  result.output_names = left.output_names;
+  if (stmt.set_op == SelectStmt::SetOp::kUnionAll) {
+    result.root = MakeUnionAll({left.root, right.root}, std::move(out_cols),
+                               std::move(maps));
+  } else {
+    result.root = MakeExceptAll(left.root, right.root, std::move(out_cols),
+                                std::move(maps));
+  }
+  return result;
+}
+
+Result<BoundQuery> Binder::BindBlock(const SelectStmt& stmt, Scope* outer) {
+  Scope scope;
+  scope.parent = outer;
+
+  // ---- FROM ----
+  RelExprPtr rel;
+  std::function<Result<RelExprPtr>(const TableRef&)> bind_ref =
+      [&](const TableRef& ref) -> Result<RelExprPtr> {
+    switch (ref.kind) {
+      case TableRefKind::kBaseTable: {
+        Table* table = catalog_->FindTable(ref.table_name);
+        if (table == nullptr) {
+          return Status::NotFound("unknown table: " + ref.table_name);
+        }
+        std::vector<ColumnId> ids;
+        for (const ColumnSpec& col : table->columns()) {
+          ColumnId id = columns_->NewColumn(col.name, col.type, col.nullable);
+          ids.push_back(id);
+          scope.Add(ref.alias, col.name, id);
+        }
+        return MakeGet(table, std::move(ids));
+      }
+      case TableRefKind::kDerivedTable: {
+        // Derived tables are uncorrelated: bind against the outer scope
+        // only (not FROM siblings).
+        ORQ_ASSIGN_OR_RETURN(BoundQuery sub, BindSelect(*ref.derived, outer));
+        for (size_t i = 0; i < sub.output_cols.size(); ++i) {
+          scope.Add(ref.alias, sub.output_names[i], sub.output_cols[i]);
+        }
+        return sub.root;
+      }
+      case TableRefKind::kJoin: {
+        ORQ_ASSIGN_OR_RETURN(RelExprPtr left, bind_ref(*ref.left));
+        ORQ_ASSIGN_OR_RETURN(RelExprPtr right, bind_ref(*ref.right));
+        ScalarExprPtr condition = TrueLiteral();
+        if (ref.on_condition != nullptr) {
+          ExprBinder expr_binder(
+              this, catalog_, columns_.get(), &scope, nullptr,
+              [this](const SelectStmt& sub, Scope* s) {
+                return BindSelect(sub, s);
+              });
+          ORQ_ASSIGN_OR_RETURN(condition,
+                               expr_binder.Bind(*ref.on_condition));
+          if (condition->HasSubquery()) {
+            return Status::Unsupported("subquery in ON clause");
+          }
+        }
+        JoinKind kind =
+            ref.join_kind == JoinKind::kCross ? JoinKind::kInner : ref.join_kind;
+        return MakeJoin(kind, std::move(left), std::move(right),
+                        std::move(condition));
+      }
+    }
+    return Status::Internal("unhandled table ref");
+  };
+
+  if (stmt.from.empty()) {
+    rel = MakeSingleRow();
+  } else {
+    ORQ_ASSIGN_OR_RETURN(rel, bind_ref(*stmt.from[0]));
+    for (size_t i = 1; i < stmt.from.size(); ++i) {
+      ORQ_ASSIGN_OR_RETURN(RelExprPtr next, bind_ref(*stmt.from[i]));
+      rel = MakeJoin(JoinKind::kInner, std::move(rel), std::move(next),
+                     TrueLiteral());
+    }
+  }
+
+  auto subquery_binder = [this](const SelectStmt& sub, Scope* s) {
+    return BindSelect(sub, s);
+  };
+
+  // ---- WHERE ----
+  if (stmt.where != nullptr) {
+    if (AstHasAggregate(stmt.where.get())) {
+      return Status::InvalidArgument("aggregates not allowed in WHERE");
+    }
+    ExprBinder expr_binder(this, catalog_, columns_.get(), &scope, nullptr,
+                           subquery_binder);
+    ORQ_ASSIGN_OR_RETURN(ScalarExprPtr pred, expr_binder.Bind(*stmt.where));
+    rel = MakeSelect(std::move(rel), std::move(pred));
+  }
+
+  // ---- aggregation ----
+  bool has_group_by = !stmt.group_by.empty();
+  bool has_aggs = AstHasAggregate(stmt.having.get());
+  for (const SelectItem& item : stmt.items) {
+    has_aggs |= AstHasAggregate(item.expr.get());
+  }
+  for (const OrderItem& item : stmt.order_by) {
+    has_aggs |= AstHasAggregate(item.expr.get());
+  }
+  bool aggregate_query = has_group_by || has_aggs;
+
+  ColumnSet group_cols;
+  AggCollector collector;
+  collector.columns = columns_.get();
+
+  if (aggregate_query) {
+    // Bind GROUP BY expressions. Plain column refs group directly; computed
+    // expressions get a pre-projection.
+    std::vector<ProjectItem> pre_items;
+    // Computed grouping expressions; SELECT/HAVING occurrences of a
+    // structurally equal expression resolve to the grouping column.
+    std::vector<std::pair<ScalarExprPtr, ColumnId>> group_exprs;
+    ExprBinder group_binder(this, catalog_, columns_.get(), &scope, nullptr,
+                            subquery_binder);
+    for (const AstExprPtr& g : stmt.group_by) {
+      ORQ_ASSIGN_OR_RETURN(ScalarExprPtr bound, group_binder.Bind(*g));
+      if (bound->HasSubquery()) {
+        return Status::Unsupported("subquery in GROUP BY");
+      }
+      if (bound->kind == ScalarKind::kColumnRef) {
+        group_cols.Add(bound->column);
+      } else {
+        ColumnId id = columns_->NewColumn("groupexpr", bound->type, true);
+        pre_items.push_back(ProjectItem{id, bound});
+        group_exprs.emplace_back(bound, id);
+        group_cols.Add(id);
+      }
+    }
+    if (!pre_items.empty()) {
+      rel = MakeProject(rel, std::move(pre_items), rel->OutputSet());
+    }
+    std::function<ScalarExprPtr(const ScalarExprPtr&)> fold_group_exprs =
+        [&](const ScalarExprPtr& e) -> ScalarExprPtr {
+      if (e == nullptr) return e;
+      for (const auto& [expr, id] : group_exprs) {
+        if (ScalarEquals(e, expr)) return CRef(*columns_, id);
+      }
+      if (e->children.empty()) return e;
+      auto copy = std::make_shared<ScalarExpr>(*e);
+      for (ScalarExprPtr& child : copy->children) {
+        child = fold_group_exprs(child);
+      }
+      return copy;
+    };
+
+    // Bind SELECT items and HAVING with aggregate collection.
+    ExprBinder agg_binder(this, catalog_, columns_.get(), &scope, &collector,
+                          subquery_binder);
+    std::vector<ProjectItem> out_items;
+    std::vector<std::string> out_names;
+    ColumnSet group_or_agg = group_cols;
+    for (size_t i = 0; i < stmt.items.size(); ++i) {
+      const SelectItem& item = stmt.items[i];
+      if (item.expr == nullptr) {
+        return Status::InvalidArgument("'*' not allowed with GROUP BY");
+      }
+      ORQ_ASSIGN_OR_RETURN(ScalarExprPtr bound, agg_binder.Bind(*item.expr));
+      bound = fold_group_exprs(bound);
+      std::string name =
+          !item.alias.empty()
+              ? item.alias
+              : (item.expr->kind == AstExprKind::kColumn
+                     ? item.expr->name
+                     : "col" + std::to_string(i + 1));
+      ColumnId id = columns_->NewColumn(name, bound->type, true);
+      out_items.push_back(ProjectItem{id, std::move(bound)});
+      out_names.push_back(name);
+    }
+    ScalarExprPtr having;
+    if (stmt.having != nullptr) {
+      ORQ_ASSIGN_OR_RETURN(having, agg_binder.Bind(*stmt.having));
+      having = fold_group_exprs(having);
+    }
+
+    for (const AggItem& item : collector.items) group_or_agg.Add(item.output);
+    // Validate: every free column in post-aggregation expressions must be a
+    // grouping column or an aggregate output.
+    for (const ProjectItem& item : out_items) {
+      ColumnSet refs;
+      CollectColumnRefsDeep(item.expr, &refs);
+      // References bound from outer scopes are permitted (correlated
+      // subquery within select list binds before aggregation... treated as
+      // parameters); only columns visible in this block are checked.
+      ColumnSet visible = rel->OutputSet();
+      for (ColumnId id : refs) {
+        if (visible.Contains(id) && !group_or_agg.Contains(id)) {
+          return Status::InvalidArgument(
+              "column " + columns_->name(id) +
+              " must appear in GROUP BY or inside an aggregate");
+        }
+      }
+    }
+
+    rel = has_group_by
+              ? MakeGroupBy(rel, group_cols, std::move(collector.items))
+              : MakeScalarGroupBy(rel, std::move(collector.items));
+    if (having != nullptr) {
+      rel = MakeSelect(rel, std::move(having));
+    }
+
+    BoundQuery result;
+    for (const ProjectItem& item : out_items) {
+      result.output_cols.push_back(item.output);
+    }
+    result.output_names = std::move(out_names);
+    std::vector<ProjectItem> items_copy = out_items;
+    rel = MakeProject(rel, std::move(out_items), ColumnSet());
+    ORQ_RETURN_IF_ERROR(
+        ApplyOrderAndDistinct(stmt, &scope, items_copy, &rel, &result));
+    result.root = rel;
+    return result;
+  }
+
+  // ---- non-aggregate SELECT list ----
+  ExprBinder expr_binder(this, catalog_, columns_.get(), &scope, nullptr,
+                         subquery_binder);
+  std::vector<ProjectItem> out_items;
+  BoundQuery result;
+  for (size_t i = 0; i < stmt.items.size(); ++i) {
+    const SelectItem& item = stmt.items[i];
+    if (item.expr == nullptr) {
+      // '*': every column of the FROM scope, in declaration order.
+      for (const Scope::Entry& e : scope.entries) {
+        ColumnId id =
+            columns_->NewColumn(e.name, columns_->type(e.id), true);
+        out_items.push_back(ProjectItem{id, CRef(*columns_, e.id)});
+        result.output_cols.push_back(id);
+        result.output_names.push_back(e.name);
+      }
+      continue;
+    }
+    ORQ_ASSIGN_OR_RETURN(ScalarExprPtr bound, expr_binder.Bind(*item.expr));
+    std::string name =
+        !item.alias.empty()
+            ? item.alias
+            : (item.expr->kind == AstExprKind::kColumn
+                   ? item.expr->name
+                   : "col" + std::to_string(i + 1));
+    ColumnId id = columns_->NewColumn(name, bound->type, true);
+    out_items.push_back(ProjectItem{id, std::move(bound)});
+    result.output_cols.push_back(id);
+    result.output_names.push_back(name);
+  }
+  std::vector<ProjectItem> items_copy = out_items;
+  rel = MakeProject(rel, std::move(out_items), ColumnSet());
+  ORQ_RETURN_IF_ERROR(
+      ApplyOrderAndDistinct(stmt, &scope, items_copy, &rel, &result));
+  result.root = rel;
+  return result;
+}
+
+Status Binder::ApplyOrderAndDistinct(const SelectStmt& stmt, Scope* scope,
+                                     const std::vector<ProjectItem>& out_items,
+                                     RelExprPtr* rel, BoundQuery* result) {
+  if (stmt.distinct) {
+    *rel = MakeGroupBy(*rel, ColumnSet(result->output_cols), {});
+  }
+  if (!stmt.order_by.empty()) {
+    std::vector<SortKey> keys;
+    bool hidden_sort_cols = false;
+    for (const OrderItem& item : stmt.order_by) {
+      SortKey key;
+      key.ascending = item.ascending;
+      // ORDER BY <ordinal>
+      if (item.expr->kind == AstExprKind::kLiteral &&
+          item.expr->literal.type() == DataType::kInt64 &&
+          !item.expr->literal.is_null()) {
+        int64_t ordinal = item.expr->literal.int64_value();
+        if (ordinal < 1 ||
+            ordinal > static_cast<int64_t>(result->output_cols.size())) {
+          return Status::InvalidArgument("ORDER BY ordinal out of range");
+        }
+        key.expr = CRef(*columns_, result->output_cols[ordinal - 1]);
+        keys.push_back(std::move(key));
+        continue;
+      }
+      // ORDER BY <output alias>
+      if (item.expr->kind == AstExprKind::kColumn &&
+          item.expr->qualifier.empty()) {
+        bool matched = false;
+        for (size_t i = 0; i < result->output_names.size(); ++i) {
+          if (EqualsIgnoreCase(result->output_names[i], item.expr->name)) {
+            key.expr = CRef(*columns_, result->output_cols[i]);
+            matched = true;
+            break;
+          }
+        }
+        if (matched) {
+          keys.push_back(std::move(key));
+          continue;
+        }
+      }
+      // Fall back to binding against the FROM scope; only valid when the
+      // referenced columns survive into the sort input, which holds for
+      // column refs that the select list projects — otherwise report.
+      ExprBinder expr_binder(this, catalog_, columns_.get(), scope, nullptr,
+                             [this](const SelectStmt& sub, Scope* s) {
+                               return BindSelect(sub, s);
+                             });
+      ORQ_ASSIGN_OR_RETURN(ScalarExprPtr bound, expr_binder.Bind(*item.expr));
+      // An expression structurally equal to a select item sorts by that
+      // output column (e.g. ORDER BY c_nationkey when the select list
+      // contains c_nationkey under a generated name).
+      for (const ProjectItem& out : out_items) {
+        if (ScalarEquals(bound, out.expr)) {
+          bound = CRef(*columns_, out.output);
+          break;
+        }
+      }
+      ColumnSet refs;
+      CollectColumnRefs(bound, &refs);
+      ColumnSet missing = refs.Minus((*rel)->OutputSet());
+      if (!missing.empty()) {
+        // SQL permits ordering by columns the select list does not
+        // project; forward them through the final Project as hidden
+        // columns (trimmed again after the sort).
+        if ((*rel)->kind == RelKind::kProject &&
+            missing.IsSubsetOf((*rel)->children[0]->OutputSet())) {
+          RelExprPtr widened = CloneWithChildren(**rel, (*rel)->children);
+          widened->passthrough = widened->passthrough.Union(missing);
+          *rel = widened;
+          hidden_sort_cols = true;
+        } else {
+          return Status::Unsupported(
+              "ORDER BY expression must reference output columns");
+        }
+      }
+      key.expr = std::move(bound);
+      keys.push_back(std::move(key));
+    }
+    *rel = MakeSort(*rel, std::move(keys), stmt.limit);
+    if (hidden_sort_cols) {
+      // Trim the hidden sort columns back out of the output.
+      *rel = MakeProject(*rel, {}, ColumnSet(result->output_cols));
+    }
+  } else if (stmt.limit >= 0) {
+    *rel = MakeSort(*rel, {}, stmt.limit);
+  }
+  return Status::OK();
+}
+
+}  // namespace orq

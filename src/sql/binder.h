@@ -1,0 +1,50 @@
+#ifndef ORQ_SQL_BINDER_H_
+#define ORQ_SQL_BINDER_H_
+
+#include <string>
+#include <vector>
+
+#include "algebra/rel_expr.h"
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace orq {
+
+/// Result of binding: a logical operator tree whose OutputColumns() are
+/// exactly the SELECT-list columns, in order, plus their display names.
+/// Subqueries are still embedded in scalar expressions (the mutual-recursion
+/// form of paper section 2.1); ApplyIntroduction removes them.
+struct BoundQuery {
+  RelExprPtr root;
+  std::vector<ColumnId> output_cols;
+  std::vector<std::string> output_names;
+};
+
+/// Translates a parsed AST into the algebra, resolving names against the
+/// catalog, allocating column ids, decomposing avg into sum/count, and
+/// normalizing DISTINCT into GroupBy.
+class Binder {
+ public:
+  Binder(Catalog* catalog, ColumnManagerPtr columns)
+      : catalog_(catalog), columns_(std::move(columns)) {}
+
+  Result<BoundQuery> Bind(const SelectStmt& stmt);
+
+ private:
+  friend class ExprBinder;
+  struct Scope;
+
+  Result<BoundQuery> BindSelect(const SelectStmt& stmt, Scope* outer);
+  Result<BoundQuery> BindBlock(const SelectStmt& stmt, Scope* outer);
+  Status ApplyOrderAndDistinct(const SelectStmt& stmt, Scope* scope,
+                               const std::vector<ProjectItem>& out_items,
+                               RelExprPtr* rel, BoundQuery* result);
+
+  Catalog* catalog_;
+  ColumnManagerPtr columns_;
+};
+
+}  // namespace orq
+
+#endif  // ORQ_SQL_BINDER_H_

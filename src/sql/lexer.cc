@@ -1,0 +1,141 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+#include "common/str_util.h"
+
+namespace orq {
+
+namespace {
+
+const std::unordered_set<std::string>& Keywords() {
+  static const auto* kKeywords = new std::unordered_set<std::string>{
+      "SELECT", "FROM",   "WHERE",  "GROUP",   "BY",       "HAVING",
+      "ORDER",  "ASC",    "DESC",   "LIMIT",   "AS",       "AND",
+      "OR",     "NOT",    "IN",     "EXISTS",  "BETWEEN",  "LIKE",
+      "IS",     "NULL",   "CASE",   "WHEN",    "THEN",     "ELSE",
+      "END",    "JOIN",   "LEFT",   "RIGHT",   "OUTER",    "INNER",
+      "CROSS",  "ON",     "UNION",  "ALL",     "ANY",      "SOME",
+      "EXCEPT", "DISTINCT", "DATE", "TRUE",    "FALSE",    "TOP",
+  };
+  return *kKeywords;
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // -- line comments
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    Token token;
+    token.position = i;
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(sql[i])) ++i;
+      std::string word = sql.substr(start, i - start);
+      std::string upper = word;
+      for (char& ch : upper) ch = std::toupper(static_cast<unsigned char>(ch));
+      if (Keywords().count(upper) > 0) {
+        token.type = TokenType::kKeyword;
+        token.text = upper;
+      } else {
+        token.type = TokenType::kIdentifier;
+        token.text = word;
+      }
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '.' && i + 1 < n &&
+                std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t start = i;
+      bool is_float = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '.')) {
+        if (sql[i] == '.') is_float = true;
+        ++i;
+      }
+      if (i < n && (sql[i] == 'e' || sql[i] == 'E')) {
+        is_float = true;
+        ++i;
+        if (i < n && (sql[i] == '+' || sql[i] == '-')) ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      token.type = is_float ? TokenType::kFloat : TokenType::kInteger;
+      token.text = sql.substr(start, i - start);
+    } else if (c == '\'') {
+      ++i;
+      std::string text;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {  // escaped quote
+            text += '\'';
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        text += sql[i++];
+      }
+      if (!closed) {
+        return Status::InvalidArgument("unterminated string literal at " +
+                                       std::to_string(token.position));
+      }
+      token.type = TokenType::kString;
+      token.text = std::move(text);
+    } else {
+      // Operators / punctuation, longest match first.
+      static const char* kTwoChar[] = {"<=", ">=", "<>", "!=", "||"};
+      token.type = TokenType::kOperator;
+      bool matched = false;
+      if (i + 1 < n) {
+        std::string two = sql.substr(i, 2);
+        for (const char* op : kTwoChar) {
+          if (two == op) {
+            token.text = two == "!=" ? "<>" : two;
+            i += 2;
+            matched = true;
+            break;
+          }
+        }
+      }
+      if (!matched) {
+        static const std::string kSingle = "+-*/%(),.<>=";
+        if (kSingle.find(c) == std::string::npos) {
+          return Status::InvalidArgument(
+              std::string("unexpected character '") + c + "' at " +
+              std::to_string(i));
+        }
+        token.text = std::string(1, c);
+        ++i;
+      }
+    }
+    tokens.push_back(std::move(token));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.position = n;
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace orq

@@ -1,0 +1,33 @@
+#ifndef ORQ_SQL_LEXER_H_
+#define ORQ_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace orq {
+
+enum class TokenType {
+  kIdentifier,
+  kKeyword,     // normalized upper-case in `text`
+  kInteger,
+  kFloat,
+  kString,      // quoted content, unescaped
+  kOperator,    // punctuation / comparison text, e.g. "<=", "(", ","
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;
+  size_t position = 0;  // byte offset for error messages
+};
+
+/// Tokenizes SQL text. Keywords are recognized case-insensitively and
+/// normalized to upper case; identifiers keep their original spelling.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace orq
+
+#endif  // ORQ_SQL_LEXER_H_

@@ -1,0 +1,551 @@
+#include "sql/parser.h"
+
+#include <cstdlib>
+
+#include "sql/lexer.h"
+
+namespace orq {
+
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SelectStmtPtr> ParseStatement() {
+    ORQ_ASSIGN_OR_RETURN(SelectStmtPtr stmt, ParseSelect());
+    if (!AtEnd()) {
+      return Error("unexpected trailing input");
+    }
+    return stmt;
+  }
+
+ private:
+  // ---- token helpers ----
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool AtEnd() const { return Peek().type == TokenType::kEnd; }
+
+  bool PeekKeyword(const std::string& kw) const {
+    return Peek().type == TokenType::kKeyword && Peek().text == kw;
+  }
+  bool MatchKeyword(const std::string& kw) {
+    if (PeekKeyword(kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool PeekOp(const std::string& op) const {
+    return Peek().type == TokenType::kOperator && Peek().text == op;
+  }
+  bool MatchOp(const std::string& op) {
+    if (PeekOp(op)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(message + " at offset " +
+                                   std::to_string(Peek().position) +
+                                   " (near '" + Peek().text + "')");
+  }
+  Status ExpectKeyword(const std::string& kw) {
+    if (!MatchKeyword(kw)) return Error("expected " + kw);
+    return Status::OK();
+  }
+  Status ExpectOp(const std::string& op) {
+    if (!MatchOp(op)) return Error("expected '" + op + "'");
+    return Status::OK();
+  }
+
+  // ---- statement ----
+  Result<SelectStmtPtr> ParseSelect() {
+    ORQ_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    auto stmt = std::make_unique<SelectStmt>();
+    if (MatchKeyword("TOP")) {
+      if (Peek().type != TokenType::kInteger) return Error("expected count");
+      stmt->limit = std::atoll(Advance().text.c_str());
+    }
+    if (MatchKeyword("DISTINCT")) stmt->distinct = true;
+    // select list
+    do {
+      SelectItem item;
+      if (PeekOp("*")) {
+        ++pos_;
+        item.expr = nullptr;
+      } else {
+        ORQ_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (MatchKeyword("AS")) {
+          if (Peek().type != TokenType::kIdentifier) {
+            return Error("expected alias");
+          }
+          item.alias = Advance().text;
+        } else if (Peek().type == TokenType::kIdentifier) {
+          item.alias = Advance().text;
+        }
+      }
+      stmt->items.push_back(std::move(item));
+    } while (MatchOp(","));
+
+    if (MatchKeyword("FROM")) {
+      do {
+        ORQ_ASSIGN_OR_RETURN(auto ref, ParseTableRef());
+        stmt->from.push_back(std::move(ref));
+      } while (MatchOp(","));
+    }
+    if (MatchKeyword("WHERE")) {
+      ORQ_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+    }
+    if (MatchKeyword("GROUP")) {
+      ORQ_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      do {
+        ORQ_ASSIGN_OR_RETURN(auto expr, ParseExpr());
+        stmt->group_by.push_back(std::move(expr));
+      } while (MatchOp(","));
+    }
+    if (MatchKeyword("HAVING")) {
+      ORQ_ASSIGN_OR_RETURN(stmt->having, ParseExpr());
+    }
+    // Set operations bind before ORDER BY / LIMIT of the full statement;
+    // for simplicity ORDER BY applies to the left block only if it precedes
+    // the set op (we parse set-op first, standard enough for our subset).
+    if (MatchKeyword("UNION")) {
+      ORQ_RETURN_IF_ERROR(ExpectKeyword("ALL"));
+      stmt->set_op = SelectStmt::SetOp::kUnionAll;
+      ORQ_ASSIGN_OR_RETURN(stmt->set_rhs, ParseSelect());
+      return stmt;
+    }
+    if (MatchKeyword("EXCEPT")) {
+      ORQ_RETURN_IF_ERROR(ExpectKeyword("ALL"));
+      stmt->set_op = SelectStmt::SetOp::kExceptAll;
+      ORQ_ASSIGN_OR_RETURN(stmt->set_rhs, ParseSelect());
+      return stmt;
+    }
+    if (MatchKeyword("ORDER")) {
+      ORQ_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      do {
+        OrderItem item;
+        ORQ_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (MatchKeyword("DESC")) {
+          item.ascending = false;
+        } else {
+          MatchKeyword("ASC");
+        }
+        stmt->order_by.push_back(std::move(item));
+      } while (MatchOp(","));
+    }
+    if (MatchKeyword("LIMIT")) {
+      if (Peek().type != TokenType::kInteger) return Error("expected count");
+      stmt->limit = std::atoll(Advance().text.c_str());
+    }
+    return stmt;
+  }
+
+  // ---- FROM clause ----
+  Result<std::unique_ptr<TableRef>> ParsePrimaryTableRef() {
+    auto ref = std::make_unique<TableRef>();
+    if (MatchOp("(")) {
+      ref->kind = TableRefKind::kDerivedTable;
+      ORQ_ASSIGN_OR_RETURN(ref->derived, ParseSelect());
+      ORQ_RETURN_IF_ERROR(ExpectOp(")"));
+      MatchKeyword("AS");
+      if (Peek().type != TokenType::kIdentifier) {
+        return Error("derived table requires an alias");
+      }
+      ref->alias = Advance().text;
+      return ref;
+    }
+    if (Peek().type != TokenType::kIdentifier) {
+      return Error("expected table name");
+    }
+    ref->kind = TableRefKind::kBaseTable;
+    ref->table_name = Advance().text;
+    if (MatchKeyword("AS")) {
+      if (Peek().type != TokenType::kIdentifier) return Error("expected alias");
+      ref->alias = Advance().text;
+    } else if (Peek().type == TokenType::kIdentifier) {
+      ref->alias = Advance().text;
+    } else {
+      ref->alias = ref->table_name;
+    }
+    return ref;
+  }
+
+  Result<std::unique_ptr<TableRef>> ParseTableRef() {
+    ORQ_ASSIGN_OR_RETURN(auto left, ParsePrimaryTableRef());
+    while (true) {
+      JoinKind kind;
+      bool has_on = true;
+      if (MatchKeyword("JOIN") ||
+          (PeekKeyword("INNER") && (Advance(), MatchKeyword("JOIN")))) {
+        kind = JoinKind::kInner;
+      } else if (PeekKeyword("LEFT")) {
+        ++pos_;
+        MatchKeyword("OUTER");
+        ORQ_RETURN_IF_ERROR(ExpectKeyword("JOIN"));
+        kind = JoinKind::kLeftOuter;
+      } else if (PeekKeyword("CROSS")) {
+        ++pos_;
+        ORQ_RETURN_IF_ERROR(ExpectKeyword("JOIN"));
+        kind = JoinKind::kCross;
+        has_on = false;
+      } else {
+        break;
+      }
+      ORQ_ASSIGN_OR_RETURN(auto right, ParsePrimaryTableRef());
+      auto join = std::make_unique<TableRef>();
+      join->kind = TableRefKind::kJoin;
+      join->join_kind = kind;
+      join->left = std::move(left);
+      join->right = std::move(right);
+      if (has_on) {
+        ORQ_RETURN_IF_ERROR(ExpectKeyword("ON"));
+        ORQ_ASSIGN_OR_RETURN(join->on_condition, ParseExpr());
+      }
+      left = std::move(join);
+    }
+    return left;
+  }
+
+  // ---- expressions ----
+  AstExprPtr NewExpr(AstExprKind kind) {
+    auto e = std::make_unique<AstExpr>();
+    e->kind = kind;
+    e->position = Peek().position;
+    return e;
+  }
+
+  Result<AstExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<AstExprPtr> ParseOr() {
+    ORQ_ASSIGN_OR_RETURN(auto left, ParseAnd());
+    while (MatchKeyword("OR")) {
+      ORQ_ASSIGN_OR_RETURN(auto right, ParseAnd());
+      auto node = NewExpr(AstExprKind::kBinary);
+      node->op = "OR";
+      node->children.push_back(std::move(left));
+      node->children.push_back(std::move(right));
+      left = std::move(node);
+    }
+    return left;
+  }
+
+  Result<AstExprPtr> ParseAnd() {
+    ORQ_ASSIGN_OR_RETURN(auto left, ParseNot());
+    while (MatchKeyword("AND")) {
+      ORQ_ASSIGN_OR_RETURN(auto right, ParseNot());
+      auto node = NewExpr(AstExprKind::kBinary);
+      node->op = "AND";
+      node->children.push_back(std::move(left));
+      node->children.push_back(std::move(right));
+      left = std::move(node);
+    }
+    return left;
+  }
+
+  Result<AstExprPtr> ParseNot() {
+    if (MatchKeyword("NOT")) {
+      ORQ_ASSIGN_OR_RETURN(auto child, ParseNot());
+      // NOT EXISTS / NOT IN get folded into the child's negated flag.
+      if (child->kind == AstExprKind::kExists ||
+          child->kind == AstExprKind::kInSubquery ||
+          child->kind == AstExprKind::kInList ||
+          child->kind == AstExprKind::kBetween ||
+          child->kind == AstExprKind::kIsNull) {
+        child->negated = !child->negated;
+        return child;
+      }
+      auto node = NewExpr(AstExprKind::kUnary);
+      node->op = "NOT";
+      node->children.push_back(std::move(child));
+      return node;
+    }
+    return ParsePredicate();
+  }
+
+  static bool TokenToCompareOp(const std::string& text, CompareOp* op) {
+    if (text == "=") *op = CompareOp::kEq;
+    else if (text == "<>") *op = CompareOp::kNe;
+    else if (text == "<") *op = CompareOp::kLt;
+    else if (text == "<=") *op = CompareOp::kLe;
+    else if (text == ">") *op = CompareOp::kGt;
+    else if (text == ">=") *op = CompareOp::kGe;
+    else return false;
+    return true;
+  }
+
+  Result<AstExprPtr> ParsePredicate() {
+    ORQ_ASSIGN_OR_RETURN(auto left, ParseAddSub());
+    // comparison / quantified comparison
+    CompareOp cmp;
+    if (Peek().type == TokenType::kOperator &&
+        TokenToCompareOp(Peek().text, &cmp)) {
+      ++pos_;
+      if (PeekKeyword("ALL") || PeekKeyword("ANY") || PeekKeyword("SOME")) {
+        Quantifier q = PeekKeyword("ALL") ? Quantifier::kAll : Quantifier::kAny;
+        ++pos_;
+        ORQ_RETURN_IF_ERROR(ExpectOp("("));
+        ORQ_ASSIGN_OR_RETURN(auto sub, ParseSelect());
+        ORQ_RETURN_IF_ERROR(ExpectOp(")"));
+        auto node = NewExpr(AstExprKind::kQuantified);
+        node->cmp = cmp;
+        node->quantifier = q;
+        node->children.push_back(std::move(left));
+        node->subquery = std::move(sub);
+        return node;
+      }
+      ORQ_ASSIGN_OR_RETURN(auto right, ParseAddSub());
+      auto node = NewExpr(AstExprKind::kBinary);
+      node->op = CompareOpName(cmp);
+      node->children.push_back(std::move(left));
+      node->children.push_back(std::move(right));
+      return node;
+    }
+    bool negated = false;
+    if (PeekKeyword("NOT")) {
+      // lookahead for NOT IN / NOT BETWEEN / NOT LIKE
+      const Token& next = tokens_[pos_ + 1];
+      if (next.type == TokenType::kKeyword &&
+          (next.text == "IN" || next.text == "BETWEEN" ||
+           next.text == "LIKE")) {
+        ++pos_;
+        negated = true;
+      }
+    }
+    if (MatchKeyword("IN")) {
+      ORQ_RETURN_IF_ERROR(ExpectOp("("));
+      if (PeekKeyword("SELECT")) {
+        ORQ_ASSIGN_OR_RETURN(auto sub, ParseSelect());
+        ORQ_RETURN_IF_ERROR(ExpectOp(")"));
+        auto node = NewExpr(AstExprKind::kInSubquery);
+        node->negated = negated;
+        node->children.push_back(std::move(left));
+        node->subquery = std::move(sub);
+        return node;
+      }
+      auto node = NewExpr(AstExprKind::kInList);
+      node->negated = negated;
+      node->children.push_back(std::move(left));
+      do {
+        ORQ_ASSIGN_OR_RETURN(auto item, ParseExpr());
+        node->children.push_back(std::move(item));
+      } while (MatchOp(","));
+      ORQ_RETURN_IF_ERROR(ExpectOp(")"));
+      return node;
+    }
+    if (MatchKeyword("BETWEEN")) {
+      ORQ_ASSIGN_OR_RETURN(auto lo, ParseAddSub());
+      ORQ_RETURN_IF_ERROR(ExpectKeyword("AND"));
+      ORQ_ASSIGN_OR_RETURN(auto hi, ParseAddSub());
+      auto node = NewExpr(AstExprKind::kBetween);
+      node->negated = negated;
+      node->children.push_back(std::move(left));
+      node->children.push_back(std::move(lo));
+      node->children.push_back(std::move(hi));
+      return node;
+    }
+    if (MatchKeyword("LIKE")) {
+      ORQ_ASSIGN_OR_RETURN(auto pattern, ParseAddSub());
+      auto node = NewExpr(AstExprKind::kBinary);
+      node->op = "LIKE";
+      node->negated = negated;
+      node->children.push_back(std::move(left));
+      node->children.push_back(std::move(pattern));
+      if (negated) {
+        auto wrap = NewExpr(AstExprKind::kUnary);
+        wrap->op = "NOT";
+        node->negated = false;
+        wrap->children.push_back(std::move(node));
+        return wrap;
+      }
+      return node;
+    }
+    if (MatchKeyword("IS")) {
+      bool not_null = MatchKeyword("NOT");
+      ORQ_RETURN_IF_ERROR(ExpectKeyword("NULL"));
+      auto node = NewExpr(AstExprKind::kIsNull);
+      node->negated = not_null;
+      node->children.push_back(std::move(left));
+      return node;
+    }
+    return left;
+  }
+
+  Result<AstExprPtr> ParseAddSub() {
+    ORQ_ASSIGN_OR_RETURN(auto left, ParseMulDiv());
+    while (PeekOp("+") || PeekOp("-")) {
+      std::string op = Advance().text;
+      ORQ_ASSIGN_OR_RETURN(auto right, ParseMulDiv());
+      auto node = NewExpr(AstExprKind::kBinary);
+      node->op = op;
+      node->children.push_back(std::move(left));
+      node->children.push_back(std::move(right));
+      left = std::move(node);
+    }
+    return left;
+  }
+
+  Result<AstExprPtr> ParseMulDiv() {
+    ORQ_ASSIGN_OR_RETURN(auto left, ParseUnary());
+    while (PeekOp("*") || PeekOp("/")) {
+      std::string op = Advance().text;
+      ORQ_ASSIGN_OR_RETURN(auto right, ParseUnary());
+      auto node = NewExpr(AstExprKind::kBinary);
+      node->op = op;
+      node->children.push_back(std::move(left));
+      node->children.push_back(std::move(right));
+      left = std::move(node);
+    }
+    return left;
+  }
+
+  Result<AstExprPtr> ParseUnary() {
+    if (MatchOp("-")) {
+      ORQ_ASSIGN_OR_RETURN(auto child, ParseUnary());
+      auto node = NewExpr(AstExprKind::kUnary);
+      node->op = "-";
+      node->children.push_back(std::move(child));
+      return node;
+    }
+    return ParsePrimary();
+  }
+
+  Result<AstExprPtr> ParsePrimary() {
+    const Token& token = Peek();
+    switch (token.type) {
+      case TokenType::kInteger: {
+        auto node = NewExpr(AstExprKind::kLiteral);
+        node->literal = Value::Int64(std::atoll(Advance().text.c_str()));
+        return node;
+      }
+      case TokenType::kFloat: {
+        auto node = NewExpr(AstExprKind::kLiteral);
+        node->literal = Value::Double(std::atof(Advance().text.c_str()));
+        return node;
+      }
+      case TokenType::kString: {
+        auto node = NewExpr(AstExprKind::kLiteral);
+        node->literal = Value::String(Advance().text);
+        return node;
+      }
+      case TokenType::kKeyword: {
+        if (MatchKeyword("NULL")) {
+          auto node = NewExpr(AstExprKind::kLiteral);
+          node->literal = Value::Null();
+          return node;
+        }
+        if (MatchKeyword("TRUE")) {
+          auto node = NewExpr(AstExprKind::kLiteral);
+          node->literal = Value::Bool(true);
+          return node;
+        }
+        if (MatchKeyword("FALSE")) {
+          auto node = NewExpr(AstExprKind::kLiteral);
+          node->literal = Value::Bool(false);
+          return node;
+        }
+        if (MatchKeyword("DATE")) {
+          if (Peek().type != TokenType::kString) {
+            return Error("expected date string");
+          }
+          std::optional<int32_t> days = ParseDate(Advance().text);
+          if (!days.has_value()) return Error("malformed date literal");
+          auto node = NewExpr(AstExprKind::kLiteral);
+          node->literal = Value::Date(*days);
+          return node;
+        }
+        if (MatchKeyword("EXISTS")) {
+          ORQ_RETURN_IF_ERROR(ExpectOp("("));
+          ORQ_ASSIGN_OR_RETURN(auto sub, ParseSelect());
+          ORQ_RETURN_IF_ERROR(ExpectOp(")"));
+          auto node = NewExpr(AstExprKind::kExists);
+          node->subquery = std::move(sub);
+          return node;
+        }
+        if (MatchKeyword("CASE")) {
+          auto node = NewExpr(AstExprKind::kCase);
+          while (MatchKeyword("WHEN")) {
+            ORQ_ASSIGN_OR_RETURN(auto when, ParseExpr());
+            ORQ_RETURN_IF_ERROR(ExpectKeyword("THEN"));
+            ORQ_ASSIGN_OR_RETURN(auto then, ParseExpr());
+            node->children.push_back(std::move(when));
+            node->children.push_back(std::move(then));
+          }
+          if (node->children.empty()) return Error("CASE requires WHEN");
+          if (MatchKeyword("ELSE")) {
+            ORQ_ASSIGN_OR_RETURN(auto other, ParseExpr());
+            node->children.push_back(std::move(other));
+          }
+          ORQ_RETURN_IF_ERROR(ExpectKeyword("END"));
+          return node;
+        }
+        return Error("unexpected keyword");
+      }
+      case TokenType::kOperator: {
+        if (MatchOp("(")) {
+          if (PeekKeyword("SELECT")) {
+            ORQ_ASSIGN_OR_RETURN(auto sub, ParseSelect());
+            ORQ_RETURN_IF_ERROR(ExpectOp(")"));
+            auto node = NewExpr(AstExprKind::kScalarSubquery);
+            node->subquery = std::move(sub);
+            return node;
+          }
+          ORQ_ASSIGN_OR_RETURN(auto inner, ParseExpr());
+          ORQ_RETURN_IF_ERROR(ExpectOp(")"));
+          return inner;
+        }
+        return Error("unexpected token");
+      }
+      case TokenType::kIdentifier: {
+        std::string first = Advance().text;
+        if (MatchOp("(")) {
+          // function call
+          auto node = NewExpr(AstExprKind::kFuncCall);
+          node->name = first;
+          if (MatchKeyword("DISTINCT")) node->distinct = true;
+          if (MatchOp("*")) {
+            auto star = NewExpr(AstExprKind::kStar);
+            node->children.push_back(std::move(star));
+          } else if (!PeekOp(")")) {
+            do {
+              ORQ_ASSIGN_OR_RETURN(auto arg, ParseExpr());
+              node->children.push_back(std::move(arg));
+            } while (MatchOp(","));
+          }
+          ORQ_RETURN_IF_ERROR(ExpectOp(")"));
+          return node;
+        }
+        auto node = NewExpr(AstExprKind::kColumn);
+        if (MatchOp(".")) {
+          if (Peek().type != TokenType::kIdentifier) {
+            return Error("expected column name");
+          }
+          node->qualifier = first;
+          node->name = Advance().text;
+        } else {
+          node->name = first;
+        }
+        return node;
+      }
+      case TokenType::kEnd:
+        return Error("unexpected end of input");
+    }
+    return Error("unexpected token");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<SelectStmtPtr> ParseSql(const std::string& sql) {
+  ORQ_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatement();
+}
+
+}  // namespace orq

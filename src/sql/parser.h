@@ -1,0 +1,17 @@
+#ifndef ORQ_SQL_PARSER_H_
+#define ORQ_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace orq {
+
+/// Parses one SQL SELECT statement (optionally a UNION ALL / EXCEPT ALL
+/// chain) into an AST. Errors carry the source offset.
+Result<SelectStmtPtr> ParseSql(const std::string& sql);
+
+}  // namespace orq
+
+#endif  // ORQ_SQL_PARSER_H_

@@ -1,0 +1,249 @@
+#include "tpch/tpch_gen.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "tpch/tpch_schema.h"
+
+namespace orq {
+
+namespace {
+
+/// SplitMix64: small, fast, deterministic PRNG.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  /// Uniform integer in [lo, hi].
+  int64_t Range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Next() % (hi - lo + 1));
+  }
+  double Uniform(double lo, double hi) {
+    return lo + (hi - lo) * (Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+const char* kRegions[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                          "MIDDLE EAST"};
+const char* kNations[] = {
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA",
+    "FRANCE", "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN",
+    "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA",
+    "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES"};
+// nation -> region mapping from the spec.
+const int kNationRegion[] = {0, 1, 1, 1, 4, 0, 3, 3, 2, 2, 4, 4, 2,
+                             4, 0, 0, 0, 1, 2, 3, 4, 2, 3, 3, 1};
+const char* kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE",
+                           "HOUSEHOLD", "MACHINERY"};
+const char* kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                             "4-NOT SPECIFIED", "5-LOW"};
+const char* kContainers1[] = {"SM", "LG", "MED", "JUMBO", "WRAP"};
+const char* kContainers2[] = {"CASE", "BOX", "BAG", "JAR", "PKG",
+                              "PACK", "CAN", "DRUM"};
+const char* kTypes1[] = {"STANDARD", "SMALL", "MEDIUM", "LARGE",
+                         "ECONOMY", "PROMO"};
+const char* kTypes2[] = {"ANODIZED", "BURNISHED", "PLATED", "POLISHED",
+                         "BRUSHED"};
+const char* kTypes3[] = {"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"};
+const char* kInstructs[] = {"DELIVER IN PERSON", "COLLECT COD", "NONE",
+                            "TAKE BACK RETURN"};
+const char* kModes[] = {"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK",
+                        "MAIL", "FOB"};
+const char* kNameWords[] = {
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+    "blanched", "blue", "blush", "brown", "burlywood", "burnished",
+    "chartreuse", "chiffon", "chocolate", "coral", "cornflower", "cornsilk",
+    "cream", "cyan", "dark", "deep", "dim", "dodger", "drab", "firebrick",
+    "floral", "forest", "frosted", "gainsboro", "ghost", "goldenrod",
+    "green", "grey", "honeydew", "hot", "hotpink", "indian", "ivory"};
+
+std::string PartName(Rng* rng) {
+  std::string name;
+  for (int i = 0; i < 3; ++i) {
+    if (i > 0) name += " ";
+    name += kNameWords[rng->Range(0, 39)];
+  }
+  return name;
+}
+
+std::string Phone(Rng* rng, int64_t nation) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%02d-%03d-%03d-%04d",
+                static_cast<int>(10 + nation),
+                static_cast<int>(rng->Range(100, 999)),
+                static_cast<int>(rng->Range(100, 999)),
+                static_cast<int>(rng->Range(1000, 9999)));
+  return buf;
+}
+
+std::string Comment(Rng* rng) {
+  static const char* words[] = {"carefully", "quickly", "furiously",
+                                "ironic", "final", "pending", "regular",
+                                "express", "deposits", "requests", "accounts",
+                                "packages", "foxes", "theodolites", "ideas"};
+  std::string out;
+  int n = static_cast<int>(rng->Range(3, 8));
+  for (int i = 0; i < n; ++i) {
+    if (i > 0) out += " ";
+    out += words[rng->Range(0, 14)];
+  }
+  return out;
+}
+
+double Money(Rng* rng, double lo, double hi) {
+  return std::round(rng->Uniform(lo, hi) * 100.0) / 100.0;
+}
+
+}  // namespace
+
+Status GenerateTpch(Catalog* catalog, const TpchGenOptions& options) {
+  ORQ_RETURN_IF_ERROR(CreateTpchSchema(catalog));
+  const double sf = options.scale_factor;
+  Rng rng(options.seed);
+
+  const int64_t num_supplier = std::max<int64_t>(10, std::llround(10000 * sf));
+  const int64_t num_customer =
+      std::max<int64_t>(15, std::llround(150000 * sf));
+  const int64_t num_part = std::max<int64_t>(20, std::llround(200000 * sf));
+  const int64_t num_orders = num_customer * 10;
+
+  const int32_t date_lo = *ParseDate("1992-01-01");
+  const int32_t date_hi = *ParseDate("1998-08-02");
+
+  Table* region = catalog->FindTable("region");
+  for (int64_t i = 0; i < 5; ++i) {
+    ORQ_RETURN_IF_ERROR(region->Append(
+        {Value::Int64(i), Value::String(kRegions[i]),
+         Value::String(Comment(&rng))}));
+  }
+
+  Table* nation = catalog->FindTable("nation");
+  for (int64_t i = 0; i < 25; ++i) {
+    ORQ_RETURN_IF_ERROR(nation->Append(
+        {Value::Int64(i), Value::String(kNations[i]),
+         Value::Int64(kNationRegion[i]), Value::String(Comment(&rng))}));
+  }
+
+  Table* supplier = catalog->FindTable("supplier");
+  for (int64_t i = 1; i <= num_supplier; ++i) {
+    int64_t nat = rng.Range(0, 24);
+    char name[32];
+    std::snprintf(name, sizeof(name), "Supplier#%09lld",
+                  static_cast<long long>(i));
+    ORQ_RETURN_IF_ERROR(supplier->Append(
+        {Value::Int64(i), Value::String(name),
+         Value::String("addr-" + std::to_string(rng.Range(1, 99999))),
+         Value::Int64(nat), Value::String(Phone(&rng, nat)),
+         Value::Double(Money(&rng, -999.99, 9999.99)),
+         Value::String(Comment(&rng))}));
+  }
+
+  Table* customer = catalog->FindTable("customer");
+  for (int64_t i = 1; i <= num_customer; ++i) {
+    int64_t nat = rng.Range(0, 24);
+    char name[32];
+    std::snprintf(name, sizeof(name), "Customer#%09lld",
+                  static_cast<long long>(i));
+    ORQ_RETURN_IF_ERROR(customer->Append(
+        {Value::Int64(i), Value::String(name),
+         Value::String("addr-" + std::to_string(rng.Range(1, 99999))),
+         Value::Int64(nat), Value::String(Phone(&rng, nat)),
+         Value::Double(Money(&rng, -999.99, 9999.99)),
+         Value::String(kSegments[rng.Range(0, 4)]),
+         Value::String(Comment(&rng))}));
+  }
+
+  Table* part = catalog->FindTable("part");
+  for (int64_t i = 1; i <= num_part; ++i) {
+    char brand[16];
+    std::snprintf(brand, sizeof(brand), "Brand#%d%d",
+                  static_cast<int>(rng.Range(1, 5)),
+                  static_cast<int>(rng.Range(1, 5)));
+    std::string type = std::string(kTypes1[rng.Range(0, 5)]) + " " +
+                       kTypes2[rng.Range(0, 4)] + " " +
+                       kTypes3[rng.Range(0, 4)];
+    std::string container = std::string(kContainers1[rng.Range(0, 4)]) +
+                            " " + kContainers2[rng.Range(0, 7)];
+    ORQ_RETURN_IF_ERROR(part->Append(
+        {Value::Int64(i), Value::String(PartName(&rng)),
+         Value::String("Manufacturer#" +
+                       std::to_string(rng.Range(1, 5))),
+         Value::String(brand), Value::String(type),
+         Value::Int64(rng.Range(1, 50)), Value::String(container),
+         Value::Double(Money(&rng, 900.0, 2000.0)),
+         Value::String(Comment(&rng))}));
+  }
+
+  Table* partsupp = catalog->FindTable("partsupp");
+  for (int64_t p = 1; p <= num_part; ++p) {
+    // 4 suppliers per part, spread per the dbgen formula.
+    for (int64_t s = 0; s < 4; ++s) {
+      int64_t supp =
+          1 + (p + s * ((num_supplier / 4) + ((p - 1) / num_supplier))) %
+                  num_supplier;
+      ORQ_RETURN_IF_ERROR(partsupp->Append(
+          {Value::Int64(p), Value::Int64(supp), Value::Int64(rng.Range(1, 9999)),
+           Value::Double(Money(&rng, 1.0, 1000.0)),
+           Value::String(Comment(&rng))}));
+    }
+  }
+
+  Table* orders = catalog->FindTable("orders");
+  Table* lineitem = catalog->FindTable("lineitem");
+  for (int64_t i = 1; i <= num_orders; ++i) {
+    int64_t cust = rng.Range(1, num_customer);
+    int32_t odate = static_cast<int32_t>(rng.Range(date_lo, date_hi - 151));
+    int64_t nlines = rng.Range(1, 7);
+    double total = 0.0;
+    char clerk[32];
+    std::snprintf(clerk, sizeof(clerk), "Clerk#%09d",
+                  static_cast<int>(rng.Range(1, 1000)));
+    for (int64_t ln = 1; ln <= nlines; ++ln) {
+      int64_t pkey = rng.Range(1, num_part);
+      int64_t skey = rng.Range(1, num_supplier);
+      double qty = static_cast<double>(rng.Range(1, 50));
+      double price = Money(&rng, 901.0, 2000.0) * qty / 10.0;
+      double discount = rng.Range(0, 10) / 100.0;
+      double tax = rng.Range(0, 8) / 100.0;
+      int32_t ship = odate + static_cast<int32_t>(rng.Range(1, 121));
+      int32_t commit = odate + static_cast<int32_t>(rng.Range(30, 90));
+      int32_t receipt = ship + static_cast<int32_t>(rng.Range(1, 30));
+      const char* rflag =
+          receipt <= *ParseDate("1995-06-17") ? (rng.Range(0, 1) ? "R" : "A")
+                                              : "N";
+      const char* lstatus = ship > *ParseDate("1995-06-17") ? "O" : "F";
+      total += price * (1 + tax) * (1 - discount);
+      ORQ_RETURN_IF_ERROR(lineitem->Append(
+          {Value::Int64(i), Value::Int64(pkey), Value::Int64(skey),
+           Value::Int64(ln), Value::Double(qty), Value::Double(price),
+           Value::Double(discount), Value::Double(tax), Value::String(rflag),
+           Value::String(lstatus), Value::Date(ship), Value::Date(commit),
+           Value::Date(receipt), Value::String(kInstructs[rng.Range(0, 3)]),
+           Value::String(kModes[rng.Range(0, 6)]),
+           Value::String(Comment(&rng))}));
+    }
+    const char* status = rng.Range(0, 1) ? "F" : "O";
+    ORQ_RETURN_IF_ERROR(orders->Append(
+        {Value::Int64(i), Value::Int64(cust), Value::String(status),
+         Value::Double(std::round(total * 100.0) / 100.0), Value::Date(odate),
+         Value::String(kPriorities[rng.Range(0, 4)]), Value::String(clerk),
+         Value::Int64(0), Value::String(Comment(&rng))}));
+  }
+
+  if (options.build_indexes) {
+    ORQ_RETURN_IF_ERROR(BuildTpchIndexes(catalog));
+  }
+  catalog->InvalidateStats();
+  return Status::OK();
+}
+
+}  // namespace orq

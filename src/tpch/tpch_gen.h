@@ -1,0 +1,27 @@
+#ifndef ORQ_TPCH_TPCH_GEN_H_
+#define ORQ_TPCH_TPCH_GEN_H_
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+
+namespace orq {
+
+/// Options for the deterministic TPC-H data generator. The row-count
+/// formulas follow dbgen's (scaled): supplier = 10000*SF, customer =
+/// 150000*SF, part = 200000*SF, partsupp = 4*part, orders = 10*customer,
+/// lineitem = 1-7 per order. Value distributions approximate the TPC-H
+/// spec (uniform keys, Brand#MN / container / type vocabularies, prices).
+struct TpchGenOptions {
+  double scale_factor = 0.01;
+  uint64_t seed = 19940101;
+  /// Builds the standard index set after loading (see BuildTpchIndexes).
+  bool build_indexes = true;
+};
+
+/// Creates the TPC-H schema in `catalog` and populates it. Deterministic:
+/// the same options always generate identical data.
+Status GenerateTpch(Catalog* catalog, const TpchGenOptions& options);
+
+}  // namespace orq
+
+#endif  // ORQ_TPCH_TPCH_GEN_H_

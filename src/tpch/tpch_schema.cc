@@ -1,0 +1,146 @@
+#include "tpch/tpch_schema.h"
+
+namespace orq {
+
+namespace {
+
+constexpr bool kNullable = true;
+constexpr bool kNotNull = false;
+
+Status CreateOne(Catalog* catalog, const std::string& name,
+                 std::vector<ColumnSpec> columns, std::vector<int> pk) {
+  Result<Table*> table = catalog->CreateTable(name, std::move(columns));
+  if (!table.ok()) return table.status();
+  (*table)->SetPrimaryKey(std::move(pk));
+  return Status::OK();
+}
+
+}  // namespace
+
+Status CreateTpchSchema(Catalog* catalog) {
+  ORQ_RETURN_IF_ERROR(CreateOne(
+      catalog, "region",
+      {{"r_regionkey", DataType::kInt64, kNotNull},
+       {"r_name", DataType::kString, kNotNull},
+       {"r_comment", DataType::kString, kNullable}},
+      {0}));
+  ORQ_RETURN_IF_ERROR(CreateOne(
+      catalog, "nation",
+      {{"n_nationkey", DataType::kInt64, kNotNull},
+       {"n_name", DataType::kString, kNotNull},
+       {"n_regionkey", DataType::kInt64, kNotNull},
+       {"n_comment", DataType::kString, kNullable}},
+      {0}));
+  ORQ_RETURN_IF_ERROR(CreateOne(
+      catalog, "supplier",
+      {{"s_suppkey", DataType::kInt64, kNotNull},
+       {"s_name", DataType::kString, kNotNull},
+       {"s_address", DataType::kString, kNotNull},
+       {"s_nationkey", DataType::kInt64, kNotNull},
+       {"s_phone", DataType::kString, kNotNull},
+       {"s_acctbal", DataType::kDouble, kNotNull},
+       {"s_comment", DataType::kString, kNullable}},
+      {0}));
+  ORQ_RETURN_IF_ERROR(CreateOne(
+      catalog, "customer",
+      {{"c_custkey", DataType::kInt64, kNotNull},
+       {"c_name", DataType::kString, kNotNull},
+       {"c_address", DataType::kString, kNotNull},
+       {"c_nationkey", DataType::kInt64, kNotNull},
+       {"c_phone", DataType::kString, kNotNull},
+       {"c_acctbal", DataType::kDouble, kNotNull},
+       {"c_mktsegment", DataType::kString, kNotNull},
+       {"c_comment", DataType::kString, kNullable}},
+      {0}));
+  ORQ_RETURN_IF_ERROR(CreateOne(
+      catalog, "part",
+      {{"p_partkey", DataType::kInt64, kNotNull},
+       {"p_name", DataType::kString, kNotNull},
+       {"p_mfgr", DataType::kString, kNotNull},
+       {"p_brand", DataType::kString, kNotNull},
+       {"p_type", DataType::kString, kNotNull},
+       {"p_size", DataType::kInt64, kNotNull},
+       {"p_container", DataType::kString, kNotNull},
+       {"p_retailprice", DataType::kDouble, kNotNull},
+       {"p_comment", DataType::kString, kNullable}},
+      {0}));
+  ORQ_RETURN_IF_ERROR(CreateOne(
+      catalog, "partsupp",
+      {{"ps_partkey", DataType::kInt64, kNotNull},
+       {"ps_suppkey", DataType::kInt64, kNotNull},
+       {"ps_availqty", DataType::kInt64, kNotNull},
+       {"ps_supplycost", DataType::kDouble, kNotNull},
+       {"ps_comment", DataType::kString, kNullable}},
+      {0, 1}));
+  ORQ_RETURN_IF_ERROR(CreateOne(
+      catalog, "orders",
+      {{"o_orderkey", DataType::kInt64, kNotNull},
+       {"o_custkey", DataType::kInt64, kNotNull},
+       {"o_orderstatus", DataType::kString, kNotNull},
+       {"o_totalprice", DataType::kDouble, kNotNull},
+       {"o_orderdate", DataType::kDate, kNotNull},
+       {"o_orderpriority", DataType::kString, kNotNull},
+       {"o_clerk", DataType::kString, kNotNull},
+       {"o_shippriority", DataType::kInt64, kNotNull},
+       {"o_comment", DataType::kString, kNullable}},
+      {0}));
+  ORQ_RETURN_IF_ERROR(CreateOne(
+      catalog, "lineitem",
+      {{"l_orderkey", DataType::kInt64, kNotNull},
+       {"l_partkey", DataType::kInt64, kNotNull},
+       {"l_suppkey", DataType::kInt64, kNotNull},
+       {"l_linenumber", DataType::kInt64, kNotNull},
+       {"l_quantity", DataType::kDouble, kNotNull},
+       {"l_extendedprice", DataType::kDouble, kNotNull},
+       {"l_discount", DataType::kDouble, kNotNull},
+       {"l_tax", DataType::kDouble, kNotNull},
+       {"l_returnflag", DataType::kString, kNotNull},
+       {"l_linestatus", DataType::kString, kNotNull},
+       {"l_shipdate", DataType::kDate, kNotNull},
+       {"l_commitdate", DataType::kDate, kNotNull},
+       {"l_receiptdate", DataType::kDate, kNotNull},
+       {"l_shipinstruct", DataType::kString, kNotNull},
+       {"l_shipmode", DataType::kString, kNotNull},
+       {"l_comment", DataType::kString, kNullable}},
+      {0, 3}));
+  return Status::OK();
+}
+
+Status BuildTpchIndexes(Catalog* catalog) {
+  struct IndexSpec {
+    const char* table;
+    std::vector<const char*> columns;
+  };
+  const IndexSpec specs[] = {
+      {"region", {"r_regionkey"}},
+      {"nation", {"n_nationkey"}},
+      {"nation", {"n_regionkey"}},
+      {"supplier", {"s_suppkey"}},
+      {"supplier", {"s_nationkey"}},
+      {"customer", {"c_custkey"}},
+      {"customer", {"c_nationkey"}},
+      {"part", {"p_partkey"}},
+      {"partsupp", {"ps_partkey", "ps_suppkey"}},
+      {"partsupp", {"ps_partkey"}},
+      {"partsupp", {"ps_suppkey"}},
+      {"orders", {"o_orderkey"}},
+      {"orders", {"o_custkey"}},
+      {"lineitem", {"l_orderkey"}},
+      {"lineitem", {"l_partkey"}},
+      {"lineitem", {"l_suppkey"}},
+  };
+  for (const IndexSpec& spec : specs) {
+    Table* table = catalog->FindTable(spec.table);
+    if (table == nullptr) return Status::NotFound(spec.table);
+    std::vector<int> ordinals;
+    for (const char* col : spec.columns) {
+      int ordinal = table->ColumnOrdinal(col);
+      if (ordinal < 0) return Status::NotFound(col);
+      ordinals.push_back(ordinal);
+    }
+    table->BuildIndex(std::move(ordinals));
+  }
+  return Status::OK();
+}
+
+}  // namespace orq

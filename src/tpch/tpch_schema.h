@@ -1,0 +1,23 @@
+#ifndef ORQ_TPCH_TPCH_SCHEMA_H_
+#define ORQ_TPCH_TPCH_SCHEMA_H_
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+
+namespace orq {
+
+/// Creates the eight TPC-H tables (empty) in `catalog`, with primary keys
+/// declared. Column types: keys int64, money/quantity double, flags and
+/// names string, dates date.
+Status CreateTpchSchema(Catalog* catalog);
+
+/// Builds the index set used by the benchmarks: hash indexes on every
+/// primary key plus the foreign keys exercised by correlated plans
+/// (o_custkey, l_partkey, l_suppkey, l_orderkey, ps_partkey, ps_suppkey,
+/// s_nationkey, c_nationkey). TPC-H rules allow indexes on keys; these are
+/// what make the re-introduced correlated strategies competitive.
+Status BuildTpchIndexes(Catalog* catalog);
+
+}  // namespace orq
+
+#endif  // ORQ_TPCH_TPCH_SCHEMA_H_

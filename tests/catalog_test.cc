@@ -1,0 +1,108 @@
+// Unit tests for catalog, tables, indexes and statistics.
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+
+namespace orq {
+namespace {
+
+class CatalogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    table_ = *catalog_.CreateTable("t", {{"id", DataType::kInt64, false},
+                                         {"grp", DataType::kInt64, false},
+                                         {"val", DataType::kDouble, true}});
+    table_->SetPrimaryKey({0});
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(table_
+                      ->Append({Value::Int64(i), Value::Int64(i % 3),
+                                i == 0 ? Value::Null()
+                                       : Value::Double(i * 1.5)})
+                      .ok());
+    }
+  }
+
+  Catalog catalog_;
+  Table* table_ = nullptr;
+};
+
+TEST_F(CatalogTest, CreateAndFindCaseInsensitive) {
+  EXPECT_EQ(catalog_.FindTable("T"), table_);
+  EXPECT_EQ(catalog_.FindTable("t"), table_);
+  EXPECT_EQ(catalog_.FindTable("nope"), nullptr);
+}
+
+TEST_F(CatalogTest, DuplicateTableRejected) {
+  Result<Table*> dup = catalog_.CreateTable("T", {{"x", DataType::kInt64}});
+  EXPECT_FALSE(dup.ok());
+}
+
+TEST_F(CatalogTest, ColumnOrdinalLookup) {
+  EXPECT_EQ(table_->ColumnOrdinal("id"), 0);
+  EXPECT_EQ(table_->ColumnOrdinal("VAL"), 2);
+  EXPECT_EQ(table_->ColumnOrdinal("missing"), -1);
+}
+
+TEST_F(CatalogTest, AppendChecksArity) {
+  EXPECT_FALSE(table_->Append({Value::Int64(1)}).ok());
+  EXPECT_TRUE(table_->Append({Value::Int64(99), Value::Int64(0),
+                              Value::Double(1.0)})
+                  .ok());
+}
+
+TEST_F(CatalogTest, PrimaryKeyRegistersUniqueKey) {
+  ASSERT_EQ(table_->unique_keys().size(), 1u);
+  EXPECT_EQ(table_->unique_keys()[0], (std::vector<int>{0}));
+  table_->AddUniqueKey({1, 2});
+  EXPECT_EQ(table_->unique_keys().size(), 2u);
+}
+
+TEST_F(CatalogTest, IndexLookupFindsBuckets) {
+  table_->BuildIndex({1});
+  const TableIndex* index = table_->FindIndex({1});
+  ASSERT_NE(index, nullptr);
+  const std::vector<size_t>* bucket = index->Lookup({Value::Int64(0)});
+  ASSERT_NE(bucket, nullptr);
+  EXPECT_EQ(bucket->size(), 4u);  // ids 0, 3, 6, 9
+  EXPECT_EQ(index->Lookup({Value::Int64(42)}), nullptr);
+}
+
+TEST_F(CatalogTest, FindIndexIsOrderInsensitive) {
+  table_->BuildIndex({1, 0});
+  EXPECT_NE(table_->FindIndex({0, 1}), nullptr);
+  EXPECT_NE(table_->FindIndex({1, 0}), nullptr);
+  EXPECT_EQ(table_->FindIndex({0}), nullptr);
+}
+
+TEST_F(CatalogTest, StatsComputeRowAndDistinctCounts) {
+  const TableStats& stats = catalog_.GetStats(*table_);
+  EXPECT_DOUBLE_EQ(stats.row_count, 10.0);
+  EXPECT_DOUBLE_EQ(stats.columns[0].distinct_count, 10.0);
+  EXPECT_DOUBLE_EQ(stats.columns[1].distinct_count, 3.0);
+  // val: one NULL out of ten rows.
+  EXPECT_DOUBLE_EQ(stats.columns[2].null_fraction, 0.1);
+  EXPECT_DOUBLE_EQ(stats.columns[2].min_value.double_value(), 1.5);
+  EXPECT_DOUBLE_EQ(stats.columns[2].max_value.double_value(), 13.5);
+}
+
+TEST_F(CatalogTest, StatsAreCachedAndInvalidated) {
+  const TableStats& first = catalog_.GetStats(*table_);
+  EXPECT_DOUBLE_EQ(first.row_count, 10.0);
+  ASSERT_TRUE(table_->Append({Value::Int64(100), Value::Int64(1),
+                              Value::Double(2.0)})
+                  .ok());
+  // Cached until invalidated.
+  EXPECT_DOUBLE_EQ(catalog_.GetStats(*table_).row_count, 10.0);
+  catalog_.InvalidateStats();
+  EXPECT_DOUBLE_EQ(catalog_.GetStats(*table_).row_count, 11.0);
+}
+
+TEST_F(CatalogTest, EmptyTableStats) {
+  Table* empty = *catalog_.CreateTable("e", {{"x", DataType::kInt64, true}});
+  const TableStats& stats = catalog_.GetStats(*empty);
+  EXPECT_DOUBLE_EQ(stats.row_count, 0.0);
+  EXPECT_DOUBLE_EQ(stats.columns[0].distinct_count, 1.0);  // clamped
+}
+
+}  // namespace
+}  // namespace orq

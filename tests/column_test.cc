@@ -1,0 +1,134 @@
+// Unit tests for ColumnSet algebra and expression utilities.
+#include <gtest/gtest.h>
+
+#include "algebra/expr_util.h"
+#include "algebra/scalar_expr.h"
+
+namespace orq {
+namespace {
+
+TEST(ColumnSetTest, NormalizesOnConstruction) {
+  ColumnSet set({5, 1, 3, 1, 5});
+  EXPECT_EQ(set.size(), 3u);
+  EXPECT_EQ(set.ids(), (std::vector<ColumnId>{1, 3, 5}));
+}
+
+TEST(ColumnSetTest, MembershipAndSubset) {
+  ColumnSet a{1, 2, 3};
+  ColumnSet b{2, 3};
+  EXPECT_TRUE(a.Contains(2));
+  EXPECT_FALSE(a.Contains(9));
+  EXPECT_TRUE(b.IsSubsetOf(a));
+  EXPECT_FALSE(a.IsSubsetOf(b));
+  EXPECT_TRUE(ColumnSet().IsSubsetOf(b));
+}
+
+TEST(ColumnSetTest, SetAlgebra) {
+  ColumnSet a{1, 2, 3};
+  ColumnSet b{3, 4};
+  EXPECT_EQ(a.Union(b), (ColumnSet{1, 2, 3, 4}));
+  EXPECT_EQ(a.Intersect(b), (ColumnSet{3}));
+  EXPECT_EQ(a.Minus(b), (ColumnSet{1, 2}));
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(ColumnSet{7, 8}));
+}
+
+TEST(ColumnSetTest, AddRemove) {
+  ColumnSet set;
+  set.Add(5);
+  set.Add(2);
+  set.Add(5);
+  EXPECT_EQ(set.size(), 2u);
+  set.Remove(5);
+  EXPECT_FALSE(set.Contains(5));
+  set.Remove(99);  // no-op
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(ColumnManagerTest, SequentialIds) {
+  ColumnManager mgr;
+  ColumnId a = mgr.NewColumn("a", DataType::kInt64, false);
+  ColumnId b = mgr.NewColumn("b", DataType::kString, true);
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(mgr.name(b), "b");
+  EXPECT_EQ(mgr.type(a), DataType::kInt64);
+  EXPECT_FALSE(mgr.def(a).nullable);
+}
+
+TEST(ExprUtilTest, SplitConjunctsFlattensNestedAnds) {
+  ScalarExprPtr e = MakeAnd2(
+      MakeAnd2(LitBool(true), Eq(LitInt(1), LitInt(1))),
+      MakeAnd2(Eq(LitInt(2), LitInt(2)), Eq(LitInt(3), LitInt(3))));
+  // TRUE literals are dropped.
+  EXPECT_EQ(SplitConjuncts(e).size(), 3u);
+  EXPECT_TRUE(SplitConjuncts(TrueLiteral()).empty());
+  EXPECT_TRUE(SplitConjuncts(nullptr).empty());
+}
+
+TEST(ExprUtilTest, MakeAndCollapsesTrivialCases) {
+  EXPECT_TRUE(IsTrueLiteral(MakeAnd({})));
+  ScalarExprPtr single = Eq(LitInt(1), LitInt(2));
+  EXPECT_EQ(MakeAnd({single}), single);
+}
+
+TEST(ExprUtilTest, RemapColumnsRewritesOnlyMappedRefs) {
+  ScalarExprPtr e = MakeAnd2(Eq(CRef(1, DataType::kInt64), LitInt(5)),
+                             Eq(CRef(2, DataType::kInt64), LitInt(6)));
+  ScalarExprPtr remapped = RemapColumns(e, {{1, 10}});
+  ColumnSet refs;
+  CollectColumnRefs(remapped, &refs);
+  EXPECT_TRUE(refs.Contains(10));
+  EXPECT_TRUE(refs.Contains(2));
+  EXPECT_FALSE(refs.Contains(1));
+  // The original tree is untouched (persistent rewriting).
+  ColumnSet orig_refs;
+  CollectColumnRefs(e, &orig_refs);
+  EXPECT_TRUE(orig_refs.Contains(1));
+}
+
+TEST(ExprUtilTest, SubstituteColumnsInlinesExpressions) {
+  ScalarExprPtr sum = MakeArith(ArithOp::kAdd, CRef(1, DataType::kInt64),
+                                LitInt(1));
+  ScalarExprPtr e =
+      MakeCompare(CompareOp::kGt, CRef(7, DataType::kInt64), LitInt(0));
+  ScalarExprPtr substituted = SubstituteColumns(e, {{7, sum}});
+  EXPECT_EQ(substituted->children[0]->kind, ScalarKind::kArith);
+}
+
+TEST(ExprUtilTest, ScalarEqualsStructural) {
+  ScalarExprPtr a = Eq(CRef(1, DataType::kInt64), LitInt(5));
+  ScalarExprPtr b = Eq(CRef(1, DataType::kInt64), LitInt(5));
+  ScalarExprPtr c = Eq(CRef(2, DataType::kInt64), LitInt(5));
+  ScalarExprPtr d =
+      MakeCompare(CompareOp::kNe, CRef(1, DataType::kInt64), LitInt(5));
+  EXPECT_TRUE(ScalarEquals(a, b));
+  EXPECT_FALSE(ScalarEquals(a, c));
+  EXPECT_FALSE(ScalarEquals(a, d));
+  EXPECT_EQ(ScalarHash(a), ScalarHash(b));
+}
+
+TEST(ExprUtilTest, ScalarToStringReadable) {
+  ScalarExprPtr e = MakeAnd2(
+      Eq(CRef(1, DataType::kInt64), LitInt(5)),
+      MakeIsNull(CRef(2, DataType::kString)));
+  std::string text = ScalarToString(e, nullptr);
+  EXPECT_NE(text.find("#1"), std::string::npos);
+  EXPECT_NE(text.find("AND"), std::string::npos);
+  EXPECT_NE(text.find("IS NULL"), std::string::npos);
+}
+
+TEST(CompareOpTest, FlipAndNegate) {
+  EXPECT_EQ(FlipCompare(CompareOp::kLt), CompareOp::kGt);
+  EXPECT_EQ(FlipCompare(CompareOp::kEq), CompareOp::kEq);
+  EXPECT_EQ(NegateCompare(CompareOp::kLt), CompareOp::kGe);
+  EXPECT_EQ(NegateCompare(CompareOp::kEq), CompareOp::kNe);
+  for (CompareOp op : {CompareOp::kEq, CompareOp::kNe, CompareOp::kLt,
+                       CompareOp::kLe, CompareOp::kGt, CompareOp::kGe}) {
+    EXPECT_EQ(NegateCompare(NegateCompare(op)), op);
+    EXPECT_EQ(FlipCompare(FlipCompare(op)), op);
+  }
+}
+
+}  // namespace
+}  // namespace orq

@@ -1,0 +1,140 @@
+// Tests for the QueryEngine facade: EXPLAIN content, option plumbing,
+// compile/execute separation, and error reporting.
+#include <gtest/gtest.h>
+
+#include "algebra/printer.h"
+#include "engine/engine.h"
+#include "tpch/tpch_gen.h"
+
+namespace orq {
+namespace {
+
+int CountKind(const RelExprPtr& node, RelKind kind) {
+  int n = node->kind == kind ? 1 : 0;
+  for (const RelExprPtr& child : node->children) n += CountKind(child, kind);
+  return n;
+}
+
+class EngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TpchGenOptions options;
+    options.scale_factor = 0.002;
+    ASSERT_TRUE(GenerateTpch(&catalog_, options).ok());
+  }
+
+  Catalog catalog_;
+  const std::string subquery_sql_ =
+      "select c_custkey from customer "
+      "where 1000 < (select sum(o_totalprice) from orders "
+      "              where o_custkey = c_custkey)";
+};
+
+TEST_F(EngineTest, ExplainShowsAllPhases) {
+  QueryEngine engine(&catalog_);
+  Result<std::string> explained = engine.Explain(subquery_sql_);
+  ASSERT_TRUE(explained.ok()) << explained.status().ToString();
+  for (const char* marker :
+       {"Bound (mutual recursion", "After Apply introduction",
+        "Subquery classes", "Class1", "Normalized", "Optimized",
+        "Physical plan"}) {
+    EXPECT_NE(explained->find(marker), std::string::npos) << marker;
+  }
+}
+
+TEST_F(EngineTest, CompileExposesPhaseTrees) {
+  QueryEngine engine(&catalog_);
+  Result<QueryEngine::Compiled> compiled = engine.Compile(subquery_sql_);
+  ASSERT_TRUE(compiled.ok());
+  // Bound tree still carries the subquery inside a scalar expression.
+  EXPECT_EQ(CountKind(compiled->bound, RelKind::kApply), 0);
+  // Apply introduction made it relational.
+  EXPECT_GE(CountKind(compiled->applied, RelKind::kApply), 1);
+  // Normalization removed the correlation.
+  EXPECT_EQ(CountKind(compiled->normalized, RelKind::kApply), 0);
+  EXPECT_EQ(compiled->output_names, std::vector<std::string>{"c_custkey"});
+}
+
+TEST_F(EngineTest, CompiledQueryIsReusable) {
+  QueryEngine engine(&catalog_);
+  Result<QueryEngine::Compiled> compiled = engine.Compile(subquery_sql_);
+  ASSERT_TRUE(compiled.ok());
+  Result<QueryResult> first = engine.ExecuteCompiled(*compiled);
+  Result<QueryResult> second = engine.ExecuteCompiled(*compiled);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->rows.size(), second->rows.size());
+}
+
+TEST_F(EngineTest, NormalizerSwitchKeepsApply) {
+  EngineOptions options;
+  options.normalizer.remove_correlations = false;
+  options.optimizer.enable = false;
+  QueryEngine engine(&catalog_, options);
+  Result<QueryEngine::Compiled> compiled = engine.Compile(subquery_sql_);
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_GE(CountKind(compiled->optimized, RelKind::kApply), 1);
+}
+
+TEST_F(EngineTest, ParseErrorsAreInvalidArgument) {
+  QueryEngine engine(&catalog_);
+  Result<QueryResult> result = engine.Execute("select , from");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(EngineTest, UnknownTableIsNotFound) {
+  QueryEngine engine(&catalog_);
+  Result<QueryResult> result = engine.Execute("select x from nope");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(EngineTest, ColumnNamesFollowAliases) {
+  QueryEngine engine(&catalog_);
+  Result<QueryResult> result = engine.Execute(
+      "select c_custkey as id, c_name customer_name from customer limit 1");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->column_names,
+            (std::vector<std::string>{"id", "customer_name"}));
+}
+
+TEST_F(EngineTest, RowsProducedIsDeterministic) {
+  QueryEngine engine(&catalog_);
+  Result<QueryResult> a = engine.Execute(subquery_sql_);
+  Result<QueryResult> b = engine.Execute(subquery_sql_);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->rows_produced, b->rows_produced);
+  EXPECT_GT(a->rows_produced, 0);
+}
+
+TEST_F(EngineTest, PhysicalOptionsDisableIndexSeek) {
+  EngineOptions options = EngineOptions::CorrelatedOnly();
+  QueryEngine with_index(&catalog_, options);
+  options.physical.use_index_seek = false;
+  QueryEngine without_index(&catalog_, options);
+  Result<QueryResult> a = with_index.Execute(subquery_sql_);
+  Result<QueryResult> b = without_index.Execute(subquery_sql_);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->rows.size(), b->rows.size());
+  // Without indexes the correlated plan scans orders per customer.
+  EXPECT_GT(b->rows_produced, a->rows_produced * 5);
+}
+
+TEST_F(EngineTest, PrinterRendersEveryOperator) {
+  // Smoke-check the logical printer across the operator vocabulary.
+  QueryEngine engine(&catalog_);
+  Result<QueryEngine::Compiled> compiled = engine.Compile(
+      "select c_nationkey, count(*) from customer "
+      "where exists (select * from orders where o_custkey = c_custkey) "
+      "group by c_nationkey order by 2 desc limit 5");
+  ASSERT_TRUE(compiled.ok());
+  std::string text =
+      PrintRelTree(*compiled->optimized, compiled->columns.get());
+  EXPECT_NE(text.find("Sort"), std::string::npos);
+  EXPECT_NE(text.find("GroupBy"), std::string::npos);
+  EXPECT_NE(text.find("Get customer"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace orq

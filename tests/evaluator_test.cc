@@ -1,0 +1,171 @@
+// Unit tests for the scalar evaluator's three-valued logic and arithmetic.
+#include <gtest/gtest.h>
+
+#include "exec/evaluator.h"
+
+namespace orq {
+namespace {
+
+Value Eval(const ScalarExprPtr& expr) {
+  Evaluator evaluator(expr, {});
+  ExecContext ctx;
+  Result<Value> v = evaluator.Eval({}, &ctx);
+  EXPECT_TRUE(v.ok()) << v.status().ToString();
+  return v.ok() ? *v : Value();
+}
+
+Status EvalError(const ScalarExprPtr& expr) {
+  Evaluator evaluator(expr, {});
+  ExecContext ctx;
+  Result<Value> v = evaluator.Eval({}, &ctx);
+  EXPECT_FALSE(v.ok());
+  return v.status();
+}
+
+ScalarExprPtr NullInt() { return LitNull(DataType::kInt64); }
+ScalarExprPtr NullBool() { return LitNull(DataType::kBool); }
+
+TEST(EvaluatorTest, ComparisonWithNullIsNull) {
+  EXPECT_TRUE(Eval(Eq(NullInt(), LitInt(1))).is_null());
+  EXPECT_TRUE(Eval(Eq(LitInt(1), NullInt())).is_null());
+  EXPECT_TRUE(Eval(Eq(NullInt(), NullInt())).is_null());
+}
+
+TEST(EvaluatorTest, ThreeValuedAnd) {
+  // false AND null = false (not null!)
+  EXPECT_FALSE(Eval(MakeAnd2(LitBool(false), NullBool())).bool_value());
+  EXPECT_FALSE(Eval(MakeAnd2(NullBool(), LitBool(false))).bool_value());
+  EXPECT_TRUE(Eval(MakeAnd2(LitBool(true), NullBool())).is_null());
+  EXPECT_TRUE(Eval(MakeAnd2(LitBool(true), LitBool(true))).bool_value());
+}
+
+TEST(EvaluatorTest, ThreeValuedOr) {
+  // true OR null = true
+  EXPECT_TRUE(Eval(MakeOr({LitBool(true), NullBool()})).bool_value());
+  EXPECT_TRUE(Eval(MakeOr({NullBool(), LitBool(true)})).bool_value());
+  EXPECT_TRUE(Eval(MakeOr({LitBool(false), NullBool()})).is_null());
+  EXPECT_FALSE(Eval(MakeOr({LitBool(false), LitBool(false)})).bool_value());
+}
+
+TEST(EvaluatorTest, NotNullIsNull) {
+  EXPECT_TRUE(Eval(MakeNot(NullBool())).is_null());
+  EXPECT_FALSE(Eval(MakeNot(LitBool(true))).bool_value());
+}
+
+TEST(EvaluatorTest, IsNullOperators) {
+  EXPECT_TRUE(Eval(MakeIsNull(NullInt())).bool_value());
+  EXPECT_FALSE(Eval(MakeIsNull(LitInt(0))).bool_value());
+  EXPECT_TRUE(Eval(MakeIsNotNull(LitInt(0))).bool_value());
+}
+
+TEST(EvaluatorTest, IntegerArithmetic) {
+  EXPECT_EQ(Eval(MakeArith(ArithOp::kAdd, LitInt(2), LitInt(3))).int64_value(),
+            5);
+  EXPECT_EQ(Eval(MakeArith(ArithOp::kMul, LitInt(4), LitInt(5))).int64_value(),
+            20);
+  EXPECT_EQ(Eval(MakeArith(ArithOp::kDiv, LitInt(7), LitInt(2))).int64_value(),
+            3);  // truncating
+}
+
+TEST(EvaluatorTest, MixedArithmeticPromotesToDouble) {
+  Value v = Eval(MakeArith(ArithOp::kAdd, LitInt(2), LitDouble(0.5)));
+  EXPECT_EQ(v.type(), DataType::kDouble);
+  EXPECT_DOUBLE_EQ(v.double_value(), 2.5);
+}
+
+TEST(EvaluatorTest, ArithmeticWithNullIsNull) {
+  EXPECT_TRUE(Eval(MakeArith(ArithOp::kAdd, NullInt(), LitInt(1))).is_null());
+}
+
+TEST(EvaluatorTest, DivisionByZeroIsRuntimeError) {
+  EXPECT_EQ(EvalError(MakeArith(ArithOp::kDiv, LitInt(1), LitInt(0))).code(),
+            StatusCode::kRuntimeError);
+  EXPECT_EQ(EvalError(MakeArith(ArithOp::kDiv, LitDouble(1), LitDouble(0)))
+                .code(),
+            StatusCode::kRuntimeError);
+}
+
+TEST(EvaluatorTest, DateArithmetic) {
+  Value jan1 = Value::Date(*ParseDate("1994-01-01"));
+  Value v = Eval(MakeArith(ArithOp::kAdd, Lit(jan1), LitInt(31)));
+  EXPECT_EQ(FormatDate(v.date_value()), "1994-02-01");
+  Value diff = Eval(MakeArith(ArithOp::kSub,
+                              Lit(Value::Date(*ParseDate("1994-03-01"))),
+                              Lit(jan1)));
+  EXPECT_EQ(diff.int64_value(), 59);
+}
+
+TEST(EvaluatorTest, CaseIsLazy) {
+  // The ELSE branch divides by zero; a matching WHEN must avoid it.
+  ScalarExprPtr expr = MakeCase(
+      {LitBool(true), LitInt(42),
+       MakeArith(ArithOp::kDiv, LitInt(1), LitInt(0))},
+      DataType::kInt64);
+  EXPECT_EQ(Eval(expr).int64_value(), 42);
+}
+
+TEST(EvaluatorTest, CaseNoMatchNoElseIsNull) {
+  ScalarExprPtr expr =
+      MakeCase({LitBool(false), LitInt(1)}, DataType::kInt64);
+  EXPECT_TRUE(Eval(expr).is_null());
+}
+
+TEST(EvaluatorTest, CaseNullConditionDoesNotMatch) {
+  ScalarExprPtr expr =
+      MakeCase({NullBool(), LitInt(1), LitInt(2)}, DataType::kInt64);
+  EXPECT_EQ(Eval(expr).int64_value(), 2);
+}
+
+TEST(EvaluatorTest, InListSemantics) {
+  // 1 IN (1, NULL) = true
+  EXPECT_TRUE(
+      Eval(MakeInList(LitInt(1), {LitInt(1), NullInt()})).bool_value());
+  // 2 IN (1, NULL) = NULL  (the NULL could be 2)
+  EXPECT_TRUE(Eval(MakeInList(LitInt(2), {LitInt(1), NullInt()})).is_null());
+  // 2 IN (1, 3) = false
+  EXPECT_FALSE(
+      Eval(MakeInList(LitInt(2), {LitInt(1), LitInt(3)})).bool_value());
+  // NULL IN (anything) = NULL
+  EXPECT_TRUE(Eval(MakeInList(NullInt(), {LitInt(1)})).is_null());
+}
+
+TEST(EvaluatorTest, LikeNullPropagation) {
+  EXPECT_TRUE(Eval(MakeLike(LitNull(DataType::kString),
+                            LitString("%"))).is_null());
+  EXPECT_TRUE(
+      Eval(MakeLike(LitString("x"), LitString("x%"))).bool_value());
+}
+
+TEST(EvaluatorTest, NegateTypes) {
+  EXPECT_EQ(Eval(MakeNegate(LitInt(5))).int64_value(), -5);
+  EXPECT_DOUBLE_EQ(Eval(MakeNegate(LitDouble(2.5))).double_value(), -2.5);
+  EXPECT_TRUE(Eval(MakeNegate(NullInt())).is_null());
+}
+
+TEST(EvaluatorTest, ColumnRefResolvesThroughLayoutThenParams) {
+  Evaluator layout_eval(CRef(7, DataType::kInt64), {7});
+  ExecContext ctx;
+  Row row = {Value::Int64(99)};
+  ASSERT_TRUE(layout_eval.Eval(row, &ctx).ok());
+  EXPECT_EQ(layout_eval.Eval(row, &ctx)->int64_value(), 99);
+
+  // Not in layout: falls back to correlated parameters.
+  Evaluator param_eval(CRef(8, DataType::kInt64), {7});
+  ctx.params[8] = Value::Int64(42);
+  EXPECT_EQ(param_eval.Eval(row, &ctx)->int64_value(), 42);
+}
+
+TEST(EvaluatorTest, UnresolvedColumnIsInternalError) {
+  Evaluator evaluator(CRef(5, DataType::kInt64), {});
+  ExecContext ctx;
+  EXPECT_EQ(evaluator.Eval({}, &ctx).status().code(), StatusCode::kInternal);
+}
+
+TEST(EvaluatorTest, PredicateTreatsNullAsNotTrue) {
+  Evaluator evaluator(NullBool(), {});
+  ExecContext ctx;
+  EXPECT_FALSE(*evaluator.EvalPredicate({}, &ctx));
+}
+
+}  // namespace
+}  // namespace orq

@@ -1,0 +1,320 @@
+// Unit tests for the physical operators (Volcano iterators), exercised
+// directly without the optimizer.
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "exec/ops.h"
+#include "tests/test_util.h"
+
+namespace orq {
+namespace {
+
+class ExecTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    t_ = *catalog_.CreateTable("t", {{"k", DataType::kInt64, false},
+                                     {"v", DataType::kInt64, true}});
+    t_->SetPrimaryKey({0});
+    for (int i = 1; i <= 5; ++i) {
+      ASSERT_TRUE(t_->Append({Value::Int64(i),
+                              i == 3 ? Value::Null() : Value::Int64(i * 10)})
+                      .ok());
+    }
+    t_->BuildIndex({0});
+
+    s_ = *catalog_.CreateTable("s", {{"fk", DataType::kInt64, false},
+                                     {"w", DataType::kInt64, false}});
+    ASSERT_TRUE(s_->Append({Value::Int64(1), Value::Int64(100)}).ok());
+    ASSERT_TRUE(s_->Append({Value::Int64(1), Value::Int64(200)}).ok());
+    ASSERT_TRUE(s_->Append({Value::Int64(2), Value::Int64(300)}).ok());
+    ASSERT_TRUE(s_->Append({Value::Int64(9), Value::Int64(900)}).ok());
+  }
+
+  PhysicalOpPtr ScanT() { return MakeTableScan(t_, {0, 1}, {1, 2}); }
+  PhysicalOpPtr ScanS() { return MakeTableScan(s_, {0, 1}, {3, 4}); }
+
+  std::vector<Row> Drain(PhysicalOp* op) {
+    ExecContext ctx;
+    Result<std::vector<Row>> rows = ExecuteToVector(op, &ctx);
+    EXPECT_TRUE(rows.ok()) << rows.status().ToString();
+    return rows.ok() ? *rows : std::vector<Row>{};
+  }
+
+  Catalog catalog_;
+  Table* t_ = nullptr;
+  Table* s_ = nullptr;
+};
+
+TEST_F(ExecTest, TableScanProjectsOrdinals) {
+  PhysicalOpPtr scan = MakeTableScan(t_, {1}, {2});
+  std::vector<Row> rows = Drain(scan.get());
+  ASSERT_EQ(rows.size(), 5u);
+  EXPECT_EQ(rows[0].size(), 1u);
+  EXPECT_EQ(rows[0][0].int64_value(), 10);
+}
+
+TEST_F(ExecTest, TableScanIsRestartable) {
+  PhysicalOpPtr scan = ScanT();
+  EXPECT_EQ(Drain(scan.get()).size(), 5u);
+  EXPECT_EQ(Drain(scan.get()).size(), 5u);  // re-open works
+}
+
+TEST_F(ExecTest, FilterKeepsOnlyTrueRows) {
+  // v > 20: NULL v row is dropped (3VL).
+  PhysicalOpPtr plan = MakeFilterOp(
+      ScanT(),
+      MakeCompare(CompareOp::kGt, CRef(2, DataType::kInt64), LitInt(20)));
+  EXPECT_EQ(Drain(plan.get()).size(), 2u);  // 40, 50
+}
+
+TEST_F(ExecTest, ComputeEvaluatesItems) {
+  PhysicalOpPtr plan = MakeComputeOp(
+      ScanT(),
+      {ProjectItem{7, MakeArith(ArithOp::kAdd, CRef(1, DataType::kInt64),
+                                LitInt(1000))}},
+      {1});
+  std::vector<Row> rows = Drain(plan.get());
+  ASSERT_EQ(rows.size(), 5u);
+  EXPECT_EQ(rows[0][0].int64_value(), 1);     // passthrough k
+  EXPECT_EQ(rows[0][1].int64_value(), 1001);  // computed
+}
+
+TEST_F(ExecTest, NLJoinInner) {
+  PhysicalOpPtr plan = MakeNLJoinOp(
+      PhysJoinKind::kInner, ScanT(), ScanS(),
+      Eq(CRef(1, DataType::kInt64), CRef(3, DataType::kInt64)), false);
+  EXPECT_EQ(Drain(plan.get()).size(), 3u);  // k=1 x2, k=2 x1
+}
+
+TEST_F(ExecTest, NLJoinLeftOuterPadsNulls) {
+  PhysicalOpPtr plan = MakeNLJoinOp(
+      PhysJoinKind::kLeftOuter, ScanT(), ScanS(),
+      Eq(CRef(1, DataType::kInt64), CRef(3, DataType::kInt64)), false);
+  std::vector<Row> rows = Drain(plan.get());
+  EXPECT_EQ(rows.size(), 6u);  // 3 matches + 3 unmatched t rows
+  int padded = 0;
+  for (const Row& row : rows) {
+    if (row[2].is_null() && row[3].is_null()) ++padded;
+  }
+  EXPECT_EQ(padded, 3);
+}
+
+TEST_F(ExecTest, NLJoinSemiAndAnti) {
+  PhysicalOpPtr semi = MakeNLJoinOp(
+      PhysJoinKind::kLeftSemi, ScanT(), ScanS(),
+      Eq(CRef(1, DataType::kInt64), CRef(3, DataType::kInt64)), false);
+  EXPECT_EQ(Drain(semi.get()).size(), 2u);  // k=1, k=2 (once each)
+  PhysicalOpPtr anti = MakeNLJoinOp(
+      PhysJoinKind::kLeftAnti, ScanT(), ScanS(),
+      Eq(CRef(1, DataType::kInt64), CRef(3, DataType::kInt64)), false);
+  EXPECT_EQ(Drain(anti.get()).size(), 3u);  // k=3,4,5
+}
+
+TEST_F(ExecTest, HashJoinMatchesNLJoin) {
+  for (PhysJoinKind kind :
+       {PhysJoinKind::kInner, PhysJoinKind::kLeftOuter,
+        PhysJoinKind::kLeftSemi, PhysJoinKind::kLeftAnti}) {
+    PhysicalOpPtr nl = MakeNLJoinOp(
+        kind, ScanT(), ScanS(),
+        Eq(CRef(1, DataType::kInt64), CRef(3, DataType::kInt64)), false);
+    PhysicalOpPtr hash = MakeHashJoinOp(
+        kind, ScanT(), ScanS(),
+        {{CRef(1, DataType::kInt64), CRef(3, DataType::kInt64)}}, nullptr);
+    EXPECT_EQ(CanonicalRows(Drain(nl.get())),
+              CanonicalRows(Drain(hash.get())))
+        << static_cast<int>(kind);
+  }
+}
+
+TEST_F(ExecTest, HashJoinResidualPredicate) {
+  PhysicalOpPtr plan = MakeHashJoinOp(
+      PhysJoinKind::kInner, ScanT(), ScanS(),
+      {{CRef(1, DataType::kInt64), CRef(3, DataType::kInt64)}},
+      MakeCompare(CompareOp::kGt, CRef(4, DataType::kInt64), LitInt(150)));
+  EXPECT_EQ(Drain(plan.get()).size(), 2u);  // w=200, w=300
+}
+
+TEST_F(ExecTest, HashJoinNullKeysNeverMatch) {
+  // Join t.v = s.fk: t row with NULL v joins nothing; with LeftOuter it
+  // still appears padded.
+  PhysicalOpPtr plan = MakeHashJoinOp(
+      PhysJoinKind::kLeftOuter, ScanT(), ScanS(),
+      {{CRef(2, DataType::kInt64), CRef(3, DataType::kInt64)}}, nullptr);
+  std::vector<Row> rows = Drain(plan.get());
+  EXPECT_EQ(rows.size(), 5u);  // no v matches any fk; all padded
+  for (const Row& row : rows) EXPECT_TRUE(row[2].is_null());
+}
+
+TEST_F(ExecTest, CorrelatedApplyRebindsParameters) {
+  // Apply(t, sigma(fk = k)(s)): inner filter reads k from the context.
+  PhysicalOpPtr inner = MakeFilterOp(
+      ScanS(),
+      Eq(CRef(3, DataType::kInt64), CRef(1, DataType::kInt64)));
+  PhysicalOpPtr plan = MakeNLJoinOp(PhysJoinKind::kInner, ScanT(),
+                                    std::move(inner), TrueLiteral(), true);
+  EXPECT_EQ(Drain(plan.get()).size(), 3u);
+}
+
+TEST_F(ExecTest, IndexSeekUsesParameters) {
+  const TableIndex* index = t_->FindIndex({0});
+  ASSERT_NE(index, nullptr);
+  // Inner of an apply: seek t by k = s.fk.
+  PhysicalOpPtr seek = MakeIndexSeek(
+      t_, index, {CRef(3, DataType::kInt64)}, {0, 1}, {11, 12}, nullptr);
+  PhysicalOpPtr plan = MakeNLJoinOp(PhysJoinKind::kInner, ScanS(),
+                                    std::move(seek), TrueLiteral(), true);
+  // fk=1 (x2), fk=2: 3 matches; fk=9 misses.
+  EXPECT_EQ(Drain(plan.get()).size(), 3u);
+}
+
+TEST_F(ExecTest, HashAggregateVector) {
+  PhysicalOpPtr plan = MakeHashAggregateOp(
+      ScanS(), {3},
+      {AggItem{AggFunc::kSum, CRef(4, DataType::kInt64), 5, false},
+       AggItem{AggFunc::kCountStar, nullptr, 6, false}},
+      false);
+  std::vector<Row> rows = Drain(plan.get());
+  ASSERT_EQ(rows.size(), 3u);  // fk groups 1, 2, 9
+  for (const Row& row : rows) {
+    if (row[0].int64_value() == 1) {
+      EXPECT_EQ(row[1].int64_value(), 300);
+      EXPECT_EQ(row[2].int64_value(), 2);
+    }
+  }
+}
+
+TEST_F(ExecTest, ScalarAggregateOnEmptyInput) {
+  PhysicalOpPtr empty = MakeFilterOp(ScanT(), LitBool(false));
+  PhysicalOpPtr plan = MakeHashAggregateOp(
+      std::move(empty), {},
+      {AggItem{AggFunc::kCountStar, nullptr, 5, false},
+       AggItem{AggFunc::kSum, CRef(2, DataType::kInt64), 6, false},
+       AggItem{AggFunc::kMin, CRef(2, DataType::kInt64), 7, false}},
+      true);
+  std::vector<Row> rows = Drain(plan.get());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0].int64_value(), 0);  // count(*) = 0
+  EXPECT_TRUE(rows[0][1].is_null());       // sum = NULL
+  EXPECT_TRUE(rows[0][2].is_null());       // min = NULL
+}
+
+TEST_F(ExecTest, AggregatesIgnoreNulls) {
+  PhysicalOpPtr plan = MakeHashAggregateOp(
+      ScanT(), {},
+      {AggItem{AggFunc::kCount, CRef(2, DataType::kInt64), 5, false},
+       AggItem{AggFunc::kCountStar, nullptr, 6, false},
+       AggItem{AggFunc::kMin, CRef(2, DataType::kInt64), 7, false},
+       AggItem{AggFunc::kMax, CRef(2, DataType::kInt64), 8, false}},
+      true);
+  std::vector<Row> rows = Drain(plan.get());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0].int64_value(), 4);   // count(v): NULL skipped
+  EXPECT_EQ(rows[0][1].int64_value(), 5);   // count(*)
+  EXPECT_EQ(rows[0][2].int64_value(), 10);  // min
+  EXPECT_EQ(rows[0][3].int64_value(), 50);  // max
+}
+
+TEST_F(ExecTest, DistinctAggregate) {
+  PhysicalOpPtr plan = MakeHashAggregateOp(
+      ScanS(), {},
+      {AggItem{AggFunc::kCount, CRef(3, DataType::kInt64), 5, true},
+       AggItem{AggFunc::kSum, CRef(3, DataType::kInt64), 6, true}},
+      true);
+  std::vector<Row> rows = Drain(plan.get());
+  EXPECT_EQ(rows[0][0].int64_value(), 3);   // distinct fk: 1, 2, 9
+  EXPECT_EQ(rows[0][1].int64_value(), 12);  // 1 + 2 + 9
+}
+
+TEST_F(ExecTest, Max1RowAggregateErrorsOnSecondRow) {
+  PhysicalOpPtr plan = MakeHashAggregateOp(
+      ScanS(), {},
+      {AggItem{AggFunc::kMax1Row, CRef(4, DataType::kInt64), 5, false}},
+      true);
+  ExecContext ctx;
+  Result<std::vector<Row>> rows = ExecuteToVector(plan.get(), &ctx);
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kCardinalityViolation);
+}
+
+TEST_F(ExecTest, Max1rowOperatorPassesSingleRow) {
+  PhysicalOpPtr one = MakeFilterOp(
+      ScanT(), Eq(CRef(1, DataType::kInt64), LitInt(2)));
+  PhysicalOpPtr plan = MakeMax1rowOp(std::move(one));
+  EXPECT_EQ(Drain(plan.get()).size(), 1u);
+}
+
+TEST_F(ExecTest, Max1rowOperatorErrorsOnTwoRows) {
+  PhysicalOpPtr plan = MakeMax1rowOp(ScanT());
+  ExecContext ctx;
+  Result<std::vector<Row>> rows = ExecuteToVector(plan.get(), &ctx);
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kCardinalityViolation);
+}
+
+TEST_F(ExecTest, SortAscendingNullsFirstAndLimit) {
+  PhysicalOpPtr plan = MakeSortOp(
+      ScanT(), {SortKey{CRef(2, DataType::kInt64), true}}, 3);
+  std::vector<Row> rows = Drain(plan.get());
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_TRUE(rows[0][1].is_null());  // NULL sorts first
+  EXPECT_EQ(rows[1][1].int64_value(), 10);
+}
+
+TEST_F(ExecTest, SortDescending) {
+  PhysicalOpPtr plan = MakeSortOp(
+      ScanT(), {SortKey{CRef(2, DataType::kInt64), false}}, -1);
+  std::vector<Row> rows = Drain(plan.get());
+  EXPECT_EQ(rows[0][1].int64_value(), 50);
+  EXPECT_TRUE(rows.back()[1].is_null());
+}
+
+TEST_F(ExecTest, UnionAllConcatenates) {
+  std::vector<PhysicalOpPtr> children;
+  children.push_back(ScanT());
+  children.push_back(ScanT());
+  PhysicalOpPtr plan = MakeUnionAllOp(std::move(children), {1, 2});
+  EXPECT_EQ(Drain(plan.get()).size(), 10u);
+}
+
+TEST_F(ExecTest, ExceptAllCancelsMultiplicities) {
+  // (t UNION ALL t) EXCEPT ALL t = t (bag semantics).
+  std::vector<PhysicalOpPtr> children;
+  children.push_back(ScanT());
+  children.push_back(ScanT());
+  PhysicalOpPtr doubled = MakeUnionAllOp(std::move(children), {1, 2});
+  PhysicalOpPtr plan =
+      MakeExceptAllOp(std::move(doubled), ScanT(), {1, 2});
+  EXPECT_EQ(Drain(plan.get()).size(), 5u);
+}
+
+TEST_F(ExecTest, SegmentApplyPartitionsAndRuns) {
+  // Segment s by fk; inner counts the segment rows.
+  PhysicalOpPtr seg_scan = MakeSegmentScanOp({13, 14});
+  PhysicalOpPtr inner = MakeHashAggregateOp(
+      std::move(seg_scan), {},
+      {AggItem{AggFunc::kCountStar, nullptr, 15, false}}, true);
+  PhysicalOpPtr plan = MakeSegmentApplyOp(ScanS(), std::move(inner), {0},
+                                          {3, 15});
+  std::vector<Row> rows = Drain(plan.get());
+  ASSERT_EQ(rows.size(), 3u);  // one row per segment (scalar agg inner)
+  for (const Row& row : rows) {
+    if (row[0].int64_value() == 1) EXPECT_EQ(row[1].int64_value(), 2);
+    if (row[0].int64_value() == 2) EXPECT_EQ(row[1].int64_value(), 1);
+  }
+}
+
+TEST_F(ExecTest, SingleRowEmitsExactlyOnce) {
+  PhysicalOpPtr plan = MakeSingleRowOp();
+  EXPECT_EQ(Drain(plan.get()).size(), 1u);
+}
+
+TEST_F(ExecTest, RowsProducedCountsWork) {
+  PhysicalOpPtr plan = MakeFilterOp(ScanT(), TrueLiteral());
+  ExecContext ctx;
+  ASSERT_TRUE(ExecuteToVector(plan.get(), &ctx).ok());
+  // 5 scan rows + 5 filter rows.
+  EXPECT_EQ(ctx.rows_produced, 10);
+}
+
+}  // namespace
+}  // namespace orq

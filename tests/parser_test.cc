@@ -1,0 +1,176 @@
+// Unit tests for the SQL lexer and parser.
+#include <gtest/gtest.h>
+
+#include "sql/lexer.h"
+#include "sql/parser.h"
+
+namespace orq {
+namespace {
+
+TEST(LexerTest, BasicTokens) {
+  auto tokens = Tokenize("SELECT a, b2 FROM t WHERE x <= 10.5");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_GE(tokens->size(), 10u);
+  EXPECT_EQ((*tokens)[0].type, TokenType::kKeyword);
+  EXPECT_EQ((*tokens)[0].text, "SELECT");
+  EXPECT_EQ((*tokens)[1].type, TokenType::kIdentifier);
+  EXPECT_EQ((*tokens)[1].text, "a");
+}
+
+TEST(LexerTest, StringLiteralWithEscapedQuote) {
+  auto tokens = Tokenize("select 'it''s'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[1].type, TokenType::kString);
+  EXPECT_EQ((*tokens)[1].text, "it's");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Tokenize("select 'oops").ok());
+}
+
+TEST(LexerTest, LineComments) {
+  auto tokens = Tokenize("select 1 -- trailing comment\n, 2");
+  ASSERT_TRUE(tokens.ok());
+  size_t commas = 0;
+  for (const Token& t : *tokens) {
+    if (t.type == TokenType::kOperator && t.text == ",") ++commas;
+  }
+  EXPECT_EQ(commas, 1u);
+}
+
+TEST(LexerTest, TwoCharOperators) {
+  auto tokens = Tokenize("a <> b != c <= d >= e");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[1].text, "<>");
+  EXPECT_EQ((*tokens)[3].text, "<>");  // != normalized
+  EXPECT_EQ((*tokens)[5].text, "<=");
+  EXPECT_EQ((*tokens)[7].text, ">=");
+}
+
+TEST(ParserTest, SelectList) {
+  auto stmt = ParseSql("select a, b as bb, c + 1 total from t");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  ASSERT_EQ((*stmt)->items.size(), 3u);
+  EXPECT_EQ((*stmt)->items[1].alias, "bb");
+  EXPECT_EQ((*stmt)->items[2].alias, "total");
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  auto stmt = ParseSql("select 1 + 2 * 3 from t");
+  ASSERT_TRUE(stmt.ok());
+  const AstExpr& e = *(*stmt)->items[0].expr;
+  ASSERT_EQ(e.kind, AstExprKind::kBinary);
+  EXPECT_EQ(e.op, "+");
+  EXPECT_EQ(e.children[1]->op, "*");
+}
+
+TEST(ParserTest, AndOrPrecedence) {
+  auto stmt = ParseSql("select * from t where a = 1 or b = 2 and c = 3");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ((*stmt)->where->op, "OR");
+  EXPECT_EQ((*stmt)->where->children[1]->op, "AND");
+}
+
+TEST(ParserTest, SubqueryKinds) {
+  auto stmt = ParseSql(
+      "select * from t where exists (select * from u) "
+      "and x in (select y from u) "
+      "and z > all (select w from u) "
+      "and v = (select max(q) from u)");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+}
+
+TEST(ParserTest, NotExistsFoldsNegation) {
+  auto stmt = ParseSql("select * from t where not exists (select * from u)");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ((*stmt)->where->kind, AstExprKind::kExists);
+  EXPECT_TRUE((*stmt)->where->negated);
+}
+
+TEST(ParserTest, NotInSubquery) {
+  auto stmt = ParseSql("select * from t where x not in (select y from u)");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ((*stmt)->where->kind, AstExprKind::kInSubquery);
+  EXPECT_TRUE((*stmt)->where->negated);
+}
+
+TEST(ParserTest, BetweenAndLike) {
+  auto stmt = ParseSql(
+      "select * from t where a between 1 and 10 and b like 'x%' "
+      "and c not between 2 and 3 and d not like 'y%'");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+}
+
+TEST(ParserTest, CaseExpression) {
+  auto stmt = ParseSql(
+      "select case when a = 1 then 'one' when a = 2 then 'two' "
+      "else 'many' end from t");
+  ASSERT_TRUE(stmt.ok());
+  const AstExpr& e = *(*stmt)->items[0].expr;
+  EXPECT_EQ(e.kind, AstExprKind::kCase);
+  EXPECT_EQ(e.children.size(), 5u);  // 2 when/then pairs + else
+}
+
+TEST(ParserTest, JoinSyntax) {
+  auto stmt = ParseSql(
+      "select * from a left outer join b on a.x = b.y "
+      "join c on c.z = a.x");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  ASSERT_EQ((*stmt)->from.size(), 1u);
+  EXPECT_EQ((*stmt)->from[0]->kind, TableRefKind::kJoin);
+}
+
+TEST(ParserTest, DerivedTableRequiresAlias) {
+  EXPECT_FALSE(ParseSql("select * from (select 1 from t)").ok());
+  EXPECT_TRUE(ParseSql("select * from (select 1 x from t) as d").ok());
+}
+
+TEST(ParserTest, GroupByHavingOrderLimit) {
+  auto stmt = ParseSql(
+      "select a, count(*) from t group by a having count(*) > 2 "
+      "order by 2 desc, a limit 10");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ((*stmt)->group_by.size(), 1u);
+  ASSERT_NE((*stmt)->having, nullptr);
+  EXPECT_EQ((*stmt)->order_by.size(), 2u);
+  EXPECT_FALSE((*stmt)->order_by[0].ascending);
+  EXPECT_EQ((*stmt)->limit, 10);
+}
+
+TEST(ParserTest, UnionAllChain) {
+  auto stmt = ParseSql("select a from t union all select b from u");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ((*stmt)->set_op, SelectStmt::SetOp::kUnionAll);
+  ASSERT_NE((*stmt)->set_rhs, nullptr);
+}
+
+TEST(ParserTest, DateLiteral) {
+  auto stmt = ParseSql("select * from t where d >= date '1994-01-01'");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_FALSE(ParseSql("select date '1994-13-40'").ok());
+}
+
+TEST(ParserTest, QualifiedColumns) {
+  auto stmt = ParseSql("select t1.a from t t1 where t1.b = 3");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ((*stmt)->items[0].expr->qualifier, "t1");
+  EXPECT_EQ((*stmt)->items[0].expr->name, "a");
+}
+
+TEST(ParserTest, CountDistinct) {
+  auto stmt = ParseSql("select count(distinct x) from t");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE((*stmt)->items[0].expr->distinct);
+}
+
+TEST(ParserTest, TrailingGarbageFails) {
+  EXPECT_FALSE(ParseSql("select 1 from t blah blah blah ,").ok());
+}
+
+TEST(ParserTest, EmptyInputFails) {
+  EXPECT_FALSE(ParseSql("").ok());
+  EXPECT_FALSE(ParseSql("   -- just a comment").ok());
+}
+
+}  // namespace
+}  // namespace orq

@@ -1,0 +1,261 @@
+// Unit tests for logical property derivation: free variables, keys,
+// non-null columns, max-one-row, and null-rejection — the analyses all
+// rewrite rules depend on.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "algebra/expr_util.h"
+#include "algebra/iso.h"
+#include "algebra/props.h"
+#include "catalog/catalog.h"
+
+namespace orq {
+namespace {
+
+class PropsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    columns_ = std::make_shared<ColumnManager>();
+    t_ = *catalog_.CreateTable("t", {{"k", DataType::kInt64, false},
+                                     {"a", DataType::kInt64, false},
+                                     {"b", DataType::kInt64, true}});
+    t_->SetPrimaryKey({0});
+    u_ = *catalog_.CreateTable("u", {{"uk", DataType::kInt64, false},
+                                     {"c", DataType::kInt64, true}});
+    u_->SetPrimaryKey({0});
+  }
+
+  RelExprPtr Get(Table* table, std::map<std::string, ColumnId>* ids) {
+    std::vector<ColumnId> cols;
+    for (const ColumnSpec& spec : table->columns()) {
+      ColumnId id = columns_->NewColumn(spec.name, spec.type, spec.nullable);
+      cols.push_back(id);
+      (*ids)[spec.name] = id;
+    }
+    return MakeGet(table, std::move(cols));
+  }
+
+  ScalarExprPtr Ref(const std::map<std::string, ColumnId>& ids,
+                    const std::string& name) {
+    return CRef(*columns_, ids.at(name));
+  }
+
+  Catalog catalog_;
+  ColumnManagerPtr columns_;
+  Table* t_ = nullptr;
+  Table* u_ = nullptr;
+};
+
+TEST_F(PropsTest, FreeVariablesOfParameterizedSelect) {
+  std::map<std::string, ColumnId> t, u;
+  RelExprPtr gt = Get(t_, &t);
+  RelExprPtr gu = Get(u_, &u);
+  RelExprPtr inner = MakeSelect(gu, Eq(Ref(u, "c"), Ref(t, "k")));
+  ColumnSet free = FreeVariables(*inner);
+  EXPECT_TRUE(free.Contains(t.at("k")));
+  EXPECT_FALSE(free.Contains(u.at("c")));
+}
+
+TEST_F(PropsTest, ApplyBindsInnerFreeVariables) {
+  std::map<std::string, ColumnId> t, u;
+  RelExprPtr gt = Get(t_, &t);
+  RelExprPtr gu = Get(u_, &u);
+  RelExprPtr inner = MakeSelect(gu, Eq(Ref(u, "c"), Ref(t, "k")));
+  RelExprPtr apply = MakeApply(ApplyKind::kCross, gt, inner);
+  EXPECT_TRUE(FreeVariables(*apply).empty());
+}
+
+TEST_F(PropsTest, GetKeysFromPrimaryKey) {
+  std::map<std::string, ColumnId> t;
+  RelExprPtr gt = Get(t_, &t);
+  std::vector<ColumnSet> keys = DeriveKeys(*gt);
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0], (ColumnSet{t.at("k")}));
+}
+
+TEST_F(PropsTest, JoinOnRightKeyPreservesLeftKeys) {
+  std::map<std::string, ColumnId> t, u;
+  RelExprPtr gt = Get(t_, &t);
+  RelExprPtr gu = Get(u_, &u);
+  RelExprPtr join = MakeJoin(JoinKind::kInner, gt, gu,
+                             Eq(Ref(t, "a"), Ref(u, "uk")));
+  EXPECT_TRUE(HasKeyWithin(*join, ColumnSet{t.at("k")}));
+}
+
+TEST_F(PropsTest, JoinWithoutKeyEqualityUnionsKeys) {
+  std::map<std::string, ColumnId> t, u;
+  RelExprPtr gt = Get(t_, &t);
+  RelExprPtr gu = Get(u_, &u);
+  RelExprPtr join = MakeJoin(JoinKind::kInner, gt, gu,
+                             Eq(Ref(t, "a"), Ref(u, "c")));
+  EXPECT_FALSE(HasKeyWithin(*join, ColumnSet{t.at("k")}));
+  EXPECT_TRUE(HasKeyWithin(*join, ColumnSet{t.at("k"), u.at("uk")}));
+}
+
+TEST_F(PropsTest, GroupByKeysAreGroupingColumns) {
+  std::map<std::string, ColumnId> t;
+  RelExprPtr gt = Get(t_, &t);
+  ColumnId sum = columns_->NewColumn("sum", DataType::kInt64, true);
+  RelExprPtr group =
+      MakeGroupBy(gt, ColumnSet{t.at("a")},
+                  {AggItem{AggFunc::kSum, Ref(t, "b"), sum, false}});
+  EXPECT_TRUE(HasKeyWithin(*group, ColumnSet{t.at("a")}));
+  // Scalar aggregates have the empty key (exactly one row).
+  RelExprPtr scalar = MakeScalarGroupBy(
+      gt, {AggItem{AggFunc::kSum, Ref(t, "b"), sum, false}});
+  EXPECT_TRUE(HasKeyWithin(*scalar, ColumnSet()));
+}
+
+TEST_F(PropsTest, SemiJoinKeepsLeftKeys) {
+  std::map<std::string, ColumnId> t, u;
+  RelExprPtr gt = Get(t_, &t);
+  RelExprPtr gu = Get(u_, &u);
+  RelExprPtr semi = MakeJoin(JoinKind::kLeftSemi, gt, gu,
+                             Eq(Ref(t, "a"), Ref(u, "c")));
+  EXPECT_TRUE(HasKeyWithin(*semi, ColumnSet{t.at("k")}));
+}
+
+TEST_F(PropsTest, NotNullColumns) {
+  std::map<std::string, ColumnId> t;
+  RelExprPtr gt = Get(t_, &t);
+  ColumnSet not_null = NotNullColumns(*gt);
+  EXPECT_TRUE(not_null.Contains(t.at("k")));
+  EXPECT_TRUE(not_null.Contains(t.at("a")));
+  EXPECT_FALSE(not_null.Contains(t.at("b")));
+
+  // A strict filter makes b non-NULL.
+  RelExprPtr filtered = MakeSelect(
+      gt, MakeCompare(CompareOp::kGt, Ref(t, "b"), LitInt(0)));
+  EXPECT_TRUE(NotNullColumns(*filtered).Contains(t.at("b")));
+}
+
+TEST_F(PropsTest, OuterJoinNullifiesRightSide) {
+  std::map<std::string, ColumnId> t, u;
+  RelExprPtr gt = Get(t_, &t);
+  RelExprPtr gu = Get(u_, &u);
+  RelExprPtr loj = MakeJoin(JoinKind::kLeftOuter, gt, gu,
+                            Eq(Ref(t, "a"), Ref(u, "uk")));
+  ColumnSet not_null = NotNullColumns(*loj);
+  EXPECT_TRUE(not_null.Contains(t.at("k")));
+  EXPECT_FALSE(not_null.Contains(u.at("uk")));  // may be padded
+}
+
+TEST_F(PropsTest, MaxOneRowThroughKeyEquality) {
+  std::map<std::string, ColumnId> t;
+  RelExprPtr gt = Get(t_, &t);
+  // k = <outer param>: pins the key -> at most one row.
+  ColumnId param = columns_->NewColumn("param", DataType::kInt64, false);
+  RelExprPtr pinned = MakeSelect(
+      gt, Eq(Ref(t, "k"), CRef(param, DataType::kInt64)));
+  EXPECT_TRUE(MaxOneRow(*pinned));
+  // a = <param> does not pin a key.
+  std::map<std::string, ColumnId> t2;
+  RelExprPtr gt2 = Get(t_, &t2);
+  RelExprPtr not_pinned = MakeSelect(
+      gt2, Eq(Ref(t2, "a"), CRef(param, DataType::kInt64)));
+  EXPECT_FALSE(MaxOneRow(*not_pinned));
+}
+
+TEST_F(PropsTest, MaxOneRowOperators) {
+  std::map<std::string, ColumnId> t;
+  RelExprPtr gt = Get(t_, &t);
+  EXPECT_TRUE(MaxOneRow(*MakeMax1row(gt)));
+  EXPECT_TRUE(MaxOneRow(*MakeScalarGroupBy(gt, {})));
+  EXPECT_TRUE(MaxOneRow(*MakeSingleRow()));
+  EXPECT_TRUE(MaxOneRow(*MakeSort(gt, {}, 1)));
+  EXPECT_FALSE(MaxOneRow(*gt));
+}
+
+TEST_F(PropsTest, PredicateNotTrueOnNull) {
+  ColumnId x = columns_->NewColumn("x", DataType::kInt64, true);
+  ColumnSet cols{x};
+  ScalarExprPtr xref = CRef(x, DataType::kInt64);
+  // x > 5 is null-rejecting on {x}.
+  EXPECT_TRUE(PredicateNotTrueOnNull(
+      MakeCompare(CompareOp::kGt, xref, LitInt(5)), cols));
+  // x IS NULL is satisfied by NULL: not rejecting.
+  EXPECT_FALSE(PredicateNotTrueOnNull(MakeIsNull(xref), cols));
+  // x IS NOT NULL rejects.
+  EXPECT_TRUE(PredicateNotTrueOnNull(MakeIsNotNull(xref), cols));
+  // (x > 5 OR x < 0) rejects (both branches strict).
+  EXPECT_TRUE(PredicateNotTrueOnNull(
+      MakeOr({MakeCompare(CompareOp::kGt, xref, LitInt(5)),
+              MakeCompare(CompareOp::kLt, xref, LitInt(0))}),
+      cols));
+  // (x > 5 OR x IS NULL) does not reject.
+  EXPECT_FALSE(PredicateNotTrueOnNull(
+      MakeOr({MakeCompare(CompareOp::kGt, xref, LitInt(5)),
+              MakeIsNull(xref)}),
+      cols));
+  // AND rejects if any conjunct does.
+  ColumnId y = columns_->NewColumn("y", DataType::kInt64, true);
+  EXPECT_TRUE(PredicateNotTrueOnNull(
+      MakeAnd2(MakeIsNull(CRef(y, DataType::kInt64)),
+               MakeCompare(CompareOp::kGt, xref, LitInt(5))),
+      cols));
+  // NOT(x = 5) yields unknown on NULL x: rejecting.
+  EXPECT_TRUE(
+      PredicateNotTrueOnNull(MakeNot(Eq(xref, LitInt(5))), cols));
+  // Predicates not referencing x at all: not rejecting on {x}.
+  EXPECT_FALSE(PredicateNotTrueOnNull(
+      MakeCompare(CompareOp::kGt, CRef(y, DataType::kInt64), LitInt(1)),
+      cols));
+}
+
+TEST_F(PropsTest, NullRejectedColumnsPerConjunct) {
+  ColumnId x = columns_->NewColumn("x", DataType::kInt64, true);
+  ColumnId y = columns_->NewColumn("y", DataType::kInt64, true);
+  ScalarExprPtr pred = MakeAnd2(
+      MakeCompare(CompareOp::kGt, CRef(x, DataType::kInt64), LitInt(0)),
+      MakeIsNull(CRef(y, DataType::kInt64)));
+  ColumnSet rejected = NullRejectedColumns(pred);
+  EXPECT_TRUE(rejected.Contains(x));
+  EXPECT_FALSE(rejected.Contains(y));
+}
+
+TEST_F(PropsTest, IsomorphismDetectsEqualTreesModuloIds) {
+  std::map<std::string, ColumnId> a, b;
+  RelExprPtr ga = Get(t_, &a);
+  RelExprPtr gb = Get(t_, &b);
+  RelExprPtr ta = MakeSelect(
+      ga, MakeCompare(CompareOp::kGt, Ref(a, "a"), LitInt(10)));
+  RelExprPtr tb = MakeSelect(
+      gb, MakeCompare(CompareOp::kGt, Ref(b, "a"), LitInt(10)));
+  std::map<ColumnId, ColumnId> mapping;
+  EXPECT_TRUE(RelTreesIsomorphic(ta, tb, &mapping));
+  EXPECT_EQ(mapping.at(a.at("a")), b.at("a"));
+
+  // Different literal -> not isomorphic.
+  std::map<std::string, ColumnId> c;
+  RelExprPtr gc = Get(t_, &c);
+  RelExprPtr tc = MakeSelect(
+      gc, MakeCompare(CompareOp::kGt, Ref(c, "a"), LitInt(11)));
+  std::map<ColumnId, ColumnId> mapping2;
+  EXPECT_FALSE(RelTreesIsomorphic(ta, tc, &mapping2));
+
+  // Different table -> not isomorphic.
+  std::map<std::string, ColumnId> d;
+  RelExprPtr gd = Get(u_, &d);
+  std::map<ColumnId, ColumnId> mapping3;
+  EXPECT_FALSE(RelTreesIsomorphic(ga, gd, &mapping3));
+}
+
+TEST_F(PropsTest, IsomorphismAllowsWiderTarget) {
+  // The target Get may carry extra columns (pruning asymmetry).
+  std::map<std::string, ColumnId> a;
+  RelExprPtr narrow = Get(t_, &a);
+  narrow->get_cols = {a.at("k")};
+  narrow->get_ordinals = {0};
+  std::map<std::string, ColumnId> b;
+  RelExprPtr wide = Get(t_, &b);
+  std::map<ColumnId, ColumnId> mapping;
+  EXPECT_TRUE(RelTreesIsomorphic(narrow, wide, &mapping));
+  EXPECT_EQ(mapping.at(a.at("k")), b.at("k"));
+  // But not the other way around.
+  std::map<ColumnId, ColumnId> mapping2;
+  EXPECT_FALSE(RelTreesIsomorphic(wide, narrow, &mapping2));
+}
+
+}  // namespace
+}  // namespace orq

@@ -1,0 +1,180 @@
+// Unit tests for the logical operator representation: output-column
+// contracts per operator and the tree cloning/remapping utilities that
+// class-2 decorrelation and SegmentApply depend on.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "algebra/expr_util.h"
+#include "algebra/props.h"
+#include "catalog/catalog.h"
+
+namespace orq {
+namespace {
+
+class RelExprTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    columns_ = std::make_shared<ColumnManager>();
+    t_ = *catalog_.CreateTable("t", {{"a", DataType::kInt64, false},
+                                     {"b", DataType::kInt64, true}});
+    t_->SetPrimaryKey({0});
+  }
+
+  RelExprPtr Get(std::map<std::string, ColumnId>* ids) {
+    std::vector<ColumnId> cols;
+    for (const ColumnSpec& spec : t_->columns()) {
+      ColumnId id = columns_->NewColumn(spec.name, spec.type, spec.nullable);
+      cols.push_back(id);
+      (*ids)[spec.name] = id;
+    }
+    return MakeGet(t_, std::move(cols));
+  }
+
+  Catalog catalog_;
+  ColumnManagerPtr columns_;
+  Table* t_ = nullptr;
+};
+
+TEST_F(RelExprTest, GetOutputsItsColumns) {
+  std::map<std::string, ColumnId> t;
+  RelExprPtr get = Get(&t);
+  EXPECT_EQ(get->OutputColumns(),
+            (std::vector<ColumnId>{t.at("a"), t.at("b")}));
+}
+
+TEST_F(RelExprTest, ProjectOutputsPassthroughThenItems) {
+  std::map<std::string, ColumnId> t;
+  RelExprPtr get = Get(&t);
+  ColumnId computed = columns_->NewColumn("c", DataType::kInt64, true);
+  RelExprPtr project = MakeProject(
+      get,
+      {ProjectItem{computed,
+                   MakeArith(ArithOp::kAdd, CRef(*columns_, t.at("a")),
+                             LitInt(1))}},
+      ColumnSet{t.at("b")});
+  EXPECT_EQ(project->OutputColumns(),
+            (std::vector<ColumnId>{t.at("b"), computed}));
+}
+
+TEST_F(RelExprTest, SemiJoinOutputsLeftOnly) {
+  std::map<std::string, ColumnId> l, r;
+  RelExprPtr left = Get(&l);
+  RelExprPtr right = Get(&r);
+  RelExprPtr semi =
+      MakeJoin(JoinKind::kLeftSemi, left, right, TrueLiteral());
+  EXPECT_EQ(semi->OutputColumns(), left->OutputColumns());
+  RelExprPtr inner =
+      MakeJoin(JoinKind::kInner, left, right, TrueLiteral());
+  EXPECT_EQ(inner->OutputColumns().size(), 4u);
+}
+
+TEST_F(RelExprTest, SemiApplyOutputsLeftOnly) {
+  std::map<std::string, ColumnId> l, r;
+  RelExprPtr left = Get(&l);
+  RelExprPtr right = Get(&r);
+  EXPECT_EQ(MakeApply(ApplyKind::kSemi, left, right)->OutputColumns(),
+            left->OutputColumns());
+  EXPECT_EQ(
+      MakeApply(ApplyKind::kCross, left, right)->OutputColumns().size(),
+      4u);
+}
+
+TEST_F(RelExprTest, GroupByOutputsGroupColsThenAggs) {
+  std::map<std::string, ColumnId> t;
+  RelExprPtr get = Get(&t);
+  ColumnId sum = columns_->NewColumn("s", DataType::kInt64, true);
+  RelExprPtr group = MakeGroupBy(
+      get, ColumnSet{t.at("a")},
+      {AggItem{AggFunc::kSum, CRef(*columns_, t.at("b")), sum, false}});
+  EXPECT_EQ(group->OutputColumns(),
+            (std::vector<ColumnId>{t.at("a"), sum}));
+  RelExprPtr scalar = MakeScalarGroupBy(
+      get, {AggItem{AggFunc::kSum, CRef(*columns_, t.at("b")), sum, false}});
+  EXPECT_EQ(scalar->OutputColumns(), (std::vector<ColumnId>{sum}));
+}
+
+TEST_F(RelExprTest, SegmentApplyOutputsSegmentKeysThenInner) {
+  std::map<std::string, ColumnId> t;
+  RelExprPtr get = Get(&t);
+  ColumnId s1 = columns_->NewColumn("s1a", DataType::kInt64, true);
+  ColumnId s2 = columns_->NewColumn("s1b", DataType::kInt64, true);
+  RelExprPtr inner = MakeSegmentRef({s1, s2});
+  RelExprPtr sa = MakeSegmentApply(get, inner, ColumnSet{t.at("a")},
+                                   {s1, s2});
+  EXPECT_EQ(sa->OutputColumns(),
+            (std::vector<ColumnId>{t.at("a"), s1, s2}));
+}
+
+TEST_F(RelExprTest, CloneRelTreeAllocatesFreshDefinedIds) {
+  std::map<std::string, ColumnId> t;
+  RelExprPtr get = Get(&t);
+  RelExprPtr tree = MakeSelect(
+      get, MakeCompare(CompareOp::kGt, CRef(*columns_, t.at("b")),
+                       LitInt(3)));
+  std::map<ColumnId, ColumnId> mapping;
+  RelExprPtr clone = CloneRelTree(tree, columns_.get(), &mapping);
+  // Every defined column got a fresh id...
+  EXPECT_EQ(mapping.size(), 2u);
+  for (const auto& [old_id, new_id] : mapping) {
+    EXPECT_NE(old_id, new_id);
+  }
+  // ...and internal references were rewritten to the fresh ids.
+  ColumnSet refs;
+  CollectColumnRefs(clone->predicate, &refs);
+  EXPECT_TRUE(refs.Contains(mapping.at(t.at("b"))));
+  EXPECT_FALSE(refs.Contains(t.at("b")));
+}
+
+TEST_F(RelExprTest, CloneRelTreeLeavesFreeVariablesAlone) {
+  std::map<std::string, ColumnId> t;
+  RelExprPtr get = Get(&t);
+  ColumnId outer_param = columns_->NewColumn("p", DataType::kInt64, false);
+  RelExprPtr tree = MakeSelect(
+      get, Eq(CRef(*columns_, t.at("a")),
+              CRef(outer_param, DataType::kInt64)));
+  std::map<ColumnId, ColumnId> mapping;
+  RelExprPtr clone = CloneRelTree(tree, columns_.get(), &mapping);
+  // The correlated parameter is not defined inside: it must survive.
+  EXPECT_TRUE(FreeVariables(*clone).Contains(outer_param));
+  EXPECT_EQ(mapping.count(outer_param), 0u);
+}
+
+TEST_F(RelExprTest, RemapRelTreeRewritesReferences) {
+  std::map<std::string, ColumnId> t;
+  RelExprPtr get = Get(&t);
+  ColumnId param = columns_->NewColumn("p", DataType::kInt64, false);
+  ColumnId new_param = columns_->NewColumn("p2", DataType::kInt64, false);
+  RelExprPtr tree = MakeSelect(
+      get,
+      Eq(CRef(*columns_, t.at("a")), CRef(param, DataType::kInt64)));
+  RelExprPtr remapped = RemapRelTree(tree, {{param, new_param}});
+  EXPECT_TRUE(FreeVariables(*remapped).Contains(new_param));
+  EXPECT_FALSE(FreeVariables(*remapped).Contains(param));
+  // Original untouched.
+  EXPECT_TRUE(FreeVariables(*tree).Contains(param));
+}
+
+TEST_F(RelExprTest, CloneWithChildrenSharesPayload) {
+  std::map<std::string, ColumnId> t;
+  RelExprPtr get = Get(&t);
+  RelExprPtr select = MakeSelect(get, TrueLiteral());
+  std::map<std::string, ColumnId> t2;
+  RelExprPtr other = Get(&t2);
+  RelExprPtr clone = CloneWithChildren(*select, {other});
+  EXPECT_EQ(clone->predicate, select->predicate);
+  EXPECT_EQ(clone->children[0], other);
+  EXPECT_EQ(select->children[0], get);  // original intact
+}
+
+TEST_F(RelExprTest, AggNullOnEmptyClassification) {
+  EXPECT_FALSE(AggNullOnEmpty(AggFunc::kCountStar));
+  EXPECT_FALSE(AggNullOnEmpty(AggFunc::kCount));
+  EXPECT_TRUE(AggNullOnEmpty(AggFunc::kSum));
+  EXPECT_TRUE(AggNullOnEmpty(AggFunc::kMin));
+  EXPECT_TRUE(AggNullOnEmpty(AggFunc::kMax));
+  EXPECT_TRUE(AggNullOnEmpty(AggFunc::kMax1Row));
+}
+
+}  // namespace
+}  // namespace orq

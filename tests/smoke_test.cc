@@ -1,0 +1,178 @@
+// End-to-end smoke tests: tiny database, core query shapes through the full
+// parse -> bind -> normalize -> optimize -> execute pipeline.
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "tpch/tpch_gen.h"
+
+namespace orq {
+namespace {
+
+class SmokeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Table* customer =
+        *catalog_.CreateTable("customer", {{"c_custkey", DataType::kInt64, false},
+                                           {"c_name", DataType::kString, false},
+                                           {"c_nationkey", DataType::kInt64, false}});
+    customer->SetPrimaryKey({0});
+    ASSERT_TRUE(customer->Append({Value::Int64(1), Value::String("alice"),
+                                  Value::Int64(10)}).ok());
+    ASSERT_TRUE(customer->Append({Value::Int64(2), Value::String("bob"),
+                                  Value::Int64(20)}).ok());
+    ASSERT_TRUE(customer->Append({Value::Int64(3), Value::String("carol"),
+                                  Value::Int64(10)}).ok());
+
+    Table* orders =
+        *catalog_.CreateTable("orders", {{"o_orderkey", DataType::kInt64, false},
+                                         {"o_custkey", DataType::kInt64, false},
+                                         {"o_totalprice", DataType::kDouble, false}});
+    orders->SetPrimaryKey({0});
+    ASSERT_TRUE(orders->Append({Value::Int64(100), Value::Int64(1),
+                                Value::Double(50.0)}).ok());
+    ASSERT_TRUE(orders->Append({Value::Int64(101), Value::Int64(1),
+                                Value::Double(75.0)}).ok());
+    ASSERT_TRUE(orders->Append({Value::Int64(102), Value::Int64(2),
+                                Value::Double(10.0)}).ok());
+    orders->BuildIndex({1});
+  }
+
+  QueryResult MustExecute(const std::string& sql) {
+    QueryEngine engine(&catalog_);
+    Result<QueryResult> result = engine.Execute(sql);
+    EXPECT_TRUE(result.ok()) << sql << " -> " << result.status().ToString();
+    return result.ok() ? *result : QueryResult{};
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(SmokeTest, SimpleScan) {
+  QueryResult r = MustExecute("select c_custkey from customer");
+  EXPECT_EQ(r.rows.size(), 3u);
+}
+
+TEST_F(SmokeTest, FilterAndProject) {
+  QueryResult r = MustExecute(
+      "select c_name from customer where c_nationkey = 10");
+  EXPECT_EQ(r.rows.size(), 2u);
+}
+
+TEST_F(SmokeTest, JoinWhere) {
+  QueryResult r = MustExecute(
+      "select c_name, o_totalprice from customer, orders "
+      "where o_custkey = c_custkey");
+  EXPECT_EQ(r.rows.size(), 3u);
+}
+
+TEST_F(SmokeTest, VectorAggregate) {
+  QueryResult r = MustExecute(
+      "select c_nationkey, count(*) from customer group by c_nationkey "
+      "order by c_nationkey");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].int64_value(), 10);
+  EXPECT_EQ(r.rows[0][1].int64_value(), 2);
+}
+
+TEST_F(SmokeTest, ScalarAggregateOnEmptyInput) {
+  QueryResult r = MustExecute(
+      "select count(*), sum(o_totalprice) from orders where o_custkey = 99");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].int64_value(), 0);
+  EXPECT_TRUE(r.rows[0][1].is_null());
+}
+
+TEST_F(SmokeTest, CorrelatedScalarSubquery) {
+  // The paper's Q1 shape (section 1.1).
+  QueryResult r = MustExecute(
+      "select c_custkey from customer "
+      "where 100 < (select sum(o_totalprice) from orders "
+      "             where o_custkey = c_custkey)");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].int64_value(), 1);
+}
+
+TEST_F(SmokeTest, ExistsSubquery) {
+  QueryResult r = MustExecute(
+      "select c_name from customer where exists "
+      "(select * from orders where o_custkey = c_custkey) order by c_name");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].string_value(), "alice");
+  EXPECT_EQ(r.rows[1][0].string_value(), "bob");
+}
+
+TEST_F(SmokeTest, NotExistsSubquery) {
+  QueryResult r = MustExecute(
+      "select c_name from customer where not exists "
+      "(select * from orders where o_custkey = c_custkey)");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].string_value(), "carol");
+}
+
+TEST_F(SmokeTest, InSubquery) {
+  QueryResult r = MustExecute(
+      "select c_name from customer where c_custkey in "
+      "(select o_custkey from orders where o_totalprice > 40)");
+  EXPECT_EQ(r.rows.size(), 1u);
+}
+
+TEST_F(SmokeTest, QuantifiedAll) {
+  QueryResult r = MustExecute(
+      "select c_custkey from customer where c_custkey > all "
+      "(select o_custkey from orders)");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].int64_value(), 3);
+}
+
+TEST_F(SmokeTest, ScalarSubqueryInSelectList) {
+  QueryResult r = MustExecute(
+      "select c_name, (select sum(o_totalprice) from orders "
+      "where o_custkey = c_custkey) as total from customer order by c_name");
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_DOUBLE_EQ(r.rows[0][1].double_value(), 125.0);
+  EXPECT_TRUE(r.rows[2][1].is_null());  // carol has no orders
+}
+
+TEST_F(SmokeTest, OuterJoinFormulation) {
+  // Dayal's strategy written directly (section 1.1) — must give the same
+  // answer as the subquery form.
+  QueryResult r = MustExecute(
+      "select c_custkey from customer left outer join orders "
+      "on o_custkey = c_custkey "
+      "group by c_custkey having 100 < sum(o_totalprice)");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].int64_value(), 1);
+}
+
+TEST_F(SmokeTest, DerivedTableFormulation) {
+  // Kim's strategy (section 1.1).
+  QueryResult r = MustExecute(
+      "select c_custkey from customer, "
+      "(select o_custkey from orders group by o_custkey "
+      " having 100 < sum(o_totalprice)) as aggresult "
+      "where o_custkey = c_custkey");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].int64_value(), 1);
+}
+
+TEST_F(SmokeTest, UnionAll) {
+  QueryResult r = MustExecute(
+      "select c_custkey from customer union all "
+      "select o_custkey from orders");
+  EXPECT_EQ(r.rows.size(), 6u);
+}
+
+TEST_F(SmokeTest, TpchGeneratorWorks) {
+  Catalog tpch;
+  TpchGenOptions options;
+  options.scale_factor = 0.001;
+  ASSERT_TRUE(GenerateTpch(&tpch, options).ok());
+  QueryEngine engine(&tpch);
+  Result<QueryResult> r =
+      engine.Execute("select count(*) from lineitem");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GT(r->rows[0][0].int64_value(), 100);
+}
+
+}  // namespace
+}  // namespace orq

@@ -1,0 +1,182 @@
+// End-to-end SQL semantics tests: the NULL/three-valued-logic and
+// empty-input corner cases the paper's rewrites must preserve, verified
+// through the full engine (and therefore through decorrelation).
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+
+namespace orq {
+namespace {
+
+class SqlSemanticsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // t(k, v): v has NULLs.   s(w): contains a NULL.   empty(x): no rows.
+    Table* t = *catalog_.CreateTable("t", {{"k", DataType::kInt64, false},
+                                           {"v", DataType::kInt64, true}});
+    t->SetPrimaryKey({0});
+    ASSERT_TRUE(t->Append({Value::Int64(1), Value::Int64(10)}).ok());
+    ASSERT_TRUE(t->Append({Value::Int64(2), Value::Null()}).ok());
+    ASSERT_TRUE(t->Append({Value::Int64(3), Value::Int64(30)}).ok());
+
+    Table* s = *catalog_.CreateTable("s", {{"w", DataType::kInt64, true}});
+    ASSERT_TRUE(s->Append({Value::Int64(10)}).ok());
+    ASSERT_TRUE(s->Append({Value::Null()}).ok());
+
+    (void)*catalog_.CreateTable("empty", {{"x", DataType::kInt64, true}});
+  }
+
+  QueryResult Run(const std::string& sql) {
+    QueryEngine engine(&catalog_);
+    Result<QueryResult> result = engine.Execute(sql);
+    EXPECT_TRUE(result.ok()) << sql << ": " << result.status().ToString();
+    return result.ok() ? *result : QueryResult{};
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(SqlSemanticsTest, WhereDropsUnknown) {
+  // v = 10 is unknown for the NULL row: only k=1 survives.
+  EXPECT_EQ(Run("select k from t where v = 10").rows.size(), 1u);
+  // NOT (v = 10) is also unknown for NULL: only k=3.
+  EXPECT_EQ(Run("select k from t where not v = 10").rows.size(), 1u);
+}
+
+TEST_F(SqlSemanticsTest, InListWithNull) {
+  // v in (10): k=1 only. v in (10, NULL): still only k=1 in WHERE context.
+  EXPECT_EQ(Run("select k from t where v in (10, null)").rows.size(), 1u);
+  // not in with NULL in the list filters everything (always unknown or
+  // false).
+  EXPECT_EQ(Run("select k from t where v not in (10, null)").rows.size(),
+            0u);
+}
+
+TEST_F(SqlSemanticsTest, NotInSubqueryWithNullInResult) {
+  // s contains NULL: x NOT IN s is never TRUE -> empty result. This is the
+  // classic trap that the antijoin rewrite must preserve (section 2.4).
+  EXPECT_EQ(Run("select k from t where k not in (select w from s)")
+                .rows.size(),
+            0u);
+  // Against an empty subquery, NOT IN is TRUE for every row.
+  EXPECT_EQ(Run("select k from t where k not in (select x from empty)")
+                .rows.size(),
+            3u);
+}
+
+TEST_F(SqlSemanticsTest, InSubqueryMatchesThroughNull) {
+  // k=1... v values {10, NULL, 30}; w values {10, NULL}.
+  EXPECT_EQ(Run("select k from t where v in (select w from s)").rows.size(),
+            1u);
+}
+
+TEST_F(SqlSemanticsTest, QuantifiedOverEmptyIsTrueForAll) {
+  // > ALL over the empty set is TRUE for every row.
+  EXPECT_EQ(
+      Run("select k from t where v > all (select x from empty)").rows.size(),
+      3u);
+  // > ANY over the empty set is FALSE.
+  EXPECT_EQ(
+      Run("select k from t where v > any (select x from empty)").rows.size(),
+      0u);
+}
+
+TEST_F(SqlSemanticsTest, QuantifiedWithNulls) {
+  // v > ALL (select w from s): s contains NULL, so the comparison can
+  // never be definitely true.
+  EXPECT_EQ(Run("select k from t where v > all (select w from s)")
+                .rows.size(),
+            0u);
+  // v > ANY: 30 > 10 is definitely true; NULL w contributes unknown.
+  EXPECT_EQ(Run("select k from t where v > any (select w from s)")
+                .rows.size(),
+            1u);
+}
+
+TEST_F(SqlSemanticsTest, ScalarVsVectorAggregateOnEmpty) {
+  // Section 1.1: scalar aggregation returns exactly one row on empty
+  // input; vector aggregation returns none.
+  QueryResult scalar = Run("select sum(x), count(*) from empty");
+  ASSERT_EQ(scalar.rows.size(), 1u);
+  EXPECT_TRUE(scalar.rows[0][0].is_null());
+  EXPECT_EQ(scalar.rows[0][1].int64_value(), 0);
+
+  QueryResult vector = Run("select x, sum(x) from empty group by x");
+  EXPECT_EQ(vector.rows.size(), 0u);
+}
+
+TEST_F(SqlSemanticsTest, EmptyScalarSubqueryIsNull) {
+  QueryResult result =
+      Run("select k, (select x from empty) from t order by k");
+  ASSERT_EQ(result.rows.size(), 3u);
+  for (const Row& row : result.rows) EXPECT_TRUE(row[1].is_null());
+}
+
+TEST_F(SqlSemanticsTest, Max1rowErrorSurfacesThroughSql) {
+  QueryEngine engine(&catalog_);
+  // s has two rows: the scalar subquery must raise the run-time error.
+  Result<QueryResult> result =
+      engine.Execute("select k, (select w from s) from t");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCardinalityViolation);
+}
+
+TEST_F(SqlSemanticsTest, DivisionByZeroSurfaces) {
+  QueryEngine engine(&catalog_);
+  Result<QueryResult> result = engine.Execute("select k / 0 from t");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kRuntimeError);
+}
+
+TEST_F(SqlSemanticsTest, AvgIgnoresNullsAndHandlesAllNull) {
+  QueryResult result = Run("select avg(v) from t");
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.rows[0][0].double_value(), 20.0);  // (10+30)/2
+
+  QueryResult all_null = Run("select avg(v) from t where v is null");
+  ASSERT_EQ(all_null.rows.size(), 1u);
+  EXPECT_TRUE(all_null.rows[0][0].is_null());
+}
+
+TEST_F(SqlSemanticsTest, CountDistinctIgnoresNulls) {
+  QueryResult result = Run("select count(distinct w) from s");
+  EXPECT_EQ(result.rows[0][0].int64_value(), 1);
+}
+
+TEST_F(SqlSemanticsTest, GroupByTreatsNullsAsOneGroup) {
+  QueryResult result =
+      Run("select v, count(*) from t group by v order by v");
+  ASSERT_EQ(result.rows.size(), 3u);
+  EXPECT_TRUE(result.rows[0][0].is_null());  // NULL group sorts first
+  EXPECT_EQ(result.rows[0][1].int64_value(), 1);
+}
+
+TEST_F(SqlSemanticsTest, ExceptAllRespectsMultiplicity) {
+  QueryResult result = Run(
+      "select k from t union all select k from t "
+      "except all select k from t");
+  EXPECT_EQ(result.rows.size(), 3u);
+}
+
+TEST_F(SqlSemanticsTest, CaseWhenGuardsEvaluation) {
+  // The guarded division must not run for k = 0 denominators.
+  QueryResult result = Run(
+      "select case when v is null then -1 else 100 / v end from t "
+      "order by k");
+  ASSERT_EQ(result.rows.size(), 3u);
+  EXPECT_EQ(result.rows[0][0].int64_value(), 10);
+  EXPECT_EQ(result.rows[1][0].int64_value(), -1);
+}
+
+TEST_F(SqlSemanticsTest, OuterJoinPadsAndCounts) {
+  QueryResult result = Run(
+      "select k, count(w) from t left outer join s on w = v "
+      "group by k order by k");
+  ASSERT_EQ(result.rows.size(), 3u);
+  EXPECT_EQ(result.rows[0][1].int64_value(), 1);  // k=1 matches w=10
+  EXPECT_EQ(result.rows[1][1].int64_value(), 0);  // k=2 unmatched
+  EXPECT_EQ(result.rows[2][1].int64_value(), 0);  // k=3 unmatched
+}
+
+}  // namespace
+}  // namespace orq

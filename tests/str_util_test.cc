@@ -1,0 +1,62 @@
+// Unit tests for string helpers, chiefly SQL LIKE matching.
+#include <gtest/gtest.h>
+
+#include "common/str_util.h"
+
+namespace orq {
+namespace {
+
+TEST(StrUtilTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("SELECT", "select"));
+  EXPECT_TRUE(EqualsIgnoreCase("MiXeD", "mIxEd"));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abd"));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abcd"));
+}
+
+TEST(StrUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+struct LikeCase {
+  const char* text;
+  const char* pattern;
+  bool matches;
+};
+
+class LikeTest : public ::testing::TestWithParam<LikeCase> {};
+
+TEST_P(LikeTest, Matches) {
+  const LikeCase& c = GetParam();
+  EXPECT_EQ(LikeMatch(c.text, c.pattern), c.matches)
+      << "'" << c.text << "' LIKE '" << c.pattern << "'";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, LikeTest,
+    ::testing::Values(
+        LikeCase{"hello", "hello", true},
+        LikeCase{"hello", "h%", true},
+        LikeCase{"hello", "%o", true},
+        LikeCase{"hello", "%ell%", true},
+        LikeCase{"hello", "h_llo", true},
+        LikeCase{"hello", "_____", true},
+        LikeCase{"hello", "____", false},
+        LikeCase{"hello", "", false},
+        LikeCase{"", "", true},
+        LikeCase{"", "%", true},
+        LikeCase{"hello", "%", true},
+        LikeCase{"hello", "%%", true},
+        LikeCase{"hello", "z%", false},
+        LikeCase{"MEDIUM POLISHED TIN", "MEDIUM POLISHED%", true},
+        LikeCase{"STANDARD BRASS", "%BRASS", true},
+        LikeCase{"STANDARD BRASS TIN", "%BRASS", false},
+        LikeCase{"abcabc", "%abc", true},
+        LikeCase{"a%b", "a%b", true},       // literal text also matches
+        LikeCase{"forest green", "forest%", true},
+        LikeCase{"ab", "a_b", false},
+        LikeCase{"axb", "a_b", true}));
+
+}  // namespace
+}  // namespace orq

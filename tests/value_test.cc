@@ -1,0 +1,110 @@
+// Unit tests for the Value scalar type: SQL vs total comparison semantics,
+// hashing consistency, date handling, formatting.
+#include <gtest/gtest.h>
+
+#include "common/value.h"
+
+namespace orq {
+namespace {
+
+TEST(ValueTest, NullConstruction) {
+  Value v = Value::Null(DataType::kDouble);
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), DataType::kDouble);
+  EXPECT_EQ(v.ToString(), "NULL");
+}
+
+TEST(ValueTest, SqlCompareReturnsNulloptOnNull) {
+  EXPECT_FALSE(Value::Null().SqlCompare(Value::Int64(1)).has_value());
+  EXPECT_FALSE(Value::Int64(1).SqlCompare(Value::Null()).has_value());
+  EXPECT_FALSE(Value::Null().SqlCompare(Value::Null()).has_value());
+}
+
+TEST(ValueTest, SqlCompareNumericPromotion) {
+  EXPECT_EQ(*Value::Int64(3).SqlCompare(Value::Double(3.0)), 0);
+  EXPECT_EQ(*Value::Int64(3).SqlCompare(Value::Double(3.5)), -1);
+  EXPECT_EQ(*Value::Double(4.5).SqlCompare(Value::Int64(4)), 1);
+}
+
+TEST(ValueTest, SqlCompareStrings) {
+  EXPECT_EQ(*Value::String("abc").SqlCompare(Value::String("abc")), 0);
+  EXPECT_LT(*Value::String("abc").SqlCompare(Value::String("abd")), 0);
+  EXPECT_GT(*Value::String("b").SqlCompare(Value::String("a")), 0);
+}
+
+TEST(ValueTest, SqlCompareMixedIncomparableTypesIsUnknown) {
+  EXPECT_FALSE(Value::String("1").SqlCompare(Value::Int64(1)).has_value());
+}
+
+TEST(ValueTest, TotalCompareNullsFirstAndEqual) {
+  EXPECT_EQ(Value::Null().TotalCompare(Value::Null()), 0);
+  EXPECT_LT(Value::Null().TotalCompare(Value::Int64(-100)), 0);
+  EXPECT_GT(Value::Int64(0).TotalCompare(Value::Null()), 0);
+}
+
+TEST(ValueTest, GroupEqualsTreatsNullsEqual) {
+  EXPECT_TRUE(Value::Null().GroupEquals(Value::Null(DataType::kString)));
+  EXPECT_FALSE(Value::Null().GroupEquals(Value::Int64(0)));
+}
+
+TEST(ValueTest, HashConsistentWithGroupEquals) {
+  // Int64(3) and Double(3.0) group-equal, so they must hash alike.
+  EXPECT_TRUE(Value::Int64(3).GroupEquals(Value::Double(3.0)));
+  EXPECT_EQ(Value::Int64(3).Hash(), Value::Double(3.0).Hash());
+  // All NULLs hash alike.
+  EXPECT_EQ(Value::Null().Hash(), Value::Null(DataType::kString).Hash());
+}
+
+TEST(ValueTest, BoolValues) {
+  EXPECT_TRUE(Value::Bool(true).bool_value());
+  EXPECT_FALSE(Value::Bool(false).bool_value());
+  EXPECT_EQ(Value::Bool(true).ToString(), "true");
+}
+
+TEST(DateTest, ParseAndFormatRoundTrip) {
+  for (const char* text :
+       {"1970-01-01", "1992-02-29", "1998-12-01", "1969-12-31",
+        "2000-02-29", "1995-06-17"}) {
+    std::optional<int32_t> days = ParseDate(text);
+    ASSERT_TRUE(days.has_value()) << text;
+    EXPECT_EQ(FormatDate(*days), text);
+  }
+}
+
+TEST(DateTest, EpochIsZero) {
+  EXPECT_EQ(*ParseDate("1970-01-01"), 0);
+  EXPECT_EQ(*ParseDate("1970-01-02"), 1);
+  EXPECT_EQ(*ParseDate("1971-01-01"), 365);
+}
+
+TEST(DateTest, RejectsMalformed) {
+  EXPECT_FALSE(ParseDate("not-a-date").has_value());
+  EXPECT_FALSE(ParseDate("1994-13-01").has_value());
+  EXPECT_FALSE(ParseDate("1994-02-30").has_value());
+  EXPECT_FALSE(ParseDate("1993-02-29").has_value());  // not a leap year
+}
+
+TEST(DateTest, ComparesChronologically) {
+  Value a = Value::Date(*ParseDate("1994-01-01"));
+  Value b = Value::Date(*ParseDate("1994-06-01"));
+  EXPECT_LT(*a.SqlCompare(b), 0);
+}
+
+TEST(ValueTest, RowToStringFormatsAllValues) {
+  Row row = {Value::Int64(1), Value::Null(), Value::String("x")};
+  EXPECT_EQ(RowToString(row), "[1, NULL, x]");
+}
+
+TEST(RowHashTest, GroupSemantics) {
+  RowHash hash;
+  RowGroupEq eq;
+  Row a = {Value::Int64(1), Value::Null()};
+  Row b = {Value::Int64(1), Value::Null(DataType::kDouble)};
+  Row c = {Value::Int64(2), Value::Null()};
+  EXPECT_TRUE(eq(a, b));
+  EXPECT_EQ(hash(a), hash(b));
+  EXPECT_FALSE(eq(a, c));
+}
+
+}  // namespace
+}  // namespace orq
