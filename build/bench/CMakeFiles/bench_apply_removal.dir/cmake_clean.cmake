@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_apply_removal.dir/bench_apply_removal.cc.o"
+  "CMakeFiles/bench_apply_removal.dir/bench_apply_removal.cc.o.d"
+  "bench_apply_removal"
+  "bench_apply_removal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_apply_removal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_suite.dir/bench_fig8_suite.cc.o"
+  "CMakeFiles/bench_fig8_suite.dir/bench_fig8_suite.cc.o.d"
+  "bench_fig8_suite"
+  "bench_fig8_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

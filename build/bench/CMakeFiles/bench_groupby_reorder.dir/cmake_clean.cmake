@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_groupby_reorder.dir/bench_groupby_reorder.cc.o"
+  "CMakeFiles/bench_groupby_reorder.dir/bench_groupby_reorder.cc.o.d"
+  "bench_groupby_reorder"
+  "bench_groupby_reorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_groupby_reorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

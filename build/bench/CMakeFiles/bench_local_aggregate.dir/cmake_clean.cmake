@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_local_aggregate.dir/bench_local_aggregate.cc.o"
+  "CMakeFiles/bench_local_aggregate.dir/bench_local_aggregate.cc.o.d"
+  "bench_local_aggregate"
+  "bench_local_aggregate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_local_aggregate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

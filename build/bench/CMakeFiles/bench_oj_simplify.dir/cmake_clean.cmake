@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_oj_simplify.dir/bench_oj_simplify.cc.o"
+  "CMakeFiles/bench_oj_simplify.dir/bench_oj_simplify.cc.o.d"
+  "bench_oj_simplify"
+  "bench_oj_simplify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_oj_simplify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

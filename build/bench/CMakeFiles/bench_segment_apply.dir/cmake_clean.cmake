@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_segment_apply.dir/bench_segment_apply.cc.o"
+  "CMakeFiles/bench_segment_apply.dir/bench_segment_apply.cc.o.d"
+  "bench_segment_apply"
+  "bench_segment_apply.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_segment_apply.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

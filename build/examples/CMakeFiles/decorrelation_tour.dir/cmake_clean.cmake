@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decorrelation_tour.dir/decorrelation_tour.cpp.o"
+  "CMakeFiles/decorrelation_tour.dir/decorrelation_tour.cpp.o.d"
+  "decorrelation_tour"
+  "decorrelation_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decorrelation_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

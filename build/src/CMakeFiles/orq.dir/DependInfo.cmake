@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algebra/column.cc" "src/CMakeFiles/orq.dir/algebra/column.cc.o" "gcc" "src/CMakeFiles/orq.dir/algebra/column.cc.o.d"
+  "/root/repo/src/algebra/expr_util.cc" "src/CMakeFiles/orq.dir/algebra/expr_util.cc.o" "gcc" "src/CMakeFiles/orq.dir/algebra/expr_util.cc.o.d"
+  "/root/repo/src/algebra/iso.cc" "src/CMakeFiles/orq.dir/algebra/iso.cc.o" "gcc" "src/CMakeFiles/orq.dir/algebra/iso.cc.o.d"
+  "/root/repo/src/algebra/printer.cc" "src/CMakeFiles/orq.dir/algebra/printer.cc.o" "gcc" "src/CMakeFiles/orq.dir/algebra/printer.cc.o.d"
+  "/root/repo/src/algebra/props.cc" "src/CMakeFiles/orq.dir/algebra/props.cc.o" "gcc" "src/CMakeFiles/orq.dir/algebra/props.cc.o.d"
+  "/root/repo/src/algebra/rel_expr.cc" "src/CMakeFiles/orq.dir/algebra/rel_expr.cc.o" "gcc" "src/CMakeFiles/orq.dir/algebra/rel_expr.cc.o.d"
+  "/root/repo/src/algebra/scalar_expr.cc" "src/CMakeFiles/orq.dir/algebra/scalar_expr.cc.o" "gcc" "src/CMakeFiles/orq.dir/algebra/scalar_expr.cc.o.d"
+  "/root/repo/src/catalog/catalog.cc" "src/CMakeFiles/orq.dir/catalog/catalog.cc.o" "gcc" "src/CMakeFiles/orq.dir/catalog/catalog.cc.o.d"
+  "/root/repo/src/catalog/index.cc" "src/CMakeFiles/orq.dir/catalog/index.cc.o" "gcc" "src/CMakeFiles/orq.dir/catalog/index.cc.o.d"
+  "/root/repo/src/catalog/stats.cc" "src/CMakeFiles/orq.dir/catalog/stats.cc.o" "gcc" "src/CMakeFiles/orq.dir/catalog/stats.cc.o.d"
+  "/root/repo/src/catalog/table.cc" "src/CMakeFiles/orq.dir/catalog/table.cc.o" "gcc" "src/CMakeFiles/orq.dir/catalog/table.cc.o.d"
+  "/root/repo/src/common/str_util.cc" "src/CMakeFiles/orq.dir/common/str_util.cc.o" "gcc" "src/CMakeFiles/orq.dir/common/str_util.cc.o.d"
+  "/root/repo/src/common/value.cc" "src/CMakeFiles/orq.dir/common/value.cc.o" "gcc" "src/CMakeFiles/orq.dir/common/value.cc.o.d"
+  "/root/repo/src/engine/engine.cc" "src/CMakeFiles/orq.dir/engine/engine.cc.o" "gcc" "src/CMakeFiles/orq.dir/engine/engine.cc.o.d"
+  "/root/repo/src/exec/aggregate.cc" "src/CMakeFiles/orq.dir/exec/aggregate.cc.o" "gcc" "src/CMakeFiles/orq.dir/exec/aggregate.cc.o.d"
+  "/root/repo/src/exec/evaluator.cc" "src/CMakeFiles/orq.dir/exec/evaluator.cc.o" "gcc" "src/CMakeFiles/orq.dir/exec/evaluator.cc.o.d"
+  "/root/repo/src/exec/exec.cc" "src/CMakeFiles/orq.dir/exec/exec.cc.o" "gcc" "src/CMakeFiles/orq.dir/exec/exec.cc.o.d"
+  "/root/repo/src/exec/joins.cc" "src/CMakeFiles/orq.dir/exec/joins.cc.o" "gcc" "src/CMakeFiles/orq.dir/exec/joins.cc.o.d"
+  "/root/repo/src/exec/misc_ops.cc" "src/CMakeFiles/orq.dir/exec/misc_ops.cc.o" "gcc" "src/CMakeFiles/orq.dir/exec/misc_ops.cc.o.d"
+  "/root/repo/src/exec/scan.cc" "src/CMakeFiles/orq.dir/exec/scan.cc.o" "gcc" "src/CMakeFiles/orq.dir/exec/scan.cc.o.d"
+  "/root/repo/src/exec/segment_exec.cc" "src/CMakeFiles/orq.dir/exec/segment_exec.cc.o" "gcc" "src/CMakeFiles/orq.dir/exec/segment_exec.cc.o.d"
+  "/root/repo/src/normalize/apply_removal.cc" "src/CMakeFiles/orq.dir/normalize/apply_removal.cc.o" "gcc" "src/CMakeFiles/orq.dir/normalize/apply_removal.cc.o.d"
+  "/root/repo/src/normalize/fold.cc" "src/CMakeFiles/orq.dir/normalize/fold.cc.o" "gcc" "src/CMakeFiles/orq.dir/normalize/fold.cc.o.d"
+  "/root/repo/src/normalize/normalizer.cc" "src/CMakeFiles/orq.dir/normalize/normalizer.cc.o" "gcc" "src/CMakeFiles/orq.dir/normalize/normalizer.cc.o.d"
+  "/root/repo/src/normalize/oj_simplify.cc" "src/CMakeFiles/orq.dir/normalize/oj_simplify.cc.o" "gcc" "src/CMakeFiles/orq.dir/normalize/oj_simplify.cc.o.d"
+  "/root/repo/src/normalize/pushdown.cc" "src/CMakeFiles/orq.dir/normalize/pushdown.cc.o" "gcc" "src/CMakeFiles/orq.dir/normalize/pushdown.cc.o.d"
+  "/root/repo/src/normalize/subquery_class.cc" "src/CMakeFiles/orq.dir/normalize/subquery_class.cc.o" "gcc" "src/CMakeFiles/orq.dir/normalize/subquery_class.cc.o.d"
+  "/root/repo/src/opt/cost.cc" "src/CMakeFiles/orq.dir/opt/cost.cc.o" "gcc" "src/CMakeFiles/orq.dir/opt/cost.cc.o.d"
+  "/root/repo/src/opt/groupby_rules.cc" "src/CMakeFiles/orq.dir/opt/groupby_rules.cc.o" "gcc" "src/CMakeFiles/orq.dir/opt/groupby_rules.cc.o.d"
+  "/root/repo/src/opt/optimizer.cc" "src/CMakeFiles/orq.dir/opt/optimizer.cc.o" "gcc" "src/CMakeFiles/orq.dir/opt/optimizer.cc.o.d"
+  "/root/repo/src/opt/physical.cc" "src/CMakeFiles/orq.dir/opt/physical.cc.o" "gcc" "src/CMakeFiles/orq.dir/opt/physical.cc.o.d"
+  "/root/repo/src/opt/rules.cc" "src/CMakeFiles/orq.dir/opt/rules.cc.o" "gcc" "src/CMakeFiles/orq.dir/opt/rules.cc.o.d"
+  "/root/repo/src/opt/segment_rules.cc" "src/CMakeFiles/orq.dir/opt/segment_rules.cc.o" "gcc" "src/CMakeFiles/orq.dir/opt/segment_rules.cc.o.d"
+  "/root/repo/src/sql/apply_intro.cc" "src/CMakeFiles/orq.dir/sql/apply_intro.cc.o" "gcc" "src/CMakeFiles/orq.dir/sql/apply_intro.cc.o.d"
+  "/root/repo/src/sql/binder.cc" "src/CMakeFiles/orq.dir/sql/binder.cc.o" "gcc" "src/CMakeFiles/orq.dir/sql/binder.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/CMakeFiles/orq.dir/sql/lexer.cc.o" "gcc" "src/CMakeFiles/orq.dir/sql/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/orq.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/orq.dir/sql/parser.cc.o.d"
+  "/root/repo/src/tpch/tpch_gen.cc" "src/CMakeFiles/orq.dir/tpch/tpch_gen.cc.o" "gcc" "src/CMakeFiles/orq.dir/tpch/tpch_gen.cc.o.d"
+  "/root/repo/src/tpch/tpch_queries.cc" "src/CMakeFiles/orq.dir/tpch/tpch_queries.cc.o" "gcc" "src/CMakeFiles/orq.dir/tpch/tpch_queries.cc.o.d"
+  "/root/repo/src/tpch/tpch_schema.cc" "src/CMakeFiles/orq.dir/tpch/tpch_schema.cc.o" "gcc" "src/CMakeFiles/orq.dir/tpch/tpch_schema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

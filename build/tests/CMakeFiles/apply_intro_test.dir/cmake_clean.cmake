@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apply_intro_test.dir/apply_intro_test.cc.o"
+  "CMakeFiles/apply_intro_test.dir/apply_intro_test.cc.o.d"
+  "apply_intro_test"
+  "apply_intro_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apply_intro_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fold_test.dir/fold_test.cc.o"
+  "CMakeFiles/fold_test.dir/fold_test.cc.o.d"
+  "fold_test"
+  "fold_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fold_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_semantics_test.dir/sql_semantics_test.cc.o"
+  "CMakeFiles/sql_semantics_test.dir/sql_semantics_test.cc.o.d"
+  "sql_semantics_test"
+  "sql_semantics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
