@@ -53,7 +53,7 @@ std::string AggThenJoinForm(int64_t outer_limit) {
 void BM_CorrelatedIndexed(benchmark::State& state) {
   Catalog* catalog = TpchAt(MilliSf(state.range(0)));
   RunQueryBenchmark(state, catalog, EngineOptions::CorrelatedOnly(),
-                    SubqueryForm(state.range(1)));
+                    SubqueryForm(state.range(1)), "fig1/correlated_indexed");
 }
 
 /// Correlated execution without index support (pure tuple-at-a-time).
@@ -61,7 +61,8 @@ void BM_CorrelatedScan(benchmark::State& state) {
   Catalog* catalog = TpchAt(MilliSf(state.range(0)));
   EngineOptions options = EngineOptions::CorrelatedOnly();
   options.physical.use_index_seek = false;
-  RunQueryBenchmark(state, catalog, options, SubqueryForm(state.range(1)));
+  RunQueryBenchmark(state, catalog, options, SubqueryForm(state.range(1)),
+                    "fig1/correlated_scan");
 }
 
 /// Dayal's strategy: outerjoin, then aggregate (written directly; GroupBy
@@ -71,7 +72,8 @@ void BM_OuterjoinThenAggregate(benchmark::State& state) {
   Catalog* catalog = TpchAt(MilliSf(state.range(0)));
   EngineOptions options = EngineOptions::NoGroupByOptimizations();
   options.optimizer.correlated_reintroduction = false;
-  RunQueryBenchmark(state, catalog, options, OuterjoinForm(state.range(1)));
+  RunQueryBenchmark(state, catalog, options, OuterjoinForm(state.range(1)),
+                    "fig1/outerjoin_then_aggregate");
 }
 
 /// Kim's strategy: aggregate orders first, then join.
@@ -79,7 +81,8 @@ void BM_AggregateThenJoin(benchmark::State& state) {
   Catalog* catalog = TpchAt(MilliSf(state.range(0)));
   EngineOptions options = EngineOptions::NoGroupByOptimizations();
   options.optimizer.correlated_reintroduction = false;
-  RunQueryBenchmark(state, catalog, options, AggThenJoinForm(state.range(1)));
+  RunQueryBenchmark(state, catalog, options, AggThenJoinForm(state.range(1)),
+                    "fig1/aggregate_then_join");
 }
 
 /// The full orthogonal-primitives optimizer choosing cost-based (the
@@ -87,7 +90,7 @@ void BM_AggregateThenJoin(benchmark::State& state) {
 void BM_FullOptimizer(benchmark::State& state) {
   Catalog* catalog = TpchAt(MilliSf(state.range(0)));
   RunQueryBenchmark(state, catalog, EngineOptions::Full(),
-                    SubqueryForm(state.range(1)));
+                    SubqueryForm(state.range(1)), "fig1/full_optimizer");
 }
 
 void StrategyArgs(benchmark::internal::Benchmark* b) {

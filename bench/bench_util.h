@@ -3,6 +3,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <string>
@@ -41,11 +43,35 @@ inline Catalog* TpchAt(double scale_factor) {
   return it->second.get();
 }
 
+/// When ORQ_STATS_JSON names a file, re-runs `sql` once with full
+/// instrumentation and appends the per-operator stats + rule trace as one
+/// JSON line (schema in DESIGN.md). Outside the timing loop, so the
+/// stats-collection overhead never contaminates reported numbers.
+inline void MaybeDumpStatsJson(QueryEngine* engine, const std::string& sql,
+                               const std::string& label) {
+  const char* path = std::getenv("ORQ_STATS_JSON");
+  if (path == nullptr || path[0] == '\0') return;
+  Result<AnalyzedQuery> analyzed = engine->ExecuteAnalyzed(sql);
+  if (!analyzed.ok()) {
+    std::fprintf(stderr, "ORQ_STATS_JSON: analyze failed: %s\n",
+                 analyzed.status().ToString().c_str());
+    return;
+  }
+  std::FILE* file = std::fopen(path, "a");
+  if (file == nullptr) {
+    std::fprintf(stderr, "ORQ_STATS_JSON: cannot open %s\n", path);
+    return;
+  }
+  std::fprintf(file, "%s\n", analyzed->ToJson(label).c_str());
+  std::fclose(file);
+}
+
 /// Runs one query per benchmark iteration; reports result rows and the
 /// engine's rows_produced work metric as counters.
 inline void RunQueryBenchmark(benchmark::State& state, Catalog* catalog,
                               const EngineOptions& options,
-                              const std::string& sql) {
+                              const std::string& sql,
+                              const std::string& label = std::string()) {
   QueryEngine engine(catalog, options);
   // Compile once outside the timing loop? No — the paper measures elapsed
   // query time, which includes optimization; ours is dominated by
@@ -64,6 +90,7 @@ inline void RunQueryBenchmark(benchmark::State& state, Catalog* catalog,
   }
   state.counters["result_rows"] = static_cast<double>(result_rows);
   state.counters["rows_produced"] = static_cast<double>(produced);
+  MaybeDumpStatsJson(&engine, sql, label);
 }
 
 /// The named engine configurations compared across the evaluation —

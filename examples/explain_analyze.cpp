@@ -1,0 +1,59 @@
+// EXPLAIN ANALYZE walkthrough: run the paper's Fig. 1 correlated scalar
+// subquery on generated TPC-H data and print the physical plan annotated
+// with per-operator actual rows / wall time next to the cost model's
+// estimates, plus the normalizer/optimizer rule-firing trace. Finishes
+// with the same query under the correlated-execution strategy so the two
+// instrumented plans can be compared side by side.
+//
+//   $ ./explain_analyze
+#include <cstdio>
+
+#include "engine/engine.h"
+#include "tpch/tpch_gen.h"
+
+using namespace orq;
+
+namespace {
+
+const char* kFig1Sql =
+    "select c_custkey from customer "
+    "where 10000 < (select sum(o_totalprice) from orders "
+    "               where o_custkey = c_custkey)";
+
+void Analyze(QueryEngine* engine, const char* heading,
+             const std::string& sql) {
+  std::printf("\n===== %s =====\nSQL: %s\n\n", heading, sql.c_str());
+  Result<std::string> text = engine->ExplainAnalyze(sql);
+  if (!text.ok()) {
+    std::printf("error: %s\n", text.status().ToString().c_str());
+    return;
+  }
+  std::printf("%s", text->c_str());
+}
+
+}  // namespace
+
+int main() {
+  Catalog catalog;
+  TpchGenOptions options;
+  options.scale_factor = 0.01;
+  if (Status s = GenerateTpch(&catalog, options); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  QueryEngine full(&catalog);
+  Analyze(&full, "Fig. 1 query, full optimization", kFig1Sql);
+
+  QueryEngine correlated(&catalog, EngineOptions::CorrelatedOnly());
+  Analyze(&correlated, "Fig. 1 query, correlated execution (section 1.1)",
+          kFig1Sql);
+
+  // The machine-readable form benchmarks emit (see DESIGN.md for schema).
+  Result<AnalyzedQuery> analyzed = full.ExecuteAnalyzed(kFig1Sql);
+  if (analyzed.ok()) {
+    std::printf("\n===== JSON record =====\n%s\n",
+                analyzed->ToJson("explain_analyze_example").c_str());
+  }
+  return 0;
+}

@@ -376,4 +376,12 @@ std::string ScalarToString(const ScalarExprPtr& expr,
   return "?";
 }
 
+int64_t CountRelNodes(const RelExpr& node) {
+  int64_t count = 1;
+  for (const RelExprPtr& child : node.children) {
+    count += CountRelNodes(*child);
+  }
+  return count;
+}
+
 }  // namespace orq

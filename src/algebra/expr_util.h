@@ -61,6 +61,10 @@ RelExprPtr RemapRelTree(const RelExprPtr& expr,
 std::string ScalarToString(const ScalarExprPtr& expr,
                            const ColumnManager* mgr = nullptr);
 
+/// Number of relational operator nodes in the tree (rule-trace metric;
+/// shared subtrees are counted once per occurrence).
+int64_t CountRelNodes(const RelExpr& node);
+
 }  // namespace orq
 
 #endif  // ORQ_ALGEBRA_EXPR_UTIL_H_

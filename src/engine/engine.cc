@@ -1,13 +1,62 @@
 #include "engine/engine.h"
 
+#include <cstdio>
+
 #include "algebra/printer.h"
 #include "exec/exec.h"
 #include "normalize/subquery_class.h"
+#include "obs/json.h"
+#include "opt/cost.h"
 #include "sql/apply_intro.h"
 #include "sql/binder.h"
 #include "sql/parser.h"
 
 namespace orq {
+
+namespace {
+
+/// Runs `plan` and projects the query's output columns (plans may carry
+/// extra columns). Shared by the plain and the instrumented execution
+/// paths so their results cannot drift apart.
+Result<QueryResult> RunAndProject(PhysicalOp* plan,
+                                  const QueryEngine::Compiled& compiled,
+                                  ExecContext* ctx) {
+  ORQ_ASSIGN_OR_RETURN(std::vector<Row> raw, ExecuteToVector(plan, ctx));
+  const std::vector<ColumnId>& layout = plan->layout();
+  std::vector<int> slots;
+  for (ColumnId id : compiled.output_cols) {
+    int slot = -1;
+    for (size_t i = 0; i < layout.size(); ++i) {
+      if (layout[i] == id) {
+        slot = static_cast<int>(i);
+        break;
+      }
+    }
+    if (slot < 0) {
+      return Status::Internal("output column lost during optimization: #" +
+                              std::to_string(id));
+    }
+    slots.push_back(slot);
+  }
+  QueryResult result;
+  result.column_names = compiled.output_names;
+  result.rows_produced = ctx->rows_produced;
+  result.rows.reserve(raw.size());
+  for (Row& row : raw) {
+    Row out;
+    out.reserve(slots.size());
+    for (int slot : slots) out.push_back(std::move(row[slot]));
+    result.rows.push_back(std::move(out));
+  }
+  return result;
+}
+
+}  // namespace
+
+std::string AnalyzedQuery::ToJson(const std::string& label) const {
+  return AnalyzedToJson(label, sql, static_cast<int64_t>(result.rows.size()),
+                        result.rows_produced, plan, trace);
+}
 
 EngineOptions EngineOptions::Full() { return EngineOptions(); }
 
@@ -34,7 +83,8 @@ EngineOptions EngineOptions::NoSegmentApply() {
   return options;
 }
 
-Result<QueryEngine::Compiled> QueryEngine::Compile(const std::string& sql) {
+Result<QueryEngine::Compiled> QueryEngine::CompileWith(
+    const std::string& sql, const EngineOptions& options) {
   Compiled compiled;
   compiled.columns = std::make_shared<ColumnManager>();
 
@@ -51,12 +101,16 @@ Result<QueryEngine::Compiled> QueryEngine::Compile(const std::string& sql) {
   ORQ_ASSIGN_OR_RETURN(
       compiled.normalized,
       Normalize(compiled.applied, compiled.columns.get(),
-                options_.normalizer));
+                options.normalizer));
   ORQ_ASSIGN_OR_RETURN(
       compiled.optimized,
       OptimizeTree(compiled.normalized, catalog_, compiled.columns.get(),
-                   options_.optimizer));
+                   options.optimizer));
   return compiled;
+}
+
+Result<QueryEngine::Compiled> QueryEngine::Compile(const std::string& sql) {
+  return CompileWith(sql, options_);
 }
 
 Result<QueryResult> QueryEngine::ExecuteCompiled(const Compiled& compiled) {
@@ -65,35 +119,56 @@ Result<QueryResult> QueryEngine::ExecuteCompiled(const Compiled& compiled) {
       BuildPhysicalPlan(compiled.optimized, *compiled.columns,
                         options_.physical));
   ExecContext ctx;
-  ORQ_ASSIGN_OR_RETURN(std::vector<Row> raw, ExecuteToVector(plan.get(), &ctx));
-  // Select the query's output columns (plans may carry extra columns).
-  const std::vector<ColumnId>& layout = plan->layout();
-  std::vector<int> slots;
-  for (ColumnId id : compiled.output_cols) {
-    int slot = -1;
-    for (size_t i = 0; i < layout.size(); ++i) {
-      if (layout[i] == id) {
-        slot = static_cast<int>(i);
-        break;
-      }
-    }
-    if (slot < 0) {
-      return Status::Internal("output column lost during optimization: #" +
-                              std::to_string(id));
-    }
-    slots.push_back(slot);
-  }
-  QueryResult result;
-  result.column_names = compiled.output_names;
-  result.rows_produced = ctx.rows_produced;
-  result.rows.reserve(raw.size());
-  for (Row& row : raw) {
-    Row out;
-    out.reserve(slots.size());
-    for (int slot : slots) out.push_back(std::move(row[slot]));
-    result.rows.push_back(std::move(out));
-  }
-  return result;
+  return RunAndProject(plan.get(), compiled, &ctx);
+}
+
+Result<AnalyzedQuery> QueryEngine::ExecuteAnalyzed(const std::string& sql) {
+  AnalyzedQuery analyzed;
+  analyzed.sql = sql;
+
+  EngineOptions options = options_;
+  options.normalizer.trace = &analyzed.trace;
+  options.optimizer.trace = &analyzed.trace;
+  ORQ_ASSIGN_OR_RETURN(Compiled compiled, CompileWith(sql, options));
+
+  CostModel cost(catalog_);
+  ORQ_ASSIGN_OR_RETURN(
+      PhysicalOpPtr plan,
+      BuildPhysicalPlan(compiled.optimized, *compiled.columns,
+                        options_.physical, &cost));
+
+  StatsCollector collector;
+  ExecContext ctx;
+  ctx.stats = &collector;
+  const int64_t start = ObsNowNanos();
+  ORQ_ASSIGN_OR_RETURN(analyzed.result,
+                       RunAndProject(plan.get(), compiled, &ctx));
+  analyzed.exec_wall_nanos = ObsNowNanos() - start;
+  analyzed.plan =
+      BuildPlanStats(*plan, collector, compiled.columns.get());
+  // The context counter and the per-operator aggregation measure the same
+  // thing; report the aggregated value so a mismatch cannot hide.
+  analyzed.result.rows_produced = collector.TotalRowsOut();
+  return analyzed;
+}
+
+Result<std::string> QueryEngine::ExplainAnalyze(const std::string& sql) {
+  ORQ_ASSIGN_OR_RETURN(AnalyzedQuery analyzed, ExecuteAnalyzed(sql));
+  std::string out;
+  out += "== Physical plan (actual vs estimated) ==\n";
+  out += RenderPlanStats(analyzed.plan);
+  out += "\n== Rewrite trace (" + std::to_string(analyzed.trace.size()) +
+         " events) ==\n";
+  out += RenderTrace(analyzed.trace);
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "\n== Totals ==\nresult rows=%zu rows_produced=%lld "
+                "exec time=%.3f ms\n",
+                analyzed.result.rows.size(),
+                static_cast<long long>(analyzed.result.rows_produced),
+                static_cast<double>(analyzed.exec_wall_nanos) / 1e6);
+  out += line;
+  return out;
 }
 
 Result<QueryResult> QueryEngine::Execute(const std::string& sql) {

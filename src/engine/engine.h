@@ -7,6 +7,8 @@
 #include "catalog/catalog.h"
 #include "common/result.h"
 #include "normalize/normalizer.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "opt/optimizer.h"
 #include "opt/physical.h"
 
@@ -19,6 +21,24 @@ struct QueryResult {
   /// Total rows produced by all operators while executing (a deterministic
   /// work measure used to compare strategies).
   int64_t rows_produced = 0;
+};
+
+/// ExecuteAnalyzed's product: the result plus the observability artifacts —
+/// per-operator runtime stats annotated with cost-model estimates, and the
+/// normalizer/optimizer rule-firing trace.
+struct AnalyzedQuery {
+  std::string sql;
+  QueryResult result;
+  /// Physical plan tree with actual rows/time and estimated rows/cost per
+  /// operator (paper Figs. 1/8/9 attribution; cost calibration hook).
+  PlanStatsNode plan;
+  TraceLog trace;
+  /// Wall time of the execution phase (Open to Close of the root).
+  int64_t exec_wall_nanos = 0;
+
+  /// Machine-readable form (schema in DESIGN.md). `label` identifies the
+  /// run (benchmark name, engine configuration, ...).
+  std::string ToJson(const std::string& label = "") const;
 };
 
 /// End-to-end engine configuration. Defaults enable the paper's full
@@ -71,7 +91,23 @@ class QueryEngine {
   /// Runs an already compiled query.
   Result<QueryResult> ExecuteCompiled(const Compiled& compiled);
 
+  /// Executes `sql` with full observability: per-operator stats collection,
+  /// rule tracing, and cost-model estimates on the physical plan. Results
+  /// are identical to Execute; only the instrumented path pays collection
+  /// overhead.
+  Result<AnalyzedQuery> ExecuteAnalyzed(const std::string& sql);
+
+  /// EXPLAIN ANALYZE: runs the query and renders the physical plan with
+  /// actual rows/wall time next to the cost model's estimates, followed by
+  /// the rule-firing trace.
+  Result<std::string> ExplainAnalyze(const std::string& sql);
+
  private:
+  /// Compile with explicit options (ExecuteAnalyzed attaches trace sinks
+  /// without mutating the engine's configuration).
+  Result<Compiled> CompileWith(const std::string& sql,
+                               const EngineOptions& options);
+
   Catalog* catalog_;
   EngineOptions options_;
 };

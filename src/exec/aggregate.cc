@@ -43,7 +43,7 @@ class HashAggregateOp : public PhysicalOp {
     children_.push_back(std::move(child));
   }
 
-  Status Open(ExecContext* ctx) override {
+  Status OpenImpl(ExecContext* ctx) override {
     groups_.clear();
     order_.clear();
     ORQ_RETURN_IF_ERROR(children_[0]->Open(ctx));
@@ -65,11 +65,12 @@ class HashAggregateOp : public PhysicalOp {
       ORQ_RETURN_IF_ERROR(Accumulate(&it->second, row, ctx));
     }
     children_[0]->Close();
+    RecordPeak(static_cast<int64_t>(groups_.size()));
     emit_pos_ = 0;
     return Status::OK();
   }
 
-  Result<bool> Next(ExecContext* ctx, Row* row) override {
+  Result<bool> NextImpl(ExecContext*, Row* row) override {
     if (scalar_ && groups_.empty()) {
       if (emit_pos_ > 0) return false;
       ++emit_pos_;
@@ -80,7 +81,6 @@ class HashAggregateOp : public PhysicalOp {
         row->push_back(AggNullOnEmpty(agg.func) ? Value::Null()
                                                 : Value::Int64(0));
       }
-      ++ctx->rows_produced;
       return true;
     }
     if (emit_pos_ >= order_.size()) return false;
@@ -89,11 +89,10 @@ class HashAggregateOp : public PhysicalOp {
     for (size_t i = 0; i < aggs_.size(); ++i) {
       row->push_back(Finalize(aggs_[i], accs[i]));
     }
-    ++ctx->rows_produced;
     return true;
   }
 
-  void Close() override {
+  void CloseImpl() override {
     groups_.clear();
     order_.clear();
   }

@@ -10,6 +10,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "common/value.h"
+#include "obs/stats.h"
 
 namespace orq {
 
@@ -24,13 +25,22 @@ struct ExecContext {
   /// segmenting operator's input layout).
   std::vector<const std::vector<Row>*> segment_stack;
   /// Number of rows produced by all operators (a cheap work metric used by
-  /// tests and benchmarks to compare strategies).
+  /// tests and benchmarks to compare strategies). Maintained by
+  /// PhysicalOp::Next — the single accounting site — whether or not a stats
+  /// collector is attached.
   int64_t rows_produced = 0;
+  /// Optional per-operator stats collection (EXPLAIN ANALYZE). Null keeps
+  /// the Volcano hot path at one extra branch per call.
+  StatsCollector* stats = nullptr;
 };
 
 /// Volcano-style iterator. Operators are single-use: Open, drain via Next,
 /// Close. Re-Open after Close restarts the operator (correlated inners are
 /// re-opened per outer row with fresh parameter values).
+///
+/// Open/Next/Close are non-virtual shells around the OpenImpl/NextImpl/
+/// CloseImpl hooks so the base class can account rows and, when the context
+/// carries a StatsCollector, per-operator call counts and wall time.
 class PhysicalOp {
  public:
   virtual ~PhysicalOp() = default;
@@ -38,21 +48,91 @@ class PhysicalOp {
   /// Output layout: row slot i holds the value of column layout()[i].
   const std::vector<ColumnId>& layout() const { return layout_; }
 
-  virtual Status Open(ExecContext* ctx) = 0;
+  Status Open(ExecContext* ctx) {
+    if (ctx->stats == nullptr) {
+      stats_ = nullptr;
+      return OpenImpl(ctx);
+    }
+    stats_ = ctx->stats->StatsFor(this);
+    const int64_t start = ObsNowNanos();
+    Status status = OpenImpl(ctx);
+    ++stats_->open_calls;
+    stats_->wall_nanos += ObsNowNanos() - start;
+    return status;
+  }
+
   /// Fills `row` and returns true, or returns false at end of stream.
-  virtual Result<bool> Next(ExecContext* ctx, Row* row) = 0;
-  virtual void Close() = 0;
+  Result<bool> Next(ExecContext* ctx, Row* row) {
+    if (stats_ == nullptr) {
+      Result<bool> more = NextImpl(ctx, row);
+      if (more.ok() && *more) ++ctx->rows_produced;
+      return more;
+    }
+    const int64_t start = ObsNowNanos();
+    Result<bool> more = NextImpl(ctx, row);
+    stats_->wall_nanos += ObsNowNanos() - start;
+    ++stats_->next_calls;
+    if (more.ok() && *more) {
+      ++stats_->rows_out;
+      ++ctx->rows_produced;
+    }
+    return more;
+  }
+
+  void Close() {
+    if (stats_ == nullptr) {
+      CloseImpl();
+      return;
+    }
+    const int64_t start = ObsNowNanos();
+    CloseImpl();
+    ++stats_->close_calls;
+    stats_->wall_nanos += ObsNowNanos() - start;
+  }
 
   virtual std::string name() const = 0;
-  const std::vector<PhysicalOp*> children() const {
-    std::vector<PhysicalOp*> out;
-    for (const auto& child : children_) out.push_back(child.get());
-    return out;
+
+  const std::vector<PhysicalOp*>& children() const {
+    if (child_view_.size() != children_.size()) {
+      child_view_.clear();
+      child_view_.reserve(children_.size());
+      for (const auto& child : children_) child_view_.push_back(child.get());
+    }
+    return child_view_;
+  }
+
+  /// Cost-model estimates for the logical node this operator implements;
+  /// negative when the plan was built without a cost model (plain Execute)
+  /// or the operator is an auxiliary op with no logical counterpart.
+  double est_rows() const { return est_rows_; }
+  double est_cost() const { return est_cost_; }
+  void set_estimates(double rows, double cost) {
+    est_rows_ = rows;
+    est_cost_ = cost;
   }
 
  protected:
+  virtual Status OpenImpl(ExecContext* ctx) = 0;
+  virtual Result<bool> NextImpl(ExecContext* ctx, Row* row) = 0;
+  virtual void CloseImpl() = 0;
+
+  /// Stateful operators report the size of their materialized state (hash
+  /// table, sort buffer, spool, segment map) after building it. No-op when
+  /// collection is disabled.
+  void RecordPeak(int64_t cardinality) {
+    if (stats_ != nullptr && cardinality > stats_->peak_cardinality) {
+      stats_->peak_cardinality = cardinality;
+    }
+  }
+
   std::vector<ColumnId> layout_;
   std::vector<std::unique_ptr<PhysicalOp>> children_;
+
+ private:
+  OpStats* stats_ = nullptr;
+  double est_rows_ = -1.0;
+  double est_cost_ = -1.0;
+  mutable std::vector<PhysicalOp*> child_view_;
 };
 
 using PhysicalOpPtr = std::unique_ptr<PhysicalOp>;

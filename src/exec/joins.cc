@@ -34,7 +34,7 @@ class NLJoinOp : public PhysicalOp {
     children_.push_back(std::move(right));
   }
 
-  Status Open(ExecContext* ctx) override {
+  Status OpenImpl(ExecContext* ctx) override {
     ORQ_RETURN_IF_ERROR(children_[0]->Open(ctx));
     have_left_ = false;
     inner_open_ = false;
@@ -50,11 +50,12 @@ class NLJoinOp : public PhysicalOp {
         inner_rows_.push_back(row);
       }
       children_[1]->Close();
+      RecordPeak(static_cast<int64_t>(inner_rows_.size()));
     }
     return Status::OK();
   }
 
-  Result<bool> Next(ExecContext* ctx, Row* row) override {
+  Result<bool> NextImpl(ExecContext* ctx, Row* row) override {
     const size_t left_width = children_[0]->layout().size();
     const size_t right_width = children_[1]->layout().size();
     while (true) {
@@ -95,7 +96,6 @@ class NLJoinOp : public PhysicalOp {
                   i < right_width ? DataType::kInt64 : DataType::kInt64));
             }
           }
-          ++ctx->rows_produced;
           return true;
         }
         continue;
@@ -110,12 +110,10 @@ class NLJoinOp : public PhysicalOp {
         case PhysJoinKind::kInner:
         case PhysJoinKind::kLeftOuter:
           *row = std::move(combined);
-          ++ctx->rows_produced;
           return true;
         case PhysJoinKind::kLeftSemi:
           *row = left_row_;
           have_left_ = false;  // one match suffices
-          ++ctx->rows_produced;
           return true;
         case PhysJoinKind::kLeftAnti:
           have_left_ = false;  // disqualified
@@ -125,7 +123,7 @@ class NLJoinOp : public PhysicalOp {
     (void)left_width;
   }
 
-  void Close() override {
+  void CloseImpl() override {
     children_[0]->Close();
     if (inner_open_) {
       children_[1]->Close();
@@ -179,7 +177,7 @@ class HashJoinOp : public PhysicalOp {
     children_.push_back(std::move(right));
   }
 
-  Status Open(ExecContext* ctx) override {
+  Status OpenImpl(ExecContext* ctx) override {
     table_.clear();
     ORQ_RETURN_IF_ERROR(children_[1]->Open(ctx));
     Row row;
@@ -202,12 +200,13 @@ class HashJoinOp : public PhysicalOp {
       table_[key].push_back(row);
     }
     children_[1]->Close();
+    RecordPeak(static_cast<int64_t>(table_.size()));
     ORQ_RETURN_IF_ERROR(children_[0]->Open(ctx));
     have_left_ = false;
     return Status::OK();
   }
 
-  Result<bool> Next(ExecContext* ctx, Row* row) override {
+  Result<bool> NextImpl(ExecContext* ctx, Row* row) override {
     const size_t right_width = children_[1]->layout().size();
     while (true) {
       if (!have_left_) {
@@ -246,12 +245,10 @@ class HashJoinOp : public PhysicalOp {
           case PhysJoinKind::kInner:
           case PhysJoinKind::kLeftOuter:
             *row = std::move(combined);
-            ++ctx->rows_produced;
             return true;
           case PhysJoinKind::kLeftSemi:
             *row = left_row_;
             have_left_ = false;
-            ++ctx->rows_produced;
             return true;
           case PhysJoinKind::kLeftAnti:
             have_left_ = false;
@@ -269,13 +266,12 @@ class HashJoinOp : public PhysicalOp {
             row->push_back(Value::Null());
           }
         }
-        ++ctx->rows_produced;
         return true;
       }
     }
   }
 
-  void Close() override {
+  void CloseImpl() override {
     children_[0]->Close();
     table_.clear();
   }

@@ -16,21 +16,20 @@ class FilterOp : public PhysicalOp {
     children_.push_back(std::move(child));
   }
 
-  Status Open(ExecContext* ctx) override { return children_[0]->Open(ctx); }
+  Status OpenImpl(ExecContext* ctx) override { return children_[0]->Open(ctx); }
 
-  Result<bool> Next(ExecContext* ctx, Row* row) override {
+  Result<bool> NextImpl(ExecContext* ctx, Row* row) override {
     while (true) {
       ORQ_ASSIGN_OR_RETURN(bool more, children_[0]->Next(ctx, row));
       if (!more) return false;
       ORQ_ASSIGN_OR_RETURN(bool keep, predicate_.EvalPredicate(*row, ctx));
       if (keep) {
-        ++ctx->rows_produced;
         return true;
       }
     }
   }
 
-  void Close() override { children_[0]->Close(); }
+  void CloseImpl() override { children_[0]->Close(); }
   std::string name() const override { return "Filter"; }
 
  private:
@@ -58,9 +57,9 @@ class ComputeOp : public PhysicalOp {
     children_.push_back(std::move(child));
   }
 
-  Status Open(ExecContext* ctx) override { return children_[0]->Open(ctx); }
+  Status OpenImpl(ExecContext* ctx) override { return children_[0]->Open(ctx); }
 
-  Result<bool> Next(ExecContext* ctx, Row* row) override {
+  Result<bool> NextImpl(ExecContext* ctx, Row* row) override {
     Row input;
     ORQ_ASSIGN_OR_RETURN(bool more, children_[0]->Next(ctx, &input));
     if (!more) return false;
@@ -71,11 +70,10 @@ class ComputeOp : public PhysicalOp {
       ORQ_ASSIGN_OR_RETURN(Value v, eval.Eval(input, ctx));
       row->push_back(std::move(v));
     }
-    ++ctx->rows_produced;
     return true;
   }
 
-  void Close() override { children_[0]->Close(); }
+  void CloseImpl() override { children_[0]->Close(); }
   std::string name() const override { return "Compute"; }
 
  private:
@@ -94,7 +92,7 @@ class SortOp : public PhysicalOp {
     children_.push_back(std::move(child));
   }
 
-  Status Open(ExecContext* ctx) override {
+  Status OpenImpl(ExecContext* ctx) override {
     rows_.clear();
     ORQ_RETURN_IF_ERROR(children_[0]->Open(ctx));
     Row row;
@@ -105,6 +103,7 @@ class SortOp : public PhysicalOp {
       rows_.push_back(row);
     }
     children_[0]->Close();
+    RecordPeak(static_cast<int64_t>(rows_.size()));
     if (!keys_.empty()) {
       // Precompute sort keys per row.
       std::vector<std::pair<Row, size_t>> keyed(rows_.size());
@@ -140,14 +139,13 @@ class SortOp : public PhysicalOp {
     return Status::OK();
   }
 
-  Result<bool> Next(ExecContext* ctx, Row* row) override {
+  Result<bool> NextImpl(ExecContext*, Row* row) override {
     if (pos_ >= rows_.size()) return false;
     *row = rows_[pos_++];
-    ++ctx->rows_produced;
     return true;
   }
 
-  void Close() override { rows_.clear(); }
+  void CloseImpl() override { rows_.clear(); }
   std::string name() const override {
     return limit_ >= 0 ? "TopSort(" + std::to_string(limit_) + ")" : "Sort";
   }
@@ -167,23 +165,22 @@ class Max1rowOp : public PhysicalOp {
     children_.push_back(std::move(child));
   }
 
-  Status Open(ExecContext* ctx) override {
+  Status OpenImpl(ExecContext* ctx) override {
     seen_ = 0;
     return children_[0]->Open(ctx);
   }
 
-  Result<bool> Next(ExecContext* ctx, Row* row) override {
+  Result<bool> NextImpl(ExecContext* ctx, Row* row) override {
     ORQ_ASSIGN_OR_RETURN(bool more, children_[0]->Next(ctx, row));
     if (!more) return false;
     if (++seen_ > 1) {
       return Status::CardinalityViolation(
           "scalar subquery returned more than one row");
     }
-    ++ctx->rows_produced;
     return true;
   }
 
-  void Close() override { children_[0]->Close(); }
+  void CloseImpl() override { children_[0]->Close(); }
   std::string name() const override { return "Max1row"; }
 
  private:
@@ -198,17 +195,16 @@ class UnionAllOp : public PhysicalOp {
     children_ = std::move(children);
   }
 
-  Status Open(ExecContext* ctx) override {
+  Status OpenImpl(ExecContext* ctx) override {
     current_ = 0;
     if (children_.empty()) return Status::OK();
     return children_[0]->Open(ctx);
   }
 
-  Result<bool> Next(ExecContext* ctx, Row* row) override {
+  Result<bool> NextImpl(ExecContext* ctx, Row* row) override {
     while (current_ < children_.size()) {
       ORQ_ASSIGN_OR_RETURN(bool more, children_[current_]->Next(ctx, row));
       if (more) {
-        ++ctx->rows_produced;
         return true;
       }
       children_[current_]->Close();
@@ -220,7 +216,7 @@ class UnionAllOp : public PhysicalOp {
     return false;
   }
 
-  void Close() override {}
+  void CloseImpl() override {}
   std::string name() const override { return "UnionAll"; }
 
  private:
@@ -236,7 +232,7 @@ class ExceptAllOp : public PhysicalOp {
     children_.push_back(std::move(right));
   }
 
-  Status Open(ExecContext* ctx) override {
+  Status OpenImpl(ExecContext* ctx) override {
     counts_.clear();
     ORQ_RETURN_IF_ERROR(children_[1]->Open(ctx));
     Row row;
@@ -247,10 +243,11 @@ class ExceptAllOp : public PhysicalOp {
       ++counts_[row];
     }
     children_[1]->Close();
+    RecordPeak(static_cast<int64_t>(counts_.size()));
     return children_[0]->Open(ctx);
   }
 
-  Result<bool> Next(ExecContext* ctx, Row* row) override {
+  Result<bool> NextImpl(ExecContext* ctx, Row* row) override {
     while (true) {
       ORQ_ASSIGN_OR_RETURN(bool more, children_[0]->Next(ctx, row));
       if (!more) return false;
@@ -259,12 +256,11 @@ class ExceptAllOp : public PhysicalOp {
         --it->second;
         continue;  // cancelled by a right-side occurrence
       }
-      ++ctx->rows_produced;
       return true;
     }
   }
 
-  void Close() override {
+  void CloseImpl() override {
     children_[0]->Close();
     counts_.clear();
   }

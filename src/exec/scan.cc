@@ -13,23 +13,22 @@ class TableScanOp : public PhysicalOp {
     layout_ = std::move(layout);
   }
 
-  Status Open(ExecContext*) override {
+  Status OpenImpl(ExecContext*) override {
     pos_ = 0;
     return Status::OK();
   }
 
-  Result<bool> Next(ExecContext* ctx, Row* row) override {
+  Result<bool> NextImpl(ExecContext*, Row* row) override {
     if (pos_ >= table_->num_rows()) return false;
     const Row& src = table_->rows()[pos_++];
     row->resize(ordinals_.size());
     for (size_t i = 0; i < ordinals_.size(); ++i) {
       (*row)[i] = src[ordinals_[i]];
     }
-    ++ctx->rows_produced;
     return true;
   }
 
-  void Close() override {}
+  void CloseImpl() override {}
   std::string name() const override { return "TableScan(" + table_->name() + ")"; }
 
  private:
@@ -54,7 +53,7 @@ class IndexSeekOp : public PhysicalOp {
     }
   }
 
-  Status Open(ExecContext* ctx) override {
+  Status OpenImpl(ExecContext* ctx) override {
     matches_ = nullptr;
     pos_ = 0;
     Row key(key_evals_.size());
@@ -68,7 +67,7 @@ class IndexSeekOp : public PhysicalOp {
     return Status::OK();
   }
 
-  Result<bool> Next(ExecContext* ctx, Row* row) override {
+  Result<bool> NextImpl(ExecContext* ctx, Row* row) override {
     while (matches_ != nullptr && pos_ < matches_->size()) {
       const Row& src = table_->rows()[(*matches_)[pos_++]];
       row->resize(ordinals_.size());
@@ -79,13 +78,12 @@ class IndexSeekOp : public PhysicalOp {
         ORQ_ASSIGN_OR_RETURN(bool keep, residual_.EvalPredicate(*row, ctx));
         if (!keep) continue;
       }
-      ++ctx->rows_produced;
       return true;
     }
     return false;
   }
 
-  void Close() override {}
+  void CloseImpl() override {}
   std::string name() const override {
     return "IndexSeek(" + table_->name() + ")";
   }
@@ -104,18 +102,17 @@ class IndexSeekOp : public PhysicalOp {
 class SingleRowOp : public PhysicalOp {
  public:
   SingleRowOp() = default;
-  Status Open(ExecContext*) override {
+  Status OpenImpl(ExecContext*) override {
     done_ = false;
     return Status::OK();
   }
-  Result<bool> Next(ExecContext* ctx, Row* row) override {
+  Result<bool> NextImpl(ExecContext*, Row* row) override {
     if (done_) return false;
     done_ = true;
     row->clear();
-    ++ctx->rows_produced;
     return true;
   }
-  void Close() override {}
+  void CloseImpl() override {}
   std::string name() const override { return "SingleRow"; }
 
  private:
@@ -127,9 +124,9 @@ class EmptyOp : public PhysicalOp {
   explicit EmptyOp(std::vector<ColumnId> layout) {
     layout_ = std::move(layout);
   }
-  Status Open(ExecContext*) override { return Status::OK(); }
-  Result<bool> Next(ExecContext*, Row*) override { return false; }
-  void Close() override {}
+  Status OpenImpl(ExecContext*) override { return Status::OK(); }
+  Result<bool> NextImpl(ExecContext*, Row*) override { return false; }
+  void CloseImpl() override {}
   std::string name() const override { return "Empty"; }
 };
 
@@ -138,7 +135,7 @@ class SegmentScanOp : public PhysicalOp {
   explicit SegmentScanOp(std::vector<ColumnId> layout) {
     layout_ = std::move(layout);
   }
-  Status Open(ExecContext* ctx) override {
+  Status OpenImpl(ExecContext* ctx) override {
     if (ctx->segment_stack.empty()) {
       return Status::Internal("SegmentScan outside SegmentApply");
     }
@@ -146,13 +143,12 @@ class SegmentScanOp : public PhysicalOp {
     pos_ = 0;
     return Status::OK();
   }
-  Result<bool> Next(ExecContext* ctx, Row* row) override {
+  Result<bool> NextImpl(ExecContext*, Row* row) override {
     if (pos_ >= segment_->size()) return false;
     *row = (*segment_)[pos_++];
-    ++ctx->rows_produced;
     return true;
   }
-  void Close() override {}
+  void CloseImpl() override {}
   std::string name() const override { return "SegmentScan"; }
 
  private:

@@ -20,7 +20,7 @@ class SegmentApplyOp : public PhysicalOp {
     children_.push_back(std::move(inner));
   }
 
-  Status Open(ExecContext* ctx) override {
+  Status OpenImpl(ExecContext* ctx) override {
     segments_.clear();
     order_.clear();
     ORQ_RETURN_IF_ERROR(children_[0]->Open(ctx));
@@ -41,12 +41,13 @@ class SegmentApplyOp : public PhysicalOp {
       it->second.push_back(std::move(row));
     }
     children_[0]->Close();
+    RecordPeak(static_cast<int64_t>(segments_.size()));
     segment_pos_ = 0;
     inner_open_ = false;
     return Status::OK();
   }
 
-  Result<bool> Next(ExecContext* ctx, Row* row) override {
+  Result<bool> NextImpl(ExecContext* ctx, Row* row) override {
     while (true) {
       if (!inner_open_) {
         if (segment_pos_ >= order_.size()) return false;
@@ -67,12 +68,11 @@ class SegmentApplyOp : public PhysicalOp {
       }
       *row = order_[segment_pos_]->first;  // the segment key {a}
       row->insert(row->end(), inner.begin(), inner.end());
-      ++ctx->rows_produced;
       return true;
     }
   }
 
-  void Close() override {
+  void CloseImpl() override {
     segments_.clear();
     order_.clear();
   }

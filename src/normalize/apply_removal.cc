@@ -4,6 +4,7 @@
 
 #include "algebra/expr_util.h"
 #include "algebra/props.h"
+#include "obs/trace.h"
 
 namespace orq {
 
@@ -63,6 +64,19 @@ class ApplyRemover {
     return FreeVariables(inner).Intersect(outer.OutputSet());
   }
 
+  /// Trace shim: records that `rule` rewrote the `before` subtree into the
+  /// (successful) `after` subtree, then forwards the result. Every identity
+  /// application funnels its return through here.
+  Result<RelExprPtr> Fired(const char* rule, const RelExprPtr& before,
+                           Result<RelExprPtr> after) {
+    if (options_.trace != nullptr && after.ok()) {
+      options_.trace->Record(TraceEvent{
+          TraceEvent::Stage::kNormalize, TraceEvent::Kind::kRule, rule,
+          CountRelNodes(*before), CountRelNodes(**after), -1.0, -1.0});
+    }
+    return after;
+  }
+
   /// Applies one Fig. 4 identity at `apply` and recurses; returns the apply
   /// unchanged when no rule fits (it stays correlated at execution).
   Result<RelExprPtr> RewriteApply(const RelExprPtr& apply) {
@@ -75,11 +89,14 @@ class ApplyRemover {
     // ---- identities (1) and (2): inner no longer parameterized ----
     if (inner->kind == RelKind::kSelect &&
         Params(*outer, *inner->children[0]).empty()) {
-      return MakeJoin(ApplyToJoinKind(kind), outer, inner->children[0],
-                      inner->predicate);
+      return Fired("identity(2)", apply,
+                   MakeJoin(ApplyToJoinKind(kind), outer,
+                            inner->children[0], inner->predicate));
     }
     if (Params(*outer, *inner).empty()) {
-      return MakeJoin(ApplyToJoinKind(kind), outer, inner, TrueLiteral());
+      return Fired(
+          "identity(1)", apply,
+          MakeJoin(ApplyToJoinKind(kind), outer, inner, TrueLiteral()));
     }
 
     switch (kind) {
@@ -104,7 +121,8 @@ class ApplyRemover {
             RelExprPtr pushed,
             RewriteApply(
                 MakeApply(ApplyKind::kCross, outer, inner->children[0])));
-        return MakeSelect(std::move(pushed), inner->predicate);
+        return Fired("identity(3)", apply,
+                     MakeSelect(std::move(pushed), inner->predicate));
       }
       case RelKind::kProject: {
         // (4): hoist the projection, forwarding outer columns.
@@ -112,8 +130,10 @@ class ApplyRemover {
             RelExprPtr pushed,
             RewriteApply(
                 MakeApply(ApplyKind::kCross, outer, inner->children[0])));
-        return MakeProject(std::move(pushed), inner->proj_items,
-                           inner->passthrough.Union(outer->OutputSet()));
+        return Fired(
+            "identity(4)", apply,
+            MakeProject(std::move(pushed), inner->proj_items,
+                        inner->passthrough.Union(outer->OutputSet())));
       }
       case RelKind::kGroupBy: {
         if (!HasKeyWithin(*outer, outer->OutputSet())) return apply;
@@ -123,9 +143,11 @@ class ApplyRemover {
             RelExprPtr pushed,
             RewriteApply(
                 MakeApply(ApplyKind::kCross, outer, inner->children[0])));
-        return MakeGroupBy(std::move(pushed),
-                           inner->group_cols.Union(outer->OutputSet()),
-                           inner->aggs);
+        return Fired(
+            "identity(8)", apply,
+            MakeGroupBy(std::move(pushed),
+                        inner->group_cols.Union(outer->OutputSet()),
+                        inner->aggs));
       }
       case RelKind::kJoin: {
         return RewriteCrossOverJoin(apply);
@@ -140,13 +162,15 @@ class ApplyRemover {
       case RelKind::kSort: {
         if (inner->limit >= 0) return apply;  // correlated TOP: leave
         // Row order inside a subquery is immaterial: drop the sort.
-        return RewriteApply(
-            MakeApply(ApplyKind::kCross, outer, inner->children[0]));
+        return Fired("drop-subquery-sort", apply,
+                     RewriteApply(MakeApply(ApplyKind::kCross, outer,
+                                            inner->children[0])));
       }
       case RelKind::kMax1row: {
         if (MaxOneRow(*inner->children[0])) {
-          return RewriteApply(
-              MakeApply(ApplyKind::kCross, outer, inner->children[0]));
+          return Fired("max1row-elim", apply,
+                       RewriteApply(MakeApply(ApplyKind::kCross, outer,
+                                              inner->children[0])));
         }
         return apply;
       }
@@ -189,8 +213,9 @@ class ApplyRemover {
     ORQ_ASSIGN_OR_RETURN(
         RelExprPtr pushed,
         RewriteApply(MakeApply(ApplyKind::kOuter, outer, agg_input)));
-    return MakeGroupBy(std::move(pushed), outer->OutputSet(),
-                       std::move(aggs));
+    return Fired("identity(9)", apply,
+                 MakeGroupBy(std::move(pushed), outer->OutputSet(),
+                             std::move(aggs)));
   }
 
   /// Cross apply over an inner join: route the apply into the parameterized
@@ -214,8 +239,9 @@ class ApplyRemover {
         ORQ_ASSIGN_OR_RETURN(
             RelExprPtr pushed,
             RewriteApply(MakeApply(ApplyKind::kCross, outer, left)));
-        return MakeJoin(JoinKind::kLeftOuter, std::move(pushed), right,
-                        join->predicate);
+        return Fired("apply-over-outerjoin", apply,
+                     MakeJoin(JoinKind::kLeftOuter, std::move(pushed), right,
+                              join->predicate));
       }
       return apply;
     }
@@ -229,22 +255,25 @@ class ApplyRemover {
       ORQ_ASSIGN_OR_RETURN(
           RelExprPtr pushed,
           RewriteApply(MakeApply(ApplyKind::kCross, outer, left)));
-      return MakeJoin(JoinKind::kInner, std::move(pushed), right,
-                      join->predicate);
+      return Fired("apply-over-join", apply,
+                   MakeJoin(JoinKind::kInner, std::move(pushed), right,
+                            join->predicate));
     }
     if (!right_param) {
       ORQ_ASSIGN_OR_RETURN(
           RelExprPtr pushed,
           RewriteApply(MakeApply(ApplyKind::kCross, outer, left)));
-      return MakeJoin(JoinKind::kInner, std::move(pushed), right,
-                      join->predicate);
+      return Fired("apply-over-join", apply,
+                   MakeJoin(JoinKind::kInner, std::move(pushed), right,
+                            join->predicate));
     }
     if (!left_param) {
       ORQ_ASSIGN_OR_RETURN(
           RelExprPtr pushed,
           RewriteApply(MakeApply(ApplyKind::kCross, outer, right)));
-      return MakeJoin(JoinKind::kInner, std::move(pushed), left,
-                      join->predicate);
+      return Fired("apply-over-join", apply,
+                   MakeJoin(JoinKind::kInner, std::move(pushed), left,
+                            join->predicate));
     }
     // (7): both sides parameterized — duplicate R, join on its key.
     if (!options_.decorrelate_class2) return apply;
@@ -277,7 +306,8 @@ class ApplyRemover {
     ColumnSet keep = outer->OutputSet()
                          .Union(left->OutputSet())
                          .Union(right->OutputSet());
-    return MakeProject(std::move(joined), {}, keep);
+    return Fired("identity(7)", apply,
+                 MakeProject(std::move(joined), {}, keep));
   }
 
   /// (5)/(6): distribute over UnionAll / ExceptAll.
@@ -313,31 +343,37 @@ class ApplyRemover {
     out_cols.insert(out_cols.end(), setop->out_cols.begin(),
                     setop->out_cols.end());
     if (setop->kind == RelKind::kUnionAll) {
-      return MakeUnionAll(std::move(branches), std::move(out_cols),
-                          std::move(maps));
+      return Fired("identity(5)", apply,
+                   MakeUnionAll(std::move(branches), std::move(out_cols),
+                                std::move(maps)));
     }
-    return MakeExceptAll(branches[0], branches[1], std::move(out_cols),
-                         std::move(maps));
+    return Fired("identity(6)", apply,
+                 MakeExceptAll(branches[0], branches[1],
+                               std::move(out_cols), std::move(maps)));
   }
 
   Result<RelExprPtr> RewriteOuter(const RelExprPtr& apply) {
     const RelExprPtr& outer = apply->children[0];
     const RelExprPtr& inner = apply->children[1];
     if (ExactlyOneRow(*inner)) {
-      return RewriteApply(MakeApply(ApplyKind::kCross, outer, inner));
+      return Fired("outer-to-cross", apply,
+                   RewriteApply(MakeApply(ApplyKind::kCross, outer, inner)));
     }
     if (inner->kind == RelKind::kMax1row) {
       RelExprPtr guarded = inner->children[0];
       if (MaxOneRow(*guarded)) {
         // Key information proves at most one row: drop the guard
         // (section 2.4) and keep the outer apply.
-        return RewriteApply(MakeApply(ApplyKind::kOuter, outer, guarded));
+        return Fired(
+            "max1row-elim", apply,
+            RewriteApply(MakeApply(ApplyKind::kOuter, outer, guarded)));
       }
       // Absorb the guard into a scalar GroupBy of Max1Row aggregates so
       // identity (9) applies; the aggregate raises the run-time error when
       // a group holds more than one row.
-      return RewriteApply(MakeApply(ApplyKind::kCross, outer,
-                                    AbsorbIntoMax1RowAgg(guarded)));
+      return Fired("max1row-absorb", apply,
+                   RewriteApply(MakeApply(ApplyKind::kCross, outer,
+                                          AbsorbIntoMax1RowAgg(guarded))));
     }
     if (inner->kind == RelKind::kProject) {
       // OuterApply commutes with a strict projection (NULL-padded inner
@@ -352,13 +388,16 @@ class ApplyRemover {
             RelExprPtr pushed,
             RewriteApply(
                 MakeApply(ApplyKind::kOuter, outer, inner->children[0])));
-        return MakeProject(std::move(pushed), inner->proj_items,
-                           inner->passthrough.Union(outer->OutputSet()));
+        return Fired(
+            "outerapply-project", apply,
+            MakeProject(std::move(pushed), inner->proj_items,
+                        inner->passthrough.Union(outer->OutputSet())));
       }
     }
     if (MaxOneRow(*inner)) {
-      return RewriteApply(MakeApply(ApplyKind::kCross, outer,
-                                    AbsorbIntoMax1RowAgg(inner)));
+      return Fired("max1row-absorb", apply,
+                   RewriteApply(MakeApply(ApplyKind::kCross, outer,
+                                          AbsorbIntoMax1RowAgg(inner))));
     }
     return apply;
   }
@@ -382,23 +421,31 @@ class ApplyRemover {
       case RelKind::kProject:
       case RelKind::kMax1row:
         // Projection / guard do not affect existence.
-        return RewriteApply(MakeApply(kind, outer, inner->children[0]));
+        return Fired(
+            "exists-strip-project", apply,
+            RewriteApply(MakeApply(kind, outer, inner->children[0])));
       case RelKind::kGroupBy:
         if (inner->scalar_agg) {
           // Scalar aggregation always yields one row: EXISTS is TRUE.
-          return kind == ApplyKind::kSemi
-                     ? outer
-                     : MakeSelect(outer, LitBool(false));
+          return Fired("exists-const", apply,
+                       kind == ApplyKind::kSemi
+                           ? Result<RelExprPtr>(outer)
+                           : MakeSelect(outer, LitBool(false)));
         }
         // Vector GroupBy output is empty iff its input is empty.
-        return RewriteApply(MakeApply(kind, outer, inner->children[0]));
+        return Fired(
+            "exists-strip-groupby", apply,
+            RewriteApply(MakeApply(kind, outer, inner->children[0])));
       case RelKind::kSort: {
         if (inner->limit == 0) {
-          return kind == ApplyKind::kAnti
-                     ? outer
-                     : MakeSelect(outer, LitBool(false));
+          return Fired("exists-const", apply,
+                       kind == ApplyKind::kAnti
+                           ? Result<RelExprPtr>(outer)
+                           : MakeSelect(outer, LitBool(false)));
         }
-        return RewriteApply(MakeApply(kind, outer, inner->children[0]));
+        return Fired(
+            "exists-strip-sort", apply,
+            RewriteApply(MakeApply(kind, outer, inner->children[0])));
       }
       default: {
         // General fallback (section 2.4): rewrite the boolean subquery as
@@ -415,7 +462,9 @@ class ApplyRemover {
             std::move(pushed),
             MakeCompare(op, CRef(cnt, DataType::kInt64), LitInt(0)));
         // Project away the count column to restore semijoin's output shape.
-        return MakeProject(std::move(selected), {}, outer->OutputSet());
+        return Fired(
+            "exists-to-count", apply,
+            MakeProject(std::move(selected), {}, outer->OutputSet()));
       }
     }
   }

@@ -1,11 +1,28 @@
 #include "normalize/normalizer.h"
 
+#include "algebra/expr_util.h"
 #include "normalize/apply_removal.h"
 #include "normalize/fold.h"
 #include "normalize/oj_simplify.h"
 #include "normalize/pushdown.h"
+#include "obs/trace.h"
 
 namespace orq {
+
+namespace {
+
+/// Records one whole-tree pass when tracing is on and the pass changed the
+/// tree (pointer inequality is a cheap proxy; rewrites share unchanged
+/// subtrees, so an untouched tree comes back as the same root).
+void TracePhase(const NormalizerOptions& options, const char* phase,
+                const RelExprPtr& before, const RelExprPtr& after) {
+  if (options.trace == nullptr || before == after) return;
+  options.trace->Record(TraceEvent{
+      TraceEvent::Stage::kNormalize, TraceEvent::Kind::kPhase, phase,
+      CountRelNodes(*before), CountRelNodes(*after), -1.0, -1.0});
+}
+
+}  // namespace
 
 Result<RelExprPtr> Normalize(RelExprPtr root, ColumnManager* columns,
                              const NormalizerOptions& options) {
@@ -14,26 +31,37 @@ Result<RelExprPtr> Normalize(RelExprPtr root, ColumnManager* columns,
   // turn unlocks further pushdown. Three rounds reach fixpoint on all the
   // plan shapes this library generates.
   RelExprPtr current = std::move(root);
+  RelExprPtr before;
   for (int round = 0; round < 3; ++round) {
     if (options.pushdown_predicates) {
+      before = current;
       current = PushdownPredicates(current, columns);
+      TracePhase(options, "pushdown", before, current);
     }
     if (options.remove_correlations) {
+      before = current;
       ORQ_ASSIGN_OR_RETURN(current,
                            RemoveApplies(current, columns, options));
+      TracePhase(options, "apply_removal", before, current);
     }
     if (options.simplify_outerjoins) {
+      before = current;
       current = SimplifyOuterJoins(current);
+      TracePhase(options, "oj_simplify", before, current);
     }
   }
   if (options.pushdown_predicates) {
+    before = current;
     current = PushdownPredicates(current, columns);
     // Constant folding + empty-subexpression detection (section 4), then
     // one more pushdown round to let the simplified tree settle.
     current = FoldAndDetectEmpty(current, columns);
+    TracePhase(options, "fold", before, current);
+    before = current;
     current = PushdownPredicates(current, columns);
     current = FoldAndDetectEmpty(current, columns);
     current = PruneColumns(current, columns);
+    TracePhase(options, "prune", before, current);
   }
   return current;
 }

@@ -6,6 +6,8 @@
 
 namespace orq {
 
+class TraceLog;
+
 /// Knobs for query normalization. Each switch corresponds to one of the
 /// paper's orthogonal primitives so benchmarks can ablate them.
 struct NormalizerOptions {
@@ -21,6 +23,9 @@ struct NormalizerOptions {
   bool simplify_outerjoins = true;
   /// Push selections/predicates down and infer the equality closure.
   bool pushdown_predicates = true;
+  /// Optional rule-firing trace (obs/trace.h), not owned. Null disables
+  /// tracing; EXPLAIN ANALYZE points it at the query's TraceLog.
+  TraceLog* trace = nullptr;
 };
 
 /// Runs the normalization pipeline: Apply removal to fixpoint, outerjoin

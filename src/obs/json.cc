@@ -1,0 +1,347 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace orq {
+
+void AppendJsonString(const std::string& text, std::string* out) {
+  out->push_back('"');
+  for (char c : text) {
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\n': out->append("\\n"); break;
+      case '\r': out->append("\\r"); break;
+      case '\t': out->append("\\t"); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+namespace {
+
+void AppendNumber(double v, std::string* out) {
+  if (!std::isfinite(v)) {
+    out->append("null");
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out->append(buf);
+}
+
+void AppendField(const char* key, std::string* out, bool* first) {
+  if (!*first) out->push_back(',');
+  *first = false;
+  AppendJsonString(key, out);
+  out->push_back(':');
+}
+
+void PlanStatsRec(const PlanStatsNode& node, std::string* out) {
+  out->push_back('{');
+  bool first = true;
+  AppendField("op", out, &first);
+  AppendJsonString(node.name, out);
+  AppendField("columns", out, &first);
+  AppendJsonString(node.columns, out);
+  AppendField("actual_rows", out, &first);
+  out->append(std::to_string(node.stats.rows_out));
+  AppendField("est_rows", out, &first);
+  AppendNumber(node.est_rows, out);
+  AppendField("est_cost", out, &first);
+  AppendNumber(node.est_cost, out);
+  AppendField("open_calls", out, &first);
+  out->append(std::to_string(node.stats.open_calls));
+  AppendField("next_calls", out, &first);
+  out->append(std::to_string(node.stats.next_calls));
+  AppendField("close_calls", out, &first);
+  out->append(std::to_string(node.stats.close_calls));
+  AppendField("wall_nanos", out, &first);
+  out->append(std::to_string(node.stats.wall_nanos));
+  AppendField("self_wall_nanos", out, &first);
+  out->append(std::to_string(node.self_wall_nanos));
+  AppendField("peak_cardinality", out, &first);
+  out->append(std::to_string(node.stats.peak_cardinality));
+  AppendField("children", out, &first);
+  out->push_back('[');
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    if (i > 0) out->push_back(',');
+    PlanStatsRec(node.children[i], out);
+  }
+  out->push_back(']');
+  out->push_back('}');
+}
+
+void TraceRec(const TraceLog& trace, std::string* out) {
+  out->push_back('[');
+  for (size_t i = 0; i < trace.events().size(); ++i) {
+    const TraceEvent& event = trace.events()[i];
+    if (i > 0) out->push_back(',');
+    out->push_back('{');
+    bool first = true;
+    AppendField("stage", out, &first);
+    AppendJsonString(TraceStageName(event.stage), out);
+    AppendField("kind", out, &first);
+    AppendJsonString(TraceKindName(event.kind), out);
+    AppendField("rule", out, &first);
+    AppendJsonString(event.rule, out);
+    AppendField("nodes_before", out, &first);
+    out->append(std::to_string(event.nodes_before));
+    AppendField("nodes_after", out, &first);
+    out->append(std::to_string(event.nodes_after));
+    AppendField("cost_before", out, &first);
+    AppendNumber(event.cost_before, out);
+    AppendField("cost_after", out, &first);
+    AppendNumber(event.cost_after, out);
+    out->push_back('}');
+  }
+  out->push_back(']');
+}
+
+}  // namespace
+
+std::string PlanStatsToJson(const PlanStatsNode& root) {
+  std::string out;
+  PlanStatsRec(root, &out);
+  return out;
+}
+
+std::string TraceToJson(const TraceLog& trace) {
+  std::string out;
+  TraceRec(trace, &out);
+  return out;
+}
+
+std::string AnalyzedToJson(const std::string& label, const std::string& sql,
+                           int64_t result_rows, int64_t rows_produced,
+                           const PlanStatsNode& plan, const TraceLog& trace) {
+  std::string out;
+  out.push_back('{');
+  bool first = true;
+  AppendField("label", &out, &first);
+  AppendJsonString(label, &out);
+  AppendField("sql", &out, &first);
+  AppendJsonString(sql, &out);
+  AppendField("result_rows", &out, &first);
+  out.append(std::to_string(result_rows));
+  AppendField("rows_produced", &out, &first);
+  out.append(std::to_string(rows_produced));
+  AppendField("plan", &out, &first);
+  PlanStatsRec(plan, &out);
+  AppendField("trace", &out, &first);
+  TraceRec(trace, &out);
+  out.push_back('}');
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent JSON well-formedness parser (values only, no DOM).
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool Parse(std::string* error) {
+    SkipSpace();
+    if (!ParseValue(error)) return false;
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      *error = "trailing characters at offset " + std::to_string(pos_);
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  bool Fail(const std::string& what, std::string* error) {
+    *error = what + " at offset " + std::to_string(pos_);
+    return false;
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(const char* word, std::string* error) {
+    for (const char* p = word; *p != '\0'; ++p, ++pos_) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) {
+        return Fail("invalid literal", error);
+      }
+    }
+    return true;
+  }
+
+  bool ParseValue(std::string* error) {
+    if (pos_ >= text_.size()) return Fail("unexpected end", error);
+    switch (text_[pos_]) {
+      case '{': return ParseObject(error);
+      case '[': return ParseArray(error);
+      case '"': return ParseString(error);
+      case 't': return Literal("true", error);
+      case 'f': return Literal("false", error);
+      case 'n': return Literal("null", error);
+      default: return ParseNumber(error);
+    }
+  }
+
+  bool ParseObject(std::string* error) {
+    ++pos_;  // '{'
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Fail("expected object key", error);
+      }
+      if (!ParseString(error)) return false;
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return Fail("expected ':'", error);
+      }
+      ++pos_;
+      SkipSpace();
+      if (!ParseValue(error)) return false;
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (pos_ < text_.size() && text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or '}'", error);
+    }
+  }
+
+  bool ParseArray(std::string* error) {
+    ++pos_;  // '['
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipSpace();
+      if (!ParseValue(error)) return false;
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (pos_ < text_.size() && text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or ']'", error);
+    }
+  }
+
+  bool ParseString(std::string* error) {
+    ++pos_;  // '"'
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("unescaped control character", error);
+      }
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return Fail("dangling escape", error);
+        char esc = text_[pos_];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= text_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
+              return Fail("invalid \\u escape", error);
+            }
+          }
+        } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
+                   esc != 'f' && esc != 'n' && esc != 'r' && esc != 't') {
+          return Fail("invalid escape", error);
+        }
+      }
+      ++pos_;
+    }
+    return Fail("unterminated string", error);
+  }
+
+  bool ParseNumber(std::string* error) {
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    if (pos_ >= text_.size() ||
+        !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      return Fail("invalid number", error);
+    }
+    // The integer part is a single 0 or starts with a nonzero digit.
+    const bool leading_zero = text_[pos_] == '0';
+    ++pos_;
+    if (!leading_zero) {
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    } else if (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      return Fail("leading zero in number", error);
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return Fail("invalid fraction", error);
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return Fail("invalid exponent", error);
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    return true;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool ValidateJson(const std::string& text, std::string* error) {
+  std::string local;
+  JsonParser parser(text);
+  return parser.Parse(error != nullptr ? error : &local);
+}
+
+}  // namespace orq

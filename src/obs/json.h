@@ -1,0 +1,33 @@
+#ifndef ORQ_OBS_JSON_H_
+#define ORQ_OBS_JSON_H_
+
+#include <string>
+
+#include "obs/report.h"
+#include "obs/trace.h"
+
+namespace orq {
+
+/// Appends `text` as a JSON string literal (quotes + escapes) to `out`.
+void AppendJsonString(const std::string& text, std::string* out);
+
+/// Machine-readable forms of the observability artifacts. Schema documented
+/// in DESIGN.md ("Observability" section); stable field names so external
+/// tooling (benchmark result pipelines) can rely on them.
+std::string PlanStatsToJson(const PlanStatsNode& root);
+std::string TraceToJson(const TraceLog& trace);
+
+/// One self-contained object combining both, plus query identification —
+/// the per-benchmark record bench/bench_util.h emits as a JSON line.
+std::string AnalyzedToJson(const std::string& label, const std::string& sql,
+                           int64_t result_rows, int64_t rows_produced,
+                           const PlanStatsNode& plan, const TraceLog& trace);
+
+/// Strict JSON well-formedness check (objects, arrays, strings, numbers,
+/// literals; rejects trailing garbage). Powers the bench_smoke ctest that
+/// keeps the metrics pipeline honest, and needs no third-party dependency.
+bool ValidateJson(const std::string& text, std::string* error);
+
+}  // namespace orq
+
+#endif  // ORQ_OBS_JSON_H_

@@ -1,0 +1,47 @@
+#ifndef ORQ_OBS_REPORT_H_
+#define ORQ_OBS_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/exec.h"
+#include "obs/stats.h"
+#include "obs/trace.h"
+
+namespace orq {
+
+/// One physical operator's stats snapshot, detached from the (plan-owned)
+/// operator tree so it can outlive execution. `est_rows`/`est_cost` carry
+/// the cost model's predictions next to the measured actuals — the
+/// actual-vs-estimated comparison that calibrates the cost model.
+struct PlanStatsNode {
+  std::string name;
+  std::string columns;  // rendered output layout
+  double est_rows = -1.0;
+  double est_cost = -1.0;
+  OpStats stats;
+  /// Inclusive minus children's inclusive wall time (clamped at zero).
+  int64_t self_wall_nanos = 0;
+  std::vector<PlanStatsNode> children;
+};
+
+/// Snapshots `plan`'s tree with each operator's collected stats and
+/// cost-model estimates. Operators the execution never opened appear with
+/// zeroed stats (e.g. pruned empty subtrees).
+PlanStatsNode BuildPlanStats(const PhysicalOp& plan,
+                             const StatsCollector& collector,
+                             const ColumnManager* columns);
+
+/// Sum of rows_out over the snapshot tree.
+int64_t TotalRowsOut(const PlanStatsNode& node);
+
+/// Indented EXPLAIN ANALYZE rendering:
+///   HashJoin(inner) [l_partkey#3, ...] (actual rows=97 est=104.2 ...)
+std::string RenderPlanStats(const PlanStatsNode& root);
+
+/// Human-readable rule-firing trace, one line per event.
+std::string RenderTrace(const TraceLog& trace);
+
+}  // namespace orq
+
+#endif  // ORQ_OBS_REPORT_H_

@@ -1,0 +1,16 @@
+#include "obs/stats.h"
+
+namespace orq {
+
+const OpStats* StatsCollector::Find(const void* op) const {
+  auto it = stats_.find(op);
+  return it == stats_.end() ? nullptr : &it->second;
+}
+
+int64_t StatsCollector::TotalRowsOut() const {
+  int64_t total = 0;
+  for (const auto& [op, stats] : stats_) total += stats.rows_out;
+  return total;
+}
+
+}  // namespace orq

@@ -5,6 +5,7 @@
 #include <map>
 
 #include "algebra/expr_util.h"
+#include "obs/trace.h"
 #include "opt/cost.h"
 #include "opt/rules.h"
 
@@ -64,6 +65,12 @@ class GreedyOptimizer {
         if (std::getenv("ORQ_OPT_DEBUG") != nullptr) {
           std::fprintf(stderr, "[opt] %s: %.0f -> %.0f\n", best_rule,
                        current_cost, best_cost);
+        }
+        if (options_.trace != nullptr) {
+          options_.trace->Record(TraceEvent{
+              TraceEvent::Stage::kOptimize, TraceEvent::Kind::kRule,
+              best_rule, CountRelNodes(*current), CountRelNodes(*best),
+              current_cost, best_cost});
         }
         current = best;
       }

@@ -7,6 +7,8 @@
 
 namespace orq {
 
+class TraceLog;
+
 /// Cost-based optimization switches, one per orthogonal technique of the
 /// paper's section 3 plus general exploration.
 struct OptimizerOptions {
@@ -26,6 +28,9 @@ struct OptimizerOptions {
   bool join_commute = true;
   /// Cap on greedy improvement recursion.
   int max_depth = 8;
+  /// Optional rule-firing trace (obs/trace.h), not owned. Records each
+  /// accepted (cost-improving) transformation with before/after costs.
+  TraceLog* trace = nullptr;
 };
 
 /// Cost-guided transformation search: bottom-up greedy application of the

@@ -3,6 +3,7 @@
 #include "algebra/expr_util.h"
 #include "algebra/props.h"
 #include "catalog/table.h"
+#include "opt/cost.h"
 
 namespace orq {
 
@@ -11,10 +12,23 @@ namespace {
 class PlanBuilder {
  public:
   PlanBuilder(const ColumnManager& columns,
-              const PhysicalBuildOptions& options)
-      : columns_(columns), options_(options) {}
+              const PhysicalBuildOptions& options, CostModel* cost)
+      : columns_(columns), options_(options), cost_(cost) {}
 
+  /// Builds the operator for `node` and, when a cost model is attached,
+  /// stamps it with the logical node's estimates (the EXPLAIN ANALYZE
+  /// actual-vs-estimated hook).
   Result<PhysicalOpPtr> Build(const RelExprPtr& node) {
+    ORQ_ASSIGN_OR_RETURN(PhysicalOpPtr op, BuildNode(node));
+    if (cost_ != nullptr) {
+      const PlanEstimate& estimate = cost_->Estimate(node);
+      op->set_estimates(estimate.rows, estimate.cost);
+    }
+    return op;
+  }
+
+ private:
+  Result<PhysicalOpPtr> BuildNode(const RelExprPtr& node) {
     switch (node->kind) {
       case RelKind::kGet:
         return MakeTableScan(node->table, node->get_ordinals,
@@ -100,7 +114,6 @@ class PlanBuilder {
     return Status::Internal("unhandled logical operator");
   }
 
- private:
   /// Wraps a set-operation branch so its layout positionally matches the
   /// parent's output columns.
   Result<PhysicalOpPtr> BuildAligned(const RelExprPtr& child,
@@ -256,14 +269,16 @@ class PlanBuilder {
 
   const ColumnManager& columns_;
   const PhysicalBuildOptions& options_;
+  CostModel* cost_;
 };
 
 }  // namespace
 
 Result<PhysicalOpPtr> BuildPhysicalPlan(const RelExprPtr& logical,
                                         const ColumnManager& columns,
-                                        const PhysicalBuildOptions& options) {
-  PlanBuilder builder(columns, options);
+                                        const PhysicalBuildOptions& options,
+                                        CostModel* cost) {
+  PlanBuilder builder(columns, options, cost);
   return builder.Build(logical);
 }
 

@@ -7,6 +7,8 @@
 
 namespace orq {
 
+class CostModel;
+
 /// Implementation choices for the logical -> physical translation.
 struct PhysicalBuildOptions {
   /// Use hash joins for equi-joins (otherwise nested loops).
@@ -20,9 +22,15 @@ struct PhysicalBuildOptions {
 /// Translates a logical tree into an executable plan. Joins pick hash vs
 /// nested-loops locally; Apply executes as rebinding nested loops.
 /// (The cost-based optimizer produces the logical tree; see optimizer.h.)
+///
+/// When `cost` is supplied, each physical operator implementing a logical
+/// node is annotated with that node's estimated rows/cost so EXPLAIN
+/// ANALYZE can print actual-vs-estimated side by side. Auxiliary operators
+/// the translation inserts (e.g. alignment projections) stay unannotated.
 Result<PhysicalOpPtr> BuildPhysicalPlan(const RelExprPtr& logical,
                                         const ColumnManager& columns,
-                                        const PhysicalBuildOptions& options);
+                                        const PhysicalBuildOptions& options,
+                                        CostModel* cost = nullptr);
 
 }  // namespace orq
 

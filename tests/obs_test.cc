@@ -1,0 +1,261 @@
+// Tests for the observability subsystem: per-operator runtime stats,
+// rule/phase tracing, EXPLAIN ANALYZE, and the stats JSON pipeline.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "obs/json.h"
+#include "obs/report.h"
+#include "obs/stats.h"
+#include "obs/trace.h"
+#include "tpch/tpch_gen.h"
+
+namespace orq {
+namespace {
+
+std::vector<std::string> RowsToStrings(const std::vector<Row>& rows) {
+  std::vector<std::string> out;
+  out.reserve(rows.size());
+  for (const Row& row : rows) {
+    std::string s;
+    for (const Value& v : row) {
+      s += v.ToString();
+      s += '|';
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void ForEachNode(const PlanStatsNode& node,
+                 const std::function<void(const PlanStatsNode&)>& fn) {
+  fn(node);
+  for (const PlanStatsNode& child : node.children) ForEachNode(child, fn);
+}
+
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TpchGenOptions options;
+    options.scale_factor = 0.002;
+    ASSERT_TRUE(GenerateTpch(&catalog_, options).ok());
+  }
+
+  Catalog catalog_;
+  const std::string subquery_sql_ =
+      "select c_custkey from customer "
+      "where 1000 < (select sum(o_totalprice) from orders "
+      "              where o_custkey = c_custkey)";
+};
+
+// (a) The per-operator row counts must aggregate to the engine's
+// rows_produced work metric, and the analyzed metric must equal the plain
+// execution's (the two accountings are one mechanism now).
+TEST_F(ObsTest, PerOpRowsSumMatchesRowsProduced) {
+  QueryEngine engine(&catalog_);
+  Result<QueryResult> plain = engine.Execute(subquery_sql_);
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+  Result<AnalyzedQuery> analyzed = engine.ExecuteAnalyzed(subquery_sql_);
+  ASSERT_TRUE(analyzed.ok()) << analyzed.status().ToString();
+
+  EXPECT_GT(analyzed->result.rows_produced, 0);
+  EXPECT_EQ(TotalRowsOut(analyzed->plan), analyzed->result.rows_produced);
+  EXPECT_EQ(plain->rows_produced, analyzed->result.rows_produced);
+}
+
+// Every operator the execution touched reports balanced Open/Close calls
+// and a row count consistent with its Next calls.
+TEST_F(ObsTest, OperatorCountersAreConsistent) {
+  QueryEngine engine(&catalog_);
+  Result<AnalyzedQuery> analyzed = engine.ExecuteAnalyzed(subquery_sql_);
+  ASSERT_TRUE(analyzed.ok());
+  int64_t ops = 0;
+  ForEachNode(analyzed->plan, [&](const PlanStatsNode& node) {
+    ++ops;
+    EXPECT_EQ(node.stats.open_calls, node.stats.close_calls) << node.name;
+    // Every returned row is one Next call; at most one extra (exhausted)
+    // call per Open. Early-terminating consumers may skip the extra one.
+    EXPECT_GE(node.stats.next_calls, node.stats.rows_out) << node.name;
+    EXPECT_LE(node.stats.next_calls,
+              node.stats.rows_out + node.stats.open_calls)
+        << node.name;
+    EXPECT_GE(node.stats.wall_nanos, node.self_wall_nanos) << node.name;
+    EXPECT_GE(node.self_wall_nanos, 0) << node.name;
+  });
+  EXPECT_GE(ops, 3);
+}
+
+// Under correlated-only execution the inner side re-opens once per outer
+// row — the re-open counter is what makes Fig. 1's N+1 pattern visible.
+TEST_F(ObsTest, CorrelatedExecutionShowsReopens) {
+  QueryEngine engine(&catalog_, EngineOptions::CorrelatedOnly());
+  Result<AnalyzedQuery> analyzed = engine.ExecuteAnalyzed(subquery_sql_);
+  ASSERT_TRUE(analyzed.ok());
+  int64_t max_opens = 0;
+  ForEachNode(analyzed->plan, [&](const PlanStatsNode& node) {
+    if (node.stats.open_calls > max_opens) max_opens = node.stats.open_calls;
+  });
+  // SF 0.002 has 300 customers; the correlated inner opens once per row.
+  EXPECT_EQ(max_opens, 300);
+}
+
+// (b) The rule trace records the Apply-removal sequence the paper's Fig. 4
+// identities prescribe for a correlated scalar aggregate: pushdown into
+// the Apply (identity 2), GroupBy pull-up (identity 9), and the final
+// Apply-to-join conversion (identity 4).
+TEST_F(ObsTest, TraceRecordsApplyRemovalSequence) {
+  QueryEngine engine(&catalog_);
+  Result<AnalyzedQuery> analyzed = engine.ExecuteAnalyzed(subquery_sql_);
+  ASSERT_TRUE(analyzed.ok());
+  ASSERT_FALSE(analyzed->trace.empty());
+
+  std::vector<std::string> normalize_rules;
+  for (const TraceEvent* event :
+       analyzed->trace.RuleFirings(TraceEvent::Stage::kNormalize)) {
+    normalize_rules.push_back(event->rule);
+  }
+  EXPECT_EQ(normalize_rules,
+            (std::vector<std::string>{"identity(2)", "identity(9)",
+                                      "identity(4)"}));
+
+  // Phase events bracket the pipeline; apply_removal must appear and must
+  // have changed the tree.
+  bool saw_apply_removal = false;
+  for (const TraceEvent& event : analyzed->trace.events()) {
+    if (event.kind == TraceEvent::Kind::kPhase &&
+        event.rule == "apply_removal") {
+      saw_apply_removal = true;
+      EXPECT_GT(event.nodes_before, 0);
+      EXPECT_GT(event.nodes_after, 0);
+    }
+  }
+  EXPECT_TRUE(saw_apply_removal);
+}
+
+// Optimizer firings carry cost-before/cost-after; accepted rules must
+// report an improvement.
+TEST_F(ObsTest, OptimizerTraceReportsCostImprovements) {
+  QueryEngine engine(&catalog_);
+  Result<AnalyzedQuery> analyzed = engine.ExecuteAnalyzed(subquery_sql_);
+  ASSERT_TRUE(analyzed.ok());
+  for (const TraceEvent* event :
+       analyzed->trace.RuleFirings(TraceEvent::Stage::kOptimize)) {
+    EXPECT_GE(event->cost_before, 0.0) << event->rule;
+    EXPECT_LT(event->cost_after, event->cost_before) << event->rule;
+  }
+}
+
+// (c) With stats disabled (no collector on the context) execution must
+// behave exactly as before: same rows, same rows_produced, and nothing
+// recorded anywhere.
+TEST_F(ObsTest, DisabledStatsIdenticalResultsAndZeroEntries) {
+  QueryEngine engine(&catalog_);
+  Result<QueryResult> plain = engine.Execute(subquery_sql_);
+  ASSERT_TRUE(plain.ok());
+  Result<AnalyzedQuery> analyzed = engine.ExecuteAnalyzed(subquery_sql_);
+  ASSERT_TRUE(analyzed.ok());
+
+  EXPECT_EQ(plain->column_names, analyzed->result.column_names);
+  EXPECT_EQ(RowsToStrings(plain->rows), RowsToStrings(analyzed->result.rows));
+  EXPECT_EQ(plain->rows_produced, analyzed->result.rows_produced);
+
+  // Executing a compiled plan without attaching the collector must leave
+  // it untouched.
+  Result<QueryEngine::Compiled> compiled = engine.Compile(subquery_sql_);
+  ASSERT_TRUE(compiled.ok());
+  StatsCollector collector;
+  Result<QueryResult> uninstrumented = engine.ExecuteCompiled(*compiled);
+  ASSERT_TRUE(uninstrumented.ok());
+  EXPECT_TRUE(collector.empty());
+  EXPECT_EQ(collector.TotalRowsOut(), 0);
+  EXPECT_EQ(uninstrumented->rows_produced, plain->rows_produced);
+}
+
+// Compile-time artifacts: tracing must not alter what the engine produces
+// (trace sinks are write-only observers).
+TEST_F(ObsTest, TracingDoesNotChangePlans) {
+  QueryEngine engine(&catalog_);
+  Result<std::string> without = engine.Explain(subquery_sql_);
+  ASSERT_TRUE(without.ok());
+  // ExecuteAnalyzed compiles with trace attached; Explain afterwards must
+  // render the same plans.
+  ASSERT_TRUE(engine.ExecuteAnalyzed(subquery_sql_).ok());
+  Result<std::string> after = engine.Explain(subquery_sql_);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(*without, *after);
+}
+
+TEST_F(ObsTest, ExplainAnalyzeRendersActualsAndEstimates) {
+  QueryEngine engine(&catalog_);
+  Result<std::string> text = engine.ExplainAnalyze(subquery_sql_);
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  for (const char* marker :
+       {"actual rows=", "est rows=", "est cost=", "time=", "opens=",
+        "Rewrite trace", "identity(2)", "rows_produced="}) {
+    EXPECT_NE(text->find(marker), std::string::npos) << marker;
+  }
+}
+
+TEST_F(ObsTest, HashOperatorsReportPeakCardinality) {
+  QueryEngine engine(&catalog_);
+  // The decorrelated plan aggregates orders by custkey: some hash-based
+  // operator must have held a nonzero peak.
+  Result<AnalyzedQuery> analyzed = engine.ExecuteAnalyzed(subquery_sql_);
+  ASSERT_TRUE(analyzed.ok());
+  int64_t max_peak = 0;
+  ForEachNode(analyzed->plan, [&](const PlanStatsNode& node) {
+    if (node.stats.peak_cardinality > max_peak) {
+      max_peak = node.stats.peak_cardinality;
+    }
+  });
+  EXPECT_GT(max_peak, 0);
+}
+
+TEST_F(ObsTest, AnalyzedJsonIsValidAndRoundTrips) {
+  QueryEngine engine(&catalog_);
+  Result<AnalyzedQuery> analyzed = engine.ExecuteAnalyzed(subquery_sql_);
+  ASSERT_TRUE(analyzed.ok());
+  const std::string json = analyzed->ToJson("obs_test");
+  std::string error;
+  EXPECT_TRUE(ValidateJson(json, &error)) << error;
+  // Key schema fields present (DESIGN.md contract).
+  for (const char* field :
+       {"\"label\":\"obs_test\"", "\"sql\":", "\"rows_produced\":",
+        "\"plan\":", "\"trace\":", "\"actual_rows\":", "\"est_rows\":",
+        "\"wall_nanos\":", "\"children\":", "\"rule\":"}) {
+    EXPECT_NE(json.find(field), std::string::npos) << field;
+  }
+}
+
+TEST(JsonValidatorTest, AcceptsWellFormedDocuments) {
+  std::string error;
+  for (const char* doc :
+       {"{}", "[]", "null", "true", "-1.5e3", "\"a\\\"b\"",
+        "{\"a\":[1,2,{\"b\":null}],\"c\":\"\\u0041\"}", "  [0]  "}) {
+    EXPECT_TRUE(ValidateJson(doc, &error)) << doc << ": " << error;
+  }
+}
+
+TEST(JsonValidatorTest, RejectsMalformedDocuments) {
+  std::string error;
+  for (const char* doc :
+       {"", "{", "{\"a\":}", "[1,]", "{}x", "{'a':1}", "nul", "01",
+        "\"unterminated", "{\"a\" 1}", "[1 2]"}) {
+    EXPECT_FALSE(ValidateJson(doc, &error)) << doc;
+    EXPECT_FALSE(error.empty()) << doc;
+  }
+}
+
+TEST(JsonValidatorTest, StringEscaping) {
+  std::string out;
+  AppendJsonString("he said \"hi\"\n\ttab\\", &out);
+  std::string error;
+  EXPECT_TRUE(ValidateJson(out, &error)) << error;
+  EXPECT_EQ(out, "\"he said \\\"hi\\\"\\n\\ttab\\\\\"");
+}
+
+}  // namespace
+}  // namespace orq

@@ -1,0 +1,43 @@
+// Validates that every non-empty line of a file is a well-formed JSON
+// document (JSON-lines). Backs the bench_smoke ctest: benchmarks append
+// per-query stats records under ORQ_STATS_JSON, and this keeps that
+// pipeline emitting parseable output.
+//
+//   $ json_check stats.jsonl
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "obs/json.h"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: json_check <file.jsonl>\n");
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "json_check: cannot open %s\n", argv[1]);
+    return 2;
+  }
+  std::string line;
+  int valid = 0;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::string error;
+    if (!orq::ValidateJson(line, &error)) {
+      std::fprintf(stderr, "json_check: %s:%d: %s\n", argv[1], lineno,
+                   error.c_str());
+      return 1;
+    }
+    ++valid;
+  }
+  if (valid == 0) {
+    std::fprintf(stderr, "json_check: %s contains no JSON lines\n", argv[1]);
+    return 1;
+  }
+  std::printf("json_check: %d JSON line(s) OK\n", valid);
+  return 0;
+}
