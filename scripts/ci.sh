@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Default CI gate: build + full test suite in Release, then again under
+# ASan+UBSan (including the difftest differential smoke run). Any sanitizer
+# report is fatal (-fno-sanitize-recover=all), so a green run means the
+# whole suite — parser, normalizer, optimizer, executor, and 500 random
+# dual-executed queries — is clean of address errors and UB.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc)"
+
+echo "=== Release build + tests ==="
+cmake --preset release >/dev/null
+cmake --build --preset release -j "${JOBS}"
+ctest --preset release -j "${JOBS}"
+
+echo "=== ASan+UBSan build + tests ==="
+cmake --preset asan >/dev/null
+cmake --build --preset asan -j "${JOBS}"
+ctest --preset asan -j "${JOBS}"
+
+echo "CI: all suites passed (release + asan/ubsan)."

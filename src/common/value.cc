@@ -1,10 +1,47 @@
 #include "common/value.h"
 
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <functional>
 
 namespace orq {
+
+namespace {
+
+constexpr double kTwo63 = 9223372036854775808.0;  // 2^63, exactly
+
+/// Exact int64-vs-double comparison. Promoting the int64 to double (the
+/// obvious implementation) is lossy above 2^53: it made Int64(2^53 + 1)
+/// compare equal to Double(2^53) while the two hashed differently, an
+/// equality/hash inconsistency that corrupts hash-join and GroupBy tables.
+/// NaN sorts above every numeric so the order stays total.
+int CompareInt64WithDouble(int64_t i, double d) {
+  if (std::isnan(d)) return -1;
+  if (d >= kTwo63) return -1;
+  if (d < -kTwo63) return 1;
+  // In-range: truncation is exact, and the truncated value converts back
+  // to double exactly (either |d| < 2^53, or d is integral already).
+  int64_t t = static_cast<int64_t>(d);
+  if (i != t) return i < t ? -1 : 1;
+  double frac = d - static_cast<double>(t);
+  if (frac > 0.0) return -1;
+  if (frac < 0.0) return 1;
+  return 0;
+}
+
+int CompareDoubles(double a, double b) {
+  bool a_nan = std::isnan(a), b_nan = std::isnan(b);
+  if (a_nan || b_nan) {
+    if (a_nan && b_nan) return 0;
+    return a_nan ? 1 : -1;
+  }
+  if (a < b) return -1;
+  if (a > b) return 1;
+  return 0;  // covers -0.0 == 0.0
+}
+
+}  // namespace
 
 std::string DataTypeName(DataType type) {
   switch (type) {
@@ -25,10 +62,13 @@ std::optional<int> Value::SqlCompare(const Value& other) const {
       if (int_ > other.int_) return 1;
       return 0;
     }
-    double a = AsDouble(), b = other.AsDouble();
-    if (a < b) return -1;
-    if (a > b) return 1;
-    return 0;
+    if (type_ == DataType::kInt64) {
+      return CompareInt64WithDouble(int_, other.double_);
+    }
+    if (other.type_ == DataType::kInt64) {
+      return -CompareInt64WithDouble(other.int_, double_);
+    }
+    return CompareDoubles(double_, other.double_);
   }
   // Non-numeric comparisons require identical types.
   if (type_ != other.type_) return std::nullopt;
@@ -64,14 +104,24 @@ size_t Value::Hash() const {
     case DataType::kDate:
       return std::hash<int64_t>()(int_);
     case DataType::kInt64: {
-      // Hash int64 through double when the value is integral so that
-      // Int64(3) and Double(3.0) — which GroupEquals — hash alike.
+      // Hash int64 through double when the value is exactly representable
+      // so that Int64(3) and Double(3.0) — which GroupEquals — hash alike.
+      // (A non-representable int64 never GroupEquals any double, so the
+      // integer fallback cannot disagree with the double path.) The range
+      // guard matters: for values near INT64_MAX the round-trip cast is
+      // out of range, i.e. undefined behavior, not just inexact.
       double d = static_cast<double>(int_);
-      if (static_cast<int64_t>(d) == int_) return std::hash<double>()(d);
+      if (d >= -kTwo63 && d < kTwo63 && static_cast<int64_t>(d) == int_) {
+        return std::hash<double>()(d);
+      }
       return std::hash<int64_t>()(int_);
     }
-    case DataType::kDouble:
-      return std::hash<double>()(double_);
+    case DataType::kDouble: {
+      double d = double_;
+      if (d == 0.0) d = 0.0;  // -0.0 GroupEquals 0.0; hash must agree
+      if (std::isnan(d)) return 0x7fff8e8eull;  // any NaN payload/sign
+      return std::hash<double>()(d);
+    }
     case DataType::kString:
       return std::hash<std::string>()(string_);
   }

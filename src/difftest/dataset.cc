@@ -1,0 +1,188 @@
+#include "difftest/dataset.h"
+
+#include <string>
+#include <vector>
+
+namespace orq {
+
+namespace {
+
+/// splitmix64: tiny, portable, deterministic across platforms (std::
+/// distributions are not specified bit-for-bit; raw engine output is).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, n).
+  int Uniform(int n) { return static_cast<int>(Next() % n); }
+
+  /// True with probability num/den.
+  bool Chance(int num, int den) { return Uniform(den) < num; }
+
+ private:
+  uint64_t state_;
+};
+
+Value MaybeNullInt(Rng& rng, int64_t v, int null_pct) {
+  if (rng.Chance(null_pct, 100)) return Value::Null(DataType::kInt64);
+  return Value::Int64(v);
+}
+
+Value MaybeNullDouble(Rng& rng, double v, int null_pct) {
+  if (rng.Chance(null_pct, 100)) return Value::Null(DataType::kDouble);
+  return Value::Double(v);
+}
+
+/// Money-ish palette with signed zeros and duplicates; grouping on these
+/// must treat -0.0 and 0.0 as one group.
+double PickPrice(Rng& rng) {
+  static const double kPalette[] = {0.0,   -0.0,  1.5,    1.5,   42.25,
+                                    100.0, 850.5, 1200.0, -17.5, 3.75};
+  return kPalette[rng.Uniform(10)];
+}
+
+const char* PickSegment(Rng& rng) {
+  static const char* kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE",
+                                    "MACHINERY", "HOUSEHOLD"};
+  return kSegments[rng.Uniform(5)];
+}
+
+const char* PickFlag(Rng& rng) {
+  static const char* kFlags[] = {"A", "N", "R"};
+  return kFlags[rng.Uniform(3)];
+}
+
+const char* PickBrand(Rng& rng) {
+  static const char* kBrands[] = {"Brand#11", "Brand#12", "Brand#21",
+                                  "Brand#22", "Brand#31"};
+  return kBrands[rng.Uniform(5)];
+}
+
+}  // namespace
+
+Status BuildDifftestCatalog(Catalog* catalog, uint64_t seed) {
+  Rng rng(seed ^ 0xd1ff7e57ull);
+
+  constexpr bool kNullable = true;
+  constexpr bool kNotNull = false;
+  constexpr int kNations = 6;
+  constexpr int kCustomers = 15;
+  constexpr int kOrders = 40;
+  constexpr int kParts = 12;
+
+  // -- nation ---------------------------------------------------------
+  Result<Table*> nation = catalog->CreateTable(
+      "nation", {{"n_nationkey", DataType::kInt64, kNotNull},
+                 {"n_name", DataType::kString, kNotNull},
+                 {"n_regionkey", DataType::kInt64, kNullable}});
+  if (!nation.ok()) return nation.status();
+  (*nation)->SetPrimaryKey({0});
+  for (int i = 0; i < kNations; ++i) {
+    ORQ_RETURN_IF_ERROR((*nation)->Append(
+        {Value::Int64(i), Value::String("NATION_" + std::to_string(i)),
+         MaybeNullInt(rng, i % 3, 20)}));
+  }
+
+  // -- customer -------------------------------------------------------
+  Result<Table*> customer = catalog->CreateTable(
+      "customer", {{"c_custkey", DataType::kInt64, kNotNull},
+                   {"c_name", DataType::kString, kNotNull},
+                   {"c_nationkey", DataType::kInt64, kNullable},
+                   {"c_acctbal", DataType::kDouble, kNullable},
+                   {"c_mktsegment", DataType::kString, kNullable}});
+  if (!customer.ok()) return customer.status();
+  (*customer)->SetPrimaryKey({0});
+  for (int i = 0; i < kCustomers; ++i) {
+    // nationkey 0..7: values 6,7 dangle (no nation row).
+    ORQ_RETURN_IF_ERROR((*customer)->Append(
+        {Value::Int64(i), Value::String("Customer#" + std::to_string(i)),
+         MaybeNullInt(rng, rng.Uniform(8), 15),
+         MaybeNullDouble(rng, PickPrice(rng), 15),
+         rng.Chance(1, 10) ? Value::Null(DataType::kString)
+                           : Value::String(PickSegment(rng))}));
+  }
+
+  // -- orders ---------------------------------------------------------
+  Result<Table*> orders = catalog->CreateTable(
+      "orders", {{"o_orderkey", DataType::kInt64, kNotNull},
+                 {"o_custkey", DataType::kInt64, kNullable},
+                 {"o_totalprice", DataType::kDouble, kNullable},
+                 {"o_orderdate", DataType::kDate, kNotNull},
+                 {"o_shippriority", DataType::kInt64, kNullable}});
+  if (!orders.ok()) return orders.status();
+  (*orders)->SetPrimaryKey({0});
+  for (int i = 0; i < kOrders; ++i) {
+    // custkey 0..19: values 15..19 dangle; ~12% NULL.
+    ORQ_RETURN_IF_ERROR((*orders)->Append(
+        {Value::Int64(i), MaybeNullInt(rng, rng.Uniform(20), 12),
+         MaybeNullDouble(rng, PickPrice(rng), 12),
+         Value::Date(9131 + rng.Uniform(1100)),  // 1995-01-01 + ~3 years
+         MaybeNullInt(rng, rng.Uniform(3), 25)}));
+  }
+
+  // -- lineitem -------------------------------------------------------
+  Result<Table*> lineitem = catalog->CreateTable(
+      "lineitem", {{"l_orderkey", DataType::kInt64, kNotNull},
+                   {"l_linenumber", DataType::kInt64, kNotNull},
+                   {"l_partkey", DataType::kInt64, kNullable},
+                   {"l_quantity", DataType::kDouble, kNullable},
+                   {"l_extendedprice", DataType::kDouble, kNullable},
+                   {"l_shipdate", DataType::kDate, kNullable},
+                   {"l_returnflag", DataType::kString, kNotNull}});
+  if (!lineitem.ok()) return lineitem.status();
+  (*lineitem)->SetPrimaryKey({0, 1});
+  for (int o = 0; o < kOrders; ++o) {
+    if (rng.Chance(1, 5)) continue;  // ~20% of orders have no lineitems
+    int lines = 1 + rng.Uniform(4);
+    for (int l = 0; l < lines; ++l) {
+      ORQ_RETURN_IF_ERROR((*lineitem)->Append(
+          {Value::Int64(o), Value::Int64(l + 1),
+           MaybeNullInt(rng, rng.Uniform(kParts + 3), 12),  // some dangle
+           MaybeNullDouble(rng, 1.0 + rng.Uniform(10), 12),
+           MaybeNullDouble(rng, PickPrice(rng), 12),
+           rng.Chance(1, 8) ? Value::Null(DataType::kDate)
+                            : Value::Date(9131 + rng.Uniform(1200)),
+           Value::String(PickFlag(rng))}));
+    }
+  }
+
+  // -- part -----------------------------------------------------------
+  Result<Table*> part = catalog->CreateTable(
+      "part", {{"p_partkey", DataType::kInt64, kNotNull},
+               {"p_brand", DataType::kString, kNotNull},
+               {"p_size", DataType::kInt64, kNullable},
+               {"p_retailprice", DataType::kDouble, kNullable}});
+  if (!part.ok()) return part.status();
+  (*part)->SetPrimaryKey({0});
+  for (int i = 0; i < kParts; ++i) {
+    ORQ_RETURN_IF_ERROR((*part)->Append(
+        {Value::Int64(i), Value::String(PickBrand(rng)),
+         MaybeNullInt(rng, 1 + rng.Uniform(50), 20),
+         MaybeNullDouble(rng, PickPrice(rng), 20)}));
+  }
+
+  // Benchmark-style index set: every pk plus the fks correlated plans use.
+  struct IndexSpec {
+    const char* table;
+    std::vector<int> ordinals;
+  };
+  const IndexSpec specs[] = {
+      {"nation", {0}},   {"customer", {0}}, {"customer", {2}},
+      {"orders", {0}},   {"orders", {1}},   {"lineitem", {0}},
+      {"lineitem", {2}}, {"part", {0}},
+  };
+  for (const IndexSpec& spec : specs) {
+    catalog->FindTable(spec.table)->BuildIndex(spec.ordinals);
+  }
+  catalog->InvalidateStats();
+  return Status::OK();
+}
+
+}  // namespace orq

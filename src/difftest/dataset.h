@@ -1,0 +1,31 @@
+#ifndef ORQ_DIFFTEST_DATASET_H_
+#define ORQ_DIFFTEST_DATASET_H_
+
+#include <cstdint>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+
+namespace orq {
+
+/// Populates `catalog` with the differential-testing dataset: a miniature
+/// TPC-H-shaped database (nation, customer, orders, lineitem, part) whose
+/// data is deliberately hostile to rewrite bugs:
+///
+///   * foreign keys and measure columns are declared nullable and carry
+///     injected NULLs (TPC-H proper has none), so NOT IN / anti-join /
+///     outer-join three-valued logic actually gets exercised;
+///   * some foreign keys dangle (no parent row), producing empty correlated
+///     groups — the count-bug shapes of paper section 5.4;
+///   * doubles include 0.0, -0.0 and repeated values so grouping and
+///     hash-join key semantics are visible in results;
+///   * primary keys and the benchmark index set are declared, so the
+///     normalizer's key-based identities (7)-(9), Max1row elimination and
+///     index-lookup-join all fire on generated queries.
+///
+/// Deterministic: the same seed always builds identical tables.
+Status BuildDifftestCatalog(Catalog* catalog, uint64_t seed);
+
+}  // namespace orq
+
+#endif  // ORQ_DIFFTEST_DATASET_H_

@@ -1,0 +1,104 @@
+#include "difftest/harness.h"
+
+#include <cstdio>
+
+#include "difftest/dataset.h"
+#include "difftest/minimize.h"
+#include "difftest/qgen.h"
+
+namespace orq {
+
+namespace {
+
+/// EXPLAIN ANALYZE when it works, plain EXPLAIN otherwise (e.g. when the
+/// minimized query errors at run time), error text as a last resort.
+std::string ExplainSide(QueryEngine& engine, const std::string& sql) {
+  Result<std::string> analyzed = engine.ExplainAnalyze(sql);
+  if (analyzed.ok()) return *analyzed;
+  Result<std::string> plain = engine.Explain(sql);
+  if (plain.ok()) return *plain + "(execution failed: " +
+                         analyzed.status().ToString() + ")\n";
+  return "explain failed: " + plain.status().ToString() + "\n";
+}
+
+}  // namespace
+
+std::string HarnessReport::Summary() const {
+  std::string out = "difftest: seed=" + std::to_string(seed) +
+                    " executed=" + std::to_string(executed) +
+                    " match=" + std::to_string(matches) +
+                    " both-error=" + std::to_string(both_error) +
+                    " cardinality-tolerated=" +
+                    std::to_string(cardinality_tolerated) +
+                    " divergences=" + std::to_string(failures.size()) + "\n";
+  for (const Failure& f : failures) {
+    out += "\n=== divergence at query #" + std::to_string(f.query_index) +
+           " (" + VerdictName(f.verdict) + ") ===\n";
+    out += "original:  " + f.original_sql + "\n";
+    out += "minimized: " + f.minimized_sql + "\n";
+    if (!f.detail.empty()) out += f.detail + "\n";
+    out += "--- reference plan (naive) ---\n" + f.naive_explain;
+    out += "--- rewritten plan (full) ---\n" + f.full_explain;
+  }
+  return out;
+}
+
+Result<HarnessReport> RunDifftest(const HarnessOptions& options) {
+  Catalog catalog;
+  ORQ_RETURN_IF_ERROR(BuildDifftestCatalog(&catalog, options.seed));
+  DualOracle oracle(&catalog);
+  QueryGenerator generator(options.seed);
+
+  HarnessReport report;
+  report.seed = options.seed;
+  for (int i = 0; i < options.num_queries; ++i) {
+    QuerySpec spec = generator.Generate();
+    std::string sql = RenderSql(spec);
+    if (options.verbose) {
+      std::fprintf(stderr, "[difftest] #%d: %s\n", i, sql.c_str());
+    }
+    DualOutcome outcome = oracle.Run(sql);
+    ++report.executed;
+    switch (outcome.verdict) {
+      case Verdict::kMatch:
+        ++report.matches;
+        break;
+      case Verdict::kBothError:
+        ++report.both_error;
+        break;
+      case Verdict::kCardinalityTolerated:
+        ++report.cardinality_tolerated;
+        break;
+      case Verdict::kResultMismatch:
+      case Verdict::kErrorMismatch: {
+        HarnessReport::Failure failure;
+        failure.query_index = i;
+        failure.original_sql = sql;
+        QuerySpec minimized = MinimizeDivergence(spec, &oracle);
+        failure.minimized_sql = RenderSql(minimized);
+        DualOutcome final_outcome = oracle.Run(failure.minimized_sql);
+        // Minimization preserves divergence by construction, but record
+        // the final verdict it landed on.
+        failure.verdict = IsDivergence(final_outcome.verdict)
+                              ? final_outcome.verdict
+                              : outcome.verdict;
+        failure.detail = IsDivergence(final_outcome.verdict)
+                             ? final_outcome.detail
+                             : outcome.detail;
+        failure.naive_explain =
+            ExplainSide(oracle.naive_engine(), failure.minimized_sql);
+        failure.full_explain =
+            ExplainSide(oracle.full_engine(), failure.minimized_sql);
+        report.failures.push_back(std::move(failure));
+        if (static_cast<int>(report.failures.size()) >=
+            options.max_failures) {
+          return report;
+        }
+        break;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace orq

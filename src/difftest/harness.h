@@ -1,0 +1,54 @@
+#ifndef ORQ_DIFFTEST_HARNESS_H_
+#define ORQ_DIFFTEST_HARNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "difftest/oracle.h"
+
+namespace orq {
+
+struct HarnessOptions {
+  /// Seeds both the dataset and the query stream.
+  uint64_t seed = 20260806;
+  int num_queries = 500;
+  /// Stop after this many divergences (each one is minimized, which costs
+  /// many oracle executions).
+  int max_failures = 8;
+  /// Print each generated query as it runs (debugging).
+  bool verbose = false;
+};
+
+struct HarnessReport {
+  struct Failure {
+    int query_index = 0;
+    Verdict verdict = Verdict::kResultMismatch;
+    std::string original_sql;
+    std::string minimized_sql;
+    std::string detail;        // bag diff / error texts for the minimized query
+    std::string naive_explain; // reference-side EXPLAIN ANALYZE
+    std::string full_explain;  // rewrite-side EXPLAIN ANALYZE
+  };
+
+  uint64_t seed = 0;
+  int executed = 0;
+  int matches = 0;
+  int both_error = 0;
+  int cardinality_tolerated = 0;
+  std::vector<Failure> failures;
+
+  bool ok() const { return failures.empty(); }
+  /// One-paragraph tally plus, for every failure, the minimized reproducer
+  /// and both plans — ready to paste into a bug report.
+  std::string Summary() const;
+};
+
+/// Builds the difftest catalog, then generates and dual-executes
+/// `options.num_queries` random queries, minimizing every divergence.
+Result<HarnessReport> RunDifftest(const HarnessOptions& options);
+
+}  // namespace orq
+
+#endif  // ORQ_DIFFTEST_HARNESS_H_

@@ -1,0 +1,82 @@
+#include "difftest/minimize.h"
+
+namespace orq {
+
+namespace {
+
+using DivergePredicate = std::function<bool(const QuerySpec&)>;
+
+bool StillDiverges(const QuerySpec& spec, const DivergePredicate& pred,
+                   int* evals) {
+  if (evals != nullptr) ++*evals;
+  return pred(spec);
+}
+
+/// Tries disabling each enabled piece in `pieces`; keeps the removal when
+/// the query still diverges. `min_enabled` guards the select list (SQL
+/// needs at least one item).
+bool ShrinkPieces(std::vector<QuerySpec::Piece>* pieces, QuerySpec* spec,
+                  const DivergePredicate& pred, int* evals,
+                  int min_enabled = 0) {
+  bool changed = false;
+  int enabled = 0;
+  for (const QuerySpec::Piece& p : *pieces) enabled += p.enabled ? 1 : 0;
+  for (QuerySpec::Piece& piece : *pieces) {
+    if (!piece.enabled || enabled <= min_enabled) continue;
+    piece.enabled = false;
+    if (StillDiverges(*spec, pred, evals)) {
+      changed = true;
+      --enabled;
+    } else {
+      piece.enabled = true;
+    }
+  }
+  return changed;
+}
+
+}  // namespace
+
+QuerySpec MinimizeDivergence(QuerySpec spec, const DivergePredicate& pred,
+                             int* evals) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    changed |= ShrinkPieces(&spec.order_by, &spec, pred, evals);
+    changed |= ShrinkPieces(&spec.having, &spec, pred, evals);
+    changed |= ShrinkPieces(&spec.where, &spec, pred, evals);
+    changed |= ShrinkPieces(&spec.select_items, &spec, pred, evals,
+                            /*min_enabled=*/1);
+    // Joins, innermost-last first: a join whose alias is still referenced
+    // produces a bind error (identical on both paths) and reverts.
+    for (auto it = spec.joins.rbegin(); it != spec.joins.rend(); ++it) {
+      if (!it->enabled) continue;
+      it->enabled = false;
+      if (StillDiverges(spec, pred, evals)) {
+        changed = true;
+      } else {
+        it->enabled = true;
+      }
+    }
+    changed |= ShrinkPieces(&spec.group_by, &spec, pred, evals);
+    if (spec.distinct) {
+      spec.distinct = false;
+      if (StillDiverges(spec, pred, evals)) {
+        changed = true;
+      } else {
+        spec.distinct = true;
+      }
+    }
+  }
+  return spec;
+}
+
+QuerySpec MinimizeDivergence(QuerySpec spec, DualOracle* oracle, int* evals) {
+  return MinimizeDivergence(
+      std::move(spec),
+      [oracle](const QuerySpec& candidate) {
+        return IsDivergence(oracle->Run(RenderSql(candidate)).verdict);
+      },
+      evals);
+}
+
+}  // namespace orq

@@ -1,0 +1,29 @@
+#ifndef ORQ_DIFFTEST_MINIMIZE_H_
+#define ORQ_DIFFTEST_MINIMIZE_H_
+
+#include <functional>
+
+#include "difftest/oracle.h"
+#include "difftest/qgen.h"
+
+namespace orq {
+
+/// Greedily shrinks a diverging query: repeatedly disables spec pieces
+/// (ORDER BY keys, HAVING/WHERE conjuncts, select items, joins, GROUP BY
+/// keys, DISTINCT) and keeps each removal only while `still_diverges`
+/// holds for the shrunk spec. Runs to fixpoint. `evals`, if non-null,
+/// counts predicate evaluations.
+QuerySpec MinimizeDivergence(
+    QuerySpec spec, const std::function<bool(const QuerySpec&)>& still_diverges,
+    int* evals = nullptr);
+
+/// Convenience overload: divergence judged by the dual-execution oracle.
+/// Toggles that break name resolution fail binding identically on both
+/// paths — which reads as agreement — so they revert automatically and
+/// the minimizer needs no SQL understanding.
+QuerySpec MinimizeDivergence(QuerySpec spec, DualOracle* oracle,
+                             int* evals = nullptr);
+
+}  // namespace orq
+
+#endif  // ORQ_DIFFTEST_MINIMIZE_H_

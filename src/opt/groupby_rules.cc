@@ -9,13 +9,53 @@ namespace {
 
 /// Shared condition checks for moving a GroupBy through a join whose
 /// preserved side is S and aggregated side is R (paper section 3.1):
-///   (1) join-predicate columns from R end up in the pushed grouping,
+///   (1) every join conjunct keeps S-row multiplicities intact after the
+///       push (see AdmitConjunct),
 ///   (2) a key of S is part of the grouping columns,
 ///   (3) aggregate arguments only use columns of R.
 struct PushAnalysis {
   bool ok = false;
   ColumnSet pushed_grouping;  // grouping for the pushed-down GroupBy
 };
+
+/// Decides whether one join conjunct is compatible with pushing the
+/// GroupBy to R, extending `grouping` as needed. Without a re-aggregation
+/// on top, the rejoin must match each S row with at most one pushed group:
+///   * S-only conjuncts don't constrain R groups at all;
+///   * conjuncts whose R columns are all original grouping columns are
+///     uniform within each group (filtering groups == filtering rows);
+///   * an equality S-expr = R-column pins that R column to one value per
+///     S row, so adding it to the grouping stays single-match.
+/// Anything else (e.g. a range predicate on a non-grouping R column, which
+/// predicate pushdown happily merges into outer-join ON conditions) would
+/// multiply S rows by the number of matching groups — reject.
+bool AdmitConjunct(const ScalarExprPtr& conjunct, const ColumnSet& r_cols,
+                   const ColumnSet& original_grouping, ColumnSet* grouping) {
+  ColumnSet refs;
+  CollectColumnRefsDeep(conjunct, &refs);
+  ColumnSet r_refs = refs.Intersect(r_cols);
+  if (r_refs.empty()) return true;
+  if (r_refs.IsSubsetOf(original_grouping)) {
+    grouping->AddAll(r_refs);
+    return true;
+  }
+  if (conjunct->kind != ScalarKind::kCompare ||
+      conjunct->cmp != CompareOp::kEq) {
+    return false;
+  }
+  for (int r_child = 0; r_child < 2; ++r_child) {
+    const ScalarExprPtr& r_expr = conjunct->children[r_child];
+    const ScalarExprPtr& s_expr = conjunct->children[1 - r_child];
+    ColumnSet s_expr_refs;
+    CollectColumnRefsDeep(s_expr, &s_expr_refs);
+    if (r_expr->kind == ScalarKind::kColumnRef &&
+        r_cols.Contains(r_expr->column) && !s_expr_refs.Intersects(r_cols)) {
+      grouping->Add(r_expr->column);
+      return true;
+    }
+  }
+  return false;
+}
 
 PushAnalysis AnalyzePush(const RelExprPtr& group, const RelExprPtr& join,
                          const RelExprPtr& s_side, const RelExprPtr& r_side) {
@@ -30,10 +70,14 @@ PushAnalysis AnalyzePush(const RelExprPtr& group, const RelExprPtr& join,
     CollectColumnRefsDeep(agg.arg, &refs);
     if (!refs.IsSubsetOf(r_cols)) return out;  // condition (3)
   }
-  ColumnSet pred_refs;
-  CollectColumnRefsDeep(join->predicate, &pred_refs);
-  out.pushed_grouping = group->group_cols.Union(pred_refs).Intersect(r_cols);
-  out.ok = true;  // condition (1) satisfied by extending the grouping
+  out.pushed_grouping = group->group_cols.Intersect(r_cols);
+  for (const ScalarExprPtr& conjunct : SplitConjuncts(join->predicate)) {
+    if (!AdmitConjunct(conjunct, r_cols, group->group_cols,
+                       &out.pushed_grouping)) {
+      return out;  // condition (1) violated
+    }
+  }
+  out.ok = true;
   return out;
 }
 

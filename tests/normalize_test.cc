@@ -13,6 +13,7 @@
 #include "algebra/expr_util.h"
 #include "algebra/printer.h"
 #include "algebra/props.h"
+#include "engine/engine.h"
 #include "normalize/apply_removal.h"
 #include "normalize/normalizer.h"
 #include "normalize/oj_simplify.h"
@@ -486,6 +487,74 @@ TEST_F(NormalizeTest, AntiApplyCountFallback) {
                    MakeArith(ArithOp::kAdd, Ref(e, "ev"), Ref(r, "rk"))}},
       ColumnSet());
   ExpectDecorrelated(MakeApply(ApplyKind::kAnti, gr, inner));
+}
+
+// ---- The count bug (paper section 5.4), end to end ---------------------
+//
+// Scalar COUNT over an empty correlated input must stay 0 after identity
+// (9) turns the scalar GroupBy into a vector GroupBy below a left outer
+// join; without the repair, the NULL-padded row would surface NULL (or
+// count 1) instead. r.rk=4 has no e rows (empty group); e.fk=2's single
+// row has ev NULL (all-NULL group).
+
+TEST_F(NormalizeTest, CountBugEmptyGroupYieldsZero) {
+  QueryEngine engine(&catalog_);
+  Result<QueryEngine::Compiled> compiled = engine.Compile(
+      "select rk, (select count(ev) from e where e.fk = r.rk) from r "
+      "order by rk");
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  // The correlation must actually be removed — this test covers the
+  // rewritten path, not literal Apply execution.
+  EXPECT_EQ(CountKind(compiled->normalized, RelKind::kApply), 0)
+      << PrintRelTree(*compiled->normalized, compiled->columns.get());
+
+  Result<QueryResult> result = engine.ExecuteCompiled(*compiled);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->rows.size(), 4u);
+  EXPECT_EQ(result->rows[0][1].int64_value(), 2);  // rk=1: ev {5, 7}
+  EXPECT_EQ(result->rows[1][1].int64_value(), 0);  // rk=2: all-NULL group
+  EXPECT_EQ(result->rows[2][1].int64_value(), 2);  // rk=3: ev {9, 1}
+  ASSERT_FALSE(result->rows[3][1].is_null());      // rk=4: empty group...
+  EXPECT_EQ(result->rows[3][1].int64_value(), 0);  // ...counts 0, not NULL
+}
+
+TEST_F(NormalizeTest, CountBugCountStarDistinguishesEmptyFromNullRows) {
+  QueryEngine engine(&catalog_);
+  Result<QueryResult> result = engine.Execute(
+      "select rk, (select count(*) from e where e.fk = r.rk) from r "
+      "order by rk");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->rows.size(), 4u);
+  EXPECT_EQ(result->rows[1][1].int64_value(), 1);  // rk=2: one NULL-ev row
+  EXPECT_EQ(result->rows[3][1].int64_value(), 0);  // rk=4: truly empty
+}
+
+TEST_F(NormalizeTest, SumOverEmptyCorrelatedGroupStaysNull) {
+  // Contrast: NULL-on-empty aggregates need no repair — sum over the
+  // empty (rk=4) and all-NULL (rk=2) groups is NULL either way.
+  QueryEngine engine(&catalog_);
+  Result<QueryResult> result = engine.Execute(
+      "select rk, (select sum(ev) from e where e.fk = r.rk) from r "
+      "order by rk");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->rows.size(), 4u);
+  EXPECT_EQ(result->rows[0][1].int64_value(), 12);  // rk=1: 5 + 7
+  EXPECT_TRUE(result->rows[1][1].is_null());        // rk=2: all-NULL group
+  EXPECT_TRUE(result->rows[3][1].is_null());        // rk=4: empty group
+}
+
+TEST_F(NormalizeTest, CountBugSurvivesFilterAboveSubquery) {
+  // The paper's original count-bug shape: a predicate compares the counted
+  // result, so a wrong NULL for empty groups silently drops rows instead
+  // of producing a visible NULL. rk=2 and rk=4 have count 0 < 1.
+  QueryEngine engine(&catalog_);
+  Result<QueryResult> result = engine.Execute(
+      "select rk from r "
+      "where (select count(ev) from e where e.fk = r.rk) < 1 order by rk");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->rows.size(), 2u);
+  EXPECT_EQ(result->rows[0][0].int64_value(), 2);
+  EXPECT_EQ(result->rows[1][0].int64_value(), 4);
 }
 
 }  // namespace

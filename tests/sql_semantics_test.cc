@@ -64,6 +64,67 @@ TEST_F(SqlSemanticsTest, NotInSubqueryWithNullInResult) {
             3u);
 }
 
+TEST_F(SqlSemanticsTest, NotInWithNullProbeNeverPasses) {
+  // The probe side carries the NULL this time: v NOT IN {10} is UNKNOWN
+  // for the v=NULL row, so only k=3 (v=30) survives. The antijoin rewrite
+  // must not let the NULL probe row slip through (a NULL on either side of
+  // the anti-join comparison may not admit the outer row).
+  EXPECT_EQ(Run("select k from t where v not in "
+                "(select w from s where w is not null)")
+                .rows.size(),
+            1u);
+  // Same probe against an empty set: NOT IN is TRUE for every row,
+  // including the NULL probe.
+  EXPECT_EQ(Run("select k from t where v not in (select x from empty)")
+                .rows.size(),
+            3u);
+}
+
+TEST_F(SqlSemanticsTest, NotExistsPassesWhereNotInDoesNot) {
+  // Contrast with NOT IN: NOT EXISTS is purely two-valued. For the v=NULL
+  // row the correlated comparison matches nothing, so NOT EXISTS is TRUE
+  // and k=2 passes — as does k=3 (30 matches no w). Only k=1 matches.
+  EXPECT_EQ(Run("select k from t where not exists "
+                "(select * from s where s.w = t.v)")
+                .rows.size(),
+            2u);
+}
+
+TEST_F(SqlSemanticsTest, NotInCorrelatedWithNullsOnBothSides) {
+  // Correlated NOT IN where both the probe (v) and the subquery rows (w)
+  // carry NULLs. Subquery per outer row: {w : w IS NULL OR w >= v}.
+  // k=1 (v=10):   {NULL, 10} -> 10 NOT IN: matches 10 -> FALSE -> drop.
+  // k=2 (v=NULL): {NULL}     -> NULL NOT IN {NULL} -> UNKNOWN -> drop.
+  // k=3 (v=30):   {NULL}     -> 30 NOT IN {NULL} -> UNKNOWN -> drop.
+  // Every row drops, each for a different three-valued-logic reason.
+  EXPECT_EQ(Run("select k from t where v not in "
+                "(select w from s where s.w is null or s.w >= t.v)")
+                .rows.size(),
+            0u);
+  // Flip to IN: only k=1 has a definite match.
+  QueryResult in_result = Run(
+      "select k from t where v in "
+      "(select w from s where s.w is null or s.w >= t.v)");
+  ASSERT_EQ(in_result.rows.size(), 1u);
+  EXPECT_EQ(in_result.rows[0][0].int64_value(), 1);
+}
+
+TEST_F(SqlSemanticsTest, NotEqualAllIsNotInDual) {
+  // x <> ALL (...) is exactly NOT IN: NULL in the subquery result poisons
+  // every definite pass.
+  EXPECT_EQ(Run("select k from t where k <> all (select w from s)")
+                .rows.size(),
+            0u);
+  EXPECT_EQ(Run("select k from t where k <> all "
+                "(select w from s where w is not null)")
+                .rows.size(),
+            3u);  // k values {1,2,3} never equal w=10
+  EXPECT_EQ(Run("select k from t where v <> all "
+                "(select w from s where w is not null)")
+                .rows.size(),
+            1u);  // v=10 fails, v=NULL unknown, v=30 passes
+}
+
 TEST_F(SqlSemanticsTest, InSubqueryMatchesThroughNull) {
   // k=1... v values {10, NULL, 30}; w values {10, NULL}.
   EXPECT_EQ(Run("select k from t where v in (select w from s)").rows.size(),
@@ -119,6 +180,34 @@ TEST_F(SqlSemanticsTest, Max1rowErrorSurfacesThroughSql) {
       engine.Execute("select k, (select w from s) from t");
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kCardinalityViolation);
+}
+
+TEST_F(SqlSemanticsTest, Max1rowCorrelatedCardinalityViolation) {
+  // Correlated scalar subquery that returns two rows for the v=10 outer
+  // row: the Max1row guard must raise kCardinalityViolation at run time —
+  // through the Volcano Next chain and out of QueryEngine::Execute — and
+  // must do so on the decorrelated plan as well as the literal Apply plan
+  // (no silent truncation to the first row on either path).
+  Table* dup = *catalog_.CreateTable("dup", {{"d", DataType::kInt64, true}});
+  ASSERT_TRUE(dup->Append({Value::Int64(10)}).ok());
+  ASSERT_TRUE(dup->Append({Value::Int64(10)}).ok());
+
+  const std::string sql = "select k, (select d from dup where d = t.v) from t";
+  QueryEngine full(&catalog_);
+  Result<QueryResult> full_result = full.Execute(sql);
+  ASSERT_FALSE(full_result.ok());
+  EXPECT_EQ(full_result.status().code(), StatusCode::kCardinalityViolation);
+
+  QueryEngine correlated(&catalog_, EngineOptions::CorrelatedOnly());
+  Result<QueryResult> apply_result = correlated.Execute(sql);
+  ASSERT_FALSE(apply_result.ok());
+  EXPECT_EQ(apply_result.status().code(), StatusCode::kCardinalityViolation);
+
+  // A key-pinned correlation stays within one row and must not error.
+  Result<QueryResult> pinned =
+      full.Execute("select k, (select v from t t2 where t2.k = t.k) from t");
+  ASSERT_TRUE(pinned.ok()) << pinned.status().ToString();
+  EXPECT_EQ(pinned->rows.size(), 3u);
 }
 
 TEST_F(SqlSemanticsTest, DivisionByZeroSurfaces) {

@@ -2,6 +2,10 @@
 // hashing consistency, date handling, formatting.
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <optional>
+#include <vector>
+
 #include "common/value.h"
 
 namespace orq {
@@ -104,6 +108,156 @@ TEST(RowHashTest, GroupSemantics) {
   EXPECT_TRUE(eq(a, b));
   EXPECT_EQ(hash(a), hash(b));
   EXPECT_FALSE(eq(a, c));
+}
+
+// ---------------------------------------------------------------------------
+// Property tests over an adversarial value pool: hash/equality consistency
+// and strict-weak-ordering of TotalCompare. These pin down the cases that
+// make hash joins and GroupBy silently wrong when they drift: -0.0 vs 0.0,
+// NaN, int64/double values near 2^53 where double loses integer precision,
+// and INT64_MAX where a naive double->int64 cast is undefined behaviour.
+// ---------------------------------------------------------------------------
+
+std::vector<Value> AdversarialPool() {
+  std::vector<Value> pool = {
+      Value::Null(DataType::kInt64),
+      Value::Null(DataType::kDouble),
+      Value::Null(DataType::kString),
+      Value::Bool(false),
+      Value::Bool(true),
+      Value::Int64(0),
+      Value::Int64(-1),
+      Value::Int64(1),
+      Value::Int64(42),
+      Value::Int64((int64_t{1} << 53) - 1),
+      Value::Int64(int64_t{1} << 53),
+      Value::Int64((int64_t{1} << 53) + 1),
+      Value::Int64(std::numeric_limits<int64_t>::max()),
+      Value::Int64(std::numeric_limits<int64_t>::min()),
+      Value::Double(0.0),
+      Value::Double(-0.0),
+      Value::Double(1.0),
+      Value::Double(42.0),
+      Value::Double(42.5),
+      Value::Double(9007199254740992.0),  // 2^53
+      Value::Double(9223372036854775808.0),  // 2^63, > INT64_MAX
+      Value::Double(-9223372036854775808.0),  // == INT64_MIN exactly
+      Value::Double(std::numeric_limits<double>::infinity()),
+      Value::Double(-std::numeric_limits<double>::infinity()),
+      Value::Double(std::numeric_limits<double>::quiet_NaN()),
+      Value::String(""),
+      Value::String("a"),
+      Value::String("b"),
+      Value::Date(0),
+      Value::Date(9131),
+  };
+  return pool;
+}
+
+TEST(ValuePropertyTest, GroupEqualsImpliesEqualHash) {
+  std::vector<Value> pool = AdversarialPool();
+  for (const Value& a : pool) {
+    for (const Value& b : pool) {
+      if (a.GroupEquals(b)) {
+        EXPECT_EQ(a.Hash(), b.Hash())
+            << a.ToString() << " groups with " << b.ToString()
+            << " but hashes differ";
+      }
+    }
+  }
+}
+
+TEST(ValuePropertyTest, TotalCompareIsAStrictWeakOrder) {
+  std::vector<Value> pool = AdversarialPool();
+  for (const Value& a : pool) {
+    // Irreflexivity of <, reflexivity of ==.
+    EXPECT_EQ(a.TotalCompare(a), 0) << a.ToString();
+    for (const Value& b : pool) {
+      // Antisymmetry.
+      EXPECT_EQ(a.TotalCompare(b), -b.TotalCompare(a))
+          << a.ToString() << " vs " << b.ToString();
+      for (const Value& c : pool) {
+        // Transitivity of <=.
+        if (a.TotalCompare(b) <= 0 && b.TotalCompare(c) <= 0) {
+          EXPECT_LE(a.TotalCompare(c), 0)
+              << a.ToString() << " <= " << b.ToString() << " <= "
+              << c.ToString();
+        }
+      }
+    }
+  }
+}
+
+TEST(ValuePropertyTest, SqlCompareAgreesWithTotalCompareOnNonNulls) {
+  // Wherever both are defined and neither operand is NULL or NaN, the SQL
+  // order and the total order must agree — otherwise a sort-based and a
+  // hash-based plan for the same query can return different rows.
+  std::vector<Value> pool = AdversarialPool();
+  for (const Value& a : pool) {
+    for (const Value& b : pool) {
+      std::optional<int> sql = a.SqlCompare(b);
+      if (!sql.has_value()) continue;
+      EXPECT_EQ(*sql < 0, a.TotalCompare(b) < 0)
+          << a.ToString() << " vs " << b.ToString();
+      EXPECT_EQ(*sql == 0, a.TotalCompare(b) == 0)
+          << a.ToString() << " vs " << b.ToString();
+    }
+  }
+}
+
+TEST(ValuePropertyTest, CrossTypeNumericComparisonIsExact) {
+  // 2^53 + 1 is not representable as a double; a lossy promote-to-double
+  // compare would call these equal.
+  Value big_int = Value::Int64((int64_t{1} << 53) + 1);
+  Value big_dbl = Value::Double(9007199254740992.0);  // 2^53
+  ASSERT_TRUE(big_int.SqlCompare(big_dbl).has_value());
+  EXPECT_GT(*big_int.SqlCompare(big_dbl), 0);
+  EXPECT_GT(big_int.TotalCompare(big_dbl), 0);
+
+  // INT64_MAX < 2^63 even though (double)INT64_MAX == 2^63.
+  Value imax = Value::Int64(std::numeric_limits<int64_t>::max());
+  Value two63 = Value::Double(9223372036854775808.0);
+  EXPECT_LT(*imax.SqlCompare(two63), 0);
+  EXPECT_LT(imax.TotalCompare(two63), 0);
+
+  // Exact equality across types still holds where it is genuine.
+  EXPECT_EQ(*Value::Int64(42).SqlCompare(Value::Double(42.0)), 0);
+  EXPECT_EQ(Value::Int64(int64_t{1} << 53)
+                .TotalCompare(Value::Double(9007199254740992.0)),
+            0);
+  // Fractional doubles order strictly between neighbouring integers.
+  EXPECT_LT(*Value::Int64(42).SqlCompare(Value::Double(42.5)), 0);
+  EXPECT_GT(*Value::Int64(43).SqlCompare(Value::Double(42.5)), 0);
+}
+
+TEST(ValuePropertyTest, NegativeZeroAndNaNGroupingKeys) {
+  // -0.0 and 0.0 are one group (IEEE equality) and must share a hash.
+  Value pz = Value::Double(0.0);
+  Value nz = Value::Double(-0.0);
+  EXPECT_TRUE(pz.GroupEquals(nz));
+  EXPECT_EQ(pz.Hash(), nz.Hash());
+  EXPECT_TRUE(pz.GroupEquals(Value::Int64(0)));
+  EXPECT_EQ(nz.Hash(), Value::Int64(0).Hash());
+
+  // NaN is a single self-equal group under the total order (so GroupBy
+  // produces one NaN group, not one per row) and hashes consistently.
+  Value nan1 = Value::Double(std::numeric_limits<double>::quiet_NaN());
+  Value nan2 = Value::Double(-std::numeric_limits<double>::quiet_NaN());
+  EXPECT_TRUE(nan1.GroupEquals(nan2));
+  EXPECT_EQ(nan1.Hash(), nan2.Hash());
+  // NaN sorts after every ordinary numeric, including +inf.
+  EXPECT_GT(nan1.TotalCompare(
+                Value::Double(std::numeric_limits<double>::infinity())),
+            0);
+  EXPECT_GT(nan1.TotalCompare(Value::Int64(
+                std::numeric_limits<int64_t>::max())),
+            0);
+  // But SQL comparison with NaN involved is simply whatever the total
+  // order says only for sorting; SqlCompare never claims NaN == a number.
+  std::optional<int> c = nan1.SqlCompare(Value::Double(1.0));
+  if (c.has_value()) {
+    EXPECT_NE(*c, 0);
+  }
 }
 
 }  // namespace

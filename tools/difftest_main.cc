@@ -1,0 +1,50 @@
+// Differential testing driver: dual-executes seeded random queries on the
+// naive reference engine and the full rewrite pipeline, and reports any
+// bag-comparison divergence with a minimized reproducer and both plans.
+//
+// Usage: difftest [--seed N] [--queries N] [--max-failures N] [--verbose]
+//
+// Exit code 0 when every query agreed, 1 on divergence, 2 on setup error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "difftest/harness.h"
+
+int main(int argc, char** argv) {
+  orq::HarnessOptions options;
+  for (int i = 1; i < argc; ++i) {
+    auto next_int = [&](const char* flag) -> long long {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        std::exit(2);
+      }
+      return std::atoll(argv[++i]);
+    };
+    if (std::strcmp(argv[i], "--seed") == 0) {
+      options.seed = static_cast<uint64_t>(next_int("--seed"));
+    } else if (std::strcmp(argv[i], "--queries") == 0) {
+      options.num_queries = static_cast<int>(next_int("--queries"));
+    } else if (std::strcmp(argv[i], "--max-failures") == 0) {
+      options.max_failures = static_cast<int>(next_int("--max-failures"));
+    } else if (std::strcmp(argv[i], "--verbose") == 0) {
+      options.verbose = true;
+    } else {
+      std::fprintf(stderr,
+                   "unknown argument %s\nusage: difftest [--seed N] "
+                   "[--queries N] [--max-failures N] [--verbose]\n",
+                   argv[i]);
+      return 2;
+    }
+  }
+
+  orq::Result<orq::HarnessReport> report = orq::RunDifftest(options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "difftest setup failed: %s\n",
+                 report.status().ToString().c_str());
+    return 2;
+  }
+  std::fputs(report->Summary().c_str(), stdout);
+  return report->ok() ? 0 : 1;
+}
