@@ -62,4 +62,4 @@ BENCHMARK(BM_CorrelatedNoIndex)
 }  // namespace bench
 }  // namespace orq
 
-BENCHMARK_MAIN();
+ORQ_BENCH_MAIN();

@@ -116,4 +116,4 @@ BENCHMARK(BM_FullOptimizer)->Apply(StrategyArgs);
 }  // namespace bench
 }  // namespace orq
 
-BENCHMARK_MAIN();
+ORQ_BENCH_MAIN();

@@ -40,4 +40,4 @@ struct Registrar {
 }  // namespace bench
 }  // namespace orq
 
-BENCHMARK_MAIN();
+ORQ_BENCH_MAIN();

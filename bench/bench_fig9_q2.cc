@@ -39,4 +39,4 @@ struct Registrar {
 }  // namespace bench
 }  // namespace orq
 
-BENCHMARK_MAIN();
+ORQ_BENCH_MAIN();

@@ -102,4 +102,4 @@ BENCHMARK(BM_ReorderDisabled)->Apply(SweepArgs);
 }  // namespace bench
 }  // namespace orq
 
-BENCHMARK_MAIN();
+ORQ_BENCH_MAIN();

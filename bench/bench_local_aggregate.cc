@@ -85,4 +85,4 @@ BENCHMARK(BM_LocalAggregateDisabled)->Apply(SweepArgs);
 }  // namespace bench
 }  // namespace orq
 
-BENCHMARK_MAIN();
+ORQ_BENCH_MAIN();

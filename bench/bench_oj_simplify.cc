@@ -62,4 +62,4 @@ BENCHMARK(BM_DecorrelatedAgg_Kept)->Apply(SweepArgs);
 }  // namespace bench
 }  // namespace orq
 
-BENCHMARK_MAIN();
+ORQ_BENCH_MAIN();

@@ -66,4 +66,4 @@ BENCHMARK(BM_Q17SelfJoinForm_NoSA)->Apply(SweepArgs);
 }  // namespace bench
 }  // namespace orq
 
-BENCHMARK_MAIN();
+ORQ_BENCH_MAIN();

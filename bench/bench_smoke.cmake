@@ -1,13 +1,16 @@
-# Smoke-checks the benchmark -> stats-JSON pipeline: run one tiny benchmark
-# with ORQ_STATS_JSON pointed at a scratch file, then validate every emitted
-# line parses as JSON. Driven by the bench_smoke ctest:
+# Smoke-checks the benchmark -> JSON pipelines: run one tiny benchmark with
+# ORQ_STATS_JSON pointed at a scratch file and `--json` pointed at another,
+# then validate every emitted line of both parses as JSON. Driven by the
+# bench_smoke ctest:
 #   cmake -DBENCH_BIN=<bin> -DJSON_CHECK=<bin> -DOUT=<file> -P bench_smoke.cmake
 file(REMOVE "${OUT}")
+file(REMOVE "${OUT}.bench")
 execute_process(
   COMMAND ${CMAKE_COMMAND} -E env "ORQ_STATS_JSON=${OUT}"
           "${BENCH_BIN}"
           "--benchmark_filter=BM_FullOptimizer/10/10$"
           "--benchmark_min_time=0.001"
+          "--json" "${OUT}.bench"
   RESULT_VARIABLE bench_result)
 if(NOT bench_result EQUAL 0)
   message(FATAL_ERROR "benchmark run failed with ${bench_result}")
@@ -16,4 +19,10 @@ execute_process(COMMAND "${JSON_CHECK}" "${OUT}"
   RESULT_VARIABLE check_result)
 if(NOT check_result EQUAL 0)
   message(FATAL_ERROR "stats JSON validation failed with ${check_result}")
+endif()
+execute_process(COMMAND "${JSON_CHECK}" "${OUT}.bench"
+  RESULT_VARIABLE bench_check_result)
+if(NOT bench_check_result EQUAL 0)
+  message(FATAL_ERROR
+          "--json bench report validation failed with ${bench_check_result}")
 endif()

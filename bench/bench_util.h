@@ -5,15 +5,27 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "engine/engine.h"
+#include "obs/json.h"
+#include "obs/report.h"
 #include "tpch/tpch_gen.h"
 
 namespace orq {
 namespace bench {
+
+/// Destination of the machine-readable benchmark report, set by the
+/// `--json <path>` flag that ORQ_BENCH_MAIN strips before handing argv to
+/// google-benchmark. Empty when no report was requested.
+inline std::string& BenchJsonPath() {
+  static auto* path = new std::string();
+  return *path;
+}
 
 /// Scale factors are passed through google-benchmark's integer Args as
 /// "milli scale factor": 5 -> SF 0.005.
@@ -66,8 +78,20 @@ inline void MaybeDumpStatsJson(QueryEngine* engine, const std::string& sql,
   std::fclose(file);
 }
 
+/// Largest hash-table/buffer cardinality any operator in the plan held.
+inline int64_t MaxPeakCardinality(const PlanStatsNode& node) {
+  int64_t peak = node.stats.peak_cardinality;
+  for (const PlanStatsNode& child : node.children) {
+    int64_t p = MaxPeakCardinality(child);
+    if (p > peak) peak = p;
+  }
+  return peak;
+}
+
 /// Runs one query per benchmark iteration; reports result rows and the
-/// engine's rows_produced work metric as counters.
+/// engine's rows_produced work metric as counters. When a `--json` report
+/// was requested, also re-runs the query once instrumented (outside the
+/// timing loop) to report peak cardinality.
 inline void RunQueryBenchmark(benchmark::State& state, Catalog* catalog,
                               const EngineOptions& options,
                               const std::string& sql,
@@ -90,6 +114,13 @@ inline void RunQueryBenchmark(benchmark::State& state, Catalog* catalog,
   }
   state.counters["result_rows"] = static_cast<double>(result_rows);
   state.counters["rows_produced"] = static_cast<double>(produced);
+  if (!BenchJsonPath().empty()) {
+    Result<AnalyzedQuery> analyzed = engine.ExecuteAnalyzed(sql);
+    if (analyzed.ok()) {
+      state.counters["peak_cardinality"] =
+          static_cast<double>(MaxPeakCardinality(analyzed->plan));
+    }
+  }
   MaybeDumpStatsJson(&engine, sql, label);
 }
 
@@ -110,7 +141,86 @@ inline const std::vector<NamedConfig>& Configurations() {
   return *configs;
 }
 
+/// Console reporter that additionally collects every finished run so
+/// ORQ_BENCH_MAIN can serialize them after the suite completes.
+class JsonLinesReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    runs_.insert(runs_.end(), reports.begin(), reports.end());
+    benchmark::ConsoleReporter::ReportRuns(reports);
+  }
+  const std::vector<Run>& runs() const { return runs_; }
+
+ private:
+  std::vector<Run> runs_;
+};
+
+/// Writes one JSON object per run (JSON-lines, the BENCH_*.json baseline
+/// format): name, iterations, per-iteration wall_ms, every user counter
+/// (result_rows, rows_produced, peak_cardinality), and an error flag.
+inline bool WriteBenchJson(
+    const std::string& path,
+    const std::vector<benchmark::BenchmarkReporter::Run>& runs) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "--json: cannot open %s\n", path.c_str());
+    return false;
+  }
+  for (const benchmark::BenchmarkReporter::Run& run : runs) {
+    std::string line = "{\"name\":";
+    AppendJsonString(run.benchmark_name(), &line);
+    char buf[64];
+    std::snprintf(buf, sizeof buf, ",\"iterations\":%lld",
+                  static_cast<long long>(run.iterations));
+    line += buf;
+    const double wall_ms =
+        run.iterations > 0
+            ? run.real_accumulated_time * 1e3 /
+                  static_cast<double>(run.iterations)
+            : run.real_accumulated_time * 1e3;
+    std::snprintf(buf, sizeof buf, ",\"wall_ms\":%.6g", wall_ms);
+    line += buf;
+    for (const auto& [counter_name, counter] : run.counters) {
+      line += ',';
+      AppendJsonString(counter_name, &line);
+      std::snprintf(buf, sizeof buf, ":%.17g", counter.value);
+      line += buf;
+    }
+    line += run.error_occurred ? ",\"error\":true}" : ",\"error\":false}";
+    std::fprintf(file, "%s\n", line.c_str());
+  }
+  std::fclose(file);
+  return true;
+}
+
 }  // namespace bench
 }  // namespace orq
+
+/// Drop-in replacement for BENCHMARK_MAIN() that understands
+/// `--json <path>`: runs the suite normally (console output preserved) and
+/// then writes the machine-readable JSON-lines report.
+#define ORQ_BENCH_MAIN()                                                    \
+  int main(int argc, char** argv) {                                         \
+    std::string json_path;                                                  \
+    int kept = 1;                                                           \
+    for (int i = 1; i < argc; ++i) {                                        \
+      if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {            \
+        json_path = argv[++i];                                              \
+      } else {                                                              \
+        argv[kept++] = argv[i];                                             \
+      }                                                                     \
+    }                                                                       \
+    argc = kept;                                                            \
+    ::orq::bench::BenchJsonPath() = json_path;                              \
+    ::benchmark::Initialize(&argc, argv);                                   \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;     \
+    ::orq::bench::JsonLinesReporter reporter;                               \
+    ::benchmark::RunSpecifiedBenchmarks(&reporter);                         \
+    bool json_ok = json_path.empty() ||                                     \
+                   ::orq::bench::WriteBenchJson(json_path, reporter.runs());\
+    ::benchmark::Shutdown();                                                \
+    return json_ok ? 0 : 1;                                                 \
+  }                                                                         \
+  static_assert(true, "require trailing semicolon")
 
 #endif  // ORQ_BENCH_BENCH_UTIL_H_

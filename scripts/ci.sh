@@ -14,6 +14,20 @@ cmake --preset release >/dev/null
 cmake --build --preset release -j "${JOBS}"
 ctest --preset release -j "${JOBS}"
 
+echo "=== Release bench smoke (--json pipeline) ==="
+# One short run of every figure suite with the machine-readable report on,
+# each validated through the strict JSON checker. Guards the BENCH_*.json
+# baseline format without paying full benchmark time in CI.
+BENCH_SMOKE_DIR=build/bench_smoke_json
+mkdir -p "${BENCH_SMOKE_DIR}"
+for bench_bin in build/bench/bench_*; do
+  [ -x "${bench_bin}" ] || continue
+  name="$(basename "${bench_bin}")"
+  "${bench_bin}" --benchmark_min_time=0.001 \
+    --json "${BENCH_SMOKE_DIR}/${name}.json" >/dev/null
+  build/tools/json_check "${BENCH_SMOKE_DIR}/${name}.json"
+done
+
 echo "=== ASan+UBSan build + tests ==="
 cmake --preset asan >/dev/null
 cmake --build --preset asan -j "${JOBS}"

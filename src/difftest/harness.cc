@@ -46,7 +46,12 @@ std::string HarnessReport::Summary() const {
 Result<HarnessReport> RunDifftest(const HarnessOptions& options) {
   Catalog catalog;
   ORQ_RETURN_IF_ERROR(BuildDifftestCatalog(&catalog, options.seed));
-  DualOracle oracle(&catalog);
+  EngineOptions naive_options = NaiveReferenceOptions();
+  naive_options.exec.batched = options.reference_batched;
+  EngineOptions full_options = EngineOptions::Full();
+  full_options.exec.batched = options.test_batched;
+  DualOracle oracle(&catalog, std::move(naive_options),
+                    std::move(full_options));
   QueryGenerator generator(options.seed);
 
   HarnessReport report;

@@ -19,6 +19,11 @@ struct HarnessOptions {
   int max_failures = 8;
   /// Print each generated query as it runs (debugging).
   bool verbose = false;
+  /// Execution mode per side. Defaults exercise the batched path on both;
+  /// flipping reference_batched off cross-checks batched execution against
+  /// the row-at-a-time Volcano engine (mixed mode).
+  bool reference_batched = true;
+  bool test_batched = true;
 };
 
 struct HarnessReport {

@@ -56,8 +56,14 @@ struct DualOutcome {
 class DualOracle {
  public:
   explicit DualOracle(Catalog* catalog)
-      : naive_(catalog, NaiveReferenceOptions()),
-        full_(catalog, EngineOptions::Full()) {}
+      : DualOracle(catalog, NaiveReferenceOptions(), EngineOptions::Full()) {}
+
+  /// Explicit per-side configurations — used to cross-check execution
+  /// modes (e.g. row-at-a-time reference vs batched test engine).
+  DualOracle(Catalog* catalog, EngineOptions naive_options,
+             EngineOptions full_options)
+      : naive_(catalog, std::move(naive_options)),
+        full_(catalog, std::move(full_options)) {}
 
   DualOutcome Run(const std::string& sql);
 

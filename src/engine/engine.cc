@@ -119,6 +119,8 @@ Result<QueryResult> QueryEngine::ExecuteCompiled(const Compiled& compiled) {
       BuildPhysicalPlan(compiled.optimized, *compiled.columns,
                         options_.physical));
   ExecContext ctx;
+  ctx.batched = options_.exec.batched;
+  ctx.batch_size = options_.exec.batch_size;
   return RunAndProject(plan.get(), compiled, &ctx);
 }
 
@@ -140,6 +142,8 @@ Result<AnalyzedQuery> QueryEngine::ExecuteAnalyzed(const std::string& sql) {
   StatsCollector collector;
   ExecContext ctx;
   ctx.stats = &collector;
+  ctx.batched = options_.exec.batched;
+  ctx.batch_size = options_.exec.batch_size;
   const int64_t start = ObsNowNanos();
   ORQ_ASSIGN_OR_RETURN(analyzed.result,
                        RunAndProject(plan.get(), compiled, &ctx));

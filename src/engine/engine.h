@@ -6,6 +6,7 @@
 
 #include "catalog/catalog.h"
 #include "common/result.h"
+#include "exec/exec.h"
 #include "normalize/normalizer.h"
 #include "obs/report.h"
 #include "obs/trace.h"
@@ -47,6 +48,9 @@ struct EngineOptions {
   NormalizerOptions normalizer;
   OptimizerOptions optimizer;
   PhysicalBuildOptions physical;
+  /// Execution mode: batch-at-a-time (default) or row-at-a-time Volcano.
+  /// Both produce identical results; the difftest oracle cross-checks them.
+  ExecOptions exec;
 
   /// Named configurations used across benchmarks/EXPERIMENTS.md.
   static EngineOptions Full();

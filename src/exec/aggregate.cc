@@ -3,6 +3,7 @@
 
 #include "exec/evaluator.h"
 #include "exec/ops.h"
+#include "exec/packed_key.h"
 
 namespace orq {
 
@@ -45,24 +46,34 @@ class HashAggregateOp : public PhysicalOp {
 
   Status OpenImpl(ExecContext* ctx) override {
     groups_.clear();
+    accs_.clear();
     order_.clear();
     ORQ_RETURN_IF_ERROR(children_[0]->Open(ctx));
-    Row row;
+    // Batched input drain; group keys probe a packed-key map (hash
+    // computed once per probe, key values copied only on a new group) that
+    // indexes dense per-group accumulator storage.
+    RowBatch batch(ctx->batch_size);
+    Row key(group_slots_.size());
     while (true) {
-      Result<bool> more = children_[0]->Next(ctx, &row);
-      if (!more.ok()) return more.status();
-      if (!*more) break;
-      Row key(group_slots_.size());
-      for (size_t i = 0; i < group_slots_.size(); ++i) {
-        key[i] = row[group_slots_[i]];
+      ORQ_RETURN_IF_ERROR(children_[0]->NextBatch(ctx, &batch));
+      if (batch.empty()) break;
+      for (size_t r = 0; r < batch.size(); ++r) {
+        const Row& row = batch.row(r);
+        for (size_t i = 0; i < group_slots_.size(); ++i) {
+          key[i] = row[group_slots_[i]];
+        }
+        auto it = groups_.find(key);
+        if (it == groups_.end()) {
+          it = groups_
+                   .emplace(PackedKey(std::move(key)),
+                            static_cast<uint32_t>(accs_.size()))
+                   .first;
+          key = Row(group_slots_.size());
+          accs_.emplace_back(aggs_.size());
+          order_.push_back(&it->first.values);
+        }
+        ORQ_RETURN_IF_ERROR(Accumulate(&accs_[it->second], row, ctx));
       }
-      auto it = groups_.find(key);
-      if (it == groups_.end()) {
-        it = groups_.emplace(key, std::vector<Accumulator>(aggs_.size()))
-                 .first;
-        order_.push_back(&*it);
-      }
-      ORQ_RETURN_IF_ERROR(Accumulate(&it->second, row, ctx));
     }
     children_[0]->Close();
     RecordPeak(static_cast<int64_t>(groups_.size()));
@@ -84,16 +95,30 @@ class HashAggregateOp : public PhysicalOp {
       return true;
     }
     if (emit_pos_ >= order_.size()) return false;
-    const auto& [key, accs] = *order_[emit_pos_++];
-    *row = key;
+    *row = *order_[emit_pos_];
+    const std::vector<Accumulator>& accs = accs_[emit_pos_++];
     for (size_t i = 0; i < aggs_.size(); ++i) {
       row->push_back(Finalize(aggs_[i], accs[i]));
     }
     return true;
   }
 
+  Status NextBatchImpl(ExecContext* ctx, RowBatch* out) override {
+    if (scalar_ && groups_.empty()) return FillFromNextImpl(ctx, out);
+    while (emit_pos_ < order_.size() && !out->full()) {
+      Row& slot = out->PushRow();
+      slot = *order_[emit_pos_];
+      const std::vector<Accumulator>& accs = accs_[emit_pos_++];
+      for (size_t i = 0; i < aggs_.size(); ++i) {
+        slot.push_back(Finalize(aggs_[i], accs[i]));
+      }
+    }
+    return Status::OK();
+  }
+
   void CloseImpl() override {
     groups_.clear();
+    accs_.clear();
     order_.clear();
   }
 
@@ -178,10 +203,12 @@ class HashAggregateOp : public PhysicalOp {
   bool scalar_;
   std::vector<int> group_slots_;
   std::vector<Evaluator> arg_evals_;
-  using GroupMap =
-      std::unordered_map<Row, std::vector<Accumulator>, RowHash, RowGroupEq>;
-  GroupMap groups_;
-  std::vector<GroupMap::value_type*> order_;  // deterministic emit order
+  /// Group index: packed key -> dense accumulator slot. Accumulators live
+  /// contiguously in accs_; order_ pins insertion order for deterministic
+  /// emission (key rows are node-stable in the unordered_map).
+  std::unordered_map<PackedKey, uint32_t, PackedKeyHash, PackedKeyEq> groups_;
+  std::vector<std::vector<Accumulator>> accs_;
+  std::vector<const Row*> order_;  // deterministic emit order
   size_t emit_pos_ = 0;
 };
 

@@ -5,15 +5,17 @@ namespace orq {
 Result<std::vector<Row>> ExecuteToVector(PhysicalOp* plan, ExecContext* ctx) {
   std::vector<Row> rows;
   ORQ_RETURN_IF_ERROR(plan->Open(ctx));
-  Row row;
+  RowBatch batch(ctx->batch_size);
   while (true) {
-    Result<bool> more = plan->Next(ctx, &row);
-    if (!more.ok()) {
+    Status status = plan->NextBatch(ctx, &batch);
+    if (!status.ok()) {
       plan->Close();
-      return more.status();
+      return status;
     }
-    if (!*more) break;
-    rows.push_back(row);
+    if (batch.empty()) break;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      rows.push_back(std::move(batch.row(i)));
+    }
   }
   plan->Close();
   return rows;

@@ -14,6 +14,51 @@
 
 namespace orq {
 
+/// Rows moved between operators per NextBatch call. Large enough to
+/// amortize the virtual call and the per-batch bookkeeping, small enough
+/// that a batch of rows stays cache-resident.
+inline constexpr int kDefaultBatchRows = 1024;
+
+/// Execution-mode knobs, threaded from EngineOptions into ExecContext.
+struct ExecOptions {
+  /// When false, every operator's NextBatch degrades to the row-at-a-time
+  /// adapter over NextImpl — the classic Volcano engine, kept as the
+  /// difftest reference configuration for the batched path.
+  bool batched = true;
+  int batch_size = kDefaultBatchRows;
+};
+
+/// A fixed-capacity buffer of rows passed between operators. Row storage
+/// is preallocated and reused across refills: Clear() resets the logical
+/// size but keeps every row's Value vector (and the string payloads
+/// inside) allocated, so steady-state batch traffic does not allocate.
+/// Row addresses are stable — PushRow never reallocates — which lets
+/// operators hold a pointer to a row across calls while composing output.
+class RowBatch {
+ public:
+  explicit RowBatch(int capacity = kDefaultBatchRows)
+      : rows_(capacity > 0 ? static_cast<size_t>(capacity) : 1) {}
+
+  size_t capacity() const { return rows_.size(); }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ == rows_.size(); }
+
+  Row& row(size_t i) { return rows_[i]; }
+  const Row& row(size_t i) const { return rows_[i]; }
+
+  /// Exposes the next free slot and grows the logical size. The slot may
+  /// hold a stale row from a previous refill; callers overwrite it.
+  Row& PushRow() { return rows_[size_++]; }
+  /// Retracts the most recent PushRow (e.g. a row a predicate rejected).
+  void PopRow() { --size_; }
+  void Clear() { size_ = 0; }
+
+ private:
+  std::vector<Row> rows_;
+  size_t size_ = 0;
+};
+
 /// Run-time context shared by an operator tree. Correlated execution (Apply,
 /// index lookup) communicates outer-row values through `params`; segmented
 /// execution (SegmentApply) communicates the current segment through
@@ -25,22 +70,29 @@ struct ExecContext {
   /// segmenting operator's input layout).
   std::vector<const std::vector<Row>*> segment_stack;
   /// Number of rows produced by all operators (a cheap work metric used by
-  /// tests and benchmarks to compare strategies). Maintained by
-  /// PhysicalOp::Next — the single accounting site — whether or not a stats
-  /// collector is attached.
+  /// tests and benchmarks to compare strategies). Maintained by the
+  /// PhysicalOp::Next / NextBatch shells — the single accounting sites —
+  /// whether or not a stats collector is attached.
   int64_t rows_produced = 0;
   /// Optional per-operator stats collection (EXPLAIN ANALYZE). Null keeps
   /// the Volcano hot path at one extra branch per call.
   StatsCollector* stats = nullptr;
+  /// Batch-at-a-time execution toggle and batch sizing (ExecOptions).
+  bool batched = true;
+  int batch_size = kDefaultBatchRows;
 };
 
-/// Volcano-style iterator. Operators are single-use: Open, drain via Next,
-/// Close. Re-Open after Close restarts the operator (correlated inners are
-/// re-opened per outer row with fresh parameter values).
+/// Volcano-style iterator with an optional batched pull path. Operators are
+/// single-use: Open, drain via Next or NextBatch (one interface per Open,
+/// never interleaved), Close. Re-Open after Close restarts the operator
+/// (correlated inners are re-opened per outer row with fresh parameters).
 ///
-/// Open/Next/Close are non-virtual shells around the OpenImpl/NextImpl/
-/// CloseImpl hooks so the base class can account rows and, when the context
-/// carries a StatsCollector, per-operator call counts and wall time.
+/// Open/Next/NextBatch/Close are non-virtual shells around the OpenImpl/
+/// NextImpl/NextBatchImpl/CloseImpl hooks so the base class can account rows
+/// and, when the context carries a StatsCollector, per-operator call counts
+/// and wall time. NextBatchImpl defaults to an adapter that loops NextImpl;
+/// hot operators (scan, filter, project, hash join/aggregate, uncorrelated
+/// nested loops) override it with tight loops over whole batches.
 class PhysicalOp {
  public:
   virtual ~PhysicalOp() = default;
@@ -79,6 +131,31 @@ class PhysicalOp {
     return more;
   }
 
+  /// Clears `batch` and refills it with up to batch->capacity() rows. An
+  /// empty batch on return signals end of stream — implementations never
+  /// return an empty batch while rows remain. With a StatsCollector
+  /// attached, next_calls counts batch pulls while rows_out counts rows,
+  /// so the two diverge by roughly the batch size on this path.
+  Status NextBatch(ExecContext* ctx, RowBatch* batch) {
+    batch->Clear();
+    if (stats_ == nullptr) {
+      Status status = ctx->batched ? NextBatchImpl(ctx, batch)
+                                   : FillFromNextImpl(ctx, batch);
+      if (status.ok()) ctx->rows_produced += batch->size();
+      return status;
+    }
+    const int64_t start = ObsNowNanos();
+    Status status = ctx->batched ? NextBatchImpl(ctx, batch)
+                                 : FillFromNextImpl(ctx, batch);
+    stats_->wall_nanos += ObsNowNanos() - start;
+    ++stats_->next_calls;
+    if (status.ok()) {
+      stats_->rows_out += static_cast<int64_t>(batch->size());
+      ctx->rows_produced += static_cast<int64_t>(batch->size());
+    }
+    return status;
+  }
+
   void Close() {
     if (stats_ == nullptr) {
       CloseImpl();
@@ -114,7 +191,29 @@ class PhysicalOp {
  protected:
   virtual Status OpenImpl(ExecContext* ctx) = 0;
   virtual Result<bool> NextImpl(ExecContext* ctx, Row* row) = 0;
+  /// Batched pull hook; the default adapts NextImpl row by row. Overrides
+  /// must honor the shell's contract: fill into `batch` (already cleared)
+  /// and treat an empty result as end of stream.
+  virtual Status NextBatchImpl(ExecContext* ctx, RowBatch* batch) {
+    return FillFromNextImpl(ctx, batch);
+  }
   virtual void CloseImpl() = 0;
+
+  /// Row-at-a-time adapter: loops NextImpl into batch slots. Calls the Impl
+  /// (not the Next shell) so rows are accounted exactly once, by the
+  /// NextBatch shell.
+  Status FillFromNextImpl(ExecContext* ctx, RowBatch* batch) {
+    while (!batch->full()) {
+      Row& slot = batch->PushRow();
+      Result<bool> more = NextImpl(ctx, &slot);
+      if (!more.ok()) return more.status();
+      if (!*more) {
+        batch->PopRow();
+        break;
+      }
+    }
+    return Status::OK();
+  }
 
   /// Stateful operators report the size of their materialized state (hash
   /// table, sort buffer, spool, segment map) after building it. No-op when

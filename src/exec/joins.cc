@@ -1,7 +1,9 @@
+#include <cstdint>
 #include <unordered_map>
 
 #include "exec/evaluator.h"
 #include "exec/ops.h"
+#include "exec/packed_key.h"
 
 namespace orq {
 
@@ -18,13 +20,28 @@ std::vector<ColumnId> CombinedLayout(const PhysicalOp& left,
   return layout;
 }
 
+/// NULL-pad types for the non-preserved side of a left outer join. The plan
+/// builder passes the right layout's declared column types; direct
+/// construction (tests) may omit them, falling back to kInt64.
+std::vector<DataType> ResolvePadTypes(std::vector<DataType> right_types,
+                                      size_t right_width) {
+  if (right_types.size() != right_width) {
+    right_types.assign(right_width, DataType::kInt64);
+  }
+  return right_types;
+}
+
 /// Nested-loops join; doubles as the Apply operator when `rebind_inner` is
 /// set (per-outer-row parameter binding + inner re-open).
 class NLJoinOp : public PhysicalOp {
  public:
   NLJoinOp(PhysJoinKind kind, PhysicalOpPtr left, PhysicalOpPtr right,
-           ScalarExprPtr predicate, bool rebind_inner)
-      : kind_(kind), rebind_inner_(rebind_inner) {
+           ScalarExprPtr predicate, bool rebind_inner,
+           std::vector<DataType> right_types)
+      : kind_(kind),
+        rebind_inner_(rebind_inner),
+        pad_types_(
+            ResolvePadTypes(std::move(right_types), right->layout().size())) {
     layout_ = CombinedLayout(*left, *right, kind);
     std::vector<ColumnId> pred_layout = left->layout();
     pred_layout.insert(pred_layout.end(), right->layout().begin(),
@@ -42,21 +59,23 @@ class NLJoinOp : public PhysicalOp {
       // Uncorrelated: materialize the inner once.
       ORQ_RETURN_IF_ERROR(children_[1]->Open(ctx));
       inner_rows_.clear();
-      Row row;
+      RowBatch batch(ctx->batch_size);
       while (true) {
-        Result<bool> more = children_[1]->Next(ctx, &row);
-        if (!more.ok()) return more.status();
-        if (!*more) break;
-        inner_rows_.push_back(row);
+        ORQ_RETURN_IF_ERROR(children_[1]->NextBatch(ctx, &batch));
+        if (batch.empty()) break;
+        for (size_t i = 0; i < batch.size(); ++i) {
+          inner_rows_.push_back(std::move(batch.row(i)));
+        }
       }
       children_[1]->Close();
       RecordPeak(static_cast<int64_t>(inner_rows_.size()));
+      probe_ = RowBatch(ctx->batch_size);
+      probe_pos_ = 0;
     }
     return Status::OK();
   }
 
   Result<bool> NextImpl(ExecContext* ctx, Row* row) override {
-    const size_t left_width = children_[0]->layout().size();
     const size_t right_width = children_[1]->layout().size();
     while (true) {
       if (!have_left_) {
@@ -92,8 +111,7 @@ class NLJoinOp : public PhysicalOp {
           *row = left_row_;
           if (kind_ == PhysJoinKind::kLeftOuter) {
             for (size_t i = 0; i < right_width; ++i) {
-              row->push_back(Value::Null(
-                  i < right_width ? DataType::kInt64 : DataType::kInt64));
+              row->push_back(Value::Null(pad_types_[i]));
             }
           }
           return true;
@@ -120,7 +138,70 @@ class NLJoinOp : public PhysicalOp {
           continue;
       }
     }
-    (void)left_width;
+  }
+
+  Status NextBatchImpl(ExecContext* ctx, RowBatch* out) override {
+    // Correlated Apply stays row-at-a-time: the inner plan is re-opened
+    // per outer row, so there is no batch of inner rows to loop over.
+    if (rebind_inner_) return FillFromNextImpl(ctx, out);
+    while (true) {
+      if (!have_left_) {
+        if (probe_pos_ >= probe_.size()) {
+          ORQ_RETURN_IF_ERROR(children_[0]->NextBatch(ctx, &probe_));
+          if (probe_.empty()) return Status::OK();
+          probe_pos_ = 0;
+        }
+        left_ = &probe_.row(probe_pos_++);
+        have_left_ = true;
+        matched_ = false;
+        inner_pos_ = 0;
+      }
+      const Row& left = *left_;
+      while (have_left_ && inner_pos_ < inner_rows_.size()) {
+        if (out->full()) return Status::OK();
+        const Row& inner = inner_rows_[inner_pos_++];
+        // Compose the combined row in place in the output slot; rejected
+        // rows are retracted with PopRow.
+        Row& slot = out->PushRow();
+        slot.clear();
+        slot.reserve(left.size() + inner.size());
+        slot.insert(slot.end(), left.begin(), left.end());
+        slot.insert(slot.end(), inner.begin(), inner.end());
+        ORQ_ASSIGN_OR_RETURN(bool keep, predicate_.EvalPredicate(slot, ctx));
+        if (!keep) {
+          out->PopRow();
+          continue;
+        }
+        matched_ = true;
+        switch (kind_) {
+          case PhysJoinKind::kInner:
+          case PhysJoinKind::kLeftOuter:
+            break;
+          case PhysJoinKind::kLeftSemi:
+            slot.resize(left.size());  // drop the inner half
+            have_left_ = false;
+            break;
+          case PhysJoinKind::kLeftAnti:
+            out->PopRow();
+            have_left_ = false;
+            break;
+        }
+      }
+      if (have_left_ && inner_pos_ >= inner_rows_.size()) {
+        if (!matched_ && (kind_ == PhysJoinKind::kLeftOuter ||
+                          kind_ == PhysJoinKind::kLeftAnti)) {
+          if (out->full()) return Status::OK();
+          Row& slot = out->PushRow();
+          slot = std::move(*left_);
+          if (kind_ == PhysJoinKind::kLeftOuter) {
+            for (DataType type : pad_types_) {
+              slot.push_back(Value::Null(type));
+            }
+          }
+        }
+        have_left_ = false;
+      }
+    }
   }
 
   void CloseImpl() override {
@@ -146,21 +227,27 @@ class NLJoinOp : public PhysicalOp {
  private:
   PhysJoinKind kind_;
   bool rebind_inner_;
+  std::vector<DataType> pad_types_;
   Evaluator predicate_;
-  Row left_row_;
+  Row left_row_;               // row path: current outer row (copy)
+  const Row* left_ = nullptr;  // batch path: current outer row, in probe_
   bool have_left_ = false;
   bool matched_ = false;
   bool inner_open_ = false;
   std::vector<Row> inner_rows_;  // uncorrelated inner materialization
   size_t inner_pos_ = 0;
+  RowBatch probe_{0};
+  size_t probe_pos_ = 0;
 };
 
 class HashJoinOp : public PhysicalOp {
  public:
   HashJoinOp(PhysJoinKind kind, PhysicalOpPtr left, PhysicalOpPtr right,
              std::vector<std::pair<ScalarExprPtr, ScalarExprPtr>> keys,
-             ScalarExprPtr residual)
-      : kind_(kind) {
+             ScalarExprPtr residual, std::vector<DataType> right_types)
+      : kind_(kind),
+        pad_types_(
+            ResolvePadTypes(std::move(right_types), right->layout().size())) {
     layout_ = CombinedLayout(*left, *right, kind);
     for (auto& [l, r] : keys) {
       left_keys_.emplace_back(std::move(l), left->layout());
@@ -178,61 +265,75 @@ class HashJoinOp : public PhysicalOp {
   }
 
   Status OpenImpl(ExecContext* ctx) override {
+    // Build: drain the right child into a contiguous arena, keyed by a
+    // packed key (hash precomputed once per distinct key). Buckets are
+    // ranges into a single slots permutation rather than one vector of
+    // row copies per key.
+    arena_.clear();
+    slots_.clear();
     table_.clear();
     ORQ_RETURN_IF_ERROR(children_[1]->Open(ctx));
-    Row row;
+    std::vector<BucketRange*> row_bucket;
+    RowBatch batch(ctx->batch_size);
+    Row key(right_keys_.size());
     while (true) {
-      Result<bool> more = children_[1]->Next(ctx, &row);
-      if (!more.ok()) return more.status();
-      if (!*more) break;
-      Row key(right_keys_.size());
-      bool null_key = false;
-      for (size_t i = 0; i < right_keys_.size(); ++i) {
-        Result<Value> v = right_keys_[i].Eval(row, ctx);
-        if (!v.ok()) return v.status();
-        if (v->is_null()) {
-          null_key = true;
-          break;
+      ORQ_RETURN_IF_ERROR(children_[1]->NextBatch(ctx, &batch));
+      if (batch.empty()) break;
+      for (size_t r = 0; r < batch.size(); ++r) {
+        Row& row = batch.row(r);
+        bool null_key = false;
+        for (size_t i = 0; i < right_keys_.size(); ++i) {
+          Result<Value> v = right_keys_[i].Eval(row, ctx);
+          if (!v.ok()) return v.status();
+          if (v->is_null()) {
+            null_key = true;
+            break;
+          }
+          key[i] = std::move(*v);
         }
-        key[i] = std::move(*v);
+        if (null_key) continue;  // NULL keys never join
+        auto it = table_.find(key);
+        if (it == table_.end()) {
+          it = table_.emplace(PackedKey(std::move(key)), BucketRange{}).first;
+          key = Row(right_keys_.size());
+        }
+        ++it->second.size;
+        row_bucket.push_back(&it->second);
+        arena_.push_back(std::move(row));
       }
-      if (null_key) continue;  // NULL keys never join
-      table_[key].push_back(row);
     }
     children_[1]->Close();
+    // Assign each bucket a contiguous slot range, then scatter arena
+    // indices into their bucket's range in arrival order.
+    uint32_t offset = 0;
+    for (auto& entry : table_) {
+      entry.second.begin = offset;
+      offset += entry.second.size;
+    }
+    slots_.resize(arena_.size());
+    for (size_t i = 0; i < arena_.size(); ++i) {
+      BucketRange* bucket = row_bucket[i];
+      slots_[bucket->begin + bucket->filled++] = static_cast<uint32_t>(i);
+    }
     RecordPeak(static_cast<int64_t>(table_.size()));
     ORQ_RETURN_IF_ERROR(children_[0]->Open(ctx));
     have_left_ = false;
+    probe_ = RowBatch(ctx->batch_size);
+    probe_pos_ = 0;
     return Status::OK();
   }
 
   Result<bool> NextImpl(ExecContext* ctx, Row* row) override {
-    const size_t right_width = children_[1]->layout().size();
     while (true) {
       if (!have_left_) {
         ORQ_ASSIGN_OR_RETURN(bool more, children_[0]->Next(ctx, &left_row_));
         if (!more) return false;
         have_left_ = true;
         matched_ = false;
-        bucket_ = nullptr;
-        bucket_pos_ = 0;
-        Row key(left_keys_.size());
-        bool null_key = false;
-        for (size_t i = 0; i < left_keys_.size(); ++i) {
-          ORQ_ASSIGN_OR_RETURN(Value v, left_keys_[i].Eval(left_row_, ctx));
-          if (v.is_null()) {
-            null_key = true;
-            break;
-          }
-          key[i] = std::move(v);
-        }
-        if (!null_key) {
-          auto it = table_.find(key);
-          if (it != table_.end()) bucket_ = &it->second;
-        }
+        ORQ_RETURN_IF_ERROR(LookupBucket(left_row_, ctx));
       }
-      if (bucket_ != nullptr && bucket_pos_ < bucket_->size()) {
-        const Row& inner = (*bucket_)[bucket_pos_++];
+      while (bucket_pos_ < bucket_size_) {
+        const Row& inner = arena_[slots_[bucket_begin_ + bucket_pos_++]];
         Row combined = left_row_;
         combined.insert(combined.end(), inner.begin(), inner.end());
         if (has_residual_) {
@@ -252,9 +353,11 @@ class HashJoinOp : public PhysicalOp {
             return true;
           case PhysJoinKind::kLeftAnti:
             have_left_ = false;
-            continue;
+            break;
         }
+        if (!have_left_) break;
       }
+      if (!have_left_) continue;  // semi emitted via return; anti restarts
       // Bucket exhausted.
       bool emit_unmatched = !matched_ && (kind_ == PhysJoinKind::kLeftOuter ||
                                           kind_ == PhysJoinKind::kLeftAnti);
@@ -262,8 +365,8 @@ class HashJoinOp : public PhysicalOp {
       if (emit_unmatched) {
         *row = left_row_;
         if (kind_ == PhysJoinKind::kLeftOuter) {
-          for (size_t i = 0; i < right_width; ++i) {
-            row->push_back(Value::Null());
+          for (DataType type : pad_types_) {
+            row->push_back(Value::Null(type));
           }
         }
         return true;
@@ -271,8 +374,71 @@ class HashJoinOp : public PhysicalOp {
     }
   }
 
+  Status NextBatchImpl(ExecContext* ctx, RowBatch* out) override {
+    while (true) {
+      if (!have_left_) {
+        if (probe_pos_ >= probe_.size()) {
+          ORQ_RETURN_IF_ERROR(children_[0]->NextBatch(ctx, &probe_));
+          if (probe_.empty()) return Status::OK();
+          probe_pos_ = 0;
+        }
+        left_ = &probe_.row(probe_pos_++);
+        have_left_ = true;
+        matched_ = false;
+        ORQ_RETURN_IF_ERROR(LookupBucket(*left_, ctx));
+      }
+      const Row& left = *left_;
+      while (have_left_ && bucket_pos_ < bucket_size_) {
+        if (out->full()) return Status::OK();
+        const Row& inner = arena_[slots_[bucket_begin_ + bucket_pos_++]];
+        Row& slot = out->PushRow();
+        slot.clear();
+        slot.reserve(left.size() + inner.size());
+        slot.insert(slot.end(), left.begin(), left.end());
+        slot.insert(slot.end(), inner.begin(), inner.end());
+        if (has_residual_) {
+          ORQ_ASSIGN_OR_RETURN(bool keep, residual_.EvalPredicate(slot, ctx));
+          if (!keep) {
+            out->PopRow();
+            continue;
+          }
+        }
+        matched_ = true;
+        switch (kind_) {
+          case PhysJoinKind::kInner:
+          case PhysJoinKind::kLeftOuter:
+            break;
+          case PhysJoinKind::kLeftSemi:
+            slot.resize(left.size());  // drop the inner half
+            have_left_ = false;
+            break;
+          case PhysJoinKind::kLeftAnti:
+            out->PopRow();
+            have_left_ = false;
+            break;
+        }
+      }
+      if (have_left_ && bucket_pos_ >= bucket_size_) {
+        if (!matched_ && (kind_ == PhysJoinKind::kLeftOuter ||
+                          kind_ == PhysJoinKind::kLeftAnti)) {
+          if (out->full()) return Status::OK();
+          Row& slot = out->PushRow();
+          slot = std::move(*left_);
+          if (kind_ == PhysJoinKind::kLeftOuter) {
+            for (DataType type : pad_types_) {
+              slot.push_back(Value::Null(type));
+            }
+          }
+        }
+        have_left_ = false;
+      }
+    }
+  }
+
   void CloseImpl() override {
     children_[0]->Close();
+    arena_.clear();
+    slots_.clear();
     table_.clear();
   }
 
@@ -288,33 +454,74 @@ class HashJoinOp : public PhysicalOp {
   }
 
  private:
+  /// A bucket's slice of the slots_ permutation. `filled` is the build-time
+  /// scatter cursor; unused after Open.
+  struct BucketRange {
+    uint32_t begin = 0;
+    uint32_t size = 0;
+    uint32_t filled = 0;
+  };
+
+  /// Evaluates the probe keys for `left` and positions the bucket cursor;
+  /// a NULL key or an absent key yields an empty bucket.
+  Status LookupBucket(const Row& left, ExecContext* ctx) {
+    bucket_begin_ = 0;
+    bucket_size_ = 0;
+    bucket_pos_ = 0;
+    probe_key_.resize(left_keys_.size());
+    for (size_t i = 0; i < left_keys_.size(); ++i) {
+      Result<Value> v = left_keys_[i].Eval(left, ctx);
+      if (!v.ok()) return v.status();
+      if (v->is_null()) return Status::OK();
+      probe_key_[i] = std::move(*v);
+    }
+    auto it = table_.find(probe_key_);  // heterogeneous: no key copy
+    if (it != table_.end()) {
+      bucket_begin_ = it->second.begin;
+      bucket_size_ = it->second.size;
+    }
+    return Status::OK();
+  }
+
   PhysJoinKind kind_;
+  std::vector<DataType> pad_types_;
   std::vector<Evaluator> left_keys_, right_keys_;
   Evaluator residual_;
   bool has_residual_ = false;
-  std::unordered_map<Row, std::vector<Row>, RowHash, RowGroupEq> table_;
-  Row left_row_;
+  std::vector<Row> arena_;      // build rows, arrival order
+  std::vector<uint32_t> slots_; // arena indices grouped by bucket
+  std::unordered_map<PackedKey, BucketRange, PackedKeyHash, PackedKeyEq>
+      table_;
+  Row left_row_;               // row path: current probe row (copy)
+  const Row* left_ = nullptr;  // batch path: current probe row, in probe_
+  Row probe_key_;              // scratch for heterogeneous lookups
   bool have_left_ = false;
   bool matched_ = false;
-  const std::vector<Row>* bucket_ = nullptr;
-  size_t bucket_pos_ = 0;
+  uint32_t bucket_begin_ = 0;
+  uint32_t bucket_size_ = 0;
+  uint32_t bucket_pos_ = 0;
+  RowBatch probe_{0};
+  size_t probe_pos_ = 0;
 };
 
 }  // namespace
 
 PhysicalOpPtr MakeNLJoinOp(PhysJoinKind kind, PhysicalOpPtr left,
                            PhysicalOpPtr right, ScalarExprPtr predicate,
-                           bool rebind_inner) {
+                           bool rebind_inner,
+                           std::vector<DataType> right_types) {
   return std::make_unique<NLJoinOp>(kind, std::move(left), std::move(right),
-                                    std::move(predicate), rebind_inner);
+                                    std::move(predicate), rebind_inner,
+                                    std::move(right_types));
 }
 
 PhysicalOpPtr MakeHashJoinOp(
     PhysJoinKind kind, PhysicalOpPtr left, PhysicalOpPtr right,
     std::vector<std::pair<ScalarExprPtr, ScalarExprPtr>> keys,
-    ScalarExprPtr residual) {
+    ScalarExprPtr residual, std::vector<DataType> right_types) {
   return std::make_unique<HashJoinOp>(kind, std::move(left), std::move(right),
-                                      std::move(keys), std::move(residual));
+                                      std::move(keys), std::move(residual),
+                                      std::move(right_types));
 }
 
 }  // namespace orq

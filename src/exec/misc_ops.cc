@@ -16,7 +16,11 @@ class FilterOp : public PhysicalOp {
     children_.push_back(std::move(child));
   }
 
-  Status OpenImpl(ExecContext* ctx) override { return children_[0]->Open(ctx); }
+  Status OpenImpl(ExecContext* ctx) override {
+    input_ = RowBatch(ctx->batch_size);
+    in_pos_ = 0;
+    return children_[0]->Open(ctx);
+  }
 
   Result<bool> NextImpl(ExecContext* ctx, Row* row) override {
     while (true) {
@@ -29,11 +33,29 @@ class FilterOp : public PhysicalOp {
     }
   }
 
+  Status NextBatchImpl(ExecContext* ctx, RowBatch* out) override {
+    while (true) {
+      if (in_pos_ >= input_.size()) {
+        ORQ_RETURN_IF_ERROR(children_[0]->NextBatch(ctx, &input_));
+        if (input_.empty()) return Status::OK();
+        in_pos_ = 0;
+      }
+      while (in_pos_ < input_.size() && !out->full()) {
+        Row& row = input_.row(in_pos_++);
+        ORQ_ASSIGN_OR_RETURN(bool keep, predicate_.EvalPredicate(row, ctx));
+        if (keep) out->PushRow() = std::move(row);
+      }
+      if (out->full()) return Status::OK();
+    }
+  }
+
   void CloseImpl() override { children_[0]->Close(); }
   std::string name() const override { return "Filter"; }
 
  private:
   Evaluator predicate_;
+  RowBatch input_{0};
+  size_t in_pos_ = 0;
 };
 
 class ComputeOp : public PhysicalOp {
@@ -57,7 +79,11 @@ class ComputeOp : public PhysicalOp {
     children_.push_back(std::move(child));
   }
 
-  Status OpenImpl(ExecContext* ctx) override { return children_[0]->Open(ctx); }
+  Status OpenImpl(ExecContext* ctx) override {
+    input_ = RowBatch(ctx->batch_size);
+    in_pos_ = 0;
+    return children_[0]->Open(ctx);
+  }
 
   Result<bool> NextImpl(ExecContext* ctx, Row* row) override {
     Row input;
@@ -73,12 +99,37 @@ class ComputeOp : public PhysicalOp {
     return true;
   }
 
+  Status NextBatchImpl(ExecContext* ctx, RowBatch* out) override {
+    while (true) {
+      if (in_pos_ >= input_.size()) {
+        ORQ_RETURN_IF_ERROR(children_[0]->NextBatch(ctx, &input_));
+        if (input_.empty()) return Status::OK();
+        in_pos_ = 0;
+      }
+      while (in_pos_ < input_.size() && !out->full()) {
+        const Row& input = input_.row(in_pos_++);
+        Row& slot = out->PushRow();
+        slot.clear();
+        slot.reserve(layout_.size());
+        for (int s : pass_slots_) slot.push_back(input[s]);
+        for (const Evaluator& eval : evals_) {
+          Result<Value> v = eval.Eval(input, ctx);
+          if (!v.ok()) return v.status();
+          slot.push_back(std::move(*v));
+        }
+      }
+      if (out->full()) return Status::OK();
+    }
+  }
+
   void CloseImpl() override { children_[0]->Close(); }
   std::string name() const override { return "Compute"; }
 
  private:
   std::vector<int> pass_slots_;
   std::vector<Evaluator> evals_;
+  RowBatch input_{0};
+  size_t in_pos_ = 0;
 };
 
 class SortOp : public PhysicalOp {
@@ -95,12 +146,13 @@ class SortOp : public PhysicalOp {
   Status OpenImpl(ExecContext* ctx) override {
     rows_.clear();
     ORQ_RETURN_IF_ERROR(children_[0]->Open(ctx));
-    Row row;
+    RowBatch batch(ctx->batch_size);
     while (true) {
-      Result<bool> more = children_[0]->Next(ctx, &row);
-      if (!more.ok()) return more.status();
-      if (!*more) break;
-      rows_.push_back(row);
+      ORQ_RETURN_IF_ERROR(children_[0]->NextBatch(ctx, &batch));
+      if (batch.empty()) break;
+      for (size_t i = 0; i < batch.size(); ++i) {
+        rows_.push_back(std::move(batch.row(i)));
+      }
     }
     children_[0]->Close();
     RecordPeak(static_cast<int64_t>(rows_.size()));
@@ -143,6 +195,14 @@ class SortOp : public PhysicalOp {
     if (pos_ >= rows_.size()) return false;
     *row = rows_[pos_++];
     return true;
+  }
+
+  Status NextBatchImpl(ExecContext*, RowBatch* batch) override {
+    // The buffer is rebuilt on re-Open, so emission can move rows out.
+    while (pos_ < rows_.size() && !batch->full()) {
+      batch->PushRow() = std::move(rows_[pos_++]);
+    }
+    return Status::OK();
   }
 
   void CloseImpl() override { rows_.clear(); }
@@ -216,6 +276,21 @@ class UnionAllOp : public PhysicalOp {
     return false;
   }
 
+  Status NextBatchImpl(ExecContext* ctx, RowBatch* batch) override {
+    // Whole-batch passthrough: children produce positionally aligned
+    // layouts, so the current child fills the output batch directly.
+    while (current_ < children_.size()) {
+      ORQ_RETURN_IF_ERROR(children_[current_]->NextBatch(ctx, batch));
+      if (!batch->empty()) return Status::OK();
+      children_[current_]->Close();
+      ++current_;
+      if (current_ < children_.size()) {
+        ORQ_RETURN_IF_ERROR(children_[current_]->Open(ctx));
+      }
+    }
+    return Status::OK();
+  }
+
   void CloseImpl() override {}
   std::string name() const override { return "UnionAll"; }
 
@@ -235,15 +310,18 @@ class ExceptAllOp : public PhysicalOp {
   Status OpenImpl(ExecContext* ctx) override {
     counts_.clear();
     ORQ_RETURN_IF_ERROR(children_[1]->Open(ctx));
-    Row row;
+    RowBatch batch(ctx->batch_size);
     while (true) {
-      Result<bool> more = children_[1]->Next(ctx, &row);
-      if (!more.ok()) return more.status();
-      if (!*more) break;
-      ++counts_[row];
+      ORQ_RETURN_IF_ERROR(children_[1]->NextBatch(ctx, &batch));
+      if (batch.empty()) break;
+      for (size_t i = 0; i < batch.size(); ++i) {
+        ++counts_[std::move(batch.row(i))];
+      }
     }
     children_[1]->Close();
     RecordPeak(static_cast<int64_t>(counts_.size()));
+    input_ = RowBatch(ctx->batch_size);
+    in_pos_ = 0;
     return children_[0]->Open(ctx);
   }
 
@@ -260,6 +338,26 @@ class ExceptAllOp : public PhysicalOp {
     }
   }
 
+  Status NextBatchImpl(ExecContext* ctx, RowBatch* out) override {
+    while (true) {
+      if (in_pos_ >= input_.size()) {
+        ORQ_RETURN_IF_ERROR(children_[0]->NextBatch(ctx, &input_));
+        if (input_.empty()) return Status::OK();
+        in_pos_ = 0;
+      }
+      while (in_pos_ < input_.size() && !out->full()) {
+        Row& row = input_.row(in_pos_++);
+        auto it = counts_.find(row);
+        if (it != counts_.end() && it->second > 0) {
+          --it->second;
+          continue;
+        }
+        out->PushRow() = std::move(row);
+      }
+      if (out->full()) return Status::OK();
+    }
+  }
+
   void CloseImpl() override {
     children_[0]->Close();
     counts_.clear();
@@ -268,6 +366,8 @@ class ExceptAllOp : public PhysicalOp {
 
  private:
   std::unordered_map<Row, int64_t, RowHash, RowGroupEq> counts_;
+  RowBatch input_{0};
+  size_t in_pos_ = 0;
 };
 
 }  // namespace

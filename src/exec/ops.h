@@ -37,17 +37,21 @@ PhysicalOpPtr MakeComputeOp(PhysicalOpPtr child,
 
 /// Nested-loops join / Apply. When `rebind_inner` is set, the operator
 /// publishes each outer row's columns as parameters and re-opens the inner
-/// child per outer row (correlated execution). kLeftOuter pads with NULLs.
+/// child per outer row (correlated execution). kLeftOuter pads unmatched
+/// rows with NULLs typed by `right_types` (the right layout's declared
+/// column types, one per right column; kInt64 when omitted).
 PhysicalOpPtr MakeNLJoinOp(PhysJoinKind kind, PhysicalOpPtr left,
                            PhysicalOpPtr right, ScalarExprPtr predicate,
-                           bool rebind_inner);
+                           bool rebind_inner,
+                           std::vector<DataType> right_types = {});
 
 /// Hash join on equi-key pairs (left expr, right expr) with an optional
 /// residual predicate over the combined row. Builds on the right input.
+/// `right_types` types the kLeftOuter NULL padding, as in MakeNLJoinOp.
 PhysicalOpPtr MakeHashJoinOp(
     PhysJoinKind kind, PhysicalOpPtr left, PhysicalOpPtr right,
     std::vector<std::pair<ScalarExprPtr, ScalarExprPtr>> keys,
-    ScalarExprPtr residual);
+    ScalarExprPtr residual, std::vector<DataType> right_types = {});
 
 /// Hash aggregation; with `scalar` set, emits exactly one row (agg over the
 /// empty input yields count=0 / others NULL, per section 1.1). Implements

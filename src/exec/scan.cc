@@ -28,6 +28,21 @@ class TableScanOp : public PhysicalOp {
     return true;
   }
 
+  Status NextBatchImpl(ExecContext*, RowBatch* batch) override {
+    const std::vector<Row>& rows = table_->rows();
+    const size_t end = table_->num_rows();
+    const size_t width = ordinals_.size();
+    while (pos_ < end && !batch->full()) {
+      const Row& src = rows[pos_++];
+      Row& slot = batch->PushRow();
+      slot.resize(width);
+      for (size_t i = 0; i < width; ++i) {
+        slot[i] = src[ordinals_[i]];
+      }
+    }
+    return Status::OK();
+  }
+
   void CloseImpl() override {}
   std::string name() const override { return "TableScan(" + table_->name() + ")"; }
 
@@ -147,6 +162,12 @@ class SegmentScanOp : public PhysicalOp {
     if (pos_ >= segment_->size()) return false;
     *row = (*segment_)[pos_++];
     return true;
+  }
+  Status NextBatchImpl(ExecContext*, RowBatch* batch) override {
+    while (pos_ < segment_->size() && !batch->full()) {
+      batch->PushRow() = (*segment_)[pos_++];
+    }
+    return Status::OK();
   }
   void CloseImpl() override {}
   std::string name() const override { return "SegmentScan"; }

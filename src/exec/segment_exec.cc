@@ -24,21 +24,24 @@ class SegmentApplyOp : public PhysicalOp {
     segments_.clear();
     order_.clear();
     ORQ_RETURN_IF_ERROR(children_[0]->Open(ctx));
-    Row row;
+    RowBatch batch(ctx->batch_size);
+    Row key(key_slots_.size());
     while (true) {
-      Result<bool> more = children_[0]->Next(ctx, &row);
-      if (!more.ok()) return more.status();
-      if (!*more) break;
-      Row key(key_slots_.size());
-      for (size_t i = 0; i < key_slots_.size(); ++i) {
-        key[i] = row[key_slots_[i]];
+      ORQ_RETURN_IF_ERROR(children_[0]->NextBatch(ctx, &batch));
+      if (batch.empty()) break;
+      for (size_t r = 0; r < batch.size(); ++r) {
+        Row& row = batch.row(r);
+        key.resize(key_slots_.size());
+        for (size_t i = 0; i < key_slots_.size(); ++i) {
+          key[i] = row[key_slots_[i]];
+        }
+        auto it = segments_.find(key);
+        if (it == segments_.end()) {
+          it = segments_.emplace(std::move(key), std::vector<Row>()).first;
+          order_.push_back(&*it);
+        }
+        it->second.push_back(std::move(row));
       }
-      auto it = segments_.find(key);
-      if (it == segments_.end()) {
-        it = segments_.emplace(key, std::vector<Row>()).first;
-        order_.push_back(&*it);
-      }
-      it->second.push_back(std::move(row));
     }
     children_[0]->Close();
     RecordPeak(static_cast<int64_t>(segments_.size()));

@@ -20,10 +20,13 @@ inline int64_t ObsNowNanos() {
 /// subtracting the children's inclusive totals).
 struct OpStats {
   int64_t open_calls = 0;
+  /// Pull calls into the operator: one per Next on the row-at-a-time path,
+  /// one per NextBatch on the batched path — so next_calls and rows_out
+  /// diverge by roughly the batch size when batching is on.
   int64_t next_calls = 0;
   int64_t close_calls = 0;
-  /// Rows this operator returned from Next (correlated re-executions
-  /// accumulate across re-opens).
+  /// Rows this operator returned from Next/NextBatch (correlated
+  /// re-executions accumulate across re-opens; identical in both modes).
   int64_t rows_out = 0;
   int64_t wall_nanos = 0;
   /// Largest materialized state the operator held at once: hash-join table

@@ -208,6 +208,15 @@ class PlanBuilder {
     return PhysJoinKind::kInner;
   }
 
+  /// Declared types of a build/inner side's layout, used to type the NULL
+  /// padding of unmatched left-outer rows.
+  std::vector<DataType> LayoutTypes(const PhysicalOp& op) const {
+    std::vector<DataType> types;
+    types.reserve(op.layout().size());
+    for (ColumnId id : op.layout()) types.push_back(columns_.type(id));
+    return types;
+  }
+
   Result<PhysicalOpPtr> BuildJoin(const RelExprPtr& node) {
     ORQ_ASSIGN_OR_RETURN(PhysicalOpPtr left, Build(node->children[0]));
     ORQ_ASSIGN_OR_RETURN(PhysicalOpPtr right, Build(node->children[1]));
@@ -242,13 +251,17 @@ class PlanBuilder {
         if (!anti_with_residual) {
           ScalarExprPtr res =
               residual.empty() ? nullptr : MakeAnd(std::move(residual));
+          std::vector<DataType> right_types = LayoutTypes(*right);
           return MakeHashJoinOp(kind, std::move(left), std::move(right),
-                                std::move(keys), std::move(res));
+                                std::move(keys), std::move(res),
+                                std::move(right_types));
         }
       }
     }
+    std::vector<DataType> right_types = LayoutTypes(*right);
     return MakeNLJoinOp(kind, std::move(left), std::move(right),
-                        node->predicate, /*rebind_inner=*/false);
+                        node->predicate, /*rebind_inner=*/false,
+                        std::move(right_types));
   }
 
   Result<PhysicalOpPtr> BuildApply(const RelExprPtr& node) {
@@ -256,15 +269,16 @@ class PlanBuilder {
     ORQ_ASSIGN_OR_RETURN(PhysicalOpPtr right, Build(node->children[1]));
     bool correlated = FreeVariables(*node->children[1])
                           .Intersects(node->children[0]->OutputSet());
-    PhysJoinKind kind;
+    PhysJoinKind kind = PhysJoinKind::kInner;
     switch (node->apply_kind) {
       case ApplyKind::kCross: kind = PhysJoinKind::kInner; break;
       case ApplyKind::kOuter: kind = PhysJoinKind::kLeftOuter; break;
       case ApplyKind::kSemi: kind = PhysJoinKind::kLeftSemi; break;
       case ApplyKind::kAnti: kind = PhysJoinKind::kLeftAnti; break;
     }
+    std::vector<DataType> right_types = LayoutTypes(*right);
     return MakeNLJoinOp(kind, std::move(left), std::move(right),
-                        TrueLiteral(), correlated);
+                        TrueLiteral(), correlated, std::move(right_types));
   }
 
   const ColumnManager& columns_;

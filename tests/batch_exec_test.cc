@@ -1,0 +1,288 @@
+// Batch-execution unit tests: RowBatch mechanics, batch-boundary behavior
+// of the batched operators (exact multiples of the batch size, unmatched
+// left-outer rows straddling a boundary), typed NULL padding, and the
+// row-mode vs batch-mode equivalence of results and stats.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "exec/ops.h"
+#include "obs/stats.h"
+#include "tests/test_util.h"
+
+namespace orq {
+namespace {
+
+// Drains `op` with an explicit batch size and execution mode.
+Result<std::vector<Row>> DrainBatched(PhysicalOp* op, int batch_size,
+                                      bool batched,
+                                      StatsCollector* stats = nullptr) {
+  ExecContext ctx;
+  ctx.batched = batched;
+  ctx.batch_size = batch_size;
+  ctx.stats = stats;
+  return ExecuteToVector(op, &ctx);
+}
+
+TEST(RowBatchTest, PushPopClearAndCapacity) {
+  RowBatch batch(4);
+  EXPECT_EQ(batch.capacity(), 4u);
+  EXPECT_TRUE(batch.empty());
+  EXPECT_FALSE(batch.full());
+
+  Row& first = batch.PushRow();
+  first = {Value::Int64(1)};
+  EXPECT_EQ(batch.size(), 1u);
+  batch.PushRow() = {Value::Int64(2)};
+  batch.PopRow();
+  EXPECT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch.row(0)[0].int64_value(), 1);
+
+  while (!batch.full()) batch.PushRow();
+  EXPECT_EQ(batch.size(), 4u);
+
+  // Clear keeps capacity and storage; the next PushRow exposes the old
+  // slot for overwrite.
+  batch.Clear();
+  EXPECT_TRUE(batch.empty());
+  EXPECT_EQ(batch.capacity(), 4u);
+  EXPECT_EQ(batch.PushRow()[0].int64_value(), 1);  // stale slot 0
+}
+
+TEST(RowBatchTest, RowAddressesStableAcrossPush) {
+  RowBatch batch(8);
+  const Row* first = &batch.PushRow();
+  while (!batch.full()) batch.PushRow();
+  EXPECT_EQ(first, &batch.row(0));
+}
+
+class BatchExecTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // 12 left rows keyed 0..11; right matches even keys < 8 (two rows per
+    // match so join fan-out crosses batch boundaries at size 4).
+    t_ = *catalog_.CreateTable("t", {{"k", DataType::kInt64, false}});
+    for (int i = 0; i < 12; ++i) {
+      ASSERT_TRUE(t_->Append({Value::Int64(i)}).ok());
+    }
+    s_ = *catalog_.CreateTable("s", {{"fk", DataType::kInt64, false},
+                                     {"w", DataType::kInt64, false}});
+    for (int i = 0; i < 8; i += 2) {
+      ASSERT_TRUE(s_->Append({Value::Int64(i), Value::Int64(i * 10)}).ok());
+      ASSERT_TRUE(
+          s_->Append({Value::Int64(i), Value::Int64(i * 10 + 1)}).ok());
+    }
+  }
+
+  PhysicalOpPtr ScanT() { return MakeTableScan(t_, {0}, {1}); }
+  PhysicalOpPtr ScanS() { return MakeTableScan(s_, {0, 1}, {2, 3}); }
+
+  ScalarExprPtr JoinPred() {
+    return Eq(CRef(1, DataType::kInt64), CRef(2, DataType::kInt64));
+  }
+
+  Catalog catalog_;
+  Table* t_ = nullptr;
+  Table* s_ = nullptr;
+  Table* u_ = nullptr;
+};
+
+// A stream whose length is an exact multiple of the batch size must end
+// with one final empty pull, not an error or a duplicated batch.
+TEST_F(BatchExecTest, ExactMultipleOfBatchSizeTerminates) {
+  PhysicalOpPtr scan = ScanT();  // 12 rows
+  ExecContext ctx;
+  ctx.batch_size = 4;
+  ASSERT_TRUE(scan->Open(&ctx).ok());
+  RowBatch batch(ctx.batch_size);
+  int pulls = 0;
+  size_t rows = 0;
+  for (;;) {
+    ASSERT_TRUE(scan->NextBatch(&ctx, &batch).ok());
+    ++pulls;
+    if (batch.empty()) break;
+    rows += batch.size();
+  }
+  scan->Close();
+  EXPECT_EQ(rows, 12u);
+  EXPECT_EQ(pulls, 4);  // three full batches + the empty EOS pull
+}
+
+// Empty input: the very first pull is the EOS pull.
+TEST_F(BatchExecTest, EmptyInputFirstPullIsEos) {
+  PhysicalOpPtr plan = MakeFilterOp(ScanT(), LitBool(false));
+  ExecContext ctx;
+  ctx.batch_size = 4;
+  ASSERT_TRUE(plan->Open(&ctx).ok());
+  RowBatch batch(ctx.batch_size);
+  ASSERT_TRUE(plan->NextBatch(&ctx, &batch).ok());
+  EXPECT_TRUE(batch.empty());
+  plan->Close();
+}
+
+// Left-outer joins emit unmatched rows after the probe of each left row
+// fails; with batch size 4 and 8 unmatched left rows the padded output
+// straddles several batch boundaries. Both join implementations must agree
+// with the row-at-a-time drain exactly.
+TEST_F(BatchExecTest, LeftOuterUnmatchedStraddlesBatchBoundary) {
+  for (bool hash : {false, true}) {
+    auto make = [&]() -> PhysicalOpPtr {
+      if (hash) {
+        return MakeHashJoinOp(
+            PhysJoinKind::kLeftOuter, ScanT(), ScanS(),
+            {{CRef(1, DataType::kInt64), CRef(2, DataType::kInt64)}}, nullptr,
+            {DataType::kInt64, DataType::kInt64});
+      }
+      return MakeNLJoinOp(PhysJoinKind::kLeftOuter, ScanT(), ScanS(),
+                          JoinPred(), false,
+                          {DataType::kInt64, DataType::kInt64});
+    };
+    PhysicalOpPtr batched_plan = make();
+    Result<std::vector<Row>> batched = DrainBatched(batched_plan.get(), 4,
+                                                    /*batched=*/true);
+    ASSERT_TRUE(batched.ok()) << batched.status().ToString();
+    PhysicalOpPtr row_plan = make();
+    Result<std::vector<Row>> row_mode = DrainBatched(row_plan.get(), 4,
+                                                     /*batched=*/false);
+    ASSERT_TRUE(row_mode.ok()) << row_mode.status().ToString();
+    // 4 matched keys x 2 right rows + 8 unmatched = 16 rows.
+    EXPECT_EQ(batched->size(), 16u) << (hash ? "hash" : "nl");
+    EXPECT_EQ(CanonicalRows(*batched), CanonicalRows(*row_mode))
+        << (hash ? "hash" : "nl");
+  }
+}
+
+// Unmatched LOJ padding must carry the right layout's declared types, not
+// default int64 (a Compute above the join dispatches on them).
+TEST_F(BatchExecTest, LeftOuterPadsDeclaredTypes) {
+  u_ = *catalog_.CreateTable("u", {{"fk", DataType::kInt64, false},
+                                   {"name", DataType::kString, false},
+                                   {"score", DataType::kDouble, false}});
+  ASSERT_TRUE(u_->Append({Value::Int64(0), Value::String("zero"),
+                          Value::Double(0.5)})
+                  .ok());
+  const std::vector<DataType> right_types = {
+      DataType::kInt64, DataType::kString, DataType::kDouble};
+  auto scan_u = [&]() { return MakeTableScan(u_, {0, 1, 2}, {2, 3, 4}); };
+  PhysicalOpPtr nl = MakeNLJoinOp(PhysJoinKind::kLeftOuter, ScanT(), scan_u(),
+                                  JoinPred(), false, right_types);
+  PhysicalOpPtr hash = MakeHashJoinOp(
+      PhysJoinKind::kLeftOuter, ScanT(), scan_u(),
+      {{CRef(1, DataType::kInt64), CRef(2, DataType::kInt64)}}, nullptr,
+      right_types);
+  for (PhysicalOp* plan : {nl.get(), hash.get()}) {
+    Result<std::vector<Row>> rows = DrainBatched(plan, 4, /*batched=*/true);
+    ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+    ASSERT_EQ(rows->size(), 12u);
+    int padded = 0;
+    for (const Row& row : *rows) {
+      if (!row[1].is_null()) continue;  // matched k=0
+      ++padded;
+      EXPECT_EQ(row[1].type(), DataType::kInt64);
+      EXPECT_EQ(row[2].type(), DataType::kString);
+      EXPECT_EQ(row[3].type(), DataType::kDouble);
+    }
+    EXPECT_EQ(padded, 11);
+  }
+}
+
+// The two pull disciplines are one engine: identical rows, identical
+// rows_produced, identical per-operator rows_out/opens, and the batched
+// path pulls no more often than the row path.
+TEST_F(BatchExecTest, StatsConsistentAcrossModes) {
+  auto make = [&]() {
+    PhysicalOpPtr join = MakeHashJoinOp(
+        PhysJoinKind::kLeftOuter, ScanT(), ScanS(),
+        {{CRef(1, DataType::kInt64), CRef(2, DataType::kInt64)}}, nullptr,
+        {DataType::kInt64, DataType::kInt64});
+    return MakeHashAggregateOp(
+        std::move(join), {1},
+        {AggItem{AggFunc::kCountStar, nullptr, 5, false}}, false);
+  };
+
+  auto run = [&](bool batched, StatsCollector* stats, int64_t* produced) {
+    PhysicalOpPtr plan = make();
+    ExecContext ctx;
+    ctx.batched = batched;
+    ctx.batch_size = 4;
+    ctx.stats = stats;
+    Result<std::vector<Row>> rows = ExecuteToVector(plan.get(), &ctx);
+    EXPECT_TRUE(rows.ok()) << rows.status().ToString();
+    *produced = ctx.rows_produced;
+    return CanonicalRows(*rows);
+  };
+
+  StatsCollector batched_stats;
+  StatsCollector row_stats;
+  int64_t batched_produced = 0;
+  int64_t row_produced = 0;
+  auto batched_rows = run(true, &batched_stats, &batched_produced);
+  auto row_rows = run(false, &row_stats, &row_produced);
+
+  EXPECT_EQ(batched_rows, row_rows);
+  EXPECT_EQ(batched_produced, row_produced);
+  EXPECT_EQ(batched_stats.TotalRowsOut(), row_stats.TotalRowsOut());
+  EXPECT_EQ(batched_stats.TotalRowsOut(), batched_produced);
+}
+
+// Result equivalence across every join kind, both implementations, and
+// batch sizes around the boundary cases (1, a non-divisor, the default).
+TEST_F(BatchExecTest, ModeEquivalenceSweep) {
+  for (PhysJoinKind kind :
+       {PhysJoinKind::kInner, PhysJoinKind::kLeftOuter, PhysJoinKind::kLeftSemi,
+        PhysJoinKind::kLeftAnti}) {
+    for (bool hash : {false, true}) {
+      auto make = [&]() -> PhysicalOpPtr {
+        if (hash) {
+          return MakeHashJoinOp(
+              kind, ScanT(), ScanS(),
+              {{CRef(1, DataType::kInt64), CRef(2, DataType::kInt64)}},
+              nullptr, {DataType::kInt64, DataType::kInt64});
+        }
+        return MakeNLJoinOp(kind, ScanT(), ScanS(), JoinPred(), false,
+                            {DataType::kInt64, DataType::kInt64});
+      };
+      PhysicalOpPtr reference_plan = make();
+      Result<std::vector<Row>> reference =
+          DrainBatched(reference_plan.get(), kDefaultBatchRows,
+                       /*batched=*/false);
+      ASSERT_TRUE(reference.ok());
+      auto expected = CanonicalRows(*reference);
+      for (int batch_size : {1, 3, kDefaultBatchRows}) {
+        PhysicalOpPtr plan = make();
+        Result<std::vector<Row>> rows =
+            DrainBatched(plan.get(), batch_size, /*batched=*/true);
+        ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+        EXPECT_EQ(CanonicalRows(*rows), expected)
+            << (hash ? "hash" : "nl") << " kind=" << static_cast<int>(kind)
+            << " batch=" << batch_size;
+      }
+    }
+  }
+}
+
+// Correlated Apply (rebind_inner) stays on the row adapter but must still
+// honor the batched drain protocol from above.
+TEST_F(BatchExecTest, CorrelatedApplyUnderBatchedDrain) {
+  auto make = [&]() {
+    PhysicalOpPtr inner = MakeFilterOp(
+        ScanS(), Eq(CRef(2, DataType::kInt64), CRef(1, DataType::kInt64)));
+    return MakeNLJoinOp(PhysJoinKind::kInner, ScanT(), std::move(inner),
+                        TrueLiteral(), true);
+  };
+  PhysicalOpPtr batched_plan = make();
+  Result<std::vector<Row>> batched =
+      DrainBatched(batched_plan.get(), 4, /*batched=*/true);
+  ASSERT_TRUE(batched.ok());
+  EXPECT_EQ(batched->size(), 8u);  // 4 matched keys x 2 right rows
+  PhysicalOpPtr row_plan = make();
+  Result<std::vector<Row>> row_mode =
+      DrainBatched(row_plan.get(), 4, /*batched=*/false);
+  ASSERT_TRUE(row_mode.ok());
+  EXPECT_EQ(CanonicalRows(*batched), CanonicalRows(*row_mode));
+}
+
+}  // namespace
+}  // namespace orq

@@ -3,6 +3,12 @@
 // bag-comparison divergence with a minimized reproducer and both plans.
 //
 // Usage: difftest [--seed N] [--queries N] [--max-failures N] [--verbose]
+//                 [--reference-exec row|batch] [--test-exec row|batch]
+//
+// The exec flags pick the pull discipline per side: "batch" (default)
+// drains through NextBatch, "row" forces the classic one-row Volcano
+// adapter. Mixing them cross-checks the batched engine against the
+// row-at-a-time engine on the same query stream.
 //
 // Exit code 0 when every query agreed, 1 on divergence, 2 on setup error.
 
@@ -30,10 +36,33 @@ int main(int argc, char** argv) {
       options.max_failures = static_cast<int>(next_int("--max-failures"));
     } else if (std::strcmp(argv[i], "--verbose") == 0) {
       options.verbose = true;
+    } else if (std::strcmp(argv[i], "--reference-exec") == 0 ||
+               std::strcmp(argv[i], "--test-exec") == 0) {
+      const char* flag = argv[i];
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires row|batch\n", flag);
+        return 2;
+      }
+      const char* mode = argv[++i];
+      bool batched;
+      if (std::strcmp(mode, "row") == 0) {
+        batched = false;
+      } else if (std::strcmp(mode, "batch") == 0) {
+        batched = true;
+      } else {
+        std::fprintf(stderr, "%s expects row|batch, got %s\n", flag, mode);
+        return 2;
+      }
+      if (std::strcmp(flag, "--reference-exec") == 0) {
+        options.reference_batched = batched;
+      } else {
+        options.test_batched = batched;
+      }
     } else {
       std::fprintf(stderr,
                    "unknown argument %s\nusage: difftest [--seed N] "
-                   "[--queries N] [--max-failures N] [--verbose]\n",
+                   "[--queries N] [--max-failures N] [--verbose] "
+                   "[--reference-exec row|batch] [--test-exec row|batch]\n",
                    argv[i]);
       return 2;
     }
