@@ -31,6 +31,15 @@ inline std::string& BenchJsonPath() {
 /// "milli scale factor": 5 -> SF 0.005.
 inline double MilliSf(int64_t arg) { return arg / 1000.0; }
 
+/// Per-operator plan JSON captured during `--json` runs, keyed by the
+/// "plan#N" label each benchmark sets. google-benchmark's Run carries the
+/// label but no arbitrary payload, so the JSON rides in this registry and
+/// WriteBenchJson joins them back up by index.
+inline std::vector<std::string>& PlanJsonRegistry() {
+  static auto* plans = new std::vector<std::string>();
+  return *plans;
+}
+
 /// Shared TPC-H catalogs, generated once per scale factor.
 inline Catalog* TpchAt(double scale_factor) {
   static auto* catalogs = new std::map<double, std::unique_ptr<Catalog>>();
@@ -119,6 +128,8 @@ inline void RunQueryBenchmark(benchmark::State& state, Catalog* catalog,
     if (analyzed.ok()) {
       state.counters["peak_cardinality"] =
           static_cast<double>(MaxPeakCardinality(analyzed->plan));
+      state.SetLabel("plan#" + std::to_string(PlanJsonRegistry().size()));
+      PlanJsonRegistry().push_back(PlanStatsToJson(analyzed->plan));
     }
   }
   MaybeDumpStatsJson(&engine, sql, label);
@@ -185,6 +196,16 @@ inline bool WriteBenchJson(
       AppendJsonString(counter_name, &line);
       std::snprintf(buf, sizeof buf, ":%.17g", counter.value);
       line += buf;
+    }
+    // Rejoin the per-operator plan JSON captured under this run's
+    // "plan#N" label (see PlanJsonRegistry).
+    if (run.report_label.rfind("plan#", 0) == 0) {
+      const size_t index = static_cast<size_t>(
+          std::strtoul(run.report_label.c_str() + 5, nullptr, 10));
+      if (index < PlanJsonRegistry().size()) {
+        line += ",\"plan\":";
+        line += PlanJsonRegistry()[index];
+      }
     }
     line += run.error_occurred ? ",\"error\":true}" : ",\"error\":false}";
     std::fprintf(file, "%s\n", line.c_str());

@@ -28,6 +28,31 @@ for bench_bin in build/bench/bench_*; do
   build/tools/json_check "${BENCH_SMOKE_DIR}/${name}.json"
 done
 
+echo "=== Bench baseline gate ==="
+# Compares the smoke-run reports against the checked-in baselines:
+# result_rows/rows_produced must match exactly (a silent correctness or
+# plan change), wall time may drift up to ORQ_BENCH_TOLERANCE. The default
+# is deliberately loose — the smoke run uses tiny timing windows and CI
+# machines are noisy; refresh baselines with
+# scripts/refresh_bench_baselines.sh after intentional perf changes.
+: "${ORQ_BENCH_TOLERANCE:=4.0}"
+export ORQ_BENCH_TOLERANCE
+for pair in \
+    bench_fig1_strategies:BENCH_fig1.json \
+    bench_fig8_suite:BENCH_fig8.json \
+    bench_fig9_q2:BENCH_fig9_q2.json \
+    bench_fig9_q17:BENCH_fig9_q17.json; do
+  bench_bin="${pair%%:*}"
+  baseline="bench/baselines/${pair##*:}"
+  build/tools/bench_compare "${baseline}" \
+    "${BENCH_SMOKE_DIR}/${bench_bin}.json"
+done
+
+echo "=== orq_profile smoke (Chrome trace export) ==="
+build/tools/orq_profile --tpch Q2 --sf 0.002 \
+  --out build/profile_smoke_trace.json >/dev/null
+build/tools/json_check build/profile_smoke_trace.json
+
 echo "=== ASan+UBSan build + tests ==="
 cmake --preset asan >/dev/null
 cmake --build --preset asan -j "${JOBS}"

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Regenerates bench/baselines/BENCH_*.json — the perf-regression gate's
+# reference numbers (see scripts/ci.sh and tools/bench_compare.cc).
+#
+# Run this ON THE MACHINE THAT RUNS CI after any intentional performance
+# change, then commit the updated baselines alongside the change. Wall
+# times only gate within a tolerance, but the baselines' exact
+# result_rows/rows_produced are what pin query correctness and plan work.
+#
+#   $ scripts/refresh_bench_baselines.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake --preset release >/dev/null
+cmake --build --preset release -j "$(nproc)" >/dev/null
+
+# A longer timing window than the CI smoke run: baseline wall numbers
+# should be the stable ones.
+MIN_TIME="${ORQ_BENCH_MIN_TIME:=0.05}"
+
+for pair in \
+    bench_fig1_strategies:BENCH_fig1.json \
+    bench_fig8_suite:BENCH_fig8.json \
+    bench_fig9_q2:BENCH_fig9_q2.json \
+    bench_fig9_q17:BENCH_fig9_q17.json; do
+  bench_bin="${pair%%:*}"
+  out="bench/baselines/${pair##*:}"
+  echo "=== ${bench_bin} -> ${out} ==="
+  "build/bench/${bench_bin}" --benchmark_min_time="${MIN_TIME}" \
+    --json "${out}" >/dev/null
+  build/tools/json_check "${out}"
+done
+
+echo "baselines refreshed; review and commit bench/baselines/"

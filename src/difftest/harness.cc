@@ -21,6 +21,33 @@ std::string ExplainSide(QueryEngine& engine, const std::string& sql) {
   return "explain failed: " + plain.status().ToString() + "\n";
 }
 
+/// Runs `sql` instrumented on `engine` and checks that the per-operator
+/// stats tree accounts for every row the engine counted. A mismatch means
+/// an operator bypassed its instrumented shell (or the collector attributed
+/// rows to a stale operator) — exactly the regression the observability
+/// layer must never ship with.
+void CheckStatsInvariant(QueryEngine& engine, const char* side,
+                         const std::string& sql, int query_index,
+                         HarnessReport* report) {
+  constexpr int kMaxViolations = 8;
+  if (static_cast<int>(report->stats_violations.size()) >= kMaxViolations) {
+    return;
+  }
+  Result<AnalyzedQuery> analyzed = engine.ExecuteAnalyzed(sql);
+  // Runtime errors are the oracle's department; the invariant only
+  // applies to queries that execute.
+  if (!analyzed.ok()) return;
+  ++report->stats_checked;
+  const int64_t stats_rows = TotalRowsOut(analyzed->plan);
+  const int64_t engine_rows = analyzed->result.rows_produced;
+  if (stats_rows != engine_rows) {
+    report->stats_violations.push_back(
+        "query #" + std::to_string(query_index) + " (" + side +
+        "): stats TotalRowsOut=" + std::to_string(stats_rows) +
+        " != rows_produced=" + std::to_string(engine_rows) + "  sql: " + sql);
+  }
+}
+
 }  // namespace
 
 std::string HarnessReport::Summary() const {
@@ -30,7 +57,13 @@ std::string HarnessReport::Summary() const {
                     " both-error=" + std::to_string(both_error) +
                     " cardinality-tolerated=" +
                     std::to_string(cardinality_tolerated) +
-                    " divergences=" + std::to_string(failures.size()) + "\n";
+                    " divergences=" + std::to_string(failures.size()) +
+                    " stats-checked=" + std::to_string(stats_checked) +
+                    " stats-violations=" +
+                    std::to_string(stats_violations.size()) + "\n";
+  for (const std::string& violation : stats_violations) {
+    out += "  STATS " + violation + "\n";
+  }
   for (const Failure& f : failures) {
     out += "\n=== divergence at query #" + std::to_string(f.query_index) +
            " (" + VerdictName(f.verdict) + ") ===\n";
@@ -64,6 +97,12 @@ Result<HarnessReport> RunDifftest(const HarnessOptions& options) {
     }
     DualOutcome outcome = oracle.Run(sql);
     ++report.executed;
+    if (options.stats_check_every > 0 &&
+        i % options.stats_check_every == 0 &&
+        !IsDivergence(outcome.verdict)) {
+      CheckStatsInvariant(oracle.naive_engine(), "naive", sql, i, &report);
+      CheckStatsInvariant(oracle.full_engine(), "full", sql, i, &report);
+    }
     switch (outcome.verdict) {
       case Verdict::kMatch:
         ++report.matches;

@@ -24,6 +24,12 @@ struct HarnessOptions {
   /// the row-at-a-time Volcano engine (mixed mode).
   bool reference_batched = true;
   bool test_batched = true;
+  /// Every Nth query is additionally run instrumented on both engines to
+  /// assert the stats invariant TotalRowsOut(plan) == rows_produced (the
+  /// per-operator stats tree must account for every row the engine counts).
+  /// 0 disables; kept sparse because instrumented re-runs triple the cost
+  /// of the checked queries.
+  int stats_check_every = 7;
 };
 
 struct HarnessReport {
@@ -43,8 +49,11 @@ struct HarnessReport {
   int both_error = 0;
   int cardinality_tolerated = 0;
   std::vector<Failure> failures;
+  /// Stats-invariant checks run / violations found (see stats_check_every).
+  int stats_checked = 0;
+  std::vector<std::string> stats_violations;
 
-  bool ok() const { return failures.empty(); }
+  bool ok() const { return failures.empty() && stats_violations.empty(); }
   /// One-paragraph tally plus, for every failure, the minimized reproducer
   /// and both plans — ready to paste into a bug report.
   std::string Summary() const;

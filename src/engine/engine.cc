@@ -55,7 +55,8 @@ Result<QueryResult> RunAndProject(PhysicalOp* plan,
 
 std::string AnalyzedQuery::ToJson(const std::string& label) const {
   return AnalyzedToJson(label, sql, static_cast<int64_t>(result.rows.size()),
-                        result.rows_produced, plan, trace);
+                        result.rows_produced, plan, trace, &profile,
+                        &metrics);
 }
 
 EngineOptions EngineOptions::Full() { return EngineOptions(); }
@@ -84,28 +85,44 @@ EngineOptions EngineOptions::NoSegmentApply() {
 }
 
 Result<QueryEngine::Compiled> QueryEngine::CompileWith(
-    const std::string& sql, const EngineOptions& options) {
+    const std::string& sql, const EngineOptions& options,
+    QueryProfile* profile) {
   Compiled compiled;
   compiled.columns = std::make_shared<ColumnManager>();
 
-  ORQ_ASSIGN_OR_RETURN(SelectStmtPtr ast, ParseSql(sql));
-  Binder binder(catalog_, compiled.columns);
-  ORQ_ASSIGN_OR_RETURN(BoundQuery bound, binder.Bind(*ast));
-  compiled.bound = bound.root;
-  compiled.output_cols = bound.output_cols;
-  compiled.output_names = bound.output_names;
-
-  ORQ_ASSIGN_OR_RETURN(
-      compiled.applied,
-      IntroduceApplies(compiled.bound, compiled.columns.get()));
-  ORQ_ASSIGN_OR_RETURN(
-      compiled.normalized,
-      Normalize(compiled.applied, compiled.columns.get(),
-                options.normalizer));
-  ORQ_ASSIGN_OR_RETURN(
-      compiled.optimized,
-      OptimizeTree(compiled.normalized, catalog_, compiled.columns.get(),
-                   options.optimizer));
+  SelectStmtPtr ast;
+  {
+    PhaseTimer timer(profile, QueryPhase::kParse);
+    ORQ_ASSIGN_OR_RETURN(ast, ParseSql(sql));
+  }
+  {
+    PhaseTimer timer(profile, QueryPhase::kBind);
+    Binder binder(catalog_, compiled.columns);
+    ORQ_ASSIGN_OR_RETURN(BoundQuery bound, binder.Bind(*ast));
+    compiled.bound = bound.root;
+    compiled.output_cols = bound.output_cols;
+    compiled.output_names = bound.output_names;
+  }
+  {
+    PhaseTimer timer(profile, QueryPhase::kApplyIntro);
+    ORQ_ASSIGN_OR_RETURN(
+        compiled.applied,
+        IntroduceApplies(compiled.bound, compiled.columns.get()));
+  }
+  {
+    PhaseTimer timer(profile, QueryPhase::kNormalize);
+    ORQ_ASSIGN_OR_RETURN(
+        compiled.normalized,
+        Normalize(compiled.applied, compiled.columns.get(),
+                  options.normalizer));
+  }
+  {
+    PhaseTimer timer(profile, QueryPhase::kOptimize);
+    ORQ_ASSIGN_OR_RETURN(
+        compiled.optimized,
+        OptimizeTree(compiled.normalized, catalog_, compiled.columns.get(),
+                     options.optimizer));
+  }
   return compiled;
 }
 
@@ -124,46 +141,86 @@ Result<QueryResult> QueryEngine::ExecuteCompiled(const Compiled& compiled) {
   return RunAndProject(plan.get(), compiled, &ctx);
 }
 
-Result<AnalyzedQuery> QueryEngine::ExecuteAnalyzed(const std::string& sql) {
+namespace {
+
+/// Preorder registration of the operator tree for span export: ids are
+/// assigned parent-before-child and names are formatted once, up front, so
+/// span emission at Close touches no virtual calls.
+void RegisterOpTree(SpanRecorder* spans, const PhysicalOp& op,
+                    int parent_id) {
+  const int id = spans->RegisterOp(&op, op.name(), parent_id);
+  for (const PhysicalOp* child : op.children()) {
+    RegisterOpTree(spans, *child, id);
+  }
+}
+
+}  // namespace
+
+Result<AnalyzedQuery> QueryEngine::ExecuteAnalyzed(
+    const std::string& sql, const AnalyzeOptions& analyze) {
   AnalyzedQuery analyzed;
   analyzed.sql = sql;
+  analyzed.profile.start_nanos = ObsNowNanos();
 
   EngineOptions options = options_;
   options.normalizer.trace = &analyzed.trace;
   options.optimizer.trace = &analyzed.trace;
-  ORQ_ASSIGN_OR_RETURN(Compiled compiled, CompileWith(sql, options));
+  ORQ_ASSIGN_OR_RETURN(Compiled compiled,
+                       CompileWith(sql, options, &analyzed.profile));
 
-  CostModel cost(catalog_);
-  ORQ_ASSIGN_OR_RETURN(
-      PhysicalOpPtr plan,
-      BuildPhysicalPlan(compiled.optimized, *compiled.columns,
-                        options_.physical, &cost));
+  PhysicalOpPtr plan;
+  {
+    PhaseTimer timer(&analyzed.profile, QueryPhase::kPhysicalBuild);
+    CostModel cost(catalog_);
+    ORQ_ASSIGN_OR_RETURN(
+        plan, BuildPhysicalPlan(compiled.optimized, *compiled.columns,
+                                options_.physical, &cost));
+    if (analyze.record_spans) {
+      RegisterOpTree(&analyzed.spans, *plan, /*parent_id=*/-1);
+    }
+  }
 
   StatsCollector collector;
+  ExecInstruments instruments;
+  instruments.stats = &collector;
+  instruments.metrics = &analyzed.metrics;
+  instruments.spans = analyze.record_spans ? &analyzed.spans : nullptr;
   ExecContext ctx;
-  ctx.stats = &collector;
+  ctx.instruments = &instruments;
   ctx.batched = options_.exec.batched;
   ctx.batch_size = options_.exec.batch_size;
-  const int64_t start = ObsNowNanos();
-  ORQ_ASSIGN_OR_RETURN(analyzed.result,
-                       RunAndProject(plan.get(), compiled, &ctx));
-  analyzed.exec_wall_nanos = ObsNowNanos() - start;
+  {
+    PhaseTimer timer(&analyzed.profile, QueryPhase::kExecute);
+    const int64_t start = ObsNowNanos();
+    ORQ_ASSIGN_OR_RETURN(analyzed.result,
+                         RunAndProject(plan.get(), compiled, &ctx));
+    analyzed.exec_wall_nanos = ObsNowNanos() - start;
+  }
+  analyzed.profile.total_nanos =
+      ObsNowNanos() - analyzed.profile.start_nanos;
   analyzed.plan =
       BuildPlanStats(*plan, collector, compiled.columns.get());
-  // The context counter and the per-operator aggregation measure the same
-  // thing; report the aggregated value so a mismatch cannot hide.
-  analyzed.result.rows_produced = collector.TotalRowsOut();
+  // rows_produced stays the context counter (set in RunAndProject); the
+  // per-operator aggregation must independently agree with it —
+  // TotalRowsOut(plan) == rows_produced is a tested invariant, and the
+  // difftest harness cross-checks it on both execution modes.
   return analyzed;
 }
 
 Result<std::string> QueryEngine::ExplainAnalyze(const std::string& sql) {
   ORQ_ASSIGN_OR_RETURN(AnalyzedQuery analyzed, ExecuteAnalyzed(sql));
   std::string out;
-  out += "== Physical plan (actual vs estimated) ==\n";
+  out += "== Phase times ==\n";
+  out += RenderProfile(analyzed.profile, &analyzed.trace);
+  out += "\n== Physical plan (actual vs estimated) ==\n";
   out += RenderPlanStats(analyzed.plan);
   out += "\n== Rewrite trace (" + std::to_string(analyzed.trace.size()) +
          " events) ==\n";
   out += RenderTrace(analyzed.trace);
+  if (!analyzed.metrics.empty()) {
+    out += "\n== Engine metrics ==\n";
+    out += RenderMetrics(analyzed.metrics);
+  }
   char line[160];
   std::snprintf(line, sizeof(line),
                 "\n== Totals ==\nresult rows=%zu rows_produced=%lld "

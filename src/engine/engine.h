@@ -8,7 +8,10 @@
 #include "common/result.h"
 #include "exec/exec.h"
 #include "normalize/normalizer.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/report.h"
+#include "obs/spans.h"
 #include "obs/trace.h"
 #include "opt/optimizer.h"
 #include "opt/physical.h"
@@ -34,12 +37,28 @@ struct AnalyzedQuery {
   /// operator (paper Figs. 1/8/9 attribution; cost calibration hook).
   PlanStatsNode plan;
   TraceLog trace;
+  /// Wall-nanosecond breakdown of the whole lifecycle (parse through
+  /// execute); profile.total_nanos is the end-to-end wall time.
+  QueryProfile profile;
+  /// Engine-wide execution metrics (hash-path shape, spools, re-opens).
+  MetricsRegistry metrics;
+  /// Operator Open→Close spans; populated only when AnalyzeOptions
+  /// requested span recording (ChromeTraceJson renders them).
+  SpanRecorder spans;
   /// Wall time of the execution phase (Open to Close of the root).
   int64_t exec_wall_nanos = 0;
 
   /// Machine-readable form (schema in DESIGN.md). `label` identifies the
   /// run (benchmark name, engine configuration, ...).
   std::string ToJson(const std::string& label = "") const;
+};
+
+/// Knobs for ExecuteAnalyzed beyond the engine configuration.
+struct AnalyzeOptions {
+  /// Record one span per operator Open→Close lifetime (orq_profile's trace
+  /// export). Off by default: spans grow with correlated re-opens, which
+  /// EXPLAIN ANALYZE does not need.
+  bool record_spans = false;
 };
 
 /// End-to-end engine configuration. Defaults enable the paper's full
@@ -99,7 +118,8 @@ class QueryEngine {
   /// rule tracing, and cost-model estimates on the physical plan. Results
   /// are identical to Execute; only the instrumented path pays collection
   /// overhead.
-  Result<AnalyzedQuery> ExecuteAnalyzed(const std::string& sql);
+  Result<AnalyzedQuery> ExecuteAnalyzed(const std::string& sql,
+                                        const AnalyzeOptions& analyze = {});
 
   /// EXPLAIN ANALYZE: runs the query and renders the physical plan with
   /// actual rows/wall time next to the cost model's estimates, followed by
@@ -108,9 +128,11 @@ class QueryEngine {
 
  private:
   /// Compile with explicit options (ExecuteAnalyzed attaches trace sinks
-  /// without mutating the engine's configuration).
+  /// without mutating the engine's configuration). A non-null `profile`
+  /// times each compile phase (parse/bind/apply_intro/normalize/optimize).
   Result<Compiled> CompileWith(const std::string& sql,
-                               const EngineOptions& options);
+                               const EngineOptions& options,
+                               QueryProfile* profile = nullptr);
 
   Catalog* catalog_;
   EngineOptions options_;

@@ -4,6 +4,7 @@
 #include "exec/evaluator.h"
 #include "exec/ops.h"
 #include "exec/packed_key.h"
+#include "obs/metrics.h"
 
 namespace orq {
 
@@ -54,9 +55,14 @@ class HashAggregateOp : public PhysicalOp {
     // indexes dense per-group accumulator storage.
     RowBatch batch(ctx->batch_size);
     Row key(group_slots_.size());
+    MetricsRegistry* m = metrics();
     while (true) {
       ORQ_RETURN_IF_ERROR(children_[0]->NextBatch(ctx, &batch));
       if (batch.empty()) break;
+      if (m != nullptr) {
+        m->Add(MetricCounter::kHashAggInputRows,
+               static_cast<int64_t>(batch.size()));
+      }
       for (size_t r = 0; r < batch.size(); ++r) {
         const Row& row = batch.row(r);
         for (size_t i = 0; i < group_slots_.size(); ++i) {
@@ -77,6 +83,16 @@ class HashAggregateOp : public PhysicalOp {
     }
     children_[0]->Close();
     RecordPeak(static_cast<int64_t>(groups_.size()));
+    if (m != nullptr) {
+      m->Add(MetricCounter::kHashAggGroups,
+             static_cast<int64_t>(groups_.size()));
+      // Occupied-bucket chain lengths at build end — the collision shape a
+      // probe walks (hash quality + load factor in one distribution).
+      for (size_t b = 0; b < groups_.bucket_count(); ++b) {
+        const int64_t chain = static_cast<int64_t>(groups_.bucket_size(b));
+        if (chain > 0) m->Observe(MetricHistogram::kHashAggBucketChain, chain);
+      }
+    }
     emit_pos_ = 0;
     return Status::OK();
   }

@@ -1,6 +1,76 @@
 #include "exec/exec.h"
 
+#include "obs/metrics.h"
+#include "obs/spans.h"
+
 namespace orq {
+
+Status PhysicalOp::OpenInstrumented(ExecContext* ctx) {
+  const ExecInstruments& instruments = *ctx->instruments;
+  instrumented_ = true;
+  stats_ = instruments.stats != nullptr ? instruments.stats->StatsFor(this)
+                                        : nullptr;
+  metrics_ = instruments.metrics;
+  spans_ = instruments.spans;
+  open_start_nanos_ = ObsNowNanos();
+  Status status = OpenImpl(ctx);
+  if (stats_ != nullptr) {
+    ++stats_->open_calls;
+    stats_->wall_nanos += ObsNowNanos() - open_start_nanos_;
+  }
+  return status;
+}
+
+Result<bool> PhysicalOp::NextInstrumented(ExecContext* ctx, Row* row) {
+  const int64_t start = ObsNowNanos();
+  Result<bool> more = NextImpl(ctx, row);
+  stats_->wall_nanos += ObsNowNanos() - start;
+  ++stats_->next_calls;
+  if (more.ok() && *more) {
+    ++stats_->rows_out;
+    ++ctx->rows_produced;
+  }
+  return more;
+}
+
+Status PhysicalOp::NextBatchInstrumented(ExecContext* ctx, RowBatch* batch) {
+  const int64_t start = ObsNowNanos();
+  Status status = ctx->batched ? NextBatchImpl(ctx, batch)
+                               : FillFromNextImpl(ctx, batch);
+  if (stats_ != nullptr) {
+    stats_->wall_nanos += ObsNowNanos() - start;
+    ++stats_->next_calls;
+  }
+  if (status.ok()) {
+    const int64_t rows = static_cast<int64_t>(batch->size());
+    ctx->rows_produced += rows;
+    if (rows > 0) {
+      // The terminal empty pull is excluded from fill accounting: every
+      // stream ends with one, so counting it only dilutes the signal.
+      const int64_t slots = static_cast<int64_t>(batch->capacity());
+      if (stats_ != nullptr) {
+        stats_->rows_out += rows;
+        stats_->batch_slots += slots;
+      }
+      if (metrics_ != nullptr && slots > 0) {
+        metrics_->Observe(MetricHistogram::kBatchFillPercent,
+                          100 * rows / slots);
+      }
+    }
+  }
+  return status;
+}
+
+void PhysicalOp::CloseInstrumented() {
+  const int64_t start = ObsNowNanos();
+  CloseImpl();
+  const int64_t end = ObsNowNanos();
+  if (stats_ != nullptr) {
+    ++stats_->close_calls;
+    stats_->wall_nanos += end - start;
+  }
+  if (spans_ != nullptr) spans_->AddOpSpan(this, open_start_nanos_, end);
+}
 
 Result<std::vector<Row>> ExecuteToVector(PhysicalOp* plan, ExecContext* ctx) {
   std::vector<Row> rows;

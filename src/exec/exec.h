@@ -59,6 +59,19 @@ class RowBatch {
   size_t size_ = 0;
 };
 
+class MetricsRegistry;
+class SpanRecorder;
+
+/// Optional instrumentation sinks for one execution, bundled so the
+/// operator shells test a single pointer: per-operator stats (EXPLAIN
+/// ANALYZE), the engine metrics registry, and the span recorder. Any
+/// member may be null; a null bundle is the plain Execute path.
+struct ExecInstruments {
+  StatsCollector* stats = nullptr;
+  MetricsRegistry* metrics = nullptr;
+  SpanRecorder* spans = nullptr;
+};
+
 /// Run-time context shared by an operator tree. Correlated execution (Apply,
 /// index lookup) communicates outer-row values through `params`; segmented
 /// execution (SegmentApply) communicates the current segment through
@@ -72,11 +85,11 @@ struct ExecContext {
   /// Number of rows produced by all operators (a cheap work metric used by
   /// tests and benchmarks to compare strategies). Maintained by the
   /// PhysicalOp::Next / NextBatch shells — the single accounting sites —
-  /// whether or not a stats collector is attached.
+  /// whether or not instrumentation is attached.
   int64_t rows_produced = 0;
-  /// Optional per-operator stats collection (EXPLAIN ANALYZE). Null keeps
-  /// the Volcano hot path at one extra branch per call.
-  StatsCollector* stats = nullptr;
+  /// Optional instrumentation (stats / metrics / spans). Null keeps the
+  /// Volcano hot path at one extra branch per call.
+  const ExecInstruments* instruments = nullptr;
   /// Batch-at-a-time execution toggle and batch sizing (ExecOptions).
   bool batched = true;
   int batch_size = kDefaultBatchRows;
@@ -101,16 +114,14 @@ class PhysicalOp {
   const std::vector<ColumnId>& layout() const { return layout_; }
 
   Status Open(ExecContext* ctx) {
-    if (ctx->stats == nullptr) {
+    if (ctx->instruments == nullptr) {
+      instrumented_ = false;
       stats_ = nullptr;
+      metrics_ = nullptr;
+      spans_ = nullptr;
       return OpenImpl(ctx);
     }
-    stats_ = ctx->stats->StatsFor(this);
-    const int64_t start = ObsNowNanos();
-    Status status = OpenImpl(ctx);
-    ++stats_->open_calls;
-    stats_->wall_nanos += ObsNowNanos() - start;
-    return status;
+    return OpenInstrumented(ctx);
   }
 
   /// Fills `row` and returns true, or returns false at end of stream.
@@ -120,15 +131,7 @@ class PhysicalOp {
       if (more.ok() && *more) ++ctx->rows_produced;
       return more;
     }
-    const int64_t start = ObsNowNanos();
-    Result<bool> more = NextImpl(ctx, row);
-    stats_->wall_nanos += ObsNowNanos() - start;
-    ++stats_->next_calls;
-    if (more.ok() && *more) {
-      ++stats_->rows_out;
-      ++ctx->rows_produced;
-    }
-    return more;
+    return NextInstrumented(ctx, row);
   }
 
   /// Clears `batch` and refills it with up to batch->capacity() rows. An
@@ -138,33 +141,21 @@ class PhysicalOp {
   /// so the two diverge by roughly the batch size on this path.
   Status NextBatch(ExecContext* ctx, RowBatch* batch) {
     batch->Clear();
-    if (stats_ == nullptr) {
+    if (!instrumented_) {
       Status status = ctx->batched ? NextBatchImpl(ctx, batch)
                                    : FillFromNextImpl(ctx, batch);
       if (status.ok()) ctx->rows_produced += batch->size();
       return status;
     }
-    const int64_t start = ObsNowNanos();
-    Status status = ctx->batched ? NextBatchImpl(ctx, batch)
-                                 : FillFromNextImpl(ctx, batch);
-    stats_->wall_nanos += ObsNowNanos() - start;
-    ++stats_->next_calls;
-    if (status.ok()) {
-      stats_->rows_out += static_cast<int64_t>(batch->size());
-      ctx->rows_produced += static_cast<int64_t>(batch->size());
-    }
-    return status;
+    return NextBatchInstrumented(ctx, batch);
   }
 
   void Close() {
-    if (stats_ == nullptr) {
+    if (!instrumented_) {
       CloseImpl();
       return;
     }
-    const int64_t start = ObsNowNanos();
-    CloseImpl();
-    ++stats_->close_calls;
-    stats_->wall_nanos += ObsNowNanos() - start;
+    CloseInstrumented();
   }
 
   virtual std::string name() const = 0;
@@ -224,11 +215,28 @@ class PhysicalOp {
     }
   }
 
+  /// Engine metrics sink cached at Open, or nullptr when metrics are off.
+  /// Operators guard each recording site on this (the RecordPeak pattern):
+  /// `if (MetricsRegistry* m = metrics()) m->Add(...)`.
+  MetricsRegistry* metrics() const { return metrics_; }
+
   std::vector<ColumnId> layout_;
   std::vector<std::unique_ptr<PhysicalOp>> children_;
 
  private:
+  /// Out-of-line instrumented halves of the shells, so the header-inlined
+  /// fast paths stay one branch each.
+  Status OpenInstrumented(ExecContext* ctx);
+  Result<bool> NextInstrumented(ExecContext* ctx, Row* row);
+  Status NextBatchInstrumented(ExecContext* ctx, RowBatch* batch);
+  void CloseInstrumented();
+
+  bool instrumented_ = false;
   OpStats* stats_ = nullptr;
+  MetricsRegistry* metrics_ = nullptr;
+  SpanRecorder* spans_ = nullptr;
+  /// Open-entry timestamp of the current Open→Close lifetime (span start).
+  int64_t open_start_nanos_ = 0;
   double est_rows_ = -1.0;
   double est_cost_ = -1.0;
   mutable std::vector<PhysicalOp*> child_view_;

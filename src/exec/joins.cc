@@ -4,6 +4,7 @@
 #include "exec/evaluator.h"
 #include "exec/ops.h"
 #include "exec/packed_key.h"
+#include "obs/metrics.h"
 
 namespace orq {
 
@@ -69,6 +70,10 @@ class NLJoinOp : public PhysicalOp {
       }
       children_[1]->Close();
       RecordPeak(static_cast<int64_t>(inner_rows_.size()));
+      if (MetricsRegistry* m = metrics()) {
+        m->Add(MetricCounter::kSpoolRows,
+               static_cast<int64_t>(inner_rows_.size()));
+      }
       probe_ = RowBatch(ctx->batch_size);
       probe_pos_ = 0;
     }
@@ -92,6 +97,9 @@ class NLJoinOp : public PhysicalOp {
           if (inner_open_) children_[1]->Close();
           ORQ_RETURN_IF_ERROR(children_[1]->Open(ctx));
           inner_open_ = true;
+          if (MetricsRegistry* m = metrics()) {
+            m->Add(MetricCounter::kApplyInnerOpens, 1);
+          }
         }
       }
       // Fetch next inner row.
@@ -316,6 +324,27 @@ class HashJoinOp : public PhysicalOp {
       slots_[bucket->begin + bucket->filled++] = static_cast<uint32_t>(i);
     }
     RecordPeak(static_cast<int64_t>(table_.size()));
+    if (MetricsRegistry* m = metrics()) {
+      m->Add(MetricCounter::kHashJoinBuildRows,
+             static_cast<int64_t>(arena_.size()));
+      m->Add(MetricCounter::kHashJoinBuckets,
+             static_cast<int64_t>(table_.size()));
+      // Approximate resident footprint of the build side: row headers and
+      // value storage in the arena, the slots permutation, and the packed
+      // keys + bucket ranges in the table. String payloads are not walked.
+      int64_t bytes = static_cast<int64_t>(slots_.size() * sizeof(uint32_t));
+      for (const Row& row : arena_) {
+        bytes += static_cast<int64_t>(sizeof(Row) +
+                                      row.capacity() * sizeof(Value));
+      }
+      for (const auto& entry : table_) {
+        bytes += static_cast<int64_t>(
+            sizeof(PackedKey) + sizeof(BucketRange) +
+            entry.first.values.capacity() * sizeof(Value));
+        m->Observe(MetricHistogram::kHashJoinBucketRows, entry.second.size);
+      }
+      m->Add(MetricCounter::kHashJoinArenaBytes, bytes);
+    }
     ORQ_RETURN_IF_ERROR(children_[0]->Open(ctx));
     have_left_ = false;
     probe_ = RowBatch(ctx->batch_size);
@@ -479,6 +508,10 @@ class HashJoinOp : public PhysicalOp {
     if (it != table_.end()) {
       bucket_begin_ = it->second.begin;
       bucket_size_ = it->second.size;
+    }
+    if (MetricsRegistry* m = metrics()) {
+      m->Add(MetricCounter::kHashJoinProbes, 1);
+      m->Observe(MetricHistogram::kHashJoinChainLength, bucket_size_);
     }
     return Status::OK();
   }

@@ -3,6 +3,7 @@
 
 #include "exec/evaluator.h"
 #include "exec/ops.h"
+#include "obs/metrics.h"
 
 namespace orq {
 
@@ -156,6 +157,9 @@ class SortOp : public PhysicalOp {
     }
     children_[0]->Close();
     RecordPeak(static_cast<int64_t>(rows_.size()));
+    if (MetricsRegistry* m = metrics()) {
+      m->Add(MetricCounter::kSpoolRows, static_cast<int64_t>(rows_.size()));
+    }
     if (!keys_.empty()) {
       // Precompute sort keys per row.
       std::vector<std::pair<Row, size_t>> keyed(rows_.size());
@@ -320,6 +324,9 @@ class ExceptAllOp : public PhysicalOp {
     }
     children_[1]->Close();
     RecordPeak(static_cast<int64_t>(counts_.size()));
+    if (MetricsRegistry* m = metrics()) {
+      m->Add(MetricCounter::kSpoolRows, static_cast<int64_t>(counts_.size()));
+    }
     input_ = RowBatch(ctx->batch_size);
     in_pos_ = 0;
     return children_[0]->Open(ctx);

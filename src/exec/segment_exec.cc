@@ -1,6 +1,7 @@
 #include <unordered_map>
 
 #include "exec/ops.h"
+#include "obs/metrics.h"
 
 namespace orq {
 
@@ -57,6 +58,9 @@ class SegmentApplyOp : public PhysicalOp {
         ctx->segment_stack.push_back(&order_[segment_pos_]->second);
         ORQ_RETURN_IF_ERROR(children_[1]->Open(ctx));
         inner_open_ = true;
+        if (MetricsRegistry* m = metrics()) {
+          m->Add(MetricCounter::kSegmentInnerOpens, 1);
+        }
       }
       Row inner;
       Result<bool> more = children_[1]->Next(ctx, &inner);

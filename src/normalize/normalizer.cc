@@ -5,6 +5,7 @@
 #include "normalize/fold.h"
 #include "normalize/oj_simplify.h"
 #include "normalize/pushdown.h"
+#include "obs/stats.h"
 #include "obs/trace.h"
 
 namespace orq {
@@ -14,12 +15,24 @@ namespace {
 /// Records one whole-tree pass when tracing is on and the pass changed the
 /// tree (pointer inequality is a cheap proxy; rewrites share unchanged
 /// subtrees, so an untouched tree comes back as the same root).
+/// `start_nanos` is the pass entry time; the event carries the pass's wall
+/// time so compile time is attributable per pass (nested identity firings
+/// recorded by apply_removal are inside this window and stay untimed).
 void TracePhase(const NormalizerOptions& options, const char* phase,
-                const RelExprPtr& before, const RelExprPtr& after) {
+                const RelExprPtr& before, const RelExprPtr& after,
+                int64_t start_nanos) {
   if (options.trace == nullptr || before == after) return;
-  options.trace->Record(TraceEvent{
-      TraceEvent::Stage::kNormalize, TraceEvent::Kind::kPhase, phase,
-      CountRelNodes(*before), CountRelNodes(*after), -1.0, -1.0});
+  TraceEvent event{TraceEvent::Stage::kNormalize, TraceEvent::Kind::kPhase,
+                   phase, CountRelNodes(*before), CountRelNodes(*after),
+                   -1.0, -1.0};
+  event.wall_nanos = ObsNowNanos() - start_nanos;
+  options.trace->Record(std::move(event));
+}
+
+/// Pass entry stamp; skipped (zero) when tracing is off so the untraced
+/// compile path takes no clock readings.
+int64_t PassStart(const NormalizerOptions& options) {
+  return options.trace != nullptr ? ObsNowNanos() : 0;
 }
 
 }  // namespace
@@ -32,36 +45,42 @@ Result<RelExprPtr> Normalize(RelExprPtr root, ColumnManager* columns,
   // plan shapes this library generates.
   RelExprPtr current = std::move(root);
   RelExprPtr before;
+  int64_t start = 0;
   for (int round = 0; round < 3; ++round) {
     if (options.pushdown_predicates) {
       before = current;
+      start = PassStart(options);
       current = PushdownPredicates(current, columns);
-      TracePhase(options, "pushdown", before, current);
+      TracePhase(options, "pushdown", before, current, start);
     }
     if (options.remove_correlations) {
       before = current;
+      start = PassStart(options);
       ORQ_ASSIGN_OR_RETURN(current,
                            RemoveApplies(current, columns, options));
-      TracePhase(options, "apply_removal", before, current);
+      TracePhase(options, "apply_removal", before, current, start);
     }
     if (options.simplify_outerjoins) {
       before = current;
+      start = PassStart(options);
       current = SimplifyOuterJoins(current);
-      TracePhase(options, "oj_simplify", before, current);
+      TracePhase(options, "oj_simplify", before, current, start);
     }
   }
   if (options.pushdown_predicates) {
     before = current;
+    start = PassStart(options);
     current = PushdownPredicates(current, columns);
     // Constant folding + empty-subexpression detection (section 4), then
     // one more pushdown round to let the simplified tree settle.
     current = FoldAndDetectEmpty(current, columns);
-    TracePhase(options, "fold", before, current);
+    TracePhase(options, "fold", before, current, start);
     before = current;
+    start = PassStart(options);
     current = PushdownPredicates(current, columns);
     current = FoldAndDetectEmpty(current, columns);
     current = PruneColumns(current, columns);
-    TracePhase(options, "prune", before, current);
+    TracePhase(options, "prune", before, current, start);
   }
   return current;
 }

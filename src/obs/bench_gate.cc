@@ -1,0 +1,167 @@
+#include "obs/bench_gate.h"
+
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+#include "obs/json.h"
+
+namespace orq {
+
+namespace {
+
+struct BenchEntry {
+  std::string name;
+  double wall_ms = -1.0;
+  bool error = false;
+  // Exact-match counters; -1 when absent from the record.
+  double result_rows = -1.0;
+  double rows_produced = -1.0;
+};
+
+Result<std::vector<BenchEntry>> ParseBenchLines(const std::string& jsonl,
+                                                const char* which) {
+  std::vector<BenchEntry> entries;
+  size_t pos = 0;
+  int line_no = 0;
+  while (pos < jsonl.size()) {
+    size_t end = jsonl.find('\n', pos);
+    if (end == std::string::npos) end = jsonl.size();
+    std::string line = jsonl.substr(pos, end - pos);
+    pos = end + 1;
+    ++line_no;
+    // Tolerate blank lines and CR line endings.
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+      line.pop_back();
+    }
+    if (line.empty()) continue;
+    JsonValue doc;
+    std::string error;
+    if (!ParseJson(line, &doc, &error)) {
+      return Status::InvalidArgument(std::string(which) + " line " +
+                                     std::to_string(line_no) +
+                                     ": invalid JSON: " + error);
+    }
+    if (!doc.is_object()) {
+      return Status::InvalidArgument(std::string(which) + " line " +
+                                     std::to_string(line_no) +
+                                     ": expected an object");
+    }
+    BenchEntry entry;
+    entry.name = doc.StringOr("name", "");
+    if (entry.name.empty()) {
+      return Status::InvalidArgument(std::string(which) + " line " +
+                                     std::to_string(line_no) +
+                                     ": missing \"name\"");
+    }
+    entry.wall_ms = doc.NumberOr("wall_ms", -1.0);
+    entry.result_rows = doc.NumberOr("result_rows", -1.0);
+    entry.rows_produced = doc.NumberOr("rows_produced", -1.0);
+    const JsonValue* error_flag = doc.Find("error");
+    entry.error = error_flag != nullptr &&
+                  error_flag->type == JsonValue::Type::kBool &&
+                  error_flag->bool_value;
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+const BenchEntry* FindEntry(const std::vector<BenchEntry>& entries,
+                            const std::string& name) {
+  for (const BenchEntry& entry : entries) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+std::string FormatRatio(double current, double baseline) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%.3fms vs baseline %.3fms (%.2fx)",
+                current, baseline,
+                baseline > 0 ? current / baseline : 0.0);
+  return buf;
+}
+
+/// Exact comparison of a counter that both sides report (absent on either
+/// side skips the check — older baselines may predate a counter).
+void CheckExact(const std::string& name, const char* counter, double base,
+                double current, BenchGateReport* report) {
+  if (base < 0 || current < 0) return;
+  if (base != current) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.0f, baseline %.0f", current, base);
+    report->failures.push_back(name + ": " + counter + " changed: " + buf);
+  }
+}
+
+}  // namespace
+
+std::string BenchGateReport::Summary() const {
+  std::string out = "bench gate: compared=" + std::to_string(compared) +
+                    " failures=" + std::to_string(failures.size()) + "\n";
+  for (const std::string& failure : failures) {
+    out += "  FAIL " + failure + "\n";
+  }
+  for (const std::string& note : notes) {
+    out += "  note " + note + "\n";
+  }
+  return out;
+}
+
+Result<BenchGateReport> CompareBenchJson(const std::string& baseline_jsonl,
+                                         const std::string& current_jsonl,
+                                         const BenchGateOptions& options) {
+  ORQ_ASSIGN_OR_RETURN(std::vector<BenchEntry> baseline,
+                       ParseBenchLines(baseline_jsonl, "baseline"));
+  ORQ_ASSIGN_OR_RETURN(std::vector<BenchEntry> current,
+                       ParseBenchLines(current_jsonl, "current"));
+  if (baseline.empty()) {
+    return Status::InvalidArgument("baseline has no benchmark entries");
+  }
+
+  BenchGateReport report;
+  for (const BenchEntry& base : baseline) {
+    const BenchEntry* run = FindEntry(current, base.name);
+    if (run == nullptr) {
+      report.failures.push_back(base.name + ": missing from current run");
+      continue;
+    }
+    ++report.compared;
+    if (run->error && base.error) {
+      // A configuration that errors on both sides is a known limitation
+      // (e.g. a query a handicapped engine config cannot run), not a
+      // regression — it starts failing only once the baseline records a
+      // passing run.
+      report.notes.push_back(base.name + ": errors in baseline and current");
+      continue;
+    }
+    if (run->error) {
+      report.failures.push_back(base.name + ": current run errored");
+      continue;
+    }
+    if (base.error) {
+      report.notes.push_back(base.name + ": baseline errored; now passes");
+      continue;
+    }
+    CheckExact(base.name, "result_rows", base.result_rows, run->result_rows,
+               &report);
+    CheckExact(base.name, "rows_produced", base.rows_produced,
+               run->rows_produced, &report);
+    if (options.wall_tolerance > 0 &&
+        base.wall_ms >= options.min_wall_ms && base.wall_ms > 0 &&
+        run->wall_ms > 0 &&
+        run->wall_ms > base.wall_ms * options.wall_tolerance) {
+      report.failures.push_back(base.name + ": wall regression " +
+                                FormatRatio(run->wall_ms, base.wall_ms));
+    }
+  }
+  for (const BenchEntry& run : current) {
+    if (FindEntry(baseline, run.name) == nullptr) {
+      report.notes.push_back(run.name +
+                             ": not in baseline (refresh to start gating)");
+    }
+  }
+  return report;
+}
+
+}  // namespace orq

@@ -3,6 +3,10 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+
+#include "obs/metrics.h"
+#include "obs/profile.h"
 
 namespace orq {
 
@@ -72,6 +76,8 @@ void PlanStatsRec(const PlanStatsNode& node, std::string* out) {
   out->append(std::to_string(node.self_wall_nanos));
   AppendField("peak_cardinality", out, &first);
   out->append(std::to_string(node.stats.peak_cardinality));
+  AppendField("batch_slots", out, &first);
+  out->append(std::to_string(node.stats.batch_slots));
   AppendField("children", out, &first);
   out->push_back('[');
   for (size_t i = 0; i < node.children.size(); ++i) {
@@ -103,6 +109,8 @@ void TraceRec(const TraceLog& trace, std::string* out) {
     AppendNumber(event.cost_before, out);
     AppendField("cost_after", out, &first);
     AppendNumber(event.cost_after, out);
+    AppendField("wall_nanos", out, &first);
+    out->append(std::to_string(event.wall_nanos));
     out->push_back('}');
   }
   out->push_back(']');
@@ -124,7 +132,9 @@ std::string TraceToJson(const TraceLog& trace) {
 
 std::string AnalyzedToJson(const std::string& label, const std::string& sql,
                            int64_t result_rows, int64_t rows_produced,
-                           const PlanStatsNode& plan, const TraceLog& trace) {
+                           const PlanStatsNode& plan, const TraceLog& trace,
+                           const QueryProfile* profile,
+                           const MetricsRegistry* metrics) {
   std::string out;
   out.push_back('{');
   bool first = true;
@@ -136,6 +146,14 @@ std::string AnalyzedToJson(const std::string& label, const std::string& sql,
   out.append(std::to_string(result_rows));
   AppendField("rows_produced", &out, &first);
   out.append(std::to_string(rows_produced));
+  if (profile != nullptr) {
+    AppendField("profile", &out, &first);
+    out.append(ProfileToJson(*profile));
+  }
+  if (metrics != nullptr) {
+    AppendField("metrics", &out, &first);
+    out.append(MetricsToJson(*metrics));
+  }
   AppendField("plan", &out, &first);
   PlanStatsRec(plan, &out);
   AppendField("trace", &out, &first);
@@ -146,14 +164,16 @@ std::string AnalyzedToJson(const std::string& label, const std::string& sql,
 
 namespace {
 
-/// Recursive-descent JSON well-formedness parser (values only, no DOM).
+/// Recursive-descent JSON parser. With a null destination it only checks
+/// well-formedness (ValidateJson); with a JsonValue it builds the DOM —
+/// one grammar, so the two entry points cannot drift apart.
 class JsonParser {
  public:
   explicit JsonParser(const std::string& text) : text_(text) {}
 
-  bool Parse(std::string* error) {
+  bool Parse(JsonValue* dest, std::string* error) {
     SkipSpace();
-    if (!ParseValue(error)) return false;
+    if (!ParseValue(dest, error)) return false;
     SkipSpace();
     if (pos_ != text_.size()) {
       *error = "trailing characters at offset " + std::to_string(pos_);
@@ -184,20 +204,46 @@ class JsonParser {
     return true;
   }
 
-  bool ParseValue(std::string* error) {
+  bool ParseValue(JsonValue* dest, std::string* error) {
     if (pos_ >= text_.size()) return Fail("unexpected end", error);
     switch (text_[pos_]) {
-      case '{': return ParseObject(error);
-      case '[': return ParseArray(error);
-      case '"': return ParseString(error);
-      case 't': return Literal("true", error);
-      case 'f': return Literal("false", error);
-      case 'n': return Literal("null", error);
-      default: return ParseNumber(error);
+      case '{': return ParseObject(dest, error);
+      case '[': return ParseArray(dest, error);
+      case '"': {
+        std::string decoded;
+        if (!ParseString(dest != nullptr ? &decoded : nullptr, error)) {
+          return false;
+        }
+        if (dest != nullptr) {
+          dest->type = JsonValue::Type::kString;
+          dest->string_value = std::move(decoded);
+        }
+        return true;
+      }
+      case 't':
+        if (!Literal("true", error)) return false;
+        if (dest != nullptr) {
+          dest->type = JsonValue::Type::kBool;
+          dest->bool_value = true;
+        }
+        return true;
+      case 'f':
+        if (!Literal("false", error)) return false;
+        if (dest != nullptr) {
+          dest->type = JsonValue::Type::kBool;
+          dest->bool_value = false;
+        }
+        return true;
+      case 'n':
+        if (!Literal("null", error)) return false;
+        if (dest != nullptr) dest->type = JsonValue::Type::kNull;
+        return true;
+      default: return ParseNumber(dest, error);
     }
   }
 
-  bool ParseObject(std::string* error) {
+  bool ParseObject(JsonValue* dest, std::string* error) {
+    if (dest != nullptr) dest->type = JsonValue::Type::kObject;
     ++pos_;  // '{'
     SkipSpace();
     if (pos_ < text_.size() && text_[pos_] == '}') {
@@ -209,14 +255,20 @@ class JsonParser {
       if (pos_ >= text_.size() || text_[pos_] != '"') {
         return Fail("expected object key", error);
       }
-      if (!ParseString(error)) return false;
+      std::string key;
+      if (!ParseString(dest != nullptr ? &key : nullptr, error)) return false;
       SkipSpace();
       if (pos_ >= text_.size() || text_[pos_] != ':') {
         return Fail("expected ':'", error);
       }
       ++pos_;
       SkipSpace();
-      if (!ParseValue(error)) return false;
+      JsonValue* member = nullptr;
+      if (dest != nullptr) {
+        dest->object.emplace_back(std::move(key), JsonValue());
+        member = &dest->object.back().second;
+      }
+      if (!ParseValue(member, error)) return false;
       SkipSpace();
       if (pos_ < text_.size() && text_[pos_] == ',') {
         ++pos_;
@@ -230,7 +282,8 @@ class JsonParser {
     }
   }
 
-  bool ParseArray(std::string* error) {
+  bool ParseArray(JsonValue* dest, std::string* error) {
+    if (dest != nullptr) dest->type = JsonValue::Type::kArray;
     ++pos_;  // '['
     SkipSpace();
     if (pos_ < text_.size() && text_[pos_] == ']') {
@@ -239,7 +292,12 @@ class JsonParser {
     }
     while (true) {
       SkipSpace();
-      if (!ParseValue(error)) return false;
+      JsonValue* element = nullptr;
+      if (dest != nullptr) {
+        dest->array.emplace_back();
+        element = &dest->array.back();
+      }
+      if (!ParseValue(element, error)) return false;
       SkipSpace();
       if (pos_ < text_.size() && text_[pos_] == ',') {
         ++pos_;
@@ -253,7 +311,20 @@ class JsonParser {
     }
   }
 
-  bool ParseString(std::string* error) {
+  static void AppendUtf8(unsigned cp, std::string* out) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  bool ParseString(std::string* dest, std::string* error) {
     ++pos_;  // '"'
     while (pos_ < text_.size()) {
       char c = text_[pos_];
@@ -269,24 +340,45 @@ class JsonParser {
         if (pos_ >= text_.size()) return Fail("dangling escape", error);
         char esc = text_[pos_];
         if (esc == 'u') {
+          unsigned cp = 0;
           for (int i = 0; i < 4; ++i) {
             ++pos_;
             if (pos_ >= text_.size() ||
                 !std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
               return Fail("invalid \\u escape", error);
             }
+            const char h = text_[pos_];
+            cp = cp * 16 +
+                 static_cast<unsigned>(
+                     h <= '9' ? h - '0'
+                              : (h | 0x20) - 'a' + 10);
           }
-        } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
-                   esc != 'f' && esc != 'n' && esc != 'r' && esc != 't') {
+          if (dest != nullptr) AppendUtf8(cp, dest);
+        } else if (esc == '"' || esc == '\\' || esc == '/') {
+          if (dest != nullptr) dest->push_back(esc);
+        } else if (esc == 'b') {
+          if (dest != nullptr) dest->push_back('\b');
+        } else if (esc == 'f') {
+          if (dest != nullptr) dest->push_back('\f');
+        } else if (esc == 'n') {
+          if (dest != nullptr) dest->push_back('\n');
+        } else if (esc == 'r') {
+          if (dest != nullptr) dest->push_back('\r');
+        } else if (esc == 't') {
+          if (dest != nullptr) dest->push_back('\t');
+        } else {
           return Fail("invalid escape", error);
         }
+      } else if (dest != nullptr) {
+        dest->push_back(c);
       }
       ++pos_;
     }
     return Fail("unterminated string", error);
   }
 
-  bool ParseNumber(std::string* error) {
+  bool ParseNumber(JsonValue* dest, std::string* error) {
+    const size_t begin = pos_;
     if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
     if (pos_ >= text_.size() ||
         !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
@@ -329,6 +421,11 @@ class JsonParser {
         ++pos_;
       }
     }
+    if (dest != nullptr) {
+      dest->type = JsonValue::Type::kNumber;
+      dest->number = std::strtod(text_.substr(begin, pos_ - begin).c_str(),
+                                 nullptr);
+    }
     return true;
   }
 
@@ -338,10 +435,36 @@ class JsonParser {
 
 }  // namespace
 
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  for (const auto& [name, value] : object) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+double JsonValue::NumberOr(const std::string& key, double fallback) const {
+  const JsonValue* value = Find(key);
+  return value != nullptr && value->is_number() ? value->number : fallback;
+}
+
+std::string JsonValue::StringOr(const std::string& key,
+                                const std::string& fallback) const {
+  const JsonValue* value = Find(key);
+  return value != nullptr && value->is_string() ? value->string_value
+                                                : fallback;
+}
+
 bool ValidateJson(const std::string& text, std::string* error) {
   std::string local;
   JsonParser parser(text);
-  return parser.Parse(error != nullptr ? error : &local);
+  return parser.Parse(nullptr, error != nullptr ? error : &local);
+}
+
+bool ParseJson(const std::string& text, JsonValue* out, std::string* error) {
+  std::string local;
+  *out = JsonValue();
+  JsonParser parser(text);
+  return parser.Parse(out, error != nullptr ? error : &local);
 }
 
 }  // namespace orq

@@ -54,6 +54,12 @@ void RenderRec(const PlanStatsNode& node, int indent, std::string* out) {
   if (node.stats.peak_cardinality > 0) {
     out->append(" peak=" + std::to_string(node.stats.peak_cardinality));
   }
+  if (node.stats.batch_slots > 0) {
+    out->append(" fill=" +
+                std::to_string(100 * node.stats.rows_out /
+                               node.stats.batch_slots) +
+                "%");
+  }
   out->append(")\n");
   for (const PlanStatsNode& child : node.children) {
     RenderRec(child, indent + 1, out);
@@ -107,6 +113,9 @@ std::string RenderTrace(const TraceLog& trace) {
     if (event.cost_before >= 0) {
       out += ", cost " + FormatDouble(event.cost_before) + " -> " +
              FormatDouble(event.cost_after);
+    }
+    if (event.wall_nanos > 0) {
+      out += ", time " + FormatMillis(event.wall_nanos) + "ms";
     }
     out += "\n";
   }

@@ -1,0 +1,109 @@
+#include "obs/spans.h"
+
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace orq {
+
+int SpanRecorder::RegisterOp(const void* op, std::string name,
+                             int parent_id) {
+  auto [it, inserted] = ids_.try_emplace(op, static_cast<int>(ops_.size()));
+  if (!inserted) return it->second;
+  OpInfo info;
+  info.id = it->second;
+  info.parent_id = parent_id;
+  info.name = std::move(name);
+  ops_.push_back(std::move(info));
+  return it->second;
+}
+
+const SpanRecorder::OpInfo* SpanRecorder::Find(const void* op) const {
+  auto it = ids_.find(op);
+  return it != ids_.end() ? &ops_[static_cast<size_t>(it->second)] : nullptr;
+}
+
+void SpanRecorder::AddOpSpan(const void* op, int64_t start_nanos,
+                             int64_t end_nanos) {
+  auto it = ids_.find(op);
+  if (it == ids_.end()) return;
+  spans_.push_back(OpSpan{it->second, start_nanos, end_nanos});
+}
+
+void SpanRecorder::clear() {
+  ops_.clear();
+  ids_.clear();
+  spans_.clear();
+}
+
+namespace {
+
+void AppendMicros(int64_t nanos, std::string* out) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(nanos) / 1e3);
+  *out += buf;
+}
+
+/// One "X" (complete) trace event. `epoch` rebases absolute ObsNowNanos
+/// stamps so the trace starts near ts=0.
+void AppendEvent(const char* name, int64_t start_nanos, int64_t dur_nanos,
+                 int64_t epoch, int tid, const std::string& args_json,
+                 bool* first, std::string* out) {
+  if (!*first) out->push_back(',');
+  *first = false;
+  *out += "{\"name\":";
+  AppendJsonString(name, out);
+  *out += ",\"ph\":\"X\",\"ts\":";
+  AppendMicros(start_nanos - epoch, out);
+  *out += ",\"dur\":";
+  AppendMicros(dur_nanos, out);
+  *out += ",\"pid\":1,\"tid\":";
+  *out += std::to_string(tid);
+  if (!args_json.empty()) {
+    *out += ",\"args\":";
+    *out += args_json;
+  }
+  out->push_back('}');
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const QueryProfile* profile,
+                            const SpanRecorder& spans) {
+  int64_t epoch = profile != nullptr ? profile->start_nanos : 0;
+  if (profile == nullptr) {
+    for (const OpSpan& span : spans.spans()) {
+      if (epoch == 0 || span.start_nanos < epoch) epoch = span.start_nanos;
+    }
+  }
+
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  if (profile != nullptr) {
+    for (int i = 0; i < kNumQueryPhases; ++i) {
+      const PhaseSpan& span = profile->phases[i];
+      if (span.wall_nanos <= 0) continue;
+      AppendEvent(QueryPhaseName(static_cast<QueryPhase>(i)),
+                  span.start_nanos, span.wall_nanos, epoch, /*tid=*/1,
+                  "{\"cat\":\"phase\"}", &first, &out);
+    }
+  }
+  for (const OpSpan& span : spans.spans()) {
+    const SpanRecorder::OpInfo& info =
+        spans.ops()[static_cast<size_t>(span.op_id)];
+    std::string args = "{\"op_id\":" + std::to_string(info.id) +
+                       ",\"parent_id\":" + std::to_string(info.parent_id) +
+                       ",\"name\":";
+    AppendJsonString(info.name, &args);
+    args.push_back('}');
+    // Operators share tid 2: their lifetimes nest (a child opens after and
+    // closes before its parent), which trace viewers render as a flame.
+    AppendEvent(info.name.c_str(), span.start_nanos,
+                span.end_nanos - span.start_nanos, epoch, /*tid=*/2, args,
+                &first, &out);
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace orq

@@ -1,0 +1,71 @@
+#ifndef ORQ_OBS_SPANS_H_
+#define ORQ_OBS_SPANS_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/profile.h"
+
+namespace orq {
+
+/// One recorded operator lifetime: Open entry to Close exit on the
+/// ObsNowNanos timeline. A correlated Apply that re-opens its inner N
+/// times produces N spans for the same op_id — that repetition is the
+/// visual signature of an unflattened plan in the trace viewer.
+struct OpSpan {
+  int op_id = 0;
+  int64_t start_nanos = 0;
+  int64_t end_nanos = 0;
+};
+
+/// Collects operator spans for one execution. The engine registers the
+/// operator tree up front (RegisterOpTree via the engine, one entry per
+/// node with a preformatted name), so span emission at Close is a hash
+/// lookup plus a vector push — no virtual name() calls, no string
+/// building on the execution path. Opt-in through ExecContext
+/// (ExecInstruments::spans), like StatsCollector.
+class SpanRecorder {
+ public:
+  struct OpInfo {
+    int id = 0;
+    int parent_id = -1;  // -1 for the plan root
+    std::string name;
+  };
+
+  /// Registers one operator (preorder ids make parent < child). Repeated
+  /// registration of the same address keeps the first entry.
+  int RegisterOp(const void* op, std::string name, int parent_id);
+
+  /// Registered info for `op`, or nullptr for unregistered addresses.
+  const OpInfo* Find(const void* op) const;
+
+  /// Appends one Open→Close span for a registered operator. Spans for
+  /// unregistered addresses are dropped (auxiliary ops the engine did not
+  /// walk).
+  void AddOpSpan(const void* op, int64_t start_nanos, int64_t end_nanos);
+
+  const std::vector<OpSpan>& spans() const { return spans_; }
+  const std::vector<OpInfo>& ops() const { return ops_; }
+  bool empty() const { return spans_.empty(); }
+  void clear();
+
+ private:
+  std::vector<OpInfo> ops_;  // indexed by id
+  std::unordered_map<const void*, int> ids_;
+  std::vector<OpSpan> spans_;
+};
+
+/// Chrome-trace-event JSON ("X" complete events; ts/dur in microseconds),
+/// loadable in Perfetto or chrome://tracing. Emits one span per query
+/// phase from `profile` (null skips phases) and one per recorded operator
+/// span, all relative to the profile's start (or the earliest span when no
+/// profile is given). Operator events carry args.op_id / args.parent_id /
+/// args.name so the operator tree round-trips through the file.
+std::string ChromeTraceJson(const QueryProfile* profile,
+                            const SpanRecorder& spans);
+
+}  // namespace orq
+
+#endif  // ORQ_OBS_SPANS_H_

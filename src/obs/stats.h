@@ -33,6 +33,10 @@ struct OpStats {
   /// buckets' rows, aggregation groups, sort buffer rows, spooled inner
   /// rows, segment count. Zero for streaming operators.
   int64_t peak_cardinality = 0;
+  /// Capacity offered across all NextBatch pulls (batch size x pulls), so
+  /// rows_out / batch_slots is the operator's batch fill ratio. Zero on the
+  /// row-at-a-time path.
+  int64_t batch_slots = 0;
 };
 
 /// Owns the per-operator stats of one execution. Operators are identified

@@ -25,6 +25,11 @@ struct TraceEvent {
   int64_t nodes_after = 0;
   double cost_before = -1.0;
   double cost_after = -1.0;
+  /// Wall time spent producing this rewrite: candidate evaluation for
+  /// optimizer rules, the whole pass for normalizer phase events. Zero for
+  /// events recorded without timing (nested identity firings — their time
+  /// is inside the enclosing pass).
+  int64_t wall_nanos = 0;
 };
 
 const char* TraceStageName(TraceEvent::Stage stage);

@@ -5,6 +5,7 @@
 #include <map>
 
 #include "algebra/expr_util.h"
+#include "obs/stats.h"
 #include "obs/trace.h"
 #include "opt/cost.h"
 #include "opt/rules.h"
@@ -43,7 +44,12 @@ class GreedyOptimizer {
         RelExprPtr best = current;
         double best_cost = current_cost;
         const char* best_rule = nullptr;
+        // Candidate-evaluation wall time of the rule that ends up winning
+        // this round; clock reads only happen with a trace attached.
+        int64_t best_eval_nanos = 0;
         for (const auto& rule : rules_) {
+          const int64_t rule_start =
+              options_.trace != nullptr ? ObsNowNanos() : 0;
           for (RelExprPtr& alt : rule->Apply(current, columns_, &cost_)) {
             // Give the alternative's subtrees their own shot (e.g. a
             // pushed-down GroupBy may enable a further local split).
@@ -60,6 +66,9 @@ class GreedyOptimizer {
               best_rule = rule->name();
             }
           }
+          if (options_.trace != nullptr && best_rule == rule->name()) {
+            best_eval_nanos = ObsNowNanos() - rule_start;
+          }
         }
         if (best == current) break;
         if (std::getenv("ORQ_OPT_DEBUG") != nullptr) {
@@ -67,10 +76,12 @@ class GreedyOptimizer {
                        current_cost, best_cost);
         }
         if (options_.trace != nullptr) {
-          options_.trace->Record(TraceEvent{
-              TraceEvent::Stage::kOptimize, TraceEvent::Kind::kRule,
-              best_rule, CountRelNodes(*current), CountRelNodes(*best),
-              current_cost, best_cost});
+          TraceEvent event{TraceEvent::Stage::kOptimize,
+                           TraceEvent::Kind::kRule, best_rule,
+                           CountRelNodes(*current), CountRelNodes(*best),
+                           current_cost, best_cost};
+          event.wall_nanos = best_eval_nanos;
+          options_.trace->Record(std::move(event));
         }
         current = best;
       }

@@ -22,7 +22,9 @@ Result<std::vector<Row>> DrainBatched(PhysicalOp* op, int batch_size,
   ExecContext ctx;
   ctx.batched = batched;
   ctx.batch_size = batch_size;
-  ctx.stats = stats;
+  ExecInstruments instruments;
+  instruments.stats = stats;
+  if (stats != nullptr) ctx.instruments = &instruments;
   return ExecuteToVector(op, &ctx);
 }
 
@@ -207,7 +209,9 @@ TEST_F(BatchExecTest, StatsConsistentAcrossModes) {
     ExecContext ctx;
     ctx.batched = batched;
     ctx.batch_size = 4;
-    ctx.stats = stats;
+    ExecInstruments instruments;
+    instruments.stats = stats;
+    if (stats != nullptr) ctx.instruments = &instruments;
     Result<std::vector<Row>> rows = ExecuteToVector(plan.get(), &ctx);
     EXPECT_TRUE(rows.ok()) << rows.status().ToString();
     *produced = ctx.rows_produced;

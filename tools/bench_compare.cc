@@ -1,0 +1,91 @@
+// CI perf-regression gate: compares a fresh `bench_* --json` report against
+// the checked-in baseline (bench/baselines/BENCH_*.json). Row counts must
+// match exactly; wall time may regress up to the tolerance factor.
+//
+// Usage: bench_compare <baseline.jsonl> <current.jsonl> [--tolerance X]
+//
+// The ORQ_BENCH_TOLERANCE environment variable overrides the default
+// tolerance (the flag wins over the environment). A tolerance <= 0 skips
+// wall-time checks entirely (row-count gating only) — useful on shared CI
+// machines with unbounded timing noise.
+//
+// Exit code 0 when the gate passes, 1 on any failure, 2 on usage or I/O
+// errors (including unreadable baselines: a gate that cannot read its
+// baseline must not go green).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/bench_gate.h"
+
+namespace {
+
+bool ReadFile(const char* path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  orq::BenchGateOptions options;
+  if (const char* env = std::getenv("ORQ_BENCH_TOLERANCE");
+      env != nullptr && env[0] != '\0') {
+    options.wall_tolerance = std::atof(env);
+  }
+  const char* baseline_path = nullptr;
+  const char* current_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tolerance") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--tolerance requires a value\n");
+        return 2;
+      }
+      options.wall_tolerance = std::atof(argv[++i]);
+    } else if (baseline_path == nullptr) {
+      baseline_path = argv[i];
+    } else if (current_path == nullptr) {
+      current_path = argv[i];
+    } else {
+      std::fprintf(stderr, "unexpected argument %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (baseline_path == nullptr || current_path == nullptr) {
+    std::fprintf(stderr,
+                 "usage: bench_compare <baseline.jsonl> <current.jsonl> "
+                 "[--tolerance X]\n");
+    return 2;
+  }
+
+  std::string baseline;
+  std::string current;
+  if (!ReadFile(baseline_path, &baseline)) {
+    std::fprintf(stderr, "bench_compare: cannot open %s\n", baseline_path);
+    return 2;
+  }
+  if (!ReadFile(current_path, &current)) {
+    std::fprintf(stderr, "bench_compare: cannot open %s\n", current_path);
+    return 2;
+  }
+
+  orq::Result<orq::BenchGateReport> report =
+      orq::CompareBenchJson(baseline, current, options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "bench_compare: %s\n",
+                 report.status().ToString().c_str());
+    return 2;
+  }
+  std::printf("bench_compare: %s vs %s (tolerance %.2fx)\n%s", current_path,
+              baseline_path, options.wall_tolerance,
+              report->Summary().c_str());
+  return report->ok() ? 0 : 1;
+}
