@@ -27,6 +27,16 @@ inline std::string& BenchJsonPath() {
   return *path;
 }
 
+/// Worker-thread count applied to every benchmarked engine, set by the
+/// `--threads N` flag that ORQ_BENCH_MAIN strips before handing argv to
+/// google-benchmark. 0 (the default) leaves each configuration's serial
+/// engine untouched; a positive count turns every run morsel-parallel —
+/// how BENCH_parallel.json baselines are produced.
+inline int& BenchThreads() {
+  static int threads = 0;
+  return threads;
+}
+
 /// Scale factors are passed through google-benchmark's integer Args as
 /// "milli scale factor": 5 -> SF 0.005.
 inline double MilliSf(int64_t arg) { return arg / 1000.0; }
@@ -105,7 +115,9 @@ inline void RunQueryBenchmark(benchmark::State& state, Catalog* catalog,
                               const EngineOptions& options,
                               const std::string& sql,
                               const std::string& label = std::string()) {
-  QueryEngine engine(catalog, options);
+  EngineOptions effective = options;
+  if (BenchThreads() > 0) effective.exec.num_threads = BenchThreads();
+  QueryEngine engine(catalog, effective);
   // Compile once outside the timing loop? No — the paper measures elapsed
   // query time, which includes optimization; ours is dominated by
   // execution anyway.
@@ -191,6 +203,10 @@ inline bool WriteBenchJson(
             : run.real_accumulated_time * 1e3;
     std::snprintf(buf, sizeof buf, ",\"wall_ms\":%.6g", wall_ms);
     line += buf;
+    // Thread count the suite ran under, so a parallel report is never
+    // mistaken for (or gated against) a serial baseline by accident.
+    std::snprintf(buf, sizeof buf, ",\"threads\":%d", BenchThreads());
+    line += buf;
     for (const auto& [counter_name, counter] : run.counters) {
       line += ',';
       AppendJsonString(counter_name, &line);
@@ -218,21 +234,31 @@ inline bool WriteBenchJson(
 }  // namespace orq
 
 /// Drop-in replacement for BENCHMARK_MAIN() that understands
-/// `--json <path>`: runs the suite normally (console output preserved) and
-/// then writes the machine-readable JSON-lines report.
+/// `--json <path>` and `--threads N`: runs the suite normally (console
+/// output preserved) and then writes the machine-readable JSON-lines
+/// report; a positive thread count makes every benchmarked engine
+/// morsel-parallel.
 #define ORQ_BENCH_MAIN()                                                    \
   int main(int argc, char** argv) {                                         \
     std::string json_path;                                                  \
+    int bench_threads = 0;                                                  \
     int kept = 1;                                                           \
     for (int i = 1; i < argc; ++i) {                                        \
       if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {            \
         json_path = argv[++i];                                              \
+      } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {  \
+        bench_threads = std::atoi(argv[++i]);                               \
+        if (bench_threads < 1) {                                            \
+          std::fprintf(stderr, "--threads expects a positive count\n");     \
+          return 1;                                                         \
+        }                                                                   \
       } else {                                                              \
         argv[kept++] = argv[i];                                             \
       }                                                                     \
     }                                                                       \
     argc = kept;                                                            \
     ::orq::bench::BenchJsonPath() = json_path;                              \
+    ::orq::bench::BenchThreads() = bench_threads;                           \
     ::benchmark::Initialize(&argc, argv);                                   \
     if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;     \
     ::orq::bench::JsonLinesReporter reporter;                               \

@@ -27,6 +27,10 @@ for bench_bin in build/bench/bench_*; do
     --json "${BENCH_SMOKE_DIR}/${name}.json" >/dev/null
   build/tools/json_check "${BENCH_SMOKE_DIR}/${name}.json"
 done
+# The morsel-parallel report: the Figure 8 suite with 4 worker threads.
+build/bench/bench_fig8_suite --benchmark_min_time=0.001 --threads 4 \
+  --json "${BENCH_SMOKE_DIR}/bench_fig8_suite_parallel.json" >/dev/null
+build/tools/json_check "${BENCH_SMOKE_DIR}/bench_fig8_suite_parallel.json"
 
 echo "=== Bench baseline gate ==="
 # Compares the smoke-run reports against the checked-in baselines:
@@ -47,6 +51,11 @@ for pair in \
   build/tools/bench_compare "${baseline}" \
     "${BENCH_SMOKE_DIR}/${bench_bin}.json"
 done
+# Parallel gate: the 4-thread Figure 8 run must keep the exact row counts
+# the serial engine produces (any drift is a parallel-correctness bug, not
+# noise) and stay within the wall tolerance of its own parallel baseline.
+build/tools/bench_compare bench/baselines/BENCH_parallel.json \
+  "${BENCH_SMOKE_DIR}/bench_fig8_suite_parallel.json"
 
 echo "=== orq_profile smoke (Chrome trace export) ==="
 build/tools/orq_profile --tpch Q2 --sf 0.002 \
@@ -58,4 +67,17 @@ cmake --preset asan >/dev/null
 cmake --build --preset asan -j "${JOBS}"
 ctest --preset asan -j "${JOBS}"
 
-echo "CI: all suites passed (release + asan/ubsan)."
+if [ "${ORQ_CI_TSAN:-0}" = "1" ]; then
+  echo "=== TSan build + parallel-execution tests ==="
+  # Optional (TSan triples build time and ~10x's the parallel suite):
+  # builds the thread-sanitized tree and runs exactly the tests that
+  # exercise the morsel-parallel engine — the parallel-vs-serial difftest
+  # smoke, the parallel execution unit suite, and the batch engine tests.
+  cmake --preset tsan >/dev/null
+  cmake --build --preset tsan -j "${JOBS}"
+  ctest --preset tsan -j "${JOBS}" \
+    -R 'difftest_smoke_parallel|parallel_exec_test|batch_exec_test'
+  echo "CI: all suites passed (release + asan/ubsan + tsan)."
+else
+  echo "CI: all suites passed (release + asan/ubsan); set ORQ_CI_TSAN=1 to add the TSan pass."
+fi

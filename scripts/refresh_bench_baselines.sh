@@ -31,4 +31,12 @@ for pair in \
   build/tools/json_check "${out}"
 done
 
+# Morsel-parallel baseline: the Figure 8 suite again, but with every engine
+# running 4 worker threads. Row counts must stay identical to the serial
+# runs; the wall numbers document real thread scaling on this machine.
+echo "=== bench_fig8_suite --threads 4 -> bench/baselines/BENCH_parallel.json ==="
+build/bench/bench_fig8_suite --benchmark_min_time="${MIN_TIME}" \
+  --threads 4 --json bench/baselines/BENCH_parallel.json >/dev/null
+build/tools/json_check bench/baselines/BENCH_parallel.json
+
 echo "baselines refreshed; review and commit bench/baselines/"

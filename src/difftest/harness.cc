@@ -81,8 +81,12 @@ Result<HarnessReport> RunDifftest(const HarnessOptions& options) {
   ORQ_RETURN_IF_ERROR(BuildDifftestCatalog(&catalog, options.seed));
   EngineOptions naive_options = NaiveReferenceOptions();
   naive_options.exec.batched = options.reference_batched;
+  naive_options.exec.num_threads = options.reference_threads;
+  naive_options.exec.morsel_rows = options.morsel_rows;
   EngineOptions full_options = EngineOptions::Full();
   full_options.exec.batched = options.test_batched;
+  full_options.exec.num_threads = options.test_threads;
+  full_options.exec.morsel_rows = options.morsel_rows;
   DualOracle oracle(&catalog, std::move(naive_options),
                     std::move(full_options));
   QueryGenerator generator(options.seed);

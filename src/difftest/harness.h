@@ -24,6 +24,15 @@ struct HarnessOptions {
   /// the row-at-a-time Volcano engine (mixed mode).
   bool reference_batched = true;
   bool test_batched = true;
+  /// Worker threads per side; 0 runs the classic serial engine. A positive
+  /// count turns that side into the morsel-driven parallel engine, so e.g.
+  /// reference row-mode vs test parallel is the parallel-vs-serial oracle.
+  int reference_threads = 0;
+  int test_threads = 0;
+  /// Morsel size for parallel sides — tiny because the difftest tables
+  /// are tiny (tens of rows): 8 makes even them split into enough morsels
+  /// that workers genuinely interleave claims.
+  int morsel_rows = 8;
   /// Every Nth query is additionally run instrumented on both engines to
   /// assert the stats invariant TotalRowsOut(plan) == rows_produced (the
   /// per-operator stats tree must account for every row the engine counts).

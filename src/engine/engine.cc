@@ -4,6 +4,7 @@
 
 #include "algebra/printer.h"
 #include "exec/exec.h"
+#include "exec/task_pool.h"
 #include "normalize/subquery_class.h"
 #include "obs/json.h"
 #include "opt/cost.h"
@@ -57,6 +58,28 @@ std::string AnalyzedQuery::ToJson(const std::string& label) const {
   return AnalyzedToJson(label, sql, static_cast<int64_t>(result.rows.size()),
                         result.rows_produced, plan, trace, &profile,
                         &metrics);
+}
+
+QueryEngine::~QueryEngine() = default;
+
+void QueryEngine::set_options(EngineOptions options) {
+  options_ = std::move(options);
+  pool_.reset();
+}
+
+PhysicalBuildOptions QueryEngine::EffectivePhysicalOptions() const {
+  PhysicalBuildOptions physical = options_.physical;
+  physical.num_threads = options_.exec.num_threads;
+  return physical;
+}
+
+TaskPool* QueryEngine::task_pool() {
+  if (options_.exec.num_threads <= 0) return nullptr;
+  if (pool_ == nullptr ||
+      pool_->num_threads() < options_.exec.num_threads) {
+    pool_ = std::make_unique<TaskPool>(options_.exec.num_threads);
+  }
+  return pool_.get();
 }
 
 EngineOptions EngineOptions::Full() { return EngineOptions(); }
@@ -134,10 +157,14 @@ Result<QueryResult> QueryEngine::ExecuteCompiled(const Compiled& compiled) {
   ORQ_ASSIGN_OR_RETURN(
       PhysicalOpPtr plan,
       BuildPhysicalPlan(compiled.optimized, *compiled.columns,
-                        options_.physical));
+                        EffectivePhysicalOptions()));
+  // ctx after plan: it is destroyed first, so an Exchange's producers are
+  // still wound down by the plan destructor before members vanish.
   ExecContext ctx;
   ctx.batched = options_.exec.batched;
   ctx.batch_size = options_.exec.batch_size;
+  ctx.pool = task_pool();
+  ctx.morsel_rows = options_.exec.morsel_rows;
   return RunAndProject(plan.get(), compiled, &ctx);
 }
 
@@ -174,7 +201,7 @@ Result<AnalyzedQuery> QueryEngine::ExecuteAnalyzed(
     CostModel cost(catalog_);
     ORQ_ASSIGN_OR_RETURN(
         plan, BuildPhysicalPlan(compiled.optimized, *compiled.columns,
-                                options_.physical, &cost));
+                                EffectivePhysicalOptions(), &cost));
     if (analyze.record_spans) {
       RegisterOpTree(&analyzed.spans, *plan, /*parent_id=*/-1);
     }
@@ -189,6 +216,8 @@ Result<AnalyzedQuery> QueryEngine::ExecuteAnalyzed(
   ctx.instruments = &instruments;
   ctx.batched = options_.exec.batched;
   ctx.batch_size = options_.exec.batch_size;
+  ctx.pool = task_pool();
+  ctx.morsel_rows = options_.exec.morsel_rows;
   {
     PhaseTimer timer(&analyzed.profile, QueryPhase::kExecute);
     const int64_t start = ObsNowNanos();
@@ -262,7 +291,7 @@ Result<std::string> QueryEngine::Explain(const std::string& sql) {
   ORQ_ASSIGN_OR_RETURN(
       PhysicalOpPtr plan,
       BuildPhysicalPlan(compiled.optimized, *compiled.columns,
-                        options_.physical));
+                        EffectivePhysicalOptions()));
   out += "\n== Physical plan ==\n";
   out += PrintPhysicalPlan(*plan, columns);
   return out;

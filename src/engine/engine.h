@@ -1,12 +1,14 @@
 #ifndef ORQ_ENGINE_ENGINE_H_
 #define ORQ_ENGINE_ENGINE_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "catalog/catalog.h"
 #include "common/result.h"
 #include "exec/exec.h"
+#include "exec/task_pool.h"
 #include "normalize/normalizer.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
@@ -89,9 +91,12 @@ class QueryEngine {
   explicit QueryEngine(Catalog* catalog,
                        EngineOptions options = EngineOptions::Full())
       : catalog_(catalog), options_(std::move(options)) {}
+  ~QueryEngine();  // out of line: owns the (fwd-declared) TaskPool
 
   const EngineOptions& options() const { return options_; }
-  void set_options(EngineOptions options) { options_ = std::move(options); }
+  /// Replaces the configuration; the worker pool is rebuilt lazily on the
+  /// next parallel execution (exec.num_threads may have changed).
+  void set_options(EngineOptions options);
 
   /// Parses, optimizes and runs `sql`.
   Result<QueryResult> Execute(const std::string& sql);
@@ -134,8 +139,17 @@ class QueryEngine {
                                const EngineOptions& options,
                                QueryProfile* profile = nullptr);
 
+  /// Physical-build options with the execution thread count applied (the
+  /// builder decides where the Exchange goes, so it must know N).
+  PhysicalBuildOptions EffectivePhysicalOptions() const;
+
+  /// Lazily created worker pool; nullptr in serial mode. Kept across
+  /// queries so repeated executions (benchmarks) reuse warm threads.
+  TaskPool* task_pool();
+
   Catalog* catalog_;
   EngineOptions options_;
+  std::unique_ptr<TaskPool> pool_;
 };
 
 }  // namespace orq

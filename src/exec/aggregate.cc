@@ -1,20 +1,38 @@
+#include <condition_variable>
+#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 #include "exec/evaluator.h"
 #include "exec/ops.h"
 #include "exec/packed_key.h"
+#include "exec/parallel.h"
 #include "obs/metrics.h"
 
 namespace orq {
 
 namespace {
 
+/// SUM over doubles accumulates in quad precision so the rounded double
+/// result is independent of summation order: with a 113-bit mantissa the
+/// accumulated rounding error (~N * 2^-113) sits far below double's
+/// rounding granularity, so serial, cached, and any morsel partitioning
+/// of the same input produce bit-identical sums. Without this, a query
+/// comparing one aggregate against a recomputation of itself (TPC-H Q15's
+/// total_revenue = max(total_revenue)) silently loses rows whenever the
+/// two plans associate the additions differently.
+#if defined(__SIZEOF_FLOAT128__)
+using SumAccum = __float128;
+#else
+using SumAccum = long double;
+#endif
+
 /// One accumulator per (group, aggregate).
 struct Accumulator {
   int64_t count = 0;          // rows seen (count(*), Max1Row guard)
   int64_t non_null = 0;       // non-NULL inputs (count(x))
-  double sum_double = 0.0;
+  SumAccum sum_double = 0.0;
   int64_t sum_int = 0;
   bool sum_is_double = false;
   Value extreme;              // min/max/Max1Row value
@@ -22,11 +40,128 @@ struct Accumulator {
   std::unordered_set<Row, RowHash, RowGroupEq> distinct;  // distinct inputs
 };
 
+/// Folds a worker's partial accumulator into the merged one. Additive
+/// counters add; min/max keep the better extreme. DISTINCT and Max1Row
+/// aggregates never reach here — the plan builder excludes them from
+/// parallel regions (their merge is not a simple fold).
+void MergeAccumulator(const AggItem& agg, Accumulator* into,
+                      Accumulator&& from) {
+  into->count += from.count;
+  into->non_null += from.non_null;
+  into->sum_int += from.sum_int;
+  into->sum_double += from.sum_double;
+  into->sum_is_double = into->sum_is_double || from.sum_is_double;
+  if (from.has_value) {
+    bool take = !into->has_value;
+    if (!take) {
+      const int cmp = from.extreme.TotalCompare(into->extreme);
+      take = (agg.func == AggFunc::kMin && cmp < 0) ||
+             (agg.func == AggFunc::kMax && cmp > 0);
+    }
+    if (take) {
+      into->extreme = std::move(from.extreme);
+      into->has_value = true;
+    }
+  }
+}
+
+/// One worker's fully aggregated local state, in insertion order:
+/// keys[g] is group g's key row, accs[g] its accumulators.
+struct AggPartial {
+  std::vector<Row> keys;
+  std::vector<std::vector<Accumulator>> accs;
+};
+
+/// End-of-input rendezvous of a parallel hash aggregation. Every worker
+/// aggregates its morsel share locally, deposits the partial here, and the
+/// last depositor merges groups across workers. Worker 0's operator then
+/// emits the merged result; the others emit nothing. Deposits happen even
+/// on drain errors so the barrier always completes.
+class SharedAggState final : public SharedRegionState {
+ public:
+  explicit SharedAggState(int workers)
+      : workers_(workers), partials_(static_cast<size_t>(workers)) {}
+
+  void Reset() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    deposited_ = 0;
+    merge_done_ = false;
+    status_ = Status::OK();
+    for (AggPartial& partial : partials_) partial = AggPartial{};
+    groups_.clear();
+    accs_.clear();
+    order_.clear();
+  }
+
+  /// Blocks until all workers deposited and the merge completed; returns
+  /// the first deposited error. `aggs` describes the accumulator fold and
+  /// is identical across workers.
+  Status Deposit(int worker, const Status& drain, AggPartial partial,
+                 const std::vector<AggItem>& aggs) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!drain.ok() && status_.ok()) status_ = drain;
+    partials_[static_cast<size_t>(worker)] = std::move(partial);
+    if (++deposited_ == workers_) {
+      if (status_.ok()) Merge(aggs);
+      merge_done_ = true;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lock, [this] { return merge_done_; });
+    }
+    return status_;
+  }
+
+  /// Merged result, valid after Deposit returned OK; read-only thereafter.
+  const std::vector<const Row*>& order() const { return order_; }
+  const std::vector<std::vector<Accumulator>>& accs() const { return accs_; }
+
+ private:
+  /// Runs under mu_ on the last depositor's thread. Worker order fixes the
+  /// merged emission order deterministically (worker 0's groups first, in
+  /// its insertion order, then worker 1's new groups, ...).
+  void Merge(const std::vector<AggItem>& aggs) {
+    for (AggPartial& partial : partials_) {
+      for (size_t g = 0; g < partial.keys.size(); ++g) {
+        auto it = groups_.find(partial.keys[g]);
+        if (it == groups_.end()) {
+          it = groups_
+                   .emplace(PackedKey(std::move(partial.keys[g])),
+                            static_cast<uint32_t>(accs_.size()))
+                   .first;
+          accs_.push_back(std::move(partial.accs[g]));
+          order_.push_back(&it->first.values);
+          continue;
+        }
+        std::vector<Accumulator>& into = accs_[it->second];
+        for (size_t i = 0; i < aggs.size(); ++i) {
+          MergeAccumulator(aggs[i], &into[i], std::move(partial.accs[g][i]));
+        }
+      }
+      partial = AggPartial{};
+    }
+  }
+
+  const int workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int deposited_ = 0;
+  bool merge_done_ = false;
+  Status status_;
+  std::vector<AggPartial> partials_;
+  std::unordered_map<PackedKey, uint32_t, PackedKeyHash, PackedKeyEq> groups_;
+  std::vector<std::vector<Accumulator>> accs_;
+  std::vector<const Row*> order_;
+};
+
 class HashAggregateOp : public PhysicalOp {
  public:
   HashAggregateOp(PhysicalOpPtr child, std::vector<ColumnId> group_cols,
-                  std::vector<AggItem> aggs, bool scalar)
-      : aggs_(std::move(aggs)), scalar_(scalar) {
+                  std::vector<AggItem> aggs, bool scalar,
+                  SharedRegionStatePtr shared, int worker)
+      : aggs_(std::move(aggs)),
+        scalar_(scalar),
+        worker_(worker),
+        shared_(std::static_pointer_cast<SharedAggState>(shared)) {
     const std::vector<ColumnId>& in = child->layout();
     for (ColumnId g : group_cols) {
       for (size_t i = 0; i < in.size(); ++i) {
@@ -49,15 +184,116 @@ class HashAggregateOp : public PhysicalOp {
     groups_.clear();
     accs_.clear();
     order_.clear();
+    emit_pos_ = 0;
+    if (shared_ == nullptr) {
+      ORQ_RETURN_IF_ERROR(DrainInput(ctx));
+      emitter_ = true;
+      emit_order_ = &order_;
+      emit_accs_ = &accs_;
+      RecordPeak(static_cast<int64_t>(groups_.size()));
+      if (MetricsRegistry* m = metrics()) {
+        m->Add(MetricCounter::kHashAggGroups,
+               static_cast<int64_t>(groups_.size()));
+      }
+      return Status::OK();
+    }
+    // Parallel: aggregate this worker's share locally, then hand the
+    // partial to the merge barrier (errors ride along so the gang never
+    // stalls). Worker 0 emits the merged groups; the rest emit nothing.
+    Status drain = DrainInput(ctx);
+    AggPartial partial;
+    if (drain.ok()) {
+      partial.keys.reserve(order_.size());
+      for (const Row* key : order_) partial.keys.push_back(*key);
+      partial.accs = std::move(accs_);
+    }
+    Status status = shared_->Deposit(worker_, drain, std::move(partial),
+                                     aggs_);
+    groups_.clear();
+    accs_.clear();
+    order_.clear();
+    if (!status.ok()) return status;
+    emitter_ = (worker_ == 0);
+    emit_order_ = &shared_->order();
+    emit_accs_ = &shared_->accs();
+    if (emitter_) {
+      RecordPeak(static_cast<int64_t>(emit_order_->size()));
+      if (MetricsRegistry* m = metrics()) {
+        m->Add(MetricCounter::kHashAggGroups,
+               static_cast<int64_t>(emit_order_->size()));
+      }
+    }
+    return Status::OK();
+  }
+
+  Result<bool> NextImpl(ExecContext*, Row* row) override {
+    if (!emitter_) return false;
+    if (scalar_ && emit_order_->empty()) {
+      if (emit_pos_ > 0) return false;
+      ++emit_pos_;
+      // Aggregates over the empty input (section 1.1): count = 0, the rest
+      // NULL.
+      row->clear();
+      for (const AggItem& agg : aggs_) {
+        row->push_back(AggNullOnEmpty(agg.func) ? Value::Null()
+                                                : Value::Int64(0));
+      }
+      return true;
+    }
+    if (emit_pos_ >= emit_order_->size()) return false;
+    *row = *(*emit_order_)[emit_pos_];
+    const std::vector<Accumulator>& accs = (*emit_accs_)[emit_pos_++];
+    for (size_t i = 0; i < aggs_.size(); ++i) {
+      row->push_back(Finalize(aggs_[i], accs[i]));
+    }
+    return true;
+  }
+
+  Status NextBatchImpl(ExecContext* ctx, RowBatch* out) override {
+    if (!emitter_) return Status::OK();
+    if (scalar_ && emit_order_->empty()) return FillFromNextImpl(ctx, out);
+    while (emit_pos_ < emit_order_->size() && !out->full()) {
+      Row& slot = out->PushRow();
+      slot = *(*emit_order_)[emit_pos_];
+      const std::vector<Accumulator>& accs = (*emit_accs_)[emit_pos_++];
+      for (size_t i = 0; i < aggs_.size(); ++i) {
+        slot.push_back(Finalize(aggs_[i], accs[i]));
+      }
+    }
+    return Status::OK();
+  }
+
+  void CloseImpl() override {
+    groups_.clear();
+    accs_.clear();
+    order_.clear();
+    // Merged shared state is released by the exchange's Close; emit
+    // pointers are re-established on the next Open.
+    emit_order_ = &order_;
+    emit_accs_ = &accs_;
+  }
+
+  std::string name() const override {
+    if (scalar_) return "ScalarAggregate";
+    return "HashAggregate";
+  }
+
+ private:
+  /// Drains the child into the local group map. Batched input drain; group
+  /// keys probe a packed-key map (hash computed once per probe, key values
+  /// copied only on a new group) that indexes dense per-group accumulator
+  /// storage.
+  Status DrainInput(ExecContext* ctx) {
     ORQ_RETURN_IF_ERROR(children_[0]->Open(ctx));
-    // Batched input drain; group keys probe a packed-key map (hash
-    // computed once per probe, key values copied only on a new group) that
-    // indexes dense per-group accumulator storage.
     RowBatch batch(ctx->batch_size);
     Row key(group_slots_.size());
     MetricsRegistry* m = metrics();
     while (true) {
-      ORQ_RETURN_IF_ERROR(children_[0]->NextBatch(ctx, &batch));
+      Status status = children_[0]->NextBatch(ctx, &batch);
+      if (!status.ok()) {
+        children_[0]->Close();
+        return status;
+      }
       if (batch.empty()) break;
       if (m != nullptr) {
         m->Add(MetricCounter::kHashAggInputRows,
@@ -78,14 +314,15 @@ class HashAggregateOp : public PhysicalOp {
           accs_.emplace_back(aggs_.size());
           order_.push_back(&it->first.values);
         }
-        ORQ_RETURN_IF_ERROR(Accumulate(&accs_[it->second], row, ctx));
+        Status acc = Accumulate(&accs_[it->second], row, ctx);
+        if (!acc.ok()) {
+          children_[0]->Close();
+          return acc;
+        }
       }
     }
     children_[0]->Close();
-    RecordPeak(static_cast<int64_t>(groups_.size()));
     if (m != nullptr) {
-      m->Add(MetricCounter::kHashAggGroups,
-             static_cast<int64_t>(groups_.size()));
       // Occupied-bucket chain lengths at build end — the collision shape a
       // probe walks (hash quality + load factor in one distribution).
       for (size_t b = 0; b < groups_.bucket_count(); ++b) {
@@ -93,57 +330,9 @@ class HashAggregateOp : public PhysicalOp {
         if (chain > 0) m->Observe(MetricHistogram::kHashAggBucketChain, chain);
       }
     }
-    emit_pos_ = 0;
     return Status::OK();
   }
 
-  Result<bool> NextImpl(ExecContext*, Row* row) override {
-    if (scalar_ && groups_.empty()) {
-      if (emit_pos_ > 0) return false;
-      ++emit_pos_;
-      // Aggregates over the empty input (section 1.1): count = 0, the rest
-      // NULL.
-      row->clear();
-      for (const AggItem& agg : aggs_) {
-        row->push_back(AggNullOnEmpty(agg.func) ? Value::Null()
-                                                : Value::Int64(0));
-      }
-      return true;
-    }
-    if (emit_pos_ >= order_.size()) return false;
-    *row = *order_[emit_pos_];
-    const std::vector<Accumulator>& accs = accs_[emit_pos_++];
-    for (size_t i = 0; i < aggs_.size(); ++i) {
-      row->push_back(Finalize(aggs_[i], accs[i]));
-    }
-    return true;
-  }
-
-  Status NextBatchImpl(ExecContext* ctx, RowBatch* out) override {
-    if (scalar_ && groups_.empty()) return FillFromNextImpl(ctx, out);
-    while (emit_pos_ < order_.size() && !out->full()) {
-      Row& slot = out->PushRow();
-      slot = *order_[emit_pos_];
-      const std::vector<Accumulator>& accs = accs_[emit_pos_++];
-      for (size_t i = 0; i < aggs_.size(); ++i) {
-        slot.push_back(Finalize(aggs_[i], accs[i]));
-      }
-    }
-    return Status::OK();
-  }
-
-  void CloseImpl() override {
-    groups_.clear();
-    accs_.clear();
-    order_.clear();
-  }
-
-  std::string name() const override {
-    if (scalar_) return "ScalarAggregate";
-    return "HashAggregate";
-  }
-
- private:
   Status Accumulate(std::vector<Accumulator>* accs, const Row& row,
                     ExecContext* ctx) {
     for (size_t i = 0; i < aggs_.size(); ++i) {
@@ -203,8 +392,8 @@ class HashAggregateOp : public PhysicalOp {
       case AggFunc::kSum:
         if (acc.non_null == 0) return Value::Null();
         if (acc.sum_is_double) {
-          return Value::Double(acc.sum_double +
-                               static_cast<double>(acc.sum_int));
+          return Value::Double(static_cast<double>(
+              acc.sum_double + static_cast<SumAccum>(acc.sum_int)));
         }
         return Value::Int64(acc.sum_int);
       case AggFunc::kMin:
@@ -217,6 +406,8 @@ class HashAggregateOp : public PhysicalOp {
 
   std::vector<AggItem> aggs_;
   bool scalar_;
+  int worker_;
+  std::shared_ptr<SharedAggState> shared_;
   std::vector<int> group_slots_;
   std::vector<Evaluator> arg_evals_;
   /// Group index: packed key -> dense accumulator slot. Accumulators live
@@ -225,6 +416,11 @@ class HashAggregateOp : public PhysicalOp {
   std::unordered_map<PackedKey, uint32_t, PackedKeyHash, PackedKeyEq> groups_;
   std::vector<std::vector<Accumulator>> accs_;
   std::vector<const Row*> order_;  // deterministic emit order
+  /// Emission source: the local containers (serial) or the shared merged
+  /// result (parallel, worker 0). Non-emitters produce no rows.
+  bool emitter_ = true;
+  const std::vector<const Row*>* emit_order_ = &order_;
+  const std::vector<std::vector<Accumulator>>* emit_accs_ = &accs_;
   size_t emit_pos_ = 0;
 };
 
@@ -232,10 +428,16 @@ class HashAggregateOp : public PhysicalOp {
 
 PhysicalOpPtr MakeHashAggregateOp(PhysicalOpPtr child,
                                   std::vector<ColumnId> group_cols,
-                                  std::vector<AggItem> aggs, bool scalar) {
+                                  std::vector<AggItem> aggs, bool scalar,
+                                  SharedRegionStatePtr shared, int worker) {
   return std::make_unique<HashAggregateOp>(std::move(child),
                                            std::move(group_cols),
-                                           std::move(aggs), scalar);
+                                           std::move(aggs), scalar,
+                                           std::move(shared), worker);
+}
+
+SharedRegionStatePtr MakeSharedAggState(int workers) {
+  return std::make_shared<SharedAggState>(workers);
 }
 
 }  // namespace orq

@@ -26,6 +26,14 @@ struct ExecOptions {
   /// difftest reference configuration for the batched path.
   bool batched = true;
   int batch_size = kDefaultBatchRows;
+  /// Morsel-driven parallel execution. 0 keeps the classic single-threaded
+  /// engine (no thread pool, plans unchanged); N >= 1 builds N instances of
+  /// each eligible subtree under an exchange operator and runs them on an
+  /// N-thread work-stealing pool — num_threads == 1 exists to measure the
+  /// parallel mode's fixed overhead.
+  int num_threads = 0;
+  /// Rows per morsel claim for parallel table scans (see exec/parallel.h).
+  int morsel_rows = 4096;
 };
 
 /// A fixed-capacity buffer of rows passed between operators. Row storage
@@ -61,6 +69,7 @@ class RowBatch {
 
 class MetricsRegistry;
 class SpanRecorder;
+class TaskPool;
 
 /// Optional instrumentation sinks for one execution, bundled so the
 /// operator shells test a single pointer: per-operator stats (EXPLAIN
@@ -93,6 +102,12 @@ struct ExecContext {
   /// Batch-at-a-time execution toggle and batch sizing (ExecOptions).
   bool batched = true;
   int batch_size = kDefaultBatchRows;
+  /// Worker pool for exchange operators, or nullptr on single-threaded
+  /// executions. Owned by the engine; a parallel plan executed without a
+  /// pool fails at Open rather than silently serializing.
+  TaskPool* pool = nullptr;
+  /// Rows per parallel-scan morsel claim (ExecOptions::morsel_rows).
+  int morsel_rows = 4096;
 };
 
 /// Volcano-style iterator with an optional batched pull path. Operators are

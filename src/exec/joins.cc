@@ -1,9 +1,13 @@
+#include <condition_variable>
 #include <cstdint>
+#include <mutex>
 #include <unordered_map>
+#include <utility>
 
 #include "exec/evaluator.h"
 #include "exec/ops.h"
 #include "exec/packed_key.h"
+#include "exec/parallel.h"
 #include "obs/metrics.h"
 
 namespace orq {
@@ -38,9 +42,10 @@ class NLJoinOp : public PhysicalOp {
  public:
   NLJoinOp(PhysJoinKind kind, PhysicalOpPtr left, PhysicalOpPtr right,
            ScalarExprPtr predicate, bool rebind_inner,
-           std::vector<DataType> right_types)
+           std::vector<DataType> right_types, bool cache_inner)
       : kind_(kind),
         rebind_inner_(rebind_inner),
+        cache_inner_(cache_inner && !rebind_inner),
         pad_types_(
             ResolvePadTypes(std::move(right_types), right->layout().size())) {
     layout_ = CombinedLayout(*left, *right, kind);
@@ -57,22 +62,32 @@ class NLJoinOp : public PhysicalOp {
     have_left_ = false;
     inner_open_ = false;
     if (!rebind_inner_) {
-      // Uncorrelated: materialize the inner once.
-      ORQ_RETURN_IF_ERROR(children_[1]->Open(ctx));
-      inner_rows_.clear();
-      RowBatch batch(ctx->batch_size);
-      while (true) {
-        ORQ_RETURN_IF_ERROR(children_[1]->NextBatch(ctx, &batch));
-        if (batch.empty()) break;
-        for (size_t i = 0; i < batch.size(); ++i) {
-          inner_rows_.push_back(std::move(batch.row(i)));
+      if (cache_inner_ && inner_cached_) {
+        // Uncorrelated inner re-opened (e.g. under an outer Apply or a
+        // SegmentApply): replay the spool instead of re-executing the
+        // subtree — its result cannot have changed.
+        if (MetricsRegistry* m = metrics()) {
+          m->Add(MetricCounter::kInnerCacheReplays, 1);
         }
-      }
-      children_[1]->Close();
-      RecordPeak(static_cast<int64_t>(inner_rows_.size()));
-      if (MetricsRegistry* m = metrics()) {
-        m->Add(MetricCounter::kSpoolRows,
-               static_cast<int64_t>(inner_rows_.size()));
+      } else {
+        // Uncorrelated: materialize the inner once.
+        ORQ_RETURN_IF_ERROR(children_[1]->Open(ctx));
+        inner_rows_.clear();
+        RowBatch batch(ctx->batch_size);
+        while (true) {
+          ORQ_RETURN_IF_ERROR(children_[1]->NextBatch(ctx, &batch));
+          if (batch.empty()) break;
+          for (size_t i = 0; i < batch.size(); ++i) {
+            inner_rows_.push_back(std::move(batch.row(i)));
+          }
+        }
+        children_[1]->Close();
+        RecordPeak(static_cast<int64_t>(inner_rows_.size()));
+        if (MetricsRegistry* m = metrics()) {
+          m->Add(MetricCounter::kSpoolRows,
+                 static_cast<int64_t>(inner_rows_.size()));
+        }
+        inner_cached_ = cache_inner_;
       }
       probe_ = RowBatch(ctx->batch_size);
       probe_pos_ = 0;
@@ -218,7 +233,8 @@ class NLJoinOp : public PhysicalOp {
       children_[1]->Close();
       inner_open_ = false;
     }
-    inner_rows_.clear();
+    // A caching spool survives Close for replay on the next Open.
+    if (!cache_inner_) inner_rows_.clear();
   }
 
   std::string name() const override {
@@ -235,6 +251,7 @@ class NLJoinOp : public PhysicalOp {
  private:
   PhysJoinKind kind_;
   bool rebind_inner_;
+  bool cache_inner_;
   std::vector<DataType> pad_types_;
   Evaluator predicate_;
   Row left_row_;               // row path: current outer row (copy)
@@ -243,17 +260,149 @@ class NLJoinOp : public PhysicalOp {
   bool matched_ = false;
   bool inner_open_ = false;
   std::vector<Row> inner_rows_;  // uncorrelated inner materialization
+  bool inner_cached_ = false;    // inner_rows_ valid across Open cycles
   size_t inner_pos_ = 0;
   RowBatch probe_{0};
   size_t probe_pos_ = 0;
+};
+
+/// A bucket's slice of the slots permutation. `filled` is the build-time
+/// scatter cursor; unused after the build completes.
+struct BucketRange {
+  uint32_t begin = 0;
+  uint32_t size = 0;
+  uint32_t filled = 0;
+};
+
+/// A complete hash-join build product: rows in arrival order, the slots
+/// permutation grouping them by key, and the key -> bucket-range index.
+/// Serial builds own one; parallel builds probe the one merged inside
+/// SharedJoinState.
+struct BuildTable {
+  std::vector<Row> arena;        // build rows, arrival order
+  std::vector<uint32_t> slots;   // arena indices grouped by bucket
+  std::unordered_map<PackedKey, BucketRange, PackedKeyHash, PackedKeyEq>
+      table;
+
+  void Clear() {
+    arena.clear();
+    slots.clear();
+    table.clear();
+  }
+};
+
+/// Assigns each bucket a contiguous slot range, then scatters arena
+/// indices into their bucket's range in arrival order. `row_bucket[i]` is
+/// the bucket of arena row i. Shared by the serial build and the parallel
+/// merge.
+void FinishScatter(BuildTable* t,
+                   const std::vector<BucketRange*>& row_bucket) {
+  uint32_t offset = 0;
+  for (auto& entry : t->table) {
+    entry.second.begin = offset;
+    offset += entry.second.size;
+  }
+  t->slots.resize(t->arena.size());
+  for (size_t i = 0; i < t->arena.size(); ++i) {
+    BucketRange* bucket = row_bucket[i];
+    t->slots[bucket->begin + bucket->filled++] =
+        static_cast<uint32_t>(i);
+  }
+}
+
+/// Build-side rendezvous of a parallel hash join. Every worker drains its
+/// morsel share of the build input into a private (key, row) partial, then
+/// deposits it here; the last depositor merges all partials into one
+/// BuildTable which every worker then probes read-only. Deposits happen
+/// unconditionally — a worker whose drain failed deposits the error — so
+/// the barrier always completes and no gang member is left waiting.
+class SharedJoinState final : public SharedRegionState {
+ public:
+  explicit SharedJoinState(int workers)
+      : workers_(workers), partials_(static_cast<size_t>(workers)) {}
+
+  void Reset() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    deposited_ = 0;
+    merge_done_ = false;
+    status_ = Status::OK();
+    for (auto& partial : partials_) {
+      partial.clear();
+      partial.shrink_to_fit();
+    }
+    table_.Clear();
+  }
+
+  /// Blocks until all workers deposited and the merge completed. Returns
+  /// the shared table (same pointer for every worker) or the first
+  /// deposited error. `*merged_here` is set for exactly one worker — the
+  /// one that performed the merge — so table-wide stats are recorded once.
+  Result<const BuildTable*> Deposit(
+      int worker, const Status& drain,
+      std::vector<std::pair<PackedKey, Row>> partial, bool* merged_here) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!drain.ok() && status_.ok()) status_ = drain;
+    partials_[static_cast<size_t>(worker)] = std::move(partial);
+    *merged_here = false;
+    if (++deposited_ == workers_) {
+      if (status_.ok()) {
+        Merge();
+        *merged_here = true;
+      }
+      merge_done_ = true;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lock, [this] { return merge_done_; });
+    }
+    if (!status_.ok()) return status_;
+    return &table_;
+  }
+
+ private:
+  /// Runs under mu_ on the last depositor's thread; after merge_done_ the
+  /// table is read-only, so probes need no lock.
+  void Merge() {
+    size_t total = 0;
+    for (const auto& partial : partials_) total += partial.size();
+    table_.arena.reserve(total);
+    std::vector<BucketRange*> row_bucket;
+    row_bucket.reserve(total);
+    for (auto& partial : partials_) {
+      for (auto& [key, row] : partial) {
+        auto it = table_.table.find(key);
+        if (it == table_.table.end()) {
+          it = table_.table.emplace(std::move(key), BucketRange{}).first;
+        }
+        ++it->second.size;
+        row_bucket.push_back(&it->second);
+        table_.arena.push_back(std::move(row));
+      }
+      partial.clear();
+      partial.shrink_to_fit();
+    }
+    FinishScatter(&table_, row_bucket);
+  }
+
+  const int workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int deposited_ = 0;
+  bool merge_done_ = false;
+  Status status_;
+  std::vector<std::vector<std::pair<PackedKey, Row>>> partials_;
+  BuildTable table_;
 };
 
 class HashJoinOp : public PhysicalOp {
  public:
   HashJoinOp(PhysJoinKind kind, PhysicalOpPtr left, PhysicalOpPtr right,
              std::vector<std::pair<ScalarExprPtr, ScalarExprPtr>> keys,
-             ScalarExprPtr residual, std::vector<DataType> right_types)
+             ScalarExprPtr residual, std::vector<DataType> right_types,
+             bool cache_build, SharedRegionStatePtr shared, int worker)
       : kind_(kind),
+        cache_build_(cache_build && shared == nullptr),
+        worker_(worker),
+        shared_(std::static_pointer_cast<SharedJoinState>(shared)),
         pad_types_(
             ResolvePadTypes(std::move(right_types), right->layout().size())) {
     layout_ = CombinedLayout(*left, *right, kind);
@@ -273,77 +422,29 @@ class HashJoinOp : public PhysicalOp {
   }
 
   Status OpenImpl(ExecContext* ctx) override {
-    // Build: drain the right child into a contiguous arena, keyed by a
-    // packed key (hash precomputed once per distinct key). Buckets are
-    // ranges into a single slots permutation rather than one vector of
-    // row copies per key.
-    arena_.clear();
-    slots_.clear();
-    table_.clear();
-    ORQ_RETURN_IF_ERROR(children_[1]->Open(ctx));
-    std::vector<BucketRange*> row_bucket;
-    RowBatch batch(ctx->batch_size);
-    Row key(right_keys_.size());
-    while (true) {
-      ORQ_RETURN_IF_ERROR(children_[1]->NextBatch(ctx, &batch));
-      if (batch.empty()) break;
-      for (size_t r = 0; r < batch.size(); ++r) {
-        Row& row = batch.row(r);
-        bool null_key = false;
-        for (size_t i = 0; i < right_keys_.size(); ++i) {
-          Result<Value> v = right_keys_[i].Eval(row, ctx);
-          if (!v.ok()) return v.status();
-          if (v->is_null()) {
-            null_key = true;
-            break;
-          }
-          key[i] = std::move(*v);
-        }
-        if (null_key) continue;  // NULL keys never join
-        auto it = table_.find(key);
-        if (it == table_.end()) {
-          it = table_.emplace(PackedKey(std::move(key)), BucketRange{}).first;
-          key = Row(right_keys_.size());
-        }
-        ++it->second.size;
-        row_bucket.push_back(&it->second);
-        arena_.push_back(std::move(row));
+    if (shared_ != nullptr) {
+      // Parallel build: drain this worker's share of the build input into
+      // (key, row) pairs and meet the gang at the merge barrier. The drain
+      // status rides along so an error still completes the barrier.
+      std::vector<std::pair<PackedKey, Row>> partial;
+      Status drain = DrainBuildPartial(ctx, &partial);
+      bool merged_here = false;
+      Result<const BuildTable*> merged =
+          shared_->Deposit(worker_, drain, std::move(partial), &merged_here);
+      if (!merged.ok()) return merged.status();
+      active_ = *merged;
+      if (merged_here) RecordBuildStats();
+    } else if (cache_build_ && built_) {
+      // Uncorrelated build side re-opened: probe the retained table.
+      if (MetricsRegistry* m = metrics()) {
+        m->Add(MetricCounter::kInnerCacheReplays, 1);
       }
-    }
-    children_[1]->Close();
-    // Assign each bucket a contiguous slot range, then scatter arena
-    // indices into their bucket's range in arrival order.
-    uint32_t offset = 0;
-    for (auto& entry : table_) {
-      entry.second.begin = offset;
-      offset += entry.second.size;
-    }
-    slots_.resize(arena_.size());
-    for (size_t i = 0; i < arena_.size(); ++i) {
-      BucketRange* bucket = row_bucket[i];
-      slots_[bucket->begin + bucket->filled++] = static_cast<uint32_t>(i);
-    }
-    RecordPeak(static_cast<int64_t>(table_.size()));
-    if (MetricsRegistry* m = metrics()) {
-      m->Add(MetricCounter::kHashJoinBuildRows,
-             static_cast<int64_t>(arena_.size()));
-      m->Add(MetricCounter::kHashJoinBuckets,
-             static_cast<int64_t>(table_.size()));
-      // Approximate resident footprint of the build side: row headers and
-      // value storage in the arena, the slots permutation, and the packed
-      // keys + bucket ranges in the table. String payloads are not walked.
-      int64_t bytes = static_cast<int64_t>(slots_.size() * sizeof(uint32_t));
-      for (const Row& row : arena_) {
-        bytes += static_cast<int64_t>(sizeof(Row) +
-                                      row.capacity() * sizeof(Value));
-      }
-      for (const auto& entry : table_) {
-        bytes += static_cast<int64_t>(
-            sizeof(PackedKey) + sizeof(BucketRange) +
-            entry.first.values.capacity() * sizeof(Value));
-        m->Observe(MetricHistogram::kHashJoinBucketRows, entry.second.size);
-      }
-      m->Add(MetricCounter::kHashJoinArenaBytes, bytes);
+      active_ = &local_;
+    } else {
+      ORQ_RETURN_IF_ERROR(BuildLocal(ctx));
+      built_ = true;
+      active_ = &local_;
+      RecordBuildStats();
     }
     ORQ_RETURN_IF_ERROR(children_[0]->Open(ctx));
     have_left_ = false;
@@ -362,7 +463,8 @@ class HashJoinOp : public PhysicalOp {
         ORQ_RETURN_IF_ERROR(LookupBucket(left_row_, ctx));
       }
       while (bucket_pos_ < bucket_size_) {
-        const Row& inner = arena_[slots_[bucket_begin_ + bucket_pos_++]];
+        const Row& inner =
+            active_->arena[active_->slots[bucket_begin_ + bucket_pos_++]];
         Row combined = left_row_;
         combined.insert(combined.end(), inner.begin(), inner.end());
         if (has_residual_) {
@@ -419,7 +521,8 @@ class HashJoinOp : public PhysicalOp {
       const Row& left = *left_;
       while (have_left_ && bucket_pos_ < bucket_size_) {
         if (out->full()) return Status::OK();
-        const Row& inner = arena_[slots_[bucket_begin_ + bucket_pos_++]];
+        const Row& inner =
+            active_->arena[active_->slots[bucket_begin_ + bucket_pos_++]];
         Row& slot = out->PushRow();
         slot.clear();
         slot.reserve(left.size() + inner.size());
@@ -466,9 +569,10 @@ class HashJoinOp : public PhysicalOp {
 
   void CloseImpl() override {
     children_[0]->Close();
-    arena_.clear();
-    slots_.clear();
-    table_.clear();
+    // The shared table is released by the exchange's Close (other workers
+    // may still be probing it here); a caching build survives for replay.
+    if (shared_ == nullptr && !cache_build_) local_.Clear();
+    active_ = nullptr;
   }
 
   std::string name() const override {
@@ -483,13 +587,129 @@ class HashJoinOp : public PhysicalOp {
   }
 
  private:
-  /// A bucket's slice of the slots_ permutation. `filled` is the build-time
-  /// scatter cursor; unused after Open.
-  struct BucketRange {
-    uint32_t begin = 0;
-    uint32_t size = 0;
-    uint32_t filled = 0;
-  };
+  /// Serial build: drain the right child into local_, keyed by a packed
+  /// key (hash precomputed once per distinct key). Buckets are ranges into
+  /// a single slots permutation rather than one vector of row copies per
+  /// key.
+  Status BuildLocal(ExecContext* ctx) {
+    local_.Clear();
+    ORQ_RETURN_IF_ERROR(children_[1]->Open(ctx));
+    std::vector<BucketRange*> row_bucket;
+    RowBatch batch(ctx->batch_size);
+    Row key(right_keys_.size());
+    while (true) {
+      Status status = children_[1]->NextBatch(ctx, &batch);
+      if (!status.ok()) {
+        children_[1]->Close();
+        return status;
+      }
+      if (batch.empty()) break;
+      for (size_t r = 0; r < batch.size(); ++r) {
+        Row& row = batch.row(r);
+        bool null_key = false;
+        for (size_t i = 0; i < right_keys_.size(); ++i) {
+          Result<Value> v = right_keys_[i].Eval(row, ctx);
+          if (!v.ok()) {
+            children_[1]->Close();
+            return v.status();
+          }
+          if (v->is_null()) {
+            null_key = true;
+            break;
+          }
+          key[i] = std::move(*v);
+        }
+        if (null_key) continue;  // NULL keys never join
+        auto it = local_.table.find(key);
+        if (it == local_.table.end()) {
+          it = local_.table.emplace(PackedKey(std::move(key)), BucketRange{})
+                   .first;
+          key = Row(right_keys_.size());
+        }
+        ++it->second.size;
+        row_bucket.push_back(&it->second);
+        local_.arena.push_back(std::move(row));
+      }
+    }
+    children_[1]->Close();
+    FinishScatter(&local_, row_bucket);
+    return Status::OK();
+  }
+
+  /// Parallel build: drain the right child (a morsel share of the build
+  /// input) into per-row (key, row) pairs for the shared merge. Closes the
+  /// child on every path; the caller deposits whatever status results.
+  Status DrainBuildPartial(ExecContext* ctx,
+                           std::vector<std::pair<PackedKey, Row>>* partial) {
+    ORQ_RETURN_IF_ERROR(children_[1]->Open(ctx));
+    RowBatch batch(ctx->batch_size);
+    while (true) {
+      Status status = children_[1]->NextBatch(ctx, &batch);
+      if (!status.ok()) {
+        children_[1]->Close();
+        return status;
+      }
+      if (batch.empty()) break;
+      for (size_t r = 0; r < batch.size(); ++r) {
+        Row& row = batch.row(r);
+        Row key(right_keys_.size());
+        bool null_key = false;
+        for (size_t i = 0; i < right_keys_.size(); ++i) {
+          Result<Value> v = right_keys_[i].Eval(row, ctx);
+          if (!v.ok()) {
+            children_[1]->Close();
+            return v.status();
+          }
+          if (v->is_null()) {
+            null_key = true;
+            break;
+          }
+          key[i] = std::move(*v);
+        }
+        if (null_key) continue;
+        partial->emplace_back(PackedKey(std::move(key)), std::move(row));
+      }
+    }
+    children_[1]->Close();
+    if (MetricsRegistry* m = metrics()) {
+      m->Add(MetricCounter::kHashJoinBuildRows,
+             static_cast<int64_t>(partial->size()));
+    }
+    return Status::OK();
+  }
+
+  /// Table-wide build statistics, recorded once per build: by the serial
+  /// builder, or by the single worker that performed the parallel merge
+  /// (into its shard; the exchange merges shards afterwards).
+  void RecordBuildStats() {
+    RecordPeak(static_cast<int64_t>(active_->table.size()));
+    MetricsRegistry* m = metrics();
+    if (m == nullptr) return;
+    if (shared_ == nullptr) {
+      // The parallel path counts build rows per worker in
+      // DrainBuildPartial; count the serial drain here.
+      m->Add(MetricCounter::kHashJoinBuildRows,
+             static_cast<int64_t>(active_->arena.size()));
+    }
+    m->Add(MetricCounter::kHashJoinBuckets,
+           static_cast<int64_t>(active_->table.size()));
+    // Approximate resident footprint of the build side: row headers and
+    // value storage in the arena, the slots permutation, and the packed
+    // keys + bucket ranges in the table. String payloads are not walked.
+    int64_t bytes =
+        static_cast<int64_t>(active_->slots.size() * sizeof(uint32_t));
+    for (const Row& row : active_->arena) {
+      bytes += static_cast<int64_t>(sizeof(Row) +
+                                    row.capacity() * sizeof(Value));
+    }
+    for (const auto& entry : active_->table) {
+      bytes += static_cast<int64_t>(
+          sizeof(PackedKey) + sizeof(BucketRange) +
+          entry.first.values.capacity() * sizeof(Value));
+      m->Observe(MetricHistogram::kHashJoinBucketRows, entry.second.size);
+    }
+    m->Add(MetricCounter::kHashJoinArenaBytes, bytes);
+  }
 
   /// Evaluates the probe keys for `left` and positions the bucket cursor;
   /// a NULL key or an absent key yields an empty bucket.
@@ -504,8 +724,8 @@ class HashJoinOp : public PhysicalOp {
       if (v->is_null()) return Status::OK();
       probe_key_[i] = std::move(*v);
     }
-    auto it = table_.find(probe_key_);  // heterogeneous: no key copy
-    if (it != table_.end()) {
+    auto it = active_->table.find(probe_key_);  // heterogeneous: no key copy
+    if (it != active_->table.end()) {
       bucket_begin_ = it->second.begin;
       bucket_size_ = it->second.size;
     }
@@ -517,14 +737,16 @@ class HashJoinOp : public PhysicalOp {
   }
 
   PhysJoinKind kind_;
+  bool cache_build_;
+  int worker_;
+  std::shared_ptr<SharedJoinState> shared_;
   std::vector<DataType> pad_types_;
   std::vector<Evaluator> left_keys_, right_keys_;
   Evaluator residual_;
   bool has_residual_ = false;
-  std::vector<Row> arena_;      // build rows, arrival order
-  std::vector<uint32_t> slots_; // arena indices grouped by bucket
-  std::unordered_map<PackedKey, BucketRange, PackedKeyHash, PackedKeyEq>
-      table_;
+  BuildTable local_;                      // serial/cached build product
+  const BuildTable* active_ = nullptr;    // table being probed (local or shared)
+  bool built_ = false;                    // local_ valid across Open cycles
   Row left_row_;               // row path: current probe row (copy)
   const Row* left_ = nullptr;  // batch path: current probe row, in probe_
   Row probe_key_;              // scratch for heterogeneous lookups
@@ -542,19 +764,26 @@ class HashJoinOp : public PhysicalOp {
 PhysicalOpPtr MakeNLJoinOp(PhysJoinKind kind, PhysicalOpPtr left,
                            PhysicalOpPtr right, ScalarExprPtr predicate,
                            bool rebind_inner,
-                           std::vector<DataType> right_types) {
+                           std::vector<DataType> right_types,
+                           bool cache_inner) {
   return std::make_unique<NLJoinOp>(kind, std::move(left), std::move(right),
                                     std::move(predicate), rebind_inner,
-                                    std::move(right_types));
+                                    std::move(right_types), cache_inner);
 }
 
 PhysicalOpPtr MakeHashJoinOp(
     PhysJoinKind kind, PhysicalOpPtr left, PhysicalOpPtr right,
     std::vector<std::pair<ScalarExprPtr, ScalarExprPtr>> keys,
-    ScalarExprPtr residual, std::vector<DataType> right_types) {
+    ScalarExprPtr residual, std::vector<DataType> right_types,
+    bool cache_build, SharedRegionStatePtr shared, int worker) {
   return std::make_unique<HashJoinOp>(kind, std::move(left), std::move(right),
                                       std::move(keys), std::move(residual),
-                                      std::move(right_types));
+                                      std::move(right_types), cache_build,
+                                      std::move(shared), worker);
+}
+
+SharedRegionStatePtr MakeSharedJoinState(int workers) {
+  return std::make_shared<SharedJoinState>(workers);
 }
 
 }  // namespace orq

@@ -7,6 +7,7 @@
 #include "algebra/rel_expr.h"
 #include "catalog/table.h"
 #include "exec/exec.h"
+#include "exec/parallel.h"
 
 namespace orq {
 
@@ -39,27 +40,42 @@ PhysicalOpPtr MakeComputeOp(PhysicalOpPtr child,
 /// publishes each outer row's columns as parameters and re-opens the inner
 /// child per outer row (correlated execution). kLeftOuter pads unmatched
 /// rows with NULLs typed by `right_types` (the right layout's declared
-/// column types, one per right column; kInt64 when omitted).
+/// column types, one per right column; kInt64 when omitted). With
+/// `cache_inner` (builder-proven uncorrelated, segment-free inner), the
+/// inner spool survives Close and re-opens replay it instead of
+/// re-executing the subtree.
 PhysicalOpPtr MakeNLJoinOp(PhysJoinKind kind, PhysicalOpPtr left,
                            PhysicalOpPtr right, ScalarExprPtr predicate,
                            bool rebind_inner,
-                           std::vector<DataType> right_types = {});
+                           std::vector<DataType> right_types = {},
+                           bool cache_inner = false);
 
 /// Hash join on equi-key pairs (left expr, right expr) with an optional
 /// residual predicate over the combined row. Builds on the right input.
 /// `right_types` types the kLeftOuter NULL padding, as in MakeNLJoinOp.
+/// `cache_build` retains the build table across Open cycles (uncorrelated,
+/// segment-free build side). Inside a parallel region, `shared` (from
+/// MakeSharedJoinState) + `worker` switch the build to per-worker partials
+/// merged at a barrier into one table all instances probe.
 PhysicalOpPtr MakeHashJoinOp(
     PhysJoinKind kind, PhysicalOpPtr left, PhysicalOpPtr right,
     std::vector<std::pair<ScalarExprPtr, ScalarExprPtr>> keys,
-    ScalarExprPtr residual, std::vector<DataType> right_types = {});
+    ScalarExprPtr residual, std::vector<DataType> right_types = {},
+    bool cache_build = false, SharedRegionStatePtr shared = nullptr,
+    int worker = 0);
 
 /// Hash aggregation; with `scalar` set, emits exactly one row (agg over the
 /// empty input yields count=0 / others NULL, per section 1.1). Implements
 /// the Max1Row aggregate's run-time error. LocalGroupBy reuses this
-/// operator (section 3.3: the implementation need not differ).
+/// operator (section 3.3: the implementation need not differ). Inside a
+/// parallel region, `shared` (from MakeSharedAggState) + `worker` merge
+/// per-worker partial aggregates at end of input; worker 0 emits the
+/// merged groups and the other instances emit nothing.
 PhysicalOpPtr MakeHashAggregateOp(PhysicalOpPtr child,
                                   std::vector<ColumnId> group_cols,
-                                  std::vector<AggItem> aggs, bool scalar);
+                                  std::vector<AggItem> aggs, bool scalar,
+                                  SharedRegionStatePtr shared = nullptr,
+                                  int worker = 0);
 
 PhysicalOpPtr MakeSortOp(PhysicalOpPtr child, std::vector<SortKey> keys,
                          int64_t limit);

@@ -1,9 +1,108 @@
+#include <atomic>
+
 #include "exec/evaluator.h"
 #include "exec/ops.h"
+#include "exec/parallel.h"
+#include "obs/metrics.h"
 
 namespace orq {
 
 namespace {
+
+/// Atomic claim cursor shared by the N MorselScan instances of one table
+/// scan. fetch_add partitions the row space into disjoint ranges with no
+/// locks; the scan that claims past the end simply finishes.
+class MorselSource final : public SharedRegionState {
+ public:
+  void Reset() override { next_.store(0, std::memory_order_relaxed); }
+
+  /// Claims the next `morsel_rows` range; false when `total` is exhausted.
+  bool Claim(size_t total, size_t morsel_rows, size_t* begin, size_t* end) {
+    const size_t start =
+        static_cast<size_t>(next_.fetch_add(static_cast<int64_t>(morsel_rows),
+                                            std::memory_order_relaxed));
+    if (start >= total) return false;
+    *begin = start;
+    *end = start + morsel_rows < total ? start + morsel_rows : total;
+    return true;
+  }
+
+ private:
+  std::atomic<int64_t> next_{0};
+};
+
+/// One worker's instance of a parallel table scan: claims morsels from the
+/// shared source and emits their rows. The union of all instances is
+/// exactly one full scan.
+class MorselScanOp : public PhysicalOp {
+ public:
+  MorselScanOp(const Table* table, std::vector<int> ordinals,
+               std::vector<ColumnId> layout, SharedRegionStatePtr source)
+      : table_(table),
+        ordinals_(std::move(ordinals)),
+        source_(std::static_pointer_cast<MorselSource>(source)) {
+    layout_ = std::move(layout);
+  }
+
+  Status OpenImpl(ExecContext* ctx) override {
+    pos_ = 0;
+    end_ = 0;
+    morsel_rows_ = ctx->morsel_rows > 0
+                       ? static_cast<size_t>(ctx->morsel_rows)
+                       : static_cast<size_t>(kDefaultMorselRows);
+    return Status::OK();
+  }
+
+  Result<bool> NextImpl(ExecContext*, Row* row) override {
+    if (pos_ >= end_ && !ClaimMorsel()) return false;
+    const Row& src = table_->rows()[pos_++];
+    row->resize(ordinals_.size());
+    for (size_t i = 0; i < ordinals_.size(); ++i) {
+      (*row)[i] = src[ordinals_[i]];
+    }
+    return true;
+  }
+
+  Status NextBatchImpl(ExecContext*, RowBatch* batch) override {
+    const std::vector<Row>& rows = table_->rows();
+    const size_t width = ordinals_.size();
+    while (!batch->full()) {
+      if (pos_ >= end_ && !ClaimMorsel()) break;
+      while (pos_ < end_ && !batch->full()) {
+        const Row& src = rows[pos_++];
+        Row& slot = batch->PushRow();
+        slot.resize(width);
+        for (size_t i = 0; i < width; ++i) {
+          slot[i] = src[ordinals_[i]];
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  void CloseImpl() override {}
+  std::string name() const override {
+    return "MorselScan(" + table_->name() + ")";
+  }
+
+ private:
+  bool ClaimMorsel() {
+    if (!source_->Claim(table_->num_rows(), morsel_rows_, &pos_, &end_)) {
+      return false;
+    }
+    if (MetricsRegistry* m = metrics()) {
+      m->Add(MetricCounter::kMorselsClaimed, 1);
+    }
+    return true;
+  }
+
+  const Table* table_;
+  std::vector<int> ordinals_;
+  std::shared_ptr<MorselSource> source_;
+  size_t pos_ = 0;
+  size_t end_ = 0;
+  size_t morsel_rows_ = kDefaultMorselRows;
+};
 
 class TableScanOp : public PhysicalOp {
  public:
@@ -203,6 +302,17 @@ PhysicalOpPtr MakeEmptyOp(std::vector<ColumnId> layout) {
 
 PhysicalOpPtr MakeSegmentScanOp(std::vector<ColumnId> layout) {
   return std::make_unique<SegmentScanOp>(std::move(layout));
+}
+
+SharedRegionStatePtr MakeMorselSource() {
+  return std::make_shared<MorselSource>();
+}
+
+PhysicalOpPtr MakeMorselScan(const Table* table, std::vector<int> ordinals,
+                             std::vector<ColumnId> layout,
+                             SharedRegionStatePtr source) {
+  return std::make_unique<MorselScanOp>(table, std::move(ordinals),
+                                        std::move(layout), std::move(source));
 }
 
 }  // namespace orq

@@ -1,0 +1,77 @@
+#ifndef ORQ_EXEC_TASK_POOL_H_
+#define ORQ_EXEC_TASK_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace orq {
+
+/// Work-stealing thread pool driving morsel-parallel execution. Each worker
+/// owns a deque: Submit distributes tasks round-robin, an owner pops from
+/// the front of its own deque, and an idle worker steals from the *back* of
+/// a victim's deque — the classic split that keeps owner and thief on
+/// opposite ends, so they only contend when a deque is nearly empty.
+///
+/// Tasks must not block on work that only another *queued* (not yet
+/// running) task can perform unless the blocked task's thread is itself
+/// stealable-around — the exchange operator's gang satisfies this because a
+/// worker blocked on the build barrier occupies its thread while the
+/// remaining gang members run on other threads or are stolen by them.
+/// Plans keep at most one exchange per query (see opt/physical.cc) so a
+/// gang never waits on a second gang for pool capacity.
+class TaskPool {
+ public:
+  explicit TaskPool(int num_threads);
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues `task` for execution on some worker thread. Thread-safe.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished running. Intended for
+  /// tests and teardown; the exchange operator tracks completion through
+  /// its own queue protocol instead.
+  void WaitIdle();
+
+  /// Total tasks executed / executed via stealing (monotonic, for metrics).
+  int64_t tasks_run() const {
+    return tasks_run_.load(std::memory_order_relaxed);
+  }
+  int64_t steals() const { return steals_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Worker {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(int self);
+  /// Pops the next task: front of own deque, else back of another's.
+  bool TryPop(int self, std::function<void()>* task);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+  std::mutex mu_;                  // guards wakeups + idle accounting
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  int64_t pending_ = 0;            // submitted but not yet finished
+  bool stop_ = false;
+  std::atomic<int64_t> next_worker_{0};
+  std::atomic<int64_t> tasks_run_{0};
+  std::atomic<int64_t> steals_{0};
+};
+
+}  // namespace orq
+
+#endif  // ORQ_EXEC_TASK_POOL_H_

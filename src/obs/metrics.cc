@@ -18,6 +18,10 @@ const char* MetricCounterName(MetricCounter counter) {
     case MetricCounter::kSpoolRows: return "spool.rows";
     case MetricCounter::kApplyInnerOpens: return "apply.inner_opens";
     case MetricCounter::kSegmentInnerOpens: return "segment.inner_opens";
+    case MetricCounter::kInnerCacheReplays: return "spool.cache_replays";
+    case MetricCounter::kExchangeBatches: return "exchange.batches";
+    case MetricCounter::kMorselsClaimed: return "exchange.morsels";
+    case MetricCounter::kTaskSteals: return "exchange.task_steals";
   }
   return "unknown";
 }
@@ -56,6 +60,22 @@ void MetricsRegistry::Observe(MetricHistogram histogram, int64_t value) {
   data.sum += value;
   if (value > data.max) data.max = value;
   ++data.buckets[BucketIndex(value)];
+}
+
+void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
+  for (int i = 0; i < kNumMetricCounters; ++i) {
+    counters_[i] += other.counters_[i];
+  }
+  for (int i = 0; i < kNumMetricHistograms; ++i) {
+    HistogramData& ours = histograms_[i];
+    const HistogramData& theirs = other.histograms_[i];
+    ours.count += theirs.count;
+    ours.sum += theirs.sum;
+    if (theirs.max > ours.max) ours.max = theirs.max;
+    for (int b = 0; b < kMetricHistogramBuckets; ++b) {
+      ours.buckets[b] += theirs.buckets[b];
+    }
+  }
 }
 
 bool MetricsRegistry::empty() const {

@@ -20,9 +20,13 @@ enum class MetricCounter : int {
   kSpoolRows,              // rows materialized by NLJoin/Sort/ExceptAll spools
   kApplyInnerOpens,        // correlated Apply inner re-opens (Fig. 1's N+1)
   kSegmentInnerOpens,      // SegmentApply inner executions (one per segment)
+  kInnerCacheReplays,      // uncorrelated inner re-opens served from cache
+  kExchangeBatches,        // batches crossing exchange queues
+  kMorselsClaimed,         // morsel ranges claimed by parallel scans
+  kTaskSteals,             // pool tasks run on a thread other than their own
 };
 inline constexpr int kNumMetricCounters =
-    static_cast<int>(MetricCounter::kSegmentInnerOpens) + 1;
+    static_cast<int>(MetricCounter::kTaskSteals) + 1;
 
 /// Fixed-bucket histograms for distributions where the mean hides the
 /// story (a few mega-buckets in a hash join, half-empty batches).
@@ -73,6 +77,12 @@ class MetricsRegistry {
   const HistogramData& histogram(MetricHistogram histogram) const {
     return histograms_[static_cast<int>(histogram)];
   }
+
+  /// Adds every counter and histogram of `other` into this registry.
+  /// Parallel workers record into private shards that the exchange
+  /// operator merges here after all workers finished (same discipline as
+  /// StatsCollector::MergeFrom).
+  void MergeFrom(const MetricsRegistry& other);
 
   /// True when nothing was recorded (renderers skip empty sections).
   bool empty() const;

@@ -58,6 +58,13 @@ class StatsCollector {
   /// engine's `rows_produced` work metric for the same execution.
   int64_t TotalRowsOut() const;
 
+  /// Adds every entry of `other` into this collector, entry-wise (counter
+  /// sums; peak_cardinality by max). Parallel execution gives each worker a
+  /// private collector shard and merges them here on the consumer thread
+  /// after all workers finished — no operator map is ever touched from two
+  /// threads.
+  void MergeFrom(const StatsCollector& other);
+
   bool empty() const { return stats_.empty(); }
   size_t size() const { return stats_.size(); }
   void clear() { stats_.clear(); }

@@ -1,5 +1,7 @@
 #include "opt/physical.h"
 
+#include <unordered_map>
+
 #include "algebra/expr_util.h"
 #include "algebra/props.h"
 #include "catalog/table.h"
@@ -9,6 +11,31 @@ namespace orq {
 
 namespace {
 
+bool ContainsGet(const RelExpr& node) {
+  if (node.kind == RelKind::kGet) return true;
+  for (const RelExprPtr& child : node.children) {
+    if (ContainsGet(*child)) return true;
+  }
+  return false;
+}
+
+bool ContainsSegmentRef(const RelExpr& node) {
+  if (node.kind == RelKind::kSegmentRef) return true;
+  for (const RelExprPtr& child : node.children) {
+    if (ContainsSegmentRef(*child)) return true;
+  }
+  return false;
+}
+
+/// Aggregates whose per-worker partials cannot be folded together:
+/// DISTINCT needs a global duplicate set, Max1Row a global row count.
+bool HasUnmergeableAgg(const RelExpr& node) {
+  for (const AggItem& agg : node.aggs) {
+    if (agg.distinct || agg.func == AggFunc::kMax1Row) return true;
+  }
+  return false;
+}
+
 class PlanBuilder {
  public:
   PlanBuilder(const ColumnManager& columns,
@@ -17,9 +44,16 @@ class PlanBuilder {
 
   /// Builds the operator for `node` and, when a cost model is attached,
   /// stamps it with the logical node's estimates (the EXPLAIN ANALYZE
-  /// actual-vs-estimated hook).
+  /// actual-vs-estimated hook). In parallel mode the first node whose
+  /// whole subtree is region-eligible becomes the plan's (single)
+  /// Exchange; descent continues serially everywhere else.
   Result<PhysicalOpPtr> Build(const RelExprPtr& node) {
-    ORQ_ASSIGN_OR_RETURN(PhysicalOpPtr op, BuildNode(node));
+    PhysicalOpPtr op;
+    if (ShouldInsertExchange(node)) {
+      ORQ_ASSIGN_OR_RETURN(op, BuildExchange(node));
+    } else {
+      ORQ_ASSIGN_OR_RETURN(op, BuildNode(node));
+    }
     if (cost_ != nullptr) {
       const PlanEstimate& estimate = cost_->Estimate(node);
       op->set_estimates(estimate.rows, estimate.cost);
@@ -28,9 +62,100 @@ class PlanBuilder {
   }
 
  private:
+  /// A subtree becomes a parallel region when (a) parallel mode is on and
+  /// no exchange exists yet (one per plan in v1 — gangs never compete for
+  /// pool threads), (b) we are not under a rebinding Apply or SegmentApply
+  /// inner (those re-open per outer row; a gang per re-open is v2), (c) it
+  /// actually scans something and is more than a bare scan (a lone Get has
+  /// nothing to amortize the queue against), (d) it is closed — no free
+  /// variables — and (e) every operator in it has a parallel form.
+  bool ShouldInsertExchange(const RelExprPtr& node) const {
+    return options_.num_threads > 0 && region_worker_ < 0 &&
+           allow_exchange_ && !exchange_done_ &&
+           node->kind != RelKind::kGet && ContainsGet(*node) &&
+           FreeVariables(*node).empty() && EligibleRegion(node);
+  }
+
+  /// Whole-subtree recursion behind ShouldInsertExchange's clause (e):
+  /// scans split into morsels, filters/projections replicate, hash joins
+  /// build via partition+merge, aggregations merge partials — anything
+  /// else (sorts, applies, set ops, segments, unmergeable aggs) keeps the
+  /// region boundary below itself.
+  bool EligibleRegion(const RelExprPtr& node) const {
+    switch (node->kind) {
+      case RelKind::kGet:
+        return true;
+      case RelKind::kSelect:
+        // A constant-empty Select compiles to a zero-row op; let the
+        // serial shortcut prune it instead of spinning up a gang.
+        if (node->predicate->kind == ScalarKind::kLiteral &&
+            IsFalseOrNullLiteral(node->predicate)) {
+          return false;
+        }
+        return EligibleRegion(node->children[0]);
+      case RelKind::kProject:
+        return EligibleRegion(node->children[0]);
+      case RelKind::kJoin: {
+        if (!options_.use_hash_join) return false;
+        JoinSplit split = SplitJoinPredicate(node);
+        if (split.keys.empty()) return false;
+        if (ToPhysJoinKind(node->join_kind) == PhysJoinKind::kLeftAnti &&
+            !split.residual.empty()) {
+          return false;
+        }
+        return EligibleRegion(node->children[0]) &&
+               EligibleRegion(node->children[1]);
+      }
+      case RelKind::kGroupBy:
+      case RelKind::kLocalGroupBy:
+        if (HasUnmergeableAgg(*node)) return false;
+        return EligibleRegion(node->children[0]);
+      default:
+        return false;
+    }
+  }
+
+  /// Builds N instances of the region subtree — each shares the same
+  /// morsel cursors / build barriers via shared_by_node_ — and seals them
+  /// under one Exchange.
+  Result<PhysicalOpPtr> BuildExchange(const RelExprPtr& node) {
+    exchange_done_ = true;
+    shared_by_node_.clear();
+    region_shared_.clear();
+    std::vector<PhysicalOpPtr> instances;
+    for (int w = 0; w < options_.num_threads; ++w) {
+      region_worker_ = w;
+      Result<PhysicalOpPtr> instance = Build(node);
+      region_worker_ = -1;
+      if (!instance.ok()) return instance.status();
+      instances.push_back(std::move(*instance));
+    }
+    shared_by_node_.clear();
+    std::vector<ColumnId> layout = instances[0]->layout();
+    return MakeExchangeOp(std::move(instances), std::move(region_shared_),
+                          std::move(layout));
+  }
+
+  /// The shared state all N instances of one logical node rendezvous on;
+  /// worker 0's build creates it, the others look it up.
+  template <typename MakeFn>
+  SharedRegionStatePtr SharedForNode(const RelExpr* node, MakeFn make) {
+    auto it = shared_by_node_.find(node);
+    if (it != shared_by_node_.end()) return it->second;
+    SharedRegionStatePtr state = make();
+    shared_by_node_.emplace(node, state);
+    region_shared_.push_back(state);
+    return state;
+  }
   Result<PhysicalOpPtr> BuildNode(const RelExprPtr& node) {
     switch (node->kind) {
       case RelKind::kGet:
+        if (region_worker_ >= 0) {
+          SharedRegionStatePtr source = SharedForNode(
+              node.get(), [] { return MakeMorselSource(); });
+          return MakeMorselScan(node->table, node->get_ordinals,
+                                node->get_cols, std::move(source));
+        }
         return MakeTableScan(node->table, node->get_ordinals,
                              node->get_cols);
       case RelKind::kSelect:
@@ -55,12 +180,25 @@ class PlanBuilder {
         for (ColumnId id : node->children[0]->OutputColumns()) {
           if (node->group_cols.Contains(id)) group_cols.push_back(id);
         }
+        SharedRegionStatePtr shared;
+        if (region_worker_ >= 0) {
+          shared = SharedForNode(node.get(), [this] {
+            return MakeSharedAggState(options_.num_threads);
+          });
+        }
         return MakeHashAggregateOp(std::move(child), std::move(group_cols),
-                                   node->aggs, node->scalar_agg);
+                                   node->aggs, node->scalar_agg,
+                                   std::move(shared),
+                                   region_worker_ >= 0 ? region_worker_ : 0);
       }
       case RelKind::kSegmentApply: {
         ORQ_ASSIGN_OR_RETURN(PhysicalOpPtr input, Build(node->children[0]));
-        ORQ_ASSIGN_OR_RETURN(PhysicalOpPtr inner, Build(node->children[1]));
+        const bool saved_allow = allow_exchange_;
+        allow_exchange_ = false;  // inner re-opens once per segment
+        Result<PhysicalOpPtr> inner_built = Build(node->children[1]);
+        allow_exchange_ = saved_allow;
+        ORQ_RETURN_IF_ERROR(inner_built.status());
+        PhysicalOpPtr inner = std::move(*inner_built);
         std::vector<int> key_slots;
         const std::vector<ColumnId>& in_layout = input->layout();
         std::vector<ColumnId> layout;
@@ -139,8 +277,11 @@ class PlanBuilder {
     }
     // Select-over-Get with a key-covering equality -> index seek. The
     // equality's other side may be a literal or a correlated parameter;
-    // under a rebinding Apply this becomes index-lookup-join.
-    if (options_.use_index_seek && child->kind == RelKind::kGet) {
+    // under a rebinding Apply this becomes index-lookup-join. Disabled
+    // inside parallel regions: a seek scans no morsels, so N instances
+    // would each emit the full match set.
+    if (options_.use_index_seek && region_worker_ < 0 &&
+        child->kind == RelKind::kGet) {
       ColumnSet child_cols = child->OutputSet();
       std::vector<ScalarExprPtr> residual;
       std::vector<int> key_ordinals;
@@ -217,58 +358,94 @@ class PlanBuilder {
     return types;
   }
 
+  /// Equi-key extraction shared by BuildJoin and region eligibility: each
+  /// top-level equality whose sides reference only one input becomes a
+  /// hash key pair (left expr, right expr); everything else is residual.
+  struct JoinSplit {
+    std::vector<std::pair<ScalarExprPtr, ScalarExprPtr>> keys;
+    std::vector<ScalarExprPtr> residual;
+  };
+
+  static JoinSplit SplitJoinPredicate(const RelExprPtr& node) {
+    JoinSplit split;
+    ColumnSet left_cols = node->children[0]->OutputSet();
+    ColumnSet right_cols = node->children[1]->OutputSet();
+    for (const ScalarExprPtr& c : SplitConjuncts(node->predicate)) {
+      bool is_key = false;
+      if (c->kind == ScalarKind::kCompare && c->cmp == CompareOp::kEq) {
+        ColumnSet lrefs, rrefs;
+        CollectColumnRefs(c->children[0], &lrefs);
+        CollectColumnRefs(c->children[1], &rrefs);
+        if (lrefs.IsSubsetOf(left_cols) && rrefs.IsSubsetOf(right_cols)) {
+          split.keys.emplace_back(c->children[0], c->children[1]);
+          is_key = true;
+        } else if (lrefs.IsSubsetOf(right_cols) &&
+                   rrefs.IsSubsetOf(left_cols)) {
+          split.keys.emplace_back(c->children[1], c->children[0]);
+          is_key = true;
+        }
+      }
+      if (!is_key) split.residual.push_back(c);
+    }
+    return split;
+  }
+
+  /// An inner/build side whose result cannot change across re-opens: no
+  /// free variables (correlated parameters) and no segment reads. Such a
+  /// side may be spooled once and replayed.
+  static bool SideIsStable(const RelExpr& side) {
+    return FreeVariables(side).empty() && !ContainsSegmentRef(side);
+  }
+
   Result<PhysicalOpPtr> BuildJoin(const RelExprPtr& node) {
     ORQ_ASSIGN_OR_RETURN(PhysicalOpPtr left, Build(node->children[0]));
     ORQ_ASSIGN_OR_RETURN(PhysicalOpPtr right, Build(node->children[1]));
     PhysJoinKind kind = ToPhysJoinKind(node->join_kind);
     if (options_.use_hash_join) {
-      ColumnSet left_cols = node->children[0]->OutputSet();
-      ColumnSet right_cols = node->children[1]->OutputSet();
-      std::vector<std::pair<ScalarExprPtr, ScalarExprPtr>> keys;
-      std::vector<ScalarExprPtr> residual;
-      for (const ScalarExprPtr& c : SplitConjuncts(node->predicate)) {
-        bool is_key = false;
-        if (c->kind == ScalarKind::kCompare && c->cmp == CompareOp::kEq) {
-          ColumnSet lrefs, rrefs;
-          CollectColumnRefs(c->children[0], &lrefs);
-          CollectColumnRefs(c->children[1], &rrefs);
-          if (lrefs.IsSubsetOf(left_cols) && rrefs.IsSubsetOf(right_cols)) {
-            keys.emplace_back(c->children[0], c->children[1]);
-            is_key = true;
-          } else if (lrefs.IsSubsetOf(right_cols) &&
-                     rrefs.IsSubsetOf(left_cols)) {
-            keys.emplace_back(c->children[1], c->children[0]);
-            is_key = true;
-          }
-        }
-        if (!is_key) residual.push_back(c);
-      }
-      if (!keys.empty()) {
+      JoinSplit split = SplitJoinPredicate(node);
+      if (!split.keys.empty()) {
         // Residuals on anti joins are only correct when they reject the
         // row strictly; nested loops keeps full generality there.
         bool anti_with_residual =
-            kind == PhysJoinKind::kLeftAnti && !residual.empty();
+            kind == PhysJoinKind::kLeftAnti && !split.residual.empty();
         if (!anti_with_residual) {
-          ScalarExprPtr res =
-              residual.empty() ? nullptr : MakeAnd(std::move(residual));
+          ScalarExprPtr res = split.residual.empty()
+                                  ? nullptr
+                                  : MakeAnd(std::move(split.residual));
           std::vector<DataType> right_types = LayoutTypes(*right);
+          SharedRegionStatePtr shared;
+          if (region_worker_ >= 0) {
+            shared = SharedForNode(node.get(), [this] {
+              return MakeSharedJoinState(options_.num_threads);
+            });
+          }
+          const bool cache_build =
+              shared == nullptr && SideIsStable(*node->children[1]);
           return MakeHashJoinOp(kind, std::move(left), std::move(right),
-                                std::move(keys), std::move(res),
-                                std::move(right_types));
+                                std::move(split.keys), std::move(res),
+                                std::move(right_types), cache_build,
+                                std::move(shared),
+                                region_worker_ >= 0 ? region_worker_ : 0);
         }
       }
     }
     std::vector<DataType> right_types = LayoutTypes(*right);
+    const bool cache_inner = SideIsStable(*node->children[1]);
     return MakeNLJoinOp(kind, std::move(left), std::move(right),
                         node->predicate, /*rebind_inner=*/false,
-                        std::move(right_types));
+                        std::move(right_types), cache_inner);
   }
 
   Result<PhysicalOpPtr> BuildApply(const RelExprPtr& node) {
     ORQ_ASSIGN_OR_RETURN(PhysicalOpPtr left, Build(node->children[0]));
-    ORQ_ASSIGN_OR_RETURN(PhysicalOpPtr right, Build(node->children[1]));
     bool correlated = FreeVariables(*node->children[1])
                           .Intersects(node->children[0]->OutputSet());
+    const bool saved_allow = allow_exchange_;
+    if (correlated) allow_exchange_ = false;  // inner re-opens per row
+    Result<PhysicalOpPtr> right_built = Build(node->children[1]);
+    allow_exchange_ = saved_allow;
+    ORQ_RETURN_IF_ERROR(right_built.status());
+    PhysicalOpPtr right = std::move(*right_built);
     PhysJoinKind kind = PhysJoinKind::kInner;
     switch (node->apply_kind) {
       case ApplyKind::kCross: kind = PhysJoinKind::kInner; break;
@@ -277,13 +454,27 @@ class PlanBuilder {
       case ApplyKind::kAnti: kind = PhysJoinKind::kLeftAnti; break;
     }
     std::vector<DataType> right_types = LayoutTypes(*right);
+    const bool cache_inner =
+        !correlated && SideIsStable(*node->children[1]);
     return MakeNLJoinOp(kind, std::move(left), std::move(right),
-                        TrueLiteral(), correlated, std::move(right_types));
+                        TrueLiteral(), correlated, std::move(right_types),
+                        cache_inner);
   }
 
   const ColumnManager& columns_;
   const PhysicalBuildOptions& options_;
   CostModel* cost_;
+  /// Parallel-region build state: the worker index the subtree currently
+  /// being built belongs to (-1 = serial), whether an exchange may still
+  /// be placed here (false under rebinding Apply / SegmentApply inners),
+  /// and whether the plan already has its one exchange.
+  int region_worker_ = -1;
+  bool allow_exchange_ = true;
+  bool exchange_done_ = false;
+  /// Shared states of the region being built: by logical node for lookup
+  /// across worker instances, in creation order for the ExchangeOp.
+  std::unordered_map<const RelExpr*, SharedRegionStatePtr> shared_by_node_;
+  std::vector<SharedRegionStatePtr> region_shared_;
 };
 
 }  // namespace

@@ -17,6 +17,12 @@ struct PhysicalBuildOptions {
   /// matching index exists — under a correlated Apply this is the
   /// index-lookup-join of paper section 4.
   bool use_index_seek = true;
+  /// When > 0, wrap the topmost parallel-eligible subtree in an Exchange
+  /// over this many replicated plan instances (morsel-driven execution).
+  /// Eligible subtrees are closed-form Get/Select/Project/hash-Join/
+  /// GroupBy pipelines: no correlation, no segments, no DISTINCT or
+  /// Max1Row aggregates. 0 compiles the classic serial plan.
+  int num_threads = 0;
 };
 
 /// Translates a logical tree into an executable plan. Joins pick hash vs

@@ -3,12 +3,15 @@
 // bag-comparison divergence with a minimized reproducer and both plans.
 //
 // Usage: difftest [--seed N] [--queries N] [--max-failures N] [--verbose]
-//                 [--reference-exec row|batch] [--test-exec row|batch]
+//                 [--reference-exec row|batch|parallel]
+//                 [--test-exec row|batch|parallel] [--threads N]
 //
-// The exec flags pick the pull discipline per side: "batch" (default)
-// drains through NextBatch, "row" forces the classic one-row Volcano
-// adapter. Mixing them cross-checks the batched engine against the
-// row-at-a-time engine on the same query stream.
+// The exec flags pick the engine per side: "batch" (default) drains
+// through NextBatch, "row" forces the classic one-row Volcano adapter,
+// and "parallel" runs the morsel-driven parallel engine with --threads
+// workers (default 4). Mixing modes cross-checks engines on the same
+// query stream — e.g. `--reference-exec row --test-exec parallel` is the
+// parallel-vs-serial oracle.
 //
 // Exit code 0 when every query agreed, 1 on divergence, 2 on setup error.
 
@@ -20,6 +23,9 @@
 
 int main(int argc, char** argv) {
   orq::HarnessOptions options;
+  bool reference_parallel = false;
+  bool test_parallel = false;
+  int threads = 4;
   for (int i = 1; i < argc; ++i) {
     auto next_int = [&](const char* flag) -> long long {
       if (i + 1 >= argc) {
@@ -36,37 +42,53 @@ int main(int argc, char** argv) {
       options.max_failures = static_cast<int>(next_int("--max-failures"));
     } else if (std::strcmp(argv[i], "--verbose") == 0) {
       options.verbose = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      threads = static_cast<int>(next_int("--threads"));
+      if (threads < 1) {
+        std::fprintf(stderr, "--threads expects a positive count\n");
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--reference-exec") == 0 ||
                std::strcmp(argv[i], "--test-exec") == 0) {
       const char* flag = argv[i];
       if (i + 1 >= argc) {
-        std::fprintf(stderr, "%s requires row|batch\n", flag);
+        std::fprintf(stderr, "%s requires row|batch|parallel\n", flag);
         return 2;
       }
       const char* mode = argv[++i];
       bool batched;
+      bool parallel = false;
       if (std::strcmp(mode, "row") == 0) {
         batched = false;
       } else if (std::strcmp(mode, "batch") == 0) {
         batched = true;
+      } else if (std::strcmp(mode, "parallel") == 0) {
+        batched = true;
+        parallel = true;
       } else {
-        std::fprintf(stderr, "%s expects row|batch, got %s\n", flag, mode);
+        std::fprintf(stderr, "%s expects row|batch|parallel, got %s\n",
+                     flag, mode);
         return 2;
       }
       if (std::strcmp(flag, "--reference-exec") == 0) {
         options.reference_batched = batched;
+        reference_parallel = parallel;
       } else {
         options.test_batched = batched;
+        test_parallel = parallel;
       }
     } else {
       std::fprintf(stderr,
                    "unknown argument %s\nusage: difftest [--seed N] "
                    "[--queries N] [--max-failures N] [--verbose] "
-                   "[--reference-exec row|batch] [--test-exec row|batch]\n",
+                   "[--reference-exec row|batch|parallel] "
+                   "[--test-exec row|batch|parallel] [--threads N]\n",
                    argv[i]);
       return 2;
     }
   }
+  options.reference_threads = reference_parallel ? threads : 0;
+  options.test_threads = test_parallel ? threads : 0;
 
   orq::Result<orq::HarnessReport> report = orq::RunDifftest(options);
   if (!report.ok()) {
