@@ -37,6 +37,16 @@ inline int& BenchThreads() {
   return threads;
 }
 
+/// Per-iteration query deadline in milliseconds, set by the
+/// `--timeout-ms N` flag that ORQ_BENCH_MAIN strips before handing argv to
+/// google-benchmark. 0 (the default) runs unbounded; a positive value arms
+/// a CancelToken per Execute, so a pathological configuration aborts the
+/// run with a DeadlineExceeded skip instead of hanging the suite.
+inline int64_t& BenchTimeoutMs() {
+  static int64_t timeout_ms = 0;
+  return timeout_ms;
+}
+
 /// Scale factors are passed through google-benchmark's integer Args as
 /// "milli scale factor": 5 -> SF 0.005.
 inline double MilliSf(int64_t arg) { return arg / 1000.0; }
@@ -124,7 +134,13 @@ inline void RunQueryBenchmark(benchmark::State& state, Catalog* catalog,
   int64_t result_rows = 0;
   int64_t produced = 0;
   for (auto _ : state) {
-    Result<QueryResult> result = engine.Execute(sql);
+    CancelToken token;
+    ExecControl control;
+    if (BenchTimeoutMs() > 0) {
+      token.SetTimeoutMs(BenchTimeoutMs());
+      control.cancel = &token;
+    }
+    Result<QueryResult> result = engine.Execute(sql, control);
     if (!result.ok()) {
       state.SkipWithError(result.status().ToString().c_str());
       return;
@@ -234,14 +250,17 @@ inline bool WriteBenchJson(
 }  // namespace orq
 
 /// Drop-in replacement for BENCHMARK_MAIN() that understands
-/// `--json <path>` and `--threads N`: runs the suite normally (console
-/// output preserved) and then writes the machine-readable JSON-lines
-/// report; a positive thread count makes every benchmarked engine
-/// morsel-parallel.
+/// `--json <path>`, `--threads N` and `--timeout-ms N`: runs the suite
+/// normally (console output preserved) and then writes the
+/// machine-readable JSON-lines report; a positive thread count makes every
+/// benchmarked engine morsel-parallel; a positive timeout arms a per-query
+/// deadline so a pathological plan aborts its benchmark instead of
+/// hanging the suite.
 #define ORQ_BENCH_MAIN()                                                    \
   int main(int argc, char** argv) {                                         \
     std::string json_path;                                                  \
     int bench_threads = 0;                                                  \
+    long long bench_timeout_ms = 0;                                         \
     int kept = 1;                                                           \
     for (int i = 1; i < argc; ++i) {                                        \
       if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {            \
@@ -252,6 +271,13 @@ inline bool WriteBenchJson(
           std::fprintf(stderr, "--threads expects a positive count\n");     \
           return 1;                                                         \
         }                                                                   \
+      } else if (std::strcmp(argv[i], "--timeout-ms") == 0 &&               \
+                 i + 1 < argc) {                                            \
+        bench_timeout_ms = std::atoll(argv[++i]);                           \
+        if (bench_timeout_ms < 1) {                                         \
+          std::fprintf(stderr, "--timeout-ms expects a positive value\n");  \
+          return 1;                                                         \
+        }                                                                   \
       } else {                                                              \
         argv[kept++] = argv[i];                                             \
       }                                                                     \
@@ -259,6 +285,7 @@ inline bool WriteBenchJson(
     argc = kept;                                                            \
     ::orq::bench::BenchJsonPath() = json_path;                              \
     ::orq::bench::BenchThreads() = bench_threads;                           \
+    ::orq::bench::BenchTimeoutMs() = bench_timeout_ms;                      \
     ::benchmark::Initialize(&argc, argv);                                   \
     if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;     \
     ::orq::bench::JsonLinesReporter reporter;                               \

@@ -62,6 +62,43 @@ build/tools/orq_profile --tpch Q2 --sf 0.002 \
   --out build/profile_smoke_trace.json >/dev/null
 build/tools/json_check build/profile_smoke_trace.json
 
+echo "=== Server smoke (orq_serve + orq_client over TCP) ==="
+# Boots the daemon on an ephemeral port, drives it with the client CLI
+# (ping, a query, a SET, the metrics admin command), and shuts it down
+# with SIGTERM. Guards the wire protocol and server lifecycle end-to-end,
+# from a different process than the in-binary server tests.
+SERVE_PORT_FILE=build/ci_serve.port
+rm -f "${SERVE_PORT_FILE}"
+build/tools/orq_serve --port 0 --port-file "${SERVE_PORT_FILE}" \
+  --catalog difftest --seed 20260806 >build/ci_serve.log 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  [ -s "${SERVE_PORT_FILE}" ] && break
+  sleep 0.1
+done
+[ -s "${SERVE_PORT_FILE}" ] || { cat build/ci_serve.log; exit 1; }
+SERVE_PORT="$(cat "${SERVE_PORT_FILE}")"
+build/tools/orq_client --port "${SERVE_PORT}" --ping >/dev/null
+build/tools/orq_client --port "${SERVE_PORT}" \
+  --sql "SELECT COUNT(*) FROM nation" >/dev/null
+build/tools/orq_client --port "${SERVE_PORT}" --set "timeout_ms 1000" \
+  --sql "SELECT n_name FROM nation ORDER BY n_name" >/dev/null
+build/tools/orq_client --port "${SERVE_PORT}" --admin metrics \
+  | grep -q "^server.sessions_active"
+kill -TERM "${SERVE_PID}"
+wait "${SERVE_PID}"
+
+echo "=== Load-generator smoke + serve bench gate ==="
+# Self-hosted load run: deterministic per-session query streams against an
+# in-process server. result_rows/rows_produced are exact (serial engines,
+# fixed seed), so bench_compare pins server-path correctness the same way
+# the figure suites pin the engine; qps/p50/p95/p99 ride along untyped.
+build/tools/orq_loadgen --sessions 4 --queries 25 --seed 20260806 \
+  --json build/BENCH_serve.json >/dev/null
+build/tools/json_check build/BENCH_serve.json
+build/tools/bench_compare bench/baselines/BENCH_serve.json \
+  build/BENCH_serve.json
+
 echo "=== ASan+UBSan build + tests ==="
 cmake --preset asan >/dev/null
 cmake --build --preset asan -j "${JOBS}"
@@ -71,12 +108,12 @@ if [ "${ORQ_CI_TSAN:-0}" = "1" ]; then
   echo "=== TSan build + parallel-execution tests ==="
   # Optional (TSan triples build time and ~10x's the parallel suite):
   # builds the thread-sanitized tree and runs exactly the tests that
-  # exercise the morsel-parallel engine — the parallel-vs-serial difftest
-  # smoke, the parallel execution unit suite, and the batch engine tests.
+  # exercise threaded code — the morsel-parallel engine suites plus the
+  # engine re-entrancy, cancellation, and network-server tests.
   cmake --preset tsan >/dev/null
   cmake --build --preset tsan -j "${JOBS}"
   ctest --preset tsan -j "${JOBS}" \
-    -R 'difftest_smoke_parallel|parallel_exec_test|batch_exec_test'
+    -R 'difftest_smoke_parallel|parallel_exec_test|batch_exec_test|engine_concurrency_test|cancel_test|server_smoke_test'
   echo "CI: all suites passed (release + asan/ubsan + tsan)."
 else
   echo "CI: all suites passed (release + asan/ubsan); set ORQ_CI_TSAN=1 to add the TSan pass."

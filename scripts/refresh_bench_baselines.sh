@@ -39,4 +39,13 @@ build/bench/bench_fig8_suite --benchmark_min_time="${MIN_TIME}" \
   --threads 4 --json bench/baselines/BENCH_parallel.json >/dev/null
 build/tools/json_check bench/baselines/BENCH_parallel.json
 
+# Server-path baseline: the load generator against a self-hosted server,
+# same fixed seed and session count as the CI gate. Row counts are exact
+# (serial engines, deterministic streams); qps and the latency percentiles
+# document server throughput on this machine.
+echo "=== orq_loadgen -> bench/baselines/BENCH_serve.json ==="
+build/tools/orq_loadgen --sessions 4 --queries 25 --seed 20260806 \
+  --json bench/baselines/BENCH_serve.json >/dev/null
+build/tools/json_check bench/baselines/BENCH_serve.json
+
 echo "baselines refreshed; review and commit bench/baselines/"

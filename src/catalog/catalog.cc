@@ -22,14 +22,20 @@ Table* Catalog::FindTable(const std::string& name) const {
 }
 
 const TableStats& Catalog::GetStats(const Table& table) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
   auto it = stats_.find(&table);
   if (it == stats_.end()) {
+    // Computed under the lock: the first query over a table pays once and
+    // concurrent racers wait for that computation instead of repeating it.
     it = stats_.emplace(&table, ComputeStats(table)).first;
   }
   return it->second;
 }
 
-void Catalog::InvalidateStats() { stats_.clear(); }
+void Catalog::InvalidateStats() {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_.clear();
+}
 
 std::vector<std::string> Catalog::TableNames() const {
   std::vector<std::string> names;

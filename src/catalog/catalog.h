@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -26,8 +27,10 @@ class Catalog {
   /// Case-insensitive lookup; nullptr when absent.
   Table* FindTable(const std::string& name) const;
 
-  /// Statistics for a table, computed lazily and cached. Call
-  /// InvalidateStats after bulk loads.
+  /// Statistics for a table, computed lazily and cached. Safe under
+  /// concurrent readers (the stats cache is internally synchronized; map
+  /// nodes are stable, so returned references outlive the lock). Call
+  /// InvalidateStats after bulk loads — but never while queries run.
   const TableStats& GetStats(const Table& table);
   void InvalidateStats();
 
@@ -35,6 +38,7 @@ class Catalog {
 
  private:
   std::map<std::string, std::unique_ptr<Table>> tables_;  // lower-case keys
+  std::mutex stats_mu_;  // guards stats_ (concurrent queries share a catalog)
   std::map<const Table*, TableStats> stats_;
 };
 

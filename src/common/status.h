@@ -24,6 +24,13 @@ enum class StatusCode {
   kUnsupported,
   /// An internal invariant was violated; indicates a bug in the library.
   kInternal,
+  /// The query was cooperatively cancelled (client disconnect, server
+  /// shutdown, explicit cancel request).
+  kCancelled,
+  /// The query's deadline elapsed before it finished (per-query timeout).
+  kDeadlineExceeded,
+  /// The server declined the request up front (admission queue full).
+  kUnavailable,
 };
 
 /// Lightweight status object carrying an error code and message.
@@ -52,6 +59,15 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -71,6 +87,9 @@ class Status {
       case StatusCode::kCardinalityViolation: return "CardinalityViolation";
       case StatusCode::kUnsupported: return "Unsupported";
       case StatusCode::kInternal: return "Internal";
+      case StatusCode::kCancelled: return "Cancelled";
+      case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
+      case StatusCode::kUnavailable: return "Unavailable";
     }
     return "Unknown";
   }

@@ -57,6 +57,7 @@ std::string HarnessReport::Summary() const {
                     " both-error=" + std::to_string(both_error) +
                     " cardinality-tolerated=" +
                     std::to_string(cardinality_tolerated) +
+                    " timeout-tolerated=" + std::to_string(timeout_tolerated) +
                     " divergences=" + std::to_string(failures.size()) +
                     " stats-checked=" + std::to_string(stats_checked) +
                     " stats-violations=" +
@@ -89,6 +90,7 @@ Result<HarnessReport> RunDifftest(const HarnessOptions& options) {
   full_options.exec.morsel_rows = options.morsel_rows;
   DualOracle oracle(&catalog, std::move(naive_options),
                     std::move(full_options));
+  oracle.set_timeout_ms(options.timeout_ms);
   QueryGenerator generator(options.seed);
 
   HarnessReport report;
@@ -116,6 +118,9 @@ Result<HarnessReport> RunDifftest(const HarnessOptions& options) {
         break;
       case Verdict::kCardinalityTolerated:
         ++report.cardinality_tolerated;
+        break;
+      case Verdict::kTimeoutTolerated:
+        ++report.timeout_tolerated;
         break;
       case Verdict::kResultMismatch:
       case Verdict::kErrorMismatch: {

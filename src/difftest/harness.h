@@ -33,6 +33,10 @@ struct HarnessOptions {
   /// are tiny (tens of rows): 8 makes even them split into enough morsels
   /// that workers genuinely interleave claims.
   int morsel_rows = 8;
+  /// Per-query deadline applied to each oracle side independently; 0 runs
+  /// unbounded. One-sided timeouts score kTimeoutTolerated (the naive
+  /// reference is much slower), never a divergence.
+  int64_t timeout_ms = 0;
   /// Every Nth query is additionally run instrumented on both engines to
   /// assert the stats invariant TotalRowsOut(plan) == rows_produced (the
   /// per-operator stats tree must account for every row the engine counts).
@@ -57,6 +61,7 @@ struct HarnessReport {
   int matches = 0;
   int both_error = 0;
   int cardinality_tolerated = 0;
+  int timeout_tolerated = 0;
   std::vector<Failure> failures;
   /// Stats-invariant checks run / violations found (see stats_check_every).
   int stats_checked = 0;

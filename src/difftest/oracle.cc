@@ -22,6 +22,7 @@ const char* VerdictName(Verdict v) {
     case Verdict::kMatch: return "match";
     case Verdict::kBothError: return "both-error";
     case Verdict::kCardinalityTolerated: return "cardinality-tolerated";
+    case Verdict::kTimeoutTolerated: return "timeout-tolerated";
     case Verdict::kResultMismatch: return "RESULT-MISMATCH";
     case Verdict::kErrorMismatch: return "ERROR-MISMATCH";
   }
@@ -108,8 +109,23 @@ std::string DescribeBagDiff(const std::vector<std::string>& naive,
 
 DualOutcome DualOracle::Run(const std::string& sql) {
   DualOutcome out;
-  Result<QueryResult> naive = naive_.Execute(sql);
-  Result<QueryResult> full = full_.Execute(sql);
+  // Each side gets its own freshly armed deadline: the naive reference is
+  // routinely orders of magnitude slower, and sharing one token would
+  // charge the second side for the first side's spend.
+  CancelToken naive_token;
+  CancelToken full_token;
+  ExecControl naive_control;
+  ExecControl full_control;
+  if (timeout_ms_ > 0) {
+    naive_token.SetTimeoutMs(timeout_ms_);
+    naive_control.cancel = &naive_token;
+  }
+  Result<QueryResult> naive = naive_.Execute(sql, naive_control);
+  if (timeout_ms_ > 0) {
+    full_token.SetTimeoutMs(timeout_ms_);
+    full_control.cancel = &full_token;
+  }
+  Result<QueryResult> full = full_.Execute(sql, full_control);
   out.naive_status = naive.ok() ? Status::OK() : naive.status();
   out.full_status = full.ok() ? Status::OK() : full.status();
 
@@ -123,6 +139,9 @@ DualOutcome DualOracle::Run(const std::string& sql) {
       // Predicate evaluation order is unspecified; one plan may filter the
       // offending outer row away before its scalar subquery runs.
       out.verdict = Verdict::kCardinalityTolerated;
+    } else if (err.code() == StatusCode::kDeadlineExceeded ||
+               err.code() == StatusCode::kCancelled) {
+      out.verdict = Verdict::kTimeoutTolerated;
     } else {
       out.verdict = Verdict::kErrorMismatch;
       out.detail = std::string(naive.ok() ? "full" : "naive") +

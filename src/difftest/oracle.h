@@ -25,6 +25,10 @@ enum class Verdict {
   /// of predicates is unspecified, so a plan may or may not pull the
   /// second row out of a Max1row guard; tolerated, not a divergence.
   kCardinalityTolerated,
+  /// Exactly one side hit the oracle's per-query deadline (the naive
+  /// reference is often orders of magnitude slower). A timeout says
+  /// nothing about semantics; tolerated, not a divergence.
+  kTimeoutTolerated,
   /// Both sides succeeded but the bags differ. A rewrite bug.
   kResultMismatch,
   /// One side succeeded and the other failed (non-cardinality error).
@@ -67,6 +71,11 @@ class DualOracle {
 
   DualOutcome Run(const std::string& sql);
 
+  /// Per-query deadline applied to each side independently; 0 (default)
+  /// runs unbounded. A query that times out on one side only is scored
+  /// kTimeoutTolerated, never a divergence.
+  void set_timeout_ms(int64_t timeout_ms) { timeout_ms_ = timeout_ms; }
+
   /// The full-pipeline engine (for EXPLAIN dumps on divergences).
   QueryEngine& full_engine() { return full_; }
   QueryEngine& naive_engine() { return naive_; }
@@ -74,6 +83,7 @@ class DualOracle {
  private:
   QueryEngine naive_;
   QueryEngine full_;
+  int64_t timeout_ms_ = 0;
 };
 
 /// Canonical row text used for bag comparison. NULL renders as "∅";

@@ -63,23 +63,28 @@ std::string AnalyzedQuery::ToJson(const std::string& label) const {
 QueryEngine::~QueryEngine() = default;
 
 void QueryEngine::set_options(EngineOptions options) {
+  std::lock_guard<std::mutex> lock(mu_);
   options_ = std::move(options);
+  // Drop our reference; queries started under the old configuration hold
+  // their own shared reference, so the pool dies only when the last of
+  // them finishes. A pool for the new thread count builds lazily.
   pool_.reset();
 }
 
-PhysicalBuildOptions QueryEngine::EffectivePhysicalOptions() const {
-  PhysicalBuildOptions physical = options_.physical;
-  physical.num_threads = options_.exec.num_threads;
+PhysicalBuildOptions QueryEngine::EffectivePhysicalOptions(
+    const EngineOptions& options) {
+  PhysicalBuildOptions physical = options.physical;
+  physical.num_threads = options.exec.num_threads;
   return physical;
 }
 
-TaskPool* QueryEngine::task_pool() {
-  if (options_.exec.num_threads <= 0) return nullptr;
-  if (pool_ == nullptr ||
-      pool_->num_threads() < options_.exec.num_threads) {
-    pool_ = std::make_unique<TaskPool>(options_.exec.num_threads);
+std::shared_ptr<TaskPool> QueryEngine::SharedTaskPool(int num_threads) {
+  if (num_threads <= 0) return nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pool_ == nullptr || pool_->num_threads() < num_threads) {
+    pool_ = std::make_shared<TaskPool>(num_threads);
   }
-  return pool_.get();
+  return pool_;
 }
 
 EngineOptions EngineOptions::Full() { return EngineOptions(); }
@@ -109,7 +114,7 @@ EngineOptions EngineOptions::NoSegmentApply() {
 
 Result<QueryEngine::Compiled> QueryEngine::CompileWith(
     const std::string& sql, const EngineOptions& options,
-    QueryProfile* profile) {
+    QueryProfile* profile, const CancelToken* cancel) {
   Compiled compiled;
   compiled.columns = std::make_shared<ColumnManager>();
 
@@ -132,6 +137,10 @@ Result<QueryEngine::Compiled> QueryEngine::CompileWith(
         compiled.applied,
         IntroduceApplies(compiled.bound, compiled.columns.get()));
   }
+  // Compile phases are not interruptible internally, but a deadline that
+  // fires during compilation stops the query before the (much more
+  // expensive) optimization and execution phases start.
+  if (cancel != nullptr) ORQ_RETURN_IF_ERROR(cancel->Check());
   {
     PhaseTimer timer(profile, QueryPhase::kNormalize);
     ORQ_ASSIGN_OR_RETURN(
@@ -146,25 +155,43 @@ Result<QueryEngine::Compiled> QueryEngine::CompileWith(
         OptimizeTree(compiled.normalized, catalog_, compiled.columns.get(),
                      options.optimizer));
   }
+  if (cancel != nullptr) ORQ_RETURN_IF_ERROR(cancel->Check());
   return compiled;
 }
 
 Result<QueryEngine::Compiled> QueryEngine::Compile(const std::string& sql) {
-  return CompileWith(sql, options_);
+  return CompileWith(sql, options());
 }
 
-Result<QueryResult> QueryEngine::ExecuteCompiled(const Compiled& compiled) {
+Result<QueryResult> QueryEngine::ExecuteCompiled(const Compiled& compiled,
+                                                 const ExecControl& control) {
+  return ExecuteCompiledWith(compiled, options(), control);
+}
+
+Result<QueryResult> QueryEngine::ExecuteCompiledWith(
+    const Compiled& compiled, const EngineOptions& options,
+    const ExecControl& control) {
   ORQ_ASSIGN_OR_RETURN(
       PhysicalOpPtr plan,
       BuildPhysicalPlan(compiled.optimized, *compiled.columns,
-                        EffectivePhysicalOptions()));
+                        EffectivePhysicalOptions(options)));
+  // The pool reference is held across execution so a concurrent
+  // set_options cannot destroy threads a running exchange depends on.
+  std::shared_ptr<TaskPool> pool =
+      SharedTaskPool(options.exec.num_threads);
   // ctx after plan: it is destroyed first, so an Exchange's producers are
   // still wound down by the plan destructor before members vanish.
   ExecContext ctx;
-  ctx.batched = options_.exec.batched;
-  ctx.batch_size = options_.exec.batch_size;
-  ctx.pool = task_pool();
-  ctx.morsel_rows = options_.exec.morsel_rows;
+  ctx.batched = options.exec.batched;
+  ctx.batch_size = options.exec.batch_size;
+  ctx.pool = pool.get();
+  ctx.morsel_rows = options.exec.morsel_rows;
+  ctx.cancel = control.cancel;
+  ExecInstruments instruments;
+  if (control.metrics != nullptr) {
+    instruments.metrics = control.metrics;
+    ctx.instruments = &instruments;
+  }
   return RunAndProject(plan.get(), compiled, &ctx);
 }
 
@@ -189,11 +216,12 @@ Result<AnalyzedQuery> QueryEngine::ExecuteAnalyzed(
   analyzed.sql = sql;
   analyzed.profile.start_nanos = ObsNowNanos();
 
-  EngineOptions options = options_;
+  EngineOptions options = this->options();
   options.normalizer.trace = &analyzed.trace;
   options.optimizer.trace = &analyzed.trace;
-  ORQ_ASSIGN_OR_RETURN(Compiled compiled,
-                       CompileWith(sql, options, &analyzed.profile));
+  ORQ_ASSIGN_OR_RETURN(
+      Compiled compiled,
+      CompileWith(sql, options, &analyzed.profile, analyze.cancel));
 
   PhysicalOpPtr plan;
   {
@@ -201,12 +229,14 @@ Result<AnalyzedQuery> QueryEngine::ExecuteAnalyzed(
     CostModel cost(catalog_);
     ORQ_ASSIGN_OR_RETURN(
         plan, BuildPhysicalPlan(compiled.optimized, *compiled.columns,
-                                EffectivePhysicalOptions(), &cost));
+                                EffectivePhysicalOptions(options), &cost));
     if (analyze.record_spans) {
       RegisterOpTree(&analyzed.spans, *plan, /*parent_id=*/-1);
     }
   }
 
+  std::shared_ptr<TaskPool> pool =
+      SharedTaskPool(options.exec.num_threads);
   StatsCollector collector;
   ExecInstruments instruments;
   instruments.stats = &collector;
@@ -214,10 +244,11 @@ Result<AnalyzedQuery> QueryEngine::ExecuteAnalyzed(
   instruments.spans = analyze.record_spans ? &analyzed.spans : nullptr;
   ExecContext ctx;
   ctx.instruments = &instruments;
-  ctx.batched = options_.exec.batched;
-  ctx.batch_size = options_.exec.batch_size;
-  ctx.pool = task_pool();
-  ctx.morsel_rows = options_.exec.morsel_rows;
+  ctx.batched = options.exec.batched;
+  ctx.batch_size = options.exec.batch_size;
+  ctx.pool = pool.get();
+  ctx.morsel_rows = options.exec.morsel_rows;
+  ctx.cancel = analyze.cancel;
   {
     PhaseTimer timer(&analyzed.profile, QueryPhase::kExecute);
     const int64_t start = ObsNowNanos();
@@ -262,8 +293,15 @@ Result<std::string> QueryEngine::ExplainAnalyze(const std::string& sql) {
 }
 
 Result<QueryResult> QueryEngine::Execute(const std::string& sql) {
-  ORQ_ASSIGN_OR_RETURN(Compiled compiled, Compile(sql));
-  return ExecuteCompiled(compiled);
+  return Execute(sql, ExecControl{});
+}
+
+Result<QueryResult> QueryEngine::Execute(const std::string& sql,
+                                         const ExecControl& control) {
+  const EngineOptions options = this->options();
+  ORQ_ASSIGN_OR_RETURN(Compiled compiled,
+                       CompileWith(sql, options, nullptr, control.cancel));
+  return ExecuteCompiledWith(compiled, options, control);
 }
 
 Result<std::string> QueryEngine::Explain(const std::string& sql) {
@@ -291,7 +329,7 @@ Result<std::string> QueryEngine::Explain(const std::string& sql) {
   ORQ_ASSIGN_OR_RETURN(
       PhysicalOpPtr plan,
       BuildPhysicalPlan(compiled.optimized, *compiled.columns,
-                        EffectivePhysicalOptions()));
+                        EffectivePhysicalOptions(options())));
   out += "\n== Physical plan ==\n";
   out += PrintPhysicalPlan(*plan, columns);
   return out;

@@ -2,11 +2,13 @@
 #define ORQ_ENGINE_ENGINE_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "catalog/catalog.h"
 #include "common/result.h"
+#include "exec/cancel.h"
 #include "exec/exec.h"
 #include "exec/task_pool.h"
 #include "normalize/normalizer.h"
@@ -61,6 +63,23 @@ struct AnalyzeOptions {
   /// export). Off by default: spans grow with correlated re-opens, which
   /// EXPLAIN ANALYZE does not need.
   bool record_spans = false;
+  /// Cooperative cancellation/deadline token (see ExecControl::cancel).
+  const CancelToken* cancel = nullptr;
+};
+
+/// Per-call execution control, orthogonal to the engine configuration:
+/// a cancellation/deadline token and an optional lightweight metrics sink.
+/// Both are caller-owned and may be shared across calls; neither mutates
+/// the engine, so concurrent Execute calls with distinct controls are safe.
+struct ExecControl {
+  /// Polled by the operator shells; a fired token unwinds the query as
+  /// Cancelled/DeadlineExceeded. Null runs unbounded.
+  const CancelToken* cancel = nullptr;
+  /// When set, the execution records engine metrics (hash-path shape,
+  /// spools, re-opens) into this registry — the cheap slice of the
+  /// instrumented path, without per-operator stats or spans. The caller
+  /// synchronizes the registry; the engine only writes during the call.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// End-to-end engine configuration. Defaults enable the paper's full
@@ -86,6 +105,15 @@ struct EngineOptions {
 
 /// The public entry point: parse -> bind -> Apply introduction ->
 /// normalization -> cost-based optimization -> execution (paper section 4).
+///
+/// Re-entrancy: Execute/ExecuteCompiled/ExecuteAnalyzed/Explain are safe
+/// to call from many threads concurrently on one engine. Each call
+/// snapshots the configuration once at entry and pins the worker pool via
+/// shared ownership, so a concurrent set_options never mutates a running
+/// query (it applies to calls that start afterwards). The catalog must
+/// stay structurally unchanged while queries run (the server swaps whole
+/// catalog snapshots instead of mutating a live one); lazily cached table
+/// statistics are internally synchronized.
 class QueryEngine {
  public:
   explicit QueryEngine(Catalog* catalog,
@@ -93,13 +121,23 @@ class QueryEngine {
       : catalog_(catalog), options_(std::move(options)) {}
   ~QueryEngine();  // out of line: owns the (fwd-declared) TaskPool
 
-  const EngineOptions& options() const { return options_; }
-  /// Replaces the configuration; the worker pool is rebuilt lazily on the
-  /// next parallel execution (exec.num_threads may have changed).
+  /// Configuration snapshot (by value: the live configuration may be
+  /// swapped by a concurrent set_options).
+  EngineOptions options() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return options_;
+  }
+  /// Replaces the configuration for calls that start after this returns;
+  /// in-flight queries keep the snapshot (and pool) they started with.
+  /// The worker pool is rebuilt lazily on the next parallel execution.
   void set_options(EngineOptions options);
 
   /// Parses, optimizes and runs `sql`.
   Result<QueryResult> Execute(const std::string& sql);
+  /// Execute with per-call control: cancellation/deadline and an optional
+  /// metrics sink (the network server's path).
+  Result<QueryResult> Execute(const std::string& sql,
+                              const ExecControl& control);
 
   /// Compilation artifacts for inspection (examples, tests, EXPLAIN).
   struct Compiled {
@@ -117,7 +155,8 @@ class QueryEngine {
   Result<std::string> Explain(const std::string& sql);
 
   /// Runs an already compiled query.
-  Result<QueryResult> ExecuteCompiled(const Compiled& compiled);
+  Result<QueryResult> ExecuteCompiled(const Compiled& compiled,
+                                      const ExecControl& control = {});
 
   /// Executes `sql` with full observability: per-operator stats collection,
   /// rule tracing, and cost-model estimates on the physical plan. Results
@@ -134,22 +173,33 @@ class QueryEngine {
  private:
   /// Compile with explicit options (ExecuteAnalyzed attaches trace sinks
   /// without mutating the engine's configuration). A non-null `profile`
-  /// times each compile phase (parse/bind/apply_intro/normalize/optimize).
+  /// times each compile phase (parse/bind/apply_intro/normalize/optimize);
+  /// a non-null `cancel` is polled between phases.
   Result<Compiled> CompileWith(const std::string& sql,
                                const EngineOptions& options,
-                               QueryProfile* profile = nullptr);
+                               QueryProfile* profile = nullptr,
+                               const CancelToken* cancel = nullptr);
+
+  /// Execution against an explicit options snapshot (all public execute
+  /// paths funnel here so concurrent callers never re-read live options).
+  Result<QueryResult> ExecuteCompiledWith(const Compiled& compiled,
+                                          const EngineOptions& options,
+                                          const ExecControl& control);
 
   /// Physical-build options with the execution thread count applied (the
   /// builder decides where the Exchange goes, so it must know N).
-  PhysicalBuildOptions EffectivePhysicalOptions() const;
+  static PhysicalBuildOptions EffectivePhysicalOptions(
+      const EngineOptions& options);
 
-  /// Lazily created worker pool; nullptr in serial mode. Kept across
-  /// queries so repeated executions (benchmarks) reuse warm threads.
-  TaskPool* task_pool();
+  /// Lazily created worker pool, shared so an in-flight query keeps its
+  /// pool alive across a concurrent set_options; null in serial mode.
+  /// Kept across queries so repeated executions reuse warm threads.
+  std::shared_ptr<TaskPool> SharedTaskPool(int num_threads);
 
   Catalog* catalog_;
+  mutable std::mutex mu_;  // guards options_ and pool_ (the pointer)
   EngineOptions options_;
-  std::unique_ptr<TaskPool> pool_;
+  std::shared_ptr<TaskPool> pool_;
 };
 
 }  // namespace orq

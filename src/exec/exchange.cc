@@ -167,6 +167,13 @@ class ExchangeOp : public PhysicalOp {
     worker_batched_ = ctx->batched;
     worker_batch_size_ = ctx->batch_size;
     worker_morsel_rows_ = ctx->morsel_rows;
+    worker_cancel_ = ctx->cancel;
+    // Gang admission: concurrent queries may share this pool, and two
+    // gangs splitting it deadlock on their build barriers. Holding the
+    // slot for the gang's whole lifetime (released in Shutdown) keeps the
+    // pool's deques single-gang. The wait polls the query's cancel token,
+    // so a deadline fires even while parked behind another gang.
+    ORQ_RETURN_IF_ERROR(pool_->AcquireGangSlot(ctx->cancel));
     running_ = true;
     for (size_t i = 0; i < children_.size(); ++i) {
       ctx->pool->Submit([this, i] { RunInstance(i); });
@@ -246,6 +253,9 @@ class ExchangeOp : public PhysicalOp {
     wctx.batched = worker_batched_;
     wctx.batch_size = worker_batch_size_;
     wctx.morsel_rows = worker_morsel_rows_;
+    // Every producer polls the same token, so a deadline or cancel stops
+    // the whole gang; the first failing worker's status surfaces from Pop.
+    wctx.cancel = worker_cancel_;
     ExecInstruments winstruments;
     if (!worker_stats_.empty()) {
       winstruments.stats = &worker_stats_[i];
@@ -279,6 +289,7 @@ class ExchangeOp : public PhysicalOp {
     queue_.Cancel();
     queue_.WaitAllDone();
     running_ = false;
+    pool_->ReleaseGangSlot();
   }
 
   std::vector<SharedRegionStatePtr> shared_;
@@ -293,6 +304,7 @@ class ExchangeOp : public PhysicalOp {
   bool worker_batched_ = true;
   int worker_batch_size_ = kDefaultBatchRows;
   int worker_morsel_rows_ = kDefaultMorselRows;
+  const CancelToken* worker_cancel_ = nullptr;
   /// Per-worker output (rows_produced) and instrumentation shards; slot i
   /// is written only by producer i, and read only after WaitAllDone.
   std::vector<int64_t> worker_rows_;

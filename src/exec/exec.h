@@ -10,6 +10,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "common/value.h"
+#include "exec/cancel.h"
 #include "obs/stats.h"
 
 namespace orq {
@@ -108,6 +109,19 @@ struct ExecContext {
   TaskPool* pool = nullptr;
   /// Rows per parallel-scan morsel claim (ExecOptions::morsel_rows).
   int morsel_rows = 4096;
+  /// Cooperative cancellation/deadline token, or nullptr when the caller
+  /// set no bound. Polled by the operator shells (every batch pull, every
+  /// Open, and a throttled fraction of row-mode pulls), so a firing token
+  /// surfaces as Cancelled/DeadlineExceeded within one batch of work.
+  const CancelToken* cancel = nullptr;
+  /// Row-mode poll throttle: the per-row Next shell consults the token
+  /// only every 64th call, keeping the clock read off the per-row path.
+  uint32_t cancel_tick = 0;
+
+  /// Token poll shared by the shells; OK when no token is attached.
+  Status CheckCancel() const {
+    return cancel != nullptr ? cancel->Check() : Status::OK();
+  }
 };
 
 /// Volcano-style iterator with an optional batched pull path. Operators are
@@ -129,6 +143,10 @@ class PhysicalOp {
   const std::vector<ColumnId>& layout() const { return layout_; }
 
   Status Open(ExecContext* ctx) {
+    // Correlated Apply re-opens its inner once per outer row, and an Open
+    // may drain a whole child (hash build, sort, spool) — poll here so a
+    // fired token stops the re-open storm at its source.
+    ORQ_RETURN_IF_ERROR(ctx->CheckCancel());
     if (ctx->instruments == nullptr) {
       instrumented_ = false;
       stats_ = nullptr;
@@ -141,6 +159,10 @@ class PhysicalOp {
 
   /// Fills `row` and returns true, or returns false at end of stream.
   Result<bool> Next(ExecContext* ctx, Row* row) {
+    if (ctx->cancel != nullptr && (++ctx->cancel_tick & 63u) == 0u) {
+      Status cancelled = ctx->cancel->Check();
+      if (!cancelled.ok()) return cancelled;
+    }
     if (stats_ == nullptr) {
       Result<bool> more = NextImpl(ctx, row);
       if (more.ok() && *more) ++ctx->rows_produced;
@@ -156,6 +178,7 @@ class PhysicalOp {
   /// so the two diverge by roughly the batch size on this path.
   Status NextBatch(ExecContext* ctx, RowBatch* batch) {
     batch->Clear();
+    ORQ_RETURN_IF_ERROR(ctx->CheckCancel());
     if (!instrumented_) {
       Status status = ctx->batched ? NextBatchImpl(ctx, batch)
                                    : FillFromNextImpl(ctx, batch);

@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "exec/cancel.h"
+
 namespace orq {
 
 TaskPool::TaskPool(int num_threads) {
@@ -43,6 +45,30 @@ void TaskPool::Submit(std::function<void()> task) {
 void TaskPool::WaitIdle() {
   std::unique_lock<std::mutex> lock(mu_);
   idle_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+Status TaskPool::AcquireGangSlot(const CancelToken* cancel) {
+  std::unique_lock<std::mutex> lock(gang_mu_);
+  while (gang_busy_) {
+    if (cancel != nullptr) {
+      Status status = cancel->Check();
+      if (!status.ok()) return status;
+      // Poll in slices so a deadline firing mid-wait is noticed promptly.
+      gang_cv_.wait_for(lock, std::chrono::milliseconds(10));
+    } else {
+      gang_cv_.wait(lock);
+    }
+  }
+  gang_busy_ = true;
+  return Status::OK();
+}
+
+void TaskPool::ReleaseGangSlot() {
+  {
+    std::lock_guard<std::mutex> lock(gang_mu_);
+    gang_busy_ = false;
+  }
+  gang_cv_.notify_one();
 }
 
 bool TaskPool::TryPop(int self, std::function<void()>* task) {

@@ -11,7 +11,11 @@
 #include <thread>
 #include <vector>
 
+#include "common/status.h"
+
 namespace orq {
+
+class CancelToken;
 
 /// Work-stealing thread pool driving morsel-parallel execution. Each worker
 /// owns a deque: Submit distributes tasks round-robin, an owner pops from
@@ -24,8 +28,10 @@ namespace orq {
 /// stealable-around — the exchange operator's gang satisfies this because a
 /// worker blocked on the build barrier occupies its thread while the
 /// remaining gang members run on other threads or are stolen by them.
-/// Plans keep at most one exchange per query (see opt/physical.cc) so a
-/// gang never waits on a second gang for pool capacity.
+/// Plans keep at most one exchange per query (see opt/physical.cc), and
+/// concurrent queries sharing one pool serialize their gangs through
+/// AcquireGangSlot — so a gang never waits on a second gang for pool
+/// capacity.
 class TaskPool {
  public:
   explicit TaskPool(int num_threads);
@@ -43,6 +49,18 @@ class TaskPool {
   /// tests and teardown; the exchange operator tracks completion through
   /// its own queue protocol instead.
   void WaitIdle();
+
+  /// Reserves the pool for one exchange gang. A gang's members block on
+  /// build barriers until every member is running, so two gangs splitting
+  /// the pool between them deadlock — each holds workers the other needs.
+  /// Gang admission serializes them: the caller blocks (off-pool, so it
+  /// consumes no worker) until the slot frees, polling `cancel` when
+  /// non-null so a deadline or cancellation interrupts the wait. Returns
+  /// OK holding the slot, or the token's error without it.
+  Status AcquireGangSlot(const CancelToken* cancel);
+
+  /// Frees the slot taken by AcquireGangSlot (call once per acquire).
+  void ReleaseGangSlot();
 
   /// Total tasks executed / executed via stealing (monotonic, for metrics).
   int64_t tasks_run() const {
@@ -65,6 +83,9 @@ class TaskPool {
   std::mutex mu_;                  // guards wakeups + idle accounting
   std::condition_variable work_cv_;
   std::condition_variable idle_cv_;
+  std::mutex gang_mu_;             // guards gang_busy_
+  std::condition_variable gang_cv_;
+  bool gang_busy_ = false;
   int64_t pending_ = 0;            // submitted but not yet finished
   bool stop_ = false;
   std::atomic<int64_t> next_worker_{0};

@@ -22,6 +22,13 @@ const char* MetricCounterName(MetricCounter counter) {
     case MetricCounter::kExchangeBatches: return "exchange.batches";
     case MetricCounter::kMorselsClaimed: return "exchange.morsels";
     case MetricCounter::kTaskSteals: return "exchange.task_steals";
+    case MetricCounter::kServerSessionsOpened: return "server.sessions_opened";
+    case MetricCounter::kServerQueriesOk: return "server.queries_ok";
+    case MetricCounter::kServerQueriesError: return "server.queries_error";
+    case MetricCounter::kServerQueriesRejected:
+      return "server.queries_rejected";
+    case MetricCounter::kServerQueriesTimedOut:
+      return "server.queries_timed_out";
   }
   return "unknown";
 }
@@ -36,6 +43,10 @@ const char* MetricHistogramName(MetricHistogram histogram) {
       return "hash_agg.bucket_chain";
     case MetricHistogram::kBatchFillPercent:
       return "batch.fill_percent";
+    case MetricHistogram::kAdmissionQueueDepth:
+      return "server.admission_queue_depth";
+    case MetricHistogram::kQueryLatencyMicros:
+      return "server.query_latency_micros";
   }
   return "unknown";
 }

@@ -24,9 +24,16 @@ enum class MetricCounter : int {
   kExchangeBatches,        // batches crossing exchange queues
   kMorselsClaimed,         // morsel ranges claimed by parallel scans
   kTaskSteals,             // pool tasks run on a thread other than their own
+  // Server-side counters (src/server): recorded into the daemon's shared
+  // registry, not per-execution; surfaced over the wire by \metrics.
+  kServerSessionsOpened,   // client connections accepted over the lifetime
+  kServerQueriesOk,        // queries that returned a result frame
+  kServerQueriesError,     // queries that returned an error frame
+  kServerQueriesRejected,  // admissions declined (queue full / shutdown)
+  kServerQueriesTimedOut,  // queries that hit their deadline or a cancel
 };
 inline constexpr int kNumMetricCounters =
-    static_cast<int>(MetricCounter::kTaskSteals) + 1;
+    static_cast<int>(MetricCounter::kServerQueriesTimedOut) + 1;
 
 /// Fixed-bucket histograms for distributions where the mean hides the
 /// story (a few mega-buckets in a hash join, half-empty batches).
@@ -35,9 +42,12 @@ enum class MetricHistogram : int {
   kHashJoinBucketRows,       // build rows per distinct key, at build end
   kHashAggBucketChain,       // occupied-bucket chain lengths at build end
   kBatchFillPercent,         // NextBatch fill ratio (0-100) per pull
+  kAdmissionQueueDepth,      // waiting queries observed at each admission
+  kQueryLatencyMicros,       // server-side per-query wall time (admission
+                             // wait + compile + execute), in microseconds
 };
 inline constexpr int kNumMetricHistograms =
-    static_cast<int>(MetricHistogram::kBatchFillPercent) + 1;
+    static_cast<int>(MetricHistogram::kQueryLatencyMicros) + 1;
 
 const char* MetricCounterName(MetricCounter counter);
 const char* MetricHistogramName(MetricHistogram histogram);

@@ -1,0 +1,92 @@
+#include "server/admission.h"
+
+#include <chrono>
+
+namespace orq {
+
+Status AdmissionController::Admit(const CancelToken* cancel) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (shutdown_) {
+    ++rejected_;
+    return Status::Unavailable("server is shutting down");
+  }
+  if (running_ < options_.max_concurrent) {
+    ++running_;
+    ++admitted_;
+    return Status::OK();
+  }
+  if (queued_ >= options_.max_queued) {
+    ++rejected_;
+    return Status::Unavailable(
+        "admission queue full (" + std::to_string(queued_) + " queued, " +
+        std::to_string(running_) + " running)");
+  }
+  ++queued_;
+  if (queued_ > peak_queued_) peak_queued_ = queued_;
+  // Wait in 10ms slices so a cancel/deadline that fires while queued is
+  // observed promptly — tokens have no wakeup channel into this queue.
+  while (true) {
+    if (shutdown_) {
+      --queued_;
+      ++rejected_;
+      return Status::Unavailable("server is shutting down");
+    }
+    if (running_ < options_.max_concurrent) {
+      --queued_;
+      ++running_;
+      ++admitted_;
+      return Status::OK();
+    }
+    if (cancel != nullptr) {
+      Status cancelled = cancel->Check();
+      if (!cancelled.ok()) {
+        --queued_;
+        return cancelled;
+      }
+    }
+    slot_free_.wait_for(lock, std::chrono::milliseconds(10));
+  }
+}
+
+void AdmissionController::Release() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --running_;
+  }
+  slot_free_.notify_one();
+}
+
+void AdmissionController::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  slot_free_.notify_all();
+}
+
+int AdmissionController::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+int AdmissionController::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_;
+}
+
+int64_t AdmissionController::admitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return admitted_;
+}
+
+int64_t AdmissionController::rejected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rejected_;
+}
+
+int64_t AdmissionController::peak_queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_queued_;
+}
+
+}  // namespace orq

@@ -1,0 +1,62 @@
+#ifndef ORQ_SERVER_ADMISSION_H_
+#define ORQ_SERVER_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "common/status.h"
+#include "exec/cancel.h"
+
+namespace orq {
+
+/// Admission policy: at most `max_concurrent` queries execute at once; at
+/// most `max_queued` more may wait. Arrivals beyond both bounds are
+/// rejected immediately (Unavailable) instead of queueing without bound —
+/// under overload the server sheds load at the door, keeping latency for
+/// admitted queries bounded by queue depth × service time.
+struct AdmissionOptions {
+  int max_concurrent = 4;
+  int max_queued = 64;
+};
+
+/// Counting gate in front of the execution pool. Admit blocks in FIFO-ish
+/// order (condition-variable wakeup order) until a run slot frees, honors
+/// the waiter's CancelToken (a deadline spent queueing is charged to the
+/// query), and fails fast once Shutdown ran.
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions options)
+      : options_(options) {}
+
+  /// Blocks until a slot is granted. OK means the caller owns one run slot
+  /// and must Release() it. Unavailable when the queue is full or the
+  /// controller shut down; Cancelled/DeadlineExceeded when `cancel` fired
+  /// while waiting.
+  Status Admit(const CancelToken* cancel);
+  void Release();
+
+  /// Wakes every waiter with Unavailable and rejects future arrivals.
+  void Shutdown();
+
+  int running() const;
+  int queued() const;
+  int64_t admitted() const;
+  int64_t rejected() const;
+  int64_t peak_queued() const;
+
+ private:
+  AdmissionOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable slot_free_;
+  int running_ = 0;
+  int queued_ = 0;
+  bool shutdown_ = false;
+  int64_t admitted_ = 0;
+  int64_t rejected_ = 0;
+  int64_t peak_queued_ = 0;
+};
+
+}  // namespace orq
+
+#endif  // ORQ_SERVER_ADMISSION_H_

@@ -1,0 +1,76 @@
+#include "server/client.h"
+
+#include <utility>
+
+#include "server/net.h"
+
+namespace orq {
+
+Result<Client> Client::Connect(const std::string& host, int port) {
+  ORQ_ASSIGN_OR_RETURN(int fd, ConnectTcp(host, port));
+  return Client(fd);
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) CloseFd(fd_);
+    fd_ = other.fd_;
+    decoder_ = std::move(other.decoder_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) CloseFd(fd_);
+}
+
+Result<Frame> Client::RoundTrip(FrameType type, const std::string& payload) {
+  if (fd_ < 0) return Status::InvalidArgument("client not connected");
+  ORQ_RETURN_IF_ERROR(SendFrame(fd_, type, payload));
+  Frame reply;
+  ORQ_ASSIGN_OR_RETURN(bool got, RecvFrame(fd_, &decoder_, &reply));
+  if (!got) {
+    return Status::Unavailable("server closed the connection");
+  }
+  return reply;
+}
+
+Result<WireResult> Client::Query(const std::string& sql) {
+  ORQ_ASSIGN_OR_RETURN(Frame reply, RoundTrip(FrameType::kQuery, sql));
+  if (reply.type == FrameType::kError) return DecodeError(reply.payload);
+  if (reply.type != FrameType::kResult) {
+    return Status::InvalidArgument("unexpected reply frame type");
+  }
+  return DecodeResult(reply.payload);
+}
+
+Status Client::Set(const std::string& name, const std::string& value) {
+  ORQ_ASSIGN_OR_RETURN(Frame reply,
+                       RoundTrip(FrameType::kSet, name + " " + value));
+  if (reply.type == FrameType::kError) return DecodeError(reply.payload);
+  if (reply.type != FrameType::kInfo) {
+    return Status::InvalidArgument("unexpected reply frame type");
+  }
+  return Status::OK();
+}
+
+Result<std::string> Client::Admin(const std::string& command) {
+  ORQ_ASSIGN_OR_RETURN(Frame reply, RoundTrip(FrameType::kAdmin, command));
+  if (reply.type == FrameType::kError) return DecodeError(reply.payload);
+  if (reply.type != FrameType::kInfo && reply.type != FrameType::kPong) {
+    return Status::InvalidArgument("unexpected reply frame type");
+  }
+  return reply.payload;
+}
+
+Status Client::Ping() {
+  ORQ_ASSIGN_OR_RETURN(Frame reply, RoundTrip(FrameType::kPing, ""));
+  if (reply.type == FrameType::kError) return DecodeError(reply.payload);
+  if (reply.type != FrameType::kPong) {
+    return Status::InvalidArgument("unexpected reply frame type");
+  }
+  return Status::OK();
+}
+
+}  // namespace orq

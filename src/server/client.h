@@ -1,0 +1,58 @@
+#ifndef ORQ_SERVER_CLIENT_H_
+#define ORQ_SERVER_CLIENT_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/result.h"
+#include "server/wire.h"
+
+namespace orq {
+
+/// Blocking wire-protocol client: one connection, one outstanding request.
+/// Each call sends a frame and waits for the reply; server-side errors come
+/// back as the decoded Status (same code and message the engine produced),
+/// transport errors as the socket's Status. Move-only; the destructor
+/// closes the connection.
+class Client {
+ public:
+  static Result<Client> Connect(const std::string& host, int port);
+
+  Client(Client&& other) noexcept
+      : fd_(other.fd_), decoder_(std::move(other.decoder_)) {
+    other.fd_ = -1;
+  }
+  Client& operator=(Client&& other) noexcept;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Executes `sql` on the server; rows come back in canonical text form
+  /// (difftest's CanonicalRow).
+  Result<WireResult> Query(const std::string& sql);
+
+  /// SET command, e.g. Set("timeout_ms", "500") or Set("threads", "4").
+  Status Set(const std::string& name, const std::string& value);
+
+  /// Admin command ("metrics", "ping"); returns the server's text reply.
+  Result<std::string> Admin(const std::string& command);
+
+  Status Ping();
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  /// Sends one frame, receives one frame. Disconnection mid-exchange is an
+  /// error (the protocol has no server-initiated frames).
+  Result<Frame> RoundTrip(FrameType type, const std::string& payload);
+
+  int fd_ = -1;
+  /// Buffers bytes between frames (a reply may arrive split or coalesced).
+  FrameDecoder decoder_;
+};
+
+}  // namespace orq
+
+#endif  // ORQ_SERVER_CLIENT_H_

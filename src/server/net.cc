@@ -1,0 +1,142 @@
+#include "server/net.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace orq {
+
+namespace {
+
+Status ErrnoStatus(const std::string& what) {
+  return Status::RuntimeError(what + ": " + std::strerror(errno));
+}
+
+Result<sockaddr_in> MakeAddr(const std::string& host, int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+  return addr;
+}
+
+}  // namespace
+
+Result<int> ListenTcp(const std::string& host, int port, int backlog) {
+  ORQ_ASSIGN_OR_RETURN(sockaddr_in addr, MakeAddr(host, port));
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoStatus("socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status = ErrnoStatus("bind " + host + ":" + std::to_string(port));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, backlog) != 0) {
+    Status status = ErrnoStatus("listen");
+    ::close(fd);
+    return status;
+  }
+  return fd;
+}
+
+Result<int> BoundTcpPort(int listen_fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    return ErrnoStatus("getsockname");
+  }
+  return static_cast<int>(ntohs(addr.sin_port));
+}
+
+Result<int> AcceptWithTimeout(int listen_fd, int poll_ms) {
+  pollfd pfd{};
+  pfd.fd = listen_fd;
+  pfd.events = POLLIN;
+  const int ready = ::poll(&pfd, 1, poll_ms);
+  if (ready < 0) {
+    if (errno == EINTR) return -1;
+    return ErrnoStatus("poll");
+  }
+  if (ready == 0) return -1;
+  const int fd = ::accept(listen_fd, nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == EINTR || errno == ECONNABORTED) return -1;
+    return ErrnoStatus("accept");
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+Result<int> ConnectTcp(const std::string& host, int port) {
+  ORQ_ASSIGN_OR_RETURN(sockaddr_in addr, MakeAddr(host, port));
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoStatus("socket");
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status =
+        ErrnoStatus("connect " + host + ":" + std::to_string(port));
+    ::close(fd);
+    return status;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+Status SendAll(int fd, const char* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status SendFrame(int fd, FrameType type, const std::string& payload) {
+  std::string bytes;
+  bytes.reserve(payload.size() + 5);
+  AppendFrame(type, payload, &bytes);
+  return SendAll(fd, bytes.data(), bytes.size());
+}
+
+Result<bool> RecvFrame(int fd, FrameDecoder* decoder, Frame* out) {
+  while (true) {
+    ORQ_ASSIGN_OR_RETURN(bool complete, decoder->Next(out));
+    if (complete) return true;
+    char chunk[16384];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("recv");
+    }
+    if (n == 0) {
+      if (decoder->pending_bytes() > 0) {
+        return Status::InvalidArgument(
+            "wire: connection closed mid-frame (" +
+            std::to_string(decoder->pending_bytes()) + " bytes pending)");
+      }
+      return false;  // clean EOF between frames
+    }
+    decoder->Feed(chunk, static_cast<size_t>(n));
+  }
+}
+
+void ShutdownFd(int fd) { ::shutdown(fd, SHUT_RDWR); }
+
+void CloseFd(int fd) { ::close(fd); }
+
+}  // namespace orq

@@ -1,0 +1,48 @@
+#ifndef ORQ_SERVER_NET_H_
+#define ORQ_SERVER_NET_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "server/wire.h"
+
+namespace orq {
+
+/// Thin POSIX socket layer under the wire protocol. All functions return
+/// Status/Result instead of errno; fds are plain ints owned by the caller
+/// (the server and client wrap them in RAII at their level).
+
+/// Binds and listens on host:port (port 0 picks an ephemeral port).
+/// Returns the listening fd.
+Result<int> ListenTcp(const std::string& host, int port, int backlog = 64);
+
+/// The port a listening fd actually bound (resolves port 0).
+Result<int> BoundTcpPort(int listen_fd);
+
+/// Accepts one connection, polling so the accept loop can observe a stop
+/// flag: returns the connection fd, or -1 when `poll_ms` elapsed with no
+/// pending connection.
+Result<int> AcceptWithTimeout(int listen_fd, int poll_ms);
+
+/// Connects to host:port; returns the connected fd.
+Result<int> ConnectTcp(const std::string& host, int port);
+
+/// Writes the whole buffer (retrying short writes / EINTR).
+Status SendAll(int fd, const char* data, size_t size);
+
+/// Encodes and sends one frame.
+Status SendFrame(int fd, FrameType type, const std::string& payload);
+
+/// Reads from `fd` into `decoder` until one complete frame is available.
+/// True with `out` filled; false on clean EOF at a frame boundary;
+/// an error Status on mid-frame EOF, socket errors, or protocol errors.
+Result<bool> RecvFrame(int fd, FrameDecoder* decoder, Frame* out);
+
+/// shutdown(2) both directions — wakes a peer thread blocked in recv on
+/// the same fd (used to interrupt connection threads at server stop).
+void ShutdownFd(int fd);
+void CloseFd(int fd);
+
+}  // namespace orq
+
+#endif  // ORQ_SERVER_NET_H_

@@ -1,0 +1,340 @@
+#include "server/server.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <utility>
+#include <vector>
+
+#include "difftest/oracle.h"
+#include "obs/stats.h"
+#include "server/net.h"
+
+namespace orq {
+
+namespace {
+
+/// Strips leading/trailing whitespace (admin command normalization).
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+}  // namespace
+
+QueryServer::QueryServer(std::shared_ptr<Catalog> catalog,
+                         ServerOptions options)
+    : options_(std::move(options)),
+      pool_(std::max(1, options_.worker_threads)),
+      admission_([&] {
+        AdmissionOptions admission = options_.admission;
+        admission.max_concurrent =
+            std::max(1, std::min(admission.max_concurrent,
+                                 std::max(1, options_.worker_threads)));
+        return admission;
+      }()),
+      catalog_(std::move(catalog)) {}
+
+QueryServer::~QueryServer() { Stop(); }
+
+Status QueryServer::Start() {
+  if (started_) return Status::InvalidArgument("server already started");
+  ORQ_ASSIGN_OR_RETURN(listen_fd_, ListenTcp(options_.host, options_.port));
+  ORQ_ASSIGN_OR_RETURN(port_, BoundTcpPort(listen_fd_));
+  started_ = true;
+  started_nanos_ = ObsNowNanos();
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void QueryServer::Stop() {
+  if (!started_ || stopping_.exchange(true)) {
+    // Still join the accept thread if a second caller raced the first.
+    if (accept_thread_.joinable()) accept_thread_.join();
+    ReapConnections(/*all=*/true);
+    return;
+  }
+  admission_.Shutdown();
+  {
+    std::lock_guard<std::mutex> lock(tokens_mu_);
+    for (CancelToken* token : tokens_) token->RequestCancel();
+  }
+  // Waking the listener: shutdown() unblocks poll/accept on some platforms;
+  // the accept loop also polls stopping_ every 100ms, which bounds
+  // shutdown latency regardless.
+  if (listen_fd_ >= 0) ShutdownFd(listen_fd_);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    CloseFd(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // Kick every connection out of its blocking recv, then join.
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& conn : conns_) {
+      if (conn->fd >= 0) ShutdownFd(conn->fd);
+    }
+  }
+  ReapConnections(/*all=*/true);
+}
+
+std::shared_ptr<Catalog> QueryServer::CatalogSnapshot() const {
+  std::lock_guard<std::mutex> lock(catalog_mu_);
+  return catalog_;
+}
+
+void QueryServer::ReplaceCatalog(std::shared_ptr<Catalog> catalog) {
+  std::lock_guard<std::mutex> lock(catalog_mu_);
+  catalog_ = std::move(catalog);
+}
+
+void QueryServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    Result<int> accepted = AcceptWithTimeout(listen_fd_, /*poll_ms=*/100);
+    ReapConnections(/*all=*/false);
+    if (!accepted.ok()) break;  // listener closed or fatal socket error
+    const int fd = accepted.value();
+    if (fd < 0) continue;
+    if (stopping_.load(std::memory_order_relaxed)) {
+      CloseFd(fd);
+      break;
+    }
+    const int session_id = next_session_id_++;
+    {
+      std::lock_guard<std::mutex> lock(metrics_mu_);
+      metrics_.Add(MetricCounter::kServerSessionsOpened, 1);
+    }
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    Connection* raw = conn.get();
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_.push_back(std::move(conn));
+    }
+    raw->thread = std::thread([this, raw, fd, session_id] {
+      active_sessions_.fetch_add(1, std::memory_order_relaxed);
+      ServeConnection(fd, session_id);
+      active_sessions_.fetch_sub(1, std::memory_order_relaxed);
+      raw->done.store(true, std::memory_order_release);
+    });
+  }
+}
+
+void QueryServer::ReapConnections(bool all) {
+  // Collect joinable handles under the lock, join outside it (a connection
+  // thread may be blocked in a long recv when all=true at Stop — it was
+  // already woken via ShutdownFd, but the join can still take a moment).
+  std::vector<std::unique_ptr<Connection>> finished;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      if (all || (*it)->done.load(std::memory_order_acquire)) {
+        finished.push_back(std::move(*it));
+        it = conns_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& conn : finished) {
+    if (conn->thread.joinable()) conn->thread.join();
+    if (conn->fd >= 0) CloseFd(conn->fd);
+  }
+}
+
+void QueryServer::RegisterToken(CancelToken* token) {
+  std::lock_guard<std::mutex> lock(tokens_mu_);
+  tokens_.insert(token);
+}
+
+void QueryServer::UnregisterToken(CancelToken* token) {
+  std::lock_guard<std::mutex> lock(tokens_mu_);
+  tokens_.erase(token);
+}
+
+Result<WireResult> QueryServer::RunQuery(
+    Session* session, std::unique_ptr<QueryEngine>* engine,
+    std::shared_ptr<Catalog>* engine_catalog, int64_t* engine_generation,
+    const std::string& sql) {
+  const int64_t start_nanos = ObsNowNanos();
+
+  CancelToken token;
+  if (session->timeout_ms() > 0) token.SetTimeoutMs(session->timeout_ms());
+  RegisterToken(&token);
+  // A server already stopping cancels this query before it runs anything.
+  if (stopping_.load(std::memory_order_relaxed)) token.RequestCancel();
+
+  {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    metrics_.Observe(MetricHistogram::kAdmissionQueueDepth,
+                     admission_.queued());
+  }
+
+  Status admitted = admission_.Admit(&token);
+  if (!admitted.ok()) {
+    UnregisterToken(&token);
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    if (admitted.code() == StatusCode::kUnavailable) {
+      metrics_.Add(MetricCounter::kServerQueriesRejected, 1);
+    } else {
+      metrics_.Add(MetricCounter::kServerQueriesTimedOut, 1);
+    }
+    return admitted;
+  }
+
+  // Pin the snapshot current at admission; rebuild the cached engine when
+  // the session's options or the server's catalog moved underneath it.
+  std::shared_ptr<Catalog> snapshot = CatalogSnapshot();
+  if (*engine == nullptr || *engine_catalog != snapshot ||
+      *engine_generation != session->options_generation()) {
+    *engine = std::make_unique<QueryEngine>(snapshot.get(),
+                                            session->engine_options());
+    *engine_catalog = snapshot;
+    *engine_generation = session->options_generation();
+  }
+
+  // Run on the server's work-stealing pool; this connection thread blocks
+  // until its task finishes. The engine may layer its own exchange workers
+  // on top — those live in the engine's pool, not this one, so a pool task
+  // never waits on a second pool task for capacity.
+  MetricsRegistry query_metrics;
+  ExecControl control;
+  control.cancel = &token;
+  control.metrics = &query_metrics;
+  QueryEngine* engine_ptr = engine->get();
+
+  Result<QueryResult> result = Status::Internal("query task never ran");
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  bool done = false;
+  pool_.Submit([&] {
+    Result<QueryResult> r = engine_ptr->Execute(sql, control);
+    std::lock_guard<std::mutex> lock(done_mu);
+    result = std::move(r);
+    done = true;
+    done_cv.notify_one();
+  });
+  {
+    std::unique_lock<std::mutex> lock(done_mu);
+    done_cv.wait(lock, [&] { return done; });
+  }
+  admission_.Release();
+  UnregisterToken(&token);
+  session->CountQuery();
+
+  const int64_t latency_micros = (ObsNowNanos() - start_nanos) / 1000;
+  {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    metrics_.MergeFrom(query_metrics);
+    metrics_.Observe(MetricHistogram::kQueryLatencyMicros, latency_micros);
+    if (result.ok()) {
+      metrics_.Add(MetricCounter::kServerQueriesOk, 1);
+    } else if (result.status().code() == StatusCode::kCancelled ||
+               result.status().code() == StatusCode::kDeadlineExceeded) {
+      metrics_.Add(MetricCounter::kServerQueriesTimedOut, 1);
+    } else {
+      metrics_.Add(MetricCounter::kServerQueriesError, 1);
+    }
+  }
+  if (!result.ok()) return result.status();
+
+  WireResult wire;
+  wire.columns = result.value().column_names;
+  wire.rows.reserve(result.value().rows.size());
+  for (const Row& row : result.value().rows) {
+    wire.rows.push_back(CanonicalRow(row));
+  }
+  wire.rows_produced = result.value().rows_produced;
+  return wire;
+}
+
+void QueryServer::ServeConnection(int fd, int session_id) {
+  Session session(session_id, options_.engine, options_.default_timeout_ms);
+  std::unique_ptr<QueryEngine> engine;
+  std::shared_ptr<Catalog> engine_catalog;
+  int64_t engine_generation = -1;
+
+  FrameDecoder decoder;
+  std::string reply;
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    Frame frame;
+    Result<bool> got = RecvFrame(fd, &decoder, &frame);
+    if (!got.ok() || !got.value()) break;  // protocol error or clean EOF
+    reply.clear();
+    switch (frame.type) {
+      case FrameType::kQuery: {
+        Result<WireResult> result =
+            RunQuery(&session, &engine, &engine_catalog, &engine_generation,
+                     frame.payload);
+        if (result.ok()) {
+          reply = EncodeResult(result.value());
+          if (!SendFrame(fd, FrameType::kResult, reply).ok()) return;
+        } else {
+          reply = EncodeError(result.status());
+          if (!SendFrame(fd, FrameType::kError, reply).ok()) return;
+        }
+        break;
+      }
+      case FrameType::kSet: {
+        Status applied = session.ApplySet(frame.payload);
+        if (applied.ok()) {
+          if (!SendFrame(fd, FrameType::kInfo, "SET ok").ok()) return;
+        } else {
+          reply = EncodeError(applied);
+          if (!SendFrame(fd, FrameType::kError, reply).ok()) return;
+        }
+        break;
+      }
+      case FrameType::kAdmin: {
+        const std::string command = Trim(frame.payload);
+        if (command == "metrics") {
+          if (!SendFrame(fd, FrameType::kInfo, MetricsText()).ok()) return;
+        } else if (command == "ping") {
+          if (!SendFrame(fd, FrameType::kPong, "").ok()) return;
+        } else {
+          reply = EncodeError(Status::InvalidArgument(
+              "unknown admin command \"" + command +
+              "\" (known: metrics, ping)"));
+          if (!SendFrame(fd, FrameType::kError, reply).ok()) return;
+        }
+        break;
+      }
+      case FrameType::kPing: {
+        if (!SendFrame(fd, FrameType::kPong, frame.payload).ok()) return;
+        break;
+      }
+      default: {
+        reply = EncodeError(
+            Status::InvalidArgument("unexpected frame type from client"));
+        if (!SendFrame(fd, FrameType::kError, reply).ok()) return;
+        break;
+      }
+    }
+  }
+}
+
+std::string QueryServer::MetricsText() const {
+  std::string out;
+  {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    out = RenderMetrics(metrics_);
+  }
+  out += "server.sessions_active " + std::to_string(active_sessions()) + "\n";
+  out += "server.queries_running " + std::to_string(admission_.running()) +
+         "\n";
+  out += "server.queue_depth " + std::to_string(admission_.queued()) + "\n";
+  out += "server.queue_peak " + std::to_string(admission_.peak_queued()) +
+         "\n";
+  out += "server.admitted_total " + std::to_string(admission_.admitted()) +
+         "\n";
+  out += "server.rejected_total " + std::to_string(admission_.rejected()) +
+         "\n";
+  out += "server.pool_threads " + std::to_string(pool_.num_threads()) + "\n";
+  out += "server.pool_tasks_run " + std::to_string(pool_.tasks_run()) + "\n";
+  out += "server.uptime_ms " +
+         std::to_string((ObsNowNanos() - started_nanos_) / 1000000) + "\n";
+  return out;
+}
+
+}  // namespace orq

@@ -1,0 +1,136 @@
+#ifndef ORQ_SERVER_SERVER_H_
+#define ORQ_SERVER_SERVER_H_
+
+#include <atomic>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+
+#include "catalog/catalog.h"
+#include "engine/engine.h"
+#include "exec/task_pool.h"
+#include "server/admission.h"
+#include "server/session.h"
+#include "server/wire.h"
+
+namespace orq {
+
+/// Daemon configuration (orq_serve flags map 1:1 onto this).
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port; the bound port is available from port().
+  int port = 0;
+  /// Worker threads executing admitted queries (the work-stealing
+  /// TaskPool). Admission's max_concurrent is clamped to this, so a
+  /// query never waits inside the pool behind another queued query.
+  int worker_threads = 4;
+  AdmissionOptions admission;
+  /// Default per-query deadline for new sessions; 0 = unbounded. Sessions
+  /// override it with SET timeout_ms.
+  int64_t default_timeout_ms = 0;
+  /// Base engine configuration new sessions start from.
+  EngineOptions engine;
+};
+
+/// The network query service: accepts wire-protocol connections, one
+/// session per connection, and executes admitted queries on a shared
+/// work-stealing TaskPool against an immutable catalog snapshot.
+///
+/// Concurrency model:
+///   * one accept thread + one thread per live connection (sessions are
+///     long-lived; the bench scale is tens of sessions, not thousands);
+///   * queries pass the AdmissionController, then run as TaskPool tasks —
+///     the connection thread blocks until its query finishes;
+///   * each query pins the catalog snapshot current at submit time
+///     (shared_ptr), so ReplaceCatalog never mutates data under a running
+///     query — readers drain off the old snapshot and it is freed;
+///   * every in-flight query carries a CancelToken (session deadline);
+///     Stop() cancels them all, so shutdown is bounded by one batch of
+///     operator work, not by the longest query.
+class QueryServer {
+ public:
+  QueryServer(std::shared_ptr<Catalog> catalog, ServerOptions options);
+  ~QueryServer();
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  /// Binds, listens, and starts the accept thread.
+  Status Start();
+  /// Graceful stop: reject new work, cancel in-flight queries, wake and
+  /// join every connection thread. Idempotent.
+  void Stop();
+
+  /// The port actually bound (after Start).
+  int port() const { return port_; }
+
+  /// Current catalog snapshot / snapshot swap (loader tools; tests).
+  std::shared_ptr<Catalog> CatalogSnapshot() const;
+  void ReplaceCatalog(std::shared_ptr<Catalog> catalog);
+
+  /// The \metrics admin body: engine+server counters accumulated across
+  /// all finished queries, plus live gauges (sessions, queue depth).
+  std::string MetricsText() const;
+
+  int active_sessions() const {
+    return active_sessions_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd, int session_id);
+  /// Admission + snapshot pin + engine cache refresh + pooled execution.
+  /// `engine`/`engine_catalog`/`engine_generation` are the connection's
+  /// cached engine state (rebuilt when SET or a snapshot swap invalidated
+  /// it).
+  Result<WireResult> RunQuery(Session* session,
+                              std::unique_ptr<QueryEngine>* engine,
+                              std::shared_ptr<Catalog>* engine_catalog,
+                              int64_t* engine_generation,
+                              const std::string& sql);
+
+  void RegisterToken(CancelToken* token);
+  void UnregisterToken(CancelToken* token);
+
+  /// Join connection threads that have finished serving (accept loop
+  /// housekeeping), or all of them (`all`, at Stop).
+  void ReapConnections(bool all);
+
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  ServerOptions options_;
+  TaskPool pool_;
+  AdmissionController admission_;
+
+  mutable std::mutex catalog_mu_;
+  std::shared_ptr<Catalog> catalog_;
+
+  mutable std::mutex metrics_mu_;
+  MetricsRegistry metrics_;
+  int64_t started_nanos_ = 0;
+
+  std::mutex tokens_mu_;
+  std::unordered_set<CancelToken*> tokens_;
+
+  std::mutex conns_mu_;
+  std::list<std::unique_ptr<Connection>> conns_;
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<int> active_sessions_{0};
+  int next_session_id_ = 1;  // accept thread only
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread accept_thread_;
+  bool started_ = false;
+};
+
+}  // namespace orq
+
+#endif  // ORQ_SERVER_SERVER_H_

@@ -1,0 +1,52 @@
+#ifndef ORQ_SERVER_SESSION_H_
+#define ORQ_SERVER_SESSION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "engine/engine.h"
+
+namespace orq {
+
+/// Per-connection session state: an engine configuration the client edits
+/// through SET frames, plus the per-query deadline. One session serves one
+/// connection thread, so Session itself needs no locking; the engine built
+/// from it is rebuilt whenever the options change or the catalog snapshot
+/// the session last ran against was swapped out.
+class Session {
+ public:
+  Session(int id, EngineOptions base_options, int64_t default_timeout_ms)
+      : id_(id),
+        options_(std::move(base_options)),
+        timeout_ms_(default_timeout_ms) {}
+
+  int id() const { return id_; }
+  const EngineOptions& engine_options() const { return options_; }
+  int64_t timeout_ms() const { return timeout_ms_; }
+
+  /// Generation counter bumped by every successful SET, so the connection
+  /// loop knows to rebuild its cached engine.
+  int64_t options_generation() const { return options_generation_; }
+
+  int64_t queries_run() const { return queries_run_; }
+  void CountQuery() { ++queries_run_; }
+
+  /// Applies one SET command ("name value" or "name=value"). Knobs:
+  ///   threads N      -- morsel-parallel worker count (0 = serial)
+  ///   batch on|off   -- batch-at-a-time vs row-at-a-time execution
+  ///   batch_size N   -- rows per batch
+  ///   morsel_rows N  -- rows per parallel-scan morsel claim
+  ///   timeout_ms N   -- per-query deadline (0 disables)
+  Status ApplySet(const std::string& command);
+
+ private:
+  int id_;
+  EngineOptions options_;
+  int64_t timeout_ms_;
+  int64_t options_generation_ = 0;
+  int64_t queries_run_ = 0;
+};
+
+}  // namespace orq
+
+#endif  // ORQ_SERVER_SESSION_H_

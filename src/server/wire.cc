@@ -1,0 +1,190 @@
+#include "server/wire.h"
+
+#include <cstring>
+
+namespace orq {
+
+namespace {
+
+void PutU32(uint32_t value, std::string* out) {
+  char bytes[4];
+  bytes[0] = static_cast<char>(value & 0xff);
+  bytes[1] = static_cast<char>((value >> 8) & 0xff);
+  bytes[2] = static_cast<char>((value >> 16) & 0xff);
+  bytes[3] = static_cast<char>((value >> 24) & 0xff);
+  out->append(bytes, 4);
+}
+
+void PutU64(uint64_t value, std::string* out) {
+  PutU32(static_cast<uint32_t>(value & 0xffffffffu), out);
+  PutU32(static_cast<uint32_t>(value >> 32), out);
+}
+
+void PutStr(const std::string& s, std::string* out) {
+  PutU32(static_cast<uint32_t>(s.size()), out);
+  out->append(s);
+}
+
+/// Bounded little-endian reader over a payload; any read past the end
+/// latches an error (malformed payload).
+class Reader {
+ public:
+  explicit Reader(const std::string& bytes) : bytes_(bytes) {}
+
+  uint32_t U32() {
+    if (pos_ + 4 > bytes_.size()) {
+      ok_ = false;
+      return 0;
+    }
+    const auto* p = reinterpret_cast<const unsigned char*>(bytes_.data()) +
+                    pos_;
+    pos_ += 4;
+    return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+  }
+
+  uint64_t U64() {
+    const uint64_t lo = U32();
+    const uint64_t hi = U32();
+    return lo | (hi << 32);
+  }
+
+  std::string Str() {
+    const uint32_t size = U32();
+    if (!ok_ || pos_ + size > bytes_.size()) {
+      ok_ = false;
+      return std::string();
+    }
+    std::string s = bytes_.substr(pos_, size);
+    pos_ += size;
+    return s;
+  }
+
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+ private:
+  const std::string& bytes_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace
+
+bool IsValidFrameType(uint8_t type) {
+  switch (static_cast<FrameType>(type)) {
+    case FrameType::kQuery:
+    case FrameType::kSet:
+    case FrameType::kAdmin:
+    case FrameType::kPing:
+    case FrameType::kResult:
+    case FrameType::kError:
+    case FrameType::kInfo:
+    case FrameType::kPong:
+      return true;
+  }
+  return false;
+}
+
+void AppendFrame(FrameType type, const std::string& payload,
+                 std::string* out) {
+  PutU32(static_cast<uint32_t>(payload.size()) + 1, out);
+  out->push_back(static_cast<char>(type));
+  out->append(payload);
+}
+
+Result<bool> FrameDecoder::Next(Frame* out) {
+  // Reclaim consumed prefix once it dominates the buffer, so a long-lived
+  // connection does not grow its buffer without bound.
+  if (pos_ > 4096 && pos_ * 2 > buffer_.size()) {
+    buffer_.erase(0, pos_);
+    pos_ = 0;
+  }
+  if (buffer_.size() - pos_ < 4) return false;
+  const auto* p = reinterpret_cast<const unsigned char*>(buffer_.data()) +
+                  pos_;
+  const uint32_t length = static_cast<uint32_t>(p[0]) |
+                          (static_cast<uint32_t>(p[1]) << 8) |
+                          (static_cast<uint32_t>(p[2]) << 16) |
+                          (static_cast<uint32_t>(p[3]) << 24);
+  if (length == 0) {
+    return Status::InvalidArgument("wire: zero-length frame");
+  }
+  if (length > kWireMaxFrameBytes) {
+    return Status::InvalidArgument(
+        "wire: frame of " + std::to_string(length) +
+        " bytes exceeds the " + std::to_string(kWireMaxFrameBytes) +
+        "-byte limit");
+  }
+  if (buffer_.size() - pos_ < 4u + length) return false;
+  const uint8_t type = static_cast<uint8_t>(buffer_[pos_ + 4]);
+  if (!IsValidFrameType(type)) {
+    return Status::InvalidArgument("wire: unknown frame type byte " +
+                                   std::to_string(type));
+  }
+  out->type = static_cast<FrameType>(type);
+  out->payload.assign(buffer_, pos_ + 5, length - 1);
+  pos_ += 4u + length;
+  return true;
+}
+
+std::string EncodeResult(const WireResult& result) {
+  std::string out;
+  PutU32(static_cast<uint32_t>(result.columns.size()), &out);
+  for (const std::string& column : result.columns) PutStr(column, &out);
+  PutU32(static_cast<uint32_t>(result.rows.size()), &out);
+  for (const std::string& row : result.rows) PutStr(row, &out);
+  PutU64(static_cast<uint64_t>(result.rows_produced), &out);
+  return out;
+}
+
+Result<WireResult> DecodeResult(const std::string& payload) {
+  Reader reader(payload);
+  WireResult result;
+  const uint32_t num_columns = reader.U32();
+  for (uint32_t i = 0; i < num_columns && reader.ok(); ++i) {
+    result.columns.push_back(reader.Str());
+  }
+  const uint32_t num_rows = reader.U32();
+  for (uint32_t i = 0; i < num_rows && reader.ok(); ++i) {
+    result.rows.push_back(reader.Str());
+  }
+  result.rows_produced = static_cast<int64_t>(reader.U64());
+  if (!reader.ok() || !reader.AtEnd()) {
+    return Status::InvalidArgument("wire: malformed result payload");
+  }
+  return result;
+}
+
+std::string EncodeError(const Status& status) {
+  std::string out;
+  out.push_back(static_cast<char>(status.code()));
+  out.append(status.message());
+  return out;
+}
+
+Status DecodeError(const std::string& payload) {
+  if (payload.empty()) {
+    return Status::Internal("wire: empty error payload");
+  }
+  const auto code = static_cast<StatusCode>(
+      static_cast<unsigned char>(payload[0]));
+  switch (code) {
+    case StatusCode::kOk:
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kNotFound:
+    case StatusCode::kRuntimeError:
+    case StatusCode::kCardinalityViolation:
+    case StatusCode::kUnsupported:
+    case StatusCode::kInternal:
+    case StatusCode::kCancelled:
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kUnavailable:
+      return Status(code, payload.substr(1));
+  }
+  return Status::Internal("wire: unknown error code in payload: " +
+                          payload.substr(1));
+}
+
+}  // namespace orq

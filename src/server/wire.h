@@ -1,0 +1,91 @@
+#ifndef ORQ_SERVER_WIRE_H_
+#define ORQ_SERVER_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace orq {
+
+/// The orq wire protocol: length-prefixed frames over a byte stream.
+///
+///   frame := u32 length (little-endian)   -- bytes that follow, >= 1
+///            u8  type                     -- FrameType
+///            payload (length - 1 bytes)
+///
+/// The codec below is pure (bytes in, frames out) so the hostile-input
+/// tests need no sockets; src/server/net.cc moves the bytes. Payload
+/// encodings use the same little-endian primitives: strings are u32
+/// length + bytes, integers are fixed-width little-endian.
+inline constexpr uint32_t kWireMaxFrameBytes = 16u << 20;  // 16 MiB
+
+enum class FrameType : uint8_t {
+  // Client -> server.
+  kQuery = 'Q',  // payload: SQL text
+  kSet = 'S',    // payload: "name value" session option
+  kAdmin = 'A',  // payload: admin command ("metrics", "ping")
+  kPing = 'p',   // payload empty
+  // Server -> client.
+  kResult = 'R',  // payload: EncodeResult
+  kError = 'E',   // payload: EncodeError
+  kInfo = 'I',    // payload: human-readable text (SET ack, \metrics body)
+  kPong = 'P',    // payload empty
+};
+
+bool IsValidFrameType(uint8_t type);
+
+struct Frame {
+  FrameType type = FrameType::kPing;
+  std::string payload;
+};
+
+/// Serializes one frame onto `out` (appends; callers batch frames freely).
+void AppendFrame(FrameType type, const std::string& payload,
+                 std::string* out);
+
+/// Incremental frame parser. Feed arbitrary byte chunks; Next pops one
+/// complete frame at a time. A malformed stream (oversized declared
+/// length, zero-length frame, unknown type byte) is a protocol error: Next
+/// returns InvalidArgument and the connection should be dropped — framing
+/// can not be resynchronized once the length prefix is untrusted.
+class FrameDecoder {
+ public:
+  void Feed(const char* data, size_t size) { buffer_.append(data, size); }
+  void Feed(const std::string& bytes) { buffer_.append(bytes); }
+
+  /// True with `out` filled when a complete frame was buffered; false when
+  /// more bytes are needed; InvalidArgument on a malformed stream.
+  Result<bool> Next(Frame* out);
+
+  /// Bytes buffered but not yet consumed (truncated-frame tests).
+  size_t pending_bytes() const { return buffer_.size() - pos_; }
+
+ private:
+  std::string buffer_;
+  size_t pos_ = 0;
+};
+
+/// A query result as it crosses the wire. Rows travel in the canonical
+/// text form (difftest's CanonicalRow): "|"-separated values, NULL as
+/// U+2205 — one stable rendering shared with the differential oracle, so
+/// "server result == serial Execute result" is a byte comparison.
+struct WireResult {
+  std::vector<std::string> columns;
+  std::vector<std::string> rows;
+  int64_t rows_produced = 0;
+};
+
+std::string EncodeResult(const WireResult& result);
+Result<WireResult> DecodeResult(const std::string& payload);
+
+/// Error frames carry the StatusCode (as u8) plus the message, so clients
+/// can distinguish a timeout from a syntax error without parsing text.
+std::string EncodeError(const Status& status);
+Status DecodeError(const std::string& payload);
+
+}  // namespace orq
+
+#endif  // ORQ_SERVER_WIRE_H_

@@ -1,0 +1,200 @@
+// Cooperative cancellation and deadline tests: CancelToken semantics, the
+// engine unwinding cleanly from cancel/deadline at Open and mid-execution
+// (spools and hash arenas must be released — the ASan suite runs this
+// file too), and engine reusability after a cancelled query.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "difftest/dataset.h"
+#include "engine/engine.h"
+#include "exec/cancel.h"
+#include "obs/stats.h"
+
+namespace orq {
+namespace {
+
+Catalog* SharedCatalog() {
+  static Catalog* catalog = [] {
+    auto* c = new Catalog();
+    Status s = BuildDifftestCatalog(c, 20260806);
+    if (!s.ok()) ADD_FAILURE() << s.ToString();
+    return c;
+  }();
+  return catalog;
+}
+
+// A query whose full evaluation is far beyond any test budget: the
+// five-way cross join is ~2x10^9 rows, and the cross-table expression
+// keeps the local-aggregate rewrite from collapsing it into per-table
+// counts (a bare COUNT(*) over a cross join is computed in microseconds
+// as a product of counts). Returning quickly proves the cancellation
+// actually interrupted execution.
+const char kHugeCrossJoin[] =
+    "SELECT MAX(l1.l_quantity + l2.l_quantity + l3.l_quantity + "
+    "l4.l_quantity + l5.l_quantity) FROM lineitem l1, lineitem l2, "
+    "lineitem l3, lineitem l4, lineitem l5";
+
+// Moderately expensive query exercising hash join, hash aggregation, sort
+// and a correlated subquery — the operators that hold arenas and spools a
+// cancelled query must release.
+const char kStatefulQuery[] =
+    "SELECT c.c_nationkey, COUNT(*) "
+    "FROM customer c, orders o, lineitem l "
+    "WHERE c.c_custkey = o.o_custkey AND o.o_orderkey = l.l_orderkey "
+    "AND (SELECT COUNT(*) FROM lineitem l2 "
+    "     WHERE l2.l_orderkey = o.o_orderkey) >= 0 "
+    "GROUP BY c.c_nationkey ORDER BY c.c_nationkey";
+
+TEST(CancelTokenTest, StartsClear) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancel_requested());
+  EXPECT_TRUE(token.Check().ok());
+}
+
+TEST(CancelTokenTest, RequestCancelFires) {
+  CancelToken token;
+  token.RequestCancel();
+  EXPECT_TRUE(token.cancel_requested());
+  EXPECT_EQ(token.Check().code(), StatusCode::kCancelled);
+}
+
+TEST(CancelTokenTest, PastDeadlineFires) {
+  CancelToken token;
+  token.SetDeadlineNanos(ObsNowNanos() - 1);
+  EXPECT_EQ(token.Check().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(CancelTokenTest, FutureDeadlinePasses) {
+  CancelToken token;
+  token.SetTimeoutMs(60000);
+  EXPECT_TRUE(token.Check().ok());
+}
+
+TEST(CancelTokenTest, DeadlineLatches) {
+  // Once the deadline fired, re-arming a later deadline must not un-fire
+  // it: an unwinding query keeps seeing the same DeadlineExceeded.
+  CancelToken token;
+  token.SetDeadlineNanos(ObsNowNanos() - 1);
+  EXPECT_EQ(token.Check().code(), StatusCode::kDeadlineExceeded);
+  token.SetTimeoutMs(60000);
+  EXPECT_EQ(token.Check().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(CancelTokenTest, DisarmedDeadlineNeverFires) {
+  CancelToken token;
+  token.SetTimeoutMs(0);
+  EXPECT_TRUE(token.Check().ok());
+}
+
+TEST(CancelTokenTest, CancelWinsOverDeadline) {
+  CancelToken token;
+  token.SetTimeoutMs(60000);
+  token.RequestCancel();
+  EXPECT_EQ(token.Check().code(), StatusCode::kCancelled);
+}
+
+TEST(EngineCancelTest, PreCancelledQueryNeverExecutes) {
+  QueryEngine engine(SharedCatalog());
+  CancelToken token;
+  token.RequestCancel();
+  ExecControl control;
+  control.cancel = &token;
+  Result<QueryResult> result = engine.Execute(kHugeCrossJoin, control);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+}
+
+TEST(EngineCancelTest, DeadlineInterruptsExecution) {
+  QueryEngine engine(SharedCatalog());
+  CancelToken token;
+  token.SetTimeoutMs(50);
+  ExecControl control;
+  control.cancel = &token;
+  const int64_t start = ObsNowNanos();
+  Result<QueryResult> result = engine.Execute(kHugeCrossJoin, control);
+  const double elapsed_ms = (ObsNowNanos() - start) / 1e6;
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  // Polling granularity is a batch / 64 rows, so the overshoot budget is
+  // generous but bounded; a full run would take minutes.
+  EXPECT_LT(elapsed_ms, 10000.0);
+}
+
+TEST(EngineCancelTest, ConcurrentCancelInterruptsExecution) {
+  QueryEngine engine(SharedCatalog());
+  CancelToken token;
+  ExecControl control;
+  control.cancel = &token;
+  std::thread canceller([&token] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    token.RequestCancel();
+  });
+  Result<QueryResult> result = engine.Execute(kHugeCrossJoin, control);
+  canceller.join();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+}
+
+TEST(EngineCancelTest, CancelledStatefulQueryReleasesEverything) {
+  // Cancels a query holding hash-join arenas, aggregation state, sort
+  // buffers and a correlated spool. The assertion here is indirect: the
+  // ASan job fails on any leak, and the engine must stay usable.
+  QueryEngine engine(SharedCatalog());
+  for (int64_t timeout_ms : {1, 2, 5}) {
+    CancelToken token;
+    token.SetTimeoutMs(timeout_ms);
+    ExecControl control;
+    control.cancel = &token;
+    Result<QueryResult> result = engine.Execute(kStatefulQuery, control);
+    if (result.ok()) continue;  // fast machine finished inside the budget
+    EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  }
+  // The same engine runs the same query to completion afterwards.
+  Result<QueryResult> clean = engine.Execute(kStatefulQuery);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  EXPECT_GT(clean->rows.size(), 0u);
+}
+
+TEST(EngineCancelTest, DeadlineInterruptsParallelExecution) {
+  // The token must reach exchange worker contexts, not only the
+  // connection-facing root pipeline.
+  EngineOptions options = EngineOptions::Full();
+  options.exec.num_threads = 4;
+  options.exec.morsel_rows = 8;
+  QueryEngine engine(SharedCatalog(), options);
+  CancelToken token;
+  token.SetTimeoutMs(50);
+  ExecControl control;
+  control.cancel = &token;
+  Result<QueryResult> result = engine.Execute(kHugeCrossJoin, control);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(EngineCancelTest, RowModeHonorsDeadline) {
+  EngineOptions options = EngineOptions::Full();
+  options.exec.batched = false;
+  QueryEngine engine(SharedCatalog(), options);
+  CancelToken token;
+  token.SetTimeoutMs(50);
+  ExecControl control;
+  control.cancel = &token;
+  Result<QueryResult> result = engine.Execute(kHugeCrossJoin, control);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(EngineCancelTest, UncontrolledExecuteStillWorks) {
+  QueryEngine engine(SharedCatalog());
+  Result<QueryResult> result =
+      engine.Execute("SELECT COUNT(*) FROM nation");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->rows.size(), 1u);
+}
+
+}  // namespace
+}  // namespace orq

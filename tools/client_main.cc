@@ -1,0 +1,190 @@
+// Interactive / scripting client for orq_serve.
+//
+// Usage:
+//   orq_client --port N [--host H] [commands...]
+//
+// Commands are executed in argv order:
+//   --sql "SELECT ..."     run a query, print header + rows to stdout
+//   --set "name value"     session SET (threads, batch, batch_size,
+//                          morsel_rows, timeout_ms)
+//   --admin CMD            admin command ("metrics", "ping")
+//   --ping                 liveness round-trip
+//
+// With no commands, reads a mini-REPL from stdin: each line is a query;
+// \set name value, \metrics, \ping, \q are meta commands (mirroring the
+// frame types of the wire protocol).
+//
+// Exit code 0 when every command succeeded, 1 on the first failure.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "server/client.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: orq_client --port N [--host H] [--sql SQL] "
+               "[--set \"name value\"] [--admin CMD] [--ping]\n");
+  return 2;
+}
+
+void PrintResult(const orq::WireResult& result) {
+  std::string header;
+  for (size_t i = 0; i < result.columns.size(); ++i) {
+    if (i > 0) header += "|";
+    header += result.columns[i];
+  }
+  std::printf("%s\n", header.c_str());
+  for (const std::string& row : result.rows) {
+    std::printf("%s\n", row.c_str());
+  }
+  std::printf("(%zu row(s), %lld produced)\n", result.rows.size(),
+              static_cast<long long>(result.rows_produced));
+}
+
+bool RunQuery(orq::Client* client, const std::string& sql) {
+  orq::Result<orq::WireResult> result = client->Query(sql);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    return false;
+  }
+  PrintResult(result.value());
+  return true;
+}
+
+bool RunSet(orq::Client* client, const std::string& spec) {
+  const size_t space = spec.find_first_of(" =");
+  if (space == std::string::npos) {
+    std::fprintf(stderr, "error: --set expects \"name value\"\n");
+    return false;
+  }
+  orq::Status status =
+      client->Set(spec.substr(0, space), spec.substr(space + 1));
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return false;
+  }
+  std::printf("SET ok\n");
+  return true;
+}
+
+bool RunAdmin(orq::Client* client, const std::string& command) {
+  orq::Result<std::string> reply = client->Admin(command);
+  if (!reply.ok()) {
+    std::fprintf(stderr, "error: %s\n", reply.status().ToString().c_str());
+    return false;
+  }
+  std::printf("%s", reply.value().c_str());
+  if (!reply.value().empty() && reply.value().back() != '\n') {
+    std::printf("\n");
+  }
+  return true;
+}
+
+bool RunPing(orq::Client* client) {
+  orq::Status status = client->Ping();
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return false;
+  }
+  std::printf("pong\n");
+  return true;
+}
+
+int RunRepl(orq::Client* client) {
+  std::string line;
+  char buf[4096];
+  while (std::fgets(buf, sizeof buf, stdin) != nullptr) {
+    line = buf;
+    while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+      line.pop_back();
+    }
+    if (line.empty()) continue;
+    if (line == "\\q" || line == "\\quit") break;
+    if (line == "\\metrics") {
+      if (!RunAdmin(client, "metrics")) return 1;
+    } else if (line == "\\ping") {
+      if (!RunPing(client)) return 1;
+    } else if (line.rfind("\\set ", 0) == 0) {
+      if (!RunSet(client, line.substr(5))) return 1;
+    } else if (line[0] == '\\') {
+      std::fprintf(stderr,
+                   "unknown command %s (known: \\set, \\metrics, \\ping, "
+                   "\\q)\n",
+                   line.c_str());
+    } else {
+      // Query failures keep the REPL alive; only transport errors exit.
+      RunQuery(client, line);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  struct Command {
+    char kind;  // 'q' sql, 's' set, 'a' admin, 'p' ping
+    std::string arg;
+  };
+  std::vector<Command> commands;
+
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--host") == 0) {
+      host = next("--host");
+    } else if (std::strcmp(argv[i], "--port") == 0) {
+      port = std::atoi(next("--port"));
+    } else if (std::strcmp(argv[i], "--sql") == 0) {
+      commands.push_back({'q', next("--sql")});
+    } else if (std::strcmp(argv[i], "--set") == 0) {
+      commands.push_back({'s', next("--set")});
+    } else if (std::strcmp(argv[i], "--admin") == 0) {
+      commands.push_back({'a', next("--admin")});
+    } else if (std::strcmp(argv[i], "--ping") == 0) {
+      commands.push_back({'p', ""});
+    } else {
+      std::fprintf(stderr, "unknown argument %s\n", argv[i]);
+      return Usage();
+    }
+  }
+  if (port <= 0) {
+    std::fprintf(stderr, "--port is required\n");
+    return Usage();
+  }
+
+  orq::Result<orq::Client> connected = orq::Client::Connect(host, port);
+  if (!connected.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n",
+                 connected.status().ToString().c_str());
+    return 1;
+  }
+  orq::Client client = std::move(connected.value());
+
+  if (commands.empty()) return RunRepl(&client);
+
+  for (const Command& command : commands) {
+    bool ok = false;
+    switch (command.kind) {
+      case 'q': ok = RunQuery(&client, command.arg); break;
+      case 's': ok = RunSet(&client, command.arg); break;
+      case 'a': ok = RunAdmin(&client, command.arg); break;
+      case 'p': ok = RunPing(&client); break;
+    }
+    if (!ok) return 1;
+  }
+  return 0;
+}

@@ -5,6 +5,11 @@
 // Usage: difftest [--seed N] [--queries N] [--max-failures N] [--verbose]
 //                 [--reference-exec row|batch|parallel]
 //                 [--test-exec row|batch|parallel] [--threads N]
+//                 [--timeout-ms N]
+//
+// --timeout-ms arms a per-query deadline on each oracle side (useful when
+// hunting for pathological plans without letting the naive reference run
+// unbounded). One-sided timeouts are tolerated, never divergences.
 //
 // The exec flags pick the engine per side: "batch" (default) drains
 // through NextBatch, "row" forces the classic one-row Volcano adapter,
@@ -42,6 +47,12 @@ int main(int argc, char** argv) {
       options.max_failures = static_cast<int>(next_int("--max-failures"));
     } else if (std::strcmp(argv[i], "--verbose") == 0) {
       options.verbose = true;
+    } else if (std::strcmp(argv[i], "--timeout-ms") == 0) {
+      options.timeout_ms = static_cast<int64_t>(next_int("--timeout-ms"));
+      if (options.timeout_ms < 0) {
+        std::fprintf(stderr, "--timeout-ms expects a non-negative value\n");
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--threads") == 0) {
       threads = static_cast<int>(next_int("--threads"));
       if (threads < 1) {
@@ -82,7 +93,8 @@ int main(int argc, char** argv) {
                    "unknown argument %s\nusage: difftest [--seed N] "
                    "[--queries N] [--max-failures N] [--verbose] "
                    "[--reference-exec row|batch|parallel] "
-                   "[--test-exec row|batch|parallel] [--threads N]\n",
+                   "[--test-exec row|batch|parallel] [--threads N] "
+                   "[--timeout-ms N]\n",
                    argv[i]);
       return 2;
     }
