@@ -99,6 +99,23 @@ build/tools/json_check build/BENCH_serve.json
 build/tools/bench_compare bench/baselines/BENCH_serve.json \
   build/BENCH_serve.json
 
+echo "=== Plan-cache load smoke + cache bench gate ==="
+# Repeated-stream workload (each session cycles 5 distinct queries) with
+# the server-side plan cache on: steady state must serve at least 90% of
+# executions from cache, or the run fails. Row counts gate through
+# bench_compare like every other BENCH_*.json, so a cache that changes
+# results (not just speed) also fails here.
+build/tools/orq_loadgen --sessions 4 --queries 60 --seed 20260806 \
+  --plan-cache --distinct 5 --min-hit-rate 90 \
+  --json build/BENCH_cache.json >/dev/null
+build/tools/json_check build/BENCH_cache.json
+build/tools/bench_compare bench/baselines/BENCH_cache.json \
+  build/BENCH_cache.json
+# Prepared-statement fast path: PREPARE warms the cache, so every EXECUTE
+# must hit it.
+build/tools/orq_loadgen --sessions 4 --queries 50 --seed 20260806 \
+  --prepared --min-hit-rate 99 >/dev/null
+
 echo "=== ASan+UBSan build + tests ==="
 cmake --preset asan >/dev/null
 cmake --build --preset asan -j "${JOBS}"

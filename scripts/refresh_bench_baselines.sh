@@ -48,4 +48,13 @@ build/tools/orq_loadgen --sessions 4 --queries 25 --seed 20260806 \
   --json bench/baselines/BENCH_serve.json >/dev/null
 build/tools/json_check bench/baselines/BENCH_serve.json
 
+# Plan-cache baseline: the repeated-stream workload the CI cache gate
+# runs, with the same distinct-query cycle. Row counts are exact; the
+# wall number documents steady-state cached throughput.
+echo "=== orq_loadgen --plan-cache -> bench/baselines/BENCH_cache.json ==="
+build/tools/orq_loadgen --sessions 4 --queries 60 --seed 20260806 \
+  --plan-cache --distinct 5 --min-hit-rate 90 \
+  --json bench/baselines/BENCH_cache.json >/dev/null
+build/tools/json_check bench/baselines/BENCH_cache.json
+
 echo "baselines refreshed; review and commit bench/baselines/"

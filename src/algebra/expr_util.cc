@@ -133,6 +133,7 @@ bool ScalarEquals(const ScalarExprPtr& a, const ScalarExprPtr& b) {
   }
   switch (a->kind) {
     case ScalarKind::kColumnRef:
+    case ScalarKind::kParam:
       if (a->column != b->column) return false;
       break;
     case ScalarKind::kLiteral:
@@ -169,6 +170,9 @@ size_t ScalarHash(const ScalarExprPtr& expr) {
   switch (expr->kind) {
     case ScalarKind::kColumnRef:
       h ^= std::hash<int64_t>()(expr->column);
+      break;
+    case ScalarKind::kParam:
+      h ^= std::hash<int64_t>()(expr->column) * 0x9e3779b97f4a7c15ull;
       break;
     case ScalarKind::kLiteral:
       h ^= expr->literal.Hash();
@@ -305,6 +309,8 @@ std::string ScalarToString(const ScalarExprPtr& expr,
         return "'" + expr->literal.ToString() + "'";
       }
       return expr->literal.ToString();
+    case ScalarKind::kParam:
+      return "$" + std::to_string(expr->column);
     case ScalarKind::kAnd: {
       std::string out = "(";
       for (size_t i = 0; i < expr->children.size(); ++i) {

@@ -108,6 +108,13 @@ ScalarExprPtr LitString(std::string s) {
 }
 ScalarExprPtr LitBool(bool b) { return Lit(Value::Bool(b)); }
 ScalarExprPtr LitNull(DataType type) { return Lit(Value::Null(type)); }
+
+ScalarExprPtr MakeParam(int ordinal, DataType type) {
+  auto node = NewNode(ScalarKind::kParam, {}, type);
+  node->column = ordinal;
+  return node;
+}
+
 ScalarExprPtr TrueLiteral() { return LitBool(true); }
 
 ScalarExprPtr MakeCompare(CompareOp op, ScalarExprPtr l, ScalarExprPtr r) {

@@ -31,6 +31,7 @@ enum class ScalarKind {
   kLike,         // children: value, pattern
   kCase,         // children: when1, then1, ..., [else]
   kInList,       // children: probe, v1, v2, ...
+  kParam,        // positional parameter; `column` holds the ordinal
   // --- subquery-bearing kinds (removed by Apply introduction) ---
   kScalarSubquery,     // rel: subquery producing one column
   kExistsSubquery,     // rel; payload `negated` for NOT EXISTS
@@ -56,7 +57,7 @@ struct ScalarExpr {
   ScalarKind kind;
   std::vector<ScalarExprPtr> children;
 
-  ColumnId column = -1;                  // kColumnRef
+  ColumnId column = -1;                  // kColumnRef; kParam ordinal
   Value literal;                         // kLiteral
   CompareOp cmp = CompareOp::kEq;        // kCompare / kQuantifiedCompare
   ArithOp arith = ArithOp::kAdd;         // kArith
@@ -79,6 +80,10 @@ ScalarExprPtr LitDouble(double v);
 ScalarExprPtr LitString(std::string s);
 ScalarExprPtr LitBool(bool b);
 ScalarExprPtr LitNull(DataType type);
+/// Positional parameter placeholder ($ordinal). Opaque to normalization and
+/// optimization; SubstituteParams (engine/plan_cache.h) replaces it with a
+/// literal before physical build, so execution never sees one.
+ScalarExprPtr MakeParam(int ordinal, DataType type);
 
 ScalarExprPtr MakeCompare(CompareOp op, ScalarExprPtr l, ScalarExprPtr r);
 ScalarExprPtr Eq(ScalarExprPtr l, ScalarExprPtr r);

@@ -4,6 +4,22 @@
 
 namespace orq {
 
+namespace {
+
+// Process-wide version source: see Catalog::version().
+int64_t NextCatalogVersion() {
+  static std::atomic<int64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace
+
+Catalog::Catalog() : version_(NextCatalogVersion()) {}
+
+void Catalog::BumpVersion() {
+  version_.store(NextCatalogVersion(), std::memory_order_relaxed);
+}
+
 Result<Table*> Catalog::CreateTable(const std::string& name,
                                     std::vector<ColumnSpec> columns) {
   std::string key = ToLower(name);
@@ -13,6 +29,7 @@ Result<Table*> Catalog::CreateTable(const std::string& name,
   auto table = std::make_unique<Table>(name, std::move(columns));
   Table* ptr = table.get();
   tables_[key] = std::move(table);
+  BumpVersion();
   return ptr;
 }
 
@@ -33,8 +50,13 @@ const TableStats& Catalog::GetStats(const Table& table) {
 }
 
 void Catalog::InvalidateStats() {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  stats_.clear();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.clear();
+  }
+  // Fresh stats can change optimizer choices, so cached plans compiled
+  // against the old statistics must not be reused.
+  BumpVersion();
 }
 
 std::vector<std::string> Catalog::TableNames() const {

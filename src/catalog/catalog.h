@@ -1,6 +1,8 @@
 #ifndef ORQ_CATALOG_CATALOG_H_
 #define ORQ_CATALOG_CATALOG_H_
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -16,7 +18,7 @@ namespace orq {
 /// The database catalog: named tables plus cached statistics.
 class Catalog {
  public:
-  Catalog() = default;
+  Catalog();
   Catalog(const Catalog&) = delete;
   Catalog& operator=(const Catalog&) = delete;
 
@@ -36,10 +38,21 @@ class Catalog {
 
   std::vector<std::string> TableNames() const;
 
+  /// Monotonic schema/stats version for plan-cache invalidation. Values are
+  /// drawn from one process-wide counter, so no two Catalog instances (or
+  /// the same instance before/after a bump) ever share a version — a cache
+  /// keyed on it cannot confuse snapshots. Bumped by CreateTable,
+  /// InvalidateStats, and QueryServer::ReplaceCatalog.
+  int64_t version() const {
+    return version_.load(std::memory_order_relaxed);
+  }
+  void BumpVersion();
+
  private:
   std::map<std::string, std::unique_ptr<Table>> tables_;  // lower-case keys
   std::mutex stats_mu_;  // guards stats_ (concurrent queries share a catalog)
   std::map<const Table*, TableStats> stats_;
+  std::atomic<int64_t> version_;
 };
 
 }  // namespace orq

@@ -1,6 +1,7 @@
 #include "difftest/harness.h"
 
 #include <cstdio>
+#include <memory>
 
 #include "difftest/dataset.h"
 #include "difftest/minimize.h"
@@ -48,6 +49,69 @@ void CheckStatsInvariant(QueryEngine& engine, const char* side,
   }
 }
 
+/// Runs `sql` twice through one plan-cache-enabled engine: the first run
+/// compiles the parameterized template cold, the second must serve it from
+/// the cache. Both runs substitute the same literal values into the same
+/// template, so any result difference is a caching bug, not noise — the
+/// comparison is byte-level and order-sensitive (the engine is serial).
+void CheckPlanCache(QueryEngine& engine, const std::string& sql,
+                    int query_index, HarnessReport* report) {
+  constexpr int kMaxDivergences = 8;
+  if (static_cast<int>(report->plan_cache_divergences.size()) >=
+      kMaxDivergences) {
+    return;
+  }
+  Result<QueryResult> cold = engine.Execute(sql);
+  Result<AnalyzedQuery> hot = engine.ExecuteAnalyzed(sql);
+  ++report->plan_cache_checked;
+  const std::string tag = "query #" + std::to_string(query_index);
+  if (!cold.ok() || !hot.ok()) {
+    if (cold.ok() != hot.ok()) {
+      report->plan_cache_divergences.push_back(
+          tag + ": cold/hot error mismatch: cold=" +
+          (cold.ok() ? std::string("ok") : cold.status().ToString()) +
+          " hot=" +
+          (hot.ok() ? std::string("ok") : hot.status().ToString()) +
+          "  sql: " + sql);
+    }
+    return;
+  }
+  if (hot->profile.cache != CacheOutcome::kHit) {
+    report->plan_cache_divergences.push_back(
+        tag + ": second execution was not a cache hit  sql: " + sql);
+    return;
+  }
+  const QueryResult& a = cold.value();
+  const QueryResult& b = hot->result;
+  if (a.column_names != b.column_names) {
+    report->plan_cache_divergences.push_back(
+        tag + ": cached column names differ  sql: " + sql);
+    return;
+  }
+  if (a.rows.size() != b.rows.size()) {
+    report->plan_cache_divergences.push_back(
+        tag + ": cold returned " + std::to_string(a.rows.size()) +
+        " rows, cached " + std::to_string(b.rows.size()) + "  sql: " + sql);
+    return;
+  }
+  for (size_t r = 0; r < a.rows.size(); ++r) {
+    if (CanonicalRow(a.rows[r]) != CanonicalRow(b.rows[r])) {
+      report->plan_cache_divergences.push_back(
+          tag + ": row " + std::to_string(r) + " differs: cold=" +
+          CanonicalRow(a.rows[r]) + " cached=" + CanonicalRow(b.rows[r]) +
+          "  sql: " + sql);
+      return;
+    }
+  }
+  const int64_t stats_rows = TotalRowsOut(hot->plan);
+  if (stats_rows != b.rows_produced) {
+    report->plan_cache_divergences.push_back(
+        tag + ": hot-path stats TotalRowsOut=" + std::to_string(stats_rows) +
+        " != rows_produced=" + std::to_string(b.rows_produced) +
+        "  sql: " + sql);
+  }
+}
+
 }  // namespace
 
 std::string HarnessReport::Summary() const {
@@ -61,9 +125,16 @@ std::string HarnessReport::Summary() const {
                     " divergences=" + std::to_string(failures.size()) +
                     " stats-checked=" + std::to_string(stats_checked) +
                     " stats-violations=" +
-                    std::to_string(stats_violations.size()) + "\n";
+                    std::to_string(stats_violations.size()) +
+                    " plan-cache-checked=" +
+                    std::to_string(plan_cache_checked) +
+                    " plan-cache-divergences=" +
+                    std::to_string(plan_cache_divergences.size()) + "\n";
   for (const std::string& violation : stats_violations) {
     out += "  STATS " + violation + "\n";
+  }
+  for (const std::string& divergence : plan_cache_divergences) {
+    out += "  PLAN-CACHE " + divergence + "\n";
   }
   for (const Failure& f : failures) {
     out += "\n=== divergence at query #" + std::to_string(f.query_index) +
@@ -93,6 +164,16 @@ Result<HarnessReport> RunDifftest(const HarnessOptions& options) {
   oracle.set_timeout_ms(options.timeout_ms);
   QueryGenerator generator(options.seed);
 
+  // Cached-vs-cold oracle side: serial (deterministic row order, so the
+  // comparison can be order-sensitive) and full-rewrite, with the cache on.
+  std::unique_ptr<QueryEngine> cache_engine;
+  if (options.plan_cache_check) {
+    EngineOptions cache_options = EngineOptions::Full();
+    cache_options.exec.batched = options.test_batched;
+    cache_options.plan_cache.enable = true;
+    cache_engine = std::make_unique<QueryEngine>(&catalog, cache_options);
+  }
+
   HarnessReport report;
   report.seed = options.seed;
   for (int i = 0; i < options.num_queries; ++i) {
@@ -108,6 +189,9 @@ Result<HarnessReport> RunDifftest(const HarnessOptions& options) {
         !IsDivergence(outcome.verdict)) {
       CheckStatsInvariant(oracle.naive_engine(), "naive", sql, i, &report);
       CheckStatsInvariant(oracle.full_engine(), "full", sql, i, &report);
+    }
+    if (cache_engine && !IsDivergence(outcome.verdict)) {
+      CheckPlanCache(*cache_engine, sql, i, &report);
     }
     switch (outcome.verdict) {
       case Verdict::kMatch:

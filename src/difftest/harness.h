@@ -43,6 +43,11 @@ struct HarnessOptions {
   /// 0 disables; kept sparse because instrumented re-runs triple the cost
   /// of the checked queries.
   int stats_check_every = 7;
+  /// Cached-vs-cold oracle: run every generated query twice through one
+  /// plan-cache-enabled engine (first execution compiles and caches, the
+  /// second must hit) and assert byte-identical results, a kHit profile
+  /// outcome, and TotalRowsOut == rows_produced on the hot path.
+  bool plan_cache_check = false;
 };
 
 struct HarnessReport {
@@ -66,8 +71,14 @@ struct HarnessReport {
   /// Stats-invariant checks run / violations found (see stats_check_every).
   int stats_checked = 0;
   std::vector<std::string> stats_violations;
+  /// Cached-vs-cold checks run / divergences found (see plan_cache_check).
+  int plan_cache_checked = 0;
+  std::vector<std::string> plan_cache_divergences;
 
-  bool ok() const { return failures.empty() && stats_violations.empty(); }
+  bool ok() const {
+    return failures.empty() && stats_violations.empty() &&
+           plan_cache_divergences.empty();
+  }
   /// One-paragraph tally plus, for every failure, the minimized reproducer
   /// and both plans — ready to paste into a bug report.
   std::string Summary() const;

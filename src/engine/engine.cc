@@ -112,9 +112,8 @@ EngineOptions EngineOptions::NoSegmentApply() {
   return options;
 }
 
-Result<QueryEngine::Compiled> QueryEngine::CompileWith(
-    const std::string& sql, const EngineOptions& options,
-    QueryProfile* profile, const CancelToken* cancel) {
+Result<QueryEngine::Compiled> QueryEngine::ParseAndBind(
+    const std::string& sql, QueryProfile* profile) {
   Compiled compiled;
   compiled.columns = std::make_shared<ColumnManager>();
 
@@ -130,7 +129,14 @@ Result<QueryEngine::Compiled> QueryEngine::CompileWith(
     compiled.bound = bound.root;
     compiled.output_cols = bound.output_cols;
     compiled.output_names = bound.output_names;
+    compiled.param_types = bound.param_types;
   }
+  return compiled;
+}
+
+Result<QueryEngine::Compiled> QueryEngine::FinishCompile(
+    Compiled compiled, const EngineOptions& options, QueryProfile* profile,
+    const CancelToken* cancel) {
   {
     PhaseTimer timer(profile, QueryPhase::kApplyIntro);
     ORQ_ASSIGN_OR_RETURN(
@@ -159,8 +165,236 @@ Result<QueryEngine::Compiled> QueryEngine::CompileWith(
   return compiled;
 }
 
+Result<QueryEngine::Compiled> QueryEngine::CompileWith(
+    const std::string& sql, const EngineOptions& options,
+    QueryProfile* profile, const CancelToken* cancel) {
+  ORQ_ASSIGN_OR_RETURN(Compiled compiled, ParseAndBind(sql, profile));
+  return FinishCompile(std::move(compiled), options, profile, cancel);
+}
+
 Result<QueryEngine::Compiled> QueryEngine::Compile(const std::string& sql) {
   return CompileWith(sql, options());
+}
+
+namespace {
+
+/// The plan-relevant slice of the engine configuration, serialized into
+/// the cache key. Only normalizer/optimizer flags shape the cached
+/// optimized tree; physical/exec options are applied per execution, and
+/// trace sinks do not alter rewrites.
+std::string PlanOptionsKey(const EngineOptions& options) {
+  const NormalizerOptions& n = options.normalizer;
+  const OptimizerOptions& o = options.optimizer;
+  const bool flags[] = {
+      n.remove_correlations, n.decorrelate_class2, n.simplify_outerjoins,
+      n.pushdown_predicates, o.enable, o.reorder_groupby,
+      o.reorder_groupby_outerjoin, o.local_aggregates, o.segment_apply,
+      o.correlated_reintroduction, o.join_commute,
+  };
+  std::string key;
+  key.reserve(sizeof(flags) + 4);
+  for (bool flag : flags) key.push_back(flag ? '1' : '0');
+  key += std::to_string(o.max_depth);
+  return key;
+}
+
+/// Two trees that differ only in aliases (`... AS x` vs `... AS y`) are
+/// structurally identical, so the output signature must be part of the
+/// fingerprint or a hot query would inherit the cold spelling's names.
+void AppendOutputSignature(const std::vector<ColumnId>& output_cols,
+                           const std::vector<std::string>& output_names,
+                           std::string* canonical) {
+  canonical->push_back('|');
+  for (ColumnId id : output_cols) {
+    *canonical += std::to_string(id);
+    canonical->push_back(',');
+  }
+  canonical->push_back('|');
+  for (const std::string& name : output_names) {
+    *canonical += std::to_string(name.size());
+    canonical->push_back(':');
+    *canonical += name;
+  }
+}
+
+Status MissingParamsError(size_t num_params) {
+  return Status::InvalidArgument(
+      "statement has " + std::to_string(num_params) +
+      " parameter(s); supply values via ExecuteParams / EXECUTE");
+}
+
+}  // namespace
+
+PlanCache* QueryEngine::EnsurePlanCache(const PlanCacheOptions& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (plan_cache_ == nullptr) {
+    plan_cache_ = std::make_unique<PlanCache>(options.capacity);
+  }
+  return plan_cache_.get();
+}
+
+int64_t QueryEngine::plan_cache_hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return plan_cache_ != nullptr ? plan_cache_->hits() : 0;
+}
+
+int64_t QueryEngine::plan_cache_misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return plan_cache_ != nullptr ? plan_cache_->misses() : 0;
+}
+
+int64_t QueryEngine::plan_cache_evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return plan_cache_ != nullptr ? plan_cache_->evictions() : 0;
+}
+
+Result<QueryEngine::PlannedQuery> QueryEngine::PlanWithCache(
+    const std::string& sql, const EngineOptions& options,
+    QueryProfile* profile, const CancelToken* cancel,
+    MetricsRegistry* metrics) {
+  PlanCache* cache = EnsurePlanCache(options.plan_cache);
+  const std::string options_key = PlanOptionsKey(options);
+  // Version is read once, before compilation: if the catalog moves while
+  // we compile, the entry is stored under the old version and the next
+  // lookup discards it instead of serving a possibly stale plan.
+  const int64_t catalog_version = catalog_->version();
+
+  PlannedQuery planned;
+  if (std::shared_ptr<const CachedPlan> plan = cache->LookupText(
+          sql, options_key, catalog_version, &planned.auto_values, metrics)) {
+    planned.plan = std::move(plan);
+    planned.from_cache = true;
+    cache->CountHit();
+    if (metrics != nullptr) metrics->Add(MetricCounter::kPlanCacheHits, 1);
+    return planned;
+  }
+
+  ORQ_ASSIGN_OR_RETURN(Compiled compiled, ParseAndBind(sql, profile));
+  const size_t num_explicit = compiled.param_types.size();
+  ParameterizedTree param =
+      ParameterizeLiterals(compiled.bound, static_cast<int>(num_explicit));
+  std::string canonical = CanonicalizeTree(*param.root);
+  AppendOutputSignature(compiled.output_cols, compiled.output_names,
+                        &canonical);
+  // The explicit-parameter count is part of the template's identity: an
+  // explicit `?` and an auto-parameterized literal serialize to the same
+  // kParam node, but only the former demands values from the caller.
+  canonical += "#" + std::to_string(num_explicit);
+
+  if (std::shared_ptr<const CachedPlan> plan = cache->LookupCanonical(
+          canonical, options_key, catalog_version, metrics)) {
+    // Same shape under a new spelling: register this text so the next
+    // occurrence takes the level-1 path.
+    cache->Insert(sql, options_key, plan, param.values, metrics);
+    planned.plan = std::move(plan);
+    planned.auto_values = std::move(param.values);
+    planned.from_cache = true;
+    cache->CountHit();
+    if (metrics != nullptr) metrics->Add(MetricCounter::kPlanCacheHits, 1);
+    return planned;
+  }
+
+  cache->CountMiss();
+  if (metrics != nullptr) metrics->Add(MetricCounter::kPlanCacheMisses, 1);
+
+  // Cold: compile the parameterized template. Both the cold and every
+  // future hot execution then run the identical template with identical
+  // substitution — result equivalence is structural, not incidental.
+  compiled.bound = param.root;
+  ORQ_ASSIGN_OR_RETURN(
+      compiled, FinishCompile(std::move(compiled), options, profile, cancel));
+
+  auto entry = std::make_shared<CachedPlan>();
+  entry->columns = compiled.columns;
+  entry->optimized = compiled.optimized;
+  entry->output_cols = compiled.output_cols;
+  entry->output_names = compiled.output_names;
+  entry->param_types = compiled.param_types;
+  entry->param_types.insert(entry->param_types.end(), param.types.begin(),
+                            param.types.end());
+  entry->num_explicit_params = num_explicit;
+  entry->canonical = std::move(canonical);
+  entry->catalog_version = catalog_version;
+  cache->Insert(sql, options_key, entry, param.values, metrics);
+
+  planned.plan = std::move(entry);
+  planned.auto_values = std::move(param.values);
+  planned.from_cache = false;
+  return planned;
+}
+
+Result<QueryEngine::Compiled> QueryEngine::MaterializePlan(
+    const PlannedQuery& planned,
+    const std::vector<Value>& explicit_values) const {
+  const CachedPlan& plan = *planned.plan;
+  if (explicit_values.size() != plan.num_explicit_params) {
+    return Status::InvalidArgument(
+        "statement expects " + std::to_string(plan.num_explicit_params) +
+        " parameter(s), got " + std::to_string(explicit_values.size()));
+  }
+  std::vector<Value> values;
+  values.reserve(explicit_values.size() + planned.auto_values.size());
+  values.insert(values.end(), explicit_values.begin(), explicit_values.end());
+  values.insert(values.end(), planned.auto_values.begin(),
+                planned.auto_values.end());
+  Compiled compiled;
+  compiled.columns = plan.columns;
+  ORQ_ASSIGN_OR_RETURN(
+      compiled.optimized,
+      SubstituteParams(plan.optimized, values, plan.param_types));
+  compiled.output_cols = plan.output_cols;
+  compiled.output_names = plan.output_names;
+  return compiled;
+}
+
+Result<QueryEngine::PreparedInfo> QueryEngine::Prepare(
+    const std::string& sql) {
+  const EngineOptions options = this->options();
+  PreparedInfo info;
+  if (options.plan_cache.enable) {
+    ORQ_ASSIGN_OR_RETURN(
+        PlannedQuery planned,
+        PlanWithCache(sql, options, nullptr, nullptr, nullptr));
+    const CachedPlan& plan = *planned.plan;
+    info.param_types.assign(
+        plan.param_types.begin(),
+        plan.param_types.begin() +
+            static_cast<long>(plan.num_explicit_params));
+    info.output_names = plan.output_names;
+    return info;
+  }
+  ORQ_ASSIGN_OR_RETURN(Compiled compiled, CompileWith(sql, options));
+  info.param_types = compiled.param_types;
+  info.output_names = compiled.output_names;
+  return info;
+}
+
+Result<QueryResult> QueryEngine::ExecuteParams(
+    const std::string& sql, const std::vector<Value>& params,
+    const ExecControl& control) {
+  const EngineOptions options = this->options();
+  if (options.plan_cache.enable) {
+    ORQ_ASSIGN_OR_RETURN(
+        PlannedQuery planned,
+        PlanWithCache(sql, options, nullptr, control.cancel,
+                      control.metrics));
+    ORQ_ASSIGN_OR_RETURN(Compiled compiled,
+                         MaterializePlan(planned, params));
+    return ExecuteCompiledWith(compiled, options, control);
+  }
+  ORQ_ASSIGN_OR_RETURN(Compiled compiled,
+                       CompileWith(sql, options, nullptr, control.cancel));
+  if (params.size() != compiled.param_types.size()) {
+    return Status::InvalidArgument(
+        "statement expects " + std::to_string(compiled.param_types.size()) +
+        " parameter(s), got " + std::to_string(params.size()));
+  }
+  if (!params.empty()) {
+    ORQ_ASSIGN_OR_RETURN(
+        compiled.optimized,
+        SubstituteParams(compiled.optimized, params, compiled.param_types));
+  }
+  return ExecuteCompiledWith(compiled, options, control);
 }
 
 Result<QueryResult> QueryEngine::ExecuteCompiled(const Compiled& compiled,
@@ -219,9 +453,26 @@ Result<AnalyzedQuery> QueryEngine::ExecuteAnalyzed(
   EngineOptions options = this->options();
   options.normalizer.trace = &analyzed.trace;
   options.optimizer.trace = &analyzed.trace;
-  ORQ_ASSIGN_OR_RETURN(
-      Compiled compiled,
-      CompileWith(sql, options, &analyzed.profile, analyze.cancel));
+  Compiled compiled;
+  if (options.plan_cache.enable) {
+    ORQ_ASSIGN_OR_RETURN(
+        PlannedQuery planned,
+        PlanWithCache(sql, options, &analyzed.profile, analyze.cancel,
+                      &analyzed.metrics));
+    if (planned.plan->num_explicit_params > 0) {
+      return MissingParamsError(planned.plan->num_explicit_params);
+    }
+    analyzed.profile.cache =
+        planned.from_cache ? CacheOutcome::kHit : CacheOutcome::kMiss;
+    ORQ_ASSIGN_OR_RETURN(compiled, MaterializePlan(planned, {}));
+  } else {
+    ORQ_ASSIGN_OR_RETURN(
+        compiled,
+        CompileWith(sql, options, &analyzed.profile, analyze.cancel));
+    if (!compiled.param_types.empty()) {
+      return MissingParamsError(compiled.param_types.size());
+    }
+  }
 
   PhysicalOpPtr plan;
   {
@@ -299,8 +550,22 @@ Result<QueryResult> QueryEngine::Execute(const std::string& sql) {
 Result<QueryResult> QueryEngine::Execute(const std::string& sql,
                                          const ExecControl& control) {
   const EngineOptions options = this->options();
+  if (options.plan_cache.enable) {
+    ORQ_ASSIGN_OR_RETURN(
+        PlannedQuery planned,
+        PlanWithCache(sql, options, nullptr, control.cancel,
+                      control.metrics));
+    if (planned.plan->num_explicit_params > 0) {
+      return MissingParamsError(planned.plan->num_explicit_params);
+    }
+    ORQ_ASSIGN_OR_RETURN(Compiled compiled, MaterializePlan(planned, {}));
+    return ExecuteCompiledWith(compiled, options, control);
+  }
   ORQ_ASSIGN_OR_RETURN(Compiled compiled,
                        CompileWith(sql, options, nullptr, control.cancel));
+  if (!compiled.param_types.empty()) {
+    return MissingParamsError(compiled.param_types.size());
+  }
   return ExecuteCompiledWith(compiled, options, control);
 }
 

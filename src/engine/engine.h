@@ -8,6 +8,7 @@
 
 #include "catalog/catalog.h"
 #include "common/result.h"
+#include "engine/plan_cache.h"
 #include "exec/cancel.h"
 #include "exec/exec.h"
 #include "exec/task_pool.h"
@@ -91,6 +92,10 @@ struct EngineOptions {
   /// Execution mode: batch-at-a-time (default) or row-at-a-time Volcano.
   /// Both produce identical results; the difftest oracle cross-checks them.
   ExecOptions exec;
+  /// Plan cache (engine/plan_cache.h). Off by default: cached compiles go
+  /// through the parameterized lane, which trades literal-aware rewrites
+  /// (constant folding across comparisons) for reuse — an explicit opt-in.
+  PlanCacheOptions plan_cache;
 
   /// Named configurations used across benchmarks/EXPERIMENTS.md.
   static EngineOptions Full();
@@ -148,6 +153,10 @@ class QueryEngine {
     RelExprPtr optimized;    // after cost-based optimization
     std::vector<ColumnId> output_cols;
     std::vector<std::string> output_names;
+    /// Types of the statement's `?` parameters, by ordinal. Non-empty means
+    /// the optimized tree contains kParam placeholders and needs
+    /// SubstituteParams (via ExecuteParams) before it can run.
+    std::vector<DataType> param_types;
   };
   Result<Compiled> Compile(const std::string& sql);
 
@@ -170,6 +179,29 @@ class QueryEngine {
   /// the rule-firing trace.
   Result<std::string> ExplainAnalyze(const std::string& sql);
 
+  /// Prepared-statement metadata: what EXECUTE must supply and what it
+  /// will get back.
+  struct PreparedInfo {
+    std::vector<DataType> param_types;
+    std::vector<std::string> output_names;
+  };
+  /// Validates and compiles `sql` (through the plan cache when enabled, so
+  /// the first EXECUTE is already a hit) without executing it.
+  Result<PreparedInfo> Prepare(const std::string& sql);
+
+  /// Executes a statement with positional parameter values (`?` in the
+  /// SQL, matched by position). Works with the plan cache on or off; with
+  /// it on, repeated calls reuse the cached optimized template and skip
+  /// every compile phase up to physical build.
+  Result<QueryResult> ExecuteParams(const std::string& sql,
+                                    const std::vector<Value>& params,
+                                    const ExecControl& control = {});
+
+  /// Plan-cache lifetime counters (zero when the cache was never enabled).
+  int64_t plan_cache_hits() const;
+  int64_t plan_cache_misses() const;
+  int64_t plan_cache_evictions() const;
+
  private:
   /// Compile with explicit options (ExecuteAnalyzed attaches trace sinks
   /// without mutating the engine's configuration). A non-null `profile`
@@ -179,6 +211,48 @@ class QueryEngine {
                                const EngineOptions& options,
                                QueryProfile* profile = nullptr,
                                const CancelToken* cancel = nullptr);
+
+  /// Parse + bind only (timed as the kParse/kBind phases); fills in
+  /// columns, bound tree, output signature and parameter types.
+  Result<Compiled> ParseAndBind(const std::string& sql,
+                                QueryProfile* profile);
+
+  /// The tail of compilation (Apply introduction -> normalize -> optimize)
+  /// on a Compiled whose bound tree is already filled in. Shared by the
+  /// plain lane and the plan-cache lane (which parameterizes between bind
+  /// and this call).
+  Result<Compiled> FinishCompile(Compiled compiled,
+                                 const EngineOptions& options,
+                                 QueryProfile* profile,
+                                 const CancelToken* cancel);
+
+  /// One query resolved through the plan cache: the shared immutable
+  /// template plus the literal values stripped from this statement text
+  /// (explicit `?` values are supplied separately at execution).
+  struct PlannedQuery {
+    std::shared_ptr<const CachedPlan> plan;
+    std::vector<Value> auto_values;
+    bool from_cache = false;
+  };
+
+  /// Cache-lane compilation: level-1 text hit skips everything; level-2
+  /// fingerprint hit skips normalize/optimize; miss compiles the
+  /// parameterized template and inserts it. Hits/misses/evictions are
+  /// recorded into `metrics` (optional) and the cache's own counters.
+  Result<PlannedQuery> PlanWithCache(const std::string& sql,
+                                     const EngineOptions& options,
+                                     QueryProfile* profile,
+                                     const CancelToken* cancel,
+                                     MetricsRegistry* metrics);
+
+  /// Substitutes all parameter values into the template and builds a
+  /// Compiled shim sharing the template's ColumnManager (safe: physical
+  /// build takes the manager by const reference).
+  Result<Compiled> MaterializePlan(const PlannedQuery& planned,
+                                   const std::vector<Value>& explicit_values)
+      const;
+
+  PlanCache* EnsurePlanCache(const PlanCacheOptions& options);
 
   /// Execution against an explicit options snapshot (all public execute
   /// paths funnel here so concurrent callers never re-read live options).
@@ -197,9 +271,13 @@ class QueryEngine {
   std::shared_ptr<TaskPool> SharedTaskPool(int num_threads);
 
   Catalog* catalog_;
-  mutable std::mutex mu_;  // guards options_ and pool_ (the pointer)
+  mutable std::mutex mu_;  // guards options_, pool_ and plan_cache_ creation
   EngineOptions options_;
   std::shared_ptr<TaskPool> pool_;
+  /// Lazily created on first cache-enabled query; survives set_options
+  /// (entries are keyed by the options fingerprint, so stale configurations
+  /// simply age out of the LRU). Internally synchronized.
+  std::unique_ptr<PlanCache> plan_cache_;
 };
 
 }  // namespace orq

@@ -195,6 +195,10 @@ Result<Value> Evaluator::EvalNode(const ScalarExpr& node, const Row& row,
       }
       return saw_null ? Value::Null(DataType::kBool) : Value::Bool(false);
     }
+    case ScalarKind::kParam:
+      return Status::Internal(
+          "unsubstituted parameter $" + std::to_string(node.column) +
+          " reached the evaluator (SubstituteParams must run first)");
     default:
       return Status::Internal(
           "subquery node reached the evaluator (Apply introduction must run "

@@ -29,6 +29,9 @@ const char* MetricCounterName(MetricCounter counter) {
       return "server.queries_rejected";
     case MetricCounter::kServerQueriesTimedOut:
       return "server.queries_timed_out";
+    case MetricCounter::kPlanCacheHits: return "plan_cache.hits";
+    case MetricCounter::kPlanCacheMisses: return "plan_cache.misses";
+    case MetricCounter::kPlanCacheEvictions: return "plan_cache.evictions";
   }
   return "unknown";
 }

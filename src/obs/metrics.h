@@ -31,9 +31,14 @@ enum class MetricCounter : int {
   kServerQueriesError,     // queries that returned an error frame
   kServerQueriesRejected,  // admissions declined (queue full / shutdown)
   kServerQueriesTimedOut,  // queries that hit their deadline or a cancel
+  // Plan-cache counters (src/engine/plan_cache): hits skip the compile
+  // phases; evictions count both LRU pressure and stale-version removal.
+  kPlanCacheHits,
+  kPlanCacheMisses,
+  kPlanCacheEvictions,
 };
 inline constexpr int kNumMetricCounters =
-    static_cast<int>(MetricCounter::kServerQueriesTimedOut) + 1;
+    static_cast<int>(MetricCounter::kPlanCacheEvictions) + 1;
 
 /// Fixed-bucket histograms for distributions where the mean hides the
 /// story (a few mega-buckets in a hash join, half-empty batches).

@@ -49,6 +49,11 @@ std::string RenderProfile(const QueryProfile& profile, const TraceLog* trace) {
                 "  %-14s %10.3f ms  (phase sum %.3f ms)\n", "total", total_ms,
                 static_cast<double>(profile.PhaseSum()) / 1e6);
   out += line;
+  if (profile.cache != CacheOutcome::kOff) {
+    out += "  cache:         ";
+    out += profile.cache == CacheOutcome::kHit ? "hit" : "miss";
+    out.push_back('\n');
+  }
   if (trace != nullptr) {
     // Cumulative compile time by rule/pass, insertion-ordered by first
     // firing. Only events that carry timing contribute (optimizer rules and

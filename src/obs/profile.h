@@ -39,12 +39,21 @@ struct PhaseSpan {
 /// QueryEngine::ExecuteAnalyzed; phases are timed back to back, so
 /// PhaseSum() accounts for the whole of `total_nanos` up to the (tiny)
 /// bookkeeping between phases — the invariant obs_test pins at 5%.
+/// Plan-cache outcome of one query, for the EXPLAIN ANALYZE breakdown.
+enum class CacheOutcome : int {
+  kOff = 0,   // plan cache disabled; no line rendered
+  kMiss,      // compiled cold (entry inserted)
+  kHit,       // served from cache; compile phases up to optimize skipped
+};
+
 struct QueryProfile {
   PhaseSpan phases[kNumQueryPhases];
   /// Start of the measured window (compile entry), ObsNowNanos timeline.
   int64_t start_nanos = 0;
   /// End-to-end wall time: compile entry to execution end.
   int64_t total_nanos = 0;
+  /// Whether the plan came from the plan cache (kOff when caching is off).
+  CacheOutcome cache = CacheOutcome::kOff;
 
   const PhaseSpan& phase(QueryPhase p) const {
     return phases[static_cast<int>(p)];

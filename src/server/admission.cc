@@ -1,5 +1,6 @@
 #include "server/admission.h"
 
+#include <algorithm>
 #include <chrono>
 
 namespace orq {
@@ -10,37 +11,50 @@ Status AdmissionController::Admit(const CancelToken* cancel) {
     ++rejected_;
     return Status::Unavailable("server is shutting down");
   }
-  if (running_ < options_.max_concurrent) {
+  // Fast path only when nobody queues: admitting a fresh arrival past a
+  // non-empty queue would let late arrivals overtake waiting queries.
+  if (queue_.empty() && running_ < options_.max_concurrent) {
     ++running_;
     ++admitted_;
     return Status::OK();
   }
-  if (queued_ >= options_.max_queued) {
+  if (queue_.size() >= static_cast<size_t>(options_.max_queued)) {
     ++rejected_;
     return Status::Unavailable(
-        "admission queue full (" + std::to_string(queued_) + " queued, " +
-        std::to_string(running_) + " running)");
+        "admission queue full (" + std::to_string(queue_.size()) +
+        " queued, " + std::to_string(running_) + " running)");
   }
-  ++queued_;
-  if (queued_ > peak_queued_) peak_queued_ = queued_;
+  const uint64_t ticket = next_ticket_++;
+  queue_.push_back(ticket);
+  if (static_cast<int64_t>(queue_.size()) > peak_queued_) {
+    peak_queued_ = static_cast<int64_t>(queue_.size());
+  }
   // Wait in 10ms slices so a cancel/deadline that fires while queued is
   // observed promptly — tokens have no wakeup channel into this queue.
   while (true) {
     if (shutdown_) {
-      --queued_;
+      queue_.erase(std::find(queue_.begin(), queue_.end(), ticket));
       ++rejected_;
       return Status::Unavailable("server is shutting down");
     }
-    if (running_ < options_.max_concurrent) {
-      --queued_;
+    // Strict FIFO handoff: only the head ticket may claim a freed slot,
+    // regardless of which waiter the condition variable woke first.
+    if (!queue_.empty() && queue_.front() == ticket &&
+        running_ < options_.max_concurrent) {
+      queue_.pop_front();
       ++running_;
       ++admitted_;
+      // The next slot (if any is free) belongs to the new head.
+      slot_free_.notify_all();
       return Status::OK();
     }
     if (cancel != nullptr) {
       Status cancelled = cancel->Check();
       if (!cancelled.ok()) {
-        --queued_;
+        queue_.erase(std::find(queue_.begin(), queue_.end(), ticket));
+        ++cancelled_;
+        // Leaving mid-queue may promote the waiter behind us to head.
+        slot_free_.notify_all();
         return cancelled;
       }
     }
@@ -53,7 +67,10 @@ void AdmissionController::Release() {
     std::lock_guard<std::mutex> lock(mu_);
     --running_;
   }
-  slot_free_.notify_one();
+  // notify_all, not notify_one: only the head ticket can take the slot, and
+  // a single wakeup might land on a waiter further back (which would just
+  // re-sleep while the head keeps waiting out its 10ms slice).
+  slot_free_.notify_all();
 }
 
 void AdmissionController::Shutdown() {
@@ -71,7 +88,7 @@ int AdmissionController::running() const {
 
 int AdmissionController::queued() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return queued_;
+  return static_cast<int>(queue_.size());
 }
 
 int64_t AdmissionController::admitted() const {
@@ -82,6 +99,11 @@ int64_t AdmissionController::admitted() const {
 int64_t AdmissionController::rejected() const {
   std::lock_guard<std::mutex> lock(mu_);
   return rejected_;
+}
+
+int64_t AdmissionController::cancelled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cancelled_;
 }
 
 int64_t AdmissionController::peak_queued() const {

@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <mutex>
 
 #include "common/status.h"
@@ -20,10 +21,16 @@ struct AdmissionOptions {
   int max_queued = 64;
 };
 
-/// Counting gate in front of the execution pool. Admit blocks in FIFO-ish
-/// order (condition-variable wakeup order) until a run slot frees, honors
+/// Counting gate in front of the execution pool. Admission is strict FIFO:
+/// each waiter takes a ticket, and a freed slot goes to the ticket at the
+/// head of the queue — never to a later waiter that happened to wake first,
+/// and never to a fresh arrival while anyone queues (both were possible
+/// before and starved early waiters under sustained load). Admit honors
 /// the waiter's CancelToken (a deadline spent queueing is charged to the
-/// query), and fails fast once Shutdown ran.
+/// query) and fails fast once Shutdown ran.
+///
+/// Every Admit call lands in exactly one outcome counter:
+/// admitted + rejected + cancelled == calls.
 class AdmissionController {
  public:
   explicit AdmissionController(AdmissionOptions options)
@@ -43,6 +50,10 @@ class AdmissionController {
   int queued() const;
   int64_t admitted() const;
   int64_t rejected() const;
+  /// Waiters whose CancelToken fired while they were queued. Previously
+  /// these silently vanished from the books (queued_ went down but neither
+  /// admitted_ nor rejected_ moved).
+  int64_t cancelled() const;
   int64_t peak_queued() const;
 
  private:
@@ -50,10 +61,15 @@ class AdmissionController {
   mutable std::mutex mu_;
   std::condition_variable slot_free_;
   int running_ = 0;
-  int queued_ = 0;
   bool shutdown_ = false;
+  /// FIFO of live waiter tickets; front is next to be admitted. A waiter
+  /// that gives up (cancel/shutdown) erases its ticket so it cannot block
+  /// the queue. queue_.size() is the queued count.
+  std::deque<uint64_t> queue_;
+  uint64_t next_ticket_ = 0;
   int64_t admitted_ = 0;
   int64_t rejected_ = 0;
+  int64_t cancelled_ = 0;
   int64_t peak_queued_ = 0;
 };
 

@@ -73,4 +73,41 @@ Status Client::Ping() {
   return Status::OK();
 }
 
+Result<WirePrepared> Client::Prepare(const std::string& name,
+                                     const std::string& sql) {
+  WirePrepare prepare;
+  prepare.name = name;
+  prepare.sql = sql;
+  ORQ_ASSIGN_OR_RETURN(
+      Frame reply, RoundTrip(FrameType::kPrepare, EncodePrepare(prepare)));
+  if (reply.type == FrameType::kError) return DecodeError(reply.payload);
+  if (reply.type != FrameType::kPrepared) {
+    return Status::InvalidArgument("unexpected reply frame type");
+  }
+  return DecodePrepared(reply.payload);
+}
+
+Result<WireResult> Client::ExecutePrepared(
+    const std::string& name, const std::vector<Value>& params) {
+  WireExecute execute;
+  execute.name = name;
+  execute.params = params;
+  ORQ_ASSIGN_OR_RETURN(
+      Frame reply, RoundTrip(FrameType::kExecute, EncodeExecute(execute)));
+  if (reply.type == FrameType::kError) return DecodeError(reply.payload);
+  if (reply.type != FrameType::kResult) {
+    return Status::InvalidArgument("unexpected reply frame type");
+  }
+  return DecodeResult(reply.payload);
+}
+
+Status Client::Deallocate(const std::string& name) {
+  ORQ_ASSIGN_OR_RETURN(Frame reply, RoundTrip(FrameType::kDeallocate, name));
+  if (reply.type == FrameType::kError) return DecodeError(reply.payload);
+  if (reply.type != FrameType::kInfo) {
+    return Status::InvalidArgument("unexpected reply frame type");
+  }
+  return Status::OK();
+}
+
 }  // namespace orq

@@ -4,6 +4,7 @@
 #include <memory>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "common/result.h"
 #include "server/wire.h"
@@ -40,6 +41,16 @@ class Client {
   Result<std::string> Admin(const std::string& command);
 
   Status Ping();
+
+  /// Registers `sql` (with `?` positional parameters) under `name` on the
+  /// server; the reply carries the inferred parameter types and the result
+  /// column names.
+  Result<WirePrepared> Prepare(const std::string& name,
+                               const std::string& sql);
+  /// Runs a prepared statement with positional parameter values.
+  Result<WireResult> ExecutePrepared(const std::string& name,
+                                     const std::vector<Value>& params);
+  Status Deallocate(const std::string& name);
 
  private:
   explicit Client(int fd) : fd_(fd) {}

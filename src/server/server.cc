@@ -85,6 +85,10 @@ std::shared_ptr<Catalog> QueryServer::CatalogSnapshot() const {
 }
 
 void QueryServer::ReplaceCatalog(std::shared_ptr<Catalog> catalog) {
+  // Every catalog instance is born with a process-unique version, but a
+  // caller may re-install a snapshot it mutated offline — bump so any plan
+  // cached against this instance's previous contents is invalidated.
+  if (catalog != nullptr) catalog->BumpVersion();
   std::lock_guard<std::mutex> lock(catalog_mu_);
   catalog_ = std::move(catalog);
 }
@@ -153,10 +157,24 @@ void QueryServer::UnregisterToken(CancelToken* token) {
   tokens_.erase(token);
 }
 
+void QueryServer::EnsureEngine(Session* session,
+                               std::unique_ptr<QueryEngine>* engine,
+                               std::shared_ptr<Catalog>* engine_catalog,
+                               int64_t* engine_generation) {
+  std::shared_ptr<Catalog> snapshot = CatalogSnapshot();
+  if (*engine == nullptr || *engine_catalog != snapshot ||
+      *engine_generation != session->options_generation()) {
+    *engine = std::make_unique<QueryEngine>(snapshot.get(),
+                                            session->engine_options());
+    *engine_catalog = snapshot;
+    *engine_generation = session->options_generation();
+  }
+}
+
 Result<WireResult> QueryServer::RunQuery(
     Session* session, std::unique_ptr<QueryEngine>* engine,
     std::shared_ptr<Catalog>* engine_catalog, int64_t* engine_generation,
-    const std::string& sql) {
+    const std::string& sql, const std::vector<Value>* params) {
   const int64_t start_nanos = ObsNowNanos();
 
   CancelToken token;
@@ -185,14 +203,7 @@ Result<WireResult> QueryServer::RunQuery(
 
   // Pin the snapshot current at admission; rebuild the cached engine when
   // the session's options or the server's catalog moved underneath it.
-  std::shared_ptr<Catalog> snapshot = CatalogSnapshot();
-  if (*engine == nullptr || *engine_catalog != snapshot ||
-      *engine_generation != session->options_generation()) {
-    *engine = std::make_unique<QueryEngine>(snapshot.get(),
-                                            session->engine_options());
-    *engine_catalog = snapshot;
-    *engine_generation = session->options_generation();
-  }
+  EnsureEngine(session, engine, engine_catalog, engine_generation);
 
   // Run on the server's work-stealing pool; this connection thread blocks
   // until its task finishes. The engine may layer its own exchange workers
@@ -209,7 +220,9 @@ Result<WireResult> QueryServer::RunQuery(
   std::condition_variable done_cv;
   bool done = false;
   pool_.Submit([&] {
-    Result<QueryResult> r = engine_ptr->Execute(sql, control);
+    Result<QueryResult> r =
+        params != nullptr ? engine_ptr->ExecuteParams(sql, *params, control)
+                          : engine_ptr->Execute(sql, control);
     std::lock_guard<std::mutex> lock(done_mu);
     result = std::move(r);
     done = true;
@@ -304,6 +317,81 @@ void QueryServer::ServeConnection(int fd, int session_id) {
         if (!SendFrame(fd, FrameType::kPong, frame.payload).ok()) return;
         break;
       }
+      case FrameType::kPrepare: {
+        Result<WirePrepare> prepare = DecodePrepare(frame.payload);
+        if (!prepare.ok()) {
+          reply = EncodeError(prepare.status());
+          if (!SendFrame(fd, FrameType::kError, reply).ok()) return;
+          break;
+        }
+        // PREPARE compiles (validating the SQL and, with the plan cache
+        // on, warming it so the first EXECUTE is already a hit) but takes
+        // no admission slot: it executes nothing.
+        EnsureEngine(&session, &engine, &engine_catalog,
+                     &engine_generation);
+        Result<QueryEngine::PreparedInfo> info =
+            engine->Prepare(prepare.value().sql);
+        if (!info.ok()) {
+          reply = EncodeError(info.status());
+          if (!SendFrame(fd, FrameType::kError, reply).ok()) return;
+          break;
+        }
+        PreparedStatement stmt;
+        stmt.sql = prepare.value().sql;
+        stmt.param_types = info.value().param_types;
+        Status registered =
+            session.RegisterPrepared(prepare.value().name, std::move(stmt));
+        if (!registered.ok()) {
+          reply = EncodeError(registered);
+          if (!SendFrame(fd, FrameType::kError, reply).ok()) return;
+          break;
+        }
+        WirePrepared prepared;
+        prepared.param_types = info.value().param_types;
+        prepared.columns = info.value().output_names;
+        reply = EncodePrepared(prepared);
+        if (!SendFrame(fd, FrameType::kPrepared, reply).ok()) return;
+        break;
+      }
+      case FrameType::kExecute: {
+        Result<WireExecute> execute = DecodeExecute(frame.payload);
+        if (!execute.ok()) {
+          reply = EncodeError(execute.status());
+          if (!SendFrame(fd, FrameType::kError, reply).ok()) return;
+          break;
+        }
+        const PreparedStatement* stmt =
+            session.FindPrepared(execute.value().name);
+        if (stmt == nullptr) {
+          reply = EncodeError(Status::NotFound(
+              "no prepared statement named \"" + execute.value().name +
+              "\""));
+          if (!SendFrame(fd, FrameType::kError, reply).ok()) return;
+          break;
+        }
+        Result<WireResult> result =
+            RunQuery(&session, &engine, &engine_catalog, &engine_generation,
+                     stmt->sql, &execute.value().params);
+        if (result.ok()) {
+          reply = EncodeResult(result.value());
+          if (!SendFrame(fd, FrameType::kResult, reply).ok()) return;
+        } else {
+          reply = EncodeError(result.status());
+          if (!SendFrame(fd, FrameType::kError, reply).ok()) return;
+        }
+        break;
+      }
+      case FrameType::kDeallocate: {
+        const std::string name = Trim(frame.payload);
+        if (session.DeallocatePrepared(name)) {
+          if (!SendFrame(fd, FrameType::kInfo, "DEALLOCATE ok").ok()) return;
+        } else {
+          reply = EncodeError(Status::NotFound(
+              "no prepared statement named \"" + name + "\""));
+          if (!SendFrame(fd, FrameType::kError, reply).ok()) return;
+        }
+        break;
+      }
       default: {
         reply = EncodeError(
             Status::InvalidArgument("unexpected frame type from client"));
@@ -330,6 +418,8 @@ std::string QueryServer::MetricsText() const {
          "\n";
   out += "server.rejected_total " + std::to_string(admission_.rejected()) +
          "\n";
+  out += "server.cancelled_total " +
+         std::to_string(admission_.cancelled()) + "\n";
   out += "server.pool_threads " + std::to_string(pool_.num_threads()) + "\n";
   out += "server.pool_tasks_run " + std::to_string(pool_.tasks_run()) + "\n";
   out += "server.uptime_ms " +

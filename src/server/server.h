@@ -8,6 +8,7 @@
 #include <string>
 #include <thread>
 #include <unordered_set>
+#include <vector>
 
 #include "catalog/catalog.h"
 #include "engine/engine.h"
@@ -85,12 +86,21 @@ class QueryServer {
   /// Admission + snapshot pin + engine cache refresh + pooled execution.
   /// `engine`/`engine_catalog`/`engine_generation` are the connection's
   /// cached engine state (rebuilt when SET or a snapshot swap invalidated
-  /// it).
+  /// it). Non-null `params` runs the statement as a parameterized
+  /// execution (the EXECUTE path).
   Result<WireResult> RunQuery(Session* session,
                               std::unique_ptr<QueryEngine>* engine,
                               std::shared_ptr<Catalog>* engine_catalog,
                               int64_t* engine_generation,
-                              const std::string& sql);
+                              const std::string& sql,
+                              const std::vector<Value>* params = nullptr);
+
+  /// Rebuilds the connection's cached engine when the session options or
+  /// the catalog snapshot moved underneath it (shared by the query path
+  /// and PREPARE, which compiles without taking an admission slot).
+  void EnsureEngine(Session* session, std::unique_ptr<QueryEngine>* engine,
+                    std::shared_ptr<Catalog>* engine_catalog,
+                    int64_t* engine_generation);
 
   void RegisterToken(CancelToken* token);
   void UnregisterToken(CancelToken* token);

@@ -86,13 +86,45 @@ Status Session::ApplySet(const std::string& command) {
     ORQ_ASSIGN_OR_RETURN(int64_t n,
                          ParseInt(name, value, 0, int64_t{1} << 40));
     timeout_ms_ = n;
+  } else if (name == "plan_cache") {
+    if (value == "on" || value == "true" || value == "1") {
+      options_.plan_cache.enable = true;
+    } else if (value == "off" || value == "false" || value == "0") {
+      options_.plan_cache.enable = false;
+    } else {
+      return Status::InvalidArgument(
+          "SET plan_cache expects on|off, got: " + value);
+    }
   } else {
     return Status::InvalidArgument(
         "unknown SET option \"" + name +
-        "\" (known: threads, batch, batch_size, morsel_rows, timeout_ms)");
+        "\" (known: threads, batch, batch_size, morsel_rows, timeout_ms, "
+        "plan_cache)");
   }
   ++options_generation_;
   return Status::OK();
+}
+
+Status Session::RegisterPrepared(const std::string& name,
+                                 PreparedStatement stmt) {
+  constexpr size_t kMaxPrepared = 256;
+  if (prepared_.count(name) == 0 && prepared_.size() >= kMaxPrepared) {
+    return Status::InvalidArgument(
+        "session holds " + std::to_string(kMaxPrepared) +
+        " prepared statements already; DEALLOCATE one first");
+  }
+  prepared_[name] = std::move(stmt);
+  return Status::OK();
+}
+
+const PreparedStatement* Session::FindPrepared(
+    const std::string& name) const {
+  auto it = prepared_.find(name);
+  return it != prepared_.end() ? &it->second : nullptr;
+}
+
+bool Session::DeallocatePrepared(const std::string& name) {
+  return prepared_.erase(name) > 0;
 }
 
 }  // namespace orq

@@ -2,11 +2,22 @@
 #define ORQ_SERVER_SESSION_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
+#include <vector>
 
 #include "engine/engine.h"
 
 namespace orq {
+
+/// A session-scoped prepared statement: the SQL text (with `?` positional
+/// parameters) plus the parameter types inferred at PREPARE time. The
+/// compiled plan itself lives in the engine's plan cache, keyed by the SQL
+/// text — EXECUTE re-submits the text and takes the level-1 hit.
+struct PreparedStatement {
+  std::string sql;
+  std::vector<DataType> param_types;
+};
 
 /// Per-connection session state: an engine configuration the client edits
 /// through SET frames, plus the per-query deadline. One session serves one
@@ -37,7 +48,15 @@ class Session {
   ///   batch_size N   -- rows per batch
   ///   morsel_rows N  -- rows per parallel-scan morsel claim
   ///   timeout_ms N   -- per-query deadline (0 disables)
+  ///   plan_cache on|off -- fingerprint-keyed plan cache + parameterization
   Status ApplySet(const std::string& command);
+
+  /// Registers (or replaces) a prepared statement. Bounded per session so
+  /// a client cannot grow server memory without limit.
+  Status RegisterPrepared(const std::string& name, PreparedStatement stmt);
+  /// Null when `name` was never prepared (or was deallocated).
+  const PreparedStatement* FindPrepared(const std::string& name) const;
+  bool DeallocatePrepared(const std::string& name);
 
  private:
   int id_;
@@ -45,6 +64,7 @@ class Session {
   int64_t timeout_ms_;
   int64_t options_generation_ = 0;
   int64_t queries_run_ = 0;
+  std::map<std::string, PreparedStatement> prepared_;
 };
 
 }  // namespace orq

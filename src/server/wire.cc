@@ -31,6 +31,14 @@ class Reader {
  public:
   explicit Reader(const std::string& bytes) : bytes_(bytes) {}
 
+  uint32_t U8() {
+    if (pos_ + 1 > bytes_.size()) {
+      ok_ = false;
+      return 0;
+    }
+    return static_cast<unsigned char>(bytes_[pos_++]);
+  }
+
   uint32_t U32() {
     if (pos_ + 4 > bytes_.size()) {
       ok_ = false;
@@ -78,10 +86,14 @@ bool IsValidFrameType(uint8_t type) {
     case FrameType::kSet:
     case FrameType::kAdmin:
     case FrameType::kPing:
+    case FrameType::kPrepare:
+    case FrameType::kExecute:
+    case FrameType::kDeallocate:
     case FrameType::kResult:
     case FrameType::kError:
     case FrameType::kInfo:
     case FrameType::kPong:
+    case FrameType::kPrepared:
       return true;
   }
   return false;
@@ -162,6 +174,143 @@ std::string EncodeError(const Status& status) {
   out.push_back(static_cast<char>(status.code()));
   out.append(status.message());
   return out;
+}
+
+namespace {
+
+bool ValidTypeByte(uint32_t byte) {
+  return byte <= static_cast<uint32_t>(DataType::kDate);
+}
+
+void PutValue(const Value& value, std::string* out) {
+  out->push_back(static_cast<char>(value.type()));
+  out->push_back(value.is_null() ? 1 : 0);
+  if (value.is_null()) return;
+  switch (value.type()) {
+    case DataType::kBool:
+      out->push_back(value.bool_value() ? 1 : 0);
+      break;
+    case DataType::kInt64:
+      PutU64(static_cast<uint64_t>(value.int64_value()), out);
+      break;
+    case DataType::kDouble: {
+      uint64_t bits = 0;
+      const double d = value.double_value();
+      std::memcpy(&bits, &d, sizeof(bits));
+      PutU64(bits, out);
+      break;
+    }
+    case DataType::kString:
+      PutStr(value.string_value(), out);
+      break;
+    case DataType::kDate:
+      PutU32(static_cast<uint32_t>(value.date_value()), out);
+      break;
+  }
+}
+
+Value ReadValue(Reader* reader, bool* ok) {
+  const uint32_t type_byte = reader->U8();
+  const uint32_t null_byte = reader->U8();
+  if (!reader->ok() || !ValidTypeByte(type_byte) || null_byte > 1) {
+    *ok = false;
+    return Value();
+  }
+  const DataType type = static_cast<DataType>(type_byte);
+  if (null_byte == 1) return Value::Null(type);
+  switch (type) {
+    case DataType::kBool:
+      return Value::Bool(reader->U8() != 0);
+    case DataType::kInt64:
+      return Value::Int64(static_cast<int64_t>(reader->U64()));
+    case DataType::kDouble: {
+      const uint64_t bits = reader->U64();
+      double d = 0.0;
+      std::memcpy(&d, &bits, sizeof(d));
+      return Value::Double(d);
+    }
+    case DataType::kString:
+      return Value::String(reader->Str());
+    case DataType::kDate:
+      return Value::Date(static_cast<int32_t>(reader->U32()));
+  }
+  *ok = false;
+  return Value();
+}
+
+}  // namespace
+
+std::string EncodePrepare(const WirePrepare& prepare) {
+  std::string out;
+  PutStr(prepare.name, &out);
+  PutStr(prepare.sql, &out);
+  return out;
+}
+
+Result<WirePrepare> DecodePrepare(const std::string& payload) {
+  Reader reader(payload);
+  WirePrepare prepare;
+  prepare.name = reader.Str();
+  prepare.sql = reader.Str();
+  if (!reader.ok() || !reader.AtEnd()) {
+    return Status::InvalidArgument("wire: malformed prepare payload");
+  }
+  return prepare;
+}
+
+std::string EncodePrepared(const WirePrepared& prepared) {
+  std::string out;
+  PutU32(static_cast<uint32_t>(prepared.param_types.size()), &out);
+  for (DataType type : prepared.param_types) {
+    out.push_back(static_cast<char>(type));
+  }
+  PutU32(static_cast<uint32_t>(prepared.columns.size()), &out);
+  for (const std::string& column : prepared.columns) PutStr(column, &out);
+  return out;
+}
+
+Result<WirePrepared> DecodePrepared(const std::string& payload) {
+  Reader reader(payload);
+  WirePrepared prepared;
+  const uint32_t num_params = reader.U32();
+  for (uint32_t i = 0; i < num_params && reader.ok(); ++i) {
+    const uint32_t type_byte = reader.U8();
+    if (!reader.ok() || !ValidTypeByte(type_byte)) {
+      return Status::InvalidArgument("wire: bad parameter type byte");
+    }
+    prepared.param_types.push_back(static_cast<DataType>(type_byte));
+  }
+  const uint32_t num_columns = reader.U32();
+  for (uint32_t i = 0; i < num_columns && reader.ok(); ++i) {
+    prepared.columns.push_back(reader.Str());
+  }
+  if (!reader.ok() || !reader.AtEnd()) {
+    return Status::InvalidArgument("wire: malformed prepared payload");
+  }
+  return prepared;
+}
+
+std::string EncodeExecute(const WireExecute& execute) {
+  std::string out;
+  PutStr(execute.name, &out);
+  PutU32(static_cast<uint32_t>(execute.params.size()), &out);
+  for (const Value& value : execute.params) PutValue(value, &out);
+  return out;
+}
+
+Result<WireExecute> DecodeExecute(const std::string& payload) {
+  Reader reader(payload);
+  WireExecute execute;
+  execute.name = reader.Str();
+  const uint32_t num_params = reader.U32();
+  bool ok = reader.ok();
+  for (uint32_t i = 0; i < num_params && ok; ++i) {
+    execute.params.push_back(ReadValue(&reader, &ok));
+  }
+  if (!ok || !reader.ok() || !reader.AtEnd()) {
+    return Status::InvalidArgument("wire: malformed execute payload");
+  }
+  return execute;
 }
 
 Status DecodeError(const std::string& payload) {

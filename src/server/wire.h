@@ -7,6 +7,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/value.h"
 
 namespace orq {
 
@@ -24,15 +25,19 @@ inline constexpr uint32_t kWireMaxFrameBytes = 16u << 20;  // 16 MiB
 
 enum class FrameType : uint8_t {
   // Client -> server.
-  kQuery = 'Q',  // payload: SQL text
-  kSet = 'S',    // payload: "name value" session option
-  kAdmin = 'A',  // payload: admin command ("metrics", "ping")
-  kPing = 'p',   // payload empty
+  kQuery = 'Q',       // payload: SQL text
+  kSet = 'S',         // payload: "name value" session option
+  kAdmin = 'A',       // payload: admin command ("metrics", "ping")
+  kPing = 'p',        // payload empty
+  kPrepare = 'r',     // payload: EncodePrepare (name + SQL with `?` params)
+  kExecute = 'x',     // payload: EncodeExecute (name + parameter values)
+  kDeallocate = 'D',  // payload: statement name (raw text)
   // Server -> client.
-  kResult = 'R',  // payload: EncodeResult
-  kError = 'E',   // payload: EncodeError
-  kInfo = 'I',    // payload: human-readable text (SET ack, \metrics body)
-  kPong = 'P',    // payload empty
+  kResult = 'R',    // payload: EncodeResult
+  kError = 'E',     // payload: EncodeError
+  kInfo = 'I',      // payload: human-readable text (SET ack, \metrics body)
+  kPong = 'P',      // payload empty
+  kPrepared = 'd',  // payload: EncodePrepared (PREPARE's metadata reply)
 };
 
 bool IsValidFrameType(uint8_t type);
@@ -85,6 +90,33 @@ Result<WireResult> DecodeResult(const std::string& payload);
 /// can distinguish a timeout from a syntax error without parsing text.
 std::string EncodeError(const Status& status);
 Status DecodeError(const std::string& payload);
+
+/// PREPARE: registers `sql` (which may contain `?` positional parameters)
+/// under `name` in the session. The server replies kPrepared.
+struct WirePrepare {
+  std::string name;
+  std::string sql;
+};
+std::string EncodePrepare(const WirePrepare& prepare);
+Result<WirePrepare> DecodePrepare(const std::string& payload);
+
+/// PREPARE's metadata reply: what EXECUTE must send and the result shape.
+struct WirePrepared {
+  std::vector<DataType> param_types;
+  std::vector<std::string> columns;
+};
+std::string EncodePrepared(const WirePrepared& prepared);
+Result<WirePrepared> DecodePrepared(const std::string& payload);
+
+/// EXECUTE: runs a prepared statement with positional parameter values.
+/// Values travel typed (type byte + null flag + payload), not as SQL text,
+/// so string parameters need no escaping and doubles survive bit-exactly.
+struct WireExecute {
+  std::string name;
+  std::vector<Value> params;
+};
+std::string EncodeExecute(const WireExecute& execute);
+Result<WireExecute> DecodeExecute(const std::string& payload);
 
 }  // namespace orq
 

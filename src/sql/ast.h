@@ -19,6 +19,7 @@ using SelectStmtPtr = std::unique_ptr<SelectStmt>;
 enum class AstExprKind {
   kColumn,        // [qualifier.]name
   kLiteral,
+  kParam,         // `?` positional parameter; param_index in parse order
   kStar,          // count(*) argument marker
   kBinary,        // op in {AND OR = <> < <= > >= + - * / LIKE}
   kUnary,         // op in {NOT, -}
@@ -47,6 +48,7 @@ struct AstExpr {
   CompareOp cmp = CompareOp::kEq;        // kQuantified
   Quantifier quantifier = Quantifier::kAny;
   SelectStmtPtr subquery;  // subquery kinds
+  int param_index = -1;    // kParam: 0-based ordinal in parse order
   size_t position = 0;     // source offset for error messages
 };
 

@@ -103,11 +103,25 @@ class ExprBinder {
       }
       case AstExprKind::kLiteral:
         return Lit(ast.literal);
+      case AstExprKind::kParam:
+        // A parameter only binds where a sibling fixes its type (BindParam);
+        // reaching the generic path means the context is type-free.
+        return Status::InvalidArgument(
+            "cannot infer the type of parameter ?" +
+            std::to_string(ast.param_index + 1) +
+            " in this context (use it in a comparison, arithmetic, IN, or "
+            "BETWEEN against a typed expression)");
       case AstExprKind::kStar:
         return Status::InvalidArgument("'*' is only valid in count(*)");
       case AstExprKind::kBinary:
         return BindBinary(ast);
       case AstExprKind::kUnary: {
+        if (ast.op == "NOT" && IsParam(*ast.children[0])) {
+          ORQ_ASSIGN_OR_RETURN(
+              ScalarExprPtr child,
+              BindParam(*ast.children[0], DataType::kBool));
+          return MakeNot(std::move(child));
+        }
         ORQ_ASSIGN_OR_RETURN(ScalarExprPtr child, Bind(*ast.children[0]));
         if (ast.op == "NOT") return MakeNot(std::move(child));
         return MakeNegate(std::move(child));
@@ -120,33 +134,105 @@ class ExprBinder {
       case AstExprKind::kFuncCall:
         return BindFunc(ast);
       case AstExprKind::kCase: {
-        std::vector<ScalarExprPtr> children;
-        for (const AstExprPtr& child : ast.children) {
-          ORQ_ASSIGN_OR_RETURN(ScalarExprPtr bound, Bind(*child));
-          children.push_back(std::move(bound));
+        // First pass binds the non-parameter children in order (column-id
+        // allocation for embedded subqueries stays stable); parameters take
+        // their types from the bound siblings in a second pass.
+        std::vector<ScalarExprPtr> children(ast.children.size());
+        for (size_t i = 0; i < ast.children.size(); ++i) {
+          if (IsParam(*ast.children[i])) continue;
+          ORQ_ASSIGN_OR_RETURN(children[i], Bind(*ast.children[i]));
         }
-        // Result type: type of the first THEN branch.
-        DataType type =
-            children.size() >= 2 ? children[1]->type : DataType::kInt64;
-        return MakeCase(std::move(children), type);
+        // Result type: type of the first bound THEN/ELSE branch.
+        DataType result_type = DataType::kInt64;
+        bool typed = false;
+        for (size_t i = 1; i < children.size(); i += (i + 1 < children.size()
+                                                          ? 2
+                                                          : 1)) {
+          if (children[i] != nullptr) {
+            result_type = children[i]->type;
+            typed = true;
+            break;
+          }
+        }
+        for (size_t i = 0; i < ast.children.size(); ++i) {
+          if (children[i] != nullptr) continue;
+          const bool is_when = i % 2 == 0 && i + 1 < ast.children.size();
+          if (!is_when && !typed) {
+            return Status::InvalidArgument(
+                "cannot infer the type of a CASE branch parameter (no typed "
+                "THEN/ELSE branch)");
+          }
+          ORQ_ASSIGN_OR_RETURN(
+              children[i],
+              BindParam(*ast.children[i],
+                        is_when ? DataType::kBool : result_type));
+        }
+        return MakeCase(std::move(children), result_type);
       }
       case AstExprKind::kInList: {
-        std::vector<ScalarExprPtr> list;
-        ORQ_ASSIGN_OR_RETURN(ScalarExprPtr probe, Bind(*ast.children[0]));
-        for (size_t i = 1; i < ast.children.size(); ++i) {
-          ORQ_ASSIGN_OR_RETURN(ScalarExprPtr item, Bind(*ast.children[i]));
-          list.push_back(std::move(item));
+        // Probe type from the first non-parameter element when the probe
+        // itself is a `?`; element parameters take the probe's type. The
+        // non-parameter children bind first, in source order.
+        std::vector<ScalarExprPtr> slots(ast.children.size());
+        for (size_t i = 0; i < ast.children.size(); ++i) {
+          if (IsParam(*ast.children[i])) continue;
+          ORQ_ASSIGN_OR_RETURN(slots[i], Bind(*ast.children[i]));
         }
+        if (slots[0] == nullptr) {
+          DataType probe_type = DataType::kInt64;
+          bool typed = false;
+          for (size_t i = 1; i < slots.size(); ++i) {
+            if (slots[i] != nullptr) {
+              probe_type = slots[i]->type;
+              typed = true;
+              break;
+            }
+          }
+          if (!typed) {
+            return Status::InvalidArgument(
+                "cannot infer the type of an IN-list of parameters");
+          }
+          ORQ_ASSIGN_OR_RETURN(slots[0],
+                               BindParam(*ast.children[0], probe_type));
+        }
+        for (size_t i = 1; i < slots.size(); ++i) {
+          if (slots[i] != nullptr) continue;
+          ORQ_ASSIGN_OR_RETURN(slots[i],
+                               BindParam(*ast.children[i], slots[0]->type));
+        }
+        ScalarExprPtr probe = std::move(slots[0]);
+        std::vector<ScalarExprPtr> list(
+            std::make_move_iterator(slots.begin() + 1),
+            std::make_move_iterator(slots.end()));
         ScalarExprPtr in = MakeInList(std::move(probe), std::move(list));
         return ast.negated ? MakeNot(std::move(in)) : in;
       }
       case AstExprKind::kBetween: {
-        ORQ_ASSIGN_OR_RETURN(ScalarExprPtr value, Bind(*ast.children[0]));
-        ORQ_ASSIGN_OR_RETURN(ScalarExprPtr lo, Bind(*ast.children[1]));
-        ORQ_ASSIGN_OR_RETURN(ScalarExprPtr hi, Bind(*ast.children[2]));
-        ScalarExprPtr range =
-            MakeAnd2(MakeCompare(CompareOp::kGe, value, std::move(lo)),
-                     MakeCompare(CompareOp::kLe, value, std::move(hi)));
+        // Non-parameter operands bind first; a `?` value takes the type of
+        // the first bound bound, and `?` bounds take the value's type.
+        std::vector<ScalarExprPtr> slots(3);
+        for (size_t i = 0; i < 3; ++i) {
+          if (IsParam(*ast.children[i])) continue;
+          ORQ_ASSIGN_OR_RETURN(slots[i], Bind(*ast.children[i]));
+        }
+        if (slots[0] == nullptr) {
+          ScalarExprPtr typed =
+              slots[1] != nullptr ? slots[1] : slots[2];
+          if (typed == nullptr) {
+            return Status::InvalidArgument(
+                "cannot infer the type of '? BETWEEN ? AND ?'");
+          }
+          ORQ_ASSIGN_OR_RETURN(slots[0],
+                               BindParam(*ast.children[0], typed->type));
+        }
+        for (size_t i = 1; i < 3; ++i) {
+          if (slots[i] != nullptr) continue;
+          ORQ_ASSIGN_OR_RETURN(slots[i],
+                               BindParam(*ast.children[i], slots[0]->type));
+        }
+        ScalarExprPtr range = MakeAnd2(
+            MakeCompare(CompareOp::kGe, slots[0], std::move(slots[1])),
+            MakeCompare(CompareOp::kLe, slots[0], std::move(slots[2])));
         return ast.negated ? MakeNot(std::move(range)) : range;
       }
       case AstExprKind::kScalarSubquery: {
@@ -163,20 +249,49 @@ class ExprBinder {
         return MakeExists(sub.root, ast.negated);
       }
       case AstExprKind::kInSubquery: {
-        ORQ_ASSIGN_OR_RETURN(ScalarExprPtr probe, Bind(*ast.children[0]));
-        ORQ_ASSIGN_OR_RETURN(BoundQuery sub, BindSub(*ast.subquery));
-        if (sub.output_cols.size() != 1) {
-          return Status::InvalidArgument(
-              "IN subquery must return one column");
+        // A `?` probe types itself from the subquery's output column; the
+        // subquery then binds first (column-id order is unchanged for
+        // parameter-free queries).
+        ScalarExprPtr probe;
+        BoundQuery sub;
+        if (IsParam(*ast.children[0])) {
+          ORQ_ASSIGN_OR_RETURN(sub, BindSub(*ast.subquery));
+          if (sub.output_cols.size() != 1) {
+            return Status::InvalidArgument(
+                "IN subquery must return one column");
+          }
+          ORQ_ASSIGN_OR_RETURN(
+              probe, BindParam(*ast.children[0],
+                               columns_->type(sub.output_cols[0])));
+        } else {
+          ORQ_ASSIGN_OR_RETURN(probe, Bind(*ast.children[0]));
+          ORQ_ASSIGN_OR_RETURN(sub, BindSub(*ast.subquery));
+          if (sub.output_cols.size() != 1) {
+            return Status::InvalidArgument(
+                "IN subquery must return one column");
+          }
         }
         return MakeInSubquery(std::move(probe), sub.root, ast.negated);
       }
       case AstExprKind::kQuantified: {
-        ORQ_ASSIGN_OR_RETURN(ScalarExprPtr left, Bind(*ast.children[0]));
-        ORQ_ASSIGN_OR_RETURN(BoundQuery sub, BindSub(*ast.subquery));
-        if (sub.output_cols.size() != 1) {
-          return Status::InvalidArgument(
-              "quantified subquery must return one column");
+        ScalarExprPtr left;
+        BoundQuery sub;
+        if (IsParam(*ast.children[0])) {
+          ORQ_ASSIGN_OR_RETURN(sub, BindSub(*ast.subquery));
+          if (sub.output_cols.size() != 1) {
+            return Status::InvalidArgument(
+                "quantified subquery must return one column");
+          }
+          ORQ_ASSIGN_OR_RETURN(
+              left, BindParam(*ast.children[0],
+                              columns_->type(sub.output_cols[0])));
+        } else {
+          ORQ_ASSIGN_OR_RETURN(left, Bind(*ast.children[0]));
+          ORQ_ASSIGN_OR_RETURN(sub, BindSub(*ast.subquery));
+          if (sub.output_cols.size() != 1) {
+            return Status::InvalidArgument(
+                "quantified subquery must return one column");
+          }
         }
         return MakeQuantified(ast.cmp, ast.quantifier, std::move(left),
                               sub.root);
@@ -190,10 +305,62 @@ class ExprBinder {
     return bind_subquery_(stmt, scope_);
   }
 
+  static bool IsParam(const AstExpr& ast) {
+    return ast.kind == AstExprKind::kParam;
+  }
+
+  /// Binds a `?` node whose type the call site inferred, recording the
+  /// ordinal -> type assignment on the owning Binder.
+  Result<ScalarExprPtr> BindParam(const AstExpr& ast, DataType type) {
+    ORQ_RETURN_IF_ERROR(binder_->RecordParam(ast.param_index, type));
+    return MakeParam(ast.param_index, type);
+  }
+
   Result<ScalarExprPtr> BindBinary(const AstExpr& ast) {
+    const std::string& op = ast.op;
+    const bool l_param = IsParam(*ast.children[0]);
+    const bool r_param = IsParam(*ast.children[1]);
+    if (l_param || r_param) {
+      if (op == "AND" || op == "OR") {
+        // Boolean context fixes the type directly.
+      } else if (op == "LIKE") {
+        // Both sides of LIKE are strings.
+      } else if (l_param && r_param) {
+        return Status::InvalidArgument(
+            "cannot infer parameter types: both sides of '" + op +
+            "' are parameters");
+      }
+      ScalarExprPtr l;
+      ScalarExprPtr r;
+      if (op == "AND" || op == "OR" || op == "LIKE") {
+        const DataType t =
+            op == "LIKE" ? DataType::kString : DataType::kBool;
+        if (l_param) {
+          ORQ_ASSIGN_OR_RETURN(l, BindParam(*ast.children[0], t));
+        } else {
+          ORQ_ASSIGN_OR_RETURN(l, Bind(*ast.children[0]));
+        }
+        if (r_param) {
+          ORQ_ASSIGN_OR_RETURN(r, BindParam(*ast.children[1], t));
+        } else {
+          ORQ_ASSIGN_OR_RETURN(r, Bind(*ast.children[1]));
+        }
+      } else if (l_param) {
+        ORQ_ASSIGN_OR_RETURN(r, Bind(*ast.children[1]));
+        ORQ_ASSIGN_OR_RETURN(l, BindParam(*ast.children[0], r->type));
+      } else {
+        ORQ_ASSIGN_OR_RETURN(l, Bind(*ast.children[0]));
+        ORQ_ASSIGN_OR_RETURN(r, BindParam(*ast.children[1], l->type));
+      }
+      return FinishBinary(op, std::move(l), std::move(r));
+    }
     ORQ_ASSIGN_OR_RETURN(ScalarExprPtr l, Bind(*ast.children[0]));
     ORQ_ASSIGN_OR_RETURN(ScalarExprPtr r, Bind(*ast.children[1]));
-    const std::string& op = ast.op;
+    return FinishBinary(op, std::move(l), std::move(r));
+  }
+
+  Result<ScalarExprPtr> FinishBinary(const std::string& op, ScalarExprPtr l,
+                                     ScalarExprPtr r) {
     if (op == "AND") return MakeAnd2(std::move(l), std::move(r));
     if (op == "OR") return MakeOr({std::move(l), std::move(r)});
     if (op == "LIKE") return MakeLike(std::move(l), std::move(r));
@@ -303,8 +470,33 @@ bool AstHasAggregate(const AstExpr* ast) {
 
 }  // namespace
 
+Status Binder::RecordParam(int ordinal, DataType type) {
+  if (ordinal < 0) {
+    return Status::Internal("parameter with unassigned ordinal");
+  }
+  if (param_types_.size() <= static_cast<size_t>(ordinal)) {
+    param_types_.resize(ordinal + 1, DataType::kInt64);
+    param_seen_.resize(ordinal + 1, false);
+  }
+  if (param_seen_[ordinal]) {
+    return Status::Internal("parameter ?" + std::to_string(ordinal + 1) +
+                            " bound twice");
+  }
+  param_seen_[ordinal] = true;
+  param_types_[ordinal] = type;
+  return Status::OK();
+}
+
 Result<BoundQuery> Binder::Bind(const SelectStmt& stmt) {
-  return BindSelect(stmt, nullptr);
+  ORQ_ASSIGN_OR_RETURN(BoundQuery bound, BindSelect(stmt, nullptr));
+  for (size_t i = 0; i < param_seen_.size(); ++i) {
+    if (!param_seen_[i]) {
+      return Status::InvalidArgument("parameter ?" + std::to_string(i + 1) +
+                                     " was never bound");
+    }
+  }
+  bound.param_types = param_types_;
+  return bound;
 }
 
 Result<BoundQuery> Binder::BindSelect(const SelectStmt& stmt, Scope* outer) {

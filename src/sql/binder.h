@@ -19,6 +19,11 @@ struct BoundQuery {
   RelExprPtr root;
   std::vector<ColumnId> output_cols;
   std::vector<std::string> output_names;
+  /// Types of `?` positional parameters, indexed by ordinal (parse order).
+  /// Inferred from the bind site (comparison/arithmetic sibling, IN probe,
+  /// BETWEEN bounds, subquery output column); binding fails when a
+  /// parameter's type cannot be inferred. Only set on the top-level result.
+  std::vector<DataType> param_types;
 };
 
 /// Translates a parsed AST into the algebra, resolving names against the
@@ -40,9 +45,13 @@ class Binder {
   Status ApplyOrderAndDistinct(const SelectStmt& stmt, Scope* scope,
                                const std::vector<ProjectItem>& out_items,
                                RelExprPtr* rel, BoundQuery* result);
+  Status RecordParam(int ordinal, DataType type);
 
   Catalog* catalog_;
   ColumnManagerPtr columns_;
+  // Parameter ordinal -> inferred type, grown as `?` nodes are bound.
+  std::vector<DataType> param_types_;
+  std::vector<bool> param_seen_;
 };
 
 }  // namespace orq

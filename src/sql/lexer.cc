@@ -119,7 +119,7 @@ Result<std::vector<Token>> Tokenize(const std::string& sql) {
         }
       }
       if (!matched) {
-        static const std::string kSingle = "+-*/%(),.<>=";
+        static const std::string kSingle = "+-*/%(),.<>=?";
         if (kSingle.find(c) == std::string::npos) {
           return Status::InvalidArgument(
               std::string("unexpected character '") + c + "' at " +

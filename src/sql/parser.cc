@@ -485,6 +485,12 @@ class Parser {
         return Error("unexpected keyword");
       }
       case TokenType::kOperator: {
+        if (PeekOp("?")) {
+          auto node = NewExpr(AstExprKind::kParam);
+          ++pos_;
+          node->param_index = num_params_++;
+          return node;
+        }
         if (MatchOp("(")) {
           if (PeekKeyword("SELECT")) {
             ORQ_ASSIGN_OR_RETURN(auto sub, ParseSelect());
@@ -538,6 +544,7 @@ class Parser {
 
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  int num_params_ = 0;  // `?` ordinals, assigned in parse order
 };
 
 }  // namespace

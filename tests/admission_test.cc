@@ -1,0 +1,181 @@
+// Regression tests for admission-control ordering and accounting.
+//
+// The controller used to admit whichever queued waiter the condition
+// variable happened to wake first, so under sustained load a slot could
+// keep going to late arrivals while an early waiter starved. Admission is
+// now ticket-based strict FIFO; the tests here pin the order. They also
+// pin the outcome bookkeeping: every Admit call lands in exactly one of
+// admitted / rejected / cancelled (queued waiters whose token fired used
+// to vanish from the books entirely).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "exec/cancel.h"
+#include "server/admission.h"
+
+namespace orq {
+namespace {
+
+/// Spins until `admission.queued()` reaches `target` (bounded): the only
+/// way to guarantee waiter N is in the ticket queue before waiter N+1
+/// starts, which makes arrival order deterministic.
+void WaitForQueued(const AdmissionController& admission, int target) {
+  for (int spin = 0; spin < 10000; ++spin) {
+    if (admission.queued() >= target) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  FAIL() << "queue never reached depth " << target;
+}
+
+TEST(AdmissionFifoTest, WaitersAdmitInArrivalOrder) {
+  AdmissionOptions options;
+  options.max_concurrent = 1;
+  options.max_queued = 16;
+  AdmissionController admission(options);
+  // Park a holder in the single slot so every subsequent arrival queues.
+  ASSERT_TRUE(admission.Admit(nullptr).ok());
+
+  constexpr int kWaiters = 8;
+  std::mutex order_mu;
+  std::vector<int> admit_order;
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < kWaiters; ++i) {
+    waiters.emplace_back([&, i] {
+      Status admitted = admission.Admit(nullptr);
+      EXPECT_TRUE(admitted.ok()) << admitted.ToString();
+      {
+        std::lock_guard<std::mutex> lock(order_mu);
+        admit_order.push_back(i);
+      }
+      admission.Release();
+    });
+    // Waiter i must hold ticket i: don't start the next one until this
+    // one is queued.
+    WaitForQueued(admission, i + 1);
+  }
+
+  // Free the slot; the waiters now drain one at a time, each Release
+  // handing the slot to the next ticket.
+  admission.Release();
+  for (std::thread& t : waiters) t.join();
+
+  std::vector<int> expected;
+  for (int i = 0; i < kWaiters; ++i) expected.push_back(i);
+  EXPECT_EQ(admit_order, expected);
+  EXPECT_EQ(admission.admitted(), kWaiters + 1);
+  EXPECT_EQ(admission.running(), 0);
+  EXPECT_EQ(admission.queued(), 0);
+  EXPECT_EQ(admission.peak_queued(), kWaiters);
+}
+
+TEST(AdmissionFifoTest, FreshArrivalCannotOvertakeQueuedWaiter) {
+  AdmissionOptions options;
+  options.max_concurrent = 1;
+  options.max_queued = 4;
+  AdmissionController admission(options);
+  ASSERT_TRUE(admission.Admit(nullptr).ok());
+
+  std::atomic<bool> first_admitted{false};
+  std::thread first([&] {
+    EXPECT_TRUE(admission.Admit(nullptr).ok());
+    first_admitted.store(true);
+  });
+  WaitForQueued(admission, 1);
+
+  // Release the slot, then immediately race a fresh arrival against the
+  // queued waiter. The fresh arrival must queue behind it — the freed
+  // slot belongs to the head ticket.
+  admission.Release();
+  std::atomic<bool> second_admitted{false};
+  std::thread second([&] {
+    EXPECT_TRUE(admission.Admit(nullptr).ok());
+    second_admitted.store(true);
+  });
+  first.join();
+  EXPECT_TRUE(first_admitted.load());
+  // The first waiter still holds its slot; the fresh arrival waits.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(second_admitted.load());
+  admission.Release();
+  second.join();
+  admission.Release();
+  EXPECT_EQ(admission.running(), 0);
+}
+
+TEST(AdmissionFifoTest, CancelledWaiterDoesNotBlockTheQueue) {
+  AdmissionOptions options;
+  options.max_concurrent = 1;
+  options.max_queued = 4;
+  AdmissionController admission(options);
+  ASSERT_TRUE(admission.Admit(nullptr).ok());
+
+  // Head waiter will cancel; the one behind it must still be admitted.
+  CancelToken head_token;
+  std::thread head([&] {
+    Status waited = admission.Admit(&head_token);
+    EXPECT_EQ(waited.code(), StatusCode::kCancelled);
+  });
+  WaitForQueued(admission, 1);
+  std::atomic<bool> tail_admitted{false};
+  std::thread tail([&] {
+    EXPECT_TRUE(admission.Admit(nullptr).ok());
+    tail_admitted.store(true);
+  });
+  WaitForQueued(admission, 2);
+
+  head_token.RequestCancel();
+  head.join();
+  EXPECT_EQ(admission.cancelled(), 1);
+  EXPECT_FALSE(tail_admitted.load());
+
+  admission.Release();
+  tail.join();
+  EXPECT_TRUE(tail_admitted.load());
+  admission.Release();
+  EXPECT_EQ(admission.queued(), 0);
+}
+
+TEST(AdmissionAccountingTest, EveryOutcomeLandsInExactlyOneCounter) {
+  AdmissionOptions options;
+  options.max_concurrent = 1;
+  options.max_queued = 1;
+  AdmissionController admission(options);
+
+  int64_t calls = 0;
+  // Admitted immediately.
+  ASSERT_TRUE(admission.Admit(nullptr).ok());
+  ++calls;
+  // Cancelled while queued.
+  CancelToken token;
+  token.SetTimeoutMs(20);
+  EXPECT_EQ(admission.Admit(&token).code(), StatusCode::kDeadlineExceeded);
+  ++calls;
+  // Queue slot taken by a waiter, so the next arrival is rejected.
+  std::thread waiter([&] { EXPECT_TRUE(admission.Admit(nullptr).ok()); });
+  WaitForQueued(admission, 1);
+  ++calls;
+  EXPECT_EQ(admission.Admit(nullptr).code(), StatusCode::kUnavailable);
+  ++calls;
+  admission.Release();
+  waiter.join();
+  admission.Release();
+  // Rejected after shutdown.
+  admission.Shutdown();
+  EXPECT_EQ(admission.Admit(nullptr).code(), StatusCode::kUnavailable);
+  ++calls;
+
+  EXPECT_EQ(admission.admitted(), 2);
+  EXPECT_EQ(admission.cancelled(), 1);
+  EXPECT_EQ(admission.rejected(), 2);
+  EXPECT_EQ(admission.admitted() + admission.rejected() +
+                admission.cancelled(),
+            calls);
+}
+
+}  // namespace
+}  // namespace orq

@@ -202,6 +202,123 @@ TEST(ServerSmokeTest, MetricsAdminReportsServerCounters) {
   server.Stop();
 }
 
+TEST(ServerSmokeTest, PreparedStatementsRoundTripOverTheWire) {
+  QueryServer server(SharedCatalog(), ServerOptions());
+  ASSERT_TRUE(server.Start().ok());
+  Result<Client> connected = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(connected.ok());
+  Client client = std::move(connected.value());
+
+  ASSERT_TRUE(client.Set("plan_cache", "on").ok());
+  Result<WirePrepared> prepared = client.Prepare(
+      "by_key",
+      "SELECT c_name FROM customer WHERE c_custkey = ? ORDER BY c_name");
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  ASSERT_EQ(prepared->param_types.size(), 1u);
+  EXPECT_EQ(prepared->param_types[0], DataType::kInt64);
+  EXPECT_EQ(prepared->columns, std::vector<std::string>{"c_name"});
+
+  // Two executions with different parameter values, each byte-compared
+  // against the literal spelling of the same query.
+  for (int64_t key : {3, 7}) {
+    Result<WireResult> via_execute =
+        client.ExecutePrepared("by_key", {Value::Int64(key)});
+    ASSERT_TRUE(via_execute.ok()) << via_execute.status().ToString();
+    Result<WireResult> via_literal = client.Query(
+        "SELECT c_name FROM customer WHERE c_custkey = " +
+        std::to_string(key) + " ORDER BY c_name");
+    ASSERT_TRUE(via_literal.ok());
+    EXPECT_EQ(via_execute->columns, via_literal->columns);
+    EXPECT_EQ(via_execute->rows, via_literal->rows);
+  }
+
+  // PREPARE warmed the plan cache, so the EXECUTE lane hit it; the server
+  // aggregates the engine's cache counters into the admin metrics.
+  Result<std::string> metrics = client.Admin("metrics");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_NE(metrics->find("plan_cache.hits"), std::string::npos);
+
+  // Error paths: unknown name, wrong arity, double deallocate.
+  Result<WireResult> unknown =
+      client.ExecutePrepared("no_such_stmt", {Value::Int64(1)});
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.status().code(), StatusCode::kNotFound);
+  Result<WireResult> wrong_arity = client.ExecutePrepared("by_key", {});
+  ASSERT_FALSE(wrong_arity.ok());
+  EXPECT_EQ(wrong_arity.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(client.Deallocate("by_key").ok());
+  Result<WireResult> gone =
+      client.ExecutePrepared("by_key", {Value::Int64(3)});
+  ASSERT_FALSE(gone.ok());
+  EXPECT_EQ(gone.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(client.Deallocate("by_key").code(), StatusCode::kNotFound);
+  server.Stop();
+}
+
+TEST(ServerSmokeTest, ReplaceCatalogBumpsVersionAndEvictsCachedPlans) {
+  QueryServer server(SharedCatalog(), ServerOptions());
+  ASSERT_TRUE(server.Start().ok());
+  Result<Client> connected = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(connected.ok());
+  Client client = std::move(connected.value());
+  ASSERT_TRUE(client.Set("plan_cache", "on").ok());
+  ASSERT_TRUE(client.Query("SELECT COUNT(*) FROM nation").ok());
+
+  // Re-installing a snapshot must bump its version, so plans cached
+  // against the instance's previous contents can never be served again.
+  auto snapshot = std::make_shared<Catalog>();
+  ASSERT_TRUE(BuildDifftestCatalog(snapshot.get(), kSeed).ok());
+  const int64_t before = snapshot->version();
+  server.ReplaceCatalog(snapshot);
+  EXPECT_GT(snapshot->version(), before);
+
+  // The session's engine rebuilds against the new snapshot and queries
+  // keep working (the first one recompiles; nothing stale survives).
+  Result<WireResult> after = client.Query("SELECT COUNT(*) FROM nation");
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  server.Stop();
+}
+
+TEST(ServerSmokeTest, WaiterCancelledInQueueIsCounted) {
+  // One run slot: a long query parks in it, a second session with a short
+  // deadline queues behind it and times out while still queued. That
+  // waiter must land in server.cancelled_total — previously it vanished
+  // from the admission books entirely.
+  ServerOptions options;
+  options.worker_threads = 1;
+  options.admission.max_concurrent = 1;
+  options.admission.max_queued = 4;
+  options.default_timeout_ms = 2000;
+  QueryServer server(SharedCatalog(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  Result<Client> slow = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(slow.ok());
+  Client slow_client = std::move(slow.value());
+  std::thread slow_thread([&slow_client] {
+    Result<WireResult> result = slow_client.Query(kHugeCrossJoin);
+    EXPECT_FALSE(result.ok());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+  Result<Client> queued = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(queued.ok());
+  Client queued_client = std::move(queued.value());
+  ASSERT_TRUE(queued_client.Set("timeout_ms", "100").ok());
+  Result<WireResult> timed_out =
+      queued_client.Query("SELECT COUNT(*) FROM nation");
+  ASSERT_FALSE(timed_out.ok());
+  EXPECT_EQ(timed_out.status().code(), StatusCode::kDeadlineExceeded);
+
+  Result<std::string> metrics = queued_client.Admin("metrics");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_NE(metrics->find("server.cancelled_total 1"), std::string::npos)
+      << *metrics;
+
+  slow_thread.join();
+  server.Stop();
+}
+
 TEST(ServerSmokeTest, StopCancelsInFlightQueries) {
   ServerOptions options;
   options.worker_threads = 2;

@@ -6,19 +6,27 @@
 // Commands are executed in argv order:
 //   --sql "SELECT ..."     run a query, print header + rows to stdout
 //   --set "name value"     session SET (threads, batch, batch_size,
-//                          morsel_rows, timeout_ms)
+//                          morsel_rows, timeout_ms, plan_cache)
 //   --admin CMD            admin command ("metrics", "ping")
 //   --ping                 liveness round-trip
+//   --prepare "name SQL"   register a prepared statement (SQL may use ?)
+//   --execute "name v..."  run a prepared statement; values are parsed
+//                          per the types the server inferred at prepare
+//                          time ('quoted strings' may contain spaces,
+//                          null is the typed NULL)
+//   --deallocate NAME      drop a prepared statement
 //
 // With no commands, reads a mini-REPL from stdin: each line is a query;
-// \set name value, \metrics, \ping, \q are meta commands (mirroring the
-// frame types of the wire protocol).
+// \set name value, \metrics, \ping, \prepare name SQL,
+// \execute name v1 v2 ..., \deallocate name, \q are meta commands
+// (mirroring the frame types of the wire protocol).
 //
 // Exit code 0 when every command succeeded, 1 on the first failure.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -29,9 +37,16 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: orq_client --port N [--host H] [--sql SQL] "
-               "[--set \"name value\"] [--admin CMD] [--ping]\n");
+               "[--set \"name value\"] [--admin CMD] [--ping] "
+               "[--prepare \"name SQL\"] [--execute \"name values...\"] "
+               "[--deallocate NAME]\n");
   return 2;
 }
+
+/// Parameter types per prepared-statement name, remembered from the
+/// server's Prepare reply so \execute can parse value text into typed
+/// wire Values.
+using PreparedTypes = std::map<std::string, std::vector<orq::DataType>>;
 
 void PrintResult(const orq::WireResult& result) {
   std::string header;
@@ -86,6 +101,143 @@ bool RunAdmin(orq::Client* client, const std::string& command) {
   return true;
 }
 
+/// Splits on whitespace; a 'single-quoted' token may contain spaces (the
+/// quotes are stripped, there is no escaping).
+std::vector<std::string> Tokenize(const std::string& text) {
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  while (i < text.size()) {
+    if (text[i] == ' ' || text[i] == '\t') {
+      ++i;
+    } else if (text[i] == '\'') {
+      size_t end = text.find('\'', i + 1);
+      if (end == std::string::npos) end = text.size();
+      tokens.push_back(text.substr(i + 1, end - i - 1));
+      i = end + 1;
+    } else {
+      size_t end = text.find_first_of(" \t", i);
+      if (end == std::string::npos) end = text.size();
+      tokens.push_back(text.substr(i, end - i));
+      i = end;
+    }
+  }
+  return tokens;
+}
+
+bool ParseParam(const std::string& text, orq::DataType type,
+                orq::Value* out) {
+  if (text == "null") {
+    *out = orq::Value::Null(type);
+    return true;
+  }
+  char* end = nullptr;
+  switch (type) {
+    case orq::DataType::kBool:
+      if (text == "true" || text == "1") { *out = orq::Value::Bool(true); }
+      else if (text == "false" || text == "0") {
+        *out = orq::Value::Bool(false);
+      } else { return false; }
+      return true;
+    case orq::DataType::kInt64: {
+      long long v = std::strtoll(text.c_str(), &end, 10);
+      if (end == text.c_str() || *end != '\0') return false;
+      *out = orq::Value::Int64(v);
+      return true;
+    }
+    case orq::DataType::kDouble: {
+      double v = std::strtod(text.c_str(), &end);
+      if (end == text.c_str() || *end != '\0') return false;
+      *out = orq::Value::Double(v);
+      return true;
+    }
+    case orq::DataType::kString:
+    case orq::DataType::kDate:
+      // Dates travel as strings ("1995-06-01"); the server coerces.
+      *out = orq::Value::String(text);
+      return true;
+  }
+  return false;
+}
+
+bool RunPrepare(orq::Client* client, PreparedTypes* types,
+                const std::string& spec) {
+  const size_t space = spec.find(' ');
+  if (space == std::string::npos) {
+    std::fprintf(stderr, "error: prepare expects \"name SQL\"\n");
+    return false;
+  }
+  const std::string name = spec.substr(0, space);
+  orq::Result<orq::WirePrepared> prepared =
+      client->Prepare(name, spec.substr(space + 1));
+  if (!prepared.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 prepared.status().ToString().c_str());
+    return false;
+  }
+  (*types)[name] = prepared->param_types;
+  std::string type_names;
+  for (orq::DataType t : prepared->param_types) {
+    if (!type_names.empty()) type_names += ", ";
+    type_names += orq::DataTypeName(t);
+  }
+  std::printf("PREPARE %s ok (%zu param(s)%s%s)\n", name.c_str(),
+              prepared->param_types.size(),
+              type_names.empty() ? "" : ": ", type_names.c_str());
+  return true;
+}
+
+bool RunExecute(orq::Client* client, const PreparedTypes& types,
+                const std::string& spec) {
+  std::vector<std::string> tokens = Tokenize(spec);
+  if (tokens.empty()) {
+    std::fprintf(stderr, "error: execute expects \"name [values...]\"\n");
+    return false;
+  }
+  const std::string name = tokens[0];
+  auto it = types.find(name);
+  if (it == types.end()) {
+    std::fprintf(stderr, "error: no statement prepared as \"%s\" in this "
+                         "client\n", name.c_str());
+    return false;
+  }
+  if (tokens.size() - 1 != it->second.size()) {
+    std::fprintf(stderr, "error: \"%s\" expects %zu value(s), got %zu\n",
+                 name.c_str(), it->second.size(), tokens.size() - 1);
+    return false;
+  }
+  std::vector<orq::Value> params;
+  for (size_t i = 1; i < tokens.size(); ++i) {
+    orq::Value value;
+    if (!ParseParam(tokens[i], it->second[i - 1], &value)) {
+      std::fprintf(stderr, "error: cannot parse \"%s\" as %s\n",
+                   tokens[i].c_str(),
+                   orq::DataTypeName(it->second[i - 1]).c_str());
+      return false;
+    }
+    params.push_back(std::move(value));
+  }
+  orq::Result<orq::WireResult> result =
+      client->ExecutePrepared(name, params);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    return false;
+  }
+  PrintResult(result.value());
+  return true;
+}
+
+bool RunDeallocate(orq::Client* client, PreparedTypes* types,
+                   const std::string& name) {
+  orq::Status status = client->Deallocate(name);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return false;
+  }
+  types->erase(name);
+  std::printf("DEALLOCATE %s ok\n", name.c_str());
+  return true;
+}
+
 bool RunPing(orq::Client* client) {
   orq::Status status = client->Ping();
   if (!status.ok()) {
@@ -97,6 +249,7 @@ bool RunPing(orq::Client* client) {
 }
 
 int RunRepl(orq::Client* client) {
+  PreparedTypes prepared_types;
   std::string line;
   char buf[4096];
   while (std::fgets(buf, sizeof buf, stdin) != nullptr) {
@@ -112,10 +265,17 @@ int RunRepl(orq::Client* client) {
       if (!RunPing(client)) return 1;
     } else if (line.rfind("\\set ", 0) == 0) {
       if (!RunSet(client, line.substr(5))) return 1;
+    } else if (line.rfind("\\prepare ", 0) == 0) {
+      // Statement errors keep the REPL alive, like query errors.
+      RunPrepare(client, &prepared_types, line.substr(9));
+    } else if (line.rfind("\\execute ", 0) == 0) {
+      RunExecute(client, prepared_types, line.substr(9));
+    } else if (line.rfind("\\deallocate ", 0) == 0) {
+      RunDeallocate(client, &prepared_types, line.substr(12));
     } else if (line[0] == '\\') {
       std::fprintf(stderr,
                    "unknown command %s (known: \\set, \\metrics, \\ping, "
-                   "\\q)\n",
+                   "\\prepare, \\execute, \\deallocate, \\q)\n",
                    line.c_str());
     } else {
       // Query failures keep the REPL alive; only transport errors exit.
@@ -156,6 +316,12 @@ int main(int argc, char** argv) {
       commands.push_back({'a', next("--admin")});
     } else if (std::strcmp(argv[i], "--ping") == 0) {
       commands.push_back({'p', ""});
+    } else if (std::strcmp(argv[i], "--prepare") == 0) {
+      commands.push_back({'P', next("--prepare")});
+    } else if (std::strcmp(argv[i], "--execute") == 0) {
+      commands.push_back({'x', next("--execute")});
+    } else if (std::strcmp(argv[i], "--deallocate") == 0) {
+      commands.push_back({'d', next("--deallocate")});
     } else {
       std::fprintf(stderr, "unknown argument %s\n", argv[i]);
       return Usage();
@@ -176,6 +342,7 @@ int main(int argc, char** argv) {
 
   if (commands.empty()) return RunRepl(&client);
 
+  PreparedTypes prepared_types;
   for (const Command& command : commands) {
     bool ok = false;
     switch (command.kind) {
@@ -183,6 +350,10 @@ int main(int argc, char** argv) {
       case 's': ok = RunSet(&client, command.arg); break;
       case 'a': ok = RunAdmin(&client, command.arg); break;
       case 'p': ok = RunPing(&client); break;
+      case 'P': ok = RunPrepare(&client, &prepared_types, command.arg); break;
+      case 'x': ok = RunExecute(&client, prepared_types, command.arg); break;
+      case 'd': ok = RunDeallocate(&client, &prepared_types, command.arg);
+                break;
     }
     if (!ok) return 1;
   }

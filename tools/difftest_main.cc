@@ -5,7 +5,11 @@
 // Usage: difftest [--seed N] [--queries N] [--max-failures N] [--verbose]
 //                 [--reference-exec row|batch|parallel]
 //                 [--test-exec row|batch|parallel] [--threads N]
-//                 [--timeout-ms N]
+//                 [--timeout-ms N] [--plan-cache]
+//
+// --plan-cache adds a cached-vs-cold oracle side: every non-divergent
+// query also runs twice through one plan-cache-enabled engine, and the
+// cached execution must be a cache hit with byte-identical results.
 //
 // --timeout-ms arms a per-query deadline on each oracle side (useful when
 // hunting for pathological plans without letting the naive reference run
@@ -47,6 +51,8 @@ int main(int argc, char** argv) {
       options.max_failures = static_cast<int>(next_int("--max-failures"));
     } else if (std::strcmp(argv[i], "--verbose") == 0) {
       options.verbose = true;
+    } else if (std::strcmp(argv[i], "--plan-cache") == 0) {
+      options.plan_cache_check = true;
     } else if (std::strcmp(argv[i], "--timeout-ms") == 0) {
       options.timeout_ms = static_cast<int64_t>(next_int("--timeout-ms"));
       if (options.timeout_ms < 0) {
@@ -94,7 +100,7 @@ int main(int argc, char** argv) {
                    "[--queries N] [--max-failures N] [--verbose] "
                    "[--reference-exec row|batch|parallel] "
                    "[--test-exec row|batch|parallel] [--threads N] "
-                   "[--timeout-ms N]\n",
+                   "[--timeout-ms N] [--plan-cache]\n",
                    argv[i]);
       return 2;
     }

@@ -14,10 +14,21 @@
 //   orq_loadgen [--sessions N] [--queries N] [--seed N] [--timeout-ms N]
 //               [--workers N] [--max-concurrent N] [--max-queued N]
 //               [--threads N] [--host H] [--port N] [--json PATH]
+//               [--plan-cache] [--distinct N] [--prepared]
+//               [--min-hit-rate PCT]
+//
+// --plan-cache turns each session's stream into a repeated one (query i
+// is base[i % distinct], default 8 distinct shapes) and enables the
+// server-side plan cache via SET, so steady state serves cached plans.
+// --prepared instead PREPAREs one parameterized statement per session and
+// EXECUTEs it with a varying key — the prepared-statement fast path.
+// --min-hit-rate asserts the server-reported plan-cache hit rate at the
+// end of the run (exit 1 below the bar); this is the CI gate.
 //
 // The --json report is one JSON-lines record in the BENCH_*.json schema
 // (name/wall_ms/result_rows/rows_produced/error gate through
-// bench_compare; qps and p50/p95/p99 ride along as extra counters).
+// bench_compare; qps, p50/p95/p99, and cache hit_rate ride along as
+// extra counters).
 
 #include <algorithm>
 #include <condition_variable>
@@ -66,8 +77,17 @@ int Usage() {
       "N]\n"
       "                   [--max-queued N] [--threads N] [--host H] [--port "
       "N]\n"
-      "                   [--json PATH]\n");
+      "                   [--json PATH] [--plan-cache] [--distinct N]\n"
+      "                   [--prepared] [--min-hit-rate PCT]\n");
   return 2;
+}
+
+/// Reads the value of one `name value` line out of the server's metrics
+/// text; 0 when the counter never fired (RenderMetrics omits zeros).
+int64_t ParseMetric(const std::string& metrics, const std::string& name) {
+  const size_t pos = metrics.find(name);
+  if (pos == std::string::npos) return 0;
+  return std::atoll(metrics.c_str() + pos + name.size());
 }
 
 }  // namespace
@@ -79,6 +99,10 @@ int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   int port = 0;  // 0 = self-host
   std::string json_path;
+  bool plan_cache = false;
+  bool prepared = false;
+  int distinct = 8;
+  double min_hit_rate = -1.0;  // percent; <0 = no gate
   orq::ServerOptions server_options;
   server_options.worker_threads = 4;
   server_options.admission.max_concurrent = 4;
@@ -114,6 +138,15 @@ int main(int argc, char** argv) {
       port = std::atoi(next("--port"));
     } else if (std::strcmp(argv[i], "--json") == 0) {
       json_path = next("--json");
+    } else if (std::strcmp(argv[i], "--plan-cache") == 0) {
+      plan_cache = true;
+    } else if (std::strcmp(argv[i], "--prepared") == 0) {
+      prepared = true;
+      plan_cache = true;  // the EXECUTE fast path lives in the plan cache
+    } else if (std::strcmp(argv[i], "--distinct") == 0) {
+      distinct = std::atoi(next("--distinct"));
+    } else if (std::strcmp(argv[i], "--min-hit-rate") == 0) {
+      min_hit_rate = std::atof(next("--min-hit-rate"));
     } else {
       std::fprintf(stderr, "unknown argument %s\n", argv[i]);
       return Usage();
@@ -123,15 +156,28 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--sessions/--queries expect positive counts\n");
     return 2;
   }
+  if (distinct < 1) {
+    std::fprintf(stderr, "--distinct expects a positive count\n");
+    return 2;
+  }
 
   // Deterministic per-session query streams: session k draws from its own
   // generator seeded off (seed, k), so adding sessions never shifts the
-  // queries existing sessions run.
+  // queries existing sessions run. With --plan-cache the stream repeats a
+  // small base set (query i is base[i % distinct]) — the steady-state
+  // workload a plan cache exists for.
   std::vector<std::vector<std::string>> streams(sessions);
   for (int s = 0; s < sessions; ++s) {
     orq::QueryGenerator generator(seed + 7919u * static_cast<uint64_t>(s));
+    const int base_count =
+        plan_cache ? std::min(distinct, queries_per_session)
+                   : queries_per_session;
+    std::vector<std::string> base;
+    for (int q = 0; q < base_count; ++q) {
+      base.push_back(orq::RenderSql(generator.Generate()));
+    }
     for (int q = 0; q < queries_per_session; ++q) {
-      streams[s].push_back(orq::RenderSql(generator.Generate()));
+      streams[s].push_back(base[static_cast<size_t>(q % base_count)]);
     }
   }
 
@@ -173,6 +219,34 @@ int main(int argc, char** argv) {
     clients.push_back(std::move(connected.value()));
   }
 
+  // Cache/prepared setup is part of connection setup, outside the
+  // measured window: enable the session plan cache and register the
+  // parameterized statement each prepared-mode session will execute.
+  const char kPreparedName[] = "loadgen_stmt";
+  const char kPreparedSql[] =
+      "SELECT COUNT(*) FROM orders WHERE o_custkey < ?";
+  if (plan_cache) {
+    for (int s = 0; s < sessions; ++s) {
+      orq::Status set = clients[static_cast<size_t>(s)].Set("plan_cache",
+                                                            "on");
+      if (!set.ok()) {
+        std::fprintf(stderr, "session %d SET plan_cache failed: %s\n", s,
+                     set.ToString().c_str());
+        return 1;
+      }
+      if (prepared) {
+        orq::Result<orq::WirePrepared> registered =
+            clients[static_cast<size_t>(s)].Prepare(kPreparedName,
+                                                    kPreparedSql);
+        if (!registered.ok()) {
+          std::fprintf(stderr, "session %d PREPARE failed: %s\n", s,
+                       registered.status().ToString().c_str());
+          return 1;
+        }
+      }
+    }
+  }
+
   std::mutex start_mu;
   std::condition_variable start_cv;
   bool start = false;
@@ -186,9 +260,16 @@ int main(int argc, char** argv) {
       }
       orq::Client& client = clients[static_cast<size_t>(s)];
       SessionStats& mine = stats[static_cast<size_t>(s)];
-      for (const std::string& sql : streams[static_cast<size_t>(s)]) {
+      for (int q = 0; q < queries_per_session; ++q) {
         const int64_t t0 = orq::ObsNowNanos();
-        orq::Result<orq::WireResult> result = client.Query(sql);
+        // Prepared mode executes the registered statement with a varying
+        // key; otherwise the session replays its generated stream.
+        orq::Result<orq::WireResult> result =
+            prepared
+                ? client.ExecutePrepared(
+                      kPreparedName, {orq::Value::Int64(1 + q % 50)})
+                : client.Query(
+                      streams[static_cast<size_t>(s)][static_cast<size_t>(q)]);
         mine.latencies_micros.push_back((orq::ObsNowNanos() - t0) / 1000);
         if (result.ok()) {
           ++mine.ok;
@@ -226,6 +307,22 @@ int main(int argc, char** argv) {
   start_cv.notify_all();
   for (std::thread& thread : threads) thread.join();
   const double wall_ms = (orq::ObsNowNanos() - wall_start) / 1e6;
+
+  // Read the server's cache counters before tearing the sessions down.
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  if (plan_cache) {
+    orq::Result<std::string> metrics = clients[0].Admin("metrics");
+    if (metrics.ok()) {
+      cache_hits = ParseMetric(*metrics, "plan_cache.hits");
+      cache_misses = ParseMetric(*metrics, "plan_cache.misses");
+    }
+  }
+  const double hit_rate =
+      cache_hits + cache_misses > 0
+          ? 100.0 * static_cast<double>(cache_hits) /
+                static_cast<double>(cache_hits + cache_misses)
+          : 0.0;
 
   clients.clear();  // disconnect before the server goes down
   if (server != nullptr) server->Stop();
@@ -267,6 +364,11 @@ int main(int argc, char** argv) {
       static_cast<long long>(total.rejected), wall_ms, qps, p50, p95, p99,
       static_cast<long long>(total.result_rows),
       static_cast<long long>(total.rows_produced));
+  if (plan_cache) {
+    std::printf("         plan_cache hits=%lld misses=%lld hit_rate=%.1f%%\n",
+                static_cast<long long>(cache_hits),
+                static_cast<long long>(cache_misses), hit_rate);
+  }
 
   if (!json_path.empty()) {
     std::FILE* file = std::fopen(json_path.c_str(), "w");
@@ -274,8 +376,11 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "--json: cannot open %s\n", json_path.c_str());
       return 1;
     }
+    const std::string mode =
+        prepared ? "loadgen_prepared"
+                 : (plan_cache ? "loadgen_cache" : "loadgen_mix");
     std::string line = "{\"name\":";
-    orq::AppendJsonString("loadgen_mix/sessions:" + std::to_string(sessions) +
+    orq::AppendJsonString(mode + "/sessions:" + std::to_string(sessions) +
                               "/queries:" +
                               std::to_string(queries_per_session),
                           &line);
@@ -311,9 +416,27 @@ int main(int argc, char** argv) {
     line += buf;
     std::snprintf(buf, sizeof buf, ",\"p99_ms\":%.6g", p99);
     line += buf;
+    if (plan_cache) {
+      std::snprintf(buf, sizeof buf, ",\"cache_hits\":%lld",
+                    static_cast<long long>(cache_hits));
+      line += buf;
+      std::snprintf(buf, sizeof buf, ",\"cache_misses\":%lld",
+                    static_cast<long long>(cache_misses));
+      line += buf;
+      std::snprintf(buf, sizeof buf, ",\"hit_rate\":%.6g", hit_rate);
+      line += buf;
+    }
     line += ",\"error\":false}";
     std::fprintf(file, "%s\n", line.c_str());
     std::fclose(file);
+  }
+
+  if (min_hit_rate >= 0.0 && hit_rate < min_hit_rate) {
+    std::fprintf(stderr,
+                 "plan-cache hit rate %.1f%% is below the --min-hit-rate "
+                 "bar of %.1f%%\n",
+                 hit_rate, min_hit_rate);
+    return 1;
   }
   return 0;
 }
