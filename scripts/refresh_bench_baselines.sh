@@ -22,7 +22,8 @@ for pair in \
     bench_fig1_strategies:BENCH_fig1.json \
     bench_fig8_suite:BENCH_fig8.json \
     bench_fig9_q2:BENCH_fig9_q2.json \
-    bench_fig9_q17:BENCH_fig9_q17.json; do
+    bench_fig9_q17:BENCH_fig9_q17.json \
+    bench_columnar:BENCH_columnar.json; do
   bench_bin="${pair%%:*}"
   out="bench/baselines/${pair##*:}"
   echo "=== ${bench_bin} -> ${out} ==="
@@ -30,6 +31,11 @@ for pair in \
     --json "${out}" >/dev/null
   build/tools/json_check "${out}"
 done
+
+# The columnar baseline must itself clear the speedup gate ci.sh enforces
+# (columnar >= 1.5x over batch on >= 2 workloads): fail here at refresh
+# time rather than on the next CI run.
+build/tools/bench_compare --speedup bench/baselines/BENCH_columnar.json
 
 # Morsel-parallel baseline: the Figure 8 suite again, but with every engine
 # running 4 worker threads. Row counts must stay identical to the serial

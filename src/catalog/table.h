@@ -1,7 +1,9 @@
 #ifndef ORQ_CATALOG_TABLE_H_
 #define ORQ_CATALOG_TABLE_H_
 
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -55,6 +57,31 @@ class Table {
     return unique_keys_;
   }
 
+  /// One table column transposed into a contiguous typed array, the
+  /// storage behind zero-copy columnar scans. Dates/bools/int64s share the
+  /// int64 array; strings are an arena plus n + 1 absolute offsets. A
+  /// column whose values ever disagree with the declared type — or whose
+  /// string arena would outgrow uint32 offsets — falls back to boxed
+  /// `vals` (mixed = true); correctness never depends on the typed form.
+  struct ColumnChunk {
+    DataType type = DataType::kInt64;
+    bool mixed = false;
+    bool any_null = false;
+    std::vector<int64_t> ints;
+    std::vector<double> doubles;
+    std::string chars;
+    std::vector<uint32_t> offsets;  // n + 1, absolute into chars
+    std::vector<Value> vals;        // boxed fallback when mixed
+    std::vector<uint8_t> nulls;     // one byte per row, non-zero = NULL
+  };
+
+  /// The table transposed column-wise, built lazily on first use and
+  /// rebuilt when rows were appended since (keyed on the row count; tables
+  /// are append-only). Thread-safe: concurrent first calls serialize on an
+  /// internal mutex, and the returned reference stays valid until the next
+  /// Append-then-ColumnarChunks sequence.
+  const std::vector<ColumnChunk>& ColumnarChunks() const;
+
   /// Builds (or rebuilds) a hash index over the given ordinals. Indexes
   /// enable the IndexApply physical strategy (correlated execution with
   /// index lookup, paper section 4).
@@ -73,6 +100,11 @@ class Table {
   std::vector<int> primary_key_;
   std::vector<std::vector<int>> unique_keys_;
   std::vector<std::unique_ptr<TableIndex>> indexes_;
+
+  mutable std::mutex chunks_mutex_;
+  mutable std::vector<ColumnChunk> chunks_;
+  /// Row count the chunks were built from; SIZE_MAX = never built.
+  mutable size_t chunks_built_rows_ = static_cast<size_t>(-1);
 };
 
 }  // namespace orq

@@ -11,36 +11,6 @@ namespace {
 
 constexpr double kTwo63 = 9223372036854775808.0;  // 2^63, exactly
 
-/// Exact int64-vs-double comparison. Promoting the int64 to double (the
-/// obvious implementation) is lossy above 2^53: it made Int64(2^53 + 1)
-/// compare equal to Double(2^53) while the two hashed differently, an
-/// equality/hash inconsistency that corrupts hash-join and GroupBy tables.
-/// NaN sorts above every numeric so the order stays total.
-int CompareInt64WithDouble(int64_t i, double d) {
-  if (std::isnan(d)) return -1;
-  if (d >= kTwo63) return -1;
-  if (d < -kTwo63) return 1;
-  // In-range: truncation is exact, and the truncated value converts back
-  // to double exactly (either |d| < 2^53, or d is integral already).
-  int64_t t = static_cast<int64_t>(d);
-  if (i != t) return i < t ? -1 : 1;
-  double frac = d - static_cast<double>(t);
-  if (frac > 0.0) return -1;
-  if (frac < 0.0) return 1;
-  return 0;
-}
-
-int CompareDoubles(double a, double b) {
-  bool a_nan = std::isnan(a), b_nan = std::isnan(b);
-  if (a_nan || b_nan) {
-    if (a_nan && b_nan) return 0;
-    return a_nan ? 1 : -1;
-  }
-  if (a < b) return -1;
-  if (a > b) return 1;
-  return 0;  // covers -0.0 == 0.0
-}
-
 }  // namespace
 
 std::string DataTypeName(DataType type) {

@@ -1,6 +1,7 @@
 #ifndef ORQ_COMMON_VALUE_H_
 #define ORQ_COMMON_VALUE_H_
 
+#include <cmath>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -19,6 +20,41 @@ enum class DataType : uint8_t {
 };
 
 std::string DataTypeName(DataType type);
+
+/// Exact int64-vs-double comparison. Promoting the int64 to double (the
+/// obvious implementation) is lossy above 2^53: it made Int64(2^53 + 1)
+/// compare equal to Double(2^53) while the two hashed differently, an
+/// equality/hash inconsistency that corrupts hash-join and GroupBy tables.
+/// NaN sorts above every numeric so the order stays total. Inline (and
+/// public) so the columnar compare kernels reproduce Value::SqlCompare
+/// exactly without a per-element call.
+inline int CompareInt64WithDouble(int64_t i, double d) {
+  constexpr double kTwo63 = 9223372036854775808.0;  // 2^63, exactly
+  if (std::isnan(d)) return -1;
+  if (d >= kTwo63) return -1;
+  if (d < -kTwo63) return 1;
+  // In-range: truncation is exact, and the truncated value converts back
+  // to double exactly (either |d| < 2^53, or d is integral already).
+  int64_t t = static_cast<int64_t>(d);
+  if (i != t) return i < t ? -1 : 1;
+  double frac = d - static_cast<double>(t);
+  if (frac > 0.0) return -1;
+  if (frac < 0.0) return 1;
+  return 0;
+}
+
+/// SqlCompare's double ordering: NaN above everything, NaNs equal,
+/// -0.0 == 0.0.
+inline int CompareDoubles(double a, double b) {
+  bool a_nan = std::isnan(a), b_nan = std::isnan(b);
+  if (a_nan || b_nan) {
+    if (a_nan && b_nan) return 0;
+    return a_nan ? 1 : -1;
+  }
+  if (a < b) return -1;
+  if (a > b) return 1;
+  return 0;  // covers -0.0 == 0.0
+}
 
 /// Returns true if the type participates in numeric arithmetic/promotion.
 inline bool IsNumeric(DataType type) {

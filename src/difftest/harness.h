@@ -24,6 +24,10 @@ struct HarnessOptions {
   /// the row-at-a-time Volcano engine (mixed mode).
   bool reference_batched = true;
   bool test_batched = true;
+  /// Columnar execution per side (implies batched shells on that side);
+  /// reference row vs test columnar is the columnar oracle.
+  bool reference_columnar = false;
+  bool test_columnar = false;
   /// Worker threads per side; 0 runs the classic serial engine. A positive
   /// count turns that side into the morsel-driven parallel engine, so e.g.
   /// reference row-mode vs test parallel is the parallel-vs-serial oracle.

@@ -8,6 +8,7 @@
 #include "exec/ops.h"
 #include "exec/packed_key.h"
 #include "exec/parallel.h"
+#include "exec/vector_kernels.h"
 #include "obs/metrics.h"
 
 namespace orq {
@@ -176,6 +177,11 @@ class HashAggregateOp : public PhysicalOp {
       layout_.push_back(agg.output);
       arg_evals_.emplace_back(
           agg.arg != nullptr ? Evaluator(agg.arg, in) : Evaluator());
+      cargs_.emplace_back(nullptr);
+      if (agg.arg != nullptr) {
+        cargs_.back() = std::make_unique<ColumnarEvaluator>();
+        cargs_.back()->Compile(agg.arg, in);
+      }
     }
     children_.push_back(std::move(child));
   }
@@ -285,15 +291,26 @@ class HashAggregateOp : public PhysicalOp {
   /// storage.
   Status DrainInput(ExecContext* ctx) {
     ORQ_RETURN_IF_ERROR(children_[0]->Open(ctx));
+    Status status = ctx->columnar ? DrainColumnar(ctx) : DrainRows(ctx);
+    children_[0]->Close();
+    if (!status.ok()) return status;
+    if (MetricsRegistry* m = metrics()) {
+      // Occupied-bucket chain lengths at build end — the collision shape a
+      // probe walks (hash quality + load factor in one distribution).
+      for (size_t b = 0; b < groups_.bucket_count(); ++b) {
+        const int64_t chain = static_cast<int64_t>(groups_.bucket_size(b));
+        if (chain > 0) m->Observe(MetricHistogram::kHashAggBucketChain, chain);
+      }
+    }
+    return Status::OK();
+  }
+
+  Status DrainRows(ExecContext* ctx) {
     RowBatch batch(ctx->batch_size);
     Row key(group_slots_.size());
     MetricsRegistry* m = metrics();
     while (true) {
-      Status status = children_[0]->NextBatch(ctx, &batch);
-      if (!status.ok()) {
-        children_[0]->Close();
-        return status;
-      }
+      ORQ_RETURN_IF_ERROR(children_[0]->NextBatch(ctx, &batch));
       if (batch.empty()) break;
       if (m != nullptr) {
         m->Add(MetricCounter::kHashAggInputRows,
@@ -314,20 +331,149 @@ class HashAggregateOp : public PhysicalOp {
           accs_.emplace_back(aggs_.size());
           order_.push_back(&it->first.values);
         }
-        Status acc = Accumulate(&accs_[it->second], row, ctx);
-        if (!acc.ok()) {
-          children_[0]->Close();
-          return acc;
-        }
+        ORQ_RETURN_IF_ERROR(Accumulate(&accs_[it->second], row, ctx));
       }
     }
-    children_[0]->Close();
-    if (m != nullptr) {
-      // Occupied-bucket chain lengths at build end — the collision shape a
-      // probe walks (hash quality + load factor in one distribution).
-      for (size_t b = 0; b < groups_.bucket_count(); ++b) {
-        const int64_t chain = static_cast<int64_t>(groups_.bucket_size(b));
-        if (chain > 0) m->Observe(MetricHistogram::kHashAggBucketChain, chain);
+    return Status::OK();
+  }
+
+  /// Columnar drain: group-key hashes are computed column-wise for the
+  /// whole batch, probes go through ColumnKeyRef (no key decode unless a
+  /// new group inserts), and accumulator updates read the typed arrays
+  /// directly. Aggregate arguments evaluate vectorized when possible;
+  /// otherwise the row is decoded once and shared by all fallback args.
+  Status DrainColumnar(ExecContext* ctx) {
+    ColumnBatch batch(ctx->batch_size);
+    std::vector<size_t> hashes;
+    std::vector<const ColumnVec*> arg_cols(aggs_.size(), nullptr);
+    Row key(group_slots_.size());
+    Row decode_row;
+    MetricsRegistry* m = metrics();
+    while (true) {
+      ORQ_RETURN_IF_ERROR(children_[0]->NextColumns(ctx, &batch));
+      const uint32_t live = batch.selected();
+      if (live == 0) break;
+      if (m != nullptr) {
+        m->Add(MetricCounter::kHashAggInputRows, static_cast<int64_t>(live));
+      }
+      for (size_t i = 0; i < aggs_.size(); ++i) {
+        arg_cols[i] = nullptr;
+        if (cargs_[i] != nullptr && cargs_[i]->vectorizable()) {
+          ORQ_ASSIGN_OR_RETURN(const ColumnVec* c,
+                               cargs_[i]->Eval(batch, ctx));
+          arg_cols[i] = c;
+        }
+      }
+      InitKeyHashes(batch, &hashes);
+      for (int slot : group_slots_) {
+        HashCombineColumn(batch, batch.col(slot), &hashes);
+      }
+      for (uint32_t j = 0; j < live; ++j) {
+        const uint32_t r = batch.RowAt(j);
+        const ColumnKeyRef ref{&batch, group_slots_.data(),
+                               group_slots_.size(), r, hashes[j]};
+        auto it = groups_.find(ref);
+        if (it == groups_.end()) {
+          for (size_t k = 0; k < group_slots_.size(); ++k) {
+            key[k] = batch.col(group_slots_[k]).GetValue(r);
+          }
+          it = groups_
+                   .emplace(PackedKey(std::move(key)),
+                            static_cast<uint32_t>(accs_.size()))
+                   .first;
+          key = Row(group_slots_.size());
+          accs_.emplace_back(aggs_.size());
+          order_.push_back(&it->first.values);
+        }
+        ORQ_RETURN_IF_ERROR(AccumulateColumnar(&accs_[it->second], batch, r,
+                                               arg_cols, &decode_row, ctx));
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Columnar twin of Accumulate: identical per-row semantics, but typed
+  /// reads from the argument columns replace boxed Values on the hot
+  /// SUM/COUNT/MIN/MAX paths.
+  Status AccumulateColumnar(std::vector<Accumulator>* accs,
+                            const ColumnBatch& batch, uint32_t r,
+                            const std::vector<const ColumnVec*>& arg_cols,
+                            Row* decode_row, ExecContext* ctx) {
+    bool decoded = false;
+    for (size_t i = 0; i < aggs_.size(); ++i) {
+      const AggItem& agg = aggs_[i];
+      Accumulator& acc = (*accs)[i];
+      ++acc.count;
+      if (agg.func == AggFunc::kMax1Row && acc.count > 1) {
+        return Status::CardinalityViolation(
+            "scalar subquery returned more than one row");
+      }
+      if (agg.func == AggFunc::kCountStar) continue;
+      const ColumnVec* col = arg_cols[i];
+      Value v;
+      bool boxed = false;
+      if (col == nullptr) {
+        if (!decoded) {
+          batch.DecodeRow(r, decode_row);
+          decoded = true;
+        }
+        ORQ_ASSIGN_OR_RETURN(v, arg_evals_[i].Eval(*decode_row, ctx));
+        boxed = true;
+      }
+      if (agg.func == AggFunc::kMax1Row) {
+        acc.extreme = boxed ? std::move(v) : col->GetValue(r);
+        acc.has_value = true;
+        continue;
+      }
+      if (boxed ? v.is_null() : col->IsNull(r)) continue;
+      if (agg.distinct) {
+        if (!boxed) {
+          v = col->GetValue(r);
+          boxed = true;
+        }
+        if (!acc.distinct.insert(Row{v}).second) continue;
+      }
+      ++acc.non_null;
+      switch (agg.func) {
+        case AggFunc::kCount:
+          break;
+        case AggFunc::kSum:
+          if (boxed || col->rep() == ColumnRep::kValues) {
+            const Value& sv = boxed ? v : col->ValAt(r);
+            if (sv.type() == DataType::kDouble) {
+              acc.sum_is_double = true;
+              acc.sum_double += sv.double_value();
+            } else {
+              acc.sum_int += sv.int64_value();
+            }
+          } else if (col->rep() == ColumnRep::kDoubles) {
+            acc.sum_is_double = true;
+            acc.sum_double += col->DoubleAt(r);
+          } else if (col->rep() == ColumnRep::kInts) {
+            acc.sum_int += col->IntAt(r);
+          }
+          // kStrings: Value::int64_value() of a string is 0 — add nothing,
+          // exactly like the row path.
+          break;
+        case AggFunc::kMin:
+        case AggFunc::kMax: {
+          bool take = !acc.has_value;
+          if (!take) {
+            const int cmp =
+                boxed ? v.TotalCompare(acc.extreme)
+                      : TotalCompareRefs(LoadElem(*col, r),
+                                         LoadValue(acc.extreme));
+            take = (agg.func == AggFunc::kMin && cmp < 0) ||
+                   (agg.func == AggFunc::kMax && cmp > 0);
+          }
+          if (take) {
+            acc.extreme = boxed ? std::move(v) : col->GetValue(r);
+            acc.has_value = true;
+          }
+          break;
+        }
+        default:
+          break;
       }
     }
     return Status::OK();
@@ -410,6 +556,9 @@ class HashAggregateOp : public PhysicalOp {
   std::shared_ptr<SharedAggState> shared_;
   std::vector<int> group_slots_;
   std::vector<Evaluator> arg_evals_;
+  /// Columnar argument evaluators, index-aligned with arg_evals_ (null for
+  /// count(*)); consulted only on the columnar drain.
+  std::vector<std::unique_ptr<ColumnarEvaluator>> cargs_;
   /// Group index: packed key -> dense accumulator slot. Accumulators live
   /// contiguously in accs_; order_ pins insertion order for deterministic
   /// emission (key rows are node-stable in the unordered_map).

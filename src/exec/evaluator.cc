@@ -22,8 +22,6 @@ Result<bool> Evaluator::EvalPredicate(const Row& row, ExecContext* ctx) const {
   return !v.is_null() && v.type() == DataType::kBool && v.bool_value();
 }
 
-namespace {
-
 Result<Value> EvalArith(ArithOp op, const Value& l, const Value& r,
                         DataType out_type) {
   if (l.is_null() || r.is_null()) return Value::Null(out_type);
@@ -77,8 +75,6 @@ Value CompareResult(CompareOp op, int cmp) {
   }
   return Value::Bool(out);
 }
-
-}  // namespace
 
 Result<Value> Evaluator::EvalNode(const ScalarExpr& node, const Row& row,
                                   ExecContext* ctx) const {

@@ -9,6 +9,16 @@
 
 namespace orq {
 
+/// Binary arithmetic with SQL semantics: NULL propagation, date ± days and
+/// date − date, int64 arithmetic with division-by-zero errors, and
+/// int64→double promotion. Shared by the row evaluator and the columnar
+/// kernels' boxed fallback path so the two cannot drift.
+Result<Value> EvalArith(ArithOp op, const Value& l, const Value& r,
+                        DataType out_type);
+
+/// Maps a three-way comparison result to the boolean a CompareOp demands.
+Value CompareResult(CompareOp op, int cmp);
+
 /// Compiles a scalar expression against an input layout and evaluates it
 /// with SQL three-valued-logic semantics. Column references not found in
 /// the layout resolve through ExecContext::params (correlated parameters).

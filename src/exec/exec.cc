@@ -35,8 +35,10 @@ Result<bool> PhysicalOp::NextInstrumented(ExecContext* ctx, Row* row) {
 
 Status PhysicalOp::NextBatchInstrumented(ExecContext* ctx, RowBatch* batch) {
   const int64_t start = ObsNowNanos();
-  Status status = ctx->batched ? NextBatchImpl(ctx, batch)
-                               : FillFromNextImpl(ctx, batch);
+  Status status = ctx->columnar && columnar_capable_
+                      ? FillFromColumnsImpl(ctx, batch)
+                      : ctx->batched ? NextBatchImpl(ctx, batch)
+                                     : FillFromNextImpl(ctx, batch);
   if (stats_ != nullptr) {
     stats_->wall_nanos += ObsNowNanos() - start;
     ++stats_->next_calls;
@@ -59,6 +61,77 @@ Status PhysicalOp::NextBatchInstrumented(ExecContext* ctx, RowBatch* batch) {
     }
   }
   return status;
+}
+
+Status PhysicalOp::NextColumnsInstrumented(ExecContext* ctx,
+                                           ColumnBatch* batch) {
+  const int64_t start = ObsNowNanos();
+  Status status = columnar_capable_ ? NextColumnsImpl(ctx, batch)
+                                    : FillColumnsFromRows(ctx, batch);
+  if (stats_ != nullptr) {
+    stats_->wall_nanos += ObsNowNanos() - start;
+    ++stats_->next_calls;
+  }
+  if (status.ok()) {
+    const int64_t rows = static_cast<int64_t>(batch->selected());
+    ctx->rows_produced += rows;
+    if (rows > 0) {
+      const int64_t slots = static_cast<int64_t>(batch->capacity());
+      if (stats_ != nullptr) {
+        stats_->rows_out += rows;
+        stats_->batch_slots += slots;
+        ++stats_->column_batches;
+      }
+      if (metrics_ != nullptr && slots > 0) {
+        metrics_->Add(MetricCounter::kColumnBatches, 1);
+        // batch_slots counts capacity while rows counts selected, so this
+        // is the selection-vector density, not physical fill.
+        metrics_->Observe(MetricHistogram::kSelVectorSelectivity,
+                          100 * rows / slots);
+      }
+    }
+  }
+  return status;
+}
+
+Status PhysicalOp::FillColumnsFromRows(ExecContext* ctx, ColumnBatch* batch) {
+  if (adapter_rows_ == nullptr) {
+    adapter_rows_ = std::make_unique<RowBatch>(batch->capacity());
+  }
+  adapter_rows_->Clear();
+  ORQ_RETURN_IF_ERROR(ctx->batched ? NextBatchImpl(ctx, adapter_rows_.get())
+                                   : FillFromNextImpl(ctx, adapter_rows_.get()));
+  const RowBatch& rows = *adapter_rows_;
+  const uint32_t n = static_cast<uint32_t>(rows.size());
+  batch->ResizeCols(layout_.size());
+  for (size_t c = 0; c < layout_.size(); ++c) {
+    ColumnVec& col = batch->col(c);
+    // Pick the declared type from the first row's tag (the engine is
+    // dynamically typed); AppendValue degrades to boxed on a later
+    // mismatch, so a wrong guess costs performance, never correctness.
+    DataType type = n > 0 ? rows.row(0)[c].type() : DataType::kInt64;
+    col.StartBuild(type, n);
+    for (uint32_t i = 0; i < n; ++i) col.AppendValue(rows.row(i)[c]);
+    col.Seal();
+  }
+  batch->set_num_rows(n);
+  return Status::OK();
+}
+
+Status PhysicalOp::FillFromColumnsImpl(ExecContext* ctx, RowBatch* batch) {
+  if (adapter_cols_ == nullptr) {
+    adapter_cols_ = std::make_unique<ColumnBatch>(
+        static_cast<int>(batch->capacity()));
+  }
+  ColumnBatch& cols = *adapter_cols_;
+  cols.Clear();
+  ORQ_RETURN_IF_ERROR(NextColumnsImpl(ctx, &cols));
+  const uint32_t m = cols.selected();
+  if (m > 0 && stats_ != nullptr) ++stats_->column_batches;
+  for (uint32_t j = 0; j < m; ++j) {
+    cols.DecodeRow(cols.RowAt(j), &batch->PushRow());
+  }
+  return Status::OK();
 }
 
 void PhysicalOp::CloseInstrumented() {

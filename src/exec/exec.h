@@ -11,6 +11,7 @@
 #include "common/status.h"
 #include "common/value.h"
 #include "exec/cancel.h"
+#include "exec/column_batch.h"
 #include "obs/stats.h"
 
 namespace orq {
@@ -20,12 +21,35 @@ namespace orq {
 /// that a batch of rows stays cache-resident.
 inline constexpr int kDefaultBatchRows = 1024;
 
+/// Upper bound on batch_size. Selection vectors and join gather lists
+/// index rows with uint32, and per-batch scratch is O(batch_size); 64k
+/// rows is far past the cache-residency sweet spot already.
+inline constexpr int kMaxBatchRows = 64 * 1024;
+
+/// The single batch-size validity check, shared by SET batch_size and the
+/// engine's option intake so neither silently clamps.
+inline Status ValidateBatchSize(int batch_size) {
+  if (batch_size < 1 || batch_size > kMaxBatchRows) {
+    return Status::InvalidArgument(
+        "batch_size must be in [1, " + std::to_string(kMaxBatchRows) +
+        "], got " + std::to_string(batch_size));
+  }
+  return Status::OK();
+}
+
 /// Execution-mode knobs, threaded from EngineOptions into ExecContext.
 struct ExecOptions {
   /// When false, every operator's NextBatch degrades to the row-at-a-time
   /// adapter over NextImpl — the classic Volcano engine, kept as the
   /// difftest reference configuration for the batched path.
   bool batched = true;
+  /// Columnar (SoA) execution: converted operators exchange ColumnBatches
+  /// (exec/column_batch.h) and run type-specialized kernels; unconverted
+  /// operators keep their row/batch paths behind transpose adapters.
+  /// Applies only to single-threaded executions — with num_threads >= 1
+  /// the parallel engine stays on row batches (exchange queues move
+  /// RowBatch) and this flag is ignored.
+  bool columnar = false;
   int batch_size = kDefaultBatchRows;
   /// Morsel-driven parallel execution. 0 keeps the classic single-threaded
   /// engine (no thread pool, plans unchanged); N >= 1 builds N instances of
@@ -102,6 +126,10 @@ struct ExecContext {
   const ExecInstruments* instruments = nullptr;
   /// Batch-at-a-time execution toggle and batch sizing (ExecOptions).
   bool batched = true;
+  /// Columnar execution toggle (ExecOptions::columnar). Set by the engine
+  /// only for single-threaded executions; operator shells route NextBatch
+  /// through the columnar path for columnar-capable operators when set.
+  bool columnar = false;
   int batch_size = kDefaultBatchRows;
   /// Worker pool for exchange operators, or nullptr on single-threaded
   /// executions. Owned by the engine; a parallel plan executed without a
@@ -180,12 +208,33 @@ class PhysicalOp {
     batch->Clear();
     ORQ_RETURN_IF_ERROR(ctx->CheckCancel());
     if (!instrumented_) {
-      Status status = ctx->batched ? NextBatchImpl(ctx, batch)
-                                   : FillFromNextImpl(ctx, batch);
+      Status status = ctx->columnar && columnar_capable_
+                          ? FillFromColumnsImpl(ctx, batch)
+                          : ctx->batched ? NextBatchImpl(ctx, batch)
+                                         : FillFromNextImpl(ctx, batch);
       if (status.ok()) ctx->rows_produced += batch->size();
       return status;
     }
     return NextBatchInstrumented(ctx, batch);
+  }
+
+  /// Columnar pull: clears `batch` and refills it with up to capacity
+  /// physical rows plus a selection vector over the live ones. An empty
+  /// batch (selected() == 0) signals end of stream — implementations
+  /// loop internally past all-filtered input rather than returning an
+  /// empty non-terminal batch. Operators without a columnar path are
+  /// adapted transparently: their row/batch output is transposed into
+  /// columns, so a columnar parent can always pull NextColumns.
+  Status NextColumns(ExecContext* ctx, ColumnBatch* batch) {
+    batch->Clear();
+    ORQ_RETURN_IF_ERROR(ctx->CheckCancel());
+    if (!instrumented_) {
+      Status status = columnar_capable_ ? NextColumnsImpl(ctx, batch)
+                                        : FillColumnsFromRows(ctx, batch);
+      if (status.ok()) ctx->rows_produced += batch->selected();
+      return status;
+    }
+    return NextColumnsInstrumented(ctx, batch);
   }
 
   void Close() {
@@ -226,6 +275,13 @@ class PhysicalOp {
   virtual Status NextBatchImpl(ExecContext* ctx, RowBatch* batch) {
     return FillFromNextImpl(ctx, batch);
   }
+  /// Columnar pull hook. Only dispatched to when the operator declared
+  /// itself columnar-capable (set columnar_capable_ = true in the
+  /// constructor alongside the override); everyone else is served by the
+  /// FillColumnsFromRows transpose adapter.
+  virtual Status NextColumnsImpl(ExecContext* ctx, ColumnBatch* batch) {
+    return FillColumnsFromRows(ctx, batch);
+  }
   virtual void CloseImpl() = 0;
 
   /// Row-at-a-time adapter: loops NextImpl into batch slots. Calls the Impl
@@ -258,8 +314,19 @@ class PhysicalOp {
   /// `if (MetricsRegistry* m = metrics()) m->Add(...)`.
   MetricsRegistry* metrics() const { return metrics_; }
 
+  /// Row -> column adapter: pulls this operator's own row path (NextBatchImpl
+  /// or the NextImpl loop, per ctx->batched) into scratch and transposes the
+  /// rows into typed columns. Column types follow the first row's value tags;
+  /// later tag mismatches degrade that column to boxed values.
+  Status FillColumnsFromRows(ExecContext* ctx, ColumnBatch* batch);
+
   std::vector<ColumnId> layout_;
   std::vector<std::unique_ptr<PhysicalOp>> children_;
+  /// Set (in the constructor) by operators overriding NextColumnsImpl.
+  /// Consulted by both shells: NextColumns dispatches to the override, and
+  /// NextBatch in columnar mode routes through FillFromColumnsImpl so the
+  /// operator still runs its columnar path under a row-consuming parent.
+  bool columnar_capable_ = false;
 
  private:
   /// Out-of-line instrumented halves of the shells, so the header-inlined
@@ -267,7 +334,17 @@ class PhysicalOp {
   Status OpenInstrumented(ExecContext* ctx);
   Result<bool> NextInstrumented(ExecContext* ctx, Row* row);
   Status NextBatchInstrumented(ExecContext* ctx, RowBatch* batch);
+  Status NextColumnsInstrumented(ExecContext* ctx, ColumnBatch* batch);
   void CloseInstrumented();
+
+  /// Column -> row adapter: pulls this operator's NextColumnsImpl into
+  /// scratch and decodes the selected rows into `batch`. Capacities match
+  /// (both sized ctx->batch_size), so one column batch fits one row batch.
+  Status FillFromColumnsImpl(ExecContext* ctx, RowBatch* batch);
+
+  /// Lazily allocated adapter scratch (most operators never adapt).
+  std::unique_ptr<RowBatch> adapter_rows_;
+  std::unique_ptr<ColumnBatch> adapter_cols_;
 
   bool instrumented_ = false;
   OpStats* stats_ = nullptr;

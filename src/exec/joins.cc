@@ -8,6 +8,7 @@
 #include "exec/ops.h"
 #include "exec/packed_key.h"
 #include "exec/parallel.h"
+#include "exec/vector_kernels.h"
 #include "obs/metrics.h"
 
 namespace orq {
@@ -406,10 +407,30 @@ class HashJoinOp : public PhysicalOp {
         pad_types_(
             ResolvePadTypes(std::move(right_types), right->layout().size())) {
     layout_ = CombinedLayout(*left, *right, kind);
+    // Columnar probing needs each probe key to be a plain column of the
+    // probe input — then key hashes vectorize and lookups never decode the
+    // probe row. Computed expressions as keys fall back to the row probe.
+    bool keys_are_slots = true;
+    const std::vector<ColumnId>& lcols = left->layout();
     for (auto& [l, r] : keys) {
+      int slot = -1;
+      if (l->kind == ScalarKind::kColumnRef) {
+        for (size_t i = 0; i < lcols.size(); ++i) {
+          if (lcols[i] == l->column) {
+            slot = static_cast<int>(i);
+            break;
+          }
+        }
+      }
+      if (slot >= 0) {
+        probe_slots_.push_back(slot);
+      } else {
+        keys_are_slots = false;
+      }
       left_keys_.emplace_back(std::move(l), left->layout());
       right_keys_.emplace_back(std::move(r), right->layout());
     }
+    columnar_capable_ = keys_are_slots;
     if (residual != nullptr) {
       std::vector<ColumnId> combined = left->layout();
       combined.insert(combined.end(), right->layout().begin(),
@@ -450,6 +471,8 @@ class HashJoinOp : public PhysicalOp {
     have_left_ = false;
     probe_ = RowBatch(ctx->batch_size);
     probe_pos_ = 0;
+    cjpos_ = 0;
+    if (cin_ != nullptr) cin_->Clear();
     return Status::OK();
   }
 
@@ -565,6 +588,107 @@ class HashJoinOp : public PhysicalOp {
         have_left_ = false;
       }
     }
+  }
+
+  /// Columnar probe: key hashes are computed column-wise for the whole
+  /// probe batch, lookups go through ColumnKeyRef (no probe-row decode),
+  /// and matches accumulate as (probe row, arena slot) pairs that are
+  /// gathered into output columns in one pass. The build side is unchanged
+  /// — its arena stays row-major and right output columns are appended
+  /// from arena rows.
+  Status NextColumnsImpl(ExecContext* ctx, ColumnBatch* out) override {
+    const size_t left_width = children_[0]->layout().size();
+    const bool emit_right = kind_ == PhysJoinKind::kInner ||
+                            kind_ == PhysJoinKind::kLeftOuter;
+    const uint32_t cap = static_cast<uint32_t>(out->capacity());
+    if (cin_ == nullptr) {
+      cin_ = std::make_unique<ColumnBatch>(ctx->batch_size);
+    }
+    cpairs_.clear();
+    while (true) {
+      if (!have_left_) {
+        if (cjpos_ >= cin_->selected()) {
+          // Refilling invalidates the probe views the gathered pairs
+          // reference; flush what we have first.
+          if (!cpairs_.empty()) break;
+          ORQ_RETURN_IF_ERROR(children_[0]->NextColumns(ctx, cin_.get()));
+          if (cin_->selected() == 0) break;  // probe input exhausted
+          cjpos_ = 0;
+          InitKeyHashes(*cin_, &chashes_);
+          for (int slot : probe_slots_) {
+            HashCombineColumn(*cin_, cin_->col(slot), &chashes_);
+          }
+          if (MetricsRegistry* m = metrics()) {
+            m->Add(MetricCounter::kHashJoinProbes,
+                   static_cast<int64_t>(cin_->selected()));
+          }
+        }
+        cleft_ = cin_->RowAt(cjpos_);
+        have_left_ = true;
+        matched_ = false;
+        cleft_decoded_ = false;
+        LookupBucketColumnar(cjpos_);
+        ++cjpos_;
+      }
+      while (have_left_ && bucket_pos_ < bucket_size_ &&
+             cpairs_.size() < cap) {
+        const uint32_t slot = active_->slots[bucket_begin_ + bucket_pos_++];
+        if (has_residual_) {
+          bool keep = false;
+          {
+            ORQ_ASSIGN_OR_RETURN(keep, EvalResidualColumnar(slot, ctx));
+          }
+          if (!keep) continue;
+        }
+        matched_ = true;
+        switch (kind_) {
+          case PhysJoinKind::kInner:
+          case PhysJoinKind::kLeftOuter:
+            cpairs_.push_back({cleft_, slot});
+            break;
+          case PhysJoinKind::kLeftSemi:
+            cpairs_.push_back({cleft_, kNoRight});
+            have_left_ = false;
+            break;
+          case PhysJoinKind::kLeftAnti:
+            have_left_ = false;
+            break;
+        }
+      }
+      if (have_left_ && bucket_pos_ >= bucket_size_) {
+        if (!matched_ && (kind_ == PhysJoinKind::kLeftOuter ||
+                          kind_ == PhysJoinKind::kLeftAnti)) {
+          // No room for the pad/pass-through row: leave this probe row
+          // current (bucket exhausted, unmatched) and resume here next call.
+          if (cpairs_.size() >= cap) break;
+          cpairs_.push_back({cleft_, kNoRight});
+        }
+        have_left_ = false;
+      }
+      if (cpairs_.size() >= cap) break;
+    }
+    const uint32_t n = static_cast<uint32_t>(cpairs_.size());
+    if (n == 0) return Status::OK();  // EOS
+    out->ResizeCols(layout_.size());
+    for (size_t c = 0; c < left_width; ++c) {
+      GatherProbeColumn(cin_->col(c), &out->col(c));
+    }
+    if (emit_right) {
+      for (size_t k = 0; k < pad_types_.size(); ++k) {
+        ColumnVec& dst = out->col(left_width + k);
+        dst.StartBuild(pad_types_[k], n);
+        for (const ProbePair& p : cpairs_) {
+          if (p.right == kNoRight) {
+            dst.AppendNull();
+          } else {
+            dst.AppendValue(active_->arena[p.right][k]);
+          }
+        }
+        dst.Seal();
+      }
+    }
+    out->set_num_rows(n);
+    return Status::OK();
   }
 
   void CloseImpl() override {
@@ -711,6 +835,95 @@ class HashJoinOp : public PhysicalOp {
     m->Add(MetricCounter::kHashJoinArenaBytes, bytes);
   }
 
+  /// Columnar analogue of LookupBucket: positions the bucket cursor for
+  /// the probe row at selection position `j` of cin_. Keys are column
+  /// slots, so NULL detection and the hash are free of per-row expression
+  /// evaluation; the heterogeneous find compares hash-first and only runs
+  /// the per-key comparison on a hash hit.
+  void LookupBucketColumnar(uint32_t j) {
+    bucket_begin_ = 0;
+    bucket_size_ = 0;
+    bucket_pos_ = 0;
+    const uint32_t r = cin_->RowAt(j);
+    bool null_key = false;
+    for (int slot : probe_slots_) {
+      if (cin_->col(slot).IsNull(r)) {
+        null_key = true;  // NULL keys never join
+        break;
+      }
+    }
+    if (!null_key) {
+      ColumnKeyRef ref{cin_.get(), probe_slots_.data(), probe_slots_.size(),
+                       r, chashes_[j]};
+      auto it = active_->table.find(ref);
+      if (it != active_->table.end()) {
+        bucket_begin_ = it->second.begin;
+        bucket_size_ = it->second.size;
+      }
+    }
+    if (MetricsRegistry* m = metrics()) {
+      m->Observe(MetricHistogram::kHashJoinChainLength, bucket_size_);
+    }
+  }
+
+  /// Residual predicate for a (current probe row, arena slot) candidate:
+  /// the probe half decodes lazily once per probe row, the combined row is
+  /// assembled in a reused scratch, and evaluation goes through the same
+  /// row Evaluator the row paths use.
+  Result<bool> EvalResidualColumnar(uint32_t arena_slot, ExecContext* ctx) {
+    if (!cleft_decoded_) {
+      cin_->DecodeRow(cleft_, &cdecode_);
+      cleft_decoded_ = true;
+    }
+    const Row& inner = active_->arena[arena_slot];
+    ccombined_ = cdecode_;
+    ccombined_.insert(ccombined_.end(), inner.begin(), inner.end());
+    return residual_.EvalPredicate(ccombined_, ctx);
+  }
+
+  /// Gathers the probe-side values of the accumulated pairs into an output
+  /// column, staying in the source's representation (no boxing unless the
+  /// source itself is boxed).
+  void GatherProbeColumn(const ColumnVec& src, ColumnVec* dst) const {
+    const uint32_t n = static_cast<uint32_t>(cpairs_.size());
+    dst->StartBuild(src.type(), n);
+    switch (src.rep()) {
+      case ColumnRep::kInts:
+        for (const ProbePair& p : cpairs_) {
+          if (src.IsNull(p.left)) {
+            dst->AppendNull();
+          } else {
+            dst->AppendInt(src.IntAt(p.left));
+          }
+        }
+        break;
+      case ColumnRep::kDoubles:
+        for (const ProbePair& p : cpairs_) {
+          if (src.IsNull(p.left)) {
+            dst->AppendNull();
+          } else {
+            dst->AppendDouble(src.DoubleAt(p.left));
+          }
+        }
+        break;
+      case ColumnRep::kStrings:
+        for (const ProbePair& p : cpairs_) {
+          if (src.IsNull(p.left)) {
+            dst->AppendNull();
+          } else {
+            dst->AppendStr(src.StrAt(p.left));
+          }
+        }
+        break;
+      case ColumnRep::kValues:
+        for (const ProbePair& p : cpairs_) {
+          dst->AppendValue(src.ValAt(p.left));
+        }
+        break;
+    }
+    dst->Seal();
+  }
+
   /// Evaluates the probe keys for `left` and positions the bucket cursor;
   /// a NULL key or an absent key yields an empty bucket.
   Status LookupBucket(const Row& left, ExecContext* ctx) {
@@ -757,6 +970,23 @@ class HashJoinOp : public PhysicalOp {
   uint32_t bucket_pos_ = 0;
   RowBatch probe_{0};
   size_t probe_pos_ = 0;
+
+  /// Columnar-probe state (NextColumnsImpl). Active only when every probe
+  /// key is a plain column ref (columnar_capable_); shares matched_ and
+  /// the bucket cursor with the row paths, which never interleave with it.
+  static constexpr uint32_t kNoRight = UINT32_MAX;  // pad / probe-only pair
+  struct ProbePair {
+    uint32_t left;   // physical row in cin_
+    uint32_t right;  // build arena slot, or kNoRight
+  };
+  std::vector<int> probe_slots_;        // probe key columns in cin_
+  std::unique_ptr<ColumnBatch> cin_;    // current probe input batch
+  std::vector<size_t> chashes_;         // per-selection-position key hashes
+  uint32_t cjpos_ = 0;                  // selection cursor into cin_
+  uint32_t cleft_ = 0;                  // current probe row (physical)
+  bool cleft_decoded_ = false;          // cdecode_ holds cleft_'s row
+  std::vector<ProbePair> cpairs_;       // pairs gathered this call
+  Row cdecode_, ccombined_;             // residual-eval scratch
 };
 
 }  // namespace

@@ -3,16 +3,43 @@
 
 #include "exec/evaluator.h"
 #include "exec/ops.h"
+#include "exec/vector_kernels.h"
 #include "obs/metrics.h"
 
 namespace orq {
 
 namespace {
 
+/// Recursively splits nested top-level ANDs into conjuncts. Evaluating
+/// flattened conjuncts left to right with false-drops-immediately /
+/// null-marks-but-keeps reproduces the row evaluator's n-ary AND exactly,
+/// including which rows a later erroring conjunct gets to see.
+void FlattenAnd(const ScalarExprPtr& e, std::vector<ScalarExprPtr>* out) {
+  if (e->kind == ScalarKind::kAnd) {
+    for (const ScalarExprPtr& child : e->children) FlattenAnd(child, out);
+    return;
+  }
+  out->push_back(e);
+}
+
 class FilterOp : public PhysicalOp {
  public:
   FilterOp(PhysicalOpPtr child, ScalarExprPtr predicate) {
     layout_ = child->layout();
+    columnar_capable_ = true;
+    // A single non-AND predicate keeps rows by EvalPredicate's rule
+    // (non-NULL, *boolean*, true); conjuncts split from an AND keep rows
+    // the way the AND node consumes children: any non-NULL truthy value.
+    single_conjunct_ = predicate->kind != ScalarKind::kAnd;
+    std::vector<ScalarExprPtr> parts;
+    FlattenAnd(predicate, &parts);
+    conjuncts_.reserve(parts.size());
+    for (const ScalarExprPtr& part : parts) {
+      Conjunct cj;
+      cj.vec.Compile(part, layout_);
+      if (!cj.vec.vectorizable()) cj.row = Evaluator(part, layout_);
+      conjuncts_.push_back(std::move(cj));
+    }
     predicate_ = Evaluator(std::move(predicate), layout_);
     children_.push_back(std::move(child));
   }
@@ -50,11 +77,115 @@ class FilterOp : public PhysicalOp {
     }
   }
 
+  /// Columnar filter: the child fills `out` (views and all); conjuncts
+  /// narrow the selection vector in place — survivors are marked, not
+  /// copied. Rows a conjunct evaluates to NULL stay selected (the row
+  /// engine's AND keeps evaluating later children past a NULL, and a later
+  /// conjunct may error or return false on them) and are removed at the
+  /// end. Loops past fully-filtered input so selected() == 0 means EOS.
+  Status NextColumnsImpl(ExecContext* ctx, ColumnBatch* out) override {
+    while (true) {
+      ORQ_RETURN_IF_ERROR(children_[0]->NextColumns(ctx, out));
+      if (out->selected() == 0) return Status::OK();  // end of stream
+      null_mark_.assign(out->num_rows(), 0);
+      bool any_mark = false;
+      for (Conjunct& cj : conjuncts_) {
+        if (out->selected() == 0) break;
+        if (cj.vec.vectorizable()) {
+          ORQ_ASSIGN_OR_RETURN(const ColumnVec* r, cj.vec.Eval(*out, ctx));
+          Narrow(out, &any_mark, [&](uint32_t i) {
+            int t = PredTruthElem(*r, i);
+            if (single_conjunct_) {
+              // EvalPredicate: non-NULL boolean true keeps, all else drops.
+              return t == 1 && r->type() == DataType::kBool &&
+                             (r->rep() != ColumnRep::kValues ||
+                              r->ValAt(i).type() == DataType::kBool)
+                         ? 1
+                         : 0;
+            }
+            return t;
+          });
+        } else {
+          Status err;
+          Narrow(out, &any_mark, [&](uint32_t i) {
+            if (!err.ok()) return 0;
+            out->DecodeRow(i, &decode_row_);
+            Result<Value> v = cj.row.Eval(decode_row_, ctx);
+            if (!v.ok()) {
+              err = v.status();
+              return 0;
+            }
+            if (single_conjunct_) {
+              return !v->is_null() && v->type() == DataType::kBool &&
+                             v->bool_value()
+                         ? 1
+                         : 0;
+            }
+            return v->is_null() ? -1 : (v->bool_value() ? 1 : 0);
+          });
+          ORQ_RETURN_IF_ERROR(err);
+        }
+      }
+      if (any_mark && out->selected() > 0) {
+        std::vector<uint32_t>& sel = *out->MutableSelection();
+        uint32_t w = 0;
+        for (uint32_t j = 0; j < sel.size(); ++j) {
+          if (null_mark_[sel[j]] == 0) sel[w++] = sel[j];
+        }
+        sel.resize(static_cast<size_t>(w));
+      }
+      if (out->selected() > 0) return Status::OK();
+    }
+  }
+
   void CloseImpl() override { children_[0]->Close(); }
   std::string name() const override { return "Filter"; }
 
  private:
+  struct Conjunct {
+    ColumnarEvaluator vec;
+    Evaluator row;  // fallback, set only when !vec.vectorizable()
+  };
+
+  /// Rewrites the selection keeping rows whose truth is nonzero; truth < 0
+  /// additionally null-marks the row for removal after the last conjunct.
+  template <typename TruthFn>
+  void Narrow(ColumnBatch* out, bool* any_mark, TruthFn truth) {
+    if (!out->has_selection()) {
+      const uint32_t n = out->num_rows();
+      std::vector<uint32_t>* sel = out->MutableSelection();
+      sel->clear();
+      for (uint32_t i = 0; i < n; ++i) {
+        const int t = truth(i);
+        if (t == 0) continue;
+        if (t < 0) {
+          null_mark_[i] = 1;
+          *any_mark = true;
+        }
+        sel->push_back(i);
+      }
+      return;
+    }
+    std::vector<uint32_t>& sel = *out->MutableSelection();
+    uint32_t w = 0;
+    for (uint32_t j = 0; j < sel.size(); ++j) {
+      const uint32_t i = sel[j];
+      const int t = truth(i);
+      if (t == 0) continue;
+      if (t < 0) {
+        null_mark_[i] = 1;
+        *any_mark = true;
+      }
+      sel[w++] = i;
+    }
+    sel.resize(static_cast<size_t>(w));
+  }
+
   Evaluator predicate_;
+  std::vector<Conjunct> conjuncts_;
+  bool single_conjunct_ = false;
+  std::vector<uint8_t> null_mark_;
+  Row decode_row_;
   RowBatch input_{0};
   size_t in_pos_ = 0;
 };
@@ -76,13 +207,17 @@ class ComputeOp : public PhysicalOp {
     for (ProjectItem& item : items) {
       layout_.push_back(item.output);
       evals_.emplace_back(item.expr, in);
+      cevals_.emplace_back(std::make_unique<ColumnarEvaluator>());
+      cevals_.back()->Compile(item.expr, in);
     }
+    columnar_capable_ = true;
     children_.push_back(std::move(child));
   }
 
   Status OpenImpl(ExecContext* ctx) override {
     input_ = RowBatch(ctx->batch_size);
     in_pos_ = 0;
+    cinput_ = std::make_unique<ColumnBatch>(ctx->batch_size);
     return children_[0]->Open(ctx);
   }
 
@@ -123,12 +258,59 @@ class ComputeOp : public PhysicalOp {
     }
   }
 
+  /// Columnar projection: passthrough columns are view assignments (zero
+  /// copy), vectorized expressions run the column kernels, and the rest
+  /// fall back to the row evaluator over decoded selected rows (decoding
+  /// each row once, shared by all fallback expressions).
+  Status NextColumnsImpl(ExecContext* ctx, ColumnBatch* out) override {
+    ColumnBatch& in = *cinput_;
+    in.Clear();
+    ORQ_RETURN_IF_ERROR(children_[0]->NextColumns(ctx, &in));
+    const uint32_t m = in.selected();
+    if (m == 0) return Status::OK();  // end of stream
+    const uint32_t n = in.num_rows();
+    out->ResizeCols(layout_.size());
+    for (size_t k = 0; k < pass_slots_.size(); ++k) {
+      out->col(k).AssignView(in.col(pass_slots_[k]));
+    }
+    bool any_fallback = false;
+    for (size_t j = 0; j < cevals_.size(); ++j) {
+      ColumnVec& dst = out->col(pass_slots_.size() + j);
+      if (cevals_[j]->vectorizable()) {
+        ORQ_ASSIGN_OR_RETURN(const ColumnVec* r, cevals_[j]->Eval(in, ctx));
+        dst.AssignView(*r);
+      } else {
+        dst.PrepareScatterVals(cevals_[j]->expr()->type, n);
+        any_fallback = true;
+      }
+    }
+    if (any_fallback) {
+      for (uint32_t j = 0; j < m; ++j) {
+        const uint32_t i = in.RowAt(j);
+        in.DecodeRow(i, &decode_row_);
+        for (size_t k = 0; k < cevals_.size(); ++k) {
+          if (cevals_[k]->vectorizable()) continue;
+          ORQ_ASSIGN_OR_RETURN(Value v, evals_[k].Eval(decode_row_, ctx));
+          out->col(pass_slots_.size() + k).MutableVals()[i] = std::move(v);
+        }
+      }
+    }
+    out->set_num_rows(n);
+    if (in.has_selection()) *out->MutableSelection() = in.selection();
+    return Status::OK();
+  }
+
   void CloseImpl() override { children_[0]->Close(); }
   std::string name() const override { return "Compute"; }
 
  private:
   std::vector<int> pass_slots_;
   std::vector<Evaluator> evals_;
+  /// unique_ptr so the vector stays movable even though ColumnarEvaluator
+  /// holds scratch-pool state; index-aligned with evals_.
+  std::vector<std::unique_ptr<ColumnarEvaluator>> cevals_;
+  std::unique_ptr<ColumnBatch> cinput_;
+  Row decode_row_;
   RowBatch input_{0};
   size_t in_pos_ = 0;
 };

@@ -18,13 +18,30 @@ struct PackedKey {
   explicit PackedKey(Row v) : values(std::move(v)), hash(RowHash{}(values)) {}
 };
 
+class ColumnBatch;
+
+/// A columnar probe key: one physical row of a ColumnBatch viewed through
+/// `num_keys` column slots, with its RowHash-compatible hash precomputed
+/// column-wise (see HashCombineColumn in exec/vector_kernels.h). Lets the
+/// columnar aggregate/join paths probe PackedKey tables without decoding
+/// the key into a Row unless the probe actually inserts.
+struct ColumnKeyRef {
+  const ColumnBatch* batch;
+  const int* slots;
+  size_t num_keys;
+  uint32_t row;
+  size_t hash;
+};
+
 /// Transparent functors (C++20 heterogeneous lookup): probes pass a plain
-/// scratch Row to find(), so a lookup never constructs a PackedKey — and
-/// therefore never copies key values — unless it actually inserts.
+/// scratch Row (or a ColumnKeyRef) to find(), so a lookup never constructs
+/// a PackedKey — and therefore never copies key values — unless it
+/// actually inserts.
 struct PackedKeyHash {
   using is_transparent = void;
   size_t operator()(const PackedKey& k) const { return k.hash; }
   size_t operator()(const Row& r) const { return RowHash{}(r); }
+  size_t operator()(const ColumnKeyRef& r) const { return r.hash; }
 };
 
 struct PackedKeyEq {
@@ -37,6 +54,10 @@ struct PackedKeyEq {
   }
   bool operator()(const Row& a, const PackedKey& b) const {
     return RowGroupEq{}(a, b.values);
+  }
+  bool operator()(const PackedKey& a, const ColumnKeyRef& b) const;
+  bool operator()(const ColumnKeyRef& a, const PackedKey& b) const {
+    return operator()(b, a);
   }
 };
 

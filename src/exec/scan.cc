@@ -110,6 +110,7 @@ class TableScanOp : public PhysicalOp {
               std::vector<ColumnId> layout)
       : table_(table), ordinals_(std::move(ordinals)) {
     layout_ = std::move(layout);
+    columnar_capable_ = true;
   }
 
   Status OpenImpl(ExecContext*) override {
@@ -139,6 +140,43 @@ class TableScanOp : public PhysicalOp {
         slot[i] = src[ordinals_[i]];
       }
     }
+    return Status::OK();
+  }
+
+  /// Zero-copy columnar scan: each output column is a view into the
+  /// table's columnar chunk cache, windowed at the current position. No
+  /// per-row work at all — the batch is pointers plus a row count.
+  Status NextColumnsImpl(ExecContext*, ColumnBatch* batch) override {
+    const size_t end = table_->num_rows();
+    if (pos_ >= end) return Status::OK();
+    const std::vector<Table::ColumnChunk>& chunks = table_->ColumnarChunks();
+    const uint32_t n = static_cast<uint32_t>(
+        std::min(end - pos_, static_cast<size_t>(batch->capacity())));
+    batch->ResizeCols(ordinals_.size());
+    for (size_t i = 0; i < ordinals_.size(); ++i) {
+      const Table::ColumnChunk& chunk = chunks[ordinals_[i]];
+      ColumnVec& col = batch->col(i);
+      if (chunk.mixed) {
+        col.SetValuesView(chunk.type, chunk.vals.data() + pos_, n);
+        continue;
+      }
+      const uint8_t* nulls =
+          chunk.any_null ? chunk.nulls.data() + pos_ : nullptr;
+      switch (chunk.type) {
+        case DataType::kDouble:
+          col.SetDoubleView(chunk.doubles.data() + pos_, nulls, n);
+          break;
+        case DataType::kString:
+          col.SetStringView(chunk.chars.data(), chunk.offsets.data() + pos_,
+                            nulls, n);
+          break;
+        default:
+          col.SetIntView(chunk.type, chunk.ints.data() + pos_, nulls, n);
+          break;
+      }
+    }
+    batch->set_num_rows(n);
+    pos_ += n;
     return Status::OK();
   }
 

@@ -1,0 +1,697 @@
+#include "exec/vector_kernels.h"
+
+#include <cmath>
+
+#include "exec/evaluator.h"
+
+namespace orq {
+
+void InitKeyHashes(const ColumnBatch& batch, std::vector<size_t>* hashes) {
+  hashes->assign(batch.selected(), size_t{0x9e3779b97f4a7c15ull});
+}
+
+void HashCombineColumn(const ColumnBatch& batch, const ColumnVec& col,
+                       std::vector<size_t>* hashes) {
+  size_t* h = hashes->data();
+  const uint32_t m = batch.selected();
+  for (uint32_t j = 0; j < m; ++j) {
+    h[j] = h[j] * 1099511628211ull + HashRef(LoadElem(col, batch.RowAt(j)));
+  }
+}
+
+namespace {
+
+inline int ThreeWayInt(int64_t a, int64_t b) {
+  return a < b ? -1 : (a > b ? 1 : 0);
+}
+
+/// CompareDoubles when the right side is known non-NaN: the fall-through
+/// case (none of <, >, == holds) means the left side is NaN, which sorts
+/// above everything. Branch-free enough to auto-vectorize.
+inline int ThreeWayDoubleVsNonNan(double a, double b) {
+  return a < b ? -1 : (a > b ? 1 : (a == b ? 0 : 1));
+}
+
+inline bool CmpHolds(CompareOp op, int c) {
+  switch (op) {
+    case CompareOp::kEq: return c == 0;
+    case CompareOp::kNe: return c != 0;
+    case CompareOp::kLt: return c < 0;
+    case CompareOp::kLe: return c <= 0;
+    case CompareOp::kGt: return c > 0;
+    case CompareOp::kGe: return c >= 0;
+  }
+  return false;
+}
+
+/// Runs `f(i)` over every live row of the batch.
+template <typename F>
+inline void ForEachLive(const ColumnBatch& b, F f) {
+  if (b.has_selection()) {
+    for (uint32_t i : b.selection()) f(i);
+  } else {
+    const uint32_t n = b.num_rows();
+    for (uint32_t i = 0; i < n; ++i) f(i);
+  }
+}
+
+/// Compare emitter: o[i] = op(tw(i)) for live rows, NULL where either
+/// input null mask is set. The dense no-null specialization is the loop
+/// the compiler vectorizes. Typed reps only (null masks are raw arrays).
+template <typename ThreeWay>
+void EmitCmp(CompareOp op, const ColumnBatch& b, const uint8_t* ln,
+             const uint8_t* rn, int64_t* o, uint8_t* on, bool* any_null,
+             ThreeWay tw) {
+  auto run = [&](auto pred) {
+    const uint32_t n = b.num_rows();
+    if (!b.has_selection() && ln == nullptr && rn == nullptr) {
+      for (uint32_t i = 0; i < n; ++i) o[i] = pred(tw(i)) ? 1 : 0;
+      return;
+    }
+    auto one = [&](uint32_t i) {
+      if ((ln != nullptr && ln[i] != 0) || (rn != nullptr && rn[i] != 0)) {
+        on[i] = 1;
+        *any_null = true;
+      } else {
+        o[i] = pred(tw(i)) ? 1 : 0;
+      }
+    };
+    ForEachLive(b, one);
+  };
+  switch (op) {
+    case CompareOp::kEq: run([](int c) { return c == 0; }); break;
+    case CompareOp::kNe: run([](int c) { return c != 0; }); break;
+    case CompareOp::kLt: run([](int c) { return c < 0; }); break;
+    case CompareOp::kLe: run([](int c) { return c <= 0; }); break;
+    case CompareOp::kGt: run([](int c) { return c > 0; }); break;
+    case CompareOp::kGe: run([](int c) { return c >= 0; }); break;
+  }
+}
+
+/// Arithmetic emitter: o[i] = f(i) for live rows, NULL propagation from
+/// either side's mask.
+template <typename Out, typename F>
+void EmitLanes(const ColumnBatch& b, const uint8_t* ln, const uint8_t* rn,
+               Out* o, uint8_t* on, bool* any_null, F f) {
+  const uint32_t n = b.num_rows();
+  if (!b.has_selection() && ln == nullptr && rn == nullptr) {
+    for (uint32_t i = 0; i < n; ++i) o[i] = f(i);
+    return;
+  }
+  ForEachLive(b, [&](uint32_t i) {
+    if ((ln != nullptr && ln[i] != 0) || (rn != nullptr && rn[i] != 0)) {
+      on[i] = 1;
+      *any_null = true;
+    } else {
+      o[i] = f(i);
+    }
+  });
+}
+
+/// An int64 lane: either a column's array or a constant.
+struct I64Lane {
+  const int64_t* arr = nullptr;
+  int64_t c = 0;
+  int64_t operator()(uint32_t i) const { return arr != nullptr ? arr[i] : c; }
+};
+
+/// A double lane: a double column, an int64 column promoted per element
+/// (Value::AsDouble), or a constant already promoted.
+struct DblLane {
+  const double* darr = nullptr;
+  const int64_t* iarr = nullptr;
+  double c = 0.0;
+  double operator()(uint32_t i) const {
+    if (darr != nullptr) return darr[i];
+    if (iarr != nullptr) return static_cast<double>(iarr[i]);
+    return c;
+  }
+};
+
+void CompareColConst(CompareOp op, const ColumnVec& col, const Value& cv,
+                     const ColumnBatch& b, ColumnVec* out) {
+  const uint32_t n = b.num_rows();
+  out->PrepareScatter(DataType::kBool, n);
+  int64_t* o = out->MutableInts();
+  uint8_t* on = out->MutableNulls();
+  bool any_null = false;
+  bool done = false;
+  if (cv.is_null()) {
+    ForEachLive(b, [&](uint32_t i) { on[i] = 1; });
+    any_null = true;
+    done = true;
+  } else if (col.rep() == ColumnRep::kInts) {
+    if (col.type() == DataType::kInt64 && cv.type() == DataType::kInt64) {
+      const int64_t* a = col.ints();
+      const int64_t c = cv.int64_value();
+      EmitCmp(op, b, col.nulls(), nullptr, o, on, &any_null,
+              [a, c](uint32_t i) { return ThreeWayInt(a[i], c); });
+      done = true;
+    } else if (col.type() == DataType::kInt64 &&
+               cv.type() == DataType::kDouble) {
+      const int64_t* a = col.ints();
+      const double c = cv.double_value();
+      EmitCmp(op, b, col.nulls(), nullptr, o, on, &any_null,
+              [a, c](uint32_t i) { return CompareInt64WithDouble(a[i], c); });
+      done = true;
+    } else if ((col.type() == DataType::kBool ||
+                col.type() == DataType::kDate) &&
+               cv.type() == col.type()) {
+      const int64_t* a = col.ints();
+      const int64_t c = cv.type() == DataType::kDate
+                            ? static_cast<int64_t>(cv.date_value())
+                            : static_cast<int64_t>(cv.bool_value() ? 1 : 0);
+      EmitCmp(op, b, col.nulls(), nullptr, o, on, &any_null,
+              [a, c](uint32_t i) { return ThreeWayInt(a[i], c); });
+      done = true;
+    }
+  } else if (col.rep() == ColumnRep::kDoubles) {
+    if (cv.type() == DataType::kDouble) {
+      const double* a = col.doubles();
+      const double c = cv.double_value();
+      if (std::isnan(c)) {
+        EmitCmp(op, b, col.nulls(), nullptr, o, on, &any_null,
+                [a, c](uint32_t i) { return CompareDoubles(a[i], c); });
+      } else {
+        EmitCmp(op, b, col.nulls(), nullptr, o, on, &any_null, [a, c](
+                    uint32_t i) { return ThreeWayDoubleVsNonNan(a[i], c); });
+      }
+      done = true;
+    } else if (cv.type() == DataType::kInt64) {
+      const double* a = col.doubles();
+      const int64_t c = cv.int64_value();
+      EmitCmp(op, b, col.nulls(), nullptr, o, on, &any_null, [a, c](
+                  uint32_t i) { return -CompareInt64WithDouble(c, a[i]); });
+      done = true;
+    }
+  } else if (col.rep() == ColumnRep::kStrings &&
+             cv.type() == DataType::kString) {
+    const std::string_view c(cv.string_value());
+    EmitCmp(op, b, col.nulls(), nullptr, o, on, &any_null,
+            [&col, c](uint32_t i) {
+              int s = col.StrAt(i).compare(c);
+              return s < 0 ? -1 : (s > 0 ? 1 : 0);
+            });
+    done = true;
+  }
+  if (!done) {
+    // Boxed reps and statically incomparable pairs (SqlCompare -> NULL).
+    const ElemRef cr = LoadValue(cv);
+    ForEachLive(b, [&](uint32_t i) {
+      std::optional<int> c = SqlCompareRefs(LoadElem(col, i), cr);
+      if (c.has_value()) {
+        o[i] = CmpHolds(op, *c) ? 1 : 0;
+      } else {
+        on[i] = 1;
+        any_null = true;
+      }
+    });
+  }
+  out->SetAnyNull(any_null);
+}
+
+void CompareColCol(CompareOp op, const ColumnVec& l, const ColumnVec& r,
+                   const ColumnBatch& b, ColumnVec* out) {
+  const uint32_t n = b.num_rows();
+  out->PrepareScatter(DataType::kBool, n);
+  int64_t* o = out->MutableInts();
+  uint8_t* on = out->MutableNulls();
+  bool any_null = false;
+  bool done = false;
+  if (l.rep() == ColumnRep::kInts && r.rep() == ColumnRep::kInts &&
+      l.type() == r.type()) {
+    const int64_t* a = l.ints();
+    const int64_t* c = r.ints();
+    EmitCmp(op, b, l.nulls(), r.nulls(), o, on, &any_null,
+            [a, c](uint32_t i) { return ThreeWayInt(a[i], c[i]); });
+    done = true;
+  } else if (l.rep() == ColumnRep::kInts && l.type() == DataType::kInt64 &&
+             r.rep() == ColumnRep::kDoubles) {
+    const int64_t* a = l.ints();
+    const double* c = r.doubles();
+    EmitCmp(op, b, l.nulls(), r.nulls(), o, on, &any_null, [a, c](
+                uint32_t i) { return CompareInt64WithDouble(a[i], c[i]); });
+    done = true;
+  } else if (l.rep() == ColumnRep::kDoubles && r.rep() == ColumnRep::kInts &&
+             r.type() == DataType::kInt64) {
+    const double* a = l.doubles();
+    const int64_t* c = r.ints();
+    EmitCmp(op, b, l.nulls(), r.nulls(), o, on, &any_null, [a, c](
+                uint32_t i) { return -CompareInt64WithDouble(c[i], a[i]); });
+    done = true;
+  } else if (l.rep() == ColumnRep::kDoubles && r.rep() == ColumnRep::kDoubles) {
+    const double* a = l.doubles();
+    const double* c = r.doubles();
+    EmitCmp(op, b, l.nulls(), r.nulls(), o, on, &any_null,
+            [a, c](uint32_t i) { return CompareDoubles(a[i], c[i]); });
+    done = true;
+  } else if (l.rep() == ColumnRep::kStrings && r.rep() == ColumnRep::kStrings) {
+    EmitCmp(op, b, l.nulls(), r.nulls(), o, on, &any_null,
+            [&l, &r](uint32_t i) {
+              int s = l.StrAt(i).compare(r.StrAt(i));
+              return s < 0 ? -1 : (s > 0 ? 1 : 0);
+            });
+    done = true;
+  }
+  if (!done) {
+    ForEachLive(b, [&](uint32_t i) {
+      std::optional<int> c = SqlCompareRefs(LoadElem(l, i), LoadElem(r, i));
+      if (c.has_value()) {
+        o[i] = CmpHolds(op, *c) ? 1 : 0;
+      } else {
+        on[i] = 1;
+        any_null = true;
+      }
+    });
+  }
+  out->SetAnyNull(any_null);
+}
+
+}  // namespace
+
+void ColumnarEvaluator::Compile(ScalarExprPtr expr,
+                                const std::vector<ColumnId>& layout) {
+  expr_ = std::move(expr);
+  slots_.clear();
+  for (size_t i = 0; i < layout.size(); ++i) {
+    slots_.emplace(layout[i], static_cast<int>(i));
+  }
+  pool_pos_ = 0;
+  vectorizable_ = expr_ != nullptr && CheckVectorizable(*expr_);
+}
+
+bool ColumnarEvaluator::CheckVectorizable(const ScalarExpr& e) const {
+  switch (e.kind) {
+    case ScalarKind::kColumnRef:
+    case ScalarKind::kLiteral:
+      return true;
+    case ScalarKind::kAnd:
+    case ScalarKind::kOr:
+    case ScalarKind::kNot:
+    case ScalarKind::kCompare:
+    case ScalarKind::kNegate:
+    case ScalarKind::kIsNull:
+    case ScalarKind::kIsNotNull:
+      break;
+    case ScalarKind::kArith:
+      // Division is the one runtime-error site reachable from a bound,
+      // typed tree; keep it on the per-row path so errors surface on
+      // exactly the rows the row engine would evaluate.
+      if (e.arith == ArithOp::kDiv) return false;
+      break;
+    default:
+      return false;  // LIKE / CASE / IN / params / subquery remnants
+  }
+  for (const auto& child : e.children) {
+    if (!CheckVectorizable(*child)) return false;
+  }
+  return true;
+}
+
+ColumnVec* ColumnarEvaluator::NewScratch() {
+  if (pool_pos_ == pool_.size()) {
+    pool_.push_back(std::make_unique<ColumnVec>());
+  }
+  return pool_[pool_pos_++].get();
+}
+
+const Value* ColumnarEvaluator::ConstOf(const ScalarExpr& e,
+                                        ExecContext* ctx) const {
+  if (e.kind == ScalarKind::kLiteral) return &e.literal;
+  if (e.kind == ScalarKind::kColumnRef &&
+      slots_.find(e.column) == slots_.end() && ctx != nullptr) {
+    auto it = ctx->params.find(e.column);
+    if (it != ctx->params.end()) return &it->second;
+  }
+  return nullptr;
+}
+
+const ColumnVec* ColumnarEvaluator::Broadcast(const Value& v,
+                                              const ColumnBatch& batch) {
+  ColumnVec* out = NewScratch();
+  out->PrepareScatterVals(v.type(), batch.num_rows());
+  Value* vals = out->MutableVals();
+  ForEachLive(batch, [&](uint32_t i) { vals[i] = v; });
+  return out;
+}
+
+Result<const ColumnVec*> ColumnarEvaluator::Eval(const ColumnBatch& batch,
+                                                 ExecContext* ctx) {
+  pool_pos_ = 0;
+  return EvalNode(*expr_, batch, ctx);
+}
+
+Status ColumnarEvaluator::CompareNode(const ScalarExpr& e,
+                                      const ColumnBatch& batch,
+                                      ExecContext* ctx, ColumnVec* out) {
+  const ScalarExpr& le = *e.children[0];
+  const ScalarExpr& re = *e.children[1];
+  const Value* lc = ConstOf(le, ctx);
+  const Value* rc = ConstOf(re, ctx);
+  if (lc != nullptr || rc != nullptr) {
+    // Normalize the constant to the right side (flip when it is on the
+    // left) and run the column-vs-constant kernel.
+    ORQ_ASSIGN_OR_RETURN(const ColumnVec* col,
+                         EvalNode(lc != nullptr ? re : le, batch, ctx));
+    CompareOp op = lc != nullptr ? FlipCompare(e.cmp) : e.cmp;
+    CompareColConst(op, *col, lc != nullptr ? *lc : *rc, batch, out);
+    return Status::OK();
+  }
+  ORQ_ASSIGN_OR_RETURN(const ColumnVec* l, EvalNode(le, batch, ctx));
+  ORQ_ASSIGN_OR_RETURN(const ColumnVec* r, EvalNode(re, batch, ctx));
+  CompareColCol(e.cmp, *l, *r, batch, out);
+  return Status::OK();
+}
+
+Status ColumnarEvaluator::ArithNode(const ScalarExpr& e,
+                                    const ColumnBatch& batch,
+                                    ExecContext* ctx, ColumnVec* out) {
+  const ScalarExpr& le = *e.children[0];
+  const ScalarExpr& re = *e.children[1];
+  const Value* lc = ConstOf(le, ctx);
+  const Value* rc = ConstOf(re, ctx);
+  const ColumnVec* L = nullptr;
+  const ColumnVec* R = nullptr;
+  if (lc == nullptr) {
+    ORQ_ASSIGN_OR_RETURN(L, EvalNode(le, batch, ctx));
+  }
+  if (rc == nullptr) {
+    ORQ_ASSIGN_OR_RETURN(R, EvalNode(re, batch, ctx));
+  }
+
+  const uint32_t n = batch.num_rows();
+  const ArithOp op = e.arith;
+  // A NULL constant annihilates the whole column (EvalArith's NULL
+  // propagation), regardless of the other side.
+  if ((lc != nullptr && lc->is_null()) || (rc != nullptr && rc->is_null())) {
+    out->PrepareScatter(e.type, n);
+    uint8_t* on = out->MutableNulls();
+    if (out->rep() == ColumnRep::kValues) return Status::OK();  // all NULL
+    ForEachLive(batch, [&](uint32_t i) { on[i] = 1; });
+    out->SetAnyNull(true);
+    return Status::OK();
+  }
+
+  const bool boxed = (L != nullptr && L->rep() == ColumnRep::kValues) ||
+                     (R != nullptr && R->rep() == ColumnRep::kValues);
+  const DataType lt = lc != nullptr ? lc->type() : L->type();
+  const DataType rt = rc != nullptr ? rc->type() : R->type();
+  const uint8_t* ln = L != nullptr ? L->nulls() : nullptr;
+  const uint8_t* rn = R != nullptr ? R->nulls() : nullptr;
+  bool any_null = false;
+
+  if (!boxed && lt == DataType::kDate && rt == DataType::kInt64 &&
+      (op == ArithOp::kAdd || op == ArithOp::kSub)) {
+    out->PrepareScatter(DataType::kDate, n);
+    I64Lane days{L != nullptr ? L->ints() : nullptr,
+                 lc != nullptr ? static_cast<int64_t>(lc->date_value()) : 0};
+    I64Lane delta{R != nullptr ? R->ints() : nullptr,
+                  rc != nullptr ? rc->int64_value() : 0};
+    const bool add = op == ArithOp::kAdd;
+    EmitLanes(batch, ln, rn, out->MutableInts(), out->MutableNulls(),
+              &any_null, [days, delta, add](uint32_t i) {
+                // Value::Date narrows to int32; reproduce the wrap.
+                int64_t d = add ? static_cast<int32_t>(days(i)) + delta(i)
+                                : static_cast<int32_t>(days(i)) - delta(i);
+                return static_cast<int64_t>(static_cast<int32_t>(d));
+              });
+    out->SetAnyNull(any_null);
+    return Status::OK();
+  }
+  if (!boxed && lt == DataType::kDate && rt == DataType::kDate &&
+      op == ArithOp::kSub) {
+    out->PrepareScatter(DataType::kInt64, n);
+    I64Lane a{L != nullptr ? L->ints() : nullptr,
+              lc != nullptr ? static_cast<int64_t>(lc->date_value()) : 0};
+    I64Lane c{R != nullptr ? R->ints() : nullptr,
+              rc != nullptr ? static_cast<int64_t>(rc->date_value()) : 0};
+    EmitLanes(batch, ln, rn, out->MutableInts(), out->MutableNulls(),
+              &any_null, [a, c](uint32_t i) {
+                return static_cast<int64_t>(static_cast<int32_t>(a(i))) -
+                       static_cast<int64_t>(static_cast<int32_t>(c(i)));
+              });
+    out->SetAnyNull(any_null);
+    return Status::OK();
+  }
+  if (!boxed && IsNumeric(lt) && IsNumeric(rt)) {
+    if (lt == DataType::kInt64 && rt == DataType::kInt64) {
+      out->PrepareScatter(DataType::kInt64, n);
+      I64Lane a{L != nullptr ? L->ints() : nullptr,
+                lc != nullptr ? lc->int64_value() : 0};
+      I64Lane c{R != nullptr ? R->ints() : nullptr,
+                rc != nullptr ? rc->int64_value() : 0};
+      int64_t* o = out->MutableInts();
+      uint8_t* on = out->MutableNulls();
+      switch (op) {
+        case ArithOp::kAdd:
+          EmitLanes(batch, ln, rn, o, on, &any_null,
+                    [a, c](uint32_t i) { return a(i) + c(i); });
+          break;
+        case ArithOp::kSub:
+          EmitLanes(batch, ln, rn, o, on, &any_null,
+                    [a, c](uint32_t i) { return a(i) - c(i); });
+          break;
+        case ArithOp::kMul:
+          EmitLanes(batch, ln, rn, o, on, &any_null,
+                    [a, c](uint32_t i) { return a(i) * c(i); });
+          break;
+        case ArithOp::kDiv:
+          return Status::Internal("division reached the vectorized path");
+      }
+      out->SetAnyNull(any_null);
+      return Status::OK();
+    }
+    out->PrepareScatter(DataType::kDouble, n);
+    auto dbl_lane = [](const ColumnVec* col, const Value* cv) {
+      DblLane lane;
+      if (col != nullptr) {
+        if (col->rep() == ColumnRep::kDoubles) {
+          lane.darr = col->doubles();
+        } else {
+          lane.iarr = col->ints();
+        }
+      } else {
+        lane.c = cv->AsDouble();
+      }
+      return lane;
+    };
+    DblLane a = dbl_lane(L, lc);
+    DblLane c = dbl_lane(R, rc);
+    double* o = out->MutableDoubles();
+    uint8_t* on = out->MutableNulls();
+    switch (op) {
+      case ArithOp::kAdd:
+        EmitLanes(batch, ln, rn, o, on, &any_null,
+                  [a, c](uint32_t i) { return a(i) + c(i); });
+        break;
+      case ArithOp::kSub:
+        EmitLanes(batch, ln, rn, o, on, &any_null,
+                  [a, c](uint32_t i) { return a(i) - c(i); });
+        break;
+      case ArithOp::kMul:
+        EmitLanes(batch, ln, rn, o, on, &any_null,
+                  [a, c](uint32_t i) { return a(i) * c(i); });
+        break;
+      case ArithOp::kDiv:
+        return Status::Internal("division reached the vectorized path");
+    }
+    out->SetAnyNull(any_null);
+    return Status::OK();
+  }
+
+  // Boxed inputs or type combinations EvalArith rejects per element
+  // (bool/string operands, date products): run the shared row semantics
+  // element-wise so NULL-skips and errors land on exactly the same rows.
+  out->PrepareScatterVals(e.type, n);
+  Value* vals = out->MutableVals();
+  const uint32_t m = batch.selected();
+  for (uint32_t j = 0; j < m; ++j) {
+    const uint32_t i = batch.RowAt(j);
+    Value lv = lc != nullptr ? *lc : L->GetValue(i);
+    Value rv = rc != nullptr ? *rc : R->GetValue(i);
+    ORQ_ASSIGN_OR_RETURN(Value v, EvalArith(op, lv, rv, e.type));
+    vals[i] = std::move(v);
+  }
+  return Status::OK();
+}
+
+Result<const ColumnVec*> ColumnarEvaluator::EvalNode(const ScalarExpr& e,
+                                                     const ColumnBatch& batch,
+                                                     ExecContext* ctx) {
+  switch (e.kind) {
+    case ScalarKind::kColumnRef: {
+      auto it = slots_.find(e.column);
+      if (it != slots_.end()) return &batch.col(it->second);
+      if (ctx != nullptr) {
+        auto pit = ctx->params.find(e.column);
+        if (pit != ctx->params.end()) return Broadcast(pit->second, batch);
+      }
+      return Status::Internal("unresolved column #" +
+                              std::to_string(e.column));
+    }
+    case ScalarKind::kLiteral:
+      return Broadcast(e.literal, batch);
+    case ScalarKind::kCompare: {
+      const Value* lc = ConstOf(*e.children[0], ctx);
+      const Value* rc = ConstOf(*e.children[1], ctx);
+      if (lc != nullptr && rc != nullptr) {
+        std::optional<int> cmp = lc->SqlCompare(*rc);
+        return Broadcast(cmp.has_value() ? CompareResult(e.cmp, *cmp)
+                                         : Value::Null(DataType::kBool),
+                         batch);
+      }
+      ColumnVec* out = NewScratch();
+      ORQ_RETURN_IF_ERROR(CompareNode(e, batch, ctx, out));
+      return out;
+    }
+    case ScalarKind::kArith: {
+      const Value* lc = ConstOf(*e.children[0], ctx);
+      const Value* rc = ConstOf(*e.children[1], ctx);
+      if (lc != nullptr && rc != nullptr) {
+        ORQ_ASSIGN_OR_RETURN(Value v, EvalArith(e.arith, *lc, *rc, e.type));
+        return Broadcast(v, batch);
+      }
+      ColumnVec* out = NewScratch();
+      ORQ_RETURN_IF_ERROR(ArithNode(e, batch, ctx, out));
+      return out;
+    }
+    case ScalarKind::kAnd:
+    case ScalarKind::kOr: {
+      const bool is_and = e.kind == ScalarKind::kAnd;
+      ColumnVec* out = NewScratch();
+      out->PrepareScatter(DataType::kBool, batch.num_rows());
+      int64_t* o = out->MutableInts();
+      uint8_t* on = out->MutableNulls();
+      ForEachLive(batch, [&](uint32_t i) { o[i] = is_and ? 1 : 0; });
+      bool any_null = false;
+      for (const auto& child : e.children) {
+        ORQ_ASSIGN_OR_RETURN(const ColumnVec* c,
+                             EvalNode(*child, batch, ctx));
+        ForEachLive(batch, [&](uint32_t i) {
+          // Skip rows already at the absorbing element (FALSE / TRUE).
+          if (on[i] == 0 && o[i] == (is_and ? 0 : 1)) return;
+          const int t = PredTruthElem(*c, i);
+          if (is_and) {
+            if (t == 0) {
+              o[i] = 0;
+              on[i] = 0;
+            } else if (t < 0) {
+              on[i] = 1;
+              any_null = true;
+            }
+          } else {
+            if (t == 1) {
+              o[i] = 1;
+              on[i] = 0;
+            } else if (t < 0) {
+              on[i] = 1;
+              any_null = true;
+            }
+          }
+        });
+      }
+      out->SetAnyNull(any_null);
+      return out;
+    }
+    case ScalarKind::kNot: {
+      const Value* cv = ConstOf(*e.children[0], ctx);
+      if (cv != nullptr) {
+        return Broadcast(cv->is_null() ? Value::Null(DataType::kBool)
+                                       : Value::Bool(!cv->bool_value()),
+                         batch);
+      }
+      ORQ_ASSIGN_OR_RETURN(const ColumnVec* c,
+                           EvalNode(*e.children[0], batch, ctx));
+      ColumnVec* out = NewScratch();
+      out->PrepareScatter(DataType::kBool, batch.num_rows());
+      int64_t* o = out->MutableInts();
+      uint8_t* on = out->MutableNulls();
+      bool any_null = false;
+      ForEachLive(batch, [&](uint32_t i) {
+        const int t = PredTruthElem(*c, i);
+        if (t < 0) {
+          on[i] = 1;
+          any_null = true;
+        } else {
+          o[i] = t == 1 ? 0 : 1;
+        }
+      });
+      out->SetAnyNull(any_null);
+      return out;
+    }
+    case ScalarKind::kIsNull:
+    case ScalarKind::kIsNotNull: {
+      const bool want_null = e.kind == ScalarKind::kIsNull;
+      const Value* cv = ConstOf(*e.children[0], ctx);
+      if (cv != nullptr) {
+        return Broadcast(Value::Bool(cv->is_null() == want_null), batch);
+      }
+      ORQ_ASSIGN_OR_RETURN(const ColumnVec* c,
+                           EvalNode(*e.children[0], batch, ctx));
+      ColumnVec* out = NewScratch();
+      out->PrepareScatter(DataType::kBool, batch.num_rows());
+      int64_t* o = out->MutableInts();
+      ForEachLive(batch, [&](uint32_t i) {
+        o[i] = c->IsNull(i) == want_null ? 1 : 0;
+      });
+      out->SetAnyNull(false);
+      return out;
+    }
+    case ScalarKind::kNegate: {
+      const Value* cv = ConstOf(*e.children[0], ctx);
+      if (cv != nullptr) {
+        if (cv->is_null()) return Broadcast(Value::Null(cv->type()), batch);
+        if (cv->type() == DataType::kInt64) {
+          return Broadcast(Value::Int64(-cv->int64_value()), batch);
+        }
+        if (cv->type() == DataType::kDouble) {
+          return Broadcast(Value::Double(-cv->double_value()), batch);
+        }
+        return Status::RuntimeError("negation of non-numeric value");
+      }
+      ORQ_ASSIGN_OR_RETURN(const ColumnVec* c,
+                           EvalNode(*e.children[0], batch, ctx));
+      ColumnVec* out = NewScratch();
+      bool any_null = false;
+      if (c->rep() == ColumnRep::kInts && c->type() == DataType::kInt64) {
+        out->PrepareScatter(DataType::kInt64, batch.num_rows());
+        const int64_t* a = c->ints();
+        EmitLanes(batch, c->nulls(), nullptr, out->MutableInts(),
+                  out->MutableNulls(), &any_null,
+                  [a](uint32_t i) { return -a[i]; });
+        out->SetAnyNull(any_null);
+        return out;
+      }
+      if (c->rep() == ColumnRep::kDoubles) {
+        out->PrepareScatter(DataType::kDouble, batch.num_rows());
+        const double* a = c->doubles();
+        EmitLanes(batch, c->nulls(), nullptr, out->MutableDoubles(),
+                  out->MutableNulls(), &any_null,
+                  [a](uint32_t i) { return -a[i]; });
+        out->SetAnyNull(any_null);
+        return out;
+      }
+      out->PrepareScatterVals(e.type, batch.num_rows());
+      Value* vals = out->MutableVals();
+      const uint32_t m = batch.selected();
+      for (uint32_t j = 0; j < m; ++j) {
+        const uint32_t i = batch.RowAt(j);
+        Value v = c->GetValue(i);
+        if (v.is_null()) {
+          vals[i] = Value::Null(v.type());
+        } else if (v.type() == DataType::kInt64) {
+          vals[i] = Value::Int64(-v.int64_value());
+        } else if (v.type() == DataType::kDouble) {
+          vals[i] = Value::Double(-v.double_value());
+        } else {
+          return Status::RuntimeError("negation of non-numeric value");
+        }
+      }
+      return out;
+    }
+    default:
+      return Status::Internal("non-vectorizable node reached ColumnarEvaluator");
+  }
+}
+
+}  // namespace orq

@@ -164,4 +164,64 @@ Result<BenchGateReport> CompareBenchJson(const std::string& baseline_jsonl,
   return report;
 }
 
+Result<BenchGateReport> CheckSpeedupJson(const std::string& jsonl,
+                                         const SpeedupGateOptions& options) {
+  if (options.slow_tag.empty() || options.fast_tag.empty()) {
+    return Status::InvalidArgument("speedup gate needs both mode tags");
+  }
+  ORQ_ASSIGN_OR_RETURN(std::vector<BenchEntry> entries,
+                       ParseBenchLines(jsonl, "report"));
+
+  BenchGateReport report;
+  int fast_enough = 0;
+  for (const BenchEntry& slow : entries) {
+    size_t at = slow.name.find(options.slow_tag);
+    if (at == std::string::npos) continue;
+    std::string fast_name = slow.name;
+    fast_name.replace(at, options.slow_tag.size(), options.fast_tag);
+    const BenchEntry* fast = FindEntry(entries, fast_name);
+    if (fast == nullptr) {
+      report.failures.push_back(slow.name + ": no " + options.fast_tag +
+                                " counterpart in report");
+      continue;
+    }
+    if (slow.error || fast->error) {
+      report.failures.push_back(slow.name + ": errored run cannot gate");
+      continue;
+    }
+    if (slow.wall_ms <= 0 || fast->wall_ms <= 0) {
+      report.failures.push_back(slow.name + ": missing wall_ms");
+      continue;
+    }
+    if (slow.wall_ms < options.min_wall_ms) {
+      report.notes.push_back(slow.name + ": under the " +
+                             std::to_string(options.min_wall_ms) +
+                             "ms wall floor; not counted");
+      continue;
+    }
+    ++report.compared;
+    double ratio = slow.wall_ms / fast->wall_ms;
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "%.2fx (%.3fms vs %.3fms)", ratio,
+                  slow.wall_ms, fast->wall_ms);
+    report.notes.push_back(slow.name + ": " + buf);
+    if (ratio >= options.min_ratio) ++fast_enough;
+  }
+  if (report.compared == 0 && report.failures.empty()) {
+    return Status::InvalidArgument("no (" + options.slow_tag + ", " +
+                                   options.fast_tag +
+                                   ") pairs eligible for the speedup gate");
+  }
+  if (fast_enough < options.min_pairs) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "speedup gate: only %d of %d pairs reached %.2fx "
+                  "(need %d)",
+                  fast_enough, report.compared, options.min_ratio,
+                  options.min_pairs);
+    report.failures.push_back(buf);
+  }
+  return report;
+}
+
 }  // namespace orq

@@ -43,6 +43,30 @@ Result<BenchGateReport> CompareBenchJson(const std::string& baseline_jsonl,
                                          const std::string& current_jsonl,
                                          const BenchGateOptions& options);
 
+/// Mode-vs-mode speedup gate over a single bench report: pairs every
+/// entry whose name contains `slow_tag` with the same name under
+/// `fast_tag` (e.g. "Columnar_GroupBy/batch/20" paired with
+/// "Columnar_GroupBy/columnar/20") and requires at least `min_pairs`
+/// pairs to reach `min_ratio`. This is how ci.sh holds the columnar
+/// engine to its promised speedup over row-batch execution.
+struct SpeedupGateOptions {
+  std::string slow_tag = "/batch/";
+  std::string fast_tag = "/columnar/";
+  /// slow wall_ms / fast wall_ms must reach this on min_pairs pairs.
+  double min_ratio = 1.5;
+  int min_pairs = 2;
+  /// Pairs whose slow side runs under this floor are noise-dominated in
+  /// a smoke window; they are reported as notes but never count for or
+  /// against the gate.
+  double min_wall_ms = 0.5;
+};
+
+/// Evaluates the speedup gate against one JSON-lines bench report. A
+/// report with no eligible (slow, fast) pairs is an error, not a pass —
+/// the gate must see the workloads it claims to hold.
+Result<BenchGateReport> CheckSpeedupJson(const std::string& jsonl,
+                                         const SpeedupGateOptions& options);
+
 }  // namespace orq
 
 #endif  // ORQ_OBS_BENCH_GATE_H_

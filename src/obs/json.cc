@@ -78,6 +78,8 @@ void PlanStatsRec(const PlanStatsNode& node, std::string* out) {
   out->append(std::to_string(node.stats.peak_cardinality));
   AppendField("batch_slots", out, &first);
   out->append(std::to_string(node.stats.batch_slots));
+  AppendField("column_batches", out, &first);
+  out->append(std::to_string(node.stats.column_batches));
   AppendField("children", out, &first);
   out->push_back('[');
   for (size_t i = 0; i < node.children.size(); ++i) {

@@ -32,6 +32,7 @@ const char* MetricCounterName(MetricCounter counter) {
     case MetricCounter::kPlanCacheHits: return "plan_cache.hits";
     case MetricCounter::kPlanCacheMisses: return "plan_cache.misses";
     case MetricCounter::kPlanCacheEvictions: return "plan_cache.evictions";
+    case MetricCounter::kColumnBatches: return "columnar.batches";
   }
   return "unknown";
 }
@@ -50,6 +51,8 @@ const char* MetricHistogramName(MetricHistogram histogram) {
       return "server.admission_queue_depth";
     case MetricHistogram::kQueryLatencyMicros:
       return "server.query_latency_micros";
+    case MetricHistogram::kSelVectorSelectivity:
+      return "columnar.sel_selectivity";
   }
   return "unknown";
 }

@@ -36,9 +36,12 @@ enum class MetricCounter : int {
   kPlanCacheHits,
   kPlanCacheMisses,
   kPlanCacheEvictions,
+  // Columnar execution (exec/column_batch.h): column batches produced by
+  // operators running in columnar mode (zero in row/batch mode).
+  kColumnBatches,
 };
 inline constexpr int kNumMetricCounters =
-    static_cast<int>(MetricCounter::kPlanCacheEvictions) + 1;
+    static_cast<int>(MetricCounter::kColumnBatches) + 1;
 
 /// Fixed-bucket histograms for distributions where the mean hides the
 /// story (a few mega-buckets in a hash join, half-empty batches).
@@ -50,9 +53,11 @@ enum class MetricHistogram : int {
   kAdmissionQueueDepth,      // waiting queries observed at each admission
   kQueryLatencyMicros,       // server-side per-query wall time (admission
                              // wait + compile + execute), in microseconds
+  kSelVectorSelectivity,     // selected rows / batch capacity (0-100) per
+                             // columnar pull — the selection-vector density
 };
 inline constexpr int kNumMetricHistograms =
-    static_cast<int>(MetricHistogram::kQueryLatencyMicros) + 1;
+    static_cast<int>(MetricHistogram::kSelVectorSelectivity) + 1;
 
 const char* MetricCounterName(MetricCounter counter);
 const char* MetricHistogramName(MetricHistogram histogram);

@@ -54,6 +54,12 @@ void RenderRec(const PlanStatsNode& node, int indent, std::string* out) {
   if (node.stats.peak_cardinality > 0) {
     out->append(" peak=" + std::to_string(node.stats.peak_cardinality));
   }
+  if (node.stats.column_batches > 0) {
+    // For columnar operators rows_out counts selected rows while
+    // batch_slots counts capacity, so the fill= ratio below doubles as
+    // the selection-vector density.
+    out->append(" mode=columnar");
+  }
   if (node.stats.batch_slots > 0) {
     out->append(" fill=" +
                 std::to_string(100 * node.stats.rows_out /

@@ -19,6 +19,7 @@ void StatsCollector::MergeFrom(const StatsCollector& other) {
       ours.peak_cardinality = theirs.peak_cardinality;
     }
     ours.batch_slots += theirs.batch_slots;
+    ours.column_batches += theirs.column_batches;
   }
 }
 

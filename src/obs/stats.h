@@ -37,6 +37,11 @@ struct OpStats {
   /// rows_out / batch_slots is the operator's batch fill ratio. Zero on the
   /// row-at-a-time path.
   int64_t batch_slots = 0;
+  /// Column batches this operator produced (columnar mode only). Nonzero
+  /// marks the operator as having run columnar; on that path rows_out
+  /// counts selected rows while batch_slots counts capacity, so the fill
+  /// ratio doubles as the selection-vector density.
+  int64_t column_batches = 0;
 };
 
 /// Owns the per-operator stats of one execution. Operators are identified

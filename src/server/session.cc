@@ -1,6 +1,7 @@
 #include "server/session.h"
 
 #include <cctype>
+#include <cstdint>
 #include <cstdlib>
 
 namespace orq {
@@ -76,8 +77,26 @@ Status Session::ApplySet(const std::string& command) {
       return Status::InvalidArgument("SET batch expects on|off, got: " +
                                      value);
     }
+  } else if (name == "exec") {
+    if (value == "row") {
+      options_.exec.batched = false;
+      options_.exec.columnar = false;
+    } else if (value == "batch") {
+      options_.exec.batched = true;
+      options_.exec.columnar = false;
+    } else if (value == "columnar") {
+      options_.exec.batched = true;
+      options_.exec.columnar = true;
+    } else {
+      return Status::InvalidArgument(
+          "SET exec expects row|batch|columnar, got: " + value);
+    }
   } else if (name == "batch_size") {
-    ORQ_ASSIGN_OR_RETURN(int64_t n, ParseInt(name, value, 1, 1 << 20));
+    // Parse wide, then let ValidateBatchSize be the one place that knows
+    // the legal range (engine execution rechecks the same predicate).
+    ORQ_ASSIGN_OR_RETURN(int64_t n,
+                         ParseInt(name, value, INT32_MIN, INT32_MAX));
+    ORQ_RETURN_IF_ERROR(ValidateBatchSize(static_cast<int>(n)));
     options_.exec.batch_size = static_cast<int>(n);
   } else if (name == "morsel_rows") {
     ORQ_ASSIGN_OR_RETURN(int64_t n, ParseInt(name, value, 1, 1 << 24));
@@ -98,8 +117,8 @@ Status Session::ApplySet(const std::string& command) {
   } else {
     return Status::InvalidArgument(
         "unknown SET option \"" + name +
-        "\" (known: threads, batch, batch_size, morsel_rows, timeout_ms, "
-        "plan_cache)");
+        "\" (known: threads, exec, batch, batch_size, morsel_rows, "
+        "timeout_ms, plan_cache)");
   }
   ++options_generation_;
   return Status::OK();

@@ -192,5 +192,82 @@ TEST(BenchGateTest, SummaryNamesEveryFailure) {
   EXPECT_NE(summary.find("FAIL bench_q2/5"), std::string::npos);
 }
 
+// One report with batch/columnar twins for two workloads plus a row mode
+// that the speedup gate must ignore.
+const char kModeReport[] =
+    "{\"name\":\"Columnar_A/row/20\",\"wall_ms\":60.0,\"error\":false}\n"
+    "{\"name\":\"Columnar_A/batch/20\",\"wall_ms\":20.0,\"error\":false}\n"
+    "{\"name\":\"Columnar_A/columnar/20\",\"wall_ms\":5.0,\"error\":false}\n"
+    "{\"name\":\"Columnar_B/batch/20\",\"wall_ms\":9.0,\"error\":false}\n"
+    "{\"name\":\"Columnar_B/columnar/20\",\"wall_ms\":4.0,\"error\":false}\n";
+
+TEST(SpeedupGateTest, PassesWhenEnoughPairsReachTheRatio) {
+  // A is 4.0x, B is 2.25x: both clear the default 1.5x, min_pairs=2.
+  Result<BenchGateReport> report =
+      CheckSpeedupJson(kModeReport, SpeedupGateOptions{});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->ok()) << report->Summary();
+  EXPECT_EQ(report->compared, 2);
+}
+
+TEST(SpeedupGateTest, FailsWhenTooFewPairsReachTheRatio) {
+  // Demanding 3.0x leaves only A (4.0x); B (2.25x) falls short.
+  SpeedupGateOptions strict;
+  strict.min_ratio = 3.0;
+  Result<BenchGateReport> report = CheckSpeedupJson(kModeReport, strict);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->ok());
+  ASSERT_EQ(report->failures.size(), 1u);
+  EXPECT_NE(report->failures[0].find("only 1 of 2 pairs"),
+            std::string::npos);
+}
+
+TEST(SpeedupGateTest, MissingCounterpartIsAFailure) {
+  const std::string orphan =
+      "{\"name\":\"Columnar_A/batch/20\",\"wall_ms\":20.0,"
+      "\"error\":false}\n";
+  Result<BenchGateReport> report =
+      CheckSpeedupJson(orphan, SpeedupGateOptions{});
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->ok());
+  EXPECT_NE(report->failures[0].find("no /columnar/ counterpart"),
+            std::string::npos);
+}
+
+TEST(SpeedupGateTest, NoEligiblePairsIsAnErrorNotAPass) {
+  // A report with none of the gated modes (e.g. pointing the gate at the
+  // wrong BENCH_*.json) must not silently succeed.
+  const std::string unrelated =
+      "{\"name\":\"Fig8/Q1/full/5\",\"wall_ms\":2.0,\"error\":false}\n";
+  Result<BenchGateReport> report =
+      CheckSpeedupJson(unrelated, SpeedupGateOptions{});
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(SpeedupGateTest, NoiseFlooredPairsDoNotCount) {
+  // Both slow sides under the 0.5ms floor: nothing eligible, so the gate
+  // errors rather than passing on noise.
+  const std::string tiny =
+      "{\"name\":\"Columnar_A/batch/1\",\"wall_ms\":0.1,\"error\":false}\n"
+      "{\"name\":\"Columnar_A/columnar/1\",\"wall_ms\":0.01,"
+      "\"error\":false}\n";
+  Result<BenchGateReport> report =
+      CheckSpeedupJson(tiny, SpeedupGateOptions{});
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(SpeedupGateTest, ErroredModeRunsFailTheGate) {
+  const std::string errored =
+      "{\"name\":\"Columnar_A/batch/20\",\"wall_ms\":20.0,"
+      "\"error\":false}\n"
+      "{\"name\":\"Columnar_A/columnar/20\",\"wall_ms\":0,"
+      "\"error\":true}\n";
+  Result<BenchGateReport> report =
+      CheckSpeedupJson(errored, SpeedupGateOptions{});
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->ok());
+  EXPECT_NE(report->failures[0].find("errored"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace orq

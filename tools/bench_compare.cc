@@ -3,6 +3,14 @@
 // match exactly; wall time may regress up to the tolerance factor.
 //
 // Usage: bench_compare <baseline.jsonl> <current.jsonl> [--tolerance X]
+//        bench_compare --speedup <report.jsonl> [--slow TAG] [--fast TAG]
+//                      [--min-ratio X] [--min-pairs N]
+//
+// The --speedup mode gates mode-vs-mode ratios within ONE report: every
+// benchmark whose name contains the slow tag (default "/batch/") is paired
+// with its fast-tag twin (default "/columnar/"), and at least --min-pairs
+// pairs (default 2) must reach --min-ratio (default 1.5x). This is how
+// ci.sh holds the columnar engine to its speedup over row-batch execution.
 //
 // The ORQ_BENCH_TOLERANCE environment variable overrides the default
 // tolerance (the flag wins over the environment). A tolerance <= 0 skips
@@ -37,19 +45,34 @@ bool ReadFile(const char* path, std::string* out) {
 
 int main(int argc, char** argv) {
   orq::BenchGateOptions options;
+  orq::SpeedupGateOptions speedup_options;
   if (const char* env = std::getenv("ORQ_BENCH_TOLERANCE");
       env != nullptr && env[0] != '\0') {
     options.wall_tolerance = std::atof(env);
   }
+  bool speedup_mode = false;
   const char* baseline_path = nullptr;
   const char* current_path = nullptr;
+  auto flag_value = [&](int* i) -> const char* {
+    if (*i + 1 >= argc) {
+      std::fprintf(stderr, "%s requires a value\n", argv[*i]);
+      std::exit(2);
+    }
+    return argv[++*i];
+  };
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--tolerance") == 0) {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "--tolerance requires a value\n");
-        return 2;
-      }
-      options.wall_tolerance = std::atof(argv[++i]);
+      options.wall_tolerance = std::atof(flag_value(&i));
+    } else if (std::strcmp(argv[i], "--speedup") == 0) {
+      speedup_mode = true;
+    } else if (std::strcmp(argv[i], "--slow") == 0) {
+      speedup_options.slow_tag = flag_value(&i);
+    } else if (std::strcmp(argv[i], "--fast") == 0) {
+      speedup_options.fast_tag = flag_value(&i);
+    } else if (std::strcmp(argv[i], "--min-ratio") == 0) {
+      speedup_options.min_ratio = std::atof(flag_value(&i));
+    } else if (std::strcmp(argv[i], "--min-pairs") == 0) {
+      speedup_options.min_pairs = std::atoi(flag_value(&i));
     } else if (baseline_path == nullptr) {
       baseline_path = argv[i];
     } else if (current_path == nullptr) {
@@ -59,6 +82,34 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+
+  if (speedup_mode) {
+    if (baseline_path == nullptr || current_path != nullptr) {
+      std::fprintf(stderr,
+                   "usage: bench_compare --speedup <report.jsonl> "
+                   "[--slow TAG] [--fast TAG] [--min-ratio X] "
+                   "[--min-pairs N]\n");
+      return 2;
+    }
+    std::string report_jsonl;
+    if (!ReadFile(baseline_path, &report_jsonl)) {
+      std::fprintf(stderr, "bench_compare: cannot open %s\n", baseline_path);
+      return 2;
+    }
+    orq::Result<orq::BenchGateReport> report =
+        orq::CheckSpeedupJson(report_jsonl, speedup_options);
+    if (!report.ok()) {
+      std::fprintf(stderr, "bench_compare: %s\n",
+                   report.status().ToString().c_str());
+      return 2;
+    }
+    std::printf("bench_compare: %s speedup %s/%s >= %.2fx on >=%d pairs\n%s",
+                baseline_path, speedup_options.slow_tag.c_str(),
+                speedup_options.fast_tag.c_str(), speedup_options.min_ratio,
+                speedup_options.min_pairs, report->Summary().c_str());
+    return report->ok() ? 0 : 1;
+  }
+
   if (baseline_path == nullptr || current_path == nullptr) {
     std::fprintf(stderr,
                  "usage: bench_compare <baseline.jsonl> <current.jsonl> "

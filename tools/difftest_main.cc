@@ -3,8 +3,8 @@
 // bag-comparison divergence with a minimized reproducer and both plans.
 //
 // Usage: difftest [--seed N] [--queries N] [--max-failures N] [--verbose]
-//                 [--reference-exec row|batch|parallel]
-//                 [--test-exec row|batch|parallel] [--threads N]
+//                 [--reference-exec row|batch|columnar|parallel]
+//                 [--test-exec row|batch|columnar|parallel] [--threads N]
 //                 [--timeout-ms N] [--plan-cache]
 //
 // --plan-cache adds a cached-vs-cold oracle side: every non-divergent
@@ -17,8 +17,8 @@
 //
 // The exec flags pick the engine per side: "batch" (default) drains
 // through NextBatch, "row" forces the classic one-row Volcano adapter,
-// and "parallel" runs the morsel-driven parallel engine with --threads
-// workers (default 4). Mixing modes cross-checks engines on the same
+// "columnar" runs the columnar (SoA) engine, and "parallel" runs the
+// morsel-driven parallel engine with --threads workers (default 4). Mixing modes cross-checks engines on the same
 // query stream — e.g. `--reference-exec row --test-exec parallel` is the
 // parallel-vs-serial oracle.
 //
@@ -69,37 +69,45 @@ int main(int argc, char** argv) {
                std::strcmp(argv[i], "--test-exec") == 0) {
       const char* flag = argv[i];
       if (i + 1 >= argc) {
-        std::fprintf(stderr, "%s requires row|batch|parallel\n", flag);
+        std::fprintf(stderr, "%s requires row|batch|columnar|parallel\n", flag);
         return 2;
       }
       const char* mode = argv[++i];
       bool batched;
+      bool columnar = false;
       bool parallel = false;
       if (std::strcmp(mode, "row") == 0) {
         batched = false;
       } else if (std::strcmp(mode, "batch") == 0) {
         batched = true;
+      } else if (std::strcmp(mode, "columnar") == 0) {
+        batched = true;
+        columnar = true;
       } else if (std::strcmp(mode, "parallel") == 0) {
         batched = true;
         parallel = true;
       } else {
-        std::fprintf(stderr, "%s expects row|batch|parallel, got %s\n",
+        std::fprintf(stderr,
+                     "%s expects row|batch|columnar|parallel, got %s\n",
                      flag, mode);
         return 2;
       }
       if (std::strcmp(flag, "--reference-exec") == 0) {
         options.reference_batched = batched;
+        options.reference_columnar = columnar;
         reference_parallel = parallel;
       } else {
         options.test_batched = batched;
+        options.test_columnar = columnar;
         test_parallel = parallel;
       }
     } else {
       std::fprintf(stderr,
                    "unknown argument %s\nusage: difftest [--seed N] "
                    "[--queries N] [--max-failures N] [--verbose] "
-                   "[--reference-exec row|batch|parallel] "
-                   "[--test-exec row|batch|parallel] [--threads N] "
+                   "[--reference-exec row|batch|columnar|parallel] "
+                   "[--test-exec row|batch|columnar|parallel] "
+                   "[--threads N] "
                    "[--timeout-ms N] [--plan-cache]\n",
                    argv[i]);
       return 2;
