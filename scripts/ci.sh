@@ -98,6 +98,53 @@ build/tools/orq_client --port "${SERVE_PORT}" --admin metrics \
 kill -TERM "${SERVE_PID}"
 wait "${SERVE_PID}"
 
+echo "=== Observability scrape smoke (query store + /metrics) ==="
+# Boots the daemon with the Prometheus listener on, runs three queries,
+# then asserts every observability surface agrees: \metrics json and
+# \history parse as strict JSON, the history lists exactly the three
+# queries, and the scraped /metrics text reports queries_ok == 3.
+OBS_PORT_FILE=build/ci_obs_serve.port
+OBS_METRICS_PORT_FILE=build/ci_obs_serve.metrics_port
+rm -f "${OBS_PORT_FILE}" "${OBS_METRICS_PORT_FILE}"
+build/tools/orq_serve --port 0 --port-file "${OBS_PORT_FILE}" \
+  --metrics-port 0 --metrics-port-file "${OBS_METRICS_PORT_FILE}" \
+  --catalog difftest --seed 20260806 >build/ci_obs_serve.log 2>&1 &
+OBS_PID=$!
+for _ in $(seq 1 100); do
+  [ -s "${OBS_PORT_FILE}" ] && [ -s "${OBS_METRICS_PORT_FILE}" ] && break
+  sleep 0.1
+done
+[ -s "${OBS_METRICS_PORT_FILE}" ] || { cat build/ci_obs_serve.log; exit 1; }
+OBS_PORT="$(cat "${OBS_PORT_FILE}")"
+OBS_METRICS_PORT="$(cat "${OBS_METRICS_PORT_FILE}")"
+build/tools/orq_client --port "${OBS_PORT}" \
+  --sql "SELECT COUNT(*) FROM nation" \
+  --sql "SELECT COUNT(*) FROM part" \
+  --sql "SELECT n_name FROM nation ORDER BY n_name" >/dev/null
+build/tools/orq_client --port "${OBS_PORT}" --admin "metrics json" \
+  >build/ci_obs_metrics.json
+build/tools/json_check build/ci_obs_metrics.json
+build/tools/orq_client --port "${OBS_PORT}" --admin "history 10" \
+  >build/ci_obs_history.json
+build/tools/json_check build/ci_obs_history.json
+# The JSON is a single physical line, so count matches, not lines.
+HISTORY_COUNT="$(grep -o '"query_id"' build/ci_obs_history.json | wc -l)" \
+  || HISTORY_COUNT=0
+[ "${HISTORY_COUNT}" -eq 3 ] || {
+  echo "history lists ${HISTORY_COUNT} queries, expected 3"
+  cat build/ci_obs_history.json
+  exit 1
+}
+build/tools/orq_client --port "${OBS_PORT}" --scrape "${OBS_METRICS_PORT}" \
+  >build/ci_obs_scrape.txt
+grep -q '^orq_server_queries_ok_total 3$' build/ci_obs_scrape.txt || {
+  echo "scraped /metrics does not report queries_ok == 3"
+  cat build/ci_obs_scrape.txt
+  exit 1
+}
+kill -TERM "${OBS_PID}"
+wait "${OBS_PID}"
+
 echo "=== Load-generator smoke + serve bench gate ==="
 # Self-hosted load run: deterministic per-session query streams against an
 # in-process server. result_rows/rows_produced are exact (serial engines,
@@ -140,7 +187,7 @@ if [ "${ORQ_CI_TSAN:-0}" = "1" ]; then
   cmake --preset tsan >/dev/null
   cmake --build --preset tsan -j "${JOBS}"
   ctest --preset tsan -j "${JOBS}" \
-    -R 'difftest_smoke_parallel|parallel_exec_test|batch_exec_test|engine_concurrency_test|cancel_test|server_smoke_test'
+    -R 'difftest_smoke_parallel|parallel_exec_test|batch_exec_test|engine_concurrency_test|cancel_test|server_smoke_test|query_store_test'
   echo "CI: all suites passed (release + asan/ubsan + tsan)."
 else
   echo "CI: all suites passed (release + asan/ubsan); set ORQ_CI_TSAN=1 to add the TSan pass."

@@ -1,5 +1,6 @@
 #include "engine/engine.h"
 
+#include <atomic>
 #include <cstdio>
 
 #include "algebra/printer.h"
@@ -7,6 +8,7 @@
 #include "exec/task_pool.h"
 #include "normalize/subquery_class.h"
 #include "obs/json.h"
+#include "obs/query_store.h"
 #include "opt/cost.h"
 #include "sql/apply_intro.h"
 #include "sql/binder.h"
@@ -57,7 +59,7 @@ Result<QueryResult> RunAndProject(PhysicalOp* plan,
 std::string AnalyzedQuery::ToJson(const std::string& label) const {
   return AnalyzedToJson(label, sql, static_cast<int64_t>(result.rows.size()),
                         result.rows_produced, plan, trace, &profile,
-                        &metrics);
+                        &metrics, profile.query_id);
 }
 
 QueryEngine::~QueryEngine() = default;
@@ -373,17 +375,30 @@ Result<QueryResult> QueryEngine::ExecuteParams(
     const std::string& sql, const std::vector<Value>& params,
     const ExecControl& control) {
   const EngineOptions options = this->options();
+  QueryObservation* observe = control.observe;
+  QueryProfile* profile = observe != nullptr ? &observe->profile : nullptr;
+  if (profile != nullptr) {
+    if (profile->start_nanos == 0) profile->start_nanos = ObsNowNanos();
+    if (profile->query_id.empty()) profile->query_id = control.query_id;
+  }
   if (options.plan_cache.enable) {
     ORQ_ASSIGN_OR_RETURN(
         PlannedQuery planned,
-        PlanWithCache(sql, options, nullptr, control.cancel,
+        PlanWithCache(sql, options, profile, control.cancel,
                       control.metrics));
+    if (profile != nullptr) {
+      profile->cache =
+          planned.from_cache ? CacheOutcome::kHit : CacheOutcome::kMiss;
+    }
+    if (observe != nullptr) {
+      observe->fingerprint = FingerprintHex(planned.plan->canonical);
+    }
     ORQ_ASSIGN_OR_RETURN(Compiled compiled,
                          MaterializePlan(planned, params));
     return ExecuteCompiledWith(compiled, options, control);
   }
   ORQ_ASSIGN_OR_RETURN(Compiled compiled,
-                       CompileWith(sql, options, nullptr, control.cancel));
+                       CompileWith(sql, options, profile, control.cancel));
   if (params.size() != compiled.param_types.size()) {
     return Status::InvalidArgument(
         "statement expects " + std::to_string(compiled.param_types.size()) +
@@ -393,6 +408,10 @@ Result<QueryResult> QueryEngine::ExecuteParams(
     ORQ_ASSIGN_OR_RETURN(
         compiled.optimized,
         SubstituteParams(compiled.optimized, params, compiled.param_types));
+  }
+  if (observe != nullptr) {
+    observe->fingerprint =
+        FingerprintHex(CanonicalizeTree(*compiled.optimized));
   }
   return ExecuteCompiledWith(compiled, options, control);
 }
@@ -405,10 +424,28 @@ Result<QueryResult> QueryEngine::ExecuteCompiled(const Compiled& compiled,
 Result<QueryResult> QueryEngine::ExecuteCompiledWith(
     const Compiled& compiled, const EngineOptions& options,
     const ExecControl& control) {
-  ORQ_ASSIGN_OR_RETURN(
-      PhysicalOpPtr plan,
-      BuildPhysicalPlan(compiled.optimized, *compiled.columns,
-                        EffectivePhysicalOptions(options)));
+  QueryObservation* observe = control.observe;
+  QueryProfile* profile = observe != nullptr ? &observe->profile : nullptr;
+  if (profile != nullptr && profile->start_nanos == 0) {
+    profile->start_nanos = ObsNowNanos();
+  }
+  PhysicalOpPtr plan;
+  {
+    PhaseTimer timer(profile, QueryPhase::kPhysicalBuild);
+    if (observe != nullptr) {
+      // Cost estimates ride along so the observation carries est-vs-actual
+      // rows per operator; plan choice happened during optimization, the
+      // model only annotates here (same as ExecuteAnalyzed).
+      CostModel cost(catalog_);
+      ORQ_ASSIGN_OR_RETURN(
+          plan, BuildPhysicalPlan(compiled.optimized, *compiled.columns,
+                                  EffectivePhysicalOptions(options), &cost));
+    } else {
+      ORQ_ASSIGN_OR_RETURN(
+          plan, BuildPhysicalPlan(compiled.optimized, *compiled.columns,
+                                  EffectivePhysicalOptions(options)));
+    }
+  }
   // The pool reference is held across execution so a concurrent
   // set_options cannot destroy threads a running exchange depends on.
   std::shared_ptr<TaskPool> pool =
@@ -425,12 +462,34 @@ Result<QueryResult> QueryEngine::ExecuteCompiledWith(
   ctx.pool = pool.get();
   ctx.morsel_rows = options.exec.morsel_rows;
   ctx.cancel = control.cancel;
+  ctx.progress_rows = control.progress_rows;
+  StatsCollector collector;
   ExecInstruments instruments;
-  if (control.metrics != nullptr) {
-    instruments.metrics = control.metrics;
+  if (control.metrics != nullptr) instruments.metrics = control.metrics;
+  if (observe != nullptr) instruments.stats = &collector;
+  if (instruments.metrics != nullptr || instruments.stats != nullptr) {
     ctx.instruments = &instruments;
   }
-  return RunAndProject(plan.get(), compiled, &ctx);
+  if (observe == nullptr) return RunAndProject(plan.get(), compiled, &ctx);
+
+  // Observed path: capture phase timings and the stats tree whether the
+  // query succeeds or fails — a cancelled query still reports the phases
+  // it finished and the rows its operators produced.
+  Result<QueryResult> result = Status::Internal("query did not run");
+  {
+    PhaseTimer timer(profile, QueryPhase::kExecute);
+    const int64_t start = ObsNowNanos();
+    result = RunAndProject(plan.get(), compiled, &ctx);
+    observe->exec_wall_nanos = ObsNowNanos() - start;
+  }
+  observe->plan = BuildPlanStats(*plan, collector, compiled.columns.get());
+  observe->has_plan = true;
+  observe->profile.total_nanos = ObsNowNanos() - observe->profile.start_nanos;
+  if (control.progress_rows != nullptr) {
+    control.progress_rows->store(ctx.rows_produced,
+                                 std::memory_order_relaxed);
+  }
+  return result;
 }
 
 namespace {
@@ -453,6 +512,14 @@ Result<AnalyzedQuery> QueryEngine::ExecuteAnalyzed(
   AnalyzedQuery analyzed;
   analyzed.sql = sql;
   analyzed.profile.start_nanos = ObsNowNanos();
+  analyzed.profile.query_id = analyze.query_id;
+  if (analyzed.profile.query_id.empty()) {
+    // Engine-local ids for analyzed runs outside the server's minting
+    // (difftest, bench, orq_profile): "q<n>", monotonic per process.
+    static std::atomic<int64_t> next_analyzed_id{0};
+    analyzed.profile.query_id =
+        "q" + std::to_string(next_analyzed_id.fetch_add(1) + 1);
+  }
 
   EngineOptions options = this->options();
   options.normalizer.trace = &analyzed.trace;
@@ -527,6 +594,7 @@ Result<AnalyzedQuery> QueryEngine::ExecuteAnalyzed(
 Result<std::string> QueryEngine::ExplainAnalyze(const std::string& sql) {
   ORQ_ASSIGN_OR_RETURN(AnalyzedQuery analyzed, ExecuteAnalyzed(sql));
   std::string out;
+  out += "== Query " + analyzed.profile.query_id + " ==\n";
   out += "== Phase times ==\n";
   out += RenderProfile(analyzed.profile, &analyzed.trace);
   out += "\n== Physical plan (actual vs estimated) ==\n";
@@ -556,21 +624,41 @@ Result<QueryResult> QueryEngine::Execute(const std::string& sql) {
 Result<QueryResult> QueryEngine::Execute(const std::string& sql,
                                          const ExecControl& control) {
   const EngineOptions options = this->options();
+  QueryObservation* observe = control.observe;
+  QueryProfile* profile = observe != nullptr ? &observe->profile : nullptr;
+  if (profile != nullptr) {
+    if (profile->start_nanos == 0) profile->start_nanos = ObsNowNanos();
+    if (profile->query_id.empty()) profile->query_id = control.query_id;
+  }
   if (options.plan_cache.enable) {
     ORQ_ASSIGN_OR_RETURN(
         PlannedQuery planned,
-        PlanWithCache(sql, options, nullptr, control.cancel,
+        PlanWithCache(sql, options, profile, control.cancel,
                       control.metrics));
     if (planned.plan->num_explicit_params > 0) {
       return MissingParamsError(planned.plan->num_explicit_params);
+    }
+    if (profile != nullptr) {
+      profile->cache =
+          planned.from_cache ? CacheOutcome::kHit : CacheOutcome::kMiss;
+    }
+    if (observe != nullptr) {
+      observe->fingerprint = FingerprintHex(planned.plan->canonical);
     }
     ORQ_ASSIGN_OR_RETURN(Compiled compiled, MaterializePlan(planned, {}));
     return ExecuteCompiledWith(compiled, options, control);
   }
   ORQ_ASSIGN_OR_RETURN(Compiled compiled,
-                       CompileWith(sql, options, nullptr, control.cancel));
+                       CompileWith(sql, options, profile, control.cancel));
   if (!compiled.param_types.empty()) {
     return MissingParamsError(compiled.param_types.size());
+  }
+  if (observe != nullptr) {
+    // No cache lane: fingerprint the optimized tree directly. Literals are
+    // still embedded here, so unlike the cache-lane fingerprint this one
+    // distinguishes literal variants of a shape.
+    observe->fingerprint =
+        FingerprintHex(CanonicalizeTree(*compiled.optimized));
   }
   return ExecuteCompiledWith(compiled, options, control);
 }

@@ -66,6 +66,29 @@ struct AnalyzeOptions {
   bool record_spans = false;
   /// Cooperative cancellation/deadline token (see ExecControl::cancel).
   const CancelToken* cancel = nullptr;
+  /// Stable query id stamped into the profile/stats JSON. Empty mints an
+  /// engine-local "q<n>" id, so every analyzed run is identifiable.
+  std::string query_id;
+};
+
+/// Per-query observability capture for the plain Execute path — everything
+/// the server's query store records without the full AnalyzedQuery bundle.
+/// Attach via ExecControl::observe; the engine fills it in whether the
+/// query succeeds or fails (a cancelled query still reports the phases it
+/// finished and the per-operator rows it produced).
+struct QueryObservation {
+  /// Phase timings plus cache outcome; profile.query_id/live_phase are
+  /// caller-seeded (the engine only writes timings and cache).
+  QueryProfile profile;
+  /// Per-operator actual-vs-estimated stats tree (valid when has_plan).
+  PlanStatsNode plan;
+  bool has_plan = false;
+  /// FNV-1a hex fingerprint of the plan's canonical serialization — the
+  /// plan-cache key, so records aggregate across literal variants (the
+  /// substrate for ROADMAP item 4's cardinality feedback).
+  std::string fingerprint;
+  /// Wall time of the execution phase alone.
+  int64_t exec_wall_nanos = 0;
 };
 
 /// Per-call execution control, orthogonal to the engine configuration:
@@ -81,6 +104,17 @@ struct ExecControl {
   /// instrumented path, without per-operator stats or spans. The caller
   /// synchronizes the registry; the engine only writes during the call.
   MetricsRegistry* metrics = nullptr;
+  /// When set, the engine times compile/execute phases, fingerprints the
+  /// plan, collects per-operator stats, and snapshots them all here on the
+  /// way out (success or failure) — the server's query-store feed. Null
+  /// keeps the plain path free of stats collection.
+  QueryObservation* observe = nullptr;
+  /// When set, the executor publishes rows-produced-so-far here (relaxed
+  /// stores from the operator shells) for live introspection.
+  std::atomic<int64_t>* progress_rows = nullptr;
+  /// Caller-minted stable query id (threaded into the observation profile
+  /// and error paths). Empty when the caller does not track ids.
+  std::string query_id;
 };
 
 /// End-to-end engine configuration. Defaults enable the paper's full

@@ -1,6 +1,7 @@
 #ifndef ORQ_EXEC_EXEC_H_
 #define ORQ_EXEC_EXEC_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -145,6 +146,13 @@ struct ExecContext {
   /// Row-mode poll throttle: the per-row Next shell consults the token
   /// only every 64th call, keeping the clock read off the per-row path.
   uint32_t cancel_tick = 0;
+  /// Optional live-progress feed: when set, the shells publish
+  /// rows_produced here (relaxed store) at every batch pull and every
+  /// throttled row-mode poll, so `\queries` can show rows produced so far
+  /// without touching the executor. Parallel workers run private contexts
+  /// that leave this null, so the published figure is a lower bound under
+  /// parallel execution (the consumer side still publishes).
+  std::atomic<int64_t>* progress_rows = nullptr;
 
   /// Token poll shared by the shells; OK when no token is attached.
   Status CheckCancel() const {
@@ -187,8 +195,13 @@ class PhysicalOp {
 
   /// Fills `row` and returns true, or returns false at end of stream.
   Result<bool> Next(ExecContext* ctx, Row* row) {
-    if (ctx->cancel != nullptr && (++ctx->cancel_tick & 63u) == 0u) {
-      Status cancelled = ctx->cancel->Check();
+    if ((ctx->cancel != nullptr || ctx->progress_rows != nullptr) &&
+        (++ctx->cancel_tick & 63u) == 0u) {
+      if (ctx->progress_rows != nullptr) {
+        ctx->progress_rows->store(ctx->rows_produced,
+                                  std::memory_order_relaxed);
+      }
+      Status cancelled = ctx->CheckCancel();
       if (!cancelled.ok()) return cancelled;
     }
     if (stats_ == nullptr) {
@@ -206,6 +219,9 @@ class PhysicalOp {
   /// so the two diverge by roughly the batch size on this path.
   Status NextBatch(ExecContext* ctx, RowBatch* batch) {
     batch->Clear();
+    if (ctx->progress_rows != nullptr) {
+      ctx->progress_rows->store(ctx->rows_produced, std::memory_order_relaxed);
+    }
     ORQ_RETURN_IF_ERROR(ctx->CheckCancel());
     if (!instrumented_) {
       Status status = ctx->columnar && columnar_capable_
@@ -227,6 +243,9 @@ class PhysicalOp {
   /// columns, so a columnar parent can always pull NextColumns.
   Status NextColumns(ExecContext* ctx, ColumnBatch* batch) {
     batch->Clear();
+    if (ctx->progress_rows != nullptr) {
+      ctx->progress_rows->store(ctx->rows_produced, std::memory_order_relaxed);
+    }
     ORQ_RETURN_IF_ERROR(ctx->CheckCancel());
     if (!instrumented_) {
       Status status = columnar_capable_ ? NextColumnsImpl(ctx, batch)

@@ -136,12 +136,17 @@ std::string AnalyzedToJson(const std::string& label, const std::string& sql,
                            int64_t result_rows, int64_t rows_produced,
                            const PlanStatsNode& plan, const TraceLog& trace,
                            const QueryProfile* profile,
-                           const MetricsRegistry* metrics) {
+                           const MetricsRegistry* metrics,
+                           const std::string& query_id) {
   std::string out;
   out.push_back('{');
   bool first = true;
   AppendField("label", &out, &first);
   AppendJsonString(label, &out);
+  if (!query_id.empty()) {
+    AppendField("query_id", &out, &first);
+    AppendJsonString(query_id, &out);
+  }
   AppendField("sql", &out, &first);
   AppendJsonString(sql, &out);
   AppendField("result_rows", &out, &first);

@@ -30,7 +30,8 @@ std::string AnalyzedToJson(const std::string& label, const std::string& sql,
                            int64_t result_rows, int64_t rows_produced,
                            const PlanStatsNode& plan, const TraceLog& trace,
                            const QueryProfile* profile = nullptr,
-                           const MetricsRegistry* metrics = nullptr);
+                           const MetricsRegistry* metrics = nullptr,
+                           const std::string& query_id = "");
 
 /// Strict JSON well-formedness check (objects, arrays, strings, numbers,
 /// literals; rejects trailing garbage). Powers the bench_smoke ctest that

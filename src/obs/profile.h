@@ -1,6 +1,7 @@
 #ifndef ORQ_OBS_PROFILE_H_
 #define ORQ_OBS_PROFILE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -54,6 +55,15 @@ struct QueryProfile {
   int64_t total_nanos = 0;
   /// Whether the plan came from the plan cache (kOff when caching is off).
   CacheOutcome cache = CacheOutcome::kOff;
+  /// Stable query id ("s<session>q<seq>" on the server, "q<n>" for
+  /// engine-local analyzed runs; empty when no id was minted). Carried here
+  /// so every renderer that already takes a profile can cross-reference.
+  std::string query_id;
+  /// When non-null, each PhaseTimer publishes its phase index here as it
+  /// starts — the lock-free "current phase" feed behind `\queries`. The
+  /// pointer must outlive the query; owners clear it before copying the
+  /// profile into long-lived storage.
+  std::atomic<int>* live_phase = nullptr;
 
   const PhaseSpan& phase(QueryPhase p) const {
     return phases[static_cast<int>(p)];
@@ -69,7 +79,11 @@ class PhaseTimer {
   PhaseTimer(QueryProfile* profile, QueryPhase phase)
       : profile_(profile),
         phase_(static_cast<int>(phase)),
-        start_(profile != nullptr ? ObsNowNanos() : 0) {}
+        start_(profile != nullptr ? ObsNowNanos() : 0) {
+    if (profile_ != nullptr && profile_->live_phase != nullptr) {
+      profile_->live_phase->store(phase_, std::memory_order_relaxed);
+    }
+  }
   ~PhaseTimer() {
     if (profile_ == nullptr) return;
     PhaseSpan& span = profile_->phases[phase_];

@@ -1,0 +1,105 @@
+#include "obs/prom.h"
+
+namespace orq {
+
+std::string PromMetricName(const std::string& raw) {
+  std::string out = "orq_";
+  out.reserve(raw.size() + 4);
+  for (char c : raw) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string PromEscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void AppendType(const std::string& name, const char* type, std::string* out) {
+  *out += "# TYPE ";
+  *out += name;
+  out->push_back(' ');
+  *out += type;
+  out->push_back('\n');
+}
+
+void AppendSample(const std::string& name, int64_t value, std::string* out) {
+  *out += name;
+  out->push_back(' ');
+  *out += std::to_string(value);
+  out->push_back('\n');
+}
+
+}  // namespace
+
+std::string RenderPrometheus(const MetricsRegistry& metrics,
+                             const std::vector<PromGauge>& gauges) {
+  std::string out;
+  for (int i = 0; i < kNumMetricCounters; ++i) {
+    const MetricCounter counter = static_cast<MetricCounter>(i);
+    const std::string name =
+        PromMetricName(MetricCounterName(counter)) + "_total";
+    AppendType(name, "counter", &out);
+    AppendSample(name, metrics.counter(counter), &out);
+  }
+  for (int i = 0; i < kNumMetricHistograms; ++i) {
+    const MetricHistogram histogram = static_cast<MetricHistogram>(i);
+    const HistogramData& data = metrics.histogram(histogram);
+    const std::string name = PromMetricName(MetricHistogramName(histogram));
+    AppendType(name, "histogram", &out);
+    // The registry stores per-bucket counts (bucket i: value <= 2^i, last
+    // bucket overflow); the exposition format wants cumulative counts.
+    int64_t cumulative = 0;
+    for (int b = 0; b + 1 < kMetricHistogramBuckets; ++b) {
+      cumulative += data.buckets[b];
+      out += name;
+      out += "_bucket{le=\"";
+      out += std::to_string(int64_t{1} << b);
+      out += "\"} ";
+      out += std::to_string(cumulative);
+      out.push_back('\n');
+    }
+    out += name;
+    out += "_bucket{le=\"+Inf\"} ";
+    out += std::to_string(data.count);
+    out.push_back('\n');
+    AppendSample(name + "_sum", data.sum, &out);
+    AppendSample(name + "_count", data.count, &out);
+  }
+  for (const PromGauge& gauge : gauges) {
+    const std::string name = PromMetricName(gauge.name);
+    AppendType(name, "gauge", &out);
+    out += name;
+    if (!gauge.labels.empty()) {
+      out.push_back('{');
+      for (size_t i = 0; i < gauge.labels.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        out += gauge.labels[i].first;
+        out += "=\"";
+        out += PromEscapeLabelValue(gauge.labels[i].second);
+        out.push_back('"');
+      }
+      out.push_back('}');
+    }
+    out.push_back(' ');
+    out += std::to_string(gauge.value);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace orq

@@ -1,0 +1,43 @@
+#ifndef ORQ_OBS_PROM_H_
+#define ORQ_OBS_PROM_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace orq {
+
+/// One server gauge for the Prometheus exposition (point-in-time values
+/// like sessions_active that are not in the MetricsRegistry). `name` uses
+/// the internal dotted form and is sanitized on render; label values are
+/// escaped per the exposition format.
+struct PromGauge {
+  std::string name;
+  int64_t value = 0;
+  std::vector<std::pair<std::string, std::string>> labels;
+};
+
+/// Maps an internal dotted metric name to a Prometheus metric name:
+/// "orq_" prefix, every character outside [a-zA-Z0-9_:] replaced by '_'
+/// (so "hash_join.build_rows" becomes "orq_hash_join_build_rows").
+std::string PromMetricName(const std::string& raw);
+
+/// Escapes a label value per the text exposition format: backslash,
+/// double-quote, and newline become \\ \" \n.
+std::string PromEscapeLabelValue(const std::string& value);
+
+/// Prometheus text exposition (version 0.0.4) of the registry plus server
+/// gauges. Counters render as `<name>_total` with `# TYPE ... counter`;
+/// histograms render cumulative `_bucket{le="..."}` series (the registry's
+/// power-of-two buckets are per-bucket counts and are summed here) plus
+/// `_sum` and `_count`; gauges render as `# TYPE ... gauge`. Zero-valued
+/// series are included so scrapers see a stable set.
+std::string RenderPrometheus(const MetricsRegistry& metrics,
+                             const std::vector<PromGauge>& gauges);
+
+}  // namespace orq
+
+#endif  // ORQ_OBS_PROM_H_

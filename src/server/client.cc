@@ -16,6 +16,7 @@ Client& Client::operator=(Client&& other) noexcept {
     if (fd_ >= 0) CloseFd(fd_);
     fd_ = other.fd_;
     decoder_ = std::move(other.decoder_);
+    last_query_id_ = std::move(other.last_query_id_);
     other.fd_ = -1;
   }
   return *this;
@@ -37,12 +38,17 @@ Result<Frame> Client::RoundTrip(FrameType type, const std::string& payload) {
 }
 
 Result<WireResult> Client::Query(const std::string& sql) {
+  last_query_id_.clear();
   ORQ_ASSIGN_OR_RETURN(Frame reply, RoundTrip(FrameType::kQuery, sql));
-  if (reply.type == FrameType::kError) return DecodeError(reply.payload);
+  if (reply.type == FrameType::kError) {
+    return DecodeError(reply.payload, &last_query_id_);
+  }
   if (reply.type != FrameType::kResult) {
     return Status::InvalidArgument("unexpected reply frame type");
   }
-  return DecodeResult(reply.payload);
+  ORQ_ASSIGN_OR_RETURN(WireResult result, DecodeResult(reply.payload));
+  last_query_id_ = result.query_id;
+  return result;
 }
 
 Status Client::Set(const std::string& name, const std::string& value) {
@@ -92,13 +98,18 @@ Result<WireResult> Client::ExecutePrepared(
   WireExecute execute;
   execute.name = name;
   execute.params = params;
+  last_query_id_.clear();
   ORQ_ASSIGN_OR_RETURN(
       Frame reply, RoundTrip(FrameType::kExecute, EncodeExecute(execute)));
-  if (reply.type == FrameType::kError) return DecodeError(reply.payload);
+  if (reply.type == FrameType::kError) {
+    return DecodeError(reply.payload, &last_query_id_);
+  }
   if (reply.type != FrameType::kResult) {
     return Status::InvalidArgument("unexpected reply frame type");
   }
-  return DecodeResult(reply.payload);
+  ORQ_ASSIGN_OR_RETURN(WireResult result, DecodeResult(reply.payload));
+  last_query_id_ = result.query_id;
+  return result;
 }
 
 Status Client::Deallocate(const std::string& name) {

@@ -21,7 +21,9 @@ class Client {
   static Result<Client> Connect(const std::string& host, int port);
 
   Client(Client&& other) noexcept
-      : fd_(other.fd_), decoder_(std::move(other.decoder_)) {
+      : fd_(other.fd_),
+        decoder_(std::move(other.decoder_)),
+        last_query_id_(std::move(other.last_query_id_)) {
     other.fd_ = -1;
   }
   Client& operator=(Client&& other) noexcept;
@@ -52,6 +54,12 @@ class Client {
                                      const std::vector<Value>& params);
   Status Deallocate(const std::string& name);
 
+  /// The server-minted query id of the last Query/ExecutePrepared call,
+  /// whether it succeeded or failed (empty before the first query, or when
+  /// the failure happened before the server minted an id). Lets callers
+  /// cross-reference errors/timeouts against `\history` and traces.
+  const std::string& last_query_id() const { return last_query_id_; }
+
  private:
   explicit Client(int fd) : fd_(fd) {}
 
@@ -62,6 +70,7 @@ class Client {
   int fd_ = -1;
   /// Buffers bytes between frames (a reply may arrive split or coalesced).
   FrameDecoder decoder_;
+  std::string last_query_id_;
 };
 
 }  // namespace orq

@@ -135,6 +135,63 @@ Result<bool> RecvFrame(int fd, FrameDecoder* decoder, Frame* out) {
   }
 }
 
+Result<int> RecvSome(int fd, char* buf, size_t cap, int poll_ms) {
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = POLLIN;
+  const int ready = ::poll(&pfd, 1, poll_ms);
+  if (ready < 0) {
+    if (errno == EINTR) return -1;
+    return ErrnoStatus("poll");
+  }
+  if (ready == 0) return -1;
+  while (true) {
+    const ssize_t n = ::recv(fd, buf, cap, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("recv");
+    }
+    return static_cast<int>(n);
+  }
+}
+
+Result<std::string> HttpGet(const std::string& host, int port,
+                            const std::string& path) {
+  ORQ_ASSIGN_OR_RETURN(int fd, ConnectTcp(host, port));
+  const std::string request = "GET " + path +
+                              " HTTP/1.0\r\nHost: " + host +
+                              "\r\nConnection: close\r\n\r\n";
+  Status sent = SendAll(fd, request.data(), request.size());
+  if (!sent.ok()) {
+    ::close(fd);
+    return sent;
+  }
+  std::string response;
+  char chunk[16384];
+  while (true) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status status = ErrnoStatus("recv");
+      ::close(fd);
+      return status;
+    }
+    if (n == 0) break;
+    response.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  const size_t line_end = response.find("\r\n");
+  const size_t header_end = response.find("\r\n\r\n");
+  if (line_end == std::string::npos || header_end == std::string::npos) {
+    return Status::RuntimeError("http: malformed response");
+  }
+  const std::string status_line = response.substr(0, line_end);
+  if (status_line.find(" 200 ") == std::string::npos) {
+    return Status::RuntimeError("http: " + status_line);
+  }
+  return response.substr(header_end + 4);
+}
+
 void ShutdownFd(int fd) { ::shutdown(fd, SHUT_RDWR); }
 
 void CloseFd(int fd) { ::close(fd); }

@@ -38,6 +38,17 @@ Status SendFrame(int fd, FrameType type, const std::string& payload);
 /// an error Status on mid-frame EOF, socket errors, or protocol errors.
 Result<bool> RecvFrame(int fd, FrameDecoder* decoder, Frame* out);
 
+/// Reads up to `cap` bytes with a poll timeout. Returns the byte count,
+/// 0 on EOF, or -1 when `poll_ms` elapsed with nothing readable (the
+/// HTTP metrics listener's bounded request read).
+Result<int> RecvSome(int fd, char* buf, size_t cap, int poll_ms);
+
+/// Minimal HTTP/1.0 GET for the metrics endpoint: connects, sends the
+/// request, reads to EOF, and returns the response body. Non-2xx status
+/// lines come back as RuntimeError carrying the status line.
+Result<std::string> HttpGet(const std::string& host, int port,
+                            const std::string& path);
+
 /// shutdown(2) both directions — wakes a peer thread blocked in recv on
 /// the same fd (used to interrupt connection threads at server stop).
 void ShutdownFd(int fd);

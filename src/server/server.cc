@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <condition_variable>
+#include <cstdlib>
 #include <utility>
 #include <vector>
 
 #include "difftest/oracle.h"
+#include "obs/json.h"
 #include "obs/stats.h"
 #include "server/net.h"
 
@@ -34,7 +36,8 @@ QueryServer::QueryServer(std::shared_ptr<Catalog> catalog,
                                  std::max(1, options_.worker_threads)));
         return admission;
       }()),
-      catalog_(std::move(catalog)) {}
+      catalog_(std::move(catalog)),
+      query_store_(std::max<size_t>(1, options_.query_store_capacity)) {}
 
 QueryServer::~QueryServer() { Stop(); }
 
@@ -42,16 +45,33 @@ Status QueryServer::Start() {
   if (started_) return Status::InvalidArgument("server already started");
   ORQ_ASSIGN_OR_RETURN(listen_fd_, ListenTcp(options_.host, options_.port));
   ORQ_ASSIGN_OR_RETURN(port_, BoundTcpPort(listen_fd_));
+  if (options_.metrics_port >= 0) {
+    Result<int> metrics_fd = ListenTcp(options_.host, options_.metrics_port);
+    Result<int> metrics_port =
+        metrics_fd.ok() ? BoundTcpPort(metrics_fd.value()) : Result<int>(-1);
+    if (!metrics_fd.ok() || !metrics_port.ok()) {
+      if (metrics_fd.ok()) CloseFd(metrics_fd.value());
+      CloseFd(listen_fd_);
+      listen_fd_ = -1;
+      return metrics_fd.ok() ? metrics_port.status() : metrics_fd.status();
+    }
+    metrics_listen_fd_ = metrics_fd.value();
+    metrics_port_ = metrics_port.value();
+  }
   started_ = true;
   started_nanos_ = ObsNowNanos();
   accept_thread_ = std::thread([this] { AcceptLoop(); });
+  if (metrics_listen_fd_ >= 0) {
+    metrics_thread_ = std::thread([this] { MetricsLoop(); });
+  }
   return Status::OK();
 }
 
 void QueryServer::Stop() {
   if (!started_ || stopping_.exchange(true)) {
-    // Still join the accept thread if a second caller raced the first.
+    // Still join the listener threads if a second caller raced the first.
     if (accept_thread_.joinable()) accept_thread_.join();
+    if (metrics_thread_.joinable()) metrics_thread_.join();
     ReapConnections(/*all=*/true);
     return;
   }
@@ -64,10 +84,16 @@ void QueryServer::Stop() {
   // the accept loop also polls stopping_ every 100ms, which bounds
   // shutdown latency regardless.
   if (listen_fd_ >= 0) ShutdownFd(listen_fd_);
+  if (metrics_listen_fd_ >= 0) ShutdownFd(metrics_listen_fd_);
   if (accept_thread_.joinable()) accept_thread_.join();
+  if (metrics_thread_.joinable()) metrics_thread_.join();
   if (listen_fd_ >= 0) {
     CloseFd(listen_fd_);
     listen_fd_ = -1;
+  }
+  if (metrics_listen_fd_ >= 0) {
+    CloseFd(metrics_listen_fd_);
+    metrics_listen_fd_ = -1;
   }
   // Kick every connection out of its blocking recv, then join.
   {
@@ -125,6 +151,54 @@ void QueryServer::AcceptLoop() {
   }
 }
 
+void QueryServer::MetricsLoop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    Result<int> accepted =
+        AcceptWithTimeout(metrics_listen_fd_, /*poll_ms=*/100);
+    if (!accepted.ok()) break;  // listener closed or fatal socket error
+    const int fd = accepted.value();
+    if (fd < 0) continue;
+    if (stopping_.load(std::memory_order_relaxed)) {
+      CloseFd(fd);
+      break;
+    }
+    // One request per connection, served inline on this thread: scrapes
+    // arrive every few seconds and the body is small, so there is nothing
+    // to pipeline. A ~2s read budget keeps a stuck client from wedging
+    // the listener.
+    std::string request;
+    char chunk[4096];
+    for (int spin = 0;
+         spin < 20 && request.find("\r\n\r\n") == std::string::npos &&
+         request.size() < 8192;
+         ++spin) {
+      Result<int> got = RecvSome(fd, chunk, sizeof(chunk), /*poll_ms=*/100);
+      if (!got.ok() || got.value() == 0) break;  // error or EOF
+      if (got.value() < 0) continue;             // poll timeout, retry
+      request.append(chunk, static_cast<size_t>(got.value()));
+    }
+    const size_t line_end = request.find("\r\n");
+    const std::string line =
+        line_end == std::string::npos ? request : request.substr(0, line_end);
+    std::string reply;
+    if (line.rfind("GET /metrics ", 0) == 0 || line == "GET /metrics") {
+      const std::string body = MetricsPromText();
+      reply = "HTTP/1.0 200 OK\r\n"
+              "Content-Type: text/plain; version=0.0.4\r\n"
+              "Content-Length: " + std::to_string(body.size()) +
+              "\r\nConnection: close\r\n\r\n" + body;
+    } else {
+      const std::string body = "not found (try /metrics)\n";
+      reply = "HTTP/1.0 404 Not Found\r\n"
+              "Content-Type: text/plain\r\n"
+              "Content-Length: " + std::to_string(body.size()) +
+              "\r\nConnection: close\r\n\r\n" + body;
+    }
+    SendAll(fd, reply.data(), reply.size());
+    CloseFd(fd);
+  }
+}
+
 void QueryServer::ReapConnections(bool all) {
   // Collect joinable handles under the lock, join outside it (a connection
   // thread may be blocked in a long recv when all=true at Stop — it was
@@ -157,6 +231,52 @@ void QueryServer::UnregisterToken(CancelToken* token) {
   tokens_.erase(token);
 }
 
+void QueryServer::FinishLive(const std::shared_ptr<LiveQuery>& live) {
+  UnregisterToken(&live->token);
+  std::lock_guard<std::mutex> lock(live_mu_);
+  for (auto it = live_.begin(); it != live_.end(); ++it) {
+    if (it->get() == live.get()) {
+      live_.erase(it);
+      break;
+    }
+  }
+}
+
+Status QueryServer::CancelQuery(const std::string& id) {
+  // Copy the shared_ptr out under the lock: the query may finish (and drop
+  // its registry entry) between our lookup and the RequestCancel call, and
+  // the copy keeps the token alive across that race.
+  std::shared_ptr<LiveQuery> target;
+  {
+    std::lock_guard<std::mutex> lock(live_mu_);
+    for (const std::shared_ptr<LiveQuery>& live : live_) {
+      if (live->id == id) {
+        target = live;
+        break;
+      }
+    }
+  }
+  if (target == nullptr) {
+    return Status::NotFound("no in-flight query with id \"" + id +
+                            "\" (it may have already finished)");
+  }
+  target->token.RequestCancel();
+  return Status::OK();
+}
+
+void QueryServer::RecordQuery(QueryRecord record, int64_t slow_query_ms) {
+  // The ring outlives the query's progress sink; never let the stored
+  // profile point back at it.
+  record.profile.live_phase = nullptr;
+  if (slow_query_ms > 0 && record.wall_micros >= slow_query_ms * 1000) {
+    std::string text = "== Query " + record.query_id + " ==\n";
+    text += RenderProfile(record.profile, nullptr);
+    if (record.has_plan) text += RenderPlanStats(record.plan);
+    record.slow_explain = std::move(text);
+  }
+  query_store_.Record(std::move(record));
+}
+
 void QueryServer::EnsureEngine(Session* session,
                                std::unique_ptr<QueryEngine>* engine,
                                std::shared_ptr<Catalog>* engine_catalog,
@@ -174,14 +294,33 @@ void QueryServer::EnsureEngine(Session* session,
 Result<WireResult> QueryServer::RunQuery(
     Session* session, std::unique_ptr<QueryEngine>* engine,
     std::shared_ptr<Catalog>* engine_catalog, int64_t* engine_generation,
-    const std::string& sql, const std::vector<Value>* params) {
+    const std::string& sql, const std::vector<Value>* params,
+    std::string* query_id_out) {
   const int64_t start_nanos = ObsNowNanos();
 
-  CancelToken token;
-  if (session->timeout_ms() > 0) token.SetTimeoutMs(session->timeout_ms());
-  RegisterToken(&token);
+  // Register in the live-query table before admission, so `\queries` sees
+  // work still waiting in the queue and `\cancel` can evict it from there.
+  auto live = std::make_shared<LiveQuery>();
+  live->id = session->NextQueryId();
+  live->session_id = session->id();
+  live->sql = sql;
+  live->start_nanos = start_nanos;
+  if (query_id_out != nullptr) *query_id_out = live->id;
+  if (session->timeout_ms() > 0) {
+    live->token.SetTimeoutMs(session->timeout_ms());
+  }
+  RegisterToken(&live->token);
+  {
+    std::lock_guard<std::mutex> lock(live_mu_);
+    live_.push_back(live);
+  }
   // A server already stopping cancels this query before it runs anything.
-  if (stopping_.load(std::memory_order_relaxed)) token.RequestCancel();
+  if (stopping_.load(std::memory_order_relaxed)) live->token.RequestCancel();
+
+  const ExecOptions& exec_options = session->engine_options().exec;
+  const char* exec_mode = exec_options.columnar ? "columnar"
+                          : exec_options.batched ? "batch"
+                                                 : "row";
 
   {
     std::lock_guard<std::mutex> lock(metrics_mu_);
@@ -189,15 +328,27 @@ Result<WireResult> QueryServer::RunQuery(
                      admission_.queued());
   }
 
-  Status admitted = admission_.Admit(&token);
+  Status admitted = admission_.Admit(&live->token);
   if (!admitted.ok()) {
-    UnregisterToken(&token);
-    std::lock_guard<std::mutex> lock(metrics_mu_);
-    if (admitted.code() == StatusCode::kUnavailable) {
-      metrics_.Add(MetricCounter::kServerQueriesRejected, 1);
-    } else {
-      metrics_.Add(MetricCounter::kServerQueriesTimedOut, 1);
+    FinishLive(live);
+    {
+      std::lock_guard<std::mutex> lock(metrics_mu_);
+      if (admitted.code() == StatusCode::kUnavailable) {
+        metrics_.Add(MetricCounter::kServerQueriesRejected, 1);
+      } else {
+        metrics_.Add(MetricCounter::kServerQueriesTimedOut, 1);
+      }
     }
+    QueryRecord rejected;
+    rejected.query_id = live->id;
+    rejected.session_id = session->id();
+    rejected.sql = sql;
+    rejected.exec_mode = exec_mode;
+    rejected.outcome = OutcomeForStatus(admitted);
+    rejected.error_message = admitted.message();
+    rejected.submit_nanos = start_nanos;
+    rejected.wall_micros = (ObsNowNanos() - start_nanos) / 1000;
+    RecordQuery(std::move(rejected), session->slow_query_ms());
     return admitted;
   }
 
@@ -210,9 +361,15 @@ Result<WireResult> QueryServer::RunQuery(
   // on top — those live in the engine's pool, not this one, so a pool task
   // never waits on a second pool task for capacity.
   MetricsRegistry query_metrics;
+  QueryObservation observe;
+  observe.profile.query_id = live->id;
+  observe.profile.live_phase = &live->progress.phase;
   ExecControl control;
-  control.cancel = &token;
+  control.cancel = &live->token;
   control.metrics = &query_metrics;
+  control.observe = &observe;
+  control.progress_rows = &live->progress.rows;
+  control.query_id = live->id;
   QueryEngine* engine_ptr = engine->get();
 
   Result<QueryResult> result = Status::Internal("query task never ran");
@@ -233,7 +390,6 @@ Result<WireResult> QueryServer::RunQuery(
     done_cv.wait(lock, [&] { return done; });
   }
   admission_.Release();
-  UnregisterToken(&token);
   session->CountQuery();
 
   const int64_t latency_micros = (ObsNowNanos() - start_nanos) / 1000;
@@ -250,9 +406,41 @@ Result<WireResult> QueryServer::RunQuery(
       metrics_.Add(MetricCounter::kServerQueriesError, 1);
     }
   }
+
+  QueryRecord record;
+  record.query_id = live->id;
+  record.session_id = session->id();
+  record.sql = sql;
+  record.fingerprint = observe.fingerprint;
+  record.exec_mode = exec_mode;
+  record.outcome =
+      result.ok() ? QueryOutcome::kOk : OutcomeForStatus(result.status());
+  if (!result.ok()) record.error_message = result.status().message();
+  record.submit_nanos = start_nanos;
+  record.wall_micros = latency_micros;
+  record.result_rows =
+      result.ok() ? static_cast<int64_t>(result.value().rows.size()) : 0;
+  // A failed query still reports the rows it pushed before unwinding (the
+  // executor's progress feed), which is what a cancel post-mortem wants.
+  record.rows_produced =
+      result.ok() ? result.value().rows_produced
+                  : live->progress.rows.load(std::memory_order_relaxed);
+  record.profile = observe.profile;
+  record.has_plan = observe.has_plan;
+  if (observe.has_plan) {
+    record.plan = std::move(observe.plan);
+    record.peak_cardinality = MaxPeakCardinality(record.plan);
+  }
+  RecordQuery(std::move(record), session->slow_query_ms());
+  // Drop from the live table only after the record landed in the store, so
+  // an observer polling `\queries` + `\history` never sees the query in
+  // neither.
+  FinishLive(live);
+
   if (!result.ok()) return result.status();
 
   WireResult wire;
+  wire.query_id = live->id;
   wire.columns = result.value().column_names;
   wire.rows.reserve(result.value().rows.size());
   for (const Row& row : result.value().rows) {
@@ -263,7 +451,8 @@ Result<WireResult> QueryServer::RunQuery(
 }
 
 void QueryServer::ServeConnection(int fd, int session_id) {
-  Session session(session_id, options_.engine, options_.default_timeout_ms);
+  Session session(session_id, options_.engine, options_.default_timeout_ms,
+                  options_.default_slow_query_ms);
   std::unique_ptr<QueryEngine> engine;
   std::shared_ptr<Catalog> engine_catalog;
   int64_t engine_generation = -1;
@@ -277,14 +466,15 @@ void QueryServer::ServeConnection(int fd, int session_id) {
     reply.clear();
     switch (frame.type) {
       case FrameType::kQuery: {
+        std::string query_id;
         Result<WireResult> result =
             RunQuery(&session, &engine, &engine_catalog, &engine_generation,
-                     frame.payload);
+                     frame.payload, /*params=*/nullptr, &query_id);
         if (result.ok()) {
           reply = EncodeResult(result.value());
           if (!SendFrame(fd, FrameType::kResult, reply).ok()) return;
         } else {
-          reply = EncodeError(result.status());
+          reply = EncodeError(result.status(), query_id);
           if (!SendFrame(fd, FrameType::kError, reply).ok()) return;
         }
         break;
@@ -303,12 +493,56 @@ void QueryServer::ServeConnection(int fd, int session_id) {
         const std::string command = Trim(frame.payload);
         if (command == "metrics") {
           if (!SendFrame(fd, FrameType::kInfo, MetricsText()).ok()) return;
+        } else if (command == "metrics json") {
+          if (!SendFrame(fd, FrameType::kInfo, MetricsJsonText()).ok()) {
+            return;
+          }
+        } else if (command == "metrics prom") {
+          if (!SendFrame(fd, FrameType::kInfo, MetricsPromText()).ok()) {
+            return;
+          }
+        } else if (command == "queries") {
+          if (!SendFrame(fd, FrameType::kInfo, QueriesJsonText()).ok()) {
+            return;
+          }
+        } else if (command == "history" ||
+                   command.rfind("history ", 0) == 0) {
+          size_t limit = 32;
+          if (command.size() > 7) {
+            const std::string arg = Trim(command.substr(7));
+            char* end = nullptr;
+            const long long n = std::strtoll(arg.c_str(), &end, 10);
+            if (end == arg.c_str() || *end != '\0' || n < 0) {
+              reply = EncodeError(Status::InvalidArgument(
+                  "history expects a non-negative count, got: " + arg));
+              if (!SendFrame(fd, FrameType::kError, reply).ok()) return;
+              break;
+            }
+            limit = static_cast<size_t>(n);
+          }
+          if (!SendFrame(fd, FrameType::kInfo, HistoryJsonText(limit))
+                   .ok()) {
+            return;
+          }
+        } else if (command.rfind("cancel ", 0) == 0) {
+          const std::string id = Trim(command.substr(7));
+          Status cancelled = CancelQuery(id);
+          if (cancelled.ok()) {
+            if (!SendFrame(fd, FrameType::kInfo, "CANCEL sent: " + id)
+                     .ok()) {
+              return;
+            }
+          } else {
+            reply = EncodeError(cancelled);
+            if (!SendFrame(fd, FrameType::kError, reply).ok()) return;
+          }
         } else if (command == "ping") {
           if (!SendFrame(fd, FrameType::kPong, "").ok()) return;
         } else {
           reply = EncodeError(Status::InvalidArgument(
               "unknown admin command \"" + command +
-              "\" (known: metrics, ping)"));
+              "\" (known: metrics, metrics json, metrics prom, queries, "
+              "history [n], cancel <id>, ping)"));
           if (!SendFrame(fd, FrameType::kError, reply).ok()) return;
         }
         break;
@@ -369,14 +603,15 @@ void QueryServer::ServeConnection(int fd, int session_id) {
           if (!SendFrame(fd, FrameType::kError, reply).ok()) return;
           break;
         }
+        std::string query_id;
         Result<WireResult> result =
             RunQuery(&session, &engine, &engine_catalog, &engine_generation,
-                     stmt->sql, &execute.value().params);
+                     stmt->sql, &execute.value().params, &query_id);
         if (result.ok()) {
           reply = EncodeResult(result.value());
           if (!SendFrame(fd, FrameType::kResult, reply).ok()) return;
         } else {
-          reply = EncodeError(result.status());
+          reply = EncodeError(result.status(), query_id);
           if (!SendFrame(fd, FrameType::kError, reply).ok()) return;
         }
         break;
@@ -402,29 +637,104 @@ void QueryServer::ServeConnection(int fd, int session_id) {
   }
 }
 
+std::vector<PromGauge> QueryServer::ServerGauges() const {
+  std::vector<PromGauge> gauges;
+  auto add = [&gauges](const char* name, int64_t value) {
+    PromGauge gauge;
+    gauge.name = name;
+    gauge.value = value;
+    gauges.push_back(std::move(gauge));
+  };
+  add("server.sessions_active", active_sessions());
+  add("server.queries_running", admission_.running());
+  add("server.queue_depth", admission_.queued());
+  add("server.queue_peak", admission_.peak_queued());
+  add("server.admitted_total", admission_.admitted());
+  add("server.rejected_total", admission_.rejected());
+  add("server.cancelled_total", admission_.cancelled());
+  add("server.pool_threads", pool_.num_threads());
+  add("server.pool_tasks_run", pool_.tasks_run());
+  add("server.uptime_ms", (ObsNowNanos() - started_nanos_) / 1000000);
+  add("server.query_store_size", static_cast<int64_t>(query_store_.size()));
+  add("server.query_store_capacity",
+      static_cast<int64_t>(query_store_.capacity()));
+  add("server.query_store_recorded", query_store_.total_recorded());
+  return gauges;
+}
+
 std::string QueryServer::MetricsText() const {
   std::string out;
   {
     std::lock_guard<std::mutex> lock(metrics_mu_);
     out = RenderMetrics(metrics_);
   }
-  out += "server.sessions_active " + std::to_string(active_sessions()) + "\n";
-  out += "server.queries_running " + std::to_string(admission_.running()) +
-         "\n";
-  out += "server.queue_depth " + std::to_string(admission_.queued()) + "\n";
-  out += "server.queue_peak " + std::to_string(admission_.peak_queued()) +
-         "\n";
-  out += "server.admitted_total " + std::to_string(admission_.admitted()) +
-         "\n";
-  out += "server.rejected_total " + std::to_string(admission_.rejected()) +
-         "\n";
-  out += "server.cancelled_total " +
-         std::to_string(admission_.cancelled()) + "\n";
-  out += "server.pool_threads " + std::to_string(pool_.num_threads()) + "\n";
-  out += "server.pool_tasks_run " + std::to_string(pool_.tasks_run()) + "\n";
-  out += "server.uptime_ms " +
-         std::to_string((ObsNowNanos() - started_nanos_) / 1000000) + "\n";
+  for (const PromGauge& gauge : ServerGauges()) {
+    out += gauge.name + " " + std::to_string(gauge.value) + "\n";
+  }
   return out;
+}
+
+std::string QueryServer::MetricsJsonText() const {
+  std::string out = "{\"engine\":";
+  {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    out += MetricsToJson(metrics_);
+  }
+  out += ",\"server\":{";
+  const std::vector<PromGauge> gauges = ServerGauges();
+  for (size_t i = 0; i < gauges.size(); ++i) {
+    if (i > 0) out += ",";
+    AppendJsonString(gauges[i].name, &out);
+    out += ":" + std::to_string(gauges[i].value);
+  }
+  out += "}}";
+  return out;
+}
+
+std::string QueryServer::MetricsPromText() const {
+  MetricsRegistry snapshot;
+  {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    snapshot.MergeFrom(metrics_);
+  }
+  return RenderPrometheus(snapshot, ServerGauges());
+}
+
+std::string QueryServer::QueriesJsonText() const {
+  std::vector<std::shared_ptr<LiveQuery>> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(live_mu_);
+    snapshot = live_;
+  }
+  const int64_t now = ObsNowNanos();
+  std::string out = "{\"queries\":[";
+  for (size_t i = 0; i < snapshot.size(); ++i) {
+    const LiveQuery& live = *snapshot[i];
+    if (i > 0) out += ",";
+    out += "{\"query_id\":";
+    AppendJsonString(live.id, &out);
+    out += ",\"session\":" + std::to_string(live.session_id);
+    out += ",\"sql\":";
+    AppendJsonString(live.sql, &out);
+    out +=
+        ",\"elapsed_ms\":" + std::to_string((now - live.start_nanos) / 1000000);
+    const int phase = live.progress.phase.load(std::memory_order_relaxed);
+    out += ",\"phase\":";
+    AppendJsonString(phase < 0 ? "queued"
+                               : QueryPhaseName(static_cast<QueryPhase>(phase)),
+                     &out);
+    out += ",\"rows\":" +
+           std::to_string(live.progress.rows.load(std::memory_order_relaxed));
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string QueryServer::HistoryJsonText(size_t limit) const {
+  return QueryHistoryJson(query_store_.Tail(limit),
+                          query_store_.total_recorded(),
+                          query_store_.capacity());
 }
 
 }  // namespace orq

@@ -13,6 +13,8 @@
 #include "catalog/catalog.h"
 #include "engine/engine.h"
 #include "exec/task_pool.h"
+#include "obs/prom.h"
+#include "obs/query_store.h"
 #include "server/admission.h"
 #include "server/session.h"
 #include "server/wire.h"
@@ -32,6 +34,14 @@ struct ServerOptions {
   /// Default per-query deadline for new sessions; 0 = unbounded. Sessions
   /// override it with SET timeout_ms.
   int64_t default_timeout_ms = 0;
+  /// Default slow-query threshold for new sessions (SET slow_query_ms
+  /// overrides per session); 0 = slow-query capture off.
+  int64_t default_slow_query_ms = 0;
+  /// Completed-query ring capacity (`\history` depth).
+  size_t query_store_capacity = 256;
+  /// Plain-HTTP `GET /metrics` listener (Prometheus text exposition).
+  /// -1 = disabled; 0 binds an ephemeral port (see metrics_port()).
+  int metrics_port = -1;
   /// Base engine configuration new sessions start from.
   EngineOptions engine;
 };
@@ -67,6 +77,8 @@ class QueryServer {
 
   /// The port actually bound (after Start).
   int port() const { return port_; }
+  /// The bound HTTP metrics port (after Start; -1 when disabled).
+  int metrics_port() const { return metrics_port_; }
 
   /// Current catalog snapshot / snapshot swap (loader tools; tests).
   std::shared_ptr<Catalog> CatalogSnapshot() const;
@@ -75,25 +87,54 @@ class QueryServer {
   /// The \metrics admin body: engine+server counters accumulated across
   /// all finished queries, plus live gauges (sessions, queue depth).
   std::string MetricsText() const;
+  /// `\metrics json`: {"engine":<MetricsToJson>,"server":{gauges}}.
+  std::string MetricsJsonText() const;
+  /// `\metrics prom` and the HTTP /metrics body: Prometheus text format.
+  std::string MetricsPromText() const;
+  /// `\queries`: every in-flight query (queued or running) with its id,
+  /// session, elapsed wall time, current phase, and rows produced so far.
+  std::string QueriesJsonText() const;
+  /// `\history n`: the query store's newest `limit` records as JSON.
+  std::string HistoryJsonText(size_t limit) const;
+  /// `\cancel <id>`: fires the query's cancel token. NotFound when no
+  /// in-flight query carries `id` (it may have already finished).
+  Status CancelQuery(const std::string& id);
 
   int active_sessions() const {
     return active_sessions_.load(std::memory_order_relaxed);
   }
 
  private:
+  /// One in-flight query, registered before admission so `\queries` sees
+  /// queued work and `\cancel` can reject it out of the admission queue.
+  /// shared_ptr: `\cancel` runs on another connection's thread and must
+  /// hold the token alive across its RequestCancel call even if the query
+  /// finishes concurrently.
+  struct LiveQuery {
+    std::string id;
+    int session_id = 0;
+    std::string sql;
+    int64_t start_nanos = 0;
+    ProgressSink progress;
+    CancelToken token;
+  };
+
   void AcceptLoop();
+  void MetricsLoop();
   void ServeConnection(int fd, int session_id);
   /// Admission + snapshot pin + engine cache refresh + pooled execution.
   /// `engine`/`engine_catalog`/`engine_generation` are the connection's
   /// cached engine state (rebuilt when SET or a snapshot swap invalidated
   /// it). Non-null `params` runs the statement as a parameterized
-  /// execution (the EXECUTE path).
+  /// execution (the EXECUTE path). The minted query id is written to
+  /// `query_id_out` before execution so the caller can stamp error frames.
   Result<WireResult> RunQuery(Session* session,
                               std::unique_ptr<QueryEngine>* engine,
                               std::shared_ptr<Catalog>* engine_catalog,
                               int64_t* engine_generation,
                               const std::string& sql,
-                              const std::vector<Value>* params = nullptr);
+                              const std::vector<Value>* params,
+                              std::string* query_id_out);
 
   /// Rebuilds the connection's cached engine when the session options or
   /// the catalog snapshot moved underneath it (shared by the query path
@@ -104,6 +145,16 @@ class QueryServer {
 
   void RegisterToken(CancelToken* token);
   void UnregisterToken(CancelToken* token);
+
+  /// Unregisters the token and drops the live-registry entry (the record
+  /// stays alive through `live`'s shared_ptr until every holder is done).
+  void FinishLive(const std::shared_ptr<LiveQuery>& live);
+  /// Point-in-time server gauges shared by the text/JSON/Prometheus
+  /// metrics renderings.
+  std::vector<PromGauge> ServerGauges() const;
+  /// Records a finished/rejected query into the store (slow-query capture
+  /// happens here, against `session`'s threshold).
+  void RecordQuery(QueryRecord record, int64_t slow_query_ms);
 
   /// Join connection threads that have finished serving (accept loop
   /// housekeeping), or all of them (`all`, at Stop).
@@ -129,6 +180,11 @@ class QueryServer {
   std::mutex tokens_mu_;
   std::unordered_set<CancelToken*> tokens_;
 
+  mutable std::mutex live_mu_;
+  std::vector<std::shared_ptr<LiveQuery>> live_;
+
+  QueryStore query_store_;
+
   std::mutex conns_mu_;
   std::list<std::unique_ptr<Connection>> conns_;
 
@@ -137,7 +193,10 @@ class QueryServer {
   int next_session_id_ = 1;  // accept thread only
   int listen_fd_ = -1;
   int port_ = 0;
+  int metrics_listen_fd_ = -1;
+  int metrics_port_ = -1;
   std::thread accept_thread_;
+  std::thread metrics_thread_;
   bool started_ = false;
 };
 

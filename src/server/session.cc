@@ -105,6 +105,10 @@ Status Session::ApplySet(const std::string& command) {
     ORQ_ASSIGN_OR_RETURN(int64_t n,
                          ParseInt(name, value, 0, int64_t{1} << 40));
     timeout_ms_ = n;
+  } else if (name == "slow_query_ms") {
+    ORQ_ASSIGN_OR_RETURN(int64_t n,
+                         ParseInt(name, value, 0, int64_t{1} << 40));
+    slow_query_ms_ = n;
   } else if (name == "plan_cache") {
     if (value == "on" || value == "true" || value == "1") {
       options_.plan_cache.enable = true;
@@ -118,7 +122,7 @@ Status Session::ApplySet(const std::string& command) {
     return Status::InvalidArgument(
         "unknown SET option \"" + name +
         "\" (known: threads, exec, batch, batch_size, morsel_rows, "
-        "timeout_ms, plan_cache)");
+        "timeout_ms, slow_query_ms, plan_cache)");
   }
   ++options_generation_;
   return Status::OK();

@@ -26,14 +26,26 @@ struct PreparedStatement {
 /// the session last ran against was swapped out.
 class Session {
  public:
-  Session(int id, EngineOptions base_options, int64_t default_timeout_ms)
+  Session(int id, EngineOptions base_options, int64_t default_timeout_ms,
+          int64_t default_slow_query_ms = 0)
       : id_(id),
         options_(std::move(base_options)),
-        timeout_ms_(default_timeout_ms) {}
+        timeout_ms_(default_timeout_ms),
+        slow_query_ms_(default_slow_query_ms) {}
 
   int id() const { return id_; }
   const EngineOptions& engine_options() const { return options_; }
   int64_t timeout_ms() const { return timeout_ms_; }
+  /// Slow-query threshold: completed queries at or above this wall time get
+  /// their full EXPLAIN ANALYZE text captured in the query store (0 = off).
+  int64_t slow_query_ms() const { return slow_query_ms_; }
+
+  /// Mints the next stable query id for this session: "s<id>q<seq>".
+  /// Session is single-threaded (one connection thread), so a plain
+  /// counter suffices; ids are unique server-wide because session ids are.
+  std::string NextQueryId() {
+    return "s" + std::to_string(id_) + "q" + std::to_string(++next_query_seq_);
+  }
 
   /// Generation counter bumped by every successful SET, so the connection
   /// loop knows to rebuild its cached engine.
@@ -50,6 +62,7 @@ class Session {
   ///   morsel_rows N  -- rows per parallel-scan morsel claim
   ///   timeout_ms N   -- per-query deadline (0 disables)
   ///   plan_cache on|off -- fingerprint-keyed plan cache + parameterization
+  ///   slow_query_ms N -- slow-query log threshold (0 disables)
   Status ApplySet(const std::string& command);
 
   /// Registers (or replaces) a prepared statement. Bounded per session so
@@ -63,8 +76,10 @@ class Session {
   int id_;
   EngineOptions options_;
   int64_t timeout_ms_;
+  int64_t slow_query_ms_ = 0;
   int64_t options_generation_ = 0;
   int64_t queries_run_ = 0;
+  int64_t next_query_seq_ = 0;
   std::map<std::string, PreparedStatement> prepared_;
 };
 

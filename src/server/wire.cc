@@ -148,6 +148,7 @@ std::string EncodeResult(const WireResult& result) {
   PutU32(static_cast<uint32_t>(result.rows.size()), &out);
   for (const std::string& row : result.rows) PutStr(row, &out);
   PutU64(static_cast<uint64_t>(result.rows_produced), &out);
+  PutStr(result.query_id, &out);
   return out;
 }
 
@@ -163,15 +164,17 @@ Result<WireResult> DecodeResult(const std::string& payload) {
     result.rows.push_back(reader.Str());
   }
   result.rows_produced = static_cast<int64_t>(reader.U64());
+  result.query_id = reader.Str();
   if (!reader.ok() || !reader.AtEnd()) {
     return Status::InvalidArgument("wire: malformed result payload");
   }
   return result;
 }
 
-std::string EncodeError(const Status& status) {
+std::string EncodeError(const Status& status, const std::string& query_id) {
   std::string out;
   out.push_back(static_cast<char>(status.code()));
+  PutStr(query_id, &out);
   out.append(status.message());
   return out;
 }
@@ -313,7 +316,8 @@ Result<WireExecute> DecodeExecute(const std::string& payload) {
   return execute;
 }
 
-Status DecodeError(const std::string& payload) {
+Status DecodeError(const std::string& payload, std::string* query_id) {
+  if (query_id != nullptr) query_id->clear();
   if (payload.empty()) {
     return Status::Internal("wire: empty error payload");
   }
@@ -330,10 +334,23 @@ Status DecodeError(const std::string& payload) {
     case StatusCode::kCancelled:
     case StatusCode::kDeadlineExceeded:
     case StatusCode::kUnavailable:
-      return Status(code, payload.substr(1));
+      break;
+    default:
+      return Status::Internal("wire: unknown error code in payload: " +
+                              payload.substr(1));
   }
-  return Status::Internal("wire: unknown error code in payload: " +
-                          payload.substr(1));
+  // After the code byte: the query id as a length-prefixed string, then
+  // the raw message (no length prefix — it runs to the payload's end, so
+  // the message stays byte-identical to the engine's).
+  const std::string rest = payload.substr(1);
+  Reader reader(rest);
+  std::string id = reader.Str();
+  if (!reader.ok()) {
+    return Status::Internal("wire: malformed error payload");
+  }
+  const size_t id_size = id.size();
+  if (query_id != nullptr) *query_id = std::move(id);
+  return Status(code, payload.substr(1 + 4 + id_size));
 }
 
 }  // namespace orq

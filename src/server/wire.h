@@ -81,15 +81,21 @@ struct WireResult {
   std::vector<std::string> columns;
   std::vector<std::string> rows;
   int64_t rows_produced = 0;
+  /// Server-minted stable query id ("s<session>q<seq>"); empty from
+  /// servers that do not mint ids.
+  std::string query_id;
 };
 
 std::string EncodeResult(const WireResult& result);
 Result<WireResult> DecodeResult(const std::string& payload);
 
-/// Error frames carry the StatusCode (as u8) plus the message, so clients
-/// can distinguish a timeout from a syntax error without parsing text.
-std::string EncodeError(const Status& status);
-Status DecodeError(const std::string& payload);
+/// Error frames carry the StatusCode (as u8), the query id of the failed
+/// query (possibly empty), and the message — the id travels as its own
+/// field so error text stays byte-identical to the engine's and clients
+/// can still cross-reference `\history`.
+std::string EncodeError(const Status& status, const std::string& query_id = "");
+Status DecodeError(const std::string& payload,
+                   std::string* query_id = nullptr);
 
 /// PREPARE: registers `sql` (which may contain `?` positional parameters)
 /// under `name` in the session. The server replies kPrepared.

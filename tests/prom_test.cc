@@ -1,0 +1,100 @@
+// Prometheus text-exposition tests: metric-name sanitization, label-value
+// escaping, counter-vs-gauge-vs-histogram TYPE lines, and — the part that
+// is easy to get wrong — conversion of the registry's per-bucket
+// power-of-two counts into the format's cumulative `le` buckets.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/prom.h"
+
+namespace orq {
+namespace {
+
+TEST(PromTest, MetricNameGetsPrefixAndSanitization) {
+  EXPECT_EQ(PromMetricName("hash_join.build_rows"),
+            "orq_hash_join_build_rows");
+  EXPECT_EQ(PromMetricName("server.queries_ok"), "orq_server_queries_ok");
+  // Colons are legal in the exposition format and survive; everything
+  // else outside [a-zA-Z0-9_:] flattens to '_'.
+  EXPECT_EQ(PromMetricName("a:b-c d/e"), "orq_a:b_c_d_e");
+}
+
+TEST(PromTest, LabelValueEscaping) {
+  EXPECT_EQ(PromEscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(PromEscapeLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(PromEscapeLabelValue("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(PromEscapeLabelValue("line1\nline2"), "line1\\nline2");
+}
+
+TEST(PromTest, CountersRenderTypedWithTotalSuffixAndIncludeZeros) {
+  MetricsRegistry metrics;
+  metrics.Add(MetricCounter::kServerQueriesOk, 3);
+  const std::string out = RenderPrometheus(metrics, {});
+  EXPECT_NE(out.find("# TYPE orq_server_queries_ok_total counter\n"
+                     "orq_server_queries_ok_total 3\n"),
+            std::string::npos)
+      << out;
+  // Untouched counters still render (scrapers want a stable series set).
+  EXPECT_NE(out.find("# TYPE orq_plan_cache_hits_total counter\n"
+                     "orq_plan_cache_hits_total 0\n"),
+            std::string::npos)
+      << out;
+}
+
+TEST(PromTest, HistogramBucketsAreCumulative) {
+  MetricsRegistry metrics;
+  // Registry buckets are per-bucket counts: 1 -> bucket 0 (<=1),
+  // 2 -> bucket 1 (<=2), 3 -> bucket 2 (<=4). The exposition must sum
+  // them into cumulative counts.
+  metrics.Observe(MetricHistogram::kQueryLatencyMicros, 1);
+  metrics.Observe(MetricHistogram::kQueryLatencyMicros, 2);
+  metrics.Observe(MetricHistogram::kQueryLatencyMicros, 3);
+  // Far beyond the last finite bucket (2^14): lands only in +Inf.
+  metrics.Observe(MetricHistogram::kQueryLatencyMicros, 1000000);
+  const std::string out = RenderPrometheus(metrics, {});
+  const std::string name = "orq_server_query_latency_micros";
+  EXPECT_NE(out.find("# TYPE " + name + " histogram\n"), std::string::npos);
+  EXPECT_NE(out.find(name + "_bucket{le=\"1\"} 1\n"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find(name + "_bucket{le=\"2\"} 2\n"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find(name + "_bucket{le=\"4\"} 3\n"), std::string::npos)
+      << out;
+  // Every finite bucket past the observations carries the running total,
+  // and +Inf equals the observation count (cumulative invariant).
+  EXPECT_NE(out.find(name + "_bucket{le=\"16384\"} 3\n"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find(name + "_bucket{le=\"+Inf\"} 4\n"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find(name + "_sum 1000006\n"), std::string::npos) << out;
+  EXPECT_NE(out.find(name + "_count 4\n"), std::string::npos) << out;
+}
+
+TEST(PromTest, GaugesRenderTypedWithEscapedLabels) {
+  PromGauge plain;
+  plain.name = "server.sessions_active";
+  plain.value = 7;
+  PromGauge labeled;
+  labeled.name = "server.build_info";
+  labeled.value = 1;
+  labeled.labels = {{"version", "v1 \"beta\"\n"}};
+  const std::string out =
+      RenderPrometheus(MetricsRegistry(), {plain, labeled});
+  EXPECT_NE(out.find("# TYPE orq_server_sessions_active gauge\n"
+                     "orq_server_sessions_active 7\n"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("orq_server_build_info{version=\"v1 \\\"beta\\\"\\n\"}"
+                     " 1\n"),
+            std::string::npos)
+      << out;
+  // A gauge is not double-typed as a counter or histogram.
+  EXPECT_EQ(out.find("# TYPE orq_server_sessions_active counter"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace orq

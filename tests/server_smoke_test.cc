@@ -17,8 +17,10 @@
 #include "difftest/oracle.h"
 #include "difftest/qgen.h"
 #include "engine/engine.h"
+#include "obs/json.h"
 #include "server/admission.h"
 #include "server/client.h"
+#include "server/net.h"
 #include "server/server.h"
 
 namespace orq {
@@ -338,6 +340,239 @@ TEST(ServerSmokeTest, StopCancelsInFlightQueries) {
   Result<WireResult> result = client.Query(kHugeCrossJoin);
   EXPECT_FALSE(result.ok());
   stopper.join();
+}
+
+TEST(ServerSmokeTest, QueryIdsAreStampedOnResultsAndErrors) {
+  QueryServer server(SharedCatalog(), ServerOptions());
+  ASSERT_TRUE(server.Start().ok());
+  Result<Client> connected = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(connected.ok());
+  Client client = std::move(connected.value());
+
+  Result<WireResult> ok = client.Query("SELECT COUNT(*) FROM nation");
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok->query_id, "s1q1");
+  EXPECT_EQ(client.last_query_id(), "s1q1");
+
+  Result<WireResult> bad = client.Query("SELECT FROM nowhere at all");
+  ASSERT_FALSE(bad.ok());
+  // The id rides its own wire field; the error text stays engine-pure.
+  EXPECT_EQ(client.last_query_id(), "s1q2");
+  EXPECT_EQ(bad.status().message().find("s1q2"), std::string::npos)
+      << bad.status().message();
+
+  // Non-query frames (SET, admin) do not consume query ids.
+  ASSERT_TRUE(client.Set("threads", "0").ok());
+  Result<WireResult> third = client.Query("SELECT COUNT(*) FROM part");
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(third->query_id, "s1q3");
+  server.Stop();
+}
+
+TEST(ServerSmokeTest, LiveQueriesShowProgressAndCancelByIdIsWireVisible) {
+  ServerOptions options;
+  options.worker_threads = 2;
+  QueryServer server(SharedCatalog(), options);
+  ASSERT_TRUE(server.Start().ok());
+  Result<Client> runner = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(runner.ok());
+  Client runner_client = std::move(runner.value());
+  Result<Client> admin = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(admin.ok());
+  Client admin_client = std::move(admin.value());
+
+  // A completed query first, so \history later holds both outcomes.
+  ASSERT_TRUE(runner_client.Query("SELECT COUNT(*) FROM nation").ok());
+  const std::string ok_id = runner_client.last_query_id();
+  ASSERT_FALSE(ok_id.empty());
+
+  Status cancelled_status = Status::OK();
+  std::thread runner_thread([&runner_client, &cancelled_status] {
+    Result<WireResult> result = runner_client.Query(kHugeCrossJoin);
+    cancelled_status =
+        result.ok() ? Status::Internal("query unexpectedly succeeded")
+                    : result.status();
+  });
+
+  // Poll \queries until the cross join shows up mid-execution with
+  // nonzero row progress, then cancel it by id.
+  std::string live_id;
+  for (int spin = 0; spin < 500 && live_id.empty(); ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    Result<std::string> queries = admin_client.Admin("queries");
+    ASSERT_TRUE(queries.ok()) << queries.status().ToString();
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(ParseJson(*queries, &doc, &error)) << error << *queries;
+    const JsonValue* list = doc.Find("queries");
+    ASSERT_NE(list, nullptr);
+    for (const JsonValue& entry : list->array) {
+      if (entry.StringOr("sql", "").find("l5") == std::string::npos) {
+        continue;
+      }
+      if (entry.StringOr("phase", "") == "execute" &&
+          entry.NumberOr("rows", 0) > 0) {
+        live_id = entry.StringOr("query_id", "");
+        EXPECT_GE(entry.NumberOr("elapsed_ms", -1), 0) << *queries;
+      }
+    }
+  }
+  ASSERT_FALSE(live_id.empty()) << "cross join never showed progress";
+
+  Result<std::string> cancel = admin_client.Admin("cancel " + live_id);
+  ASSERT_TRUE(cancel.ok()) << cancel.status().ToString();
+  EXPECT_NE(cancel->find(live_id), std::string::npos);
+  runner_thread.join();
+  EXPECT_EQ(cancelled_status.code(), StatusCode::kCancelled)
+      << cancelled_status.ToString();
+  EXPECT_EQ(runner_client.last_query_id(), live_id);
+
+  // Cancelling a finished query is NotFound, not a crash.
+  Result<std::string> again = admin_client.Admin("cancel " + live_id);
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.status().code(), StatusCode::kNotFound);
+
+  // \history holds both records: the completed one with per-operator
+  // est-vs-actual rows and phase timings, the cancelled one with its
+  // outcome and the rows it produced before unwinding.
+  Result<std::string> history = admin_client.Admin("history 10");
+  ASSERT_TRUE(history.ok());
+  std::string error;
+  EXPECT_TRUE(ValidateJson(*history, &error)) << error;
+  JsonValue doc;
+  ASSERT_TRUE(ParseJson(*history, &doc, &error)) << error;
+  const JsonValue* queries = doc.Find("queries");
+  ASSERT_NE(queries, nullptr);
+  bool saw_ok = false, saw_cancelled = false;
+  for (const JsonValue& entry : queries->array) {
+    if (entry.StringOr("query_id", "") == ok_id) {
+      saw_ok = true;
+      EXPECT_EQ(entry.StringOr("outcome", ""), "ok");
+      const JsonValue* plan = entry.Find("plan");
+      ASSERT_NE(plan, nullptr);
+      EXPECT_NE(plan->Find("est_rows"), nullptr);
+      EXPECT_NE(plan->Find("actual_rows"), nullptr);
+      const JsonValue* profile = entry.Find("profile");
+      ASSERT_NE(profile, nullptr);
+      EXPECT_GT(profile->NumberOr("total_nanos", 0), 0);
+    }
+    if (entry.StringOr("query_id", "") == live_id) {
+      saw_cancelled = true;
+      EXPECT_EQ(entry.StringOr("outcome", ""), "cancelled");
+      EXPECT_GT(entry.NumberOr("rows_produced", 0), 0);
+      EXPECT_NE(entry.Find("profile"), nullptr);
+    }
+  }
+  EXPECT_TRUE(saw_ok) << *history;
+  EXPECT_TRUE(saw_cancelled) << *history;
+  server.Stop();
+}
+
+TEST(ServerSmokeTest, MetricsJsonAndPromAdminFrames) {
+  QueryServer server(SharedCatalog(), ServerOptions());
+  ASSERT_TRUE(server.Start().ok());
+  Result<Client> connected = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(connected.ok());
+  Client client = std::move(connected.value());
+  ASSERT_TRUE(client.Query("SELECT COUNT(*) FROM nation").ok());
+  ASSERT_TRUE(client.Query("SELECT COUNT(*) FROM part").ok());
+
+  Result<std::string> json = client.Admin("metrics json");
+  ASSERT_TRUE(json.ok()) << json.status().ToString();
+  std::string error;
+  EXPECT_TRUE(ValidateJson(*json, &error)) << error << "\n" << *json;
+  JsonValue doc;
+  ASSERT_TRUE(ParseJson(*json, &doc, &error)) << error;
+  ASSERT_NE(doc.Find("engine"), nullptr);
+  const JsonValue* server_gauges = doc.Find("server");
+  ASSERT_NE(server_gauges, nullptr);
+  EXPECT_EQ(server_gauges->NumberOr("server.sessions_active", -1), 1);
+  EXPECT_EQ(server_gauges->NumberOr("server.query_store_recorded", -1), 2);
+
+  Result<std::string> prom = client.Admin("metrics prom");
+  ASSERT_TRUE(prom.ok()) << prom.status().ToString();
+  EXPECT_NE(prom->find("# TYPE orq_server_queries_ok_total counter\n"
+                       "orq_server_queries_ok_total 2\n"),
+            std::string::npos)
+      << *prom;
+  EXPECT_NE(prom->find("# TYPE orq_server_query_latency_micros histogram"),
+            std::string::npos);
+  EXPECT_NE(prom->find("orq_server_query_latency_micros_bucket{le=\"+Inf\"}"
+                       " 2\n"),
+            std::string::npos)
+      << *prom;
+  EXPECT_NE(prom->find("# TYPE orq_server_sessions_active gauge"),
+            std::string::npos);
+  server.Stop();
+}
+
+TEST(ServerSmokeTest, HttpMetricsEndpointServesPrometheusText) {
+  ServerOptions options;
+  options.metrics_port = 0;  // ephemeral
+  QueryServer server(SharedCatalog(), options);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.metrics_port(), 0);
+  Result<Client> connected = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(connected.ok());
+  Client client = std::move(connected.value());
+  ASSERT_TRUE(client.Query("SELECT COUNT(*) FROM nation").ok());
+
+  Result<std::string> body =
+      HttpGet("127.0.0.1", server.metrics_port(), "/metrics");
+  ASSERT_TRUE(body.ok()) << body.status().ToString();
+  EXPECT_NE(body->find("orq_server_queries_ok_total 1\n"),
+            std::string::npos)
+      << *body;
+  EXPECT_NE(body->find("orq_server_sessions_active 1\n"),
+            std::string::npos);
+
+  // Anything but /metrics is a 404 the client surfaces as an error.
+  Result<std::string> missing =
+      HttpGet("127.0.0.1", server.metrics_port(), "/nope");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_NE(missing.status().message().find("404"), std::string::npos)
+      << missing.status().ToString();
+  server.Stop();
+}
+
+TEST(ServerSmokeTest, SlowQueryThresholdCapturesExplainText) {
+  ServerOptions options;
+  options.worker_threads = 2;
+  QueryServer server(SharedCatalog(), options);
+  ASSERT_TRUE(server.Start().ok());
+  Result<Client> connected = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(connected.ok());
+  Client client = std::move(connected.value());
+
+  // Deadline at ~150ms with a 50ms slow threshold: the timed-out cross
+  // join is deterministically "slow" and must carry the captured
+  // EXPLAIN ANALYZE text in its history record.
+  ASSERT_TRUE(client.Set("timeout_ms", "150").ok());
+  ASSERT_TRUE(client.Set("slow_query_ms", "50").ok());
+  Result<WireResult> timed_out = client.Query(kHugeCrossJoin);
+  ASSERT_FALSE(timed_out.ok());
+  const std::string slow_id = client.last_query_id();
+  ASSERT_FALSE(slow_id.empty());
+
+  Result<std::string> history = client.Admin("history 5");
+  ASSERT_TRUE(history.ok());
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(ParseJson(*history, &doc, &error)) << error;
+  const JsonValue* queries = doc.Find("queries");
+  ASSERT_NE(queries, nullptr);
+  bool found = false;
+  for (const JsonValue& entry : queries->array) {
+    if (entry.StringOr("query_id", "") != slow_id) continue;
+    found = true;
+    EXPECT_EQ(entry.StringOr("outcome", ""), "deadline");
+    const std::string slow_explain = entry.StringOr("slow_explain", "");
+    EXPECT_NE(slow_explain.find("== Query " + slow_id + " =="),
+              std::string::npos)
+        << slow_explain;
+  }
+  EXPECT_TRUE(found) << *history;
+  server.Stop();
 }
 
 TEST(AdmissionControllerTest, GrantsUpToLimitThenQueues) {

@@ -237,5 +237,40 @@ TEST(WireErrorTest, RejectsEmptyPayload) {
   EXPECT_EQ(DecodeError("").code(), StatusCode::kInternal);
 }
 
+TEST(WireResultTest, RoundTripsQueryId) {
+  WireResult result;
+  result.columns = {"a"};
+  result.rows = {"1"};
+  result.rows_produced = 1;
+  result.query_id = "s3q17";
+  Result<WireResult> decoded = DecodeResult(EncodeResult(result));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->query_id, "s3q17");
+}
+
+TEST(WireErrorTest, CarriesQueryIdInItsOwnField) {
+  Status original = Status::DeadlineExceeded("query timed out");
+  const std::string payload = EncodeError(original, "s2q9");
+  std::string query_id;
+  Status decoded = DecodeError(payload, &query_id);
+  EXPECT_EQ(decoded.code(), original.code());
+  // The id travels as its own field; the message text is untouched (the
+  // byte-for-byte serial-vs-wire comparison depends on this).
+  EXPECT_EQ(decoded.message(), original.message());
+  EXPECT_EQ(query_id, "s2q9");
+  // Decoding without asking for the id yields the same status.
+  Status plain = DecodeError(payload);
+  EXPECT_EQ(plain.code(), original.code());
+  EXPECT_EQ(plain.message(), original.message());
+}
+
+TEST(WireErrorTest, RejectsTruncatedQueryIdField) {
+  const std::string payload =
+      EncodeError(Status::RuntimeError("boom"), "s1q1");
+  // Chop inside the id's length prefix: malformed, not a silent misparse.
+  Status decoded = DecodeError(payload.substr(0, 3));
+  EXPECT_EQ(decoded.code(), StatusCode::kInternal);
+}
+
 }  // namespace
 }  // namespace orq

@@ -6,8 +6,13 @@
 // Commands are executed in argv order:
 //   --sql "SELECT ..."     run a query, print header + rows to stdout
 //   --set "name value"     session SET (threads, batch, batch_size,
-//                          morsel_rows, timeout_ms, plan_cache)
-//   --admin CMD            admin command ("metrics", "ping")
+//                          morsel_rows, timeout_ms, slow_query_ms,
+//                          plan_cache)
+//   --admin CMD            admin command ("metrics", "metrics json",
+//                          "metrics prom", "queries", "history [n]",
+//                          "cancel <id>", "ping")
+//   --scrape PORT          HTTP GET /metrics against the server's
+//                          Prometheus listener, print the body
 //   --ping                 liveness round-trip
 //   --prepare "name SQL"   register a prepared statement (SQL may use ?)
 //   --execute "name v..."  run a prepared statement; values are parsed
@@ -17,9 +22,10 @@
 //   --deallocate NAME      drop a prepared statement
 //
 // With no commands, reads a mini-REPL from stdin: each line is a query;
-// \set name value, \metrics, \ping, \prepare name SQL,
-// \execute name v1 v2 ..., \deallocate name, \q are meta commands
-// (mirroring the frame types of the wire protocol).
+// \set name value, \metrics [json|prom], \queries, \history [n],
+// \cancel id, \ping, \prepare name SQL, \execute name v1 v2 ...,
+// \deallocate name, \q are meta commands (mirroring the frame types of
+// the wire protocol).
 //
 // Exit code 0 when every command succeeded, 1 on the first failure.
 
@@ -31,15 +37,16 @@
 #include <vector>
 
 #include "server/client.h"
+#include "server/net.h"
 
 namespace {
 
 int Usage() {
   std::fprintf(stderr,
                "usage: orq_client --port N [--host H] [--sql SQL] "
-               "[--set \"name value\"] [--admin CMD] [--ping] "
-               "[--prepare \"name SQL\"] [--execute \"name values...\"] "
-               "[--deallocate NAME]\n");
+               "[--set \"name value\"] [--admin CMD] [--scrape PORT] "
+               "[--ping] [--prepare \"name SQL\"] "
+               "[--execute \"name values...\"] [--deallocate NAME]\n");
   return 2;
 }
 
@@ -65,10 +72,35 @@ void PrintResult(const orq::WireResult& result) {
 bool RunQuery(orq::Client* client, const std::string& sql) {
   orq::Result<orq::WireResult> result = client->Query(sql);
   if (!result.ok()) {
-    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    // The server mints an id even for failed queries; print it so the
+    // error can be cross-referenced against \history.
+    if (!client->last_query_id().empty()) {
+      std::fprintf(stderr, "error [%s]: %s\n",
+                   client->last_query_id().c_str(),
+                   result.status().ToString().c_str());
+    } else {
+      std::fprintf(stderr, "error: %s\n",
+                   result.status().ToString().c_str());
+    }
     return false;
   }
   PrintResult(result.value());
+  return true;
+}
+
+bool RunScrape(const std::string& host, const std::string& port_text) {
+  const int port = std::atoi(port_text.c_str());
+  if (port <= 0) {
+    std::fprintf(stderr, "error: --scrape expects a port, got \"%s\"\n",
+                 port_text.c_str());
+    return false;
+  }
+  orq::Result<std::string> body = orq::HttpGet(host, port, "/metrics");
+  if (!body.ok()) {
+    std::fprintf(stderr, "error: %s\n", body.status().ToString().c_str());
+    return false;
+  }
+  std::printf("%s", body.value().c_str());
   return true;
 }
 
@@ -259,8 +291,15 @@ int RunRepl(orq::Client* client) {
     }
     if (line.empty()) continue;
     if (line == "\\q" || line == "\\quit") break;
-    if (line == "\\metrics") {
-      if (!RunAdmin(client, "metrics")) return 1;
+    if (line == "\\metrics" || line.rfind("\\metrics ", 0) == 0 ||
+        line == "\\queries" || line == "\\history" ||
+        line.rfind("\\history ", 0) == 0) {
+      // Pass through sans backslash ("\metrics prom" -> "metrics prom");
+      // introspection failures keep the REPL alive, like query errors.
+      RunAdmin(client, line.substr(1));
+    } else if (line.rfind("\\cancel ", 0) == 0) {
+      // NotFound (the query already finished) is not fatal either.
+      RunAdmin(client, line.substr(1));
     } else if (line == "\\ping") {
       if (!RunPing(client)) return 1;
     } else if (line.rfind("\\set ", 0) == 0) {
@@ -274,8 +313,9 @@ int RunRepl(orq::Client* client) {
       RunDeallocate(client, &prepared_types, line.substr(12));
     } else if (line[0] == '\\') {
       std::fprintf(stderr,
-                   "unknown command %s (known: \\set, \\metrics, \\ping, "
-                   "\\prepare, \\execute, \\deallocate, \\q)\n",
+                   "unknown command %s (known: \\set, \\metrics, \\queries, "
+                   "\\history, \\cancel, \\ping, \\prepare, \\execute, "
+                   "\\deallocate, \\q)\n",
                    line.c_str());
     } else {
       // Query failures keep the REPL alive; only transport errors exit.
@@ -291,7 +331,7 @@ int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   int port = 0;
   struct Command {
-    char kind;  // 'q' sql, 's' set, 'a' admin, 'p' ping
+    char kind;  // 'q' sql, 's' set, 'a' admin, 'm' scrape, 'p' ping
     std::string arg;
   };
   std::vector<Command> commands;
@@ -314,6 +354,8 @@ int main(int argc, char** argv) {
       commands.push_back({'s', next("--set")});
     } else if (std::strcmp(argv[i], "--admin") == 0) {
       commands.push_back({'a', next("--admin")});
+    } else if (std::strcmp(argv[i], "--scrape") == 0) {
+      commands.push_back({'m', next("--scrape")});
     } else if (std::strcmp(argv[i], "--ping") == 0) {
       commands.push_back({'p', ""});
     } else if (std::strcmp(argv[i], "--prepare") == 0) {
@@ -349,6 +391,7 @@ int main(int argc, char** argv) {
       case 'q': ok = RunQuery(&client, command.arg); break;
       case 's': ok = RunSet(&client, command.arg); break;
       case 'a': ok = RunAdmin(&client, command.arg); break;
+      case 'm': ok = RunScrape(host, command.arg); break;
       case 'p': ok = RunPing(&client); break;
       case 'P': ok = RunPrepare(&client, &prepared_types, command.arg); break;
       case 'x': ok = RunExecute(&client, prepared_types, command.arg); break;

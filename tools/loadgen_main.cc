@@ -276,6 +276,14 @@ int main(int argc, char** argv) {
           mine.result_rows += static_cast<int64_t>(result->rows.size());
           mine.rows_produced += result->rows_produced;
         } else {
+          // Log the server-minted id so the failure can be pulled back out
+          // of the server's history/slow-query log after the run.
+          std::fprintf(stderr, "loadgen: session %d query %d [%s]: %s\n", s,
+                       q,
+                       client.last_query_id().empty()
+                           ? "no-id"
+                           : client.last_query_id().c_str(),
+                       result.status().ToString().c_str());
           switch (result.status().code()) {
             case orq::StatusCode::kCancelled:
             case orq::StatusCode::kDeadlineExceeded:

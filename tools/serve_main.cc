@@ -4,15 +4,22 @@
 //
 // Usage:
 //   orq_serve [--host H] [--port N] [--port-file PATH]
+//             [--metrics-port N] [--metrics-port-file PATH]
 //             [--catalog difftest|tpch] [--seed N] [--sf X]
 //             [--workers N] [--max-concurrent N] [--max-queued N]
 //             [--timeout-ms N] [--threads N] [--runtime-ms N]
+//             [--slow-query-ms N] [--history N]
 //             [--config full|correlated_only|no_groupby_opts|no_segment_apply]
 //
 // --port 0 (the default) binds an ephemeral port; --port-file writes the
 // bound port to a file so scripts can discover it. --timeout-ms is the
 // default per-query deadline new sessions start with (SET timeout_ms
 // overrides per session); --threads the default engine worker count.
+// --metrics-port exposes a plain-HTTP GET /metrics endpoint (Prometheus
+// text format; 0 = ephemeral, discoverable via --metrics-port-file).
+// --slow-query-ms sets the default slow-query capture threshold and
+// --history the completed-query ring capacity behind the history admin
+// command.
 
 #include <chrono>
 #include <csignal>
@@ -38,9 +45,11 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: orq_serve [--host H] [--port N] [--port-file PATH]\n"
+      "                 [--metrics-port N] [--metrics-port-file PATH]\n"
       "                 [--catalog difftest|tpch] [--seed N] [--sf X]\n"
       "                 [--workers N] [--max-concurrent N] [--max-queued N]\n"
       "                 [--timeout-ms N] [--threads N] [--runtime-ms N]\n"
+      "                 [--slow-query-ms N] [--history N]\n"
       "                 [--config full|correlated_only|no_groupby_opts|"
       "no_segment_apply]\n");
   return 2;
@@ -67,6 +76,7 @@ int main(int argc, char** argv) {
   orq::ServerOptions options;
   std::string catalog_kind = "difftest";
   std::string port_file;
+  std::string metrics_port_file;
   uint64_t seed = 20260806;
   double scale_factor = 0.01;
   long long runtime_ms = 0;
@@ -85,6 +95,15 @@ int main(int argc, char** argv) {
       options.port = std::atoi(next("--port"));
     } else if (std::strcmp(argv[i], "--port-file") == 0) {
       port_file = next("--port-file");
+    } else if (std::strcmp(argv[i], "--metrics-port") == 0) {
+      options.metrics_port = std::atoi(next("--metrics-port"));
+    } else if (std::strcmp(argv[i], "--metrics-port-file") == 0) {
+      metrics_port_file = next("--metrics-port-file");
+    } else if (std::strcmp(argv[i], "--slow-query-ms") == 0) {
+      options.default_slow_query_ms = std::atoll(next("--slow-query-ms"));
+    } else if (std::strcmp(argv[i], "--history") == 0) {
+      options.query_store_capacity =
+          static_cast<size_t>(std::atoll(next("--history")));
     } else if (std::strcmp(argv[i], "--catalog") == 0) {
       catalog_kind = next("--catalog");
     } else if (std::strcmp(argv[i], "--seed") == 0) {
@@ -163,11 +182,25 @@ int main(int argc, char** argv) {
     std::fprintf(file, "%d\n", server.port());
     std::fclose(file);
   }
+  if (!metrics_port_file.empty()) {
+    std::FILE* file = std::fopen(metrics_port_file.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "orq_serve: cannot open %s\n",
+                   metrics_port_file.c_str());
+      return 1;
+    }
+    std::fprintf(file, "%d\n", server.metrics_port());
+    std::fclose(file);
+  }
   std::printf("orq_serve: listening on %s:%d (catalog=%s, workers=%d, "
               "max_concurrent=%d, max_queued=%d)\n",
               options.host.c_str(), server.port(), catalog_kind.c_str(),
               options.worker_threads, options.admission.max_concurrent,
               options.admission.max_queued);
+  if (server.metrics_port() >= 0) {
+    std::printf("orq_serve: metrics on http://%s:%d/metrics\n",
+                options.host.c_str(), server.metrics_port());
+  }
   std::fflush(stdout);
 
   std::signal(SIGINT, HandleStopSignal);
