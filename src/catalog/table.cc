@@ -1,11 +1,190 @@
 #include "catalog/table.h"
 
 #include <algorithm>
+#include <cstring>
+#include <string_view>
+#include <unordered_map>
 
 #include "catalog/index.h"
 #include "common/str_util.h"
 
 namespace orq {
+
+namespace {
+
+/// Exact-representation cell equality on a plain chunk — the run test for
+/// RLE. Deliberately NOT GroupEquals: -0.0 and 0.0 (or two different NaN
+/// payloads) group-equal but must not merge into one run, because decode
+/// has to reproduce the original bytes for result parity.
+bool SameCell(const Table::ColumnChunk& c, size_t i, size_t j) {
+  const bool ni = c.nulls[i] != 0;
+  const bool nj = c.nulls[j] != 0;
+  if (ni || nj) return ni && nj;
+  switch (c.type) {
+    case DataType::kString: {
+      const size_t bi = c.offsets[i], ei = c.offsets[i + 1];
+      const size_t bj = c.offsets[j], ej = c.offsets[j + 1];
+      if (ei - bi != ej - bj) return false;
+      return std::memcmp(c.chars.data() + bi, c.chars.data() + bj,
+                         ei - bi) == 0;
+    }
+    case DataType::kDouble:
+      return std::memcmp(&c.doubles[i], &c.doubles[j], sizeof(double)) == 0;
+    default:
+      return c.ints[i] == c.ints[j];
+  }
+}
+
+size_t CountRuns(const Table::ColumnChunk& c, size_t n) {
+  size_t runs = n > 0 ? 1 : 0;
+  for (size_t i = 1; i < n; ++i) {
+    if (!SameCell(c, i, i - 1)) ++runs;
+  }
+  return runs;
+}
+
+/// Total byte footprint of a chunk's arrays (boxed vals counted at the
+/// inline Value size; their string heap is not tracked).
+size_t ChunkBytes(const Table::ColumnChunk& c) {
+  return c.ints.size() * sizeof(int64_t) +
+         c.doubles.size() * sizeof(double) + c.chars.size() +
+         c.offsets.size() * sizeof(uint32_t) + c.nulls.size() +
+         c.codes.size() * sizeof(uint32_t) +
+         c.dict_hashes.size() * sizeof(size_t) +
+         c.run_ends.size() * sizeof(uint32_t) +
+         c.vals.size() * sizeof(Value);
+}
+
+/// Rewrites a plain string/int64 chunk into dictionary form: one uint32
+/// code per row indexing a first-appearance-ordered entry table, plus a
+/// pre-computed Value::Hash per entry. NULL rows intern the zero value so
+/// every code stays a valid index (nulls[] remains the truth). Returns
+/// false (chunk untouched) when the entry count would exceed
+/// `max_entries`.
+bool EncodeDict(Table::ColumnChunk* c, size_t n, size_t max_entries) {
+  std::vector<uint32_t> codes(n);
+  if (c->type == DataType::kString) {
+    std::unordered_map<std::string_view, uint32_t> intern;
+    std::vector<std::string_view> entries;
+    for (size_t i = 0; i < n; ++i) {
+      std::string_view s(c->chars.data() + c->offsets[i],
+                         c->offsets[i + 1] - c->offsets[i]);
+      if (c->nulls[i] != 0) s = std::string_view();
+      auto [it, added] = intern.emplace(s, entries.size());
+      if (added) {
+        if (entries.size() >= max_entries) return false;
+        entries.push_back(s);
+      }
+      codes[i] = it->second;
+    }
+    std::string dict_chars;
+    std::vector<uint32_t> dict_offsets;
+    dict_offsets.reserve(entries.size() + 1);
+    dict_offsets.push_back(0);
+    std::vector<size_t> hashes;
+    hashes.reserve(entries.size());
+    for (std::string_view s : entries) {
+      dict_chars.append(s);
+      dict_offsets.push_back(static_cast<uint32_t>(dict_chars.size()));
+      hashes.push_back(Value::String(std::string(s)).Hash());
+    }
+    c->chars = std::move(dict_chars);
+    c->offsets = std::move(dict_offsets);
+    c->dict_hashes = std::move(hashes);
+  } else {
+    std::unordered_map<int64_t, uint32_t> intern;
+    std::vector<int64_t> entries;
+    for (size_t i = 0; i < n; ++i) {
+      const int64_t v = c->nulls[i] != 0 ? 0 : c->ints[i];
+      auto [it, added] = intern.emplace(v, entries.size());
+      if (added) {
+        if (entries.size() >= max_entries) return false;
+        entries.push_back(v);
+      }
+      codes[i] = it->second;
+    }
+    std::vector<size_t> hashes;
+    hashes.reserve(entries.size());
+    for (int64_t v : entries) hashes.push_back(Value::Int64(v).Hash());
+    c->ints = std::move(entries);
+    c->dict_hashes = std::move(hashes);
+  }
+  c->codes = std::move(codes);
+  c->encoding = ChunkEncoding::kDict;
+  return true;
+}
+
+/// Rewrites a plain chunk into run-length form: payload arrays and nulls
+/// shrink to one entry per run; run_ends is the cumulative row count.
+void EncodeRle(Table::ColumnChunk* c, size_t n) {
+  std::vector<uint32_t> run_ends;
+  std::vector<uint8_t> run_nulls;
+  std::vector<int64_t> run_ints;
+  std::vector<double> run_doubles;
+  std::string run_chars;
+  std::vector<uint32_t> run_offsets;
+  if (c->type == DataType::kString) run_offsets.push_back(0);
+  for (size_t i = 0; i < n; ++i) {
+    if (i > 0 && SameCell(*c, i, i - 1)) {
+      run_ends.back() = static_cast<uint32_t>(i + 1);
+      continue;
+    }
+    run_ends.push_back(static_cast<uint32_t>(i + 1));
+    run_nulls.push_back(c->nulls[i]);
+    switch (c->type) {
+      case DataType::kString:
+        run_chars.append(c->chars.data() + c->offsets[i],
+                         c->offsets[i + 1] - c->offsets[i]);
+        run_offsets.push_back(static_cast<uint32_t>(run_chars.size()));
+        break;
+      case DataType::kDouble:
+        run_doubles.push_back(c->doubles[i]);
+        break;
+      default:
+        run_ints.push_back(c->ints[i]);
+        break;
+    }
+  }
+  c->run_ends = std::move(run_ends);
+  c->nulls = std::move(run_nulls);
+  c->ints = std::move(run_ints);
+  c->doubles = std::move(run_doubles);
+  c->chars = std::move(run_chars);
+  c->offsets = std::move(run_offsets);
+  c->encoding = ChunkEncoding::kRle;
+}
+
+/// Per-chunk encoding choice. Forced modes apply wherever the type allows
+/// (dictionaries only make sense for strings and int64s; RLE works on any
+/// typed column); kAuto takes RLE when the average run is >= 8 rows, else
+/// a dictionary when the cardinality is low, else plain.
+void MaybeEncodeChunk(Table::ColumnChunk* c, size_t n, TableEncoding mode) {
+  if (c->mixed || n == 0 || n > static_cast<size_t>(UINT32_MAX)) return;
+  const bool dictable =
+      c->type == DataType::kString || c->type == DataType::kInt64;
+  switch (mode) {
+    case TableEncoding::kDict:
+      if (dictable) EncodeDict(c, n, /*max_entries=*/size_t{1} << 16);
+      break;
+    case TableEncoding::kRle:
+      EncodeRle(c, n);
+      break;
+    case TableEncoding::kAuto: {
+      if (n < 32) return;  // tiny chunks: encoding overhead beats savings
+      const size_t runs = CountRuns(*c, n);
+      if (runs * 8 <= n) {
+        EncodeRle(c, n);
+      } else if (dictable) {
+        EncodeDict(c, n, std::min<size_t>(4096, n / 4));
+      }
+      break;
+    }
+    case TableEncoding::kPlain:
+      break;
+  }
+}
+
+}  // namespace
 
 int Table::ColumnOrdinal(const std::string& name) const {
   for (size_t i = 0; i < columns_.size(); ++i) {
@@ -23,83 +202,107 @@ Status Table::Append(Row row) {
   return Status::OK();
 }
 
-const std::vector<Table::ColumnChunk>& Table::ColumnarChunks() const {
+const std::vector<Table::ColumnChunk>& Table::ColumnarChunks(
+    TableEncoding mode) const {
   std::lock_guard<std::mutex> lock(chunks_mutex_);
-  if (chunks_built_rows_ == rows_.size()) return chunks_;
+  const size_t m = static_cast<size_t>(mode);
   const size_t n = rows_.size();
-  const size_t ncols = columns_.size();
-  chunks_.assign(ncols, ColumnChunk{});
-  for (size_t c = 0; c < ncols; ++c) {
-    ColumnChunk& chunk = chunks_[c];
-    chunk.type = columns_[c].type;
-    chunk.nulls.assign(n, 0);
-    if (chunk.type == DataType::kString) {
-      chunk.offsets.reserve(n + 1);
-      chunk.offsets.push_back(0);
-    } else if (chunk.type == DataType::kDouble) {
-      chunk.doubles.assign(n, 0.0);
-    } else {
-      // bool / int64 / date all carry their payload in the int64 slot.
-      chunk.ints.assign(n, 0);
-    }
-  }
-  // Row-major fill: one sequential pass over the row store, touching each
-  // Row's heap block exactly once. The transposed (column-at-a-time) order
-  // would re-walk every row header per column — a cache miss per cell that
-  // dominated the first columnar query's latency on large tables.
-  for (size_t i = 0; i < n; ++i) {
-    const Row& row = rows_[i];
+  if (chunks_built_rows_[m] == n) return chunks_[m];
+  constexpr size_t kPlainIdx = static_cast<size_t>(TableEncoding::kPlain);
+  // Every mode derives from the plain transpose, so build (or refresh)
+  // that first.
+  if (chunks_built_rows_[kPlainIdx] != n) {
+    const size_t ncols = columns_.size();
+    std::vector<ColumnChunk>& chunks = chunks_[kPlainIdx];
+    chunks.assign(ncols, ColumnChunk{});
     for (size_t c = 0; c < ncols; ++c) {
-      ColumnChunk& chunk = chunks_[c];
-      if (chunk.mixed) continue;
-      const Value& v = row[c];
-      if (v.is_null()) {
-        chunk.nulls[i] = 1;
-        chunk.any_null = true;
-        if (chunk.type == DataType::kString) {
-          chunk.offsets.push_back(static_cast<uint32_t>(chunk.chars.size()));
-        }
-        continue;
-      }
-      if (v.type() != chunk.type) {
-        chunk.mixed = true;
-        continue;
-      }
-      switch (chunk.type) {
-        case DataType::kString:
-          if (chunk.chars.size() + v.string_value().size() >
-              static_cast<size_t>(UINT32_MAX)) {
-            chunk.mixed = true;
-            continue;
-          }
-          chunk.chars.append(v.string_value());
-          chunk.offsets.push_back(static_cast<uint32_t>(chunk.chars.size()));
-          break;
-        case DataType::kDouble:
-          chunk.doubles[i] = v.double_value();
-          break;
-        default:
-          chunk.ints[i] = v.int64_value();
-          break;
+      ColumnChunk& chunk = chunks[c];
+      chunk.type = columns_[c].type;
+      chunk.nulls.assign(n, 0);
+      if (chunk.type == DataType::kString) {
+        chunk.offsets.reserve(n + 1);
+        chunk.offsets.push_back(0);
+      } else if (chunk.type == DataType::kDouble) {
+        chunk.doubles.assign(n, 0.0);
+      } else {
+        // bool / int64 / date all carry their payload in the int64 slot.
+        chunk.ints.assign(n, 0);
       }
     }
+    // Row-major fill: one sequential pass over the row store, touching
+    // each Row's heap block exactly once. The transposed
+    // (column-at-a-time) order would re-walk every row header per column
+    // — a cache miss per cell that dominated the first columnar query's
+    // latency on large tables.
+    for (size_t i = 0; i < n; ++i) {
+      const Row& row = rows_[i];
+      for (size_t c = 0; c < ncols; ++c) {
+        ColumnChunk& chunk = chunks[c];
+        if (chunk.mixed) continue;
+        const Value& v = row[c];
+        if (v.is_null()) {
+          chunk.nulls[i] = 1;
+          chunk.any_null = true;
+          if (chunk.type == DataType::kString) {
+            chunk.offsets.push_back(
+                static_cast<uint32_t>(chunk.chars.size()));
+          }
+          continue;
+        }
+        if (v.type() != chunk.type) {
+          chunk.mixed = true;
+          continue;
+        }
+        switch (chunk.type) {
+          case DataType::kString:
+            if (chunk.chars.size() + v.string_value().size() >
+                static_cast<size_t>(UINT32_MAX)) {
+              chunk.mixed = true;
+              continue;
+            }
+            chunk.chars.append(v.string_value());
+            chunk.offsets.push_back(
+                static_cast<uint32_t>(chunk.chars.size()));
+            break;
+          case DataType::kDouble:
+            chunk.doubles[i] = v.double_value();
+            break;
+          default:
+            chunk.ints[i] = v.int64_value();
+            break;
+        }
+      }
+    }
+    // Columns whose runtime tags disagreed with the declared type (or
+    // whose string arena outgrew uint32 offsets) degrade to the boxed
+    // form in a second, per-column pass — rare enough that its
+    // column-major order does not matter.
+    for (size_t c = 0; c < ncols; ++c) {
+      ColumnChunk& chunk = chunks[c];
+      if (!chunk.mixed) continue;
+      chunk.ints.clear();
+      chunk.doubles.clear();
+      chunk.chars.clear();
+      chunk.offsets.clear();
+      chunk.vals.resize(n);
+      for (size_t i = 0; i < n; ++i) chunk.vals[i] = rows_[i][c];
+    }
+    for (ColumnChunk& chunk : chunks) {
+      chunk.plain_bytes = ChunkBytes(chunk);
+      chunk.encoded_bytes = chunk.plain_bytes;
+    }
+    chunks_built_rows_[kPlainIdx] = n;
+    if (m == kPlainIdx) return chunks_[kPlainIdx];
   }
-  // Columns whose runtime tags disagreed with the declared type (or whose
-  // string arena outgrew uint32 offsets) degrade to the boxed form in a
-  // second, per-column pass — rare enough that its column-major order
-  // does not matter.
-  for (size_t c = 0; c < ncols; ++c) {
-    ColumnChunk& chunk = chunks_[c];
-    if (!chunk.mixed) continue;
-    chunk.ints.clear();
-    chunk.doubles.clear();
-    chunk.chars.clear();
-    chunk.offsets.clear();
-    chunk.vals.resize(n);
-    for (size_t i = 0; i < n; ++i) chunk.vals[i] = rows_[i][c];
+  // Encoded modes start from a copy of the plain chunks and rewrite
+  // whatever the mode (or the auto heuristic) selects.
+  chunks_[m] = chunks_[kPlainIdx];
+  for (ColumnChunk& chunk : chunks_[m]) {
+    MaybeEncodeChunk(&chunk, n, mode);
+    chunk.encoded_bytes = ChunkBytes(chunk);
   }
-  chunks_built_rows_ = n;
-  return chunks_;
+  chunks_built_rows_[m] = n;
+  return chunks_[m];
 }
 
 void Table::BuildIndex(std::vector<int> ordinals) {

@@ -1,6 +1,7 @@
 #ifndef ORQ_CATALOG_TABLE_H_
 #define ORQ_CATALOG_TABLE_H_
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -21,13 +22,25 @@ struct ColumnSpec {
   bool nullable = true;
 };
 
+/// Storage encoding requested for columnar scans (`SET table_encoding`).
+/// kAuto picks per column chunk by a cardinality/run-count heuristic;
+/// the forced modes apply wherever the column type allows and fall back
+/// to plain elsewhere. Values index the per-mode chunk caches.
+enum class TableEncoding : uint8_t { kPlain, kDict, kRle, kAuto };
+inline constexpr int kNumTableEncodings = 4;
+
+/// Physical encoding one column chunk ended up with.
+enum class ChunkEncoding : uint8_t { kPlain, kDict, kRle };
+
 /// An in-memory, row-major base table with declared keys and optional hash
 /// indexes. Tables are append-only; statistics and indexes are built after
 /// loading.
 class Table {
  public:
   Table(std::string name, std::vector<ColumnSpec> columns)
-      : name_(std::move(name)), columns_(std::move(columns)) {}
+      : name_(std::move(name)), columns_(std::move(columns)) {
+    chunks_built_rows_.fill(static_cast<size_t>(-1));
+  }
 
   const std::string& name() const { return name_; }
   const std::vector<ColumnSpec>& columns() const { return columns_; }
@@ -59,28 +72,50 @@ class Table {
 
   /// One table column transposed into a contiguous typed array, the
   /// storage behind zero-copy columnar scans. Dates/bools/int64s share the
-  /// int64 array; strings are an arena plus n + 1 absolute offsets. A
-  /// column whose values ever disagree with the declared type — or whose
-  /// string arena would outgrow uint32 offsets — falls back to boxed
-  /// `vals` (mixed = true); correctness never depends on the typed form.
+  /// int64 array; strings are an arena plus absolute offsets. A column
+  /// whose values ever disagree with the declared type — or whose string
+  /// arena would outgrow uint32 offsets — falls back to boxed `vals`
+  /// (mixed = true); correctness never depends on the typed form.
+  ///
+  /// Encoded forms reuse the payload arrays at a different granularity:
+  ///  - kDict: `codes` holds one uint32 per row indexing the payload
+  ///    arrays, which hold one entry per distinct value (`dict_hashes`
+  ///    pre-computes Value::Hash per entry so column-wise hashing never
+  ///    touches the bytes). `nulls` stays one byte per row.
+  ///  - kRle: payload arrays and `nulls` hold one entry per run;
+  ///    `run_ends` is the cumulative row count (run r covers rows
+  ///    [run_ends[r-1], run_ends[r])).
   struct ColumnChunk {
     DataType type = DataType::kInt64;
     bool mixed = false;
     bool any_null = false;
+    ChunkEncoding encoding = ChunkEncoding::kPlain;
     std::vector<int64_t> ints;
     std::vector<double> doubles;
     std::string chars;
-    std::vector<uint32_t> offsets;  // n + 1, absolute into chars
+    std::vector<uint32_t> offsets;  // entries + 1, absolute into chars
     std::vector<Value> vals;        // boxed fallback when mixed
-    std::vector<uint8_t> nulls;     // one byte per row, non-zero = NULL
+    std::vector<uint8_t> nulls;     // non-zero = NULL (per row; per run in RLE)
+    std::vector<uint32_t> codes;       // kDict: one per row
+    std::vector<size_t> dict_hashes;   // kDict: one per entry
+    std::vector<uint32_t> run_ends;    // kRle: cumulative, one per run
+    /// Footprint of this chunk's arrays and what the plain layout costs;
+    /// the pair is the compression ratio the metrics/EXPLAIN report.
+    size_t encoded_bytes = 0;
+    size_t plain_bytes = 0;
+
+    size_t dict_size() const { return dict_hashes.size(); }
+    size_t num_runs() const { return run_ends.size(); }
   };
 
-  /// The table transposed column-wise, built lazily on first use and
-  /// rebuilt when rows were appended since (keyed on the row count; tables
-  /// are append-only). Thread-safe: concurrent first calls serialize on an
-  /// internal mutex, and the returned reference stays valid until the next
-  /// Append-then-ColumnarChunks sequence.
-  const std::vector<ColumnChunk>& ColumnarChunks() const;
+  /// The table transposed column-wise under the requested encoding, built
+  /// lazily on first use and rebuilt when rows were appended since (keyed
+  /// on the row count; tables are append-only). Each encoding mode caches
+  /// its own chunk set. Thread-safe: concurrent first calls serialize on
+  /// an internal mutex, and the returned reference stays valid until the
+  /// next Append-then-ColumnarChunks sequence.
+  const std::vector<ColumnChunk>& ColumnarChunks(
+      TableEncoding mode = TableEncoding::kPlain) const;
 
   /// Builds (or rebuilds) a hash index over the given ordinals. Indexes
   /// enable the IndexApply physical strategy (correlated execution with
@@ -102,9 +137,10 @@ class Table {
   std::vector<std::unique_ptr<TableIndex>> indexes_;
 
   mutable std::mutex chunks_mutex_;
-  mutable std::vector<ColumnChunk> chunks_;
-  /// Row count the chunks were built from; SIZE_MAX = never built.
-  mutable size_t chunks_built_rows_ = static_cast<size_t>(-1);
+  /// Chunk caches indexed by TableEncoding; only requested modes build.
+  mutable std::array<std::vector<ColumnChunk>, kNumTableEncodings> chunks_;
+  /// Row count each mode's chunks were built from; SIZE_MAX = never built.
+  mutable std::array<size_t, kNumTableEncodings> chunks_built_rows_;
 };
 
 }  // namespace orq

@@ -161,6 +161,7 @@ Result<HarnessReport> RunDifftest(const HarnessOptions& options) {
   full_options.exec.batched =
       options.test_batched || options.test_columnar;
   full_options.exec.columnar = options.test_columnar;
+  full_options.exec.table_encoding = options.test_table_encoding;
   full_options.exec.num_threads = options.test_threads;
   full_options.exec.morsel_rows = options.morsel_rows;
   DualOracle oracle(&catalog, std::move(naive_options),

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "catalog/table.h"
 #include "common/result.h"
 #include "difftest/oracle.h"
 
@@ -28,6 +29,11 @@ struct HarnessOptions {
   /// reference row vs test columnar is the columnar oracle.
   bool reference_columnar = false;
   bool test_columnar = false;
+  /// Storage encoding for the test side's columnar scans (the reference
+  /// side always reads plain). Row/batch modes ignore it, so pair it with
+  /// test_columnar; reference row vs test columnar+auto is the encoded
+  /// oracle difftest_smoke_encoded runs.
+  TableEncoding test_table_encoding = TableEncoding::kPlain;
   /// Worker threads per side; 0 runs the classic serial engine. A positive
   /// count turns that side into the morsel-driven parallel engine, so e.g.
   /// reference row-mode vs test parallel is the parallel-vs-serial oracle.

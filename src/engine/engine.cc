@@ -452,12 +452,11 @@ Result<QueryResult> QueryEngine::ExecuteCompiledWith(
       SharedTaskPool(options.exec.num_threads);
   // ctx after plan: it is destroyed first, so an Exchange's producers are
   // still wound down by the plan destructor before members vanish.
-  ORQ_RETURN_IF_ERROR(ValidateBatchSize(options.exec.batch_size));
+  ORQ_RETURN_IF_ERROR(ValidateExecOptions(options.exec));
   ExecContext ctx;
   ctx.batched = options.exec.batched;
-  // Columnar execution is single-threaded for now; parallel plans keep
-  // their row-batch exchanges.
-  ctx.columnar = options.exec.columnar && options.exec.num_threads <= 0;
+  ctx.columnar = options.exec.columnar;
+  ctx.table_encoding = options.exec.table_encoding;
   ctx.batch_size = options.exec.batch_size;
   ctx.pool = pool.get();
   ctx.morsel_rows = options.exec.morsel_rows;
@@ -564,11 +563,12 @@ Result<AnalyzedQuery> QueryEngine::ExecuteAnalyzed(
   instruments.stats = &collector;
   instruments.metrics = &analyzed.metrics;
   instruments.spans = analyze.record_spans ? &analyzed.spans : nullptr;
-  ORQ_RETURN_IF_ERROR(ValidateBatchSize(options.exec.batch_size));
+  ORQ_RETURN_IF_ERROR(ValidateExecOptions(options.exec));
   ExecContext ctx;
   ctx.instruments = &instruments;
   ctx.batched = options.exec.batched;
-  ctx.columnar = options.exec.columnar && options.exec.num_threads <= 0;
+  ctx.columnar = options.exec.columnar;
+  ctx.table_encoding = options.exec.table_encoding;
   ctx.batch_size = options.exec.batch_size;
   ctx.pool = pool.get();
   ctx.morsel_rows = options.exec.morsel_rows;

@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <condition_variable>
 #include <mutex>
 #include <unordered_map>
@@ -173,6 +174,7 @@ class HashAggregateOp : public PhysicalOp {
       }
       layout_.push_back(g);
     }
+    fast_aggs_ = true;
     for (const AggItem& agg : aggs_) {
       layout_.push_back(agg.output);
       arg_evals_.emplace_back(
@@ -181,6 +183,19 @@ class HashAggregateOp : public PhysicalOp {
       if (agg.arg != nullptr) {
         cargs_.back() = std::make_unique<ColumnarEvaluator>();
         cargs_.back()->Compile(agg.arg, in);
+      }
+      // Range accumulation handles exactly the fold-style aggregates whose
+      // per-row updates commute into one per-range update: COUNT/SUM/MIN/
+      // MAX without DISTINCT, arguments fully vectorized (so no per-row
+      // evaluation errors can reorder). Max1Row stays per-row for its
+      // cardinality check.
+      const bool fast_func =
+          agg.func == AggFunc::kCountStar || agg.func == AggFunc::kCount ||
+          agg.func == AggFunc::kSum || agg.func == AggFunc::kMin ||
+          agg.func == AggFunc::kMax;
+      if (!fast_func || agg.distinct ||
+          (agg.arg != nullptr && !cargs_.back()->vectorizable())) {
+        fast_aggs_ = false;
       }
     }
     children_.push_back(std::move(child));
@@ -368,7 +383,23 @@ class HashAggregateOp : public PhysicalOp {
       for (int slot : group_slots_) {
         HashCombineColumn(batch, batch.col(slot), &hashes);
       }
-      for (uint32_t j = 0; j < live; ++j) {
+      // Segment the live rows into maximal group-constant ranges and probe
+      // the group table once per range. Clustered inputs (sorted tables,
+      // RLE runs) collapse to a handful of probes per batch; a scalar
+      // aggregate is one range. The hash-equal prefilter is exact in one
+      // direction — group-equal rows always hash equal — so ranges never
+      // split a group run.
+      uint32_t j = 0;
+      while (j < live) {
+        uint32_t j_end = j + 1;
+        if (group_slots_.empty()) {
+          j_end = live;
+        } else {
+          while (j_end < live && hashes[j_end] == hashes[j] &&
+                 SameGroup(batch, batch.RowAt(j), batch.RowAt(j_end))) {
+            ++j_end;
+          }
+        }
         const uint32_t r = batch.RowAt(j);
         const ColumnKeyRef ref{&batch, group_slots_.data(),
                                group_slots_.size(), r, hashes[j]};
@@ -385,11 +416,208 @@ class HashAggregateOp : public PhysicalOp {
           accs_.emplace_back(aggs_.size());
           order_.push_back(&it->first.values);
         }
-        ORQ_RETURN_IF_ERROR(AccumulateColumnar(&accs_[it->second], batch, r,
-                                               arg_cols, &decode_row, ctx));
+        if (fast_aggs_) {
+          AccumulateRange(&accs_[it->second], batch, j, j_end, arg_cols);
+        } else {
+          for (uint32_t jj = j; jj < j_end; ++jj) {
+            ORQ_RETURN_IF_ERROR(
+                AccumulateColumnar(&accs_[it->second], batch, batch.RowAt(jj),
+                                   arg_cols, &decode_row, ctx));
+          }
+        }
+        j = j_end;
       }
     }
     return Status::OK();
+  }
+
+  /// Group equality of two live rows, column-wise. Dictionary columns
+  /// compare codes (entries are distinct by construction); everything else
+  /// goes through the shared ref comparison, so NULLs and cross-rep
+  /// numerics group exactly like PackedKeyEq.
+  bool SameGroup(const ColumnBatch& batch, uint32_t a, uint32_t b) const {
+    for (int slot : group_slots_) {
+      const ColumnVec& c = batch.col(slot);
+      if (c.enc() == ColumnEnc::kDict) {
+        const bool na = c.IsNull(a);
+        if (na != c.IsNull(b)) return false;
+        if (!na && c.codes()[a] != c.codes()[b]) return false;
+        continue;
+      }
+      if (!GroupEqualsRefs(LoadElem(c, a), LoadElem(c, b))) return false;
+    }
+    return true;
+  }
+
+  /// Vectorized accumulation of one group-constant range [j0, j1): every
+  /// accumulator is updated once per range with a locally reduced value
+  /// instead of once per row. Only runs when fast_aggs_ (COUNT/SUM/MIN/MAX,
+  /// no DISTINCT, vectorized args), so no per-row error site is skipped.
+  /// Summation stays order-compatible with the per-row path: int64 partial
+  /// sums are associative mod 2^64 (accumulated unsigned), and double
+  /// partials reduce in SumAccum where a whole batch of exact additions
+  /// stays below the quad mantissa — the same associativity contract the
+  /// parallel merge already relies on.
+  void AccumulateRange(std::vector<Accumulator>* accs,
+                       const ColumnBatch& batch, uint32_t j0, uint32_t j1,
+                       const std::vector<const ColumnVec*>& arg_cols) {
+    const int64_t k = static_cast<int64_t>(j1 - j0);
+    for (size_t i = 0; i < aggs_.size(); ++i) {
+      const AggItem& agg = aggs_[i];
+      Accumulator& acc = (*accs)[i];
+      acc.count += k;
+      if (agg.func == AggFunc::kCountStar) continue;
+      const ColumnVec& col = *arg_cols[i];
+      if (agg.func == AggFunc::kSum && col.enc() == ColumnEnc::kRle &&
+          !batch.has_selection() &&
+          (col.rep() == ColumnRep::kInts ||
+           col.rep() == ColumnRep::kDoubles)) {
+        AccumulateRleSum(&acc, col, j0, j1);
+        continue;
+      }
+      switch (agg.func) {
+        case AggFunc::kCount: {
+          if (!col.has_nulls()) {
+            acc.non_null += k;
+            break;
+          }
+          int64_t nn = 0;
+          for (uint32_t j = j0; j < j1; ++j) {
+            nn += col.IsNull(batch.RowAt(j)) ? 0 : 1;
+          }
+          acc.non_null += nn;
+          break;
+        }
+        case AggFunc::kSum: {
+          if (col.rep() == ColumnRep::kInts) {
+            uint64_t s = 0;
+            int64_t nn = 0;
+            for (uint32_t j = j0; j < j1; ++j) {
+              const uint32_t r = batch.RowAt(j);
+              if (col.IsNull(r)) continue;
+              s += static_cast<uint64_t>(col.IntAt(r));
+              ++nn;
+            }
+            acc.sum_int = static_cast<int64_t>(
+                static_cast<uint64_t>(acc.sum_int) + s);
+            acc.non_null += nn;
+          } else if (col.rep() == ColumnRep::kDoubles) {
+            SumAccum s = 0.0;
+            int64_t nn = 0;
+            for (uint32_t j = j0; j < j1; ++j) {
+              const uint32_t r = batch.RowAt(j);
+              if (col.IsNull(r)) continue;
+              s += static_cast<SumAccum>(col.DoubleAt(r));
+              ++nn;
+            }
+            if (nn > 0) {
+              acc.sum_is_double = true;
+              acc.sum_double += s;
+              acc.non_null += nn;
+            }
+          } else if (col.rep() == ColumnRep::kValues) {
+            for (uint32_t j = j0; j < j1; ++j) {
+              const uint32_t r = batch.RowAt(j);
+              const Value& sv = col.ValAt(r);
+              if (sv.is_null()) continue;
+              ++acc.non_null;
+              if (sv.type() == DataType::kDouble) {
+                acc.sum_is_double = true;
+                acc.sum_double += sv.double_value();
+              } else {
+                acc.sum_int += sv.int64_value();
+              }
+            }
+          } else {
+            // Strings sum to nothing (Value::int64_value() of a string is
+            // 0) but still count as non-NULL inputs, like the row path.
+            for (uint32_t j = j0; j < j1; ++j) {
+              acc.non_null += col.IsNull(batch.RowAt(j)) ? 0 : 1;
+            }
+          }
+          break;
+        }
+        case AggFunc::kMin:
+        case AggFunc::kMax: {
+          const bool min = agg.func == AggFunc::kMin;
+          bool have = false;
+          uint32_t best = 0;
+          ElemRef best_ref{};
+          int64_t nn = 0;
+          for (uint32_t j = j0; j < j1; ++j) {
+            const uint32_t r = batch.RowAt(j);
+            if (col.IsNull(r)) continue;
+            ++nn;
+            ElemRef e = LoadElem(col, r);
+            if (!have) {
+              have = true;
+              best = r;
+              best_ref = e;
+              continue;
+            }
+            const int cmp = TotalCompareRefs(e, best_ref);
+            if (min ? cmp < 0 : cmp > 0) {
+              best = r;
+              best_ref = e;
+            }
+          }
+          acc.non_null += nn;
+          if (have) {
+            bool take = !acc.has_value;
+            if (!take) {
+              const int cmp =
+                  TotalCompareRefs(best_ref, LoadValue(acc.extreme));
+              take = min ? cmp < 0 : cmp > 0;
+            }
+            if (take) {
+              acc.extreme = col.GetValue(best);
+              acc.has_value = true;
+            }
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+
+  /// SUM over a contiguous row range of an RLE column: per overlapped run,
+  /// one multiply replaces run-length additions. Products are exact — the
+  /// int path reduces mod 2^64 like repeated addition, and a double times
+  /// a batch-bounded count fits the SumAccum mantissa exactly.
+  static void AccumulateRleSum(Accumulator* acc, const ColumnVec& col,
+                               uint32_t r0, uint32_t r1) {
+    uint32_t r = r0;
+    uint64_t si = 0;
+    SumAccum sd = 0.0;
+    int64_t nn = 0;
+    const bool ints = col.rep() == ColumnRep::kInts;
+    while (r < r1) {
+      const uint32_t run = col.RunOf(r);
+      const uint32_t end = std::min(col.RunEndRow(run), r1);
+      const uint32_t n = end - r;
+      if (col.run_nulls() == nullptr || col.run_nulls()[run] == 0) {
+        nn += n;
+        if (ints) {
+          si += static_cast<uint64_t>(n) *
+                static_cast<uint64_t>(col.ints()[run]);
+        } else {
+          sd += static_cast<SumAccum>(col.doubles()[run]) *
+                static_cast<SumAccum>(n);
+        }
+      }
+      r = end;
+    }
+    if (ints) {
+      acc->sum_int =
+          static_cast<int64_t>(static_cast<uint64_t>(acc->sum_int) + si);
+      acc->non_null += nn;
+    } else if (nn > 0) {
+      acc->sum_is_double = true;
+      acc->sum_double += sd;
+      acc->non_null += nn;
+    }
   }
 
   /// Columnar twin of Accumulate: identical per-row semantics, but typed
@@ -552,6 +780,10 @@ class HashAggregateOp : public PhysicalOp {
 
   std::vector<AggItem> aggs_;
   bool scalar_;
+  /// True when every aggregate is range-foldable (see the constructor):
+  /// the columnar drain then updates accumulators once per group-constant
+  /// range instead of once per row.
+  bool fast_aggs_ = false;
   int worker_;
   std::shared_ptr<SharedAggState> shared_;
   std::vector<int> group_slots_;

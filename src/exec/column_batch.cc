@@ -7,17 +7,17 @@ namespace orq {
 
 Value ColumnVec::GetValue(uint32_t i) const {
   if (rep_ == ColumnRep::kValues) return vals_[i];
-  if (nulls_ != nullptr && nulls_[i] != 0) return Value::Null(type_);
+  if (IsNull(i)) return Value::Null(type_);
   switch (rep_) {
     case ColumnRep::kInts:
       switch (type_) {
-        case DataType::kBool: return Value::Bool(ints_[i] != 0);
+        case DataType::kBool: return Value::Bool(IntAt(i) != 0);
         case DataType::kDate:
-          return Value::Date(static_cast<int32_t>(ints_[i]));
-        default: return Value::Int64(ints_[i]);
+          return Value::Date(static_cast<int32_t>(IntAt(i)));
+        default: return Value::Int64(IntAt(i));
       }
     case ColumnRep::kDoubles:
-      return Value::Double(doubles_[i]);
+      return Value::Double(DoubleAt(i));
     case ColumnRep::kStrings:
       return Value::String(std::string(StrAt(i)));
     default:
@@ -199,6 +199,15 @@ void ColumnVec::ReleaseOwned() {
   offsets_ = nullptr;
   vals_ = nullptr;
   nulls_ = nullptr;
+  enc_ = ColumnEnc::kNone;
+  codes_ = nullptr;
+  dict_hashes_ = nullptr;
+  dict_size_ = 0;
+  run_ends_ = nullptr;
+  run_nulls_ = nullptr;
+  num_runs_ = 0;
+  row_base_ = 0;
+  run_cursor_ = 0;
   size_ = 0;
 }
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "algebra/column.h"
+#include "catalog/table.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "common/value.h"
@@ -47,11 +48,16 @@ struct ExecOptions {
   /// Columnar (SoA) execution: converted operators exchange ColumnBatches
   /// (exec/column_batch.h) and run type-specialized kernels; unconverted
   /// operators keep their row/batch paths behind transpose adapters.
-  /// Applies only to single-threaded executions — with num_threads >= 1
-  /// the parallel engine stays on row batches (exchange queues move
-  /// RowBatch) and this flag is ignored.
+  /// Single-threaded only — the parallel engine's exchange queues move
+  /// RowBatch, so columnar together with num_threads >= 1 is rejected by
+  /// ValidateExecOptions (no silent fallback).
   bool columnar = false;
   int batch_size = kDefaultBatchRows;
+  /// Storage encoding columnar table scans request from the catalog
+  /// (`SET table_encoding plain|dict|rle|auto`). Plain by default; kAuto
+  /// lets each column chunk pick dictionary/RLE by heuristic. Row and
+  /// batch modes ignore it (they read the row store directly).
+  TableEncoding table_encoding = TableEncoding::kPlain;
   /// Morsel-driven parallel execution. 0 keeps the classic single-threaded
   /// engine (no thread pool, plans unchanged); N >= 1 builds N instances of
   /// each eligible subtree under an exchange operator and runs them on an
@@ -61,6 +67,40 @@ struct ExecOptions {
   /// Rows per morsel claim for parallel table scans (see exec/parallel.h).
   int morsel_rows = 4096;
 };
+
+/// The single exec-mode validity check, shared by SET handlers and the
+/// engine's option intake (the ValidateBatchSize pattern): neither side
+/// silently clamps or falls back, so an impossible combination fails the
+/// query (or the SET) with the same message everywhere.
+inline Status ValidateExecOptions(const ExecOptions& exec) {
+  ORQ_RETURN_IF_ERROR(ValidateBatchSize(exec.batch_size));
+  if (exec.columnar && exec.num_threads > 0) {
+    return Status::InvalidArgument(
+        "exec columnar is single-threaded (exchange queues move row "
+        "batches); SET threads 0 or SET exec batch before combining, got "
+        "threads " + std::to_string(exec.num_threads));
+  }
+  return Status::OK();
+}
+
+/// Names for TableEncoding, shared by SET, difftest flags, and EXPLAIN.
+inline const char* TableEncodingName(TableEncoding mode) {
+  switch (mode) {
+    case TableEncoding::kPlain: return "plain";
+    case TableEncoding::kDict: return "dict";
+    case TableEncoding::kRle: return "rle";
+    case TableEncoding::kAuto: return "auto";
+  }
+  return "plain";
+}
+inline std::optional<TableEncoding> ParseTableEncoding(
+    std::string_view name) {
+  if (name == "plain") return TableEncoding::kPlain;
+  if (name == "dict") return TableEncoding::kDict;
+  if (name == "rle") return TableEncoding::kRle;
+  if (name == "auto") return TableEncoding::kAuto;
+  return std::nullopt;
+}
 
 /// A fixed-capacity buffer of rows passed between operators. Row storage
 /// is preallocated and reused across refills: Clear() resets the logical
@@ -132,6 +172,9 @@ struct ExecContext {
   /// through the columnar path for columnar-capable operators when set.
   bool columnar = false;
   int batch_size = kDefaultBatchRows;
+  /// Storage encoding columnar table scans request from the catalog
+  /// (ExecOptions::table_encoding).
+  TableEncoding table_encoding = TableEncoding::kPlain;
   /// Worker pool for exchange operators, or nullptr on single-threaded
   /// executions. Owned by the engine; a parallel plan executed without a
   /// pool fails at Open rather than silently serializing.
@@ -332,6 +375,19 @@ class PhysicalOp {
   /// Operators guard each recording site on this (the RecordPeak pattern):
   /// `if (MetricsRegistry* m = metrics()) m->Add(...)`.
   MetricsRegistry* metrics() const { return metrics_; }
+
+  /// Table scans report the encodings of the column chunks they serve
+  /// (once per Open) so EXPLAIN ANALYZE can print the per-scan
+  /// `encoding= bytes=` line. No-op when collection is disabled.
+  void RecordScanEncoding(int64_t dict_cols, int64_t rle_cols,
+                          int64_t plain_cols, int64_t bytes) {
+    if (stats_ != nullptr) {
+      stats_->enc_dict_cols += dict_cols;
+      stats_->enc_rle_cols += rle_cols;
+      stats_->enc_plain_cols += plain_cols;
+      stats_->enc_bytes += bytes;
+    }
+  }
 
   /// Row -> column adapter: pulls this operator's own row path (NextBatchImpl
   /// or the NextImpl loop, per ctx->batched) into scratch and transposes the

@@ -323,6 +323,7 @@ class SortOp : public PhysicalOp {
     for (const SortKey& key : keys_) {
       evals_.emplace_back(key.expr, layout_);
     }
+    columnar_capable_ = true;
     children_.push_back(std::move(child));
   }
 
@@ -391,6 +392,29 @@ class SortOp : public PhysicalOp {
     return Status::OK();
   }
 
+  /// Columnar emission: the sorted buffer is transposed window-by-window
+  /// into typed columns, so a columnar parent keeps its batch pipeline
+  /// across the sort instead of falling back to the row adapter. Values
+  /// are copied (AppendValue), never moved — only the row path owns the
+  /// move-out optimization.
+  Status NextColumnsImpl(ExecContext*, ColumnBatch* batch) override {
+    if (pos_ >= rows_.size()) return Status::OK();
+    const uint32_t n = static_cast<uint32_t>(std::min(
+        rows_.size() - pos_, static_cast<size_t>(batch->capacity())));
+    batch->ResizeCols(layout_.size());
+    for (size_t c = 0; c < layout_.size(); ++c) {
+      ColumnVec& col = batch->col(c);
+      col.StartBuild(rows_[pos_][c].type(), n);
+      for (uint32_t i = 0; i < n; ++i) {
+        col.AppendValue(rows_[pos_ + i][c]);
+      }
+      col.Seal();
+    }
+    batch->set_num_rows(n);
+    pos_ += n;
+    return Status::OK();
+  }
+
   void CloseImpl() override { rows_.clear(); }
   std::string name() const override {
     return limit_ >= 0 ? "TopSort(" + std::to_string(limit_) + ")" : "Sort";
@@ -439,6 +463,7 @@ class UnionAllOp : public PhysicalOp {
              std::vector<ColumnId> layout) {
     layout_ = std::move(layout);
     children_ = std::move(children);
+    columnar_capable_ = true;
   }
 
   Status OpenImpl(ExecContext* ctx) override {
@@ -468,6 +493,22 @@ class UnionAllOp : public PhysicalOp {
     while (current_ < children_.size()) {
       ORQ_RETURN_IF_ERROR(children_[current_]->NextBatch(ctx, batch));
       if (!batch->empty()) return Status::OK();
+      children_[current_]->Close();
+      ++current_;
+      if (current_ < children_.size()) {
+        ORQ_RETURN_IF_ERROR(children_[current_]->Open(ctx));
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Columnar passthrough, same child rotation: encoded scan views cross
+  /// the union untouched (non-columnar children are adapted by their own
+  /// shell), so a columnar parent never drops to the row adapter here.
+  Status NextColumnsImpl(ExecContext* ctx, ColumnBatch* batch) override {
+    while (current_ < children_.size()) {
+      ORQ_RETURN_IF_ERROR(children_[current_]->NextColumns(ctx, batch));
+      if (batch->selected() > 0) return Status::OK();
       children_[current_]->Close();
       ++current_;
       if (current_ < children_.size()) {

@@ -115,6 +115,7 @@ class TableScanOp : public PhysicalOp {
 
   Status OpenImpl(ExecContext*) override {
     pos_ = 0;
+    recorded_enc_ = false;
     return Status::OK();
   }
 
@@ -145,11 +146,16 @@ class TableScanOp : public PhysicalOp {
 
   /// Zero-copy columnar scan: each output column is a view into the
   /// table's columnar chunk cache, windowed at the current position. No
-  /// per-row work at all — the batch is pointers plus a row count.
-  Status NextColumnsImpl(ExecContext*, ColumnBatch* batch) override {
+  /// per-row work at all — the batch is pointers plus a row count. Under
+  /// an encoded table_encoding the views carry the chunk's physical form
+  /// (dict codes / RLE runs) instead of decoding; downstream kernels
+  /// decide per column whether to exploit or transparently decode it.
+  Status NextColumnsImpl(ExecContext* ctx, ColumnBatch* batch) override {
     const size_t end = table_->num_rows();
     if (pos_ >= end) return Status::OK();
-    const std::vector<Table::ColumnChunk>& chunks = table_->ColumnarChunks();
+    const std::vector<Table::ColumnChunk>& chunks =
+        table_->ColumnarChunks(ctx->table_encoding);
+    if (!recorded_enc_) RecordEncodingShape(chunks);
     const uint32_t n = static_cast<uint32_t>(
         std::min(end - pos_, static_cast<size_t>(batch->capacity())));
     batch->ResizeCols(ordinals_.size());
@@ -158,6 +164,24 @@ class TableScanOp : public PhysicalOp {
       ColumnVec& col = batch->col(i);
       if (chunk.mixed) {
         col.SetValuesView(chunk.type, chunk.vals.data() + pos_, n);
+        continue;
+      }
+      if (chunk.encoding == ChunkEncoding::kDict) {
+        col.SetDictView(chunk.type, chunk.codes.data() + pos_,
+                        chunk.ints.data(), chunk.chars.data(),
+                        chunk.offsets.data(), chunk.dict_hashes.data(),
+                        static_cast<uint32_t>(chunk.dict_size()),
+                        chunk.any_null ? chunk.nulls.data() + pos_ : nullptr,
+                        n);
+        continue;
+      }
+      if (chunk.encoding == ChunkEncoding::kRle) {
+        col.SetRleView(chunk.type, chunk.ints.data(), chunk.doubles.data(),
+                       chunk.chars.data(), chunk.offsets.data(),
+                       chunk.run_ends.data(),
+                       chunk.any_null ? chunk.nulls.data() : nullptr,
+                       static_cast<uint32_t>(chunk.num_runs()),
+                       static_cast<uint32_t>(pos_), n);
         continue;
       }
       const uint8_t* nulls =
@@ -184,9 +208,43 @@ class TableScanOp : public PhysicalOp {
   std::string name() const override { return "TableScan(" + table_->name() + ")"; }
 
  private:
+  /// Once per Open, on the first columnar pull: per-scan encoding shape
+  /// into OpStats (the EXPLAIN ANALYZE `encoding=` line) and the global
+  /// encoding.* counters for the chunks this scan serves.
+  void RecordEncodingShape(const std::vector<Table::ColumnChunk>& chunks) {
+    recorded_enc_ = true;
+    int64_t dict_cols = 0, rle_cols = 0, plain_cols = 0;
+    int64_t bytes = 0, dict_entries = 0, rle_runs = 0;
+    for (int ordinal : ordinals_) {
+      const Table::ColumnChunk& chunk = chunks[ordinal];
+      bytes += static_cast<int64_t>(chunk.encoded_bytes);
+      switch (chunk.encoding) {
+        case ChunkEncoding::kDict:
+          ++dict_cols;
+          dict_entries += static_cast<int64_t>(chunk.dict_size());
+          break;
+        case ChunkEncoding::kRle:
+          ++rle_cols;
+          rle_runs += static_cast<int64_t>(chunk.num_runs());
+          break;
+        case ChunkEncoding::kPlain:
+          ++plain_cols;
+          break;
+      }
+    }
+    RecordScanEncoding(dict_cols, rle_cols, plain_cols, bytes);
+    if (MetricsRegistry* m = metrics()) {
+      m->Add(MetricCounter::kEncodedChunks, dict_cols + rle_cols);
+      m->Add(MetricCounter::kDictEntries, dict_entries);
+      m->Add(MetricCounter::kEncodedBytes, bytes);
+      m->Add(MetricCounter::kRleRuns, rle_runs);
+    }
+  }
+
   const Table* table_;
   std::vector<int> ordinals_;
   size_t pos_ = 0;
+  bool recorded_enc_ = false;
 };
 
 class IndexSeekOp : public PhysicalOp {

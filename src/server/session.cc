@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cstdint>
 #include <cstdlib>
+#include <optional>
 
 namespace orq {
 
@@ -67,7 +68,13 @@ Status Session::ApplySet(const std::string& command) {
       static_cast<unsigned char>(c)));
   if (name == "threads") {
     ORQ_ASSIGN_OR_RETURN(int64_t n, ParseInt(name, value, 0, 64));
-    options_.exec.num_threads = static_cast<int>(n);
+    // Validate the combined exec options before committing, so an illegal
+    // combination (columnar + threads) fails the SET with the same message
+    // the engine would give, instead of poisoning the session.
+    ExecOptions next = options_.exec;
+    next.num_threads = static_cast<int>(n);
+    ORQ_RETURN_IF_ERROR(ValidateExecOptions(next));
+    options_.exec = next;
   } else if (name == "batch") {
     if (value == "on" || value == "true" || value == "1") {
       options_.exec.batched = true;
@@ -78,19 +85,29 @@ Status Session::ApplySet(const std::string& command) {
                                      value);
     }
   } else if (name == "exec") {
+    ExecOptions next = options_.exec;
     if (value == "row") {
-      options_.exec.batched = false;
-      options_.exec.columnar = false;
+      next.batched = false;
+      next.columnar = false;
     } else if (value == "batch") {
-      options_.exec.batched = true;
-      options_.exec.columnar = false;
+      next.batched = true;
+      next.columnar = false;
     } else if (value == "columnar") {
-      options_.exec.batched = true;
-      options_.exec.columnar = true;
+      next.batched = true;
+      next.columnar = true;
     } else {
       return Status::InvalidArgument(
           "SET exec expects row|batch|columnar, got: " + value);
     }
+    ORQ_RETURN_IF_ERROR(ValidateExecOptions(next));
+    options_.exec = next;
+  } else if (name == "table_encoding") {
+    std::optional<TableEncoding> enc = ParseTableEncoding(value);
+    if (!enc.has_value()) {
+      return Status::InvalidArgument(
+          "SET table_encoding expects plain|dict|rle|auto, got: " + value);
+    }
+    options_.exec.table_encoding = *enc;
   } else if (name == "batch_size") {
     // Parse wide, then let ValidateBatchSize be the one place that knows
     // the legal range (engine execution rechecks the same predicate).
@@ -121,8 +138,8 @@ Status Session::ApplySet(const std::string& command) {
   } else {
     return Status::InvalidArgument(
         "unknown SET option \"" + name +
-        "\" (known: threads, exec, batch, batch_size, morsel_rows, "
-        "timeout_ms, slow_query_ms, plan_cache)");
+        "\" (known: threads, exec, batch, batch_size, table_encoding, "
+        "morsel_rows, timeout_ms, slow_query_ms, plan_cache)");
   }
   ++options_generation_;
   return Status::OK();

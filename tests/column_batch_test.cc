@@ -199,6 +199,245 @@ TEST(ValidateBatchSizeTest, SessionSetAndEngineShareTheCheck) {
             std::string::npos);
 }
 
+TEST(ValidateExecOptionsTest, RejectsColumnarWithThreads) {
+  ExecOptions exec;
+  exec.batched = true;
+  exec.columnar = true;
+  exec.num_threads = 0;
+  EXPECT_TRUE(ValidateExecOptions(exec).ok());
+  exec.num_threads = 4;
+  Status status = ValidateExecOptions(exec);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("columnar"), std::string::npos);
+
+  // The session rejects the combination in either SET order, leaving the
+  // previous options intact.
+  Session session(1, EngineOptions::Full(), 0);
+  EXPECT_TRUE(session.ApplySet("exec columnar").ok());
+  EXPECT_FALSE(session.ApplySet("threads 4").ok());
+  EXPECT_EQ(session.engine_options().exec.num_threads, 0);
+  EXPECT_TRUE(session.ApplySet("exec batch").ok());
+  EXPECT_TRUE(session.ApplySet("threads 4").ok());
+  EXPECT_FALSE(session.ApplySet("exec columnar").ok());
+  EXPECT_FALSE(session.engine_options().exec.columnar);
+
+  // And the engine applies the same predicate to programmatic options, so
+  // there is no silent single-thread fallback path left.
+  Catalog catalog;
+  Result<Table*> t =
+      catalog.CreateTable("t", {{"k", DataType::kInt64, false}});
+  ASSERT_TRUE(t.ok());
+  EngineOptions options = EngineOptions::Full();
+  options.exec.batched = true;
+  options.exec.columnar = true;
+  options.exec.num_threads = 2;
+  QueryEngine engine(&catalog, options);
+  Result<QueryResult> result = engine.Execute("select k from t");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().ToString().find("columnar"), std::string::npos);
+}
+
+TEST(ValidateExecOptionsTest, TableEncodingKnobParsesAndRejects) {
+  Session session(1, EngineOptions::Full(), 0);
+  EXPECT_EQ(session.engine_options().exec.table_encoding,
+            TableEncoding::kPlain);
+  EXPECT_TRUE(session.ApplySet("table_encoding auto").ok());
+  EXPECT_EQ(session.engine_options().exec.table_encoding,
+            TableEncoding::kAuto);
+  EXPECT_TRUE(session.ApplySet("table_encoding dict").ok());
+  EXPECT_TRUE(session.ApplySet("table_encoding rle").ok());
+  EXPECT_TRUE(session.ApplySet("table_encoding plain").ok());
+  Status status = session.ApplySet("table_encoding zip");
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("table_encoding"), std::string::npos);
+}
+
+/// Builds a ColumnVec view over `chunk` windowed at [pos, pos + n), the
+/// same dispatch TableScanOp::NextColumnsImpl performs.
+void SetViewFromChunk(const Table::ColumnChunk& chunk, size_t pos,
+                      uint32_t n, ColumnVec* col) {
+  if (chunk.mixed) {
+    col->SetValuesView(chunk.type, chunk.vals.data() + pos, n);
+    return;
+  }
+  if (chunk.encoding == ChunkEncoding::kDict) {
+    col->SetDictView(chunk.type, chunk.codes.data() + pos, chunk.ints.data(),
+                     chunk.chars.data(), chunk.offsets.data(),
+                     chunk.dict_hashes.data(),
+                     static_cast<uint32_t>(chunk.dict_size()),
+                     chunk.any_null ? chunk.nulls.data() + pos : nullptr, n);
+    return;
+  }
+  if (chunk.encoding == ChunkEncoding::kRle) {
+    col->SetRleView(chunk.type, chunk.ints.data(), chunk.doubles.data(),
+                    chunk.chars.data(), chunk.offsets.data(),
+                    chunk.run_ends.data(),
+                    chunk.any_null ? chunk.nulls.data() : nullptr,
+                    static_cast<uint32_t>(chunk.num_runs()),
+                    static_cast<uint32_t>(pos), n);
+    return;
+  }
+  const uint8_t* nulls = chunk.any_null ? chunk.nulls.data() + pos : nullptr;
+  switch (chunk.type) {
+    case DataType::kDouble:
+      col->SetDoubleView(chunk.doubles.data() + pos, nulls, n);
+      break;
+    case DataType::kString:
+      col->SetStringView(chunk.chars.data(), chunk.offsets.data() + pos,
+                         nulls, n);
+      break;
+    default:
+      col->SetIntView(chunk.type, chunk.ints.data() + pos, nulls, n);
+      break;
+  }
+}
+
+class EncodedChunkTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // 40 rows: id unique (stays plain under auto), grp clustered in runs
+    // of 8 (RLE under auto), tag low-cardinality strings with nulls (dict
+    // under auto).
+    table_ = *catalog_.CreateTable(
+        "e", {{"id", DataType::kInt64, false},
+              {"grp", DataType::kInt64, false},
+              {"tag", DataType::kString, true}});
+    for (int i = 0; i < 40; ++i) {
+      ASSERT_TRUE(table_
+                      ->Append({Value::Int64(i * 7 % 41),
+                                Value::Int64(i / 8),
+                                i % 11 == 0
+                                    ? Value::Null(DataType::kString)
+                                    : Value::String("group_name_" +
+                                                    std::to_string(i % 3))})
+                      .ok());
+    }
+  }
+
+  /// Asserts the windowed view decodes to exactly the table rows
+  /// [pos, pos + n) for column `c` — the chunk-boundary resume a scan
+  /// performs when a batch ends mid-table.
+  void ExpectWindowRoundTrips(const Table::ColumnChunk& chunk, int c,
+                              size_t pos, uint32_t n) {
+    ColumnVec col;
+    SetViewFromChunk(chunk, pos, n, &col);
+    for (uint32_t i = 0; i < n; ++i) {
+      const Value& want = table_->rows()[pos + i][c];
+      Value got = col.GetValue(i);
+      EXPECT_EQ(want.is_null(), got.is_null()) << "col " << c << " row " << i;
+      if (!want.is_null()) {
+        EXPECT_EQ(want.TotalCompare(got), 0) << "col " << c << " row " << i;
+      }
+    }
+  }
+
+  Catalog catalog_;
+  Table* table_ = nullptr;
+};
+
+TEST_F(EncodedChunkTest, AutoHeuristicPicksPerColumn) {
+  const std::vector<Table::ColumnChunk>& chunks =
+      table_->ColumnarChunks(TableEncoding::kAuto);
+  ASSERT_EQ(chunks.size(), 3u);
+  EXPECT_EQ(chunks[0].encoding, ChunkEncoding::kPlain);  // unique ints
+  EXPECT_EQ(chunks[1].encoding, ChunkEncoding::kRle);    // 5 runs of 8
+  EXPECT_EQ(chunks[1].num_runs(), 5u);
+  EXPECT_EQ(chunks[2].encoding, ChunkEncoding::kDict);   // 3 distinct + null
+  EXPECT_EQ(chunks[2].dict_size(), 4u);  // null rows intern ""
+  // The encoded forms actually compress: RLE collapses the runs, dict
+  // shares the long string payloads.
+  EXPECT_LT(chunks[1].encoded_bytes, chunks[1].plain_bytes);
+  EXPECT_LT(chunks[2].encoded_bytes, chunks[2].plain_bytes);
+  // The plain cache is a distinct, unencoded chunk set.
+  const std::vector<Table::ColumnChunk>& plain =
+      table_->ColumnarChunks(TableEncoding::kPlain);
+  EXPECT_EQ(plain[1].encoding, ChunkEncoding::kPlain);
+  EXPECT_EQ(plain[2].encoding, ChunkEncoding::kPlain);
+}
+
+TEST_F(EncodedChunkTest, EncodedViewsRoundTripWithWindows) {
+  for (TableEncoding mode : {TableEncoding::kDict, TableEncoding::kRle,
+                             TableEncoding::kAuto}) {
+    const std::vector<Table::ColumnChunk>& chunks =
+        table_->ColumnarChunks(mode);
+    for (int c = 0; c < 3; ++c) {
+      ExpectWindowRoundTrips(chunks[c], c, 0, 40);
+      ExpectWindowRoundTrips(chunks[c], c, 7, 33);   // mid-run resume
+      ExpectWindowRoundTrips(chunks[c], c, 39, 1);   // last row
+    }
+  }
+  // Forced modes encode every eligible column.
+  EXPECT_EQ(table_->ColumnarChunks(TableEncoding::kDict)[0].encoding,
+            ChunkEncoding::kDict);
+  EXPECT_EQ(table_->ColumnarChunks(TableEncoding::kRle)[2].encoding,
+            ChunkEncoding::kRle);
+}
+
+TEST_F(EncodedChunkTest, RleCursorHandlesBackwardJumps) {
+  const Table::ColumnChunk& chunk =
+      table_->ColumnarChunks(TableEncoding::kRle)[1];
+  ASSERT_EQ(chunk.encoding, ChunkEncoding::kRle);
+  ColumnVec col;
+  SetViewFromChunk(chunk, 0, 40, &col);
+  // Monotone forward, then a backward jump: the cached run cursor must
+  // reseek, not walk off the run array.
+  EXPECT_EQ(col.IntAt(30), 3);
+  EXPECT_EQ(col.IntAt(39), 4);
+  EXPECT_EQ(col.IntAt(2), 0);
+  EXPECT_EQ(col.IntAt(17), 2);
+}
+
+TEST_F(EncodedChunkTest, MixedTagColumnStaysBoxedUnderEveryEncoding) {
+  Table* m = *catalog_.CreateTable("m", {{"x", DataType::kInt64, true}});
+  for (int i = 0; i < 40; ++i) {
+    // Value tags disagree with the declared type on some rows, so the
+    // chunk must degrade to boxed values — and encoding must leave it
+    // alone under every requested mode.
+    ASSERT_TRUE(
+        m->Append({i % 2 == 0 ? Value::Int64(7) : Value::String("seven")})
+            .ok());
+  }
+  for (TableEncoding mode : {TableEncoding::kPlain, TableEncoding::kDict,
+                             TableEncoding::kRle, TableEncoding::kAuto}) {
+    const Table::ColumnChunk& chunk = m->ColumnarChunks(mode)[0];
+    EXPECT_TRUE(chunk.mixed);
+    EXPECT_EQ(chunk.encoding, ChunkEncoding::kPlain);
+    ASSERT_EQ(chunk.vals.size(), 40u);
+    ColumnVec col;
+    SetViewFromChunk(chunk, 0, 40, &col);
+    EXPECT_EQ(col.rep(), ColumnRep::kValues);
+    EXPECT_EQ(col.GetValue(1).string_value(), "seven");
+  }
+}
+
+TEST_F(EncodedChunkTest, EncodedHashParityWithRowHash) {
+  // Column-wise hashing over dict codes and RLE runs must equal RowHash
+  // over the decoded rows — the invariant that lets encoded probes share
+  // hash tables with row-built PackedKeys.
+  for (TableEncoding mode : {TableEncoding::kPlain, TableEncoding::kDict,
+                             TableEncoding::kRle, TableEncoding::kAuto}) {
+    const std::vector<Table::ColumnChunk>& chunks =
+        table_->ColumnarChunks(mode);
+    ColumnBatch batch(64);
+    batch.ResizeCols(3);
+    for (int c = 0; c < 3; ++c) {
+      SetViewFromChunk(chunks[c], 0, 40, &batch.col(c));
+    }
+    batch.set_num_rows(40);
+    std::vector<size_t> hashes;
+    InitKeyHashes(batch, &hashes);
+    for (int c = 0; c < 3; ++c) {
+      HashCombineColumn(batch, batch.col(c), &hashes);
+    }
+    Row decoded;
+    for (uint32_t j = 0; j < 40; ++j) {
+      batch.DecodeRow(batch.RowAt(j), &decoded);
+      EXPECT_EQ(hashes[j], RowHash{}(decoded))
+          << "mode " << static_cast<int>(mode) << " row " << j;
+    }
+  }
+}
+
 class ColumnarExecTest : public ::testing::Test {
  protected:
   void SetUp() override {
@@ -230,8 +469,11 @@ class ColumnarExecTest : public ::testing::Test {
   }
 
   // Runs `sql` in both modes with batch_size 8 and expects identical row
-  // multisets.
-  void ExpectModesAgree(const std::string& sql) {
+  // multisets. The columnar side reads chunks under `encoding` (plain by
+  // default; the encoded modes are the storage-layer twist on the same
+  // oracle).
+  void ExpectModesAgree(const std::string& sql,
+                        TableEncoding encoding = TableEncoding::kPlain) {
     EngineOptions row_options = EngineOptions::Full();
     row_options.exec.batched = false;
     row_options.exec.batch_size = 8;
@@ -239,6 +481,7 @@ class ColumnarExecTest : public ::testing::Test {
     col_options.exec.batched = true;
     col_options.exec.columnar = true;
     col_options.exec.batch_size = 8;
+    col_options.exec.table_encoding = encoding;
     QueryEngine row_engine(&catalog_, row_options);
     QueryEngine col_engine(&catalog_, col_options);
     Result<QueryResult> expect = row_engine.Execute(sql);
@@ -246,7 +489,7 @@ class ColumnarExecTest : public ::testing::Test {
     ASSERT_TRUE(expect.ok()) << sql << ": " << expect.status().ToString();
     ASSERT_TRUE(actual.ok()) << sql << ": " << actual.status().ToString();
     EXPECT_EQ(CanonicalRows(expect->rows), CanonicalRows(actual->rows))
-        << sql;
+        << sql << " (encoding " << static_cast<int>(encoding) << ")";
   }
 
   Catalog catalog_;
@@ -286,6 +529,45 @@ TEST_F(ColumnarExecTest, SubqueryPlansMatchRowMode) {
       "select k from t where v < (select sum(w) from u where fk = k)");
   ExpectModesAgree(
       "select k, (select count(*) from u where fk = k) from t");
+}
+
+TEST_F(ColumnarExecTest, EncodedStorageMatchesRowMode) {
+  // The same row-vs-columnar oracle with the columnar side reading
+  // dictionary/RLE/auto-encoded chunks: predicates translate to codes,
+  // hashing consumes codes, and the vectorized accumulators walk runs —
+  // all of it must stay byte-equal to plain row execution. batch_size 8
+  // on 16/24-row tables also forces mid-chunk window resumes.
+  for (TableEncoding enc : {TableEncoding::kDict, TableEncoding::kRle,
+                            TableEncoding::kAuto}) {
+    ExpectModesAgree("select k from t where v > 0 and d < 6.0 and s = 's1'",
+                     enc);
+    ExpectModesAgree("select k from t where s <> 's0'", enc);
+    ExpectModesAgree(
+        "select s, sum(v), count(*), min(d), max(k) from t group by s", enc);
+    ExpectModesAgree("select sum(v), count(v), avg(d) from t", enc);
+    ExpectModesAgree("select k, sum(w) from t, u where k = fk group by k",
+                     enc);
+    ExpectModesAgree(
+        "select k from t where exists (select 1 from u where fk = k)", enc);
+    ExpectModesAgree(
+        "select k, (select count(*) from u where fk = k) from t", enc);
+    ExpectModesAgree("select k + 1, d * 2.0, -v from t", enc);
+  }
+}
+
+TEST_F(ColumnarExecTest, EncodedScanSurfacesEncodingInReport) {
+  EngineOptions options = EngineOptions::Full();
+  options.exec.batched = true;
+  options.exec.columnar = true;
+  options.exec.batch_size = 8;
+  options.exec.table_encoding = TableEncoding::kDict;
+  QueryEngine engine(&catalog_, options);
+  Result<std::string> report = engine.ExplainAnalyze(
+      "select s, count(*) from t group by s");
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  // The scan line reports its per-column encoding split and encoded bytes.
+  EXPECT_NE(report->find("encoding=dict:"), std::string::npos) << *report;
+  EXPECT_NE(report->find("bytes="), std::string::npos) << *report;
 }
 
 TEST_F(ColumnarExecTest, StatsInvariantHoldsColumnar) {

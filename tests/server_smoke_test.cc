@@ -183,6 +183,47 @@ TEST(ServerSmokeTest, SetChangesTakeEffectAndValidate) {
   server.Stop();
 }
 
+TEST(ServerSmokeTest, ColumnarThreadsConflictAndEncodingKnobOverTheWire) {
+  QueryServer server(SharedCatalog(), ServerOptions());
+  ASSERT_TRUE(server.Start().ok());
+  Result<Client> connected = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(connected.ok());
+  Client client = std::move(connected.value());
+
+  // exec columnar is single-threaded; combining it with threads must fail
+  // loudly in either SET order — never silently fall back.
+  ASSERT_TRUE(client.Set("threads", "2").ok());
+  Status conflict = client.Set("exec", "columnar");
+  ASSERT_EQ(conflict.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(conflict.ToString().find("single-threaded"), std::string::npos);
+  ASSERT_TRUE(client.Set("threads", "0").ok());
+  ASSERT_TRUE(client.Set("exec", "columnar").ok());
+  conflict = client.Set("threads", "2");
+  ASSERT_EQ(conflict.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(conflict.ToString().find("single-threaded"), std::string::npos);
+
+  // The rejected SET left the session columnar and single-threaded, so
+  // queries still run — now over encoded storage once the knob is set.
+  // Forced dict (not auto) because the difftest tables are small enough
+  // that the auto heuristic keeps them plain.
+  ASSERT_TRUE(client.Set("table_encoding", "dict").ok());
+  Result<WireResult> result =
+      client.Query("SELECT COUNT(*), MIN(n_name) FROM nation");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_NE(result->rows[0].find("6"), std::string::npos)
+      << result->rows[0];
+
+  Status bad = client.Set("table_encoding", "zip");
+  ASSERT_EQ(bad.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bad.ToString().find("plain|dict|rle|auto"), std::string::npos);
+  // Encoding counters reach the metrics surface once an encoded scan ran.
+  Result<std::string> metrics = client.Admin("metrics");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_NE(metrics->find("encoding.chunks"), std::string::npos);
+  server.Stop();
+}
+
 TEST(ServerSmokeTest, MetricsAdminReportsServerCounters) {
   QueryServer server(SharedCatalog(), ServerOptions());
   ASSERT_TRUE(server.Start().ok());

@@ -5,6 +5,7 @@
 // Usage: difftest [--seed N] [--queries N] [--max-failures N] [--verbose]
 //                 [--reference-exec row|batch|columnar|parallel]
 //                 [--test-exec row|batch|columnar|parallel] [--threads N]
+//                 [--table-encoding plain|dict|rle|auto]
 //                 [--timeout-ms N] [--plan-cache]
 //
 // --plan-cache adds a cached-vs-cold oracle side: every non-divergent
@@ -21,6 +22,10 @@
 // morsel-driven parallel engine with --threads workers (default 4). Mixing modes cross-checks engines on the same
 // query stream — e.g. `--reference-exec row --test-exec parallel` is the
 // parallel-vs-serial oracle.
+//
+// --table-encoding sets the test side's columnar storage encoding
+// (reference scans stay plain), so `--reference-exec row --test-exec
+// columnar --table-encoding auto` is the encoded-storage oracle.
 //
 // Exit code 0 when every query agreed, 1 on divergence, 2 on setup error.
 
@@ -63,6 +68,26 @@ int main(int argc, char** argv) {
       threads = static_cast<int>(next_int("--threads"));
       if (threads < 1) {
         std::fprintf(stderr, "--threads expects a positive count\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--table-encoding") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--table-encoding requires plain|dict|rle|auto\n");
+        return 2;
+      }
+      const char* enc = argv[++i];
+      if (std::strcmp(enc, "plain") == 0) {
+        options.test_table_encoding = orq::TableEncoding::kPlain;
+      } else if (std::strcmp(enc, "dict") == 0) {
+        options.test_table_encoding = orq::TableEncoding::kDict;
+      } else if (std::strcmp(enc, "rle") == 0) {
+        options.test_table_encoding = orq::TableEncoding::kRle;
+      } else if (std::strcmp(enc, "auto") == 0) {
+        options.test_table_encoding = orq::TableEncoding::kAuto;
+      } else {
+        std::fprintf(stderr,
+                     "--table-encoding expects plain|dict|rle|auto, got %s\n",
+                     enc);
         return 2;
       }
     } else if (std::strcmp(argv[i], "--reference-exec") == 0 ||
@@ -108,6 +133,7 @@ int main(int argc, char** argv) {
                    "[--reference-exec row|batch|columnar|parallel] "
                    "[--test-exec row|batch|columnar|parallel] "
                    "[--threads N] "
+                   "[--table-encoding plain|dict|rle|auto] "
                    "[--timeout-ms N] [--plan-cache]\n",
                    argv[i]);
       return 2;
